@@ -1,0 +1,156 @@
+//===- bench/Common.h - Shared workloads for the benchmark suite -*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The workloads shared across the per-experiment benchmark binaries: the
+/// Fig 1/Fig 3 interop sources, the Fig 9 counter/client pair, and
+/// parameterized RichWasm module generators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_BENCH_COMMON_H
+#define RICHWASM_BENCH_COMMON_H
+
+#include "ir/Builder.h"
+#include "l3/L3.h"
+#include "link/Link.h"
+#include "lower/Lower.h"
+#include "ml/ML.h"
+#include "typing/Checker.h"
+#include "wasm/Interp.h"
+#include "wasm/Binary.h"
+#include "wasm/Validate.h"
+
+namespace rwbench {
+
+inline const char *MLStashUnsafe =
+    "global c = linref [ref int] () ;;"
+    "export fun stash (r : lin (ref int)) : lin (ref int) = c := r; r ;;"
+    "export fun get_stashed (u : unit) : lin (ref int) = !c ;;";
+
+inline const char *MLStashSafe =
+    "global c = linref [ref int] () ;;"
+    "export fun stash (r : lin (ref int)) : unit = c := r ;;"
+    "export fun get_stashed (u : unit) : lin (ref int) = !c ;;";
+
+inline const char *L3ClientUnsafe =
+    "import ml.stash : Ref int -o Ref int ;;"
+    "import ml.get_stashed : unit -o Ref int ;;"
+    "export fun main (u : unit) : int = "
+    "  free (split (stash (join (new 42)))) ; "
+    "  free (split (get_stashed ())) ;;";
+
+inline const char *L3ClientSafe =
+    "import ml.stash : Ref int -o unit ;;"
+    "import ml.get_stashed : unit -o Ref int ;;"
+    "export fun main (u : unit) : int = "
+    "  stash (join (new 42)) ; "
+    "  free (split (get_stashed ())) ;;";
+
+inline const char *CounterLibL3 =
+    "export fun make (n : int) : Ref int = join (new n) ;;"
+    "export fun bump (r : Ref int) : Ref int = "
+    "  let (old, c) = swap (split r) 0 in "
+    "  let (z, c2) = swap c (old + 1) in "
+    "  join c2 ;;"
+    "export fun finish (r : Ref int) : int = free (split r) ;;";
+
+inline const char *CounterClientML =
+    "import lib.make : int -> lin (ref int) ;;"
+    "import lib.bump : lin (ref int) -> lin (ref int) ;;"
+    "import lib.finish : lin (ref int) -> int ;;"
+    "global cell = linref [ref int] () ;;"
+    "global rate = ref 1 ;;"
+    "export fun init (u : unit) : unit = cell := make 0 ;;"
+    "fun ntimes (n : int) : unit = "
+    "  if n = 0 then () else (cell := bump !cell; ntimes (n - 1)) ;;"
+    "export fun tick (u : unit) : unit = ntimes !rate ;;"
+    "export fun set_rate (n : int) : unit = rate := n ;;"
+    "export fun total (u : unit) : int = finish !cell ;;";
+
+/// A module whose exported `main` sums 1..N with a loop (pure numerics).
+inline rw::ir::Module loopModule(int32_t N) {
+  using namespace rw::ir;
+  using namespace rw::ir::build;
+  rw::ir::Module M;
+  M.Name = "loopmod";
+  InstVec Body = {
+      iconst(0), setLocal(0), iconst(0), setLocal(1),
+      block(arrow({}, {}), {},
+            {loop(arrow({}, {}),
+                  {getLocal(1, Qual::unr()), iconst(1), addI32(),
+                   setLocal(1), getLocal(0, Qual::unr()),
+                   getLocal(1, Qual::unr()), addI32(), setLocal(0),
+                   getLocal(1, Qual::unr()), iconst(N),
+                   relop(NumType::I32, RelopKind::Lt), brIf(0)})}),
+      getLocal(0, Qual::unr()),
+  };
+  M.Funcs.push_back(function({"main"},
+                             FunType::get({}, arrow({}, {i32T()})),
+                             {Size::constant(32), Size::constant(32)},
+                             std::move(Body)));
+  return M;
+}
+
+/// A module whose `main` performs N linear alloc/swap/free round-trips.
+inline rw::ir::Module allocModule(int32_t N, bool Linear) {
+  using namespace rw::ir;
+  using namespace rw::ir::build;
+  rw::ir::Module M;
+  M.Name = "allocmod";
+  InstVec Loop = {
+      iconst(7),
+      structMalloc({Size::constant(32)},
+                   Linear ? Qual::lin() : Qual::unr()),
+  };
+  if (Linear)
+    Loop.push_back(memUnpack(arrow({}, {}), {}, {structFree()}));
+  else
+    Loop.push_back(memUnpack(arrow({}, {}), {}, {drop()}));
+  InstVec Rest = {getLocal(1, Qual::unr()), iconst(1), addI32(),
+                  setLocal(1), getLocal(1, Qual::unr()), iconst(N),
+                  relop(NumType::I32, RelopKind::Lt), brIf(0)};
+  Loop.insert(Loop.end(), Rest.begin(), Rest.end());
+  InstVec Body = {
+      iconst(0), setLocal(1),
+      block(arrow({}, {}), {}, {loop(arrow({}, {}), std::move(Loop))}),
+      iconst(0),
+  };
+  M.Funcs.push_back(function(
+      {"main"}, FunType::get({}, arrow({}, {i32T()})),
+      {Size::constant(64), Size::constant(32)}, std::move(Body)));
+  return M;
+}
+
+/// A module with `Funcs` copies of an arithmetic/heap function — the
+/// checker-throughput workload. Returns total instruction count too.
+inline rw::ir::Module wideModule(unsigned Funcs) {
+  using namespace rw::ir;
+  using namespace rw::ir::build;
+  rw::ir::Module M;
+  M.Name = "wide";
+  for (unsigned I = 0; I < Funcs; ++I) {
+    InstVec Body = {
+        getLocal(0, Qual::unr()),
+        iconst(static_cast<int32_t>(I)),
+        addI32(),
+        structMalloc({Size::constant(32)}, Qual::lin()),
+        memUnpack(arrow({}, {i32T()}), {{1, i32T()}},
+                  {iconst(9), structSwap(0), setLocal(1), structFree(),
+                   getLocal(1, Qual::unr())}),
+        iconst(3),
+        mulI32(),
+    };
+    M.Funcs.push_back(function(
+        {}, FunType::get({}, arrow({i32T()}, {i32T()})),
+        {Size::constant(32)}, std::move(Body)));
+  }
+  return M;
+}
+
+} // namespace rwbench
+
+#endif // RICHWASM_BENCH_COMMON_H

@@ -1,0 +1,36 @@
+//===- bench/fig1_unsafe_interop.cpp - F1: static rejection cost ----------===//
+// Reproduces Fig 1: the GC'd stash module whose compiled form duplicates a
+// linear reference. Measures how fast RichWasm statically detects the
+// violation (reject path) vs accepting the corrected module.
+#include "Common.h"
+#include <benchmark/benchmark.h>
+using namespace rw;
+using namespace rwbench;
+
+static void F1_RejectUnsafeStash(benchmark::State &St) {
+  auto M = ml::compileSource("ml", MLStashUnsafe);
+  if (!M) { St.SkipWithError("compile failed"); return; }
+  uint64_t Rejected = 0;
+  for (auto _ : St) {
+    Status S = typing::checkModule(*M);
+    if (!S.ok()) ++Rejected;
+    benchmark::DoNotOptimize(S.ok());
+  }
+  St.counters["rejected"] = Rejected == static_cast<uint64_t>(St.iterations()) ? 1 : 0;
+}
+BENCHMARK(F1_RejectUnsafeStash);
+
+static void F1_AcceptSafeStash(benchmark::State &St) {
+  auto M = ml::compileSource("ml", MLStashSafe);
+  if (!M) { St.SkipWithError("compile failed"); return; }
+  uint64_t Accepted = 0;
+  for (auto _ : St) {
+    Status S = typing::checkModule(*M);
+    if (S.ok()) ++Accepted;
+    benchmark::DoNotOptimize(S.ok());
+  }
+  St.counters["accepted"] = Accepted == static_cast<uint64_t>(St.iterations()) ? 1 : 0;
+}
+BENCHMARK(F1_AcceptSafeStash);
+
+BENCHMARK_MAIN();

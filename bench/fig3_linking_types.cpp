@@ -1,0 +1,33 @@
+//===- bench/fig3_linking_types.cpp - F3: full ML⊣L3 pipeline -------------===//
+// Reproduces Fig 3: both source programs compile under their own checkers;
+// the unsafe pair is rejected at link time (statically), the safe pair
+// links and runs. Measures the full pipeline for both outcomes.
+#include "Common.h"
+#include <benchmark/benchmark.h>
+using namespace rw;
+using namespace rwbench;
+
+static void F3_UnsafePairRejectedAtLink(benchmark::State &St) {
+  for (auto _ : St) {
+    auto ML = ml::compileSource("ml", MLStashUnsafe);
+    auto L3 = l3::compileSource("l3", L3ClientUnsafe);
+    auto Mach = link::instantiate({&*ML, &*L3});
+    if (bool(Mach)) { St.SkipWithError("unsafe program was accepted!"); return; }
+    benchmark::DoNotOptimize(Mach.error().message().size());
+  }
+}
+BENCHMARK(F3_UnsafePairRejectedAtLink);
+
+static void F3_SafePairLinksAndRuns(benchmark::State &St) {
+  for (auto _ : St) {
+    auto ML = ml::compileSource("ml", MLStashSafe);
+    auto L3 = l3::compileSource("l3", L3ClientSafe);
+    auto Mach = link::instantiate({&*ML, &*L3});
+    auto R = (*Mach)->invoke(1, *link::findExport(*L3, "main"), {},
+                             {sem::Value::unit()});
+    if (!R || (*R)[0].bits() != 42) { St.SkipWithError("bad result"); return; }
+  }
+}
+BENCHMARK(F3_SafePairLinksAndRuns);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+//===- bench/fig4_interp_throughput.cpp - F4: reduction throughput --------===//
+// The Fig 4 small-step machine: reductions per second on loop and
+// heap-churn workloads (the dynamic semantics' cost profile).
+#include "Common.h"
+#include <benchmark/benchmark.h>
+using namespace rw;
+using namespace rwbench;
+
+static void F4_StepsPerSecond_Loop(benchmark::State &St) {
+  ir::Module M = loopModule(static_cast<int32_t>(St.range(0)));
+  link::LinkOptions Opts;
+  auto Mach = link::instantiate({&M}, Opts);
+  uint64_t Steps = 0;
+  for (auto _ : St) {
+    (*Mach)->setupInvoke(0, 0, {}, {});
+    auto R = (*Mach)->run();
+    benchmark::DoNotOptimize(R);
+  }
+  Steps = (*Mach)->stepCount();
+  St.counters["steps/s"] =
+      benchmark::Counter(static_cast<double>(Steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(F4_StepsPerSecond_Loop)->Arg(100)->Arg(1000);
+
+static void F4_StepsPerSecond_HeapChurn(benchmark::State &St) {
+  ir::Module M = allocModule(static_cast<int32_t>(St.range(0)), /*Linear=*/true);
+  auto Mach = link::instantiate({&M});
+  for (auto _ : St) {
+    (*Mach)->setupInvoke(0, 0, {}, {});
+    auto R = (*Mach)->run();
+    benchmark::DoNotOptimize(R);
+  }
+  St.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>((*Mach)->stepCount()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(F4_StepsPerSecond_HeapChurn)->Arg(100)->Arg(1000);
+
+BENCHMARK_MAIN();

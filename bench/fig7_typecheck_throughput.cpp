@@ -1,0 +1,34 @@
+//===- bench/fig7_typecheck_throughput.cpp - F5–F8: checker throughput ----===//
+// The Figs 5–8 type system as an engineering artifact: module checking
+// time as module size sweeps (functions with locals, linear heap use, and
+// unpacking — the judgments with the most premises).
+#include "Common.h"
+#include <benchmark/benchmark.h>
+using namespace rw;
+using namespace rwbench;
+
+static void F7_CheckModule(benchmark::State &St) {
+  ir::Module M = wideModule(static_cast<unsigned>(St.range(0)));
+  for (auto _ : St) {
+    Status S = typing::checkModule(M);
+    if (!S.ok()) { St.SkipWithError("check failed"); return; }
+  }
+  St.counters["funcs/s"] = benchmark::Counter(
+      static_cast<double>(St.range(0)), benchmark::Counter::kIsRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(F7_CheckModule)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+static void F7_CheckWithAnnotations(benchmark::State &St) {
+  // Checking while recording the lowering annotations (InfoMap).
+  ir::Module M = wideModule(static_cast<unsigned>(St.range(0)));
+  for (auto _ : St) {
+    typing::InfoMap IM;
+    Status S = typing::checkModule(M, &IM);
+    if (!S.ok()) { St.SkipWithError("check failed"); return; }
+    benchmark::DoNotOptimize(IM.size());
+  }
+}
+BENCHMARK(F7_CheckWithAnnotations)->Arg(64);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+//===- bench/t1_soundness_throughput.cpp - T1: §4.1 type safety -----------===//
+// The property-based stand-in for the Coq proof, as a throughput figure:
+// (generate well-typed program → check → run to completion) per second.
+// A failure of progress/preservation would abort the benchmark.
+#include "Common.h"
+#include <benchmark/benchmark.h>
+#include <random>
+using namespace rw;
+using namespace rw::ir;
+using namespace rw::ir::build;
+
+namespace {
+// A tiny embedded generator (mirrors tests/soundness_test.cpp).
+struct Gen {
+  std::mt19937_64 Rng;
+  std::vector<SizeRef> Locals;
+  uint32_t pick(uint32_t Lo, uint32_t Hi) {
+    return Lo + static_cast<uint32_t>(Rng() % (Hi - Lo + 1));
+  }
+  uint32_t nextLocal() {
+    Locals.push_back(Size::constant(32));
+    return static_cast<uint32_t>(Locals.size() - 1);
+  }
+  void gen(unsigned Depth, InstVec &O) {
+    switch (Depth == 0 ? 0u : pick(0, 5)) {
+    case 0:
+      O.push_back(iconst(static_cast<int32_t>(pick(0, 99))));
+      return;
+    case 1:
+      gen(Depth - 1, O);
+      gen(Depth - 1, O);
+      O.push_back(addI32());
+      return;
+    case 2: {
+      gen(Depth - 1, O);
+      InstVec T, F;
+      gen(Depth - 1, T);
+      gen(Depth - 1, F);
+      O.push_back(ifElse(arrow({}, {i32T()}), {}, std::move(T), std::move(F)));
+      return;
+    }
+    case 3: {
+      uint32_t L = nextLocal();
+      gen(Depth - 1, O);
+      O.push_back(setLocal(L));
+      O.push_back(getLocal(L, Qual::unr()));
+      return;
+    }
+    default: {
+      gen(Depth - 1, O);
+      O.push_back(structMalloc({Size::constant(32)}, Qual::lin()));
+      uint32_t L = nextLocal();
+      O.push_back(memUnpack(arrow({}, {i32T()}), {{L, i32T()}},
+                            {iconst(1), structSwap(0), setLocal(L),
+                             structFree(), getLocal(L, Qual::unr())}));
+      return;
+    }
+    }
+  }
+  ir::Module module() {
+    ir::Module M;
+    M.Name = "gen";
+    InstVec Body;
+    gen(3, Body);
+    InstVec Pre;
+    for (size_t I = 0; I < Locals.size(); ++I) {
+      Pre.push_back(iconst(0));
+      Pre.push_back(setLocal(static_cast<uint32_t>(I)));
+    }
+    Body.insert(Body.begin(), Pre.begin(), Pre.end());
+    M.Funcs.push_back(function({"main"},
+                               FunType::get({}, arrow({}, {i32T()})),
+                               std::move(Locals), std::move(Body)));
+    return M;
+  }
+};
+} // namespace
+
+static void T1_GenerateCheckRun(benchmark::State &St) {
+  uint64_t Seed = 1;
+  uint64_t Checked = 0;
+  for (auto _ : St) {
+    Gen G;
+    G.Rng.seed(Seed++);
+    ir::Module M = G.module();
+    Status S = typing::checkModule(M);
+    if (!S.ok()) { St.SkipWithError("soundness: generator output rejected"); return; }
+    auto Mach = link::instantiate({&M});
+    auto R = (*Mach)->invoke(0, 0, {}, {});
+    if (!R) { St.SkipWithError("soundness: checked program failed"); return; }
+    if (!(*Mach)->store().Mem.Lin.empty()) {
+      St.SkipWithError("soundness: linear memory leaked");
+      return;
+    }
+    ++Checked;
+  }
+  St.counters["programs/s"] = benchmark::Counter(
+      static_cast<double>(Checked), benchmark::Counter::kIsRate);
+}
+BENCHMARK(T1_GenerateCheckRun);
+
+BENCHMARK_MAIN();

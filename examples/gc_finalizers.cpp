@@ -1,0 +1,66 @@
+//===- examples/gc_finalizers.cpp - GC owning linear memory (§3) -----------===//
+//
+// When a reference into the linear memory is stored in garbage-collected
+// memory, the collector *owns* that linear cell: if the unrestricted cell
+// becomes unreachable, the linear one is finalized with it. This example
+// builds that situation directly with the builder API and watches the
+// collector do its job.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "link/Link.h"
+
+#include <cstdio>
+
+using namespace rw;
+using namespace rw::ir;
+using namespace rw::ir::build;
+
+int main() {
+  // main() allocates a linear cell, stores its reference inside an
+  // unrestricted cell, and drops the only reference to the latter.
+  ir::Module M;
+  M.Name = "gc";
+  M.Funcs.push_back(function(
+      {"main"}, FunType::get({}, arrow({}, {})), {},
+      {
+          iconst(7),
+          structMalloc({Size::constant(32)}, Qual::lin()),
+          memUnpack(arrow({}, {}), {},
+                    {
+                        // The opened linear ref becomes the field of an
+                        // unrestricted (GC'd) cell: the GC now owns it.
+                        structMalloc({Size::constant(64)}, Qual::unr()),
+                        memUnpack(arrow({}, {}), {}, {drop()}),
+                    }),
+      }));
+
+  link::LinkOptions Opts;
+  auto Mach = link::instantiate({&M}, Opts);
+  if (!Mach) {
+    printf("error: %s\n", Mach.error().message().c_str());
+    return 1;
+  }
+  auto R = (*Mach)->invoke(0, 0, {}, {});
+  if (!R) {
+    printf("run error: %s\n", R.error().message().c_str());
+    return 1;
+  }
+
+  const sem::Memory &Mem = (*Mach)->store().Mem;
+  printf("before collect: %zu unrestricted, %zu linear cells live\n",
+         Mem.Unr.size(), Mem.Lin.size());
+
+  uint64_t Reclaimed = (*Mach)->collect();
+  printf("collect() reclaimed %llu cells\n", (unsigned long long)Reclaimed);
+  printf("after collect:  %zu unrestricted, %zu linear cells live\n",
+         Mem.Unr.size(), Mem.Lin.size());
+  printf("collected unrestricted: %llu, finalized linear: %llu\n",
+         (unsigned long long)Mem.CollectedUnr,
+         (unsigned long long)Mem.FinalizedLin);
+  printf("\nThe linear cell was never manually freed — the collector\n"
+         "finalized it when its GC'd owner died (the paper's finalizer\n"
+         "story for linear memory owned by the unrestricted heap).\n");
+  return 0;
+}

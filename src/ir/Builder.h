@@ -1,0 +1,235 @@
+//===- ir/Builder.h - Convenience factories for RichWasm IR -----*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Terse factory functions for instructions, used by the frontends, tests,
+/// examples, and benchmarks. Everything returns shared immutable nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_IR_BUILDER_H
+#define RICHWASM_IR_BUILDER_H
+
+#include "ir/Inst.h"
+#include "ir/Module.h"
+
+namespace rw::ir::build {
+
+inline ArrowType arrow(std::vector<Type> Params, std::vector<Type> Results) {
+  return ArrowType{std::move(Params), std::move(Results)};
+}
+
+// Numeric.
+inline InstRef iconst(int32_t V) {
+  return std::make_shared<NumConstInst>(NumType::I32,
+                                        static_cast<uint32_t>(V));
+}
+inline InstRef uconst(uint32_t V) {
+  return std::make_shared<NumConstInst>(NumType::U32, V);
+}
+inline InstRef i64const(int64_t V) {
+  return std::make_shared<NumConstInst>(NumType::I64,
+                                        static_cast<uint64_t>(V));
+}
+inline InstRef numConst(NumType NT, uint64_t Bits) {
+  return std::make_shared<NumConstInst>(NT, Bits);
+}
+inline InstRef binop(NumType NT, BinopKind Op) {
+  return std::make_shared<NumBinopInst>(NT, Op);
+}
+inline InstRef unop(NumType NT, UnopKind Op) {
+  return std::make_shared<NumUnopInst>(NT, Op);
+}
+inline InstRef relop(NumType NT, RelopKind Op) {
+  return std::make_shared<NumRelopInst>(NT, Op);
+}
+inline InstRef testop(NumType NT) {
+  return std::make_shared<NumTestopInst>(NT, TestopKind::Eqz);
+}
+inline InstRef cvt(NumType From, NumType To,
+                   CvtopKind Op = CvtopKind::Convert) {
+  return std::make_shared<NumCvtInst>(From, To, Op);
+}
+inline InstRef addI32() { return binop(NumType::I32, BinopKind::Add); }
+inline InstRef subI32() { return binop(NumType::I32, BinopKind::Sub); }
+inline InstRef mulI32() { return binop(NumType::I32, BinopKind::Mul); }
+
+// Parametric / control.
+inline InstRef unreachable() {
+  return std::make_shared<SimpleInst>(InstKind::Unreachable);
+}
+inline InstRef nop() { return std::make_shared<SimpleInst>(InstKind::Nop); }
+inline InstRef drop() { return std::make_shared<SimpleInst>(InstKind::Drop); }
+inline InstRef select() {
+  return std::make_shared<SimpleInst>(InstKind::Select);
+}
+inline InstRef ret() {
+  return std::make_shared<SimpleInst>(InstKind::Return);
+}
+inline InstRef block(ArrowType TF, std::vector<LocalEffect> Fx, InstVec Body) {
+  return std::make_shared<BlockInst>(std::move(TF), std::move(Fx),
+                                     std::move(Body));
+}
+inline InstRef loop(ArrowType TF, InstVec Body) {
+  return std::make_shared<LoopInst>(std::move(TF), std::move(Body));
+}
+inline InstRef ifElse(ArrowType TF, std::vector<LocalEffect> Fx, InstVec Then,
+                      InstVec Else) {
+  return std::make_shared<IfInst>(std::move(TF), std::move(Fx),
+                                  std::move(Then), std::move(Else));
+}
+inline InstRef br(uint32_t D) {
+  return std::make_shared<BrInst>(InstKind::Br, D);
+}
+inline InstRef brIf(uint32_t D) {
+  return std::make_shared<BrInst>(InstKind::BrIf, D);
+}
+inline InstRef brTable(std::vector<uint32_t> Ds, uint32_t Dflt) {
+  return std::make_shared<BrTableInst>(std::move(Ds), Dflt);
+}
+
+// Variables.
+inline InstRef getLocal(uint32_t I, Qual Q) {
+  return std::make_shared<GetLocalInst>(I, Q);
+}
+inline InstRef setLocal(uint32_t I) {
+  return std::make_shared<VarIdxInst>(InstKind::SetLocal, I);
+}
+inline InstRef teeLocal(uint32_t I) {
+  return std::make_shared<VarIdxInst>(InstKind::TeeLocal, I);
+}
+inline InstRef getGlobal(uint32_t I) {
+  return std::make_shared<VarIdxInst>(InstKind::GetGlobal, I);
+}
+inline InstRef setGlobal(uint32_t I) {
+  return std::make_shared<VarIdxInst>(InstKind::SetGlobal, I);
+}
+inline InstRef qualify(Qual Q) { return std::make_shared<QualifyInst>(Q); }
+
+// Calls.
+inline InstRef coderef(uint32_t TableIdx) {
+  return std::make_shared<CoderefInst>(TableIdx);
+}
+inline InstRef instIdx(std::vector<Index> Args) {
+  return std::make_shared<InstIdxInst>(std::move(Args));
+}
+inline InstRef callIndirect() {
+  return std::make_shared<SimpleInst>(InstKind::CallIndirect);
+}
+inline InstRef call(uint32_t F, std::vector<Index> Args = {}) {
+  return std::make_shared<CallInst>(F, std::move(Args));
+}
+
+// Recursive types / location packages.
+inline InstRef recFold(PretypeRef P) {
+  return std::make_shared<RecFoldInst>(std::move(P));
+}
+inline InstRef recUnfold() {
+  return std::make_shared<SimpleInst>(InstKind::RecUnfold);
+}
+inline InstRef memPack(Loc L) { return std::make_shared<MemPackInst>(L); }
+inline InstRef memUnpack(ArrowType TF, std::vector<LocalEffect> Fx,
+                         InstVec Body) {
+  return std::make_shared<MemUnpackInst>(std::move(TF), std::move(Fx),
+                                         std::move(Body));
+}
+
+// Tuples / capabilities / references.
+inline InstRef group(uint32_t N, Qual Q) {
+  return std::make_shared<GroupInst>(N, Q);
+}
+inline InstRef ungroup() {
+  return std::make_shared<SimpleInst>(InstKind::Ungroup);
+}
+inline InstRef capSplit() {
+  return std::make_shared<SimpleInst>(InstKind::CapSplit);
+}
+inline InstRef capJoin() {
+  return std::make_shared<SimpleInst>(InstKind::CapJoin);
+}
+inline InstRef refDemote() {
+  return std::make_shared<SimpleInst>(InstKind::RefDemote);
+}
+inline InstRef refSplit() {
+  return std::make_shared<SimpleInst>(InstKind::RefSplit);
+}
+inline InstRef refJoin() {
+  return std::make_shared<SimpleInst>(InstKind::RefJoin);
+}
+
+// Structs.
+inline InstRef structMalloc(std::vector<SizeRef> Sizes, Qual Q) {
+  return std::make_shared<StructMallocInst>(std::move(Sizes), Q);
+}
+inline InstRef structFree() {
+  return std::make_shared<SimpleInst>(InstKind::StructFree);
+}
+inline InstRef structGet(uint32_t I) {
+  return std::make_shared<StructIdxInst>(InstKind::StructGet, I);
+}
+inline InstRef structSet(uint32_t I) {
+  return std::make_shared<StructIdxInst>(InstKind::StructSet, I);
+}
+inline InstRef structSwap(uint32_t I) {
+  return std::make_shared<StructIdxInst>(InstKind::StructSwap, I);
+}
+
+// Variants.
+inline InstRef variantMalloc(uint32_t Tag, std::vector<Type> Cases, Qual Q) {
+  return std::make_shared<VariantMallocInst>(Tag, std::move(Cases), Q);
+}
+inline InstRef variantCase(Qual Q, HeapTypeRef HT, ArrowType TF,
+                           std::vector<LocalEffect> Fx,
+                           std::vector<InstVec> Arms) {
+  return std::make_shared<VariantCaseInst>(Q, std::move(HT), std::move(TF),
+                                           std::move(Fx), std::move(Arms));
+}
+
+// Arrays.
+inline InstRef arrayMalloc(Qual Q) {
+  return std::make_shared<ArrayMallocInst>(Q);
+}
+inline InstRef arrayGet() {
+  return std::make_shared<SimpleInst>(InstKind::ArrayGet);
+}
+inline InstRef arraySet() {
+  return std::make_shared<SimpleInst>(InstKind::ArraySet);
+}
+inline InstRef arrayFree() {
+  return std::make_shared<SimpleInst>(InstKind::ArrayFree);
+}
+
+// Existential packages.
+inline InstRef existPack(PretypeRef Witness, HeapTypeRef HT, Qual Q) {
+  return std::make_shared<ExistPackInst>(std::move(Witness), std::move(HT),
+                                         Q);
+}
+inline InstRef existUnpack(Qual Q, HeapTypeRef HT, ArrowType TF,
+                           std::vector<LocalEffect> Fx, InstVec Body) {
+  return std::make_shared<ExistUnpackInst>(Q, std::move(HT), std::move(TF),
+                                           std::move(Fx), std::move(Body));
+}
+
+// Module assembly.
+inline Function function(std::vector<std::string> Exports, FunTypeRef Ty,
+                         std::vector<SizeRef> Locals, InstVec Body) {
+  Function F;
+  F.Exports = std::move(Exports);
+  F.Ty = std::move(Ty);
+  F.Locals = std::move(Locals);
+  F.Body = std::move(Body);
+  return F;
+}
+inline Function importFunc(ImportName Name, FunTypeRef Ty) {
+  Function F;
+  F.Ty = std::move(Ty);
+  F.Import = std::move(Name);
+  return F;
+}
+
+} // namespace rw::ir::build
+
+#endif // RICHWASM_IR_BUILDER_H

@@ -1,0 +1,119 @@
+//===- ir/Loc.h - RichWasm memory locations ---------------------*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Locations (paper Fig 2: `ℓ ::= ρ | i_unr | i_lin`) name cells in one of
+/// RichWasm's two global memories: the manually-managed *linear* memory and
+/// the garbage-collected *unrestricted* memory. Concrete locations only
+/// arise at runtime; programs abstract over them with location variables
+/// bound by function quantifiers, `∃ρ` packages, and `mem.unpack`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_IR_LOC_H
+#define RICHWASM_IR_LOC_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace rw::ir {
+
+/// Which of the two RichWasm memories a concrete location lives in.
+enum class MemKind : uint8_t { Lin = 0, Unr = 1 };
+
+inline const char *memKindName(MemKind M) {
+  return M == MemKind::Lin ? "lin" : "unr";
+}
+
+/// A location: a de Bruijn location variable, a concrete address in one of
+/// the two memories, or a *skolem* — a fresh eigenvariable the type checker
+/// introduces when opening an ∃ρ binder (it never appears at runtime).
+class Loc {
+public:
+  enum class Kind : uint8_t { Var, Concrete, Skolem };
+
+  static Loc var(uint32_t Idx) {
+    Loc L;
+    L.K = Kind::Var;
+    L.VarIdx = Idx;
+    return L;
+  }
+  static Loc concrete(MemKind M, uint64_t Addr) {
+    Loc L;
+    L.K = Kind::Concrete;
+    L.M = M;
+    L.Addr = Addr;
+    return L;
+  }
+  static Loc skolem(uint64_t Id) {
+    Loc L;
+    L.K = Kind::Skolem;
+    L.Addr = Id;
+    return L;
+  }
+
+  Kind kind() const { return K; }
+  bool isVar() const { return K == Kind::Var; }
+  bool isConcrete() const { return K == Kind::Concrete; }
+  bool isSkolem() const { return K == Kind::Skolem; }
+
+  uint32_t varIndex() const {
+    assert(isVar() && "not a location variable");
+    return VarIdx;
+  }
+  MemKind mem() const {
+    assert(isConcrete() && "not a concrete location");
+    return M;
+  }
+  uint64_t addr() const {
+    assert(isConcrete() && "not a concrete location");
+    return Addr;
+  }
+  uint64_t skolemId() const {
+    assert(isSkolem() && "not a skolem location");
+    return Addr;
+  }
+
+  bool operator==(const Loc &O) const {
+    if (K != O.K)
+      return false;
+    switch (K) {
+    case Kind::Var:
+      return VarIdx == O.VarIdx;
+    case Kind::Concrete:
+      return M == O.M && Addr == O.Addr;
+    case Kind::Skolem:
+      return Addr == O.Addr;
+    }
+    return false;
+  }
+  bool operator!=(const Loc &O) const { return !(*this == O); }
+
+  std::string str() const {
+    switch (K) {
+    case Kind::Var:
+      return "ρ" + std::to_string(VarIdx);
+    case Kind::Concrete:
+      return std::to_string(Addr) + (M == MemKind::Lin ? "ₗ" : "ᵤ");
+    case Kind::Skolem:
+      return "ℓ#" + std::to_string(Addr);
+    }
+    return "<loc>";
+  }
+
+private:
+  Loc() = default;
+
+  Kind K = Kind::Var;
+  uint32_t VarIdx = 0;
+  MemKind M = MemKind::Lin;
+  uint64_t Addr = 0;
+};
+
+} // namespace rw::ir
+
+#endif // RICHWASM_IR_LOC_H

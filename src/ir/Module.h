@@ -1,0 +1,84 @@
+//===- ir/Module.h - RichWasm modules ---------------------------*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Top-level declarations (Fig 2): functions (defined or imported), globals,
+/// a function table for indirect calls, and exports. A module is the unit of
+/// separate compilation and of linking; cross-module memory safety is
+/// exactly what the RichWasm type checker enforces at link boundaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_IR_MODULE_H
+#define RICHWASM_IR_MODULE_H
+
+#include "ir/Inst.h"
+#include "ir/Types.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rw::ir {
+
+/// A two-part import name, e.g. `ml.stash` in Fig 3.
+struct ImportName {
+  std::string Module;
+  std::string Name;
+};
+
+/// A function: either defined (with local slot sizes and a body) or
+/// imported. Imported functions still declare their full RichWasm type so
+/// that cross-module calls are checked.
+struct Function {
+  std::vector<std::string> Exports;
+  FunTypeRef Ty;
+  /// Slot sizes of the locals *beyond* the parameters. Locals are not tied
+  /// to one type; they start as unrestricted unit and may be strongly
+  /// updated with any value that fits the slot.
+  std::vector<SizeRef> Locals;
+  InstVec Body;
+  std::optional<ImportName> Import;
+
+  bool isImport() const { return Import.has_value(); }
+};
+
+/// A global declaration. Globals hold unrestricted values; mutable globals
+/// support type-preserving updates only. Init runs during instantiation
+/// with an empty stack and must leave exactly one value of the declared
+/// pretype.
+struct Global {
+  std::vector<std::string> Exports;
+  bool Mut = false;
+  PretypeRef P;
+  InstVec Init;
+  std::optional<ImportName> Import;
+
+  bool isImport() const { return Import.has_value(); }
+};
+
+/// The function table used by indirect calls: a list of function indices.
+struct Table {
+  std::vector<std::string> Exports;
+  std::vector<uint32_t> Entries;
+  std::optional<ImportName> Import;
+};
+
+/// A RichWasm module.
+struct Module {
+  std::string Name;
+  std::vector<Function> Funcs;
+  std::vector<Global> Globals;
+  Table Tab;
+  /// Index of an optional start function run at instantiation (an
+  /// extension over the paper's grammar, needed by the ML frontend to
+  /// initialize heap-allocated globals).
+  std::optional<uint32_t> Start;
+};
+
+} // namespace rw::ir
+
+#endif // RICHWASM_IR_MODULE_H

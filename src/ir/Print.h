@@ -1,0 +1,36 @@
+//===- ir/Print.h - Text rendering of RichWasm IR ---------------*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A human-readable S-expression-flavoured printer for every production of
+/// Fig 2 — used by diagnostics, tests, and the examples. Printing is total:
+/// any well-formed tree renders without side conditions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_IR_PRINT_H
+#define RICHWASM_IR_PRINT_H
+
+#include "ir/Inst.h"
+#include "ir/Module.h"
+#include "ir/Types.h"
+
+#include <string>
+
+namespace rw::ir {
+
+std::string printType(const Type &T);
+std::string printPretype(const PretypeRef &P);
+std::string printHeapType(const HeapTypeRef &H);
+std::string printFunType(const FunType &F);
+std::string printArrow(const ArrowType &A);
+std::string printInst(const Inst &I, unsigned Indent = 0);
+std::string printInsts(const InstVec &Insts, unsigned Indent = 0);
+std::string printModule(const Module &M);
+
+} // namespace rw::ir
+
+#endif // RICHWASM_IR_PRINT_H

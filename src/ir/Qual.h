@@ -1,0 +1,80 @@
+//===- ir/Qual.h - RichWasm qualifiers --------------------------*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Qualifiers annotate pretypes with their substructural discipline
+/// (paper §2.1): `unr` values may be freely duplicated and dropped, `lin`
+/// values must be used exactly once, and qualifier *variables* are bound by
+/// function quantifiers with lower/upper bound constraints. The ordering is
+/// `unr ⪯ lin`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_IR_QUAL_H
+#define RICHWASM_IR_QUAL_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace rw::ir {
+
+/// Concrete qualifier constants, ordered unr ⪯ lin.
+enum class QualConst : uint8_t { Unr = 0, Lin = 1 };
+
+/// A qualifier: either a concrete constant or a de Bruijn variable bound by
+/// an enclosing function quantifier (δ in the paper's grammar).
+class Qual {
+public:
+  /// The unrestricted constant qualifier.
+  static Qual unr() { return Qual(QualConst::Unr); }
+  /// The linear constant qualifier.
+  static Qual lin() { return Qual(QualConst::Lin); }
+  /// A qualifier variable with de Bruijn index \p Idx (innermost binder 0).
+  static Qual var(uint32_t Idx) {
+    Qual Q(QualConst::Unr);
+    Q.VarIdx = static_cast<int64_t>(Idx);
+    return Q;
+  }
+
+  bool isVar() const { return VarIdx >= 0; }
+  bool isConst() const { return VarIdx < 0; }
+
+  uint32_t varIndex() const {
+    assert(isVar() && "not a qualifier variable");
+    return static_cast<uint32_t>(VarIdx);
+  }
+  QualConst constValue() const {
+    assert(isConst() && "not a concrete qualifier");
+    return C;
+  }
+
+  bool isUnrConst() const { return isConst() && C == QualConst::Unr; }
+  bool isLinConst() const { return isConst() && C == QualConst::Lin; }
+
+  bool operator==(const Qual &Other) const {
+    if (isVar() != Other.isVar())
+      return false;
+    return isVar() ? VarIdx == Other.VarIdx : C == Other.C;
+  }
+  bool operator!=(const Qual &Other) const { return !(*this == Other); }
+
+  std::string str() const {
+    if (isVar())
+      return "δ" + std::to_string(VarIdx);
+    return C == QualConst::Unr ? "unr" : "lin";
+  }
+
+private:
+  explicit Qual(QualConst C) : C(C) {}
+
+  int64_t VarIdx = -1; ///< >= 0 when this is a variable.
+  QualConst C;
+};
+
+} // namespace rw::ir
+
+#endif // RICHWASM_IR_QUAL_H

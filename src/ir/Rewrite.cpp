@@ -1,0 +1,477 @@
+//===- ir/Rewrite.cpp - Shift and substitution implementations -----------===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Rewrite.h"
+
+#include <cassert>
+
+using namespace rw;
+using namespace rw::ir;
+
+//===----------------------------------------------------------------------===//
+// TypeRewriter traversal
+//===----------------------------------------------------------------------===//
+
+Qual TypeRewriter::rewrite(Qual Q) {
+  if (Q.isVar())
+    return onQualVar(Q.varIndex());
+  return Q;
+}
+
+SizeRef TypeRewriter::rewrite(const SizeRef &S) {
+  assert(S && "rewriting a null size");
+  switch (S->kind()) {
+  case Size::Kind::Const:
+    return S;
+  case Size::Kind::Var:
+    return onSizeVar(S->varIndex());
+  case Size::Kind::Plus:
+    return Size::plus(rewrite(S->lhs()), rewrite(S->rhs()));
+  }
+  return S;
+}
+
+Loc TypeRewriter::rewrite(const Loc &L) {
+  if (L.isVar())
+    return onLocVar(L.varIndex());
+  return L;
+}
+
+Type TypeRewriter::rewrite(const Type &T) {
+  return Type(rewrite(T.P), rewrite(T.Q));
+}
+
+PretypeRef TypeRewriter::rewrite(const PretypeRef &P) {
+  assert(P && "rewriting a null pretype");
+  switch (P->kind()) {
+  case PretypeKind::Unit:
+  case PretypeKind::Num:
+  case PretypeKind::Skolem:
+    return P;
+  case PretypeKind::Var:
+    return onTypeVar(cast<VarPT>(P.get())->index());
+  case PretypeKind::Prod: {
+    const auto *Prod = cast<ProdPT>(P.get());
+    std::vector<Type> Elems;
+    Elems.reserve(Prod->elems().size());
+    for (const Type &T : Prod->elems())
+      Elems.push_back(rewrite(T));
+    return prodPT(std::move(Elems));
+  }
+  case PretypeKind::Ref: {
+    const auto *R = cast<RefPT>(P.get());
+    return refPT(R->privilege(), rewrite(R->loc()), rewrite(R->heapType()));
+  }
+  case PretypeKind::Ptr:
+    return ptrPT(rewrite(cast<PtrPT>(P.get())->loc()));
+  case PretypeKind::Cap: {
+    const auto *C = cast<CapPT>(P.get());
+    return capPT(C->privilege(), rewrite(C->loc()), rewrite(C->heapType()));
+  }
+  case PretypeKind::Own:
+    return ownPT(rewrite(cast<OwnPT>(P.get())->loc()));
+  case PretypeKind::Rec: {
+    const auto *R = cast<RecPT>(P.get());
+    Qual Bound = rewrite(R->bound());
+    enterType();
+    Type Body = rewrite(R->body());
+    exitType();
+    return recPT(Bound, std::move(Body));
+  }
+  case PretypeKind::ExLoc: {
+    enterLoc();
+    Type Body = rewrite(cast<ExLocPT>(P.get())->body());
+    exitLoc();
+    return exLocPT(std::move(Body));
+  }
+  case PretypeKind::Coderef:
+    return coderefPT(rewrite(cast<CoderefPT>(P.get())->funType()));
+  }
+  return P;
+}
+
+HeapTypeRef TypeRewriter::rewrite(const HeapTypeRef &H) {
+  assert(H && "rewriting a null heap type");
+  switch (H->kind()) {
+  case HeapTypeKind::Variant: {
+    const auto *V = cast<VariantHT>(H.get());
+    std::vector<Type> Cases;
+    Cases.reserve(V->cases().size());
+    for (const Type &T : V->cases())
+      Cases.push_back(rewrite(T));
+    return variantHT(std::move(Cases));
+  }
+  case HeapTypeKind::Struct: {
+    const auto *S = cast<StructHT>(H.get());
+    std::vector<StructField> Fields;
+    Fields.reserve(S->fields().size());
+    for (const StructField &F : S->fields())
+      Fields.push_back({rewrite(F.T), rewrite(F.Slot)});
+    return structHT(std::move(Fields));
+  }
+  case HeapTypeKind::Array:
+    return arrayHT(rewrite(cast<ArrayHT>(H.get())->elem()));
+  case HeapTypeKind::Ex: {
+    const auto *E = cast<ExHT>(H.get());
+    Qual QL = rewrite(E->qualLower());
+    SizeRef SU = rewrite(E->sizeUpper());
+    enterType();
+    Type Body = rewrite(E->body());
+    exitType();
+    return exHT(QL, std::move(SU), std::move(Body));
+  }
+  }
+  return H;
+}
+
+ArrowType TypeRewriter::rewrite(const ArrowType &A) {
+  ArrowType Out;
+  Out.Params.reserve(A.Params.size());
+  Out.Results.reserve(A.Results.size());
+  for (const Type &T : A.Params)
+    Out.Params.push_back(rewrite(T));
+  for (const Type &T : A.Results)
+    Out.Results.push_back(rewrite(T));
+  return Out;
+}
+
+Quant TypeRewriter::rewrite(const Quant &Q) {
+  Quant Out;
+  Out.K = Q.K;
+  switch (Q.K) {
+  case QuantKind::Loc:
+    break;
+  case QuantKind::Size:
+    for (const SizeRef &S : Q.SizeLower)
+      Out.SizeLower.push_back(rewrite(S));
+    for (const SizeRef &S : Q.SizeUpper)
+      Out.SizeUpper.push_back(rewrite(S));
+    break;
+  case QuantKind::Qual:
+    for (Qual X : Q.QualLower)
+      Out.QualLower.push_back(rewrite(X));
+    for (Qual X : Q.QualUpper)
+      Out.QualUpper.push_back(rewrite(X));
+    break;
+  case QuantKind::Type:
+    Out.TypeQualLower = rewrite(Q.TypeQualLower);
+    Out.TypeSizeUpper = rewrite(Q.TypeSizeUpper);
+    Out.TypeNoCaps = Q.TypeNoCaps;
+    break;
+  }
+  return Out;
+}
+
+Index TypeRewriter::rewrite(const Index &I) {
+  Index Out;
+  Out.K = I.K;
+  switch (I.K) {
+  case QuantKind::Loc:
+    Out.L = rewrite(I.L);
+    break;
+  case QuantKind::Size:
+    Out.Sz = rewrite(I.Sz);
+    break;
+  case QuantKind::Qual:
+    Out.Q = rewrite(I.Q);
+    break;
+  case QuantKind::Type:
+    Out.P = rewrite(I.P);
+    break;
+  }
+  return Out;
+}
+
+FunTypeRef TypeRewriter::rewrite(const FunTypeRef &F) {
+  assert(F && "rewriting a null function type");
+  std::vector<Quant> Quants;
+  Quants.reserve(F->quants().size());
+  // Each quantifier's constraints see the binders declared before it.
+  unsigned NLoc = 0, NSize = 0, NQual = 0, NType = 0;
+  for (const Quant &Q : F->quants()) {
+    Quants.push_back(rewrite(Q));
+    switch (Q.K) {
+    case QuantKind::Loc:
+      enterLoc();
+      ++NLoc;
+      break;
+    case QuantKind::Size:
+      enterSize();
+      ++NSize;
+      break;
+    case QuantKind::Qual:
+      enterQual();
+      ++NQual;
+      break;
+    case QuantKind::Type:
+      enterType();
+      ++NType;
+      break;
+    }
+  }
+  ArrowType Arrow = rewrite(F->arrow());
+  for (unsigned I = 0; I < NLoc; ++I)
+    exitLoc();
+  for (unsigned I = 0; I < NSize; ++I)
+    exitSize();
+  for (unsigned I = 0; I < NQual; ++I)
+    exitQual();
+  for (unsigned I = 0; I < NType; ++I)
+    exitType();
+  return FunType::get(std::move(Quants), std::move(Arrow));
+}
+
+//===----------------------------------------------------------------------===//
+// Subst
+//===----------------------------------------------------------------------===//
+
+Subst Subst::fromIndices(const std::vector<Index> &Args) {
+  Subst S;
+  for (const Index &I : Args) {
+    switch (I.K) {
+    case QuantKind::Loc:
+      S.Locs.push_back(I.L);
+      break;
+    case QuantKind::Size:
+      S.Sizes.push_back(I.Sz);
+      break;
+    case QuantKind::Qual:
+      S.Quals.push_back(I.Q);
+      break;
+    case QuantKind::Type:
+      S.Types.push_back(I.P);
+      break;
+    }
+  }
+  return S;
+}
+
+Qual Subst::onQualVar(uint32_t Idx) {
+  if (Idx < QualDepth)
+    return Qual::var(Idx);
+  uint32_t J = Idx - QualDepth;
+  size_t M = Quals.size();
+  if (J < M) {
+    Qual Rep = Quals[M - 1 - J];
+    if (Rep.isVar())
+      return Qual::var(Rep.varIndex() + QualDepth);
+    return Rep;
+  }
+  return Qual::var(Idx - static_cast<uint32_t>(M));
+}
+
+SizeRef Subst::onSizeVar(uint32_t Idx) {
+  if (Idx < SizeDepth)
+    return Size::var(Idx);
+  uint32_t J = Idx - SizeDepth;
+  size_t M = Sizes.size();
+  if (J < M) {
+    Shifter Sh(LocDepth, SizeDepth, QualDepth, TypeDepth);
+    return Sh.rewrite(Sizes[M - 1 - J]);
+  }
+  return Size::var(Idx - static_cast<uint32_t>(M));
+}
+
+Loc Subst::onLocVar(uint32_t Idx) {
+  if (Idx < LocDepth)
+    return Loc::var(Idx);
+  uint32_t J = Idx - LocDepth;
+  size_t M = Locs.size();
+  if (J < M) {
+    Loc Rep = Locs[M - 1 - J];
+    if (Rep.isVar())
+      return Loc::var(Rep.varIndex() + LocDepth);
+    return Rep;
+  }
+  return Loc::var(Idx - static_cast<uint32_t>(M));
+}
+
+PretypeRef Subst::onTypeVar(uint32_t Idx) {
+  if (Idx < TypeDepth)
+    return varPT(Idx);
+  uint32_t J = Idx - TypeDepth;
+  size_t M = Types.size();
+  if (J < M) {
+    Shifter Sh(LocDepth, SizeDepth, QualDepth, TypeDepth);
+    return Sh.rewrite(Types[M - 1 - J]);
+  }
+  return varPT(Idx - static_cast<uint32_t>(M));
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction rewriting
+//===----------------------------------------------------------------------===//
+
+static std::vector<LocalEffect> rewriteFx(const std::vector<LocalEffect> &Fx,
+                                          TypeRewriter &RW) {
+  std::vector<LocalEffect> Out;
+  Out.reserve(Fx.size());
+  for (const LocalEffect &E : Fx)
+    Out.push_back({E.LocalIdx, RW.rewrite(E.T)});
+  return Out;
+}
+
+static std::vector<Index> rewriteArgs(const std::vector<Index> &Args,
+                                      TypeRewriter &RW) {
+  std::vector<Index> Out;
+  Out.reserve(Args.size());
+  for (const Index &I : Args)
+    Out.push_back(RW.rewrite(I));
+  return Out;
+}
+
+InstVec rw::ir::rewriteInsts(const InstVec &Insts, TypeRewriter &RW) {
+  InstVec Out;
+  Out.reserve(Insts.size());
+  for (const InstRef &I : Insts)
+    Out.push_back(rewriteInst(I, RW));
+  return Out;
+}
+
+InstRef rw::ir::rewriteInst(const InstRef &I, TypeRewriter &RW) {
+  assert(I && "rewriting a null instruction");
+  switch (I->kind()) {
+  case InstKind::NumConst:
+  case InstKind::NumUnop:
+  case InstKind::NumBinop:
+  case InstKind::NumTestop:
+  case InstKind::NumRelop:
+  case InstKind::NumCvt:
+  case InstKind::Br:
+  case InstKind::BrIf:
+  case InstKind::BrTable:
+  case InstKind::SetLocal:
+  case InstKind::TeeLocal:
+  case InstKind::GetGlobal:
+  case InstKind::SetGlobal:
+  case InstKind::CoderefI:
+    return I; // No embedded type-level material.
+  default:
+    break;
+  }
+  if (isa<SimpleInst>(I.get()))
+    return I;
+
+  switch (I->kind()) {
+  case InstKind::Block: {
+    const auto *B = cast<BlockInst>(I.get());
+    return std::make_shared<BlockInst>(RW.rewrite(B->arrow()),
+                                       rewriteFx(B->effects(), RW),
+                                       rewriteInsts(B->body(), RW));
+  }
+  case InstKind::Loop: {
+    const auto *L = cast<LoopInst>(I.get());
+    return std::make_shared<LoopInst>(RW.rewrite(L->arrow()),
+                                      rewriteInsts(L->body(), RW));
+  }
+  case InstKind::If: {
+    const auto *F = cast<IfInst>(I.get());
+    return std::make_shared<IfInst>(
+        RW.rewrite(F->arrow()), rewriteFx(F->effects(), RW),
+        rewriteInsts(F->thenBody(), RW), rewriteInsts(F->elseBody(), RW));
+  }
+  case InstKind::GetLocal: {
+    const auto *G = cast<GetLocalInst>(I.get());
+    return std::make_shared<GetLocalInst>(G->index(), RW.rewrite(G->qual()));
+  }
+  case InstKind::Qualify:
+    return std::make_shared<QualifyInst>(
+        RW.rewrite(cast<QualifyInst>(I.get())->qual()));
+  case InstKind::InstIdx:
+    return std::make_shared<InstIdxInst>(
+        rewriteArgs(cast<InstIdxInst>(I.get())->args(), RW));
+  case InstKind::Call: {
+    const auto *C = cast<CallInst>(I.get());
+    return std::make_shared<CallInst>(C->funcIndex(),
+                                      rewriteArgs(C->args(), RW));
+  }
+  case InstKind::RecFold:
+    return std::make_shared<RecFoldInst>(
+        RW.rewrite(cast<RecFoldInst>(I.get())->pretype()));
+  case InstKind::MemPack:
+    return std::make_shared<MemPackInst>(
+        RW.rewrite(cast<MemPackInst>(I.get())->loc()));
+  case InstKind::MemUnpack: {
+    const auto *M = cast<MemUnpackInst>(I.get());
+    ArrowType TF = RW.rewrite(M->arrow());
+    std::vector<LocalEffect> Fx = rewriteFx(M->effects(), RW);
+    RW.enterLoc();
+    InstVec Body = rewriteInsts(M->body(), RW);
+    RW.exitLoc();
+    return std::make_shared<MemUnpackInst>(std::move(TF), std::move(Fx),
+                                           std::move(Body));
+  }
+  case InstKind::Group: {
+    const auto *G = cast<GroupInst>(I.get());
+    return std::make_shared<GroupInst>(G->count(), RW.rewrite(G->qual()));
+  }
+  case InstKind::StructMalloc: {
+    const auto *S = cast<StructMallocInst>(I.get());
+    std::vector<SizeRef> Sizes;
+    Sizes.reserve(S->sizes().size());
+    for (const SizeRef &Sz : S->sizes())
+      Sizes.push_back(RW.rewrite(Sz));
+    return std::make_shared<StructMallocInst>(std::move(Sizes),
+                                              RW.rewrite(S->qual()));
+  }
+  case InstKind::StructGet:
+  case InstKind::StructSet:
+  case InstKind::StructSwap:
+    return I;
+  case InstKind::VariantMalloc: {
+    const auto *V = cast<VariantMallocInst>(I.get());
+    std::vector<Type> Cases;
+    Cases.reserve(V->cases().size());
+    for (const Type &T : V->cases())
+      Cases.push_back(RW.rewrite(T));
+    return std::make_shared<VariantMallocInst>(V->tag(), std::move(Cases),
+                                               RW.rewrite(V->qual()));
+  }
+  case InstKind::VariantCase: {
+    const auto *V = cast<VariantCaseInst>(I.get());
+    std::vector<InstVec> Arms;
+    Arms.reserve(V->arms().size());
+    for (const InstVec &Arm : V->arms())
+      Arms.push_back(rewriteInsts(Arm, RW));
+    return std::make_shared<VariantCaseInst>(
+        RW.rewrite(V->qual()), RW.rewrite(V->heapType()),
+        RW.rewrite(V->arrow()), rewriteFx(V->effects(), RW), std::move(Arms));
+  }
+  case InstKind::ArrayMalloc:
+    return std::make_shared<ArrayMallocInst>(
+        RW.rewrite(cast<ArrayMallocInst>(I.get())->qual()));
+  case InstKind::ExistPack: {
+    const auto *E = cast<ExistPackInst>(I.get());
+    return std::make_shared<ExistPackInst>(RW.rewrite(E->witness()),
+                                           RW.rewrite(E->heapType()),
+                                           RW.rewrite(E->qual()));
+  }
+  case InstKind::ExistUnpack: {
+    const auto *E = cast<ExistUnpackInst>(I.get());
+    Qual Q = RW.rewrite(E->qual());
+    HeapTypeRef HT = RW.rewrite(E->heapType());
+    ArrowType TF = RW.rewrite(E->arrow());
+    std::vector<LocalEffect> Fx = rewriteFx(E->effects(), RW);
+    RW.enterType();
+    InstVec Body = rewriteInsts(E->body(), RW);
+    RW.exitType();
+    return std::make_shared<ExistUnpackInst>(Q, std::move(HT), std::move(TF),
+                                             std::move(Fx), std::move(Body));
+  }
+  default:
+    break;
+  }
+  assert(false && "unhandled instruction kind in rewriteInst");
+  return I;
+}
+
+ArrowType rw::ir::instantiateFunType(const FunType &FT,
+                                     const std::vector<Index> &Args) {
+  assert(FT.quants().size() == Args.size() &&
+         "instantiation arity mismatch (checked by the type checker)");
+  Subst S = Subst::fromIndices(Args);
+  return S.rewrite(FT.arrow());
+}

@@ -1,0 +1,148 @@
+//===- ir/Rewrite.h - Shift and substitution over types/insts ---*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generic structural rewriting over RichWasm types and instruction trees.
+/// TypeRewriter walks a type maintaining per-kind binder depths (location,
+/// size, qualifier, pretype) and dispatches free-variable occurrences to
+/// overridable hooks. Two standard rewriters are provided:
+///
+///  * Shifter — adds a delta to every free variable of selected kinds;
+///  * Subst — simultaneously replaces an outermost group of binders (as
+///    when instantiating a function type's quantifier list at a call site,
+///    or opening a single rec/∃ binder), shifting replacements as they move
+///    under binders.
+///
+/// rewriteInsts clones an instruction tree through a TypeRewriter, entering
+/// binder scopes for mem.unpack (location) and exist.unpack (pretype)
+/// bodies — this is what call-time substitution e*[z*/κ*] in Fig 4 uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_IR_REWRITE_H
+#define RICHWASM_IR_REWRITE_H
+
+#include "ir/Inst.h"
+#include "ir/Types.h"
+
+namespace rw::ir {
+
+/// Depth-tracking structural rewriter over types.
+class TypeRewriter {
+public:
+  virtual ~TypeRewriter() = default;
+
+  Qual rewrite(Qual Q);
+  SizeRef rewrite(const SizeRef &S);
+  virtual Loc rewrite(const Loc &L);
+  Type rewrite(const Type &T);
+  PretypeRef rewrite(const PretypeRef &P);
+  HeapTypeRef rewrite(const HeapTypeRef &H);
+  FunTypeRef rewrite(const FunTypeRef &F);
+  ArrowType rewrite(const ArrowType &A);
+  Quant rewrite(const Quant &Q);
+  Index rewrite(const Index &I);
+
+  /// Binder-scope management, public so the instruction rewriter can enter
+  /// the scopes opened by mem.unpack / exist.unpack bodies.
+  void enterLoc() { ++LocDepth; }
+  void exitLoc() { --LocDepth; }
+  void enterType() { ++TypeDepth; }
+  void exitType() { --TypeDepth; }
+  void enterSize() { ++SizeDepth; }
+  void exitSize() { --SizeDepth; }
+  void enterQual() { ++QualDepth; }
+  void exitQual() { --QualDepth; }
+
+protected:
+  /// Hooks receive the raw de Bruijn index of a variable occurrence; the
+  /// current depths are available as members. Defaults are the identity.
+  virtual Qual onQualVar(uint32_t Idx) { return Qual::var(Idx); }
+  virtual SizeRef onSizeVar(uint32_t Idx) { return Size::var(Idx); }
+  virtual Loc onLocVar(uint32_t Idx) { return Loc::var(Idx); }
+  virtual PretypeRef onTypeVar(uint32_t Idx) { return varPT(Idx); }
+
+  uint32_t LocDepth = 0;
+  uint32_t SizeDepth = 0;
+  uint32_t QualDepth = 0;
+  uint32_t TypeDepth = 0;
+};
+
+/// Adds per-kind deltas to all free variables (those with index >= the
+/// depth at their occurrence).
+class Shifter : public TypeRewriter {
+public:
+  Shifter(uint32_t DLoc, uint32_t DSize, uint32_t DQual, uint32_t DType)
+      : DLoc(DLoc), DSize(DSize), DQual(DQual), DType(DType) {}
+
+protected:
+  Qual onQualVar(uint32_t Idx) override {
+    return Qual::var(Idx >= QualDepth ? Idx + DQual : Idx);
+  }
+  SizeRef onSizeVar(uint32_t Idx) override {
+    return Size::var(Idx >= SizeDepth ? Idx + DSize : Idx);
+  }
+  Loc onLocVar(uint32_t Idx) override {
+    return Loc::var(Idx >= LocDepth ? Idx + DLoc : Idx);
+  }
+  PretypeRef onTypeVar(uint32_t Idx) override {
+    return varPT(Idx >= TypeDepth ? Idx + DType : Idx);
+  }
+
+private:
+  uint32_t DLoc, DSize, DQual, DType;
+};
+
+/// Simultaneous substitution of an outermost binder group. Replacement
+/// vectors are ordered *outermost binder first* (the order of a function
+/// type's quantifier list); binders beyond the replaced group are stripped
+/// (their indices drop by the group size). Replacements are shifted by the
+/// current depths as they move under binders.
+class Subst : public TypeRewriter {
+public:
+  std::vector<Loc> Locs;
+  std::vector<SizeRef> Sizes;
+  std::vector<Qual> Quals;
+  std::vector<PretypeRef> Types;
+
+  /// Builds a substitution from a quantifier instantiation list (the κ*/z*
+  /// of call/inst), splitting the indices by kind.
+  static Subst fromIndices(const std::vector<Index> &Args);
+
+  /// Substitution of a single location binder (mem.unpack).
+  static Subst oneLoc(Loc L) {
+    Subst S;
+    S.Locs.push_back(L);
+    return S;
+  }
+  /// Substitution of a single pretype binder (rec unfold, exist.unpack).
+  static Subst onePretype(PretypeRef P) {
+    Subst S;
+    S.Types.push_back(std::move(P));
+    return S;
+  }
+
+protected:
+  Qual onQualVar(uint32_t Idx) override;
+  SizeRef onSizeVar(uint32_t Idx) override;
+  Loc onLocVar(uint32_t Idx) override;
+  PretypeRef onTypeVar(uint32_t Idx) override;
+};
+
+/// Clones an instruction sequence, rewriting every embedded type, size,
+/// qualifier, location, and instantiation index through \p RW. Binder
+/// scopes introduced by instruction forms are entered appropriately.
+InstVec rewriteInsts(const InstVec &Insts, TypeRewriter &RW);
+InstRef rewriteInst(const InstRef &I, TypeRewriter &RW);
+
+/// Instantiates the full quantifier list of \p FT with \p Args, yielding
+/// the monomorphic arrow. Asserts that counts and kinds line up (the type
+/// checker validates this before use).
+ArrowType instantiateFunType(const FunType &FT, const std::vector<Index> &Args);
+
+} // namespace rw::ir
+
+#endif // RICHWASM_IR_REWRITE_H

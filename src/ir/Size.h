@@ -1,0 +1,150 @@
+//===- ir/Size.h - RichWasm size expressions --------------------*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sizes (paper §2.1, Fig 2: `sz ::= σ | sz + sz | i`) measure memory slots
+/// in *bits*. They appear in struct field declarations, local slot
+/// declarations, and as upper bounds on type variables; the type system
+/// tracks them to make strong updates safe in flat memory. A size is a
+/// constant, a de Bruijn size variable, or a sum.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_IR_SIZE_H
+#define RICHWASM_IR_SIZE_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rw::ir {
+
+class Size;
+using SizeRef = std::shared_ptr<const Size>;
+
+/// A size expression tree.
+class Size {
+public:
+  enum class Kind : uint8_t { Const, Var, Plus };
+
+  /// Creates the constant size \p Bits.
+  static SizeRef constant(uint64_t Bits) {
+    auto S = std::make_shared<Size>(Kind::Const);
+    S->ConstBits = Bits;
+    return S;
+  }
+  /// Creates a size variable with de Bruijn index \p Idx.
+  static SizeRef var(uint32_t Idx) {
+    auto S = std::make_shared<Size>(Kind::Var);
+    S->VarIdx = Idx;
+    return S;
+  }
+  /// Creates the sum \p L + \p R.
+  static SizeRef plus(SizeRef L, SizeRef R) {
+    assert(L && R && "plus of null sizes");
+    auto S = std::make_shared<Size>(Kind::Plus);
+    S->LHS = std::move(L);
+    S->RHS = std::move(R);
+    return S;
+  }
+
+  explicit Size(Kind K) : K(K) {}
+
+  Kind kind() const { return K; }
+  uint64_t constBits() const {
+    assert(K == Kind::Const && "not a constant size");
+    return ConstBits;
+  }
+  uint32_t varIndex() const {
+    assert(K == Kind::Var && "not a size variable");
+    return VarIdx;
+  }
+  const SizeRef &lhs() const {
+    assert(K == Kind::Plus && "not a sum");
+    return LHS;
+  }
+  const SizeRef &rhs() const {
+    assert(K == Kind::Plus && "not a sum");
+    return RHS;
+  }
+
+  std::string str() const {
+    switch (K) {
+    case Kind::Const:
+      return std::to_string(ConstBits);
+    case Kind::Var:
+      return "σ" + std::to_string(VarIdx);
+    case Kind::Plus:
+      return "(" + LHS->str() + " + " + RHS->str() + ")";
+    }
+    return "<size>";
+  }
+
+private:
+  Kind K;
+  uint64_t ConstBits = 0;
+  uint32_t VarIdx = 0;
+  SizeRef LHS, RHS;
+};
+
+/// The normal form of a size: a constant plus a sorted multiset of size
+/// variables. Two sizes are structurally equal iff their normal forms match.
+struct NormalSize {
+  uint64_t Const = 0;
+  std::vector<uint32_t> Vars; ///< Sorted, with multiplicity.
+
+  bool operator==(const NormalSize &O) const {
+    return Const == O.Const && Vars == O.Vars;
+  }
+
+  /// True when this size is a closed constant (no variables).
+  bool isConst() const { return Vars.empty(); }
+};
+
+/// Flattens \p S into its normal form.
+inline NormalSize normalizeSize(const SizeRef &S) {
+  NormalSize N;
+  // Iterative worklist to avoid deep recursion on pathological sums.
+  std::vector<const Size *> Work = {S.get()};
+  while (!Work.empty()) {
+    const Size *Cur = Work.back();
+    Work.pop_back();
+    assert(Cur && "null size in normalization");
+    switch (Cur->kind()) {
+    case Size::Kind::Const:
+      N.Const += Cur->constBits();
+      break;
+    case Size::Kind::Var:
+      N.Vars.push_back(Cur->varIndex());
+      break;
+    case Size::Kind::Plus:
+      Work.push_back(Cur->lhs().get());
+      Work.push_back(Cur->rhs().get());
+      break;
+    }
+  }
+  std::sort(N.Vars.begin(), N.Vars.end());
+  return N;
+}
+
+/// Structural equality modulo associativity/commutativity of `+`.
+inline bool sizeEquals(const SizeRef &A, const SizeRef &B) {
+  return normalizeSize(A) == normalizeSize(B);
+}
+
+/// Returns the constant value of a closed size, asserting closedness.
+inline uint64_t closedSizeBits(const SizeRef &S) {
+  NormalSize N = normalizeSize(S);
+  assert(N.isConst() && "size is not closed");
+  return N.Const;
+}
+
+} // namespace rw::ir
+
+#endif // RICHWASM_IR_SIZE_H

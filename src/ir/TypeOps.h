@@ -1,0 +1,47 @@
+//===- ir/TypeOps.h - Size metafunction and misc type operations -*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The size metafunction ||τ|| of the paper: computes the (possibly
+/// symbolic) number of bits a value of type τ occupies in a slot. Type
+/// variables contribute their declared upper bound, looked up in a type
+/// context; references, pointers, and code references are one 64-bit word;
+/// erased entities (unit, cap, own) are zero bits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_IR_TYPEOPS_H
+#define RICHWASM_IR_TYPEOPS_H
+
+#include "ir/Types.h"
+
+#include <vector>
+
+namespace rw::ir {
+
+/// Per-index size upper bounds for the pretype variables in scope,
+/// innermost binder first (index 0 = most recently bound).
+using TypeVarSizes = std::vector<SizeRef>;
+
+/// Computes ||τ|| under \p Bounds. A rec-bound variable is assigned 64 bits
+/// (well-formedness guarantees it only occurs behind a reference, so the
+/// value is never consulted for layout).
+SizeRef sizeOfPretype(const PretypeRef &P, const TypeVarSizes &Bounds);
+inline SizeRef sizeOfType(const Type &T, const TypeVarSizes &Bounds) {
+  return sizeOfPretype(T.P, Bounds);
+}
+
+/// True if the pretype syntactically cannot contain a capability or
+/// ownership token (the paper's no_caps predicate). Type variables are
+/// capability-free iff their quantifier says so, which \p VarNoCaps
+/// records per index (innermost first).
+bool pretypeNoCaps(const PretypeRef &P, const std::vector<bool> &VarNoCaps);
+bool typeNoCaps(const Type &T, const std::vector<bool> &VarNoCaps);
+bool heapTypeNoCaps(const HeapTypeRef &H, const std::vector<bool> &VarNoCaps);
+
+} // namespace rw::ir
+
+#endif // RICHWASM_IR_TYPEOPS_H

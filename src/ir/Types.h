@@ -1,0 +1,546 @@
+//===- ir/Types.h - RichWasm value, heap, and function types ----*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The RichWasm type grammar of Fig 2:
+///
+///   pretypes  p ::= unit | np | (τ*) | ref π ℓ ψ | ptr ℓ | cap π ℓ ψ
+///                 | rec q ⪯ α. τ | ∃ρ. τ | coderef χ | own ℓ | α
+///   types     τ ::= p^q
+///   heap      ψ ::= (variant τ*) | (struct (τ,sz)*) | (array τ)
+///                 | (∃ q ⪯ α ≲ sz. τ)
+///   functions χ ::= ∀κ*. τ1* → τ2*
+///
+/// Types are immutable shared trees. Variables of every kind (location,
+/// size, qualifier, pretype) are de Bruijn indices in their own index
+/// space, mirroring the paper's separate context components. Pretypes form
+/// an LLVM-style class hierarchy discriminated by PretypeKind, usable with
+/// isa/cast/dyn_cast from support/Casting.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_IR_TYPES_H
+#define RICHWASM_IR_TYPES_H
+
+#include "ir/Loc.h"
+#include "ir/Num.h"
+#include "ir/Qual.h"
+#include "ir/Size.h"
+#include "support/Casting.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace rw::ir {
+
+class Pretype;
+class HeapType;
+class FunType;
+using PretypeRef = std::shared_ptr<const Pretype>;
+using HeapTypeRef = std::shared_ptr<const HeapType>;
+using FunTypeRef = std::shared_ptr<const FunType>;
+
+/// A value type τ = p^q: a pretype annotated with a qualifier.
+struct Type {
+  PretypeRef P;
+  Qual Q = Qual::unr();
+
+  Type() = default;
+  Type(PretypeRef P, Qual Q) : P(std::move(P)), Q(Q) {}
+
+  bool valid() const { return P != nullptr; }
+};
+
+/// Read / read-write memory privilege (π in the paper).
+enum class Privilege : uint8_t { R = 0, RW = 1 };
+
+//===----------------------------------------------------------------------===//
+// Pretypes
+//===----------------------------------------------------------------------===//
+
+enum class PretypeKind : uint8_t {
+  Unit,
+  Num,
+  Var,
+  Skolem,
+  Prod,
+  Ref,
+  Ptr,
+  Cap,
+  Own,
+  Rec,
+  ExLoc,
+  Coderef,
+};
+
+/// Base class of all pretypes.
+class Pretype {
+public:
+  PretypeKind kind() const { return K; }
+  virtual ~Pretype() = default;
+
+protected:
+  explicit Pretype(PretypeKind K) : K(K) {}
+
+private:
+  PretypeKind K;
+};
+
+/// The unit pretype; its only value is `()` and its size is 0.
+class UnitPT : public Pretype {
+public:
+  UnitPT() : Pretype(PretypeKind::Unit) {}
+  static bool classof(const Pretype *P) {
+    return P->kind() == PretypeKind::Unit;
+  }
+};
+
+/// A numeric pretype np.
+class NumPT : public Pretype {
+public:
+  explicit NumPT(NumType NT) : Pretype(PretypeKind::Num), NT(NT) {}
+  NumType numType() const { return NT; }
+  static bool classof(const Pretype *P) {
+    return P->kind() == PretypeKind::Num;
+  }
+
+private:
+  NumType NT;
+};
+
+/// A pretype variable α (de Bruijn index into the type context).
+class VarPT : public Pretype {
+public:
+  explicit VarPT(uint32_t Idx) : Pretype(PretypeKind::Var), Idx(Idx) {}
+  uint32_t index() const { return Idx; }
+  static bool classof(const Pretype *P) {
+    return P->kind() == PretypeKind::Var;
+  }
+
+private:
+  uint32_t Idx;
+};
+
+/// A skolem pretype — an eigenvariable the type checker introduces when
+/// opening a heap existential (`exist.unpack α. e*`). It remembers the
+/// binder's constraints so entailment and sizing can use them. Skolems
+/// never occur in programs or at runtime.
+class SkolemPT : public Pretype {
+public:
+  SkolemPT(uint64_t Id, Qual QualLower, SizeRef SizeUpper, bool NoCaps)
+      : Pretype(PretypeKind::Skolem), Id(Id), QualLower(QualLower),
+        SizeUpper(std::move(SizeUpper)), NoCaps(NoCaps) {}
+  uint64_t id() const { return Id; }
+  Qual qualLower() const { return QualLower; }
+  const SizeRef &sizeUpper() const { return SizeUpper; }
+  bool noCaps() const { return NoCaps; }
+  static bool classof(const Pretype *P) {
+    return P->kind() == PretypeKind::Skolem;
+  }
+
+private:
+  uint64_t Id;
+  Qual QualLower;
+  SizeRef SizeUpper;
+  bool NoCaps;
+};
+
+/// A tuple pretype (τ*). Produced by seq.group; consumed by seq.ungroup.
+class ProdPT : public Pretype {
+public:
+  explicit ProdPT(std::vector<Type> Elems)
+      : Pretype(PretypeKind::Prod), Elems(std::move(Elems)) {}
+  const std::vector<Type> &elems() const { return Elems; }
+  static bool classof(const Pretype *P) {
+    return P->kind() == PretypeKind::Prod;
+  }
+
+private:
+  std::vector<Type> Elems;
+};
+
+/// A reference `ref π ℓ ψ`: the fusion of a capability and a pointer to
+/// location ℓ, holding heap type ψ with privilege π.
+class RefPT : public Pretype {
+public:
+  RefPT(Privilege Priv, Loc L, HeapTypeRef HT)
+      : Pretype(PretypeKind::Ref), Priv(Priv), L(L), HT(std::move(HT)) {}
+  Privilege privilege() const { return Priv; }
+  const Loc &loc() const { return L; }
+  const HeapTypeRef &heapType() const { return HT; }
+  static bool classof(const Pretype *P) {
+    return P->kind() == PretypeKind::Ref;
+  }
+
+private:
+  Privilege Priv;
+  Loc L;
+  HeapTypeRef HT;
+};
+
+/// A bare pointer `ptr ℓ`: names a location but confers no access.
+class PtrPT : public Pretype {
+public:
+  explicit PtrPT(Loc L) : Pretype(PretypeKind::Ptr), L(L) {}
+  const Loc &loc() const { return L; }
+  static bool classof(const Pretype *P) {
+    return P->kind() == PretypeKind::Ptr;
+  }
+
+private:
+  Loc L;
+};
+
+/// A capability `cap π ℓ ψ`: static ownership of ℓ, erased at runtime.
+class CapPT : public Pretype {
+public:
+  CapPT(Privilege Priv, Loc L, HeapTypeRef HT)
+      : Pretype(PretypeKind::Cap), Priv(Priv), L(L), HT(std::move(HT)) {}
+  Privilege privilege() const { return Priv; }
+  const Loc &loc() const { return L; }
+  const HeapTypeRef &heapType() const { return HT; }
+  static bool classof(const Pretype *P) {
+    return P->kind() == PretypeKind::Cap;
+  }
+
+private:
+  Privilege Priv;
+  Loc L;
+  HeapTypeRef HT;
+};
+
+/// An ownership token `own ℓ`: write ownership split off a rw capability.
+class OwnPT : public Pretype {
+public:
+  explicit OwnPT(Loc L) : Pretype(PretypeKind::Own), L(L) {}
+  const Loc &loc() const { return L; }
+  static bool classof(const Pretype *P) {
+    return P->kind() == PretypeKind::Own;
+  }
+
+private:
+  Loc L;
+};
+
+/// An isorecursive type `rec q ⪯ α. τ`. The bound q constrains the
+/// qualifiers of the positions the recursive variable may be unfolded into.
+/// Binds one pretype variable in Body.
+class RecPT : public Pretype {
+public:
+  RecPT(Qual Bound, Type Body)
+      : Pretype(PretypeKind::Rec), Bound(Bound), Body(std::move(Body)) {}
+  Qual bound() const { return Bound; }
+  const Type &body() const { return Body; }
+  static bool classof(const Pretype *P) {
+    return P->kind() == PretypeKind::Rec;
+  }
+
+private:
+  Qual Bound;
+  Type Body;
+};
+
+/// Existential abstraction over a location: `∃ρ. τ`. Binds one location
+/// variable in Body.
+class ExLocPT : public Pretype {
+public:
+  explicit ExLocPT(Type Body)
+      : Pretype(PretypeKind::ExLoc), Body(std::move(Body)) {}
+  const Type &body() const { return Body; }
+  static bool classof(const Pretype *P) {
+    return P->kind() == PretypeKind::ExLoc;
+  }
+
+private:
+  Type Body;
+};
+
+/// A code pointer type `coderef χ`.
+class CoderefPT : public Pretype {
+public:
+  explicit CoderefPT(FunTypeRef FT)
+      : Pretype(PretypeKind::Coderef), FT(std::move(FT)) {}
+  const FunTypeRef &funType() const { return FT; }
+  static bool classof(const Pretype *P) {
+    return P->kind() == PretypeKind::Coderef;
+  }
+
+private:
+  FunTypeRef FT;
+};
+
+//===----------------------------------------------------------------------===//
+// Heap types
+//===----------------------------------------------------------------------===//
+
+enum class HeapTypeKind : uint8_t { Variant, Struct, Array, Ex };
+
+/// Base class of heap types ψ, describing the structured contents of one
+/// memory cell.
+class HeapType {
+public:
+  HeapTypeKind kind() const { return K; }
+  virtual ~HeapType() = default;
+
+protected:
+  explicit HeapType(HeapTypeKind K) : K(K) {}
+
+private:
+  HeapTypeKind K;
+};
+
+/// `(variant τ*)` — a tagged sum over the listed case types.
+class VariantHT : public HeapType {
+public:
+  explicit VariantHT(std::vector<Type> Cases)
+      : HeapType(HeapTypeKind::Variant), Cases(std::move(Cases)) {}
+  const std::vector<Type> &cases() const { return Cases; }
+  static bool classof(const HeapType *H) {
+    return H->kind() == HeapTypeKind::Variant;
+  }
+
+private:
+  std::vector<Type> Cases;
+};
+
+/// One struct field: its current type and its *allocated slot size*. The
+/// slot size persists across strong updates and bounds the types that may
+/// be swapped into the field.
+struct StructField {
+  Type T;
+  SizeRef Slot;
+};
+
+/// `(struct (τ,sz)*)`.
+class StructHT : public HeapType {
+public:
+  explicit StructHT(std::vector<StructField> Fields)
+      : HeapType(HeapTypeKind::Struct), Fields(std::move(Fields)) {}
+  const std::vector<StructField> &fields() const { return Fields; }
+  static bool classof(const HeapType *H) {
+    return H->kind() == HeapTypeKind::Struct;
+  }
+
+private:
+  std::vector<StructField> Fields;
+};
+
+/// `(array τ)` — a variable-length array of τ.
+class ArrayHT : public HeapType {
+public:
+  explicit ArrayHT(Type Elem)
+      : HeapType(HeapTypeKind::Array), Elem(std::move(Elem)) {}
+  const Type &elem() const { return Elem; }
+  static bool classof(const HeapType *H) {
+    return H->kind() == HeapTypeKind::Array;
+  }
+
+private:
+  Type Elem;
+};
+
+/// `(∃ q ⪯ α ≲ sz. τ)` — a heap-allocated existential package abstracting a
+/// pretype with a qualifier lower bound and a size upper bound. Binds one
+/// pretype variable in Body.
+class ExHT : public HeapType {
+public:
+  ExHT(Qual QualLower, SizeRef SizeUpper, Type Body)
+      : HeapType(HeapTypeKind::Ex), QualLower(QualLower),
+        SizeUpper(std::move(SizeUpper)), Body(std::move(Body)) {}
+  Qual qualLower() const { return QualLower; }
+  const SizeRef &sizeUpper() const { return SizeUpper; }
+  const Type &body() const { return Body; }
+  static bool classof(const HeapType *H) {
+    return H->kind() == HeapTypeKind::Ex;
+  }
+
+private:
+  Qual QualLower;
+  SizeRef SizeUpper;
+  Type Body;
+};
+
+//===----------------------------------------------------------------------===//
+// Quantifiers and function types
+//===----------------------------------------------------------------------===//
+
+/// The four binder kinds a function type may quantify over.
+enum class QuantKind : uint8_t { Loc, Size, Qual, Type };
+
+/// One quantifier κ with its constraints. Constraint expressions may refer
+/// to *earlier* binders in the same quantifier list.
+struct Quant {
+  QuantKind K = QuantKind::Loc;
+
+  // For K == Size: sz* ≤ σ ≤ sz*.
+  std::vector<SizeRef> SizeLower, SizeUpper;
+  // For K == Qual: q* ⪯ δ ⪯ q*.
+  std::vector<Qual> QualLower, QualUpper;
+  // For K == Type: q ⪯ α (c?) ≲ sz.
+  Qual TypeQualLower = Qual::unr();
+  SizeRef TypeSizeUpper;
+  /// True when α is guaranteed capability-free and may therefore be stored
+  /// in garbage-collected memory (the absence of the paper's `c` marker).
+  bool TypeNoCaps = true;
+
+  static Quant loc() {
+    Quant Q;
+    Q.K = QuantKind::Loc;
+    return Q;
+  }
+  static Quant size(std::vector<SizeRef> Lower = {},
+                    std::vector<SizeRef> Upper = {}) {
+    Quant Q;
+    Q.K = QuantKind::Size;
+    Q.SizeLower = std::move(Lower);
+    Q.SizeUpper = std::move(Upper);
+    return Q;
+  }
+  static Quant qual(std::vector<Qual> Lower = {},
+                    std::vector<Qual> Upper = {}) {
+    Quant Q;
+    Q.K = QuantKind::Qual;
+    Q.QualLower = std::move(Lower);
+    Q.QualUpper = std::move(Upper);
+    return Q;
+  }
+  static Quant type(Qual QualLower, SizeRef SizeUpper, bool NoCaps = true) {
+    Quant Q;
+    Q.K = QuantKind::Type;
+    Q.TypeQualLower = QualLower;
+    Q.TypeSizeUpper = std::move(SizeUpper);
+    Q.TypeNoCaps = NoCaps;
+    return Q;
+  }
+};
+
+/// An instantiation argument for one quantifier (z/κ at call sites).
+struct Index {
+  QuantKind K = QuantKind::Loc;
+  Loc L = Loc::var(0);
+  SizeRef Sz;
+  Qual Q = Qual::unr();
+  PretypeRef P;
+
+  static Index loc(Loc L) {
+    Index I;
+    I.K = QuantKind::Loc;
+    I.L = L;
+    return I;
+  }
+  static Index size(SizeRef S) {
+    Index I;
+    I.K = QuantKind::Size;
+    I.Sz = std::move(S);
+    return I;
+  }
+  static Index qual(Qual Q) {
+    Index I;
+    I.K = QuantKind::Qual;
+    I.Q = Q;
+    return I;
+  }
+  static Index pretype(PretypeRef P) {
+    Index I;
+    I.K = QuantKind::Type;
+    I.P = std::move(P);
+    return I;
+  }
+};
+
+/// A monomorphic arrow type tf = τ1* → τ2*.
+struct ArrowType {
+  std::vector<Type> Params;
+  std::vector<Type> Results;
+};
+
+/// A (possibly polymorphic) function type χ = ∀κ*. τ1* → τ2*. The
+/// quantifier list binds left-to-right: the *last* binder of each kind has
+/// de Bruijn index 0 inside the arrow.
+class FunType {
+public:
+  FunType(std::vector<Quant> Quants, ArrowType Arrow)
+      : Quants(std::move(Quants)), Arrow(std::move(Arrow)) {}
+
+  const std::vector<Quant> &quants() const { return Quants; }
+  const ArrowType &arrow() const { return Arrow; }
+
+  static FunTypeRef get(std::vector<Quant> Quants, ArrowType Arrow) {
+    return std::make_shared<FunType>(std::move(Quants), std::move(Arrow));
+  }
+
+private:
+  std::vector<Quant> Quants;
+  ArrowType Arrow;
+};
+
+//===----------------------------------------------------------------------===//
+// Factory helpers
+//===----------------------------------------------------------------------===//
+
+inline PretypeRef unitPT() { return std::make_shared<UnitPT>(); }
+inline PretypeRef numPT(NumType NT) { return std::make_shared<NumPT>(NT); }
+inline PretypeRef varPT(uint32_t Idx) { return std::make_shared<VarPT>(Idx); }
+inline PretypeRef skolemPT(uint64_t Id, Qual QualLower, SizeRef SizeUpper,
+                           bool NoCaps) {
+  return std::make_shared<SkolemPT>(Id, QualLower, std::move(SizeUpper),
+                                    NoCaps);
+}
+inline PretypeRef prodPT(std::vector<Type> Elems) {
+  return std::make_shared<ProdPT>(std::move(Elems));
+}
+inline PretypeRef refPT(Privilege Priv, Loc L, HeapTypeRef HT) {
+  return std::make_shared<RefPT>(Priv, L, std::move(HT));
+}
+inline PretypeRef ptrPT(Loc L) { return std::make_shared<PtrPT>(L); }
+inline PretypeRef capPT(Privilege Priv, Loc L, HeapTypeRef HT) {
+  return std::make_shared<CapPT>(Priv, L, std::move(HT));
+}
+inline PretypeRef ownPT(Loc L) { return std::make_shared<OwnPT>(L); }
+inline PretypeRef recPT(Qual Bound, Type Body) {
+  return std::make_shared<RecPT>(Bound, std::move(Body));
+}
+inline PretypeRef exLocPT(Type Body) {
+  return std::make_shared<ExLocPT>(std::move(Body));
+}
+inline PretypeRef coderefPT(FunTypeRef FT) {
+  return std::make_shared<CoderefPT>(std::move(FT));
+}
+
+inline HeapTypeRef variantHT(std::vector<Type> Cases) {
+  return std::make_shared<VariantHT>(std::move(Cases));
+}
+inline HeapTypeRef structHT(std::vector<StructField> Fields) {
+  return std::make_shared<StructHT>(std::move(Fields));
+}
+inline HeapTypeRef arrayHT(Type Elem) {
+  return std::make_shared<ArrayHT>(std::move(Elem));
+}
+inline HeapTypeRef exHT(Qual QualLower, SizeRef SizeUpper, Type Body) {
+  return std::make_shared<ExHT>(QualLower, std::move(SizeUpper),
+                                std::move(Body));
+}
+
+inline Type unitT(Qual Q = Qual::unr()) { return Type(unitPT(), Q); }
+inline Type numT(NumType NT, Qual Q = Qual::unr()) {
+  return Type(numPT(NT), Q);
+}
+inline Type i32T(Qual Q = Qual::unr()) { return numT(NumType::I32, Q); }
+inline Type i64T(Qual Q = Qual::unr()) { return numT(NumType::I64, Q); }
+
+/// Structural type equality (alpha-equivalence is just index equality under
+/// de Bruijn representation). Sizes compare modulo +-normalization.
+bool typeEquals(const Type &A, const Type &B);
+bool pretypeEquals(const Pretype &A, const Pretype &B);
+bool heapTypeEquals(const HeapType &A, const HeapType &B);
+bool funTypeEquals(const FunType &A, const FunType &B);
+bool arrowEquals(const ArrowType &A, const ArrowType &B);
+bool quantEquals(const Quant &A, const Quant &B);
+
+} // namespace rw::ir
+
+#endif // RICHWASM_IR_TYPES_H

@@ -1,0 +1,168 @@
+//===- link/Link.cpp - Multi-module linking and instantiation ------------===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "link/Link.h"
+
+#include "ir/Print.h"
+#include "ir/TypeOps.h"
+#include "typing/Checker.h"
+
+#include <map>
+
+using namespace rw;
+using namespace rw::link;
+using sem::Closure;
+using sem::Instance;
+using sem::Machine;
+using sem::Store;
+
+std::optional<uint32_t> rw::link::findExport(const ir::Module &M,
+                                             const std::string &Name) {
+  for (uint32_t I = 0; I < M.Funcs.size(); ++I)
+    for (const std::string &E : M.Funcs[I].Exports)
+      if (E == Name)
+        return I;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Index of exported names across already-instantiated modules.
+class ExportIndex {
+public:
+  void add(uint32_t InstIdx, const ir::Module &M) {
+    for (uint32_t I = 0; I < M.Funcs.size(); ++I)
+      for (const std::string &E : M.Funcs[I].Exports)
+        Funcs[{M.Name, E}] = {InstIdx, I};
+    for (uint32_t I = 0; I < M.Globals.size(); ++I)
+      for (const std::string &E : M.Globals[I].Exports)
+        Globals[{M.Name, E}] = {InstIdx, I};
+  }
+
+  std::optional<Closure> findFunc(const ir::ImportName &N) const {
+    auto It = Funcs.find({N.Module, N.Name});
+    if (It == Funcs.end())
+      return std::nullopt;
+    return Closure{It->second.first, It->second.second};
+  }
+  std::optional<std::pair<uint32_t, uint32_t>>
+  findGlobal(const ir::ImportName &N) const {
+    auto It = Globals.find({N.Module, N.Name});
+    if (It == Globals.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+private:
+  std::map<std::pair<std::string, std::string>, std::pair<uint32_t, uint32_t>>
+      Funcs, Globals;
+};
+
+} // namespace
+
+Expected<std::unique_ptr<Machine>>
+rw::link::instantiate(const std::vector<const ir::Module *> &Mods,
+                      const LinkOptions &Opts) {
+  // Phase 1: type-check every module in isolation (the paper's per-module
+  // judgment; problematic interactions already fail here when a module's
+  // declared imports are unsatisfiable).
+  if (Opts.TypeCheck)
+    for (const ir::Module *M : Mods)
+      if (Status S = typing::checkModule(*M); !S)
+        return Error("module '" + M->Name + "': " + S.error().message());
+
+  auto Mach = std::make_unique<Machine>(Store{});
+  Store &S = Mach->store();
+  ExportIndex Exports;
+
+  // Phase 2: resolve imports and build instances.
+  for (uint32_t Idx = 0; Idx < Mods.size(); ++Idx) {
+    const ir::Module &M = *Mods[Idx];
+    Instance Inst;
+    Inst.Mod = &M;
+
+    for (uint32_t FI = 0; FI < M.Funcs.size(); ++FI) {
+      const ir::Function &F = M.Funcs[FI];
+      if (!F.isImport()) {
+        Inst.Funcs.push_back({Idx, FI});
+        continue;
+      }
+      std::optional<Closure> Provider = Exports.findFunc(*F.Import);
+      if (!Provider)
+        return Error("unresolved import " + F.Import->Module + "." +
+                     F.Import->Name + " in module '" + M.Name + "'");
+      // The cross-module safety check: declared import type must equal the
+      // provider's declared export type.
+      const ir::Module &PM = *Mods[Provider->InstIdx];
+      const ir::FunTypeRef &ProvTy = PM.Funcs[Provider->FuncIdx].Ty;
+      if (!ir::funTypeEquals(*F.Ty, *ProvTy))
+        return Error("import type mismatch for " + F.Import->Module + "." +
+                     F.Import->Name + ": importer expects " +
+                     ir::printFunType(*F.Ty) + " but provider exports " +
+                     ir::printFunType(*ProvTy));
+      Inst.Funcs.push_back(*Provider);
+    }
+
+    for (uint32_t GI = 0; GI < M.Globals.size(); ++GI) {
+      const ir::Global &G = M.Globals[GI];
+      if (!G.isImport()) {
+        Inst.Globals.push_back(sem::Value::unit());
+        continue;
+      }
+      auto Provider = Exports.findGlobal(*G.Import);
+      if (!Provider)
+        return Error("unresolved global import " + G.Import->Module + "." +
+                     G.Import->Name + " in module '" + M.Name + "'");
+      const ir::Module &PM = *Mods[Provider->first];
+      const ir::Global &PG = PM.Globals[Provider->second];
+      if (!ir::pretypeEquals(*G.P, *PG.P))
+        return Error("global import type mismatch for " + G.Import->Module +
+                     "." + G.Import->Name);
+      Inst.Globals.push_back(S.Insts[Provider->first].Globals[Provider->second]);
+    }
+
+    for (uint32_t TE : M.Tab.Entries) {
+      if (TE >= Inst.Funcs.size())
+        return Error("table entry out of range in module '" + M.Name + "'");
+      Inst.Table.push_back(Inst.Funcs[TE]);
+    }
+
+    S.Insts.push_back(std::move(Inst));
+    Exports.add(Idx, M);
+  }
+
+  if (!Opts.RunStart)
+    return Mach;
+
+  // Phase 3: run global initializers, then start functions, in module
+  // order.
+  for (uint32_t Idx = 0; Idx < Mods.size(); ++Idx) {
+    const ir::Module &M = *Mods[Idx];
+    for (uint32_t GI = 0; GI < M.Globals.size(); ++GI) {
+      const ir::Global &G = M.Globals[GI];
+      if (G.isImport() || G.Init.empty())
+        continue;
+      Mach->setupProgram(Idx, G.Init);
+      Expected<std::vector<sem::Value>> R = Mach->run();
+      if (!R)
+        return Error("global initializer failed in module '" + M.Name +
+                     "': " + R.error().message());
+      if (R->size() != 1)
+        return Error("global initializer must produce exactly one value");
+      S.Insts[Idx].Globals[GI] = (*R)[0];
+    }
+  }
+  for (uint32_t Idx = 0; Idx < Mods.size(); ++Idx) {
+    const ir::Module &M = *Mods[Idx];
+    if (!M.Start)
+      continue;
+    Expected<std::vector<sem::Value>> R = Mach->invoke(Idx, *M.Start, {}, {});
+    if (!R)
+      return Error("start function failed in module '" + M.Name +
+                   "': " + R.error().message());
+  }
+  return Mach;
+}

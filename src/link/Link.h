@@ -1,0 +1,55 @@
+//===- link/Link.h - Multi-module linking and instantiation -----*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linking is where RichWasm's cross-language guarantees bite: modules
+/// compiled separately (say, from ML and from L3) are combined into one
+/// store, and every import is checked against the provider's declared
+/// export type with full structural equality of RichWasm types. A module
+/// pair whose interaction would break memory safety — the Fig 1 / Fig 3
+/// stash example — fails either module type checking or this signature
+/// check; nothing unsafe ever reaches execution.
+///
+/// Instantiation follows Wasm: modules are instantiated in order, imports
+/// resolve against earlier instances, global initializers run, then start
+/// functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_LINK_LINK_H
+#define RICHWASM_LINK_LINK_H
+
+#include "ir/Module.h"
+#include "sem/Machine.h"
+#include "support/Error.h"
+
+#include <memory>
+#include <vector>
+
+namespace rw::link {
+
+struct LinkOptions {
+  /// Type-check every module before instantiation (the RichWasm
+  /// guarantee); disable only for measuring raw instantiation cost.
+  bool TypeCheck = true;
+  /// Run global initializers and start functions.
+  bool RunStart = true;
+};
+
+/// Links and instantiates \p Mods in order. The returned machine owns the
+/// store; instance i corresponds to Mods[i]. Module pointers must outlive
+/// the machine.
+Expected<std::unique_ptr<sem::Machine>>
+instantiate(const std::vector<const ir::Module *> &Mods,
+            const LinkOptions &Opts = LinkOptions());
+
+/// Finds the index of the function exporting \p Name in \p M, if any.
+std::optional<uint32_t> findExport(const ir::Module &M,
+                                   const std::string &Name);
+
+} // namespace rw::link
+
+#endif // RICHWASM_LINK_LINK_H

@@ -1,0 +1,1911 @@
+//===- lower/Lower.cpp - RichWasm → Wasm code generation -------------------===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lower/Lower.h"
+
+#include "ir/Rewrite.h"
+#include "lower/Rep.h"
+#include "typing/Checker.h"
+#include "typing/Entail.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace rw;
+using namespace rw::lower;
+using namespace rw::ir;
+using wasm::Op;
+using wasm::ValType;
+using wasm::WInst;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Numeric opcode mapping
+//===----------------------------------------------------------------------===//
+
+Expected<Op> mapBinop(NumType NT, BinopKind K) {
+  bool Is64 = numTypeBits(NT) == 64;
+  bool Sgn = isSignedType(NT);
+  if (isIntType(NT)) {
+    switch (K) {
+    case BinopKind::Add:
+      return Is64 ? Op::I64Add : Op::I32Add;
+    case BinopKind::Sub:
+      return Is64 ? Op::I64Sub : Op::I32Sub;
+    case BinopKind::Mul:
+      return Is64 ? Op::I64Mul : Op::I32Mul;
+    case BinopKind::Div:
+      return Is64 ? (Sgn ? Op::I64DivS : Op::I64DivU)
+                  : (Sgn ? Op::I32DivS : Op::I32DivU);
+    case BinopKind::Rem:
+      return Is64 ? (Sgn ? Op::I64RemS : Op::I64RemU)
+                  : (Sgn ? Op::I32RemS : Op::I32RemU);
+    case BinopKind::And:
+      return Is64 ? Op::I64And : Op::I32And;
+    case BinopKind::Or:
+      return Is64 ? Op::I64Or : Op::I32Or;
+    case BinopKind::Xor:
+      return Is64 ? Op::I64Xor : Op::I32Xor;
+    case BinopKind::Shl:
+      return Is64 ? Op::I64Shl : Op::I32Shl;
+    case BinopKind::Shr:
+      return Is64 ? (Sgn ? Op::I64ShrS : Op::I64ShrU)
+                  : (Sgn ? Op::I32ShrS : Op::I32ShrU);
+    case BinopKind::Rotl:
+      return Is64 ? Op::I64Rotl : Op::I32Rotl;
+    case BinopKind::Rotr:
+      return Is64 ? Op::I64Rotr : Op::I32Rotr;
+    default:
+      return Error("float operator at integer type");
+    }
+  }
+  switch (K) {
+  case BinopKind::Add:
+    return Is64 ? Op::F64Add : Op::F32Add;
+  case BinopKind::Sub:
+    return Is64 ? Op::F64Sub : Op::F32Sub;
+  case BinopKind::Mul:
+    return Is64 ? Op::F64Mul : Op::F32Mul;
+  case BinopKind::Div:
+    return Is64 ? Op::F64Div : Op::F32Div;
+  case BinopKind::Min:
+    return Is64 ? Op::F64Min : Op::F32Min;
+  case BinopKind::Max:
+    return Is64 ? Op::F64Max : Op::F32Max;
+  case BinopKind::Copysign:
+    return Is64 ? Op::F64Copysign : Op::F32Copysign;
+  default:
+    return Error("integer operator at float type");
+  }
+}
+
+Expected<Op> mapUnop(NumType NT, UnopKind K) {
+  bool Is64 = numTypeBits(NT) == 64;
+  switch (K) {
+  case UnopKind::Clz:
+    return Is64 ? Op::I64Clz : Op::I32Clz;
+  case UnopKind::Ctz:
+    return Is64 ? Op::I64Ctz : Op::I32Ctz;
+  case UnopKind::Popcnt:
+    return Is64 ? Op::I64Popcnt : Op::I32Popcnt;
+  case UnopKind::Abs:
+    return Is64 ? Op::F64Abs : Op::F32Abs;
+  case UnopKind::Neg:
+    return Is64 ? Op::F64Neg : Op::F32Neg;
+  case UnopKind::Sqrt:
+    return Is64 ? Op::F64Sqrt : Op::F32Sqrt;
+  case UnopKind::Ceil:
+    return Is64 ? Op::F64Ceil : Op::F32Ceil;
+  case UnopKind::Floor:
+    return Is64 ? Op::F64Floor : Op::F32Floor;
+  case UnopKind::Trunc:
+    return Is64 ? Op::F64Trunc : Op::F32Trunc;
+  case UnopKind::Nearest:
+    return Is64 ? Op::F64Nearest : Op::F32Nearest;
+  }
+  return Error("bad unop");
+}
+
+Expected<Op> mapRelop(NumType NT, RelopKind K) {
+  bool Is64 = numTypeBits(NT) == 64;
+  bool Sgn = isSignedType(NT);
+  if (isIntType(NT)) {
+    switch (K) {
+    case RelopKind::Eq:
+      return Is64 ? Op::I64Eq : Op::I32Eq;
+    case RelopKind::Ne:
+      return Is64 ? Op::I64Ne : Op::I32Ne;
+    case RelopKind::Lt:
+      return Is64 ? (Sgn ? Op::I64LtS : Op::I64LtU)
+                  : (Sgn ? Op::I32LtS : Op::I32LtU);
+    case RelopKind::Gt:
+      return Is64 ? (Sgn ? Op::I64GtS : Op::I64GtU)
+                  : (Sgn ? Op::I32GtS : Op::I32GtU);
+    case RelopKind::Le:
+      return Is64 ? (Sgn ? Op::I64LeS : Op::I64LeU)
+                  : (Sgn ? Op::I32LeS : Op::I32LeU);
+    case RelopKind::Ge:
+      return Is64 ? (Sgn ? Op::I64GeS : Op::I64GeU)
+                  : (Sgn ? Op::I32GeS : Op::I32GeU);
+    }
+  }
+  switch (K) {
+  case RelopKind::Eq:
+    return Is64 ? Op::F64Eq : Op::F32Eq;
+  case RelopKind::Ne:
+    return Is64 ? Op::F64Ne : Op::F32Ne;
+  case RelopKind::Lt:
+    return Is64 ? Op::F64Lt : Op::F32Lt;
+  case RelopKind::Gt:
+    return Is64 ? Op::F64Gt : Op::F32Gt;
+  case RelopKind::Le:
+    return Is64 ? Op::F64Le : Op::F32Le;
+  case RelopKind::Ge:
+    return Is64 ? Op::F64Ge : Op::F32Ge;
+  }
+  return Error("bad relop");
+}
+
+/// Conversion lowering may be a no-op (same-width int reinterpretation).
+Expected<std::optional<Op>> mapCvt(NumType From, NumType To, CvtopKind K) {
+  bool SrcInt = isIntType(From), DstInt = isIntType(To);
+  bool Src64 = numTypeBits(From) == 64, Dst64 = numTypeBits(To) == 64;
+  if (K == CvtopKind::Reinterpret) {
+    if (SrcInt == DstInt)
+      return std::optional<Op>{}; // int<->int / float<->float: identity.
+    if (DstInt)
+      return std::optional<Op>{Dst64 ? Op::I64ReinterpretF64
+                                     : Op::I32ReinterpretF32};
+    return std::optional<Op>{Dst64 ? Op::F64ReinterpretI64
+                                   : Op::F32ReinterpretI32};
+  }
+  if (SrcInt && DstInt) {
+    if (Src64 == Dst64)
+      return std::optional<Op>{}; // Signedness reinterpretation.
+    if (Dst64)
+      return std::optional<Op>{isSignedType(From) ? Op::I64ExtendI32S
+                                                  : Op::I64ExtendI32U};
+    return std::optional<Op>{Op::I32WrapI64};
+  }
+  if (SrcInt) {
+    bool Sgn = isSignedType(From);
+    if (Dst64)
+      return std::optional<Op>{Src64
+                                   ? (Sgn ? Op::F64ConvertI64S : Op::F64ConvertI64U)
+                                   : (Sgn ? Op::F64ConvertI32S : Op::F64ConvertI32U)};
+    return std::optional<Op>{Src64
+                                 ? (Sgn ? Op::F32ConvertI64S : Op::F32ConvertI64U)
+                                 : (Sgn ? Op::F32ConvertI32S : Op::F32ConvertI32U)};
+  }
+  if (DstInt) {
+    bool Sgn = isSignedType(To);
+    if (Dst64)
+      return std::optional<Op>{Src64 ? (Sgn ? Op::I64TruncF64S : Op::I64TruncF64U)
+                                     : (Sgn ? Op::I64TruncF32S : Op::I64TruncF32U)};
+    return std::optional<Op>{Src64 ? (Sgn ? Op::I32TruncF64S : Op::I32TruncF64U)
+                                   : (Sgn ? Op::I32TruncF32S : Op::I32TruncF32U)};
+  }
+  if (Src64 == Dst64)
+    return std::optional<Op>{};
+  return std::optional<Op>{Dst64 ? Op::F64PromoteF32 : Op::F32DemoteF64};
+}
+
+//===----------------------------------------------------------------------===//
+// Program lowering
+//===----------------------------------------------------------------------===//
+
+class ProgramLowering {
+public:
+  explicit ProgramLowering(const std::vector<const Module *> &Mods)
+      : Mods(Mods) {}
+
+  Expected<LoweredProgram> run();
+
+  LoweredProgram Out;
+  std::vector<const Module *> Mods;
+  std::vector<typing::InfoMap> Infos;
+  /// (module, RichWasm global idx) → (base Wasm global, component reps).
+  std::map<std::pair<uint32_t, uint32_t>,
+           std::pair<uint32_t, std::vector<ValType>>>
+      GlobalMap;
+
+  /// The lowered shape of each merged-table slot, used by the runtime
+  /// shape dispatch at abstract call_indirect sites (§6's "case for each
+  /// possible shape in the table").
+  struct SlotShape {
+    std::vector<std::vector<ValType>> ParamReps, ResultReps;
+    wasm::FuncType Sig;
+  };
+  std::vector<SlotShape> TableShapes;
+
+  const typing::InstInfo *info(uint32_t ModIdx, const Inst *I) const {
+    auto It = Infos[ModIdx].find(I);
+    return It == Infos[ModIdx].end() ? nullptr : &It->second;
+  }
+};
+
+/// True if a type mentions an abstract pretype (variable or skolem)
+/// anywhere that affects its flat representation.
+bool containsAbstract(const Type &T);
+bool containsAbstractP(const PretypeRef &P) {
+  switch (P->kind()) {
+  case PretypeKind::Var:
+  case PretypeKind::Skolem:
+    return true;
+  case PretypeKind::Prod:
+    for (const Type &E : cast<ProdPT>(P.get())->elems())
+      if (containsAbstract(E))
+        return true;
+    return false;
+  case PretypeKind::Rec:
+    return containsAbstract(cast<RecPT>(P.get())->body());
+  case PretypeKind::ExLoc:
+    return containsAbstract(cast<ExLocPT>(P.get())->body());
+  default:
+    return false;
+  }
+}
+bool containsAbstract(const Type &T) { return containsAbstractP(T.P); }
+
+/// Lowers one instruction sequence (a function body or a global
+/// initializer) into Wasm instructions, managing locals and scratches.
+class FuncLowering {
+public:
+  FuncLowering(ProgramLowering &P, uint32_t ModIdx, TypeVarSizes Bounds,
+               std::vector<ValType> ParamComps)
+      : P(P), ModIdx(ModIdx), Bounds(std::move(Bounds)),
+        NumParams(static_cast<uint32_t>(ParamComps.size())),
+        ParamTypes(std::move(ParamComps)) {}
+
+  ProgramLowering &P;
+  uint32_t ModIdx;
+  TypeVarSizes Bounds;
+  uint32_t NumParams;
+  std::vector<ValType> ParamTypes;
+  std::vector<ValType> ExtraLocals; ///< Beyond the Wasm params.
+  std::vector<uint32_t> RwLocalBase, RwLocalWords;
+  std::map<ValType, std::vector<uint32_t>> FreePool;
+  uint32_t Depth = 0;
+  std::vector<uint32_t> RichLabels; ///< D_L per label, innermost at back.
+
+  uint32_t newLocal(ValType T) {
+    ExtraLocals.push_back(T);
+    return NumParams + static_cast<uint32_t>(ExtraLocals.size() - 1);
+  }
+  uint32_t acquire(ValType T) {
+    auto &Pool = FreePool[T];
+    if (!Pool.empty()) {
+      uint32_t L = Pool.back();
+      Pool.pop_back();
+      return L;
+    }
+    return newLocal(T);
+  }
+  void release(ValType T, uint32_t L) { FreePool[T].push_back(L); }
+
+  Expected<std::vector<ValType>> rep(const Type &T) {
+    return repOfType(T, Bounds);
+  }
+
+  static uint32_t wordsOf(const std::vector<ValType> &R) {
+    uint32_t W = 0;
+    for (ValType V : R)
+      W += valTypeBytes(V) / 4;
+    return W;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Stack plumbing primitives
+  //===--------------------------------------------------------------------===//
+
+  /// Pops rep components (top of stack = last component) into scratch
+  /// locals; returns them first-component-first.
+  std::vector<uint32_t> stash(const std::vector<ValType> &R,
+                              std::vector<WInst> &O) {
+    std::vector<uint32_t> Ls(R.size());
+    for (size_t I = R.size(); I > 0; --I) {
+      Ls[I - 1] = acquire(R[I - 1]);
+      O.push_back(WInst::idx(Op::LocalSet, Ls[I - 1]));
+    }
+    return Ls;
+  }
+
+  void unstash(const std::vector<ValType> &R, const std::vector<uint32_t> &Ls,
+               std::vector<WInst> &O, bool Release = true) {
+    for (size_t I = 0; I < Ls.size(); ++I) {
+      O.push_back(WInst::idx(Op::LocalGet, Ls[I]));
+      if (Release)
+        release(R[I], Ls[I]);
+    }
+  }
+
+  void releaseAll(const std::vector<ValType> &R,
+                  const std::vector<uint32_t> &Ls) {
+    for (size_t I = 0; I < Ls.size(); ++I)
+      release(R[I], Ls[I]);
+  }
+
+  /// Pops a value of representation R into the word-local range starting at
+  /// WordBase (splitting 64-bit components).
+  void spillToWords(uint32_t WordBase, const std::vector<ValType> &R,
+                    std::vector<WInst> &O) {
+    std::vector<uint32_t> Ls = stash(R, O);
+    uint32_t W = 0;
+    for (size_t I = 0; I < R.size(); ++I) {
+      switch (R[I]) {
+      case ValType::I32:
+        O.push_back(WInst::idx(Op::LocalGet, Ls[I]));
+        O.push_back(WInst::idx(Op::LocalSet, WordBase + W));
+        W += 1;
+        break;
+      case ValType::F32:
+        O.push_back(WInst::idx(Op::LocalGet, Ls[I]));
+        O.push_back(WInst::mk(Op::I32ReinterpretF32));
+        O.push_back(WInst::idx(Op::LocalSet, WordBase + W));
+        W += 1;
+        break;
+      case ValType::F64:
+      case ValType::I64: {
+        uint32_t S64 = acquire(ValType::I64);
+        O.push_back(WInst::idx(Op::LocalGet, Ls[I]));
+        if (R[I] == ValType::F64)
+          O.push_back(WInst::mk(Op::I64ReinterpretF64));
+        O.push_back(WInst::idx(Op::LocalSet, S64));
+        O.push_back(WInst::idx(Op::LocalGet, S64));
+        O.push_back(WInst::mk(Op::I32WrapI64));
+        O.push_back(WInst::idx(Op::LocalSet, WordBase + W));
+        O.push_back(WInst::idx(Op::LocalGet, S64));
+        O.push_back(WInst::i64c(32));
+        O.push_back(WInst::mk(Op::I64ShrU));
+        O.push_back(WInst::mk(Op::I32WrapI64));
+        O.push_back(WInst::idx(Op::LocalSet, WordBase + W + 1));
+        release(ValType::I64, S64);
+        W += 2;
+        break;
+      }
+      }
+    }
+    releaseAll(R, Ls);
+  }
+
+  /// Pushes a value of representation R from the word locals at WordBase.
+  void loadFromWords(uint32_t WordBase, const std::vector<ValType> &R,
+                     std::vector<WInst> &O) {
+    uint32_t W = 0;
+    for (ValType V : R) {
+      switch (V) {
+      case ValType::I32:
+        O.push_back(WInst::idx(Op::LocalGet, WordBase + W));
+        W += 1;
+        break;
+      case ValType::F32:
+        O.push_back(WInst::idx(Op::LocalGet, WordBase + W));
+        O.push_back(WInst::mk(Op::F32ReinterpretI32));
+        W += 1;
+        break;
+      case ValType::I64:
+      case ValType::F64:
+        O.push_back(WInst::idx(Op::LocalGet, WordBase + W));
+        O.push_back(WInst::mk(Op::I64ExtendI32U));
+        O.push_back(WInst::idx(Op::LocalGet, WordBase + W + 1));
+        O.push_back(WInst::mk(Op::I64ExtendI32U));
+        O.push_back(WInst::i64c(32));
+        O.push_back(WInst::mk(Op::I64Shl));
+        O.push_back(WInst::mk(Op::I64Or));
+        if (V == ValType::F64)
+          O.push_back(WInst::mk(Op::F64ReinterpretI64));
+        W += 2;
+        break;
+      }
+    }
+  }
+
+  /// Stores a value whose components sit in scratch locals Ls to memory at
+  /// [BaseLocal] + ByteOff.
+  void storeComps(uint32_t BaseLocal, uint32_t ByteOff,
+                  const std::vector<ValType> &R,
+                  const std::vector<uint32_t> &Ls, std::vector<WInst> &O) {
+    uint32_t Off = ByteOff;
+    for (size_t I = 0; I < R.size(); ++I) {
+      O.push_back(WInst::idx(Op::LocalGet, BaseLocal));
+      O.push_back(WInst::idx(Op::LocalGet, Ls[I]));
+      switch (R[I]) {
+      case ValType::I32:
+        O.push_back(WInst::mem(Op::I32Store, 2, Off));
+        break;
+      case ValType::I64:
+        O.push_back(WInst::mem(Op::I64Store, 3, Off));
+        break;
+      case ValType::F32:
+        O.push_back(WInst::mem(Op::F32Store, 2, Off));
+        break;
+      case ValType::F64:
+        O.push_back(WInst::mem(Op::F64Store, 3, Off));
+        break;
+      }
+      Off += valTypeBytes(R[I]);
+    }
+  }
+
+  /// Pops a value of representation R from the stack and stores it at
+  /// [BaseLocal] + ByteOff.
+  void popStoreToMem(uint32_t BaseLocal, uint32_t ByteOff,
+                     const std::vector<ValType> &R, std::vector<WInst> &O) {
+    std::vector<uint32_t> Ls = stash(R, O);
+    storeComps(BaseLocal, ByteOff, R, Ls, O);
+    releaseAll(R, Ls);
+  }
+
+  /// Pushes a value of representation R loaded from [BaseLocal] + ByteOff.
+  void loadFromMem(uint32_t BaseLocal, uint32_t ByteOff,
+                   const std::vector<ValType> &R, std::vector<WInst> &O) {
+    uint32_t Off = ByteOff;
+    for (ValType V : R) {
+      O.push_back(WInst::idx(Op::LocalGet, BaseLocal));
+      switch (V) {
+      case ValType::I32:
+        O.push_back(WInst::mem(Op::I32Load, 2, Off));
+        break;
+      case ValType::I64:
+        O.push_back(WInst::mem(Op::I64Load, 3, Off));
+        break;
+      case ValType::F32:
+        O.push_back(WInst::mem(Op::F32Load, 2, Off));
+        break;
+      case ValType::F64:
+        O.push_back(WInst::mem(Op::F64Load, 3, Off));
+        break;
+      }
+      Off += valTypeBytes(V);
+    }
+  }
+
+  /// Coerces the value on top of the stack from representation RF to the
+  /// raw-word representation of width TargetWords (the paper's boxing-free
+  /// stack coercion into a bound-words shape).
+  void compsToWords(const std::vector<ValType> &RF, uint32_t TargetWords,
+                    std::vector<WInst> &O) {
+    // Spill through fresh word scratches.
+    std::vector<uint32_t> Words;
+    for (uint32_t I = 0; I < wordsOf(RF); ++I)
+      Words.push_back(acquire(ValType::I32));
+    // spillToWords needs a contiguous range; emulate with a per-component
+    // loop instead.
+    std::vector<uint32_t> Ls = stash(RF, O);
+    uint32_t W = 0;
+    for (size_t I = 0; I < RF.size(); ++I) {
+      switch (RF[I]) {
+      case ValType::I32:
+        O.push_back(WInst::idx(Op::LocalGet, Ls[I]));
+        O.push_back(WInst::idx(Op::LocalSet, Words[W++]));
+        break;
+      case ValType::F32:
+        O.push_back(WInst::idx(Op::LocalGet, Ls[I]));
+        O.push_back(WInst::mk(Op::I32ReinterpretF32));
+        O.push_back(WInst::idx(Op::LocalSet, Words[W++]));
+        break;
+      case ValType::I64:
+      case ValType::F64: {
+        uint32_t S64 = acquire(ValType::I64);
+        O.push_back(WInst::idx(Op::LocalGet, Ls[I]));
+        if (RF[I] == ValType::F64)
+          O.push_back(WInst::mk(Op::I64ReinterpretF64));
+        O.push_back(WInst::idx(Op::LocalSet, S64));
+        O.push_back(WInst::idx(Op::LocalGet, S64));
+        O.push_back(WInst::mk(Op::I32WrapI64));
+        O.push_back(WInst::idx(Op::LocalSet, Words[W++]));
+        O.push_back(WInst::idx(Op::LocalGet, S64));
+        O.push_back(WInst::i64c(32));
+        O.push_back(WInst::mk(Op::I64ShrU));
+        O.push_back(WInst::mk(Op::I32WrapI64));
+        O.push_back(WInst::idx(Op::LocalSet, Words[W++]));
+        release(ValType::I64, S64);
+        break;
+      }
+      }
+    }
+    releaseAll(RF, Ls);
+    for (uint32_t I = 0; I < TargetWords; ++I) {
+      if (I < Words.size())
+        O.push_back(WInst::idx(Op::LocalGet, Words[I]));
+      else
+        O.push_back(WInst::i32c(0)); // Zero padding up to the bound.
+    }
+    for (uint32_t Wd : Words)
+      release(ValType::I32, Wd);
+  }
+
+  /// Coerces SourceWords raw words on top of the stack back into the
+  /// concrete representation RT.
+  void wordsToComps(const std::vector<ValType> &RT, uint32_t SourceWords,
+                    std::vector<WInst> &O) {
+    std::vector<ValType> Words(SourceWords, ValType::I32);
+    std::vector<uint32_t> Ls = stash(Words, O);
+    uint32_t W = 0;
+    for (ValType V : RT) {
+      switch (V) {
+      case ValType::I32:
+        O.push_back(WInst::idx(Op::LocalGet, Ls[W++]));
+        break;
+      case ValType::F32:
+        O.push_back(WInst::idx(Op::LocalGet, Ls[W++]));
+        O.push_back(WInst::mk(Op::F32ReinterpretI32));
+        break;
+      case ValType::I64:
+      case ValType::F64:
+        O.push_back(WInst::idx(Op::LocalGet, Ls[W]));
+        O.push_back(WInst::mk(Op::I64ExtendI32U));
+        O.push_back(WInst::idx(Op::LocalGet, Ls[W + 1]));
+        O.push_back(WInst::mk(Op::I64ExtendI32U));
+        O.push_back(WInst::i64c(32));
+        O.push_back(WInst::mk(Op::I64Shl));
+        O.push_back(WInst::mk(Op::I64Or));
+        if (V == ValType::F64)
+          O.push_back(WInst::mk(Op::F64ReinterpretI64));
+        W += 2;
+        break;
+      }
+    }
+    releaseAll(Words, Ls);
+  }
+
+  /// Coerces the top-of-stack value from type From (under this function's
+  /// bounds) to type To (under ToBounds — the callee's). No-op when the
+  /// representations already agree.
+  Status coerce(const Type &From, const Type &To, const TypeVarSizes &ToBounds,
+                std::vector<WInst> &O) {
+    Expected<std::vector<ValType>> RF = repOfType(From, Bounds);
+    Expected<std::vector<ValType>> RT = repOfType(To, ToBounds);
+    if (!RF)
+      return RF.error();
+    if (!RT)
+      return RT.error();
+    if (*RF == *RT)
+      return Status::success();
+    bool ToWords = isa<VarPT>(To.P) || isa<SkolemPT>(To.P);
+    bool FromWords = isa<VarPT>(From.P) || isa<SkolemPT>(From.P);
+    if (ToWords) {
+      compsToWords(*RF, wordsOf(*RT), O);
+      return Status::success();
+    }
+    if (FromWords) {
+      // Drop the padding words beyond the concrete value's width first:
+      // pop all source words, push back only the low ones as the value.
+      std::vector<ValType> Words(RF->size(), ValType::I32);
+      std::vector<uint32_t> Ls = stash(Words, O);
+      uint32_t Need = wordsOf(*RT);
+      for (uint32_t I = 0; I < Need; ++I)
+        O.push_back(WInst::idx(Op::LocalGet, Ls[I]));
+      releaseAll(Words, Ls);
+      wordsToComps(*RT, Need, O);
+      return Status::success();
+    }
+    // Structural: unwrap ∃ρ and rec, recurse through tuples.
+    if (const auto *EF = dyn_cast<ExLocPT>(From.P))
+      return coerce(EF->body(), To, ToBounds, O);
+    if (const auto *ET = dyn_cast<ExLocPT>(To.P))
+      return coerce(From, ET->body(), ToBounds, O);
+    if (isa<ProdPT>(From.P) && isa<ProdPT>(To.P)) {
+      const auto &EFs = cast<ProdPT>(From.P.get())->elems();
+      const auto &ETs = cast<ProdPT>(To.P.get())->elems();
+      if (EFs.size() != ETs.size())
+        return Error("tuple arity mismatch in stack coercion");
+      // Stash everything, then re-push element by element with coercion.
+      std::vector<std::vector<ValType>> ERs;
+      std::vector<std::vector<uint32_t>> ELs(EFs.size());
+      for (const Type &E : EFs) {
+        Expected<std::vector<ValType>> R = repOfType(E, Bounds);
+        if (!R)
+          return R.error();
+        ERs.push_back(*R);
+      }
+      for (size_t I = EFs.size(); I > 0; --I)
+        ELs[I - 1] = stash(ERs[I - 1], O);
+      for (size_t I = 0; I < EFs.size(); ++I) {
+        unstash(ERs[I], ELs[I], O);
+        if (Status S = coerce(EFs[I], ETs[I], ToBounds, O); !S)
+          return S;
+      }
+      return Status::success();
+    }
+    return Error("unsupported stack coercion between " +
+                 std::to_string(RF->size()) + " and " +
+                 std::to_string(RT->size()) + " components");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Instruction lowering
+  //===--------------------------------------------------------------------===//
+
+  Expected<std::vector<WInst>> lowerSeq(const InstVec &Insts);
+  Status lowerInst(const Inst &I, std::vector<WInst> &O, bool &Terminated);
+
+  const typing::InstInfo *info(const Inst *I) { return P.info(ModIdx, I); }
+};
+
+//===----------------------------------------------------------------------===//
+// FuncLowering implementation
+//===----------------------------------------------------------------------===//
+
+Expected<std::vector<WInst>> FuncLowering::lowerSeq(const InstVec &Insts) {
+  std::vector<WInst> O;
+  bool Terminated = false;
+  for (const InstRef &I : Insts) {
+    if (Terminated)
+      break; // Dead code carries no checker annotations; skip it.
+    if (Status S = lowerInst(*I, O, Terminated); !S)
+      return S.error();
+  }
+  return O;
+}
+
+Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
+                               bool &Terminated) {
+  const typing::InstInfo *Inf = info(&I);
+  switch (I.kind()) {
+  //===---------------------------------------------------- numeric -------===//
+  case InstKind::NumConst: {
+    const auto *C = cast<NumConstInst>(&I);
+    switch (C->numType()) {
+    case NumType::I32:
+    case NumType::U32:
+      O.push_back(WInst::i32c(static_cast<int32_t>(C->bits())));
+      break;
+    case NumType::I64:
+    case NumType::U64:
+      O.push_back(WInst::i64c(static_cast<int64_t>(C->bits())));
+      break;
+    case NumType::F32: {
+      WInst W(Op::F32Const);
+      W.U64 = C->bits() & 0xffffffffu;
+      O.push_back(W);
+      break;
+    }
+    case NumType::F64: {
+      WInst W(Op::F64Const);
+      W.U64 = C->bits();
+      O.push_back(W);
+      break;
+    }
+    }
+    return Status::success();
+  }
+  case InstKind::NumUnop: {
+    const auto *U = cast<NumUnopInst>(&I);
+    Expected<Op> K = mapUnop(U->numType(), U->op());
+    if (!K)
+      return K.error();
+    O.push_back(WInst::mk(*K));
+    return Status::success();
+  }
+  case InstKind::NumBinop: {
+    const auto *B = cast<NumBinopInst>(&I);
+    Expected<Op> K = mapBinop(B->numType(), B->op());
+    if (!K)
+      return K.error();
+    O.push_back(WInst::mk(*K));
+    return Status::success();
+  }
+  case InstKind::NumTestop: {
+    const auto *T = cast<NumTestopInst>(&I);
+    O.push_back(
+        WInst::mk(numTypeBits(T->numType()) == 64 ? Op::I64Eqz : Op::I32Eqz));
+    return Status::success();
+  }
+  case InstKind::NumRelop: {
+    const auto *R = cast<NumRelopInst>(&I);
+    Expected<Op> K = mapRelop(R->numType(), R->op());
+    if (!K)
+      return K.error();
+    O.push_back(WInst::mk(*K));
+    return Status::success();
+  }
+  case InstKind::NumCvt: {
+    const auto *C = cast<NumCvtInst>(&I);
+    Expected<std::optional<Op>> K = mapCvt(C->from(), C->to(), C->op());
+    if (!K)
+      return K.error();
+    if (*K)
+      O.push_back(WInst::mk(**K));
+    return Status::success();
+  }
+
+  //===------------------------------------------------- parametric -------===//
+  case InstKind::Unreachable:
+    O.push_back(WInst::mk(Op::Unreachable));
+    Terminated = true;
+    return Status::success();
+  case InstKind::Nop:
+    return Status::success();
+  case InstKind::Drop: {
+    if (!Inf)
+      return Error("missing checker annotation at drop");
+    Expected<std::vector<ValType>> R = rep(Inf->Operands[0]);
+    if (!R)
+      return R.error();
+    for (size_t J = 0; J < R->size(); ++J)
+      O.push_back(WInst::mk(Op::Drop));
+    return Status::success();
+  }
+  case InstKind::Select: {
+    if (!Inf)
+      return Error("missing checker annotation at select");
+    Expected<std::vector<ValType>> R = rep(Inf->Operands[0]);
+    if (!R)
+      return R.error();
+    if (R->size() == 1) {
+      O.push_back(WInst::mk(Op::Select));
+      return Status::success();
+    }
+    // Multi-component select: pop the condition, both values, and re-push
+    // the chosen one through an if.
+    uint32_t Cond = acquire(ValType::I32);
+    O.push_back(WInst::idx(Op::LocalSet, Cond));
+    std::vector<uint32_t> V2 = stash(*R, O);
+    std::vector<uint32_t> V1 = stash(*R, O);
+    std::vector<WInst> Then, Else;
+    unstash(*R, V1, Then, /*Release=*/false);
+    unstash(*R, V2, Else, /*Release=*/false);
+    O.push_back(WInst::idx(Op::LocalGet, Cond));
+    O.push_back(WInst::ifElse({{}, *R}, std::move(Then), std::move(Else)));
+    releaseAll(*R, V1);
+    releaseAll(*R, V2);
+    release(ValType::I32, Cond);
+    return Status::success();
+  }
+
+  //===------------------------------------------------ control flow ------===//
+  case InstKind::Block:
+  case InstKind::Loop: {
+    const ArrowType &TF = I.kind() == InstKind::Block
+                              ? cast<BlockInst>(&I)->arrow()
+                              : cast<LoopInst>(&I)->arrow();
+    const InstVec &Body = I.kind() == InstKind::Block
+                              ? cast<BlockInst>(&I)->body()
+                              : cast<LoopInst>(&I)->body();
+    Expected<std::vector<ValType>> PR = repOfTypes(TF.Params, Bounds);
+    Expected<std::vector<ValType>> RR = repOfTypes(TF.Results, Bounds);
+    if (!PR || !RR)
+      return Error("bad block type in lowering");
+    ++Depth;
+    RichLabels.push_back(Depth);
+    Expected<std::vector<WInst>> B = lowerSeq(Body);
+    RichLabels.pop_back();
+    --Depth;
+    if (!B)
+      return B.error();
+    wasm::FuncType BT{*PR, *RR};
+    if (I.kind() == InstKind::Block)
+      O.push_back(WInst::block(std::move(BT), std::move(*B)));
+    else
+      O.push_back(WInst::loop(std::move(BT), std::move(*B)));
+    return Status::success();
+  }
+  case InstKind::If: {
+    const auto *F = cast<IfInst>(&I);
+    Expected<std::vector<ValType>> PR = repOfTypes(F->arrow().Params, Bounds);
+    Expected<std::vector<ValType>> RR = repOfTypes(F->arrow().Results, Bounds);
+    if (!PR || !RR)
+      return Error("bad if type in lowering");
+    ++Depth;
+    RichLabels.push_back(Depth);
+    Expected<std::vector<WInst>> T = lowerSeq(F->thenBody());
+    Expected<std::vector<WInst>> E = lowerSeq(F->elseBody());
+    RichLabels.pop_back();
+    --Depth;
+    if (!T)
+      return T.error();
+    if (!E)
+      return E.error();
+    O.push_back(
+        WInst::ifElse({*PR, *RR}, std::move(*T), std::move(*E)));
+    return Status::success();
+  }
+  case InstKind::Br:
+  case InstKind::BrIf: {
+    uint32_t D = cast<BrInst>(&I)->depth();
+    if (D >= RichLabels.size())
+      return Error("br depth out of range in lowering");
+    uint32_t Target = RichLabels[RichLabels.size() - 1 - D];
+    uint32_t WasmD = Depth - Target;
+    O.push_back(WInst::idx(I.kind() == InstKind::Br ? Op::Br : Op::BrIf,
+                           WasmD));
+    if (I.kind() == InstKind::Br)
+      Terminated = true;
+    return Status::success();
+  }
+  case InstKind::BrTable: {
+    const auto *B = cast<BrTableInst>(&I);
+    std::vector<uint32_t> Ds;
+    for (uint32_t D : B->depths()) {
+      if (D >= RichLabels.size())
+        return Error("br_table depth out of range in lowering");
+      Ds.push_back(Depth - RichLabels[RichLabels.size() - 1 - D]);
+    }
+    if (B->defaultDepth() >= RichLabels.size())
+      return Error("br_table default out of range in lowering");
+    uint32_t Dd = Depth - RichLabels[RichLabels.size() - 1 - B->defaultDepth()];
+    O.push_back(WInst::brTable(std::move(Ds), Dd));
+    Terminated = true;
+    return Status::success();
+  }
+  case InstKind::Return:
+    O.push_back(WInst::mk(Op::Return));
+    Terminated = true;
+    return Status::success();
+
+  //===---------------------------------------------------- locals --------===//
+  case InstKind::GetLocal: {
+    const auto *G = cast<GetLocalInst>(&I);
+    if (!Inf)
+      return Error("missing checker annotation at get_local");
+    Expected<std::vector<ValType>> R = rep(Inf->Results[0]);
+    if (!R)
+      return R.error();
+    loadFromWords(RwLocalBase[G->index()], *R, O);
+    return Status::success();
+  }
+  case InstKind::SetLocal:
+  case InstKind::TeeLocal: {
+    const auto *S = cast<VarIdxInst>(&I);
+    if (!Inf)
+      return Error("missing checker annotation at set/tee_local");
+    Expected<std::vector<ValType>> R = rep(Inf->Operands[0]);
+    if (!R)
+      return R.error();
+    spillToWords(RwLocalBase[S->index()], *R, O);
+    if (I.kind() == InstKind::TeeLocal)
+      loadFromWords(RwLocalBase[S->index()], *R, O);
+    return Status::success();
+  }
+  case InstKind::GetGlobal:
+  case InstKind::SetGlobal: {
+    const auto *G = cast<VarIdxInst>(&I);
+    auto It = P.GlobalMap.find({ModIdx, G->index()});
+    if (It == P.GlobalMap.end())
+      return Error("global not lowered");
+    uint32_t Base = It->second.first;
+    const std::vector<ValType> &R = It->second.second;
+    if (I.kind() == InstKind::GetGlobal) {
+      for (uint32_t J = 0; J < R.size(); ++J)
+        O.push_back(WInst::idx(Op::GlobalGet, Base + J));
+    } else {
+      for (size_t J = R.size(); J > 0; --J)
+        O.push_back(WInst::idx(Op::GlobalSet, Base + static_cast<uint32_t>(J - 1)));
+    }
+    return Status::success();
+  }
+
+  //===------------------------------------ erased (type-level) ops -------===//
+  case InstKind::Qualify:
+  case InstKind::CapSplit:
+  case InstKind::CapJoin:
+  case InstKind::RefDemote:
+  case InstKind::RefSplit:
+  case InstKind::RefJoin:
+  case InstKind::RecFold:
+  case InstKind::RecUnfold:
+  case InstKind::MemPack:
+  case InstKind::Group:
+  case InstKind::Ungroup:
+  case InstKind::InstIdx:
+    return Status::success();
+
+  //===---------------------------------------------------- calls ---------===//
+  case InstKind::CoderefI: {
+    const auto *C = cast<CoderefInst>(&I);
+    uint32_t Base = P.Out.TableBase.at(ModIdx);
+    O.push_back(WInst::i32c(static_cast<int32_t>(Base + C->funcIndex())));
+    return Status::success();
+  }
+  case InstKind::Call: {
+    const auto *C = cast<CallInst>(&I);
+    if (!Inf)
+      return Error("missing checker annotation at call");
+    const Module &M = *P.Mods[ModIdx];
+    const FunTypeRef &CalleeTy = M.Funcs[C->funcIndex()].Ty;
+    uint32_t Target = P.Out.FuncMap.at({ModIdx, C->funcIndex()});
+
+    // Fast path: shapes agree when there are no pretype/size quantifiers.
+    bool NeedsCoercion = false;
+    for (const Quant &Q : CalleeTy->quants())
+      if (Q.K == QuantKind::Type || Q.K == QuantKind::Size)
+        NeedsCoercion = true;
+    if (!NeedsCoercion) {
+      O.push_back(WInst::idx(Op::Call, Target));
+      return Status::success();
+    }
+
+    TypeVarSizes CalleeBounds =
+        typing::typeVarSizes(typing::buildKindCtx(CalleeTy->quants()));
+    const std::vector<Type> &ConcP = Inf->Operands;
+    const std::vector<Type> &PolyP = CalleeTy->arrow().Params;
+    // Stash all arguments (top of stack = last parameter).
+    std::vector<std::vector<ValType>> Reps(ConcP.size());
+    std::vector<std::vector<uint32_t>> Ls(ConcP.size());
+    for (size_t J = ConcP.size(); J > 0; --J) {
+      Expected<std::vector<ValType>> R = rep(ConcP[J - 1]);
+      if (!R)
+        return R.error();
+      Reps[J - 1] = *R;
+      Ls[J - 1] = stash(Reps[J - 1], O);
+    }
+    for (size_t J = 0; J < ConcP.size(); ++J) {
+      unstash(Reps[J], Ls[J], O);
+      if (Status S = coerce(ConcP[J], PolyP[J], CalleeBounds, O); !S)
+        return S;
+    }
+    O.push_back(WInst::idx(Op::Call, Target));
+    // Coerce results back: stash by the *callee's* reps, re-push coerced.
+    const std::vector<Type> &ConcR = Inf->Results;
+    const std::vector<Type> &PolyR = CalleeTy->arrow().Results;
+    std::vector<std::vector<ValType>> RReps(PolyR.size());
+    std::vector<std::vector<uint32_t>> RLs(PolyR.size());
+    for (size_t J = PolyR.size(); J > 0; --J) {
+      Expected<std::vector<ValType>> R = repOfType(PolyR[J - 1], CalleeBounds);
+      if (!R)
+        return R.error();
+      RReps[J - 1] = *R;
+      RLs[J - 1] = stash(RReps[J - 1], O);
+    }
+    for (size_t J = 0; J < PolyR.size(); ++J) {
+      unstash(RReps[J], RLs[J], O);
+      // Reverse coercion: from the callee's poly shape to the caller's
+      // concrete shape. Swap roles: treat poly as "from" (callee bounds).
+      Expected<std::vector<ValType>> RF = repOfType(PolyR[J], CalleeBounds);
+      Expected<std::vector<ValType>> RT = rep(ConcR[J]);
+      if (!RF || !RT)
+        return Error("bad result representation");
+      if (*RF != *RT) {
+        if (isa<VarPT>(PolyR[J].P) || isa<SkolemPT>(PolyR[J].P)) {
+          std::vector<ValType> Words(RF->size(), ValType::I32);
+          std::vector<uint32_t> WLs = stash(Words, O);
+          uint32_t Need = wordsOf(*RT);
+          for (uint32_t K = 0; K < Need; ++K)
+            O.push_back(WInst::idx(Op::LocalGet, WLs[K]));
+          releaseAll(Words, WLs);
+          wordsToComps(*RT, Need, O);
+        } else {
+          return Error("unsupported result coercion");
+        }
+      }
+    }
+    return Status::success();
+  }
+  case InstKind::CallIndirect: {
+    if (!Inf)
+      return Error("missing checker annotation at call_indirect");
+    // Operands = params + coderef; the coderef type is fully instantiated.
+    const Type &CT = Inf->Operands.back();
+    const auto *CR = dyn_cast<CoderefPT>(CT.P);
+    if (!CR)
+      return Error("call_indirect without a coderef operand");
+    const ArrowType &Arrow = CR->funType()->arrow();
+
+    bool Abstract = false;
+    for (const Type &T : Arrow.Params)
+      Abstract |= containsAbstract(T);
+    for (const Type &T : Arrow.Results)
+      Abstract |= containsAbstract(T);
+
+    if (!Abstract) {
+      // Concrete signature: the table entry was compiled with exactly this
+      // shape, so a plain call_indirect suffices.
+      Expected<std::vector<ValType>> PR = repOfTypes(Arrow.Params, Bounds);
+      Expected<std::vector<ValType>> RR = repOfTypes(Arrow.Results, Bounds);
+      if (!PR || !RR)
+        return Error("bad indirect call signature");
+      WInst CI(Op::CallIndirect);
+      CI.U32 = 0; // Patched later (needs module-level type interning).
+      CI.BT = {*PR, *RR};
+      O.push_back(CI);
+      return Status::success();
+    }
+
+    // Abstract signature (the Fig 9 pattern: a coderef whose type mentions
+    // an opened existential). Table entries were compiled against their
+    // concrete shapes, so emit the paper's runtime shape dispatch: a case
+    // per distinct table shape that coerces arguments from the abstract
+    // (bound-words) representation to the entry's concrete shape and the
+    // results back.
+    std::vector<std::vector<ValType>> APar, ARes;
+    for (const Type &T : Arrow.Params) {
+      Expected<std::vector<ValType>> R = rep(T);
+      if (!R)
+        return R.error();
+      APar.push_back(*R);
+    }
+    for (const Type &T : Arrow.Results) {
+      Expected<std::vector<ValType>> R = rep(T);
+      if (!R)
+        return R.error();
+      ARes.push_back(*R);
+    }
+    Expected<std::vector<ValType>> ARFlat = repOfTypes(Arrow.Results, Bounds);
+    if (!ARFlat)
+      return ARFlat.error();
+
+    // The coderef (table index) is on top; then the args.
+    uint32_t IdxL = acquire(ValType::I32);
+    O.push_back(WInst::idx(Op::LocalSet, IdxL));
+    std::vector<std::vector<uint32_t>> ALs(APar.size());
+    for (size_t J = APar.size(); J > 0; --J)
+      ALs[J - 1] = stash(APar[J - 1], O);
+
+    // Group compatible table slots by lowered signature.
+    const std::vector<ProgramLowering::SlotShape> &Shapes = P.TableShapes;
+    std::vector<wasm::FuncType> GroupSigs;
+    std::vector<const ProgramLowering::SlotShape *> GroupShape;
+    std::vector<uint32_t> SlotToGroup(Shapes.size(), ~0u);
+    for (size_t K = 0; K < Shapes.size(); ++K) {
+      const auto &Sh = Shapes[K];
+      if (Sh.ParamReps.size() != APar.size() ||
+          Sh.ResultReps.size() != ARes.size())
+        continue; // Incompatible arity: routed to the trap case.
+      bool Compatible = true;
+      for (size_t J = 0; J < APar.size() && Compatible; ++J)
+        if (Sh.ParamReps[J] != APar[J] &&
+            !(containsAbstract(Arrow.Params[J])))
+          Compatible = false;
+      for (size_t J = 0; J < ARes.size() && Compatible; ++J)
+        if (Sh.ResultReps[J] != ARes[J] &&
+            !(containsAbstract(Arrow.Results[J])))
+          Compatible = false;
+      if (!Compatible)
+        continue;
+      uint32_t G = ~0u;
+      for (uint32_t GI = 0; GI < GroupSigs.size(); ++GI)
+        if (GroupSigs[GI] == Sh.Sig)
+          G = GI;
+      if (G == ~0u) {
+        G = static_cast<uint32_t>(GroupSigs.size());
+        GroupSigs.push_back(Sh.Sig);
+        GroupShape.push_back(&Sh);
+      }
+      SlotToGroup[K] = G;
+    }
+
+    size_t NG = GroupSigs.size();
+    // Cases 0..NG-1 are the shape groups; case NG traps (bad index or
+    // incompatible entry).
+    std::vector<WInst> Cur;
+    Cur.push_back(WInst::idx(Op::LocalGet, IdxL));
+    {
+      std::vector<uint32_t> Ts;
+      for (size_t K = 0; K < Shapes.size(); ++K)
+        Ts.push_back(SlotToGroup[K] == ~0u ? static_cast<uint32_t>(NG)
+                                           : SlotToGroup[K]);
+      Cur.push_back(WInst::brTable(std::move(Ts),
+                                   static_cast<uint32_t>(NG)));
+    }
+    for (size_t G = 0; G <= NG; ++G) {
+      std::vector<WInst> Next;
+      Next.push_back(WInst::block({{}, {}}, std::move(Cur)));
+      if (G == NG) {
+        Next.push_back(WInst::mk(Op::Unreachable));
+      } else {
+        const auto &Sh = *GroupShape[G];
+        for (size_t J = 0; J < APar.size(); ++J) {
+          unstash(APar[J], ALs[J], Next, /*Release=*/false);
+          if (APar[J] != Sh.ParamReps[J]) {
+            // Abstract words → the entry's concrete shape.
+            std::vector<ValType> Words(APar[J].size(), ValType::I32);
+            std::vector<uint32_t> WLs = stash(Words, Next);
+            uint32_t Need = wordsOf(Sh.ParamReps[J]);
+            for (uint32_t K2 = 0; K2 < Need; ++K2)
+              Next.push_back(WInst::idx(Op::LocalGet, WLs[K2]));
+            releaseAll(Words, WLs);
+            wordsToComps(Sh.ParamReps[J], Need, Next);
+          }
+        }
+        Next.push_back(WInst::idx(Op::LocalGet, IdxL));
+        WInst CI(Op::CallIndirect);
+        CI.U32 = 0; // Patched later.
+        CI.BT = Sh.Sig;
+        Next.push_back(CI);
+        // Coerce results back to the abstract representation.
+        std::vector<std::vector<uint32_t>> RLs(ARes.size());
+        for (size_t J = ARes.size(); J > 0; --J)
+          RLs[J - 1] = stash(Sh.ResultReps[J - 1], Next);
+        for (size_t J = 0; J < ARes.size(); ++J) {
+          unstash(Sh.ResultReps[J], RLs[J], Next);
+          if (ARes[J] != Sh.ResultReps[J])
+            compsToWords(Sh.ResultReps[J],
+                         static_cast<uint32_t>(ARes[J].size()), Next);
+        }
+        Next.push_back(
+            WInst::idx(Op::Br, static_cast<uint32_t>(NG - G)));
+      }
+      Cur = std::move(Next);
+    }
+    O.push_back(WInst::block({{}, *ARFlat}, std::move(Cur)));
+    for (size_t J = 0; J < APar.size(); ++J)
+      releaseAll(APar[J], ALs[J]);
+    release(ValType::I32, IdxL);
+    return Status::success();
+  }
+
+  //===------------------------------------------------ mem.unpack --------===//
+  case InstKind::MemUnpack: {
+    const auto *MU = cast<MemUnpackInst>(&I);
+    if (!Inf)
+      return Error("missing checker annotation at mem.unpack");
+    const Type &PackT = Inf->Operands.back();
+    const auto *Ex = dyn_cast<ExLocPT>(PackT.P);
+    if (!Ex)
+      return Error("mem.unpack operand is not an existential package");
+    Expected<std::vector<ValType>> PR =
+        repOfTypes(MU->arrow().Params, Bounds);
+    Expected<std::vector<ValType>> VR = rep(Ex->body());
+    Expected<std::vector<ValType>> RR =
+        repOfTypes(MU->arrow().Results, Bounds);
+    if (!PR || !VR || !RR)
+      return Error("bad mem.unpack types");
+    std::vector<ValType> In = *PR;
+    In.insert(In.end(), VR->begin(), VR->end());
+    ++Depth;
+    RichLabels.push_back(Depth);
+    Expected<std::vector<WInst>> B = lowerSeq(MU->body());
+    RichLabels.pop_back();
+    --Depth;
+    if (!B)
+      return B.error();
+    O.push_back(WInst::block({std::move(In), *RR}, std::move(*B)));
+    return Status::success();
+  }
+
+  //===---------------------------------------------------- structs -------===//
+  case InstKind::StructMalloc: {
+    const auto *SM = cast<StructMallocInst>(&I);
+    if (!Inf)
+      return Error("missing checker annotation at struct.malloc");
+    const std::vector<Type> &Fields = Inf->Operands;
+    std::vector<uint32_t> Offs;
+    uint32_t Off = 0;
+    std::vector<bool> Map;
+    for (size_t J = 0; J < Fields.size(); ++J) {
+      Offs.push_back(Off);
+      Expected<uint32_t> SB = slotBytes(SM->sizes()[J]);
+      if (!SB)
+        return SB.error();
+      Expected<std::vector<bool>> FM = refMaskOfType(Fields[J], Bounds);
+      if (!FM)
+        return FM.error();
+      while (Map.size() < Off / 4)
+        Map.push_back(false);
+      for (bool Bit : *FM)
+        Map.push_back(Bit);
+      while (Map.size() < (Off + *SB) / 4)
+        Map.push_back(false);
+      Off += *SB;
+    }
+    bool Lin = SM->qual().isLinConst();
+    // Stash fields (last on top).
+    std::vector<std::vector<ValType>> Reps(Fields.size());
+    std::vector<std::vector<uint32_t>> Ls(Fields.size());
+    for (size_t J = Fields.size(); J > 0; --J) {
+      Expected<std::vector<ValType>> R = rep(Fields[J - 1]);
+      if (!R)
+        return R.error();
+      Reps[J - 1] = *R;
+      Ls[J - 1] = stash(Reps[J - 1], O);
+    }
+    O.push_back(WInst::i32c(static_cast<int32_t>(Off)));
+    O.push_back(WInst::i32c(Lin ? static_cast<int32_t>(RtLinear) : 0));
+    O.push_back(WInst::i32c(static_cast<int32_t>(packPtrMap(Map))));
+    O.push_back(WInst::idx(Op::Call, P.Out.Runtime.AllocFunc));
+    uint32_t Base = acquire(ValType::I32);
+    O.push_back(WInst::idx(Op::LocalSet, Base));
+    for (size_t J = 0; J < Fields.size(); ++J) {
+      storeComps(Base, Offs[J], Reps[J], Ls[J], O);
+      releaseAll(Reps[J], Ls[J]);
+    }
+    O.push_back(WInst::idx(Op::LocalGet, Base));
+    release(ValType::I32, Base);
+    return Status::success();
+  }
+  case InstKind::StructFree:
+  case InstKind::ArrayFree:
+    O.push_back(WInst::idx(Op::Call, P.Out.Runtime.FreeFunc));
+    return Status::success();
+  case InstKind::StructGet:
+  case InstKind::StructSet:
+  case InstKind::StructSwap: {
+    const auto *SG = cast<StructIdxInst>(&I);
+    if (!Inf)
+      return Error("missing checker annotation at struct access");
+    const Type &RefT = Inf->Operands[0];
+    const auto *R = dyn_cast<RefPT>(RefT.P);
+    const StructHT *H = R ? dyn_cast<StructHT>(R->heapType()) : nullptr;
+    if (!H)
+      return Error("struct access without struct reference type");
+    uint32_t Off = 0;
+    for (uint32_t J = 0; J < SG->fieldIndex(); ++J) {
+      Expected<uint32_t> SB = slotBytes(H->fields()[J].Slot);
+      if (!SB)
+        return SB.error();
+      Off += *SB;
+    }
+    const Type &FieldT = H->fields()[SG->fieldIndex()].T;
+    Expected<std::vector<ValType>> FR = rep(FieldT);
+    if (!FR)
+      return FR.error();
+
+    if (I.kind() == InstKind::StructGet) {
+      uint32_t Base = acquire(ValType::I32);
+      O.push_back(WInst::idx(Op::LocalTee, Base)); // ref stays on the stack
+      loadFromMem(Base, Off, *FR, O);
+      release(ValType::I32, Base);
+      return Status::success();
+    }
+
+    // set / swap: stack is [ref, new-value].
+    const Type &NewT = Inf->Operands[1];
+    Expected<std::vector<ValType>> NR = rep(NewT);
+    if (!NR)
+      return NR.error();
+    std::vector<uint32_t> NLs = stash(*NR, O);
+    uint32_t Base = acquire(ValType::I32);
+    O.push_back(WInst::idx(Op::LocalTee, Base)); // ref stays
+    if (I.kind() == InstKind::StructSwap)
+      loadFromMem(Base, Off, *FR, O); // old value above the ref
+    storeComps(Base, Off, *NR, NLs, O);
+    releaseAll(*NR, NLs);
+
+    // Maintain the header pointer map across strong updates.
+    Expected<std::vector<bool>> OldM = refMaskOfType(FieldT, Bounds);
+    Expected<std::vector<bool>> NewM = refMaskOfType(NewT, Bounds);
+    if (!OldM || !NewM)
+      return Error("bad pointer masks");
+    Expected<uint32_t> SlotB = slotBytes(H->fields()[SG->fieldIndex()].Slot);
+    if (!SlotB)
+      return SlotB.error();
+    uint32_t SlotWords = *SlotB / 4;
+    uint32_t ClearMask = 0, SetMask = 0;
+    for (uint32_t W = 0; W < SlotWords; ++W) {
+      uint32_t Bit = Off / 4 + W;
+      if (Bit >= 29)
+        break;
+      ClearMask |= 1u << Bit;
+      if (W < NewM->size() && (*NewM)[W])
+        SetMask |= 1u << Bit;
+    }
+    bool OldHasPtr = false;
+    for (bool Bt : *OldM)
+      OldHasPtr |= Bt;
+    bool NewHasPtr = false;
+    for (bool Bt : *NewM)
+      NewHasPtr |= Bt;
+    if (OldHasPtr || NewHasPtr) {
+      // map = (map & ~Clear) | Set, at address base - 4.
+      uint32_t Addr = acquire(ValType::I32);
+      O.push_back(WInst::idx(Op::LocalGet, Base));
+      O.push_back(WInst::i32c(4));
+      O.push_back(WInst::mk(Op::I32Sub));
+      O.push_back(WInst::idx(Op::LocalTee, Addr));
+      O.push_back(WInst::idx(Op::LocalGet, Addr));
+      O.push_back(WInst::mem(Op::I32Load, 2, 0));
+      O.push_back(WInst::i32c(static_cast<int32_t>(~ClearMask)));
+      O.push_back(WInst::mk(Op::I32And));
+      O.push_back(WInst::i32c(static_cast<int32_t>(SetMask)));
+      O.push_back(WInst::mk(Op::I32Or));
+      O.push_back(WInst::mem(Op::I32Store, 2, 0));
+      release(ValType::I32, Addr);
+    }
+    release(ValType::I32, Base);
+    return Status::success();
+  }
+
+  //===---------------------------------------------------- variants ------===//
+  case InstKind::VariantMalloc: {
+    const auto *VM = cast<VariantMallocInst>(&I);
+    const Type &PayloadT = VM->cases()[VM->tag()];
+    Expected<std::vector<ValType>> PRp = rep(PayloadT);
+    Expected<uint32_t> PB = byteSizeOfType(PayloadT, Bounds);
+    Expected<std::vector<bool>> PM = refMaskOfType(PayloadT, Bounds);
+    if (!PRp || !PB || !PM)
+      return Error("bad variant payload type");
+    std::vector<bool> Map = {false}; // Tag word.
+    Map.insert(Map.end(), PM->begin(), PM->end());
+    std::vector<uint32_t> Ls = stash(*PRp, O);
+    O.push_back(WInst::i32c(static_cast<int32_t>(4 + *PB)));
+    O.push_back(WInst::i32c(VM->qual().isLinConst() ? static_cast<int32_t>(RtLinear) : 0));
+    O.push_back(WInst::i32c(static_cast<int32_t>(packPtrMap(Map))));
+    O.push_back(WInst::idx(Op::Call, P.Out.Runtime.AllocFunc));
+    uint32_t Base = acquire(ValType::I32);
+    O.push_back(WInst::idx(Op::LocalSet, Base));
+    O.push_back(WInst::idx(Op::LocalGet, Base));
+    O.push_back(WInst::i32c(static_cast<int32_t>(VM->tag())));
+    O.push_back(WInst::mem(Op::I32Store, 2, 0));
+    storeComps(Base, 4, *PRp, Ls, O);
+    releaseAll(*PRp, Ls);
+    O.push_back(WInst::idx(Op::LocalGet, Base));
+    release(ValType::I32, Base);
+    return Status::success();
+  }
+  case InstKind::VariantCase: {
+    const auto *VC = cast<VariantCaseInst>(&I);
+    const auto *H = dyn_cast<VariantHT>(VC->heapType());
+    if (!H)
+      return Error("variant.case annotation is not a variant");
+    size_t N = VC->arms().size();
+    bool Lin = VC->qual().isLinConst();
+    Expected<std::vector<ValType>> PR = repOfTypes(VC->arrow().Params, Bounds);
+    Expected<std::vector<ValType>> RR =
+        repOfTypes(VC->arrow().Results, Bounds);
+    if (!PR || !RR)
+      return Error("bad variant.case types");
+
+    // Stack: [ref, params...]. Stash params, then the ref.
+    std::vector<uint32_t> PLs = stash(*PR, O);
+    uint32_t Base = acquire(ValType::I32);
+    O.push_back(WInst::idx(Op::LocalSet, Base));
+
+    uint32_t DOut = Depth + 1; // Wasm depth just inside the result block.
+    // Innermost: the dispatch br_table.
+    std::vector<WInst> Cur;
+    Cur.push_back(WInst::idx(Op::LocalGet, Base));
+    Cur.push_back(WInst::mem(Op::I32Load, 2, 0));
+    {
+      std::vector<uint32_t> Ts;
+      for (size_t A = 0; A < N; ++A)
+        Ts.push_back(static_cast<uint32_t>(A));
+      Cur.push_back(WInst::brTable(std::move(Ts),
+                                   static_cast<uint32_t>(N - 1)));
+    }
+    for (size_t A = 0; A < N; ++A) {
+      std::vector<WInst> Next;
+      Next.push_back(WInst::block({{}, {}}, std::move(Cur)));
+      // Arm A's code: params, payload, free (linear), arm body.
+      unstash(*PR, PLs, Next, /*Release=*/false);
+      const Type &CaseT = H->cases()[A];
+      Expected<std::vector<ValType>> CR = rep(CaseT);
+      if (!CR)
+        return CR.error();
+      loadFromMem(Base, 4, *CR, Next);
+      if (Lin) {
+        Next.push_back(WInst::idx(Op::LocalGet, Base));
+        Next.push_back(WInst::idx(Op::Call, P.Out.Runtime.FreeFunc));
+      }
+      uint32_t SavedDepth = Depth;
+      Depth = DOut + static_cast<uint32_t>(N - 1 - A);
+      RichLabels.push_back(DOut);
+      Expected<std::vector<WInst>> ArmCode = lowerSeq(VC->arms()[A]);
+      RichLabels.pop_back();
+      Depth = SavedDepth;
+      if (!ArmCode)
+        return ArmCode.error();
+      Next.insert(Next.end(), std::make_move_iterator(ArmCode->begin()),
+                  std::make_move_iterator(ArmCode->end()));
+      if (A + 1 < N)
+        Next.push_back(WInst::idx(Op::Br, static_cast<uint32_t>(N - 1 - A)));
+      Cur = std::move(Next);
+    }
+    O.push_back(WInst::block({{}, *RR}, std::move(Cur)));
+    releaseAll(*PR, PLs);
+
+    if (!Lin) {
+      // The reference goes back *under* the results.
+      std::vector<uint32_t> RLs = stash(*RR, O);
+      O.push_back(WInst::idx(Op::LocalGet, Base));
+      unstash(*RR, RLs, O);
+    }
+    release(ValType::I32, Base);
+    return Status::success();
+  }
+
+  //===---------------------------------------------------- arrays --------===//
+  case InstKind::ArrayMalloc: {
+    if (!Inf)
+      return Error("missing checker annotation at array.malloc");
+    const Type &InitT = Inf->Operands[0];
+    Expected<std::vector<ValType>> IR = rep(InitT);
+    Expected<uint32_t> EB = byteSizeOfType(InitT, Bounds);
+    Expected<std::vector<bool>> EM = refMaskOfType(InitT, Bounds);
+    if (!IR || !EB || !EM)
+      return Error("bad array element type");
+    bool Lin = cast<ArrayMallocInst>(&I)->qual().isLinConst();
+    uint32_t Len = acquire(ValType::I32);
+    O.push_back(WInst::idx(Op::LocalSet, Len));
+    std::vector<uint32_t> ILs = stash(*IR, O);
+    // payload = 4 + len * elemBytes
+    O.push_back(WInst::idx(Op::LocalGet, Len));
+    O.push_back(WInst::i32c(static_cast<int32_t>(*EB)));
+    O.push_back(WInst::mk(Op::I32Mul));
+    O.push_back(WInst::i32c(4));
+    O.push_back(WInst::mk(Op::I32Add));
+    uint32_t Flags = (Lin ? static_cast<uint32_t>(RtLinear) : 0u) | RtArray |
+                     (*EB << RtElemShift);
+    O.push_back(WInst::i32c(static_cast<int32_t>(Flags)));
+    O.push_back(WInst::i32c(static_cast<int32_t>(packPtrMap(*EM))));
+    O.push_back(WInst::idx(Op::Call, P.Out.Runtime.AllocFunc));
+    uint32_t Base = acquire(ValType::I32);
+    O.push_back(WInst::idx(Op::LocalSet, Base));
+    // Store the length.
+    O.push_back(WInst::idx(Op::LocalGet, Base));
+    O.push_back(WInst::idx(Op::LocalGet, Len));
+    O.push_back(WInst::mem(Op::I32Store, 2, 0));
+    // Fill loop.
+    if (*EB > 0) {
+      uint32_t Idx = acquire(ValType::I32);
+      uint32_t Addr = acquire(ValType::I32);
+      O.push_back(WInst::i32c(0));
+      O.push_back(WInst::idx(Op::LocalSet, Idx));
+      std::vector<WInst> LoopBody;
+      LoopBody.push_back(WInst::idx(Op::LocalGet, Idx));
+      LoopBody.push_back(WInst::idx(Op::LocalGet, Len));
+      LoopBody.push_back(WInst::mk(Op::I32GeU));
+      LoopBody.push_back(WInst::idx(Op::BrIf, 1));
+      LoopBody.push_back(WInst::idx(Op::LocalGet, Base));
+      LoopBody.push_back(WInst::idx(Op::LocalGet, Idx));
+      LoopBody.push_back(WInst::i32c(static_cast<int32_t>(*EB)));
+      LoopBody.push_back(WInst::mk(Op::I32Mul));
+      LoopBody.push_back(WInst::mk(Op::I32Add));
+      LoopBody.push_back(WInst::idx(Op::LocalSet, Addr));
+      storeComps(Addr, 4, *IR, ILs, LoopBody);
+      LoopBody.push_back(WInst::idx(Op::LocalGet, Idx));
+      LoopBody.push_back(WInst::i32c(1));
+      LoopBody.push_back(WInst::mk(Op::I32Add));
+      LoopBody.push_back(WInst::idx(Op::LocalSet, Idx));
+      LoopBody.push_back(WInst::idx(Op::Br, 0));
+      std::vector<WInst> LoopBlk;
+      LoopBlk.push_back(WInst::loop({{}, {}}, std::move(LoopBody)));
+      O.push_back(WInst::block({{}, {}}, std::move(LoopBlk)));
+      release(ValType::I32, Idx);
+      release(ValType::I32, Addr);
+    }
+    releaseAll(*IR, ILs);
+    O.push_back(WInst::idx(Op::LocalGet, Base));
+    release(ValType::I32, Base);
+    release(ValType::I32, Len);
+    return Status::success();
+  }
+  case InstKind::ArrayGet:
+  case InstKind::ArraySet: {
+    if (!Inf)
+      return Error("missing checker annotation at array access");
+    bool IsSet = I.kind() == InstKind::ArraySet;
+    const Type &RefT = Inf->Operands[0];
+    const auto *R = dyn_cast<RefPT>(RefT.P);
+    const ArrayHT *H = R ? dyn_cast<ArrayHT>(R->heapType()) : nullptr;
+    if (!H)
+      return Error("array access without array reference");
+    Expected<std::vector<ValType>> ER = rep(H->elem());
+    Expected<uint32_t> EB = byteSizeOfType(H->elem(), Bounds);
+    if (!ER || !EB)
+      return Error("bad array element type");
+    std::vector<uint32_t> VLs;
+    if (IsSet)
+      VLs = stash(*ER, O);
+    uint32_t Idx = acquire(ValType::I32);
+    O.push_back(WInst::idx(Op::LocalSet, Idx));
+    uint32_t Base = acquire(ValType::I32);
+    O.push_back(WInst::idx(Op::LocalTee, Base)); // ref stays
+    // Bounds check: idx >= len → trap.
+    O.push_back(WInst::idx(Op::LocalGet, Idx));
+    O.push_back(WInst::idx(Op::LocalGet, Base));
+    O.push_back(WInst::mem(Op::I32Load, 2, 0));
+    O.push_back(WInst::mk(Op::I32GeU));
+    O.push_back(WInst::ifElse({{}, {}}, {WInst::mk(Op::Unreachable)}, {}));
+    // addr = base + idx * elemBytes
+    uint32_t Addr = acquire(ValType::I32);
+    O.push_back(WInst::idx(Op::LocalGet, Base));
+    O.push_back(WInst::idx(Op::LocalGet, Idx));
+    O.push_back(WInst::i32c(static_cast<int32_t>(*EB)));
+    O.push_back(WInst::mk(Op::I32Mul));
+    O.push_back(WInst::mk(Op::I32Add));
+    O.push_back(WInst::idx(Op::LocalSet, Addr));
+    if (IsSet) {
+      storeComps(Addr, 4, *ER, VLs, O);
+      releaseAll(*ER, VLs);
+    } else {
+      loadFromMem(Addr, 4, *ER, O);
+    }
+    release(ValType::I32, Addr);
+    release(ValType::I32, Base);
+    release(ValType::I32, Idx);
+    return Status::success();
+  }
+
+  //===------------------------------------------------ existentials ------===//
+  case InstKind::ExistPack: {
+    const auto *EP = cast<ExistPackInst>(&I);
+    const auto *H = dyn_cast<ExHT>(EP->heapType());
+    if (!H || !Inf)
+      return Error("bad exist.pack");
+    // The cell stores the *abstract-shape* body value: every α position
+    // occupies its full bound in raw words, so unpack (which only knows
+    // the abstract shape) reads it back consistently regardless of the
+    // witness.
+    TypeVarSizes BodyBounds;
+    BodyBounds.push_back(H->sizeUpper());
+    BodyBounds.insert(BodyBounds.end(), Bounds.begin(), Bounds.end());
+    Expected<std::vector<ValType>> AR = repOfType(H->body(), BodyBounds);
+    Expected<uint32_t> AB = byteSizeOfType(H->body(), BodyBounds);
+    Expected<std::vector<bool>> AM = refMaskOfType(H->body(), BodyBounds);
+    if (!AR || !AB || !AM)
+      return Error("bad existential body shape");
+    const Type &PayloadT = Inf->Operands[0];
+    // Coerce concrete payload → abstract shape on the stack.
+    FuncLowering *Self = this;
+    {
+      // Build the abstract body type with the binder opened as a skolem of
+      // the declared bound, so coerce() sees the word targets.
+      Subst Sub = Subst::onePretype(
+          skolemPT(0, H->qualLower(), H->sizeUpper(), true));
+      Type AbstractBody = Sub.rewrite(H->body());
+      if (Status S = Self->coerce(PayloadT, AbstractBody, Bounds, O); !S)
+        return S;
+    }
+    std::vector<uint32_t> Ls = stash(*AR, O);
+    O.push_back(WInst::i32c(static_cast<int32_t>(*AB)));
+    O.push_back(WInst::i32c(EP->qual().isLinConst() ? static_cast<int32_t>(RtLinear) : 0));
+    O.push_back(WInst::i32c(static_cast<int32_t>(packPtrMap(*AM))));
+    O.push_back(WInst::idx(Op::Call, P.Out.Runtime.AllocFunc));
+    uint32_t Base = acquire(ValType::I32);
+    O.push_back(WInst::idx(Op::LocalSet, Base));
+    storeComps(Base, 0, *AR, Ls, O);
+    releaseAll(*AR, Ls);
+    O.push_back(WInst::idx(Op::LocalGet, Base));
+    release(ValType::I32, Base);
+    return Status::success();
+  }
+  case InstKind::ExistUnpack: {
+    const auto *EU = cast<ExistUnpackInst>(&I);
+    const auto *H = dyn_cast<ExHT>(EU->heapType());
+    if (!H)
+      return Error("bad exist.unpack annotation");
+    bool Lin = EU->qual().isLinConst();
+    Expected<std::vector<ValType>> PR = repOfTypes(EU->arrow().Params, Bounds);
+    Expected<std::vector<ValType>> RR =
+        repOfTypes(EU->arrow().Results, Bounds);
+    if (!PR || !RR)
+      return Error("bad exist.unpack types");
+    TypeVarSizes BodyBounds;
+    BodyBounds.push_back(H->sizeUpper());
+    BodyBounds.insert(BodyBounds.end(), Bounds.begin(), Bounds.end());
+    Expected<std::vector<ValType>> AR = repOfType(H->body(), BodyBounds);
+    if (!AR)
+      return Error("bad existential body shape");
+
+    std::vector<uint32_t> PLs = stash(*PR, O);
+    uint32_t Base = acquire(ValType::I32);
+    O.push_back(WInst::idx(Op::LocalSet, Base));
+
+    std::vector<WInst> BodyPre;
+    unstash(*PR, PLs, BodyPre, /*Release=*/false);
+    loadFromMem(Base, 0, *AR, BodyPre);
+    if (Lin) {
+      BodyPre.push_back(WInst::idx(Op::LocalGet, Base));
+      BodyPre.push_back(WInst::idx(Op::Call, P.Out.Runtime.FreeFunc));
+    }
+    ++Depth;
+    RichLabels.push_back(Depth);
+    Expected<std::vector<WInst>> B = lowerSeq(EU->body());
+    RichLabels.pop_back();
+    --Depth;
+    if (!B)
+      return B.error();
+    BodyPre.insert(BodyPre.end(), std::make_move_iterator(B->begin()),
+                   std::make_move_iterator(B->end()));
+    O.push_back(WInst::block({{}, *RR}, std::move(BodyPre)));
+    releaseAll(*PR, PLs);
+    if (!Lin) {
+      std::vector<uint32_t> RLs = stash(*RR, O);
+      O.push_back(WInst::idx(Op::LocalGet, Base));
+      unstash(*RR, RLs, O);
+    }
+    release(ValType::I32, Base);
+    return Status::success();
+  }
+  }
+  return Error("unhandled instruction in lowering");
+}
+
+//===----------------------------------------------------------------------===//
+// ProgramLowering implementation
+//===----------------------------------------------------------------------===//
+
+Expected<LoweredProgram> ProgramLowering::run() {
+  Infos.resize(Mods.size());
+  for (size_t I = 0; I < Mods.size(); ++I)
+    if (Status S = typing::checkModule(*Mods[I], &Infos[I]); !S)
+      return Error("module '" + Mods[I]->Name + "': " + S.error().message());
+
+  // Export name index over earlier modules.
+  std::map<std::pair<std::string, std::string>, std::pair<uint32_t, uint32_t>>
+      FuncExports;
+  std::map<std::pair<std::string, std::string>, std::pair<uint32_t, uint32_t>>
+      GlobExports;
+
+  // Pass 1: find unresolved imports (these become Wasm imports) and count
+  // everything so function indices can be assigned up front.
+  struct PendingImport {
+    uint32_t Mod, Func;
+    ImportName Name;
+  };
+  std::vector<PendingImport> WasmImports;
+  std::map<std::pair<uint32_t, uint32_t>, std::pair<uint32_t, uint32_t>>
+      ResolvedTo;
+  for (uint32_t MI = 0; MI < Mods.size(); ++MI) {
+    const Module &M = *Mods[MI];
+    for (uint32_t FI = 0; FI < M.Funcs.size(); ++FI) {
+      const Function &F = M.Funcs[FI];
+      if (F.isImport()) {
+        auto It = FuncExports.find({F.Import->Module, F.Import->Name});
+        if (It != FuncExports.end())
+          ResolvedTo[{MI, FI}] = It->second;
+        else
+          WasmImports.push_back({MI, FI, *F.Import});
+      }
+      for (const std::string &E : F.Exports)
+        FuncExports[{M.Name, E}] = {MI, FI};
+    }
+    for (uint32_t GI = 0; GI < M.Globals.size(); ++GI)
+      for (const std::string &E : M.Globals[GI].Exports)
+        GlobExports[{M.Name, E}] = {MI, GI};
+  }
+
+  // Emit Wasm imports first (they occupy the low function indices).
+  for (const PendingImport &PI : WasmImports) {
+    const Function &F = Mods[PI.Mod]->Funcs[PI.Func];
+    TypeVarSizes B = typing::typeVarSizes(typing::buildKindCtx(F.Ty->quants()));
+    Expected<std::vector<ValType>> PR = repOfTypes(F.Ty->arrow().Params, B);
+    Expected<std::vector<ValType>> RR = repOfTypes(F.Ty->arrow().Results, B);
+    if (!PR || !RR)
+      return Error("cannot lower host import signature");
+    uint32_t TI = Out.Module.addType({*PR, *RR});
+    Out.FuncMap[{PI.Mod, PI.Func}] =
+        static_cast<uint32_t>(Out.Module.ImportFuncs.size());
+    Out.Module.ImportFuncs.push_back({PI.Name.Module, PI.Name.Name, TI});
+  }
+
+  // Runtime (allocator) functions come right after the imports.
+  Out.Runtime = emitRuntime(Out.Module);
+
+  // Assign indices for every defined function, module by module.
+  uint32_t NextIdx = Out.Module.numFuncs();
+  for (uint32_t MI = 0; MI < Mods.size(); ++MI) {
+    const Module &M = *Mods[MI];
+    for (uint32_t FI = 0; FI < M.Funcs.size(); ++FI)
+      if (!M.Funcs[FI].isImport())
+        Out.FuncMap[{MI, FI}] = NextIdx++;
+  }
+  // Resolve cross-module imports to their providers' indices.
+  for (auto &[Key, Provider] : ResolvedTo) {
+    auto It = Out.FuncMap.find(Provider);
+    if (It == Out.FuncMap.end())
+      return Error("import resolves to an unlowered function");
+    Out.FuncMap[Key] = It->second;
+  }
+
+  // Table: concatenate all module tables, recording each slot's lowered
+  // shape for the abstract call_indirect dispatch.
+  for (uint32_t MI = 0; MI < Mods.size(); ++MI) {
+    Out.TableBase[MI] =
+        static_cast<uint32_t>(Out.Module.TableElems.size());
+    for (uint32_t E : Mods[MI]->Tab.Entries) {
+      Out.Module.TableElems.push_back(Out.FuncMap.at({MI, E}));
+      const Function &F = Mods[MI]->Funcs[E];
+      TypeVarSizes B =
+          typing::typeVarSizes(typing::buildKindCtx(F.Ty->quants()));
+      SlotShape Sh;
+      for (const Type &T : F.Ty->arrow().Params) {
+        Expected<std::vector<ValType>> R = repOfType(T, B);
+        if (!R)
+          return R.error();
+        Sh.Sig.Params.insert(Sh.Sig.Params.end(), R->begin(), R->end());
+        Sh.ParamReps.push_back(*R);
+      }
+      for (const Type &T : F.Ty->arrow().Results) {
+        Expected<std::vector<ValType>> R = repOfType(T, B);
+        if (!R)
+          return R.error();
+        Sh.Sig.Results.insert(Sh.Sig.Results.end(), R->begin(), R->end());
+        Sh.ResultReps.push_back(*R);
+      }
+      TableShapes.push_back(std::move(Sh));
+    }
+  }
+
+  // Globals.
+  for (uint32_t MI = 0; MI < Mods.size(); ++MI) {
+    const Module &M = *Mods[MI];
+    for (uint32_t GI = 0; GI < M.Globals.size(); ++GI) {
+      const Global &G = M.Globals[GI];
+      if (G.isImport()) {
+        auto It = GlobExports.find({G.Import->Module, G.Import->Name});
+        if (It == GlobExports.end())
+          return Error("unresolved global import " + G.Import->Module + "." +
+                       G.Import->Name);
+        GlobalMap[{MI, GI}] = GlobalMap.at(It->second);
+        continue;
+      }
+      Expected<std::vector<ValType>> R =
+          repOfPretype(G.P, TypeVarSizes{});
+      if (!R)
+        return R.error();
+      uint32_t Base = static_cast<uint32_t>(Out.Module.Globals.size());
+      Expected<std::vector<bool>> Mask =
+          refMaskOfType(Type(G.P, Qual::unr()), TypeVarSizes{});
+      if (!Mask)
+        return Mask.error();
+      uint32_t W = 0;
+      for (ValType V : *R) {
+        std::vector<WInst> Init;
+        switch (V) {
+        case ValType::I32:
+          Init = {WInst::i32c(0)};
+          if (W < Mask->size() && (*Mask)[W])
+            Out.RefGlobals.push_back(
+                static_cast<uint32_t>(Out.Module.Globals.size()));
+          break;
+        case ValType::I64:
+          Init = {WInst::i64c(0)};
+          break;
+        case ValType::F32: {
+          WInst C(Op::F32Const);
+          Init = {C};
+          break;
+        }
+        case ValType::F64: {
+          WInst C(Op::F64Const);
+          Init = {C};
+          break;
+        }
+        }
+        Out.Module.Globals.push_back({V, true, std::move(Init)});
+        W += valTypeBytes(V) / 4;
+      }
+      GlobalMap[{MI, GI}] = {Base, *R};
+    }
+  }
+
+  // Lower every defined function body.
+  for (uint32_t MI = 0; MI < Mods.size(); ++MI) {
+    const Module &M = *Mods[MI];
+    for (uint32_t FI = 0; FI < M.Funcs.size(); ++FI) {
+      const Function &F = M.Funcs[FI];
+      if (F.isImport())
+        continue;
+      TypeVarSizes Bounds =
+          typing::typeVarSizes(typing::buildKindCtx(F.Ty->quants()));
+      Expected<std::vector<ValType>> PR =
+          repOfTypes(F.Ty->arrow().Params, Bounds);
+      Expected<std::vector<ValType>> RR =
+          repOfTypes(F.Ty->arrow().Results, Bounds);
+      if (!PR || !RR)
+        return Error("cannot lower signature of function " +
+                     std::to_string(FI) + " in '" + M.Name + "'");
+
+      FuncLowering FL(*this, MI, Bounds, *PR);
+      // Word locals for every RichWasm local (params first).
+      std::vector<WInst> Prologue;
+      uint32_t ParamComp = 0;
+      for (const Type &PT : F.Ty->arrow().Params) {
+        Expected<std::vector<ValType>> R = FL.rep(PT);
+        if (!R)
+          return R.error();
+        ir::SizeRef Slot = typing::sizeOfType(
+            PT, typing::buildKindCtx(F.Ty->quants()));
+        NormalSize NS = normalizeSize(Slot);
+        if (!NS.isConst())
+          return Error("size-polymorphic parameter slots are unsupported");
+        uint32_t Words = static_cast<uint32_t>((NS.Const + 31) / 32);
+        uint32_t Base = FL.NumParams +
+                        static_cast<uint32_t>(FL.ExtraLocals.size());
+        for (uint32_t WJ = 0; WJ < Words; ++WJ)
+          FL.ExtraLocals.push_back(ValType::I32);
+        FL.RwLocalBase.push_back(Base);
+        FL.RwLocalWords.push_back(Words);
+        // Prologue: copy the natural parameter components into the words.
+        for (uint32_t CJ = 0; CJ < R->size(); ++CJ)
+          Prologue.push_back(WInst::idx(Op::LocalGet, ParamComp + CJ));
+        FL.spillToWords(Base, *R, Prologue);
+        ParamComp += static_cast<uint32_t>(R->size());
+      }
+      for (const ir::SizeRef &Sz : F.Locals) {
+        NormalSize NS = normalizeSize(Sz);
+        if (!NS.isConst())
+          return Error("size-polymorphic local slots are unsupported");
+        uint32_t Words = static_cast<uint32_t>((NS.Const + 31) / 32);
+        uint32_t Base = FL.NumParams +
+                        static_cast<uint32_t>(FL.ExtraLocals.size());
+        for (uint32_t WJ = 0; WJ < Words; ++WJ)
+          FL.ExtraLocals.push_back(ValType::I32);
+        FL.RwLocalBase.push_back(Base);
+        FL.RwLocalWords.push_back(Words);
+      }
+
+      Expected<std::vector<WInst>> Body = FL.lowerSeq(F.Body);
+      if (!Body)
+        return Error("in function " + std::to_string(FI) + " of '" + M.Name +
+                     "': " + Body.error().message());
+      std::vector<WInst> Full = std::move(Prologue);
+      Full.insert(Full.end(), std::make_move_iterator(Body->begin()),
+                  std::make_move_iterator(Body->end()));
+
+      uint32_t TI = Out.Module.addType({*PR, *RR});
+      Out.Module.Funcs.push_back({TI, FL.ExtraLocals, std::move(Full)});
+      assert(Out.Module.numFuncs() - 1 == Out.FuncMap.at({MI, FI}) &&
+             "function index assignment drifted");
+    }
+  }
+
+  // Patch call_indirect type indices (they need interned types).
+  {
+    // Walk all function bodies and fill in CallIndirect U32 type indices.
+    std::function<void(std::vector<WInst> &)> Fix =
+        [&](std::vector<WInst> &Body) {
+          for (WInst &W : Body) {
+            if (W.K == Op::CallIndirect)
+              W.U32 = Out.Module.addType(W.BT);
+            Fix(W.Body);
+            Fix(W.Else);
+          }
+        };
+    for (wasm::WFunc &F : Out.Module.Funcs)
+      Fix(F.Body);
+  }
+
+  // Global initializers and start functions run from __rw_init.
+  std::vector<WInst> InitBody;
+  for (uint32_t MI = 0; MI < Mods.size(); ++MI) {
+    const Module &M = *Mods[MI];
+    for (uint32_t GI = 0; GI < M.Globals.size(); ++GI) {
+      const Global &G = M.Globals[GI];
+      if (G.isImport() || G.Init.empty())
+        continue;
+      FuncLowering FL(*this, MI, TypeVarSizes{}, {});
+      Expected<std::vector<WInst>> Code = FL.lowerSeq(G.Init);
+      if (!Code)
+        return Error("in global initializer of '" + M.Name + "': " +
+                     Code.error().message());
+      // Wrap as its own function so locals are private.
+      auto [Base, Reps] = GlobalMap.at({MI, GI});
+      std::vector<WInst> Body = std::move(*Code);
+      for (size_t J = Reps.size(); J > 0; --J)
+        Body.push_back(
+            WInst::idx(Op::GlobalSet, Base + static_cast<uint32_t>(J - 1)));
+      uint32_t TI = Out.Module.addType({{}, {}});
+      uint32_t Idx = Out.Module.numFuncs();
+      Out.Module.Funcs.push_back({TI, FL.ExtraLocals, std::move(Body)});
+      InitBody.push_back(WInst::idx(Op::Call, Idx));
+    }
+  }
+  for (uint32_t MI = 0; MI < Mods.size(); ++MI)
+    if (Mods[MI]->Start)
+      InitBody.push_back(
+          WInst::idx(Op::Call, Out.FuncMap.at({MI, *Mods[MI]->Start})));
+  if (!InitBody.empty()) {
+    uint32_t TI = Out.Module.addType({{}, {}});
+    uint32_t Idx = Out.Module.numFuncs();
+    Out.Module.Funcs.push_back({TI, {}, std::move(InitBody)});
+    Out.Module.Start = Idx;
+  }
+
+  // Exports.
+  for (uint32_t MI = 0; MI < Mods.size(); ++MI) {
+    const Module &M = *Mods[MI];
+    for (uint32_t FI = 0; FI < M.Funcs.size(); ++FI)
+      for (const std::string &E : M.Funcs[FI].Exports) {
+        uint32_t Idx = Out.FuncMap.at({MI, FI});
+        Out.Exports[M.Name + "." + E] = Idx;
+        Out.Module.Exports.push_back(
+            {M.Name + "." + E, wasm::ExportKind::Func, Idx});
+      }
+  }
+  return std::move(Out);
+}
+
+} // namespace
+
+Expected<LoweredProgram>
+rw::lower::lowerProgram(const std::vector<const Module *> &Mods) {
+  ProgramLowering PL(Mods);
+  return PL.run();
+}

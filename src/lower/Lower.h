@@ -1,0 +1,61 @@
+//===- lower/Lower.h - RichWasm → Wasm compiler -----------------*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type-directed compiler of §6. It consumes the type information the
+/// checker annotates onto each instruction (InfoMap) and produces one Wasm
+/// module for a whole linked program:
+///
+///  * all type-level instructions (qualify, cap.*, ref.*, mem.pack,
+///    rec.fold/unfold, seq.group/ungroup, inst) are erased;
+///  * a RichWasm local of size s becomes ⌈s/32⌉ i32 locals, read/written
+///    with type-directed splitting and recombination;
+///  * both RichWasm memories share one flat Wasm memory managed by the
+///    emitted free-list allocator; object headers carry pointer maps for
+///    the host-assisted collector;
+///  * polymorphic calls perform the paper's stack coercions between
+///    concrete and bound-word representations;
+///  * cross-module imports are resolved to direct calls (whole-program),
+///    unresolved ones become Wasm imports satisfiable by the host.
+///
+/// Invariant: each Inst node must occur at most once per program (the
+/// InfoMap is keyed by node identity); all in-tree frontends comply.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_LOWER_LOWER_H
+#define RICHWASM_LOWER_LOWER_H
+
+#include "ir/Module.h"
+#include "lower/Runtime.h"
+#include "support/Error.h"
+#include "wasm/WasmAst.h"
+
+#include <map>
+
+namespace rw::lower {
+
+struct LoweredProgram {
+  wasm::WModule Module;
+  RuntimeLayout Runtime;
+  /// Wasm global indices that hold heap references (GC roots).
+  std::vector<uint32_t> RefGlobals;
+  /// "module.export" → Wasm function index.
+  std::map<std::string, uint32_t> Exports;
+  /// (module index, RichWasm function index) → Wasm function index.
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> FuncMap;
+  /// Module index → base offset of its entries in the merged table.
+  std::map<uint32_t, uint32_t> TableBase;
+};
+
+/// Type-checks and lowers a whole program (modules in link order; imports
+/// resolve against earlier modules, like link::instantiate).
+Expected<LoweredProgram>
+lowerProgram(const std::vector<const ir::Module *> &Mods);
+
+} // namespace rw::lower
+
+#endif // RICHWASM_LOWER_LOWER_H

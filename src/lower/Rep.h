@@ -1,0 +1,68 @@
+//===- lower/Rep.h - Lowering RichWasm types to Wasm shapes -----*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §6's type lowering: every RichWasm type maps to a sequence of Wasm value
+/// types (its *representation*), and to a flat-memory layout. Erased
+/// entities (unit, cap, own, and all the type-level instructions) have the
+/// empty representation — this is what makes capabilities zero-cost.
+/// References, pointers, and code references become a single i32 (a memory
+/// address / table index). A pretype variable with constant size bound b
+/// is represented as ⌈b/32⌉ raw i32 words; concrete values are coerced to
+/// and from this shape at polymorphic call boundaries (the paper's "stack
+/// coercions").
+///
+/// Deviation noted in DESIGN.md §3: slots are word-granular (32-bit), so a
+/// 160-bit local lowers to five i32 locals rather than i64,i64,i32.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_LOWER_REP_H
+#define RICHWASM_LOWER_REP_H
+
+#include "ir/TypeOps.h"
+#include "ir/Types.h"
+#include "support/Error.h"
+#include "wasm/WasmAst.h"
+
+namespace rw::lower {
+
+/// The Wasm-stack representation of a RichWasm type. \p Bounds supplies
+/// the size upper bounds of the pretype variables in scope (a variable is
+/// represented as bound-many raw words, like a skolem).
+Expected<std::vector<wasm::ValType>> repOfType(const ir::Type &T,
+                                               const ir::TypeVarSizes &Bounds);
+Expected<std::vector<wasm::ValType>>
+repOfPretype(const ir::PretypeRef &P, const ir::TypeVarSizes &Bounds);
+
+/// Concatenated representation of a type list (stack order preserved).
+Expected<std::vector<wasm::ValType>>
+repOfTypes(const std::vector<ir::Type> &Ts, const ir::TypeVarSizes &Bounds);
+
+/// Byte size of one representation component.
+inline uint32_t valTypeBytes(wasm::ValType T) {
+  return (T == wasm::ValType::I64 || T == wasm::ValType::F64) ? 8 : 4;
+}
+
+/// Total bytes a value of type T occupies in memory (components packed).
+Expected<uint32_t> byteSizeOfType(const ir::Type &T,
+                                  const ir::TypeVarSizes &Bounds);
+
+/// Bytes of a memory slot declared with the given (closed) bit size.
+Expected<uint32_t> slotBytes(const ir::SizeRef &Sz);
+
+/// Per-32-bit-word pointer mask of a value of type T as laid out in
+/// memory (for the garbage collector's header maps). Variable-typed words
+/// are conservatively marked as potential pointers.
+Expected<std::vector<bool>> refMaskOfType(const ir::Type &T,
+                                          const ir::TypeVarSizes &Bounds);
+
+/// Packs a word mask (first 29 words) into the header's map bits.
+uint32_t packPtrMap(const std::vector<bool> &Mask);
+
+} // namespace rw::lower
+
+#endif // RICHWASM_LOWER_REP_H

@@ -1,0 +1,154 @@
+//===- sem/Store.h - Heap values, memories, instances, stores ---*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime store of Fig 4: a list of module instances plus the global
+/// memory, which has two components — the manually-managed *linear* memory
+/// and the garbage-collected *unrestricted* memory. Unlike Wasm, both
+/// memories map locations to high-level structured heap values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_SEM_STORE_H
+#define RICHWASM_SEM_STORE_H
+
+#include "ir/Module.h"
+#include "sem/Value.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace rw::sem {
+
+enum class HeapValueKind : uint8_t { Variant, Struct, Array, Pack };
+
+/// A structured heap value hv (Fig 2): variant, struct, array, or an
+/// existential package.
+struct HeapValue {
+  HeapValueKind K = HeapValueKind::Struct;
+  /// Variant: the case tag.
+  uint32_t Tag = 0;
+  /// Struct fields / array elements / singleton payload for Variant and
+  /// Pack (at index 0).
+  std::vector<Value> Vals;
+  /// Pack only: the witness pretype and the package's heap type.
+  ir::PretypeRef Witness;
+  ir::HeapTypeRef PackHT;
+
+  static HeapValue makeStruct(std::vector<Value> Fields) {
+    HeapValue H;
+    H.K = HeapValueKind::Struct;
+    H.Vals = std::move(Fields);
+    return H;
+  }
+  static HeapValue makeVariant(uint32_t Tag, Value Payload) {
+    HeapValue H;
+    H.K = HeapValueKind::Variant;
+    H.Tag = Tag;
+    H.Vals.push_back(std::move(Payload));
+    return H;
+  }
+  static HeapValue makeArray(std::vector<Value> Elems) {
+    HeapValue H;
+    H.K = HeapValueKind::Array;
+    H.Vals = std::move(Elems);
+    return H;
+  }
+  static HeapValue makePack(ir::PretypeRef Witness, Value Payload,
+                            ir::HeapTypeRef HT) {
+    HeapValue H;
+    H.K = HeapValueKind::Pack;
+    H.Witness = std::move(Witness);
+    H.PackHT = std::move(HT);
+    H.Vals.push_back(std::move(Payload));
+    return H;
+  }
+};
+
+/// One allocated cell: the heap value plus the slot size it was allocated
+/// with (strong updates may change the value but never outgrow the slot).
+struct Cell {
+  HeapValue HV;
+  uint64_t SlotBits = 0;
+  /// GC mark bit (unrestricted memory only).
+  bool Marked = false;
+};
+
+/// The two-component global memory. Locations are abstract identifiers
+/// (allocation order), matching the paper's map-based memories.
+struct Memory {
+  std::map<uint64_t, Cell> Lin;
+  std::map<uint64_t, Cell> Unr;
+  uint64_t NextLin = 1;
+  uint64_t NextUnr = 1;
+
+  // Statistics for the C2/C3 experiments.
+  uint64_t AllocCountLin = 0, AllocCountUnr = 0;
+  uint64_t FreeCountLin = 0;
+  uint64_t CollectedUnr = 0;
+  uint64_t FinalizedLin = 0;
+  uint64_t GcRuns = 0;
+
+  ir::Loc allocate(ir::MemKind M, HeapValue HV, uint64_t SlotBits) {
+    if (M == ir::MemKind::Lin) {
+      uint64_t A = NextLin++;
+      Lin.emplace(A, Cell{std::move(HV), SlotBits, false});
+      ++AllocCountLin;
+      return ir::Loc::concrete(ir::MemKind::Lin, A);
+    }
+    uint64_t A = NextUnr++;
+    Unr.emplace(A, Cell{std::move(HV), SlotBits, false});
+    ++AllocCountUnr;
+    return ir::Loc::concrete(ir::MemKind::Unr, A);
+  }
+
+  Cell *lookup(const ir::Loc &L) {
+    assert(L.isConcrete() && "looking up a location variable");
+    auto &Map = L.mem() == ir::MemKind::Lin ? Lin : Unr;
+    auto It = Map.find(L.addr());
+    return It == Map.end() ? nullptr : &It->second;
+  }
+  const Cell *lookup(const ir::Loc &L) const {
+    return const_cast<Memory *>(this)->lookup(L);
+  }
+
+  /// Deallocates a linear cell; returns false on double free / bad loc.
+  bool freeLin(const ir::Loc &L) {
+    if (!L.isConcrete() || L.mem() != ir::MemKind::Lin)
+      return false;
+    if (Lin.erase(L.addr()) == 0)
+      return false;
+    ++FreeCountLin;
+    return true;
+  }
+};
+
+/// A resolved function reference: instance index + function index within
+/// that instance's module (the paper's closure {inst i, code f}).
+struct Closure {
+  uint32_t InstIdx = 0;
+  uint32_t FuncIdx = 0;
+};
+
+/// A module instance: resolved functions (imports point into their
+/// providers), global values, and the indirect-call table.
+struct Instance {
+  const ir::Module *Mod = nullptr;
+  std::vector<Closure> Funcs;
+  std::vector<Value> Globals;
+  std::vector<Closure> Table;
+};
+
+/// The store s = {inst inst*, mem mem}.
+struct Store {
+  std::vector<Instance> Insts;
+  Memory Mem;
+};
+
+} // namespace rw::sem
+
+#endif // RICHWASM_SEM_STORE_H

@@ -1,0 +1,70 @@
+//===- sem/Value.cpp - Runtime value helpers ------------------------------===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/Value.h"
+
+using namespace rw;
+using namespace rw::sem;
+
+uint64_t rw::sem::sizeOfValue(const Value &V) {
+  switch (V.kind()) {
+  case ValueKind::Unit:
+  case ValueKind::Cap:
+  case ValueKind::Own:
+    return 0;
+  case ValueKind::Num:
+    return ir::numTypeBits(V.numType());
+  case ValueKind::Tuple: {
+    uint64_t Sum = 0;
+    for (const Value &E : V.elems())
+      Sum += sizeOfValue(E);
+    return Sum;
+  }
+  case ValueKind::Ref:
+  case ValueKind::Ptr:
+  case ValueKind::Coderef:
+    return 64;
+  case ValueKind::Fold:
+  case ValueKind::Mempack:
+    return sizeOfValue(V.inner());
+  }
+  return 0;
+}
+
+std::string Value::str() const {
+  switch (K) {
+  case ValueKind::Unit:
+    return "()";
+  case ValueKind::Num:
+    return std::string(ir::numTypeName(NT)) + ".const " +
+           std::to_string(Bits);
+  case ValueKind::Tuple: {
+    std::string Out = "(";
+    for (size_t I = 0; I < Elems->size(); ++I) {
+      if (I)
+        Out += " ";
+      Out += (*Elems)[I].str();
+    }
+    return Out + ")";
+  }
+  case ValueKind::Ref:
+    return "ref " + L.str();
+  case ValueKind::Ptr:
+    return "ptr " + L.str();
+  case ValueKind::Cap:
+    return "cap";
+  case ValueKind::Own:
+    return "own";
+  case ValueKind::Fold:
+    return "fold " + Inner->str();
+  case ValueKind::Mempack:
+    return "mempack " + L.str() + " " + Inner->str();
+  case ValueKind::Coderef:
+    return "coderef " + std::to_string(CR->InstIdx) + " " +
+           std::to_string(CR->TableIdx);
+  }
+  return "<value>";
+}

@@ -1,0 +1,174 @@
+//===- sem/Value.h - RichWasm runtime values --------------------*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values (Fig 2 terms): every RichWasm type has a corresponding
+/// value form. Capabilities and ownership tokens are present at this level
+/// as zero-sized tokens (they are only erased when compiling to Wasm), so
+/// the small-step machine can mirror the paper's reduction rules exactly
+/// and the configuration-typing judgment can re-check intermediate states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_SEM_VALUE_H
+#define RICHWASM_SEM_VALUE_H
+
+#include "ir/Loc.h"
+#include "ir/Num.h"
+#include "ir/Types.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rw::sem {
+
+enum class ValueKind : uint8_t {
+  Unit,
+  Num,
+  Tuple,
+  Ref,
+  Ptr,
+  Cap,
+  Own,
+  Fold,
+  Mempack,
+  Coderef,
+};
+
+/// A code reference value `coderef i j z*`: module instance i, table slot
+/// j, and the accumulated quantifier instantiations.
+struct CoderefVal {
+  uint32_t InstIdx = 0;
+  uint32_t TableIdx = 0;
+  std::vector<ir::Index> TypeArgs;
+};
+
+/// A runtime value. Value-semantic with shared immutable payloads, so
+/// copies are cheap; the machine moves/copies values freely and relies on
+/// the type system (not this class) for linearity.
+class Value {
+public:
+  Value() : K(ValueKind::Unit) {}
+
+  static Value unit() { return Value(); }
+  static Value num(ir::NumType NT, uint64_t Bits) {
+    Value V;
+    V.K = ValueKind::Num;
+    V.NT = NT;
+    V.Bits = NT == ir::NumType::I64 || NT == ir::NumType::U64 ||
+                     NT == ir::NumType::F64
+                 ? Bits
+                 : (Bits & 0xffffffffull);
+    return V;
+  }
+  static Value i32(uint32_t X) { return num(ir::NumType::I32, X); }
+  static Value u32(uint32_t X) { return num(ir::NumType::U32, X); }
+  static Value i64(uint64_t X) { return num(ir::NumType::I64, X); }
+  static Value tuple(std::vector<Value> Elems) {
+    Value V;
+    V.K = ValueKind::Tuple;
+    V.Elems = std::make_shared<const std::vector<Value>>(std::move(Elems));
+    return V;
+  }
+  static Value ref(ir::Loc L) {
+    assert(L.isConcrete() && "runtime refs carry concrete locations");
+    Value V;
+    V.K = ValueKind::Ref;
+    V.L = L;
+    return V;
+  }
+  static Value ptr(ir::Loc L) {
+    Value V;
+    V.K = ValueKind::Ptr;
+    V.L = L;
+    return V;
+  }
+  static Value cap() {
+    Value V;
+    V.K = ValueKind::Cap;
+    return V;
+  }
+  static Value own() {
+    Value V;
+    V.K = ValueKind::Own;
+    return V;
+  }
+  static Value fold(Value Inner) {
+    Value V;
+    V.K = ValueKind::Fold;
+    V.Inner = std::make_shared<const Value>(std::move(Inner));
+    return V;
+  }
+  static Value mempack(ir::Loc L, Value Inner) {
+    Value V;
+    V.K = ValueKind::Mempack;
+    V.L = L;
+    V.Inner = std::make_shared<const Value>(std::move(Inner));
+    return V;
+  }
+  static Value coderef(uint32_t InstIdx, uint32_t TableIdx,
+                       std::vector<ir::Index> TypeArgs = {}) {
+    Value V;
+    V.K = ValueKind::Coderef;
+    V.CR = std::make_shared<const CoderefVal>(
+        CoderefVal{InstIdx, TableIdx, std::move(TypeArgs)});
+    return V;
+  }
+
+  ValueKind kind() const { return K; }
+  bool isUnit() const { return K == ValueKind::Unit; }
+  bool isNum() const { return K == ValueKind::Num; }
+
+  ir::NumType numType() const {
+    assert(isNum() && "not a numeric value");
+    return NT;
+  }
+  uint64_t bits() const {
+    assert(isNum() && "not a numeric value");
+    return Bits;
+  }
+  uint32_t asU32() const { return static_cast<uint32_t>(bits()); }
+
+  const std::vector<Value> &elems() const {
+    assert(K == ValueKind::Tuple && "not a tuple value");
+    return *Elems;
+  }
+  const ir::Loc &loc() const {
+    assert((K == ValueKind::Ref || K == ValueKind::Ptr ||
+            K == ValueKind::Mempack) &&
+           "value carries no location");
+    return L;
+  }
+  const Value &inner() const {
+    assert((K == ValueKind::Fold || K == ValueKind::Mempack) &&
+           "value has no payload");
+    return *Inner;
+  }
+  const CoderefVal &coderefVal() const {
+    assert(K == ValueKind::Coderef && "not a coderef value");
+    return *CR;
+  }
+
+  std::string str() const;
+
+private:
+  ValueKind K;
+  ir::NumType NT = ir::NumType::I32;
+  uint64_t Bits = 0;
+  ir::Loc L = ir::Loc::concrete(ir::MemKind::Lin, 0);
+  std::shared_ptr<const std::vector<Value>> Elems;
+  std::shared_ptr<const Value> Inner;
+  std::shared_ptr<const CoderefVal> CR;
+};
+
+/// size(v): the number of bits value \p V occupies in a memory slot.
+uint64_t sizeOfValue(const Value &V);
+
+} // namespace rw::sem
+
+#endif // RICHWASM_SEM_VALUE_H

@@ -1,0 +1,78 @@
+//===- support/Casting.h - isa/cast/dyn_cast templates ----------*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled opt-in RTTI in the LLVM style. A class hierarchy participates
+/// by exposing a `Kind` discriminator and a static `classof(const Base *)`
+/// predicate on each derived class; `isa`, `cast`, and `dyn_cast` then work
+/// without enabling compiler RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_SUPPORT_CASTING_H
+#define RICHWASM_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <memory>
+#include <type_traits>
+
+namespace rw {
+
+/// Returns true if \p Val is an instance of class \p To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename From> bool isa(const From &Val) {
+  return To::classof(&Val);
+}
+
+template <typename To, typename From>
+bool isa(const std::shared_ptr<From> &Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val.get());
+}
+
+/// Checked downcast: asserts that the dynamic type matches.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To &cast(const From &Val) {
+  assert(isa<To>(&Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To &>(Val);
+}
+
+template <typename To, typename From>
+std::shared_ptr<const To> cast(const std::shared_ptr<const From> &Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return std::static_pointer_cast<const To>(Val);
+}
+
+/// Downcast that yields nullptr when the dynamic type does not match.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast(const std::shared_ptr<const From> &Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val.get()) : nullptr;
+}
+
+} // namespace rw
+
+#endif // RICHWASM_SUPPORT_CASTING_H

@@ -1,0 +1,85 @@
+//===- support/LEB128.h - LEB128 encoding utilities -------------*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unsigned and signed LEB128 encoding/decoding, as used throughout the
+/// WebAssembly binary format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_SUPPORT_LEB128_H
+#define RICHWASM_SUPPORT_LEB128_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace rw {
+
+/// Appends the ULEB128 encoding of \p Value to \p Out.
+inline void encodeULEB128(uint64_t Value, std::vector<uint8_t> &Out) {
+  do {
+    uint8_t Byte = Value & 0x7f;
+    Value >>= 7;
+    if (Value != 0)
+      Byte |= 0x80;
+    Out.push_back(Byte);
+  } while (Value != 0);
+}
+
+/// Appends the SLEB128 encoding of \p Value to \p Out.
+inline void encodeSLEB128(int64_t Value, std::vector<uint8_t> &Out) {
+  bool More = true;
+  while (More) {
+    uint8_t Byte = Value & 0x7f;
+    Value >>= 7;
+    bool SignBit = (Byte & 0x40) != 0;
+    if ((Value == 0 && !SignBit) || (Value == -1 && SignBit))
+      More = false;
+    else
+      Byte |= 0x80;
+    Out.push_back(Byte);
+  }
+}
+
+/// Decodes a ULEB128 value starting at \p Pos in \p Data; advances \p Pos.
+/// Returns std::nullopt on truncated or over-long input.
+inline std::optional<uint64_t> decodeULEB128(const std::vector<uint8_t> &Data,
+                                             size_t &Pos) {
+  uint64_t Result = 0;
+  unsigned Shift = 0;
+  while (true) {
+    if (Pos >= Data.size() || Shift >= 64)
+      return std::nullopt;
+    uint8_t Byte = Data[Pos++];
+    Result |= uint64_t(Byte & 0x7f) << Shift;
+    if (!(Byte & 0x80))
+      return Result;
+    Shift += 7;
+  }
+}
+
+/// Decodes an SLEB128 value starting at \p Pos in \p Data; advances \p Pos.
+inline std::optional<int64_t> decodeSLEB128(const std::vector<uint8_t> &Data,
+                                            size_t &Pos) {
+  int64_t Result = 0;
+  unsigned Shift = 0;
+  uint8_t Byte;
+  do {
+    if (Pos >= Data.size() || Shift >= 64)
+      return std::nullopt;
+    Byte = Data[Pos++];
+    Result |= int64_t(Byte & 0x7f) << Shift;
+    Shift += 7;
+  } while (Byte & 0x80);
+  if (Shift < 64 && (Byte & 0x40))
+    Result |= -(int64_t(1) << Shift);
+  return Result;
+}
+
+} // namespace rw
+
+#endif // RICHWASM_SUPPORT_LEB128_H

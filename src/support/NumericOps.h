@@ -1,0 +1,337 @@
+//===- support/NumericOps.h - Shared numeric evaluation ---------*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bit-exact evaluation of the Wasm numeric operator alphabet, shared by
+/// the RichWasm small-step machine and the Wasm interpreter. All integer
+/// values travel as zero-extended uint64_t bit patterns; floats as their
+/// IEEE-754 bit patterns. Operations that can trap (division by zero,
+/// overflowing float-to-int truncation) return std::nullopt.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_SUPPORT_NUMERICOPS_H
+#define RICHWASM_SUPPORT_NUMERICOPS_H
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+namespace rw::num {
+
+//===----------------------------------------------------------------------===//
+// Bit-pattern plumbing
+//===----------------------------------------------------------------------===//
+
+inline uint64_t wrap(uint64_t Bits, bool Is64) {
+  return Is64 ? Bits : (Bits & 0xffffffffull);
+}
+
+inline float bitsToF32(uint64_t Bits) {
+  return std::bit_cast<float>(static_cast<uint32_t>(Bits));
+}
+inline double bitsToF64(uint64_t Bits) { return std::bit_cast<double>(Bits); }
+inline uint64_t f32ToBits(float F) { return std::bit_cast<uint32_t>(F); }
+inline uint64_t f64ToBits(double D) { return std::bit_cast<uint64_t>(D); }
+
+inline int64_t toSigned(uint64_t Bits, bool Is64) {
+  if (Is64)
+    return static_cast<int64_t>(Bits);
+  return static_cast<int64_t>(static_cast<int32_t>(Bits));
+}
+
+//===----------------------------------------------------------------------===//
+// Integer operations
+//===----------------------------------------------------------------------===//
+
+inline uint64_t intClz(uint64_t V, bool Is64) {
+  if (Is64)
+    return V == 0 ? 64 : static_cast<uint64_t>(std::countl_zero(V));
+  uint32_t X = static_cast<uint32_t>(V);
+  return X == 0 ? 32 : static_cast<uint64_t>(std::countl_zero(X));
+}
+
+inline uint64_t intCtz(uint64_t V, bool Is64) {
+  if (Is64)
+    return V == 0 ? 64 : static_cast<uint64_t>(std::countr_zero(V));
+  uint32_t X = static_cast<uint32_t>(V);
+  return X == 0 ? 32 : static_cast<uint64_t>(std::countr_zero(X));
+}
+
+inline uint64_t intPopcnt(uint64_t V, bool Is64) {
+  return static_cast<uint64_t>(std::popcount(wrap(V, Is64)));
+}
+
+/// Integer add/sub/mul/bitwise/shift/rotate; Div/Rem take signedness and
+/// may trap.
+enum class IntBinop {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Rotl,
+  Rotr,
+};
+
+inline std::optional<uint64_t> evalIntBinop(IntBinop Op, uint64_t A,
+                                            uint64_t B, bool Is64,
+                                            bool Signed) {
+  const uint64_t Width = Is64 ? 64 : 32;
+  A = wrap(A, Is64);
+  B = wrap(B, Is64);
+  switch (Op) {
+  case IntBinop::Add:
+    return wrap(A + B, Is64);
+  case IntBinop::Sub:
+    return wrap(A - B, Is64);
+  case IntBinop::Mul:
+    return wrap(A * B, Is64);
+  case IntBinop::Div: {
+    if (B == 0)
+      return std::nullopt;
+    if (!Signed)
+      return wrap(A / B, Is64);
+    int64_t SA = toSigned(A, Is64), SB = toSigned(B, Is64);
+    // INT_MIN / -1 overflows and traps, per the Wasm spec.
+    int64_t Min = Is64 ? std::numeric_limits<int64_t>::min()
+                       : static_cast<int64_t>(std::numeric_limits<int32_t>::min());
+    if (SA == Min && SB == -1)
+      return std::nullopt;
+    return wrap(static_cast<uint64_t>(SA / SB), Is64);
+  }
+  case IntBinop::Rem: {
+    if (B == 0)
+      return std::nullopt;
+    if (!Signed)
+      return wrap(A % B, Is64);
+    int64_t SA = toSigned(A, Is64), SB = toSigned(B, Is64);
+    if (SB == -1)
+      return 0; // INT_MIN % -1 == 0 without trapping.
+    return wrap(static_cast<uint64_t>(SA % SB), Is64);
+  }
+  case IntBinop::And:
+    return A & B;
+  case IntBinop::Or:
+    return A | B;
+  case IntBinop::Xor:
+    return A ^ B;
+  case IntBinop::Shl:
+    return wrap(A << (B % Width), Is64);
+  case IntBinop::Shr: {
+    uint64_t Sh = B % Width;
+    if (!Signed)
+      return wrap(A >> Sh, Is64);
+    return wrap(static_cast<uint64_t>(toSigned(A, Is64) >> Sh), Is64);
+  }
+  case IntBinop::Rotl: {
+    uint64_t Sh = B % Width;
+    if (Sh == 0)
+      return A;
+    return wrap((A << Sh) | (A >> (Width - Sh)), Is64);
+  }
+  case IntBinop::Rotr: {
+    uint64_t Sh = B % Width;
+    if (Sh == 0)
+      return A;
+    return wrap((A >> Sh) | (A << (Width - Sh)), Is64);
+  }
+  }
+  return std::nullopt;
+}
+
+enum class IntRelop { Eq, Ne, Lt, Gt, Le, Ge };
+
+inline uint64_t evalIntRelop(IntRelop Op, uint64_t A, uint64_t B, bool Is64,
+                             bool Signed) {
+  A = wrap(A, Is64);
+  B = wrap(B, Is64);
+  bool R = false;
+  if (Signed) {
+    int64_t SA = toSigned(A, Is64), SB = toSigned(B, Is64);
+    switch (Op) {
+    case IntRelop::Eq:
+      R = SA == SB;
+      break;
+    case IntRelop::Ne:
+      R = SA != SB;
+      break;
+    case IntRelop::Lt:
+      R = SA < SB;
+      break;
+    case IntRelop::Gt:
+      R = SA > SB;
+      break;
+    case IntRelop::Le:
+      R = SA <= SB;
+      break;
+    case IntRelop::Ge:
+      R = SA >= SB;
+      break;
+    }
+  } else {
+    switch (Op) {
+    case IntRelop::Eq:
+      R = A == B;
+      break;
+    case IntRelop::Ne:
+      R = A != B;
+      break;
+    case IntRelop::Lt:
+      R = A < B;
+      break;
+    case IntRelop::Gt:
+      R = A > B;
+      break;
+    case IntRelop::Le:
+      R = A <= B;
+      break;
+    case IntRelop::Ge:
+      R = A >= B;
+      break;
+    }
+  }
+  return R ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Float operations
+//===----------------------------------------------------------------------===//
+
+enum class FloatUnop { Abs, Neg, Sqrt, Ceil, Floor, Trunc, Nearest };
+
+template <typename F> F evalFloatUnopT(FloatUnop Op, F A) {
+  switch (Op) {
+  case FloatUnop::Abs:
+    return std::fabs(A);
+  case FloatUnop::Neg:
+    return -A;
+  case FloatUnop::Sqrt:
+    return std::sqrt(A);
+  case FloatUnop::Ceil:
+    return std::ceil(A);
+  case FloatUnop::Floor:
+    return std::floor(A);
+  case FloatUnop::Trunc:
+    return std::trunc(A);
+  case FloatUnop::Nearest:
+    return std::nearbyint(A);
+  }
+  return A;
+}
+
+inline uint64_t evalFloatUnop(FloatUnop Op, uint64_t Bits, bool Is64) {
+  if (Is64)
+    return f64ToBits(evalFloatUnopT(Op, bitsToF64(Bits)));
+  return f32ToBits(evalFloatUnopT(Op, bitsToF32(Bits)));
+}
+
+enum class FloatBinop { Add, Sub, Mul, Div, Min, Max, Copysign };
+
+template <typename F> F evalFloatBinopT(FloatBinop Op, F A, F B) {
+  switch (Op) {
+  case FloatBinop::Add:
+    return A + B;
+  case FloatBinop::Sub:
+    return A - B;
+  case FloatBinop::Mul:
+    return A * B;
+  case FloatBinop::Div:
+    return A / B;
+  case FloatBinop::Min:
+    if (std::isnan(A) || std::isnan(B))
+      return std::numeric_limits<F>::quiet_NaN();
+    if (A == 0 && B == 0)
+      return std::signbit(A) ? A : B;
+    return A < B ? A : B;
+  case FloatBinop::Max:
+    if (std::isnan(A) || std::isnan(B))
+      return std::numeric_limits<F>::quiet_NaN();
+    if (A == 0 && B == 0)
+      return std::signbit(A) ? B : A;
+    return A > B ? A : B;
+  case FloatBinop::Copysign:
+    return std::copysign(A, B);
+  }
+  return A;
+}
+
+inline uint64_t evalFloatBinop(FloatBinop Op, uint64_t ABits, uint64_t BBits,
+                               bool Is64) {
+  if (Is64)
+    return f64ToBits(evalFloatBinopT(Op, bitsToF64(ABits), bitsToF64(BBits)));
+  return f32ToBits(evalFloatBinopT(Op, bitsToF32(ABits), bitsToF32(BBits)));
+}
+
+enum class FloatRelop { Eq, Ne, Lt, Gt, Le, Ge };
+
+template <typename F> bool evalFloatRelopT(FloatRelop Op, F A, F B) {
+  switch (Op) {
+  case FloatRelop::Eq:
+    return A == B;
+  case FloatRelop::Ne:
+    return A != B;
+  case FloatRelop::Lt:
+    return A < B;
+  case FloatRelop::Gt:
+    return A > B;
+  case FloatRelop::Le:
+    return A <= B;
+  case FloatRelop::Ge:
+    return A >= B;
+  }
+  return false;
+}
+
+inline uint64_t evalFloatRelop(FloatRelop Op, uint64_t A, uint64_t B,
+                               bool Is64) {
+  bool R = Is64 ? evalFloatRelopT(Op, bitsToF64(A), bitsToF64(B))
+                : evalFloatRelopT(Op, bitsToF32(A), bitsToF32(B));
+  return R ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Conversions
+//===----------------------------------------------------------------------===//
+
+/// Truncating float-to-int conversion with Wasm trap semantics.
+template <typename F>
+std::optional<uint64_t> truncToInt(F Val, bool DstIs64, bool DstSigned) {
+  if (std::isnan(Val))
+    return std::nullopt;
+  F T = std::trunc(Val);
+  if (DstSigned) {
+    if (DstIs64) {
+      if (T < -static_cast<F>(9223372036854775808.0) ||
+          T >= static_cast<F>(9223372036854775808.0))
+        return std::nullopt;
+      return static_cast<uint64_t>(static_cast<int64_t>(T));
+    }
+    if (T < -static_cast<F>(2147483648.0) || T >= static_cast<F>(2147483648.0))
+      return std::nullopt;
+    return static_cast<uint64_t>(
+        static_cast<uint32_t>(static_cast<int32_t>(T)));
+  }
+  if (DstIs64) {
+    if (T <= -1 || T >= static_cast<F>(18446744073709551616.0))
+      return std::nullopt;
+    return static_cast<uint64_t>(T);
+  }
+  if (T <= -1 || T >= static_cast<F>(4294967296.0))
+    return std::nullopt;
+  return static_cast<uint64_t>(static_cast<uint32_t>(T));
+}
+
+} // namespace rw::num
+
+#endif // RICHWASM_SUPPORT_NUMERICOPS_H

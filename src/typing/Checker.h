@@ -1,0 +1,70 @@
+//===- typing/Checker.h - RichWasm type checker -----------------*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction, function, and module typing judgments of Fig 7. The
+/// checker is a deterministic stack simulation: it threads an abstract
+/// operand stack (exact types) and the local environment L through each
+/// instruction, enforcing the paper's qualifier (linearity), size (strong
+/// update), capability, and scoping premises. Cross-module memory safety is
+/// exactly this judgment applied at link boundaries — a module pair whose
+/// interaction would violate ownership fails here (the Fig 1/Fig 3 story).
+///
+/// When given an InfoMap, the checker records each instruction's consumed
+/// and produced operand types — the "type information that is implicit in
+/// RichWasm instructions which is provided by the type checker" that §6
+/// says the Wasm compiler consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_TYPING_CHECKER_H
+#define RICHWASM_TYPING_CHECKER_H
+
+#include "support/Error.h"
+#include "typing/Context.h"
+
+#include <map>
+
+namespace rw::typing {
+
+/// Operand/result types the checker observed at one instruction, consumed
+/// by the RichWasm→Wasm lowering.
+struct InstInfo {
+  std::vector<ir::Type> Operands; ///< Consumed, bottom of stack first.
+  std::vector<ir::Type> Results;  ///< Produced, bottom of stack first.
+};
+
+using InfoMap = std::map<const ir::Inst *, InstInfo>;
+
+/// Checks a whole module: every function body, global initializer, table
+/// entry, and the start function's signature.
+Status checkModule(const ir::Module &M, InfoMap *IM = nullptr);
+
+/// Checks one function against its declared type (module environment
+/// required for calls/globals).
+Status checkFunction(const ModuleEnv &Env, const ir::Function &F,
+                     InfoMap *IM = nullptr);
+
+/// Checks an instruction sequence as the paper's ⊢ e* : τ1* → τ2* with
+/// explicit contexts; used heavily by the rule-level unit tests. On
+/// success returns the final stack and local environment.
+struct SeqResult {
+  std::vector<ir::Type> Stack;
+  LocalCtx Locals;
+};
+Expected<SeqResult> checkSeq(const ModuleEnv &Env, const KindCtx &Kinds,
+                             const std::optional<std::vector<ir::Type>> &Ret,
+                             LocalCtx Locals, std::vector<ir::Type> StackIn,
+                             const ir::InstVec &Insts, InfoMap *IM = nullptr);
+
+/// Validates an instantiation-argument prefix against a function type's
+/// quantifier list (used by call, inst, and the linker).
+Status checkInstantiation(const KindCtx &Kinds, const ir::FunType &FT,
+                          const std::vector<ir::Index> &Args, size_t Count);
+
+} // namespace rw::typing
+
+#endif // RICHWASM_TYPING_CHECKER_H

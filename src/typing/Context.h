@@ -1,0 +1,107 @@
+//===- typing/Context.h - Typing environments (Fig 5) -----------*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typing environments of Fig 5. The function environment's qual/size/
+/// type components are the constraints of the enclosing function's
+/// quantifier list, re-indexed into body coordinates (index 0 = innermost
+/// binder). Mid-body binders (mem.unpack's ρ, exist.unpack's α) are opened
+/// with skolems, so these vectors never change while a body is checked —
+/// which is also why stored constraint expressions never need shifting:
+/// qualifier bounds mention only qualifier variables, size bounds only size
+/// variables, and type bounds only the two of those.
+///
+/// Instead of the paper's `linear` component (a stack of lower bounds for
+/// the qualifiers of values between jump targets), the checker tracks the
+/// exact stack contents and each label's entry height; a branch checks that
+/// every value it would drop is unrestricted — the same property,
+/// established from strictly more precise information.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_TYPING_CONTEXT_H
+#define RICHWASM_TYPING_CONTEXT_H
+
+#include "ir/Module.h"
+#include "ir/Types.h"
+
+#include <optional>
+#include <vector>
+
+namespace rw::typing {
+
+/// Constraint bounds for one qualifier variable.
+struct QualBound {
+  std::vector<ir::Qual> Lower, Upper;
+};
+
+/// Constraint bounds for one size variable.
+struct SizeBound {
+  std::vector<ir::SizeRef> Lower, Upper;
+};
+
+/// Constraint bounds for one pretype variable.
+struct TypeBound {
+  ir::Qual QualLower = ir::Qual::unr();
+  ir::SizeRef SizeUpper;
+  bool NoCaps = true;
+};
+
+/// The local environment L: the type and slot size of each local.
+struct LocalSlot {
+  ir::Type T;
+  ir::SizeRef Slot;
+};
+using LocalCtx = std::vector<LocalSlot>;
+
+/// One entry of the label stack: jump target result types, the local
+/// environment every jump must agree on, and the operand-stack height at
+/// label entry (used for the linearity-of-dropped-values check).
+struct LabelEntry {
+  std::vector<ir::Type> Results;
+  LocalCtx Locals;
+  size_t Height = 0;
+};
+
+/// The kind-variable portion of the function environment. Index 0 of each
+/// vector is the innermost binder of that kind.
+struct KindCtx {
+  std::vector<QualBound> Quals;
+  std::vector<SizeBound> Sizes;
+  std::vector<TypeBound> Types;
+  uint32_t NumLocVars = 0;
+};
+
+/// The function environment F.
+struct FunCtx {
+  std::vector<LabelEntry> Labels; ///< Back = innermost (depth 0).
+  std::optional<std::vector<ir::Type>> Return;
+  KindCtx Kinds;
+};
+
+/// The module environment M.
+struct ModuleEnv {
+  std::vector<ir::FunTypeRef> Funcs;
+  struct GlobalTy {
+    bool Mut = false;
+    ir::PretypeRef P;
+  };
+  std::vector<GlobalTy> Globals;
+  std::vector<ir::FunTypeRef> Table;
+};
+
+/// Builds the module environment of a module (function types, global
+/// types, and the table's function types).
+ModuleEnv buildModuleEnv(const ir::Module &M);
+
+/// Builds the body-coordinate kind context from a quantifier list,
+/// re-indexing each quantifier's constraint expressions from "binders
+/// declared before me" coordinates to full-list coordinates.
+KindCtx buildKindCtx(const std::vector<ir::Quant> &Quants);
+
+} // namespace rw::typing
+
+#endif // RICHWASM_TYPING_CONTEXT_H

@@ -1,0 +1,350 @@
+//===- typing/Entail.cpp - Qualifier and size entailment ------------------===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "typing/Entail.h"
+
+#include "ir/Rewrite.h"
+#include "ir/TypeOps.h"
+
+#include <cassert>
+#include <set>
+
+using namespace rw;
+using namespace rw::typing;
+using ir::Qual;
+using ir::SizeRef;
+
+//===----------------------------------------------------------------------===//
+// Qualifier entailment
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Worklist search through the constraint graph with a visited set to cut
+/// cycles (mutually bounded variables are legal).
+class QualSearch {
+public:
+  explicit QualSearch(const KindCtx &Ctx) : Ctx(Ctx) {}
+
+  bool leq(Qual A, Qual B) {
+    if (A == B)
+      return true;
+    if (A.isConst() && A.constValue() == ir::QualConst::Unr)
+      return true;
+    if (B.isConst() && B.constValue() == ir::QualConst::Lin)
+      return true;
+    if (A.isConst() && B.isConst())
+      return false; // lin ⪯ unr is the only remaining const case.
+    auto Key = std::make_pair(keyOf(A), keyOf(B));
+    if (!Visited.insert(Key).second)
+      return false;
+    // Walk up from A through its upper bounds.
+    if (A.isVar()) {
+      assert(A.varIndex() < Ctx.Quals.size() && "qual variable out of scope");
+      for (Qual U : Ctx.Quals[A.varIndex()].Upper)
+        if (leq(U, B))
+          return true;
+    }
+    // Walk down from B through its lower bounds.
+    if (B.isVar()) {
+      assert(B.varIndex() < Ctx.Quals.size() && "qual variable out of scope");
+      for (Qual L : Ctx.Quals[B.varIndex()].Lower)
+        if (leq(A, L))
+          return true;
+    }
+    return false;
+  }
+
+private:
+  static int64_t keyOf(Qual Q) {
+    if (Q.isVar())
+      return static_cast<int64_t>(Q.varIndex());
+    return Q.constValue() == ir::QualConst::Unr ? -1 : -2;
+  }
+
+  const KindCtx &Ctx;
+  std::set<std::pair<int64_t, int64_t>> Visited;
+};
+
+} // namespace
+
+bool rw::typing::leqQual(Qual Q1, Qual Q2, const KindCtx &Ctx) {
+  QualSearch S(Ctx);
+  return S.leq(Q1, Q2);
+}
+
+//===----------------------------------------------------------------------===//
+// Size entailment
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint64_t Infinity = ~0ull;
+
+/// Interval analysis of size expressions through variable bounds.
+class SizeSearch {
+public:
+  explicit SizeSearch(const KindCtx &Ctx) : Ctx(Ctx) {}
+
+  /// Largest possible value of \p S (Infinity when unbounded).
+  uint64_t hi(const SizeRef &S) {
+    ir::NormalSize N = ir::normalizeSize(S);
+    uint64_t Acc = N.Const;
+    for (uint32_t V : N.Vars) {
+      uint64_t H = hiVar(V);
+      if (H == Infinity)
+        return Infinity;
+      Acc += H;
+    }
+    return Acc;
+  }
+
+  /// Smallest possible value of \p S (sizes are non-negative).
+  uint64_t lo(const SizeRef &S) {
+    ir::NormalSize N = ir::normalizeSize(S);
+    uint64_t Acc = N.Const;
+    for (uint32_t V : N.Vars)
+      Acc += loVar(V);
+    return Acc;
+  }
+
+private:
+  uint64_t hiVar(uint32_t Idx) {
+    assert(Idx < Ctx.Sizes.size() && "size variable out of scope");
+    if (!HiVisited.insert(Idx).second)
+      return Infinity; // Cycle: no finite bound derivable this way.
+    uint64_t Best = Infinity;
+    for (const SizeRef &U : Ctx.Sizes[Idx].Upper) {
+      uint64_t H = hi(U);
+      if (H < Best)
+        Best = H;
+    }
+    HiVisited.erase(Idx);
+    return Best;
+  }
+
+  uint64_t loVar(uint32_t Idx) {
+    assert(Idx < Ctx.Sizes.size() && "size variable out of scope");
+    if (!LoVisited.insert(Idx).second)
+      return 0;
+    uint64_t Best = 0;
+    for (const SizeRef &L : Ctx.Sizes[Idx].Lower) {
+      uint64_t V = lo(L);
+      if (V > Best)
+        Best = V;
+    }
+    LoVisited.erase(Idx);
+    return Best;
+  }
+
+  const KindCtx &Ctx;
+  std::set<uint32_t> HiVisited, LoVisited;
+};
+
+/// True if multiset \p A is contained in multiset \p B (both sorted).
+bool multisetSubset(const std::vector<uint32_t> &A,
+                    const std::vector<uint32_t> &B) {
+  size_t I = 0, J = 0;
+  while (I < A.size()) {
+    if (J == B.size())
+      return false;
+    if (A[I] == B[J]) {
+      ++I;
+      ++J;
+    } else if (B[J] < A[I]) {
+      ++J;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Removes one occurrence of \p V from \p N's variables and adds the normal
+/// form of \p Repl in its place.
+ir::NormalSize replaceVar(const ir::NormalSize &N, uint32_t V,
+                          const ir::NormalSize &Repl) {
+  ir::NormalSize Out;
+  Out.Const = N.Const + Repl.Const;
+  bool Removed = false;
+  for (uint32_t X : N.Vars) {
+    if (!Removed && X == V) {
+      Removed = true;
+      continue;
+    }
+    Out.Vars.push_back(X);
+  }
+  Out.Vars.insert(Out.Vars.end(), Repl.Vars.begin(), Repl.Vars.end());
+  std::sort(Out.Vars.begin(), Out.Vars.end());
+  return Out;
+}
+
+ir::SizeRef denormalize(const ir::NormalSize &N) {
+  ir::SizeRef Out = ir::Size::constant(N.Const);
+  for (uint32_t V : N.Vars)
+    Out = ir::Size::plus(Out, ir::Size::var(V));
+  return Out;
+}
+
+/// Recursive entailment: syntactic inclusion, interval reasoning, or
+/// structural substitution of one variable by a declared bound (left vars
+/// by upper bounds, right vars by lower bounds). Depth-limited.
+bool leqSizeRec(const ir::NormalSize &N1, const ir::NormalSize &N2,
+                const KindCtx &Ctx, unsigned Depth) {
+  if (N1.Const <= N2.Const && multisetSubset(N1.Vars, N2.Vars))
+    return true;
+  {
+    SizeSearch S(Ctx);
+    uint64_t Hi = S.hi(denormalize(N1));
+    if (Hi != Infinity && Hi <= S.lo(denormalize(N2)))
+      return true;
+  }
+  if (Depth == 0)
+    return false;
+  // Replace a right-hand variable by one of its lower bounds.
+  uint32_t LastV = ~0u;
+  for (uint32_t V : N2.Vars) {
+    if (V == LastV)
+      continue;
+    LastV = V;
+    if (V >= Ctx.Sizes.size())
+      continue;
+    for (const SizeRef &L : Ctx.Sizes[V].Lower)
+      if (leqSizeRec(N1, replaceVar(N2, V, ir::normalizeSize(L)), Ctx,
+                     Depth - 1))
+        return true;
+  }
+  // Replace a left-hand variable by one of its upper bounds.
+  LastV = ~0u;
+  for (uint32_t V : N1.Vars) {
+    if (V == LastV)
+      continue;
+    LastV = V;
+    if (V >= Ctx.Sizes.size())
+      continue;
+    for (const SizeRef &U : Ctx.Sizes[V].Upper)
+      if (leqSizeRec(replaceVar(N1, V, ir::normalizeSize(U)), N2, Ctx,
+                     Depth - 1))
+        return true;
+  }
+  return false;
+}
+
+} // namespace
+
+bool rw::typing::leqSize(const SizeRef &S1, const SizeRef &S2,
+                         const KindCtx &Ctx) {
+  assert(S1 && S2 && "entailment on null sizes");
+  return leqSizeRec(ir::normalizeSize(S1), ir::normalizeSize(S2), Ctx,
+                    /*Depth=*/6);
+}
+
+//===----------------------------------------------------------------------===//
+// Bridges to the ir size / no_caps metafunctions
+//===----------------------------------------------------------------------===//
+
+ir::TypeVarSizes rw::typing::typeVarSizes(const KindCtx &Ctx) {
+  ir::TypeVarSizes Out;
+  Out.reserve(Ctx.Types.size());
+  for (const TypeBound &B : Ctx.Types)
+    Out.push_back(B.SizeUpper ? B.SizeUpper : ir::Size::constant(64));
+  return Out;
+}
+
+std::vector<bool> rw::typing::typeVarNoCaps(const KindCtx &Ctx) {
+  std::vector<bool> Out;
+  Out.reserve(Ctx.Types.size());
+  for (const TypeBound &B : Ctx.Types)
+    Out.push_back(B.NoCaps);
+  return Out;
+}
+
+ir::SizeRef rw::typing::sizeOfType(const ir::Type &T, const KindCtx &Ctx) {
+  return ir::sizeOfType(T, typeVarSizes(Ctx));
+}
+
+bool rw::typing::noCaps(const ir::Type &T, const KindCtx &Ctx) {
+  return ir::typeNoCaps(T, typeVarNoCaps(Ctx));
+}
+bool rw::typing::noCapsHeap(const ir::HeapTypeRef &H, const KindCtx &Ctx) {
+  return ir::heapTypeNoCaps(H, typeVarNoCaps(Ctx));
+}
+bool rw::typing::noCapsPre(const ir::PretypeRef &P, const KindCtx &Ctx) {
+  return ir::pretypeNoCaps(P, typeVarNoCaps(Ctx));
+}
+
+//===----------------------------------------------------------------------===//
+// Context construction
+//===----------------------------------------------------------------------===//
+
+ModuleEnv rw::typing::buildModuleEnv(const ir::Module &M) {
+  ModuleEnv Env;
+  for (const ir::Function &F : M.Funcs)
+    Env.Funcs.push_back(F.Ty);
+  for (const ir::Global &G : M.Globals)
+    Env.Globals.push_back({G.Mut, G.P});
+  for (uint32_t Idx : M.Tab.Entries) {
+    assert(Idx < M.Funcs.size() && "table entry out of range");
+    Env.Table.push_back(M.Funcs[Idx].Ty);
+  }
+  return Env;
+}
+
+KindCtx rw::typing::buildKindCtx(const std::vector<ir::Quant> &Quants) {
+  KindCtx Ctx;
+  // Count binders per kind so we can re-index constraints into body
+  // coordinates: a constraint written with k same-kind binders in scope
+  // shifts by (total - k).
+  uint32_t TotQ = 0, TotS = 0;
+  for (const ir::Quant &Q : Quants) {
+    if (Q.K == ir::QuantKind::Qual)
+      ++TotQ;
+    if (Q.K == ir::QuantKind::Size)
+      ++TotS;
+  }
+  uint32_t SeenQ = 0, SeenS = 0;
+  for (const ir::Quant &Q : Quants) {
+    switch (Q.K) {
+    case ir::QuantKind::Loc:
+      ++Ctx.NumLocVars;
+      break;
+    case ir::QuantKind::Qual: {
+      ir::Shifter Sh(0, TotS - SeenS, TotQ - SeenQ, 0);
+      QualBound B;
+      for (Qual L : Q.QualLower)
+        B.Lower.push_back(Sh.rewrite(L));
+      for (Qual U : Q.QualUpper)
+        B.Upper.push_back(Sh.rewrite(U));
+      // Innermost binder gets index 0: push to the front.
+      Ctx.Quals.insert(Ctx.Quals.begin(), std::move(B));
+      ++SeenQ;
+      break;
+    }
+    case ir::QuantKind::Size: {
+      ir::Shifter Sh(0, TotS - SeenS, TotQ - SeenQ, 0);
+      SizeBound B;
+      for (const SizeRef &L : Q.SizeLower)
+        B.Lower.push_back(Sh.rewrite(L));
+      for (const SizeRef &U : Q.SizeUpper)
+        B.Upper.push_back(Sh.rewrite(U));
+      Ctx.Sizes.insert(Ctx.Sizes.begin(), std::move(B));
+      ++SeenS;
+      break;
+    }
+    case ir::QuantKind::Type: {
+      ir::Shifter Sh(0, TotS - SeenS, TotQ - SeenQ, 0);
+      TypeBound B;
+      B.QualLower = Sh.rewrite(Q.TypeQualLower);
+      B.SizeUpper =
+          Q.TypeSizeUpper ? Sh.rewrite(Q.TypeSizeUpper) : ir::Size::constant(64);
+      B.NoCaps = Q.TypeNoCaps;
+      Ctx.Types.insert(Ctx.Types.begin(), std::move(B));
+      break;
+    }
+    }
+  }
+  return Ctx;
+}

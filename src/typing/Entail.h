@@ -1,0 +1,59 @@
+//===- typing/Entail.h - Qualifier and size entailment ----------*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decision procedures for the two constraint judgments:
+///
+///  * q1 ⪯_{F.qual} q2 — the reflexive-transitive closure of unr ⪯ lin and
+///    the per-variable lower/upper bound constraints;
+///  * sz1 ≤_{F.size} sz2 — sound (incomplete) entailment over size
+///    expressions: syntactic inclusion of normal forms, or interval
+///    reasoning through the declared variable bounds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_TYPING_ENTAIL_H
+#define RICHWASM_TYPING_ENTAIL_H
+
+#include "ir/TypeOps.h"
+#include "typing/Context.h"
+
+namespace rw::typing {
+
+/// Decides q1 ⪯ q2 under the qualifier constraints in \p Ctx. Skolem-free:
+/// qualifier variables are de Bruijn indices into \p Ctx.
+bool leqQual(ir::Qual Q1, ir::Qual Q2, const KindCtx &Ctx);
+
+/// q ⪯ unr (value may be duplicated/dropped).
+inline bool qualIsUnr(ir::Qual Q, const KindCtx &Ctx) {
+  return leqQual(Q, ir::Qual::unr(), Ctx);
+}
+/// lin ⪯ q (value must be treated linearly).
+inline bool qualIsLin(ir::Qual Q, const KindCtx &Ctx) {
+  return leqQual(ir::Qual::lin(), Q, Ctx);
+}
+
+/// Decides sz1 ≤ sz2 under the size constraints in \p Ctx.
+bool leqSize(const ir::SizeRef &S1, const ir::SizeRef &S2, const KindCtx &Ctx);
+
+/// The size-variable upper bounds of the pretype variables in \p Ctx, in
+/// the shape sizeOfPretype expects.
+ir::TypeVarSizes typeVarSizes(const KindCtx &Ctx);
+
+/// The per-variable no-caps flags of \p Ctx, for the no_caps predicate.
+std::vector<bool> typeVarNoCaps(const KindCtx &Ctx);
+
+/// ||τ|| under \p Ctx's type-variable bounds.
+ir::SizeRef sizeOfType(const ir::Type &T, const KindCtx &Ctx);
+
+/// no_caps under \p Ctx's type-variable flags.
+bool noCaps(const ir::Type &T, const KindCtx &Ctx);
+bool noCapsHeap(const ir::HeapTypeRef &H, const KindCtx &Ctx);
+bool noCapsPre(const ir::PretypeRef &P, const KindCtx &Ctx);
+
+} // namespace rw::typing
+
+#endif // RICHWASM_TYPING_ENTAIL_H

@@ -1,0 +1,50 @@
+//===- typing/WellFormed.h - Type well-formedness ---------------*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The well-formedness judgments F ⊢ q qual, F ⊢ sz size, F ⊢ τ type of the
+/// paper. Besides scoping, these enforce the qualifier discipline inside
+/// types: tuple components are bounded by the tuple qualifier, pretype
+/// variables only occur at qualifiers above their declared lower bound,
+/// references into the linear memory are linear (and into the unrestricted
+/// memory unrestricted), and a rec-bound variable occurs only behind an
+/// indirection so flat layout never needs its size.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_TYPING_WELLFORMED_H
+#define RICHWASM_TYPING_WELLFORMED_H
+
+#include "support/Error.h"
+#include "typing/Context.h"
+
+namespace rw::typing {
+
+Status wfQual(ir::Qual Q, const KindCtx &Ctx);
+Status wfSize(const ir::SizeRef &S, const KindCtx &Ctx);
+Status wfLoc(const ir::Loc &L, const KindCtx &Ctx);
+
+/// F ⊢ τ type.
+Status wfType(const ir::Type &T, const KindCtx &Ctx);
+
+/// Checks that pretype \p P may legally occur at qualifier \p OuterQ.
+Status wfPretypeAt(const ir::PretypeRef &P, ir::Qual OuterQ,
+                   const KindCtx &Ctx);
+
+Status wfHeapType(const ir::HeapTypeRef &H, const KindCtx &Ctx);
+
+/// Checks a function type; its quantifier list extends \p Ambient.
+Status wfFunType(const ir::FunType &F, const KindCtx &Ambient);
+
+/// Builds the combined kind context of \p Quants stacked over \p Ambient
+/// (used when descending into coderef types and when checking function
+/// bodies).
+KindCtx stackKindCtx(const std::vector<ir::Quant> &Quants,
+                     const KindCtx &Ambient);
+
+} // namespace rw::typing
+
+#endif // RICHWASM_TYPING_WELLFORMED_H

@@ -1,0 +1,1048 @@
+//===- wasm/Binary.cpp - Wasm binary encoder and decoder -------------------===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wasm/Binary.h"
+
+#include "support/LEB128.h"
+
+#include <cassert>
+#include <cstring>
+#include <sstream>
+
+using namespace rw;
+using namespace rw::wasm;
+
+//===----------------------------------------------------------------------===//
+// Encoder
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Encoder {
+public:
+  explicit Encoder(WModule M) : M(std::move(M)) {}
+
+  std::vector<uint8_t> run() {
+    // Pre-register all multi-value block types so the type section is
+    // complete before it is emitted.
+    for (WFunc &F : M.Funcs)
+      registerBlockTypes(F.Body);
+    for (WGlobal &G : M.Globals)
+      registerBlockTypes(G.Init);
+
+    Out = {0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00};
+    emitTypeSection();
+    emitImportSection();
+    emitFunctionSection();
+    emitTableSection();
+    emitMemorySection();
+    emitGlobalSection();
+    emitExportSection();
+    emitStartSection();
+    emitElemSection();
+    emitCodeSection();
+    emitDataSection();
+    return std::move(Out);
+  }
+
+private:
+  void registerBlockTypes(std::vector<WInst> &Body) {
+    for (WInst &I : Body) {
+      if (I.K == Op::Block || I.K == Op::Loop || I.K == Op::If) {
+        if (!(I.BT.Params.empty() && I.BT.Results.size() <= 1))
+          M.addType(I.BT);
+        registerBlockTypes(I.Body);
+        registerBlockTypes(I.Else);
+      }
+    }
+  }
+
+  void u8(uint8_t B) { Out.push_back(B); }
+  void u32(uint64_t V) { encodeULEB128(V, Out); }
+  void s64(int64_t V) { encodeSLEB128(V, Out); }
+  void raw32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Out.push_back((V >> (8 * I)) & 0xff);
+  }
+  void raw64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Out.push_back((V >> (8 * I)) & 0xff);
+  }
+  void name(const std::string &S) {
+    u32(S.size());
+    Out.insert(Out.end(), S.begin(), S.end());
+  }
+  void valType(ValType T) { u8(static_cast<uint8_t>(T)); }
+
+  /// Emits a section: id, size, payload.
+  template <typename F> void section(uint8_t Id, F Payload) {
+    std::vector<uint8_t> Saved = std::move(Out);
+    Out.clear();
+    Payload();
+    std::vector<uint8_t> Body = std::move(Out);
+    Out = std::move(Saved);
+    if (Body.empty())
+      return;
+    u8(Id);
+    u32(Body.size());
+    Out.insert(Out.end(), Body.begin(), Body.end());
+  }
+
+  void emitTypeSection() {
+    if (M.Types.empty())
+      return;
+    section(1, [&] {
+      u32(M.Types.size());
+      for (const FuncType &T : M.Types) {
+        u8(0x60);
+        u32(T.Params.size());
+        for (ValType V : T.Params)
+          valType(V);
+        u32(T.Results.size());
+        for (ValType V : T.Results)
+          valType(V);
+      }
+    });
+  }
+
+  void emitImportSection() {
+    if (M.ImportFuncs.empty())
+      return;
+    section(2, [&] {
+      u32(M.ImportFuncs.size());
+      for (const WImportFunc &I : M.ImportFuncs) {
+        name(I.Mod);
+        name(I.Name);
+        u8(0x00);
+        u32(I.TypeIdx);
+      }
+    });
+  }
+
+  void emitFunctionSection() {
+    if (M.Funcs.empty())
+      return;
+    section(3, [&] {
+      u32(M.Funcs.size());
+      for (const WFunc &F : M.Funcs)
+        u32(F.TypeIdx);
+    });
+  }
+
+  void emitTableSection() {
+    if (M.TableElems.empty())
+      return;
+    section(4, [&] {
+      u32(1);
+      u8(0x70); // funcref
+      u8(0x00); // min only
+      u32(M.TableElems.size());
+    });
+  }
+
+  void emitMemorySection() {
+    if (!M.Memory)
+      return;
+    section(5, [&] {
+      u32(1);
+      if (M.Memory->second) {
+        u8(0x01);
+        u32(M.Memory->first);
+        u32(*M.Memory->second);
+      } else {
+        u8(0x00);
+        u32(M.Memory->first);
+      }
+    });
+  }
+
+  void emitGlobalSection() {
+    if (M.Globals.empty())
+      return;
+    section(6, [&] {
+      u32(M.Globals.size());
+      for (const WGlobal &G : M.Globals) {
+        valType(G.T);
+        u8(G.Mut ? 0x01 : 0x00);
+        expr(G.Init);
+      }
+    });
+  }
+
+  void emitExportSection() {
+    if (M.Exports.empty())
+      return;
+    section(7, [&] {
+      u32(M.Exports.size());
+      for (const WExport &E : M.Exports) {
+        name(E.Name);
+        u8(static_cast<uint8_t>(E.Kind));
+        u32(E.Idx);
+      }
+    });
+  }
+
+  void emitStartSection() {
+    if (!M.Start)
+      return;
+    section(8, [&] { u32(*M.Start); });
+  }
+
+  void emitElemSection() {
+    if (M.TableElems.empty())
+      return;
+    section(9, [&] {
+      u32(1);
+      u8(0x00);
+      // Offset expression: i32.const 0, end.
+      u8(0x41);
+      s64(0);
+      u8(0x0b);
+      u32(M.TableElems.size());
+      for (uint32_t E : M.TableElems)
+        u32(E);
+    });
+  }
+
+  void emitCodeSection() {
+    if (M.Funcs.empty())
+      return;
+    section(10, [&] {
+      u32(M.Funcs.size());
+      for (const WFunc &F : M.Funcs) {
+        std::vector<uint8_t> Saved = std::move(Out);
+        Out.clear();
+        // Locals, run-length encoded by type.
+        std::vector<std::pair<uint32_t, ValType>> Runs;
+        for (ValType T : F.Locals) {
+          if (!Runs.empty() && Runs.back().second == T)
+            ++Runs.back().first;
+          else
+            Runs.push_back({1, T});
+        }
+        u32(Runs.size());
+        for (auto &R : Runs) {
+          u32(R.first);
+          valType(R.second);
+        }
+        expr(F.Body);
+        std::vector<uint8_t> Body = std::move(Out);
+        Out = std::move(Saved);
+        u32(Body.size());
+        Out.insert(Out.end(), Body.begin(), Body.end());
+      }
+    });
+  }
+
+  void emitDataSection() {
+    if (M.Data.empty())
+      return;
+    section(11, [&] {
+      u32(M.Data.size());
+      for (const WData &D : M.Data) {
+        u8(0x00);
+        u8(0x41);
+        s64(static_cast<int32_t>(D.Offset));
+        u8(0x0b);
+        u32(D.Bytes.size());
+        Out.insert(Out.end(), D.Bytes.begin(), D.Bytes.end());
+      }
+    });
+  }
+
+  void blockType(const FuncType &BT) {
+    if (BT.Params.empty() && BT.Results.empty()) {
+      u8(0x40);
+      return;
+    }
+    if (BT.Params.empty() && BT.Results.size() == 1) {
+      valType(BT.Results[0]);
+      return;
+    }
+    // Multi-value: s33 type index (registered beforehand).
+    int64_t Idx = -1;
+    for (uint32_t I = 0; I < M.Types.size(); ++I)
+      if (M.Types[I] == BT) {
+        Idx = I;
+        break;
+      }
+    assert(Idx >= 0 && "block type not registered");
+    s64(Idx);
+  }
+
+  void expr(const std::vector<WInst> &Body) {
+    insts(Body);
+    u8(0x0b); // end
+  }
+
+  void insts(const std::vector<WInst> &Body) {
+    for (const WInst &I : Body)
+      inst(I);
+  }
+
+  void inst(const WInst &I) {
+    u8(static_cast<uint8_t>(I.K));
+    switch (I.K) {
+    case Op::Block:
+    case Op::Loop:
+      blockType(I.BT);
+      insts(I.Body);
+      u8(0x0b);
+      break;
+    case Op::If:
+      blockType(I.BT);
+      insts(I.Body);
+      if (!I.Else.empty()) {
+        u8(0x05); // else
+        insts(I.Else);
+      }
+      u8(0x0b);
+      break;
+    case Op::Br:
+    case Op::BrIf:
+    case Op::Call:
+    case Op::LocalGet:
+    case Op::LocalSet:
+    case Op::LocalTee:
+    case Op::GlobalGet:
+    case Op::GlobalSet:
+      u32(I.U32);
+      break;
+    case Op::CallIndirect:
+      u32(I.U32);
+      u8(0x00); // table index
+      break;
+    case Op::BrTable:
+      u32(I.Table.size());
+      for (uint32_t T : I.Table)
+        u32(T);
+      u32(I.U32);
+      break;
+    case Op::I32Const:
+      s64(static_cast<int32_t>(I.U64));
+      break;
+    case Op::I64Const:
+      s64(static_cast<int64_t>(I.U64));
+      break;
+    case Op::F32Const:
+      raw32(static_cast<uint32_t>(I.U64));
+      break;
+    case Op::F64Const:
+      raw64(I.U64);
+      break;
+    case Op::MemorySize:
+    case Op::MemoryGrow:
+      u8(0x00);
+      break;
+    default: {
+      uint8_t C = static_cast<uint8_t>(I.K);
+      if (C >= 0x28 && C <= 0x3e) { // memarg
+        u32(I.Align);
+        u32(I.Offset);
+      }
+      break;
+    }
+    }
+  }
+
+  WModule M;
+  std::vector<uint8_t> Out;
+};
+
+} // namespace
+
+std::vector<uint8_t> rw::wasm::encode(WModule M) {
+  Encoder E(std::move(M));
+  return E.run();
+}
+
+//===----------------------------------------------------------------------===//
+// Decoder
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Decoder {
+public:
+  explicit Decoder(const std::vector<uint8_t> &Bytes) : B(Bytes) {}
+
+  Expected<WModule> run() {
+    if (B.size() < 8 || B[0] != 0 || B[1] != 'a' || B[2] != 's' ||
+        B[3] != 'm')
+      return Error("bad wasm magic");
+    Pos = 8;
+    while (Pos < B.size()) {
+      uint8_t Id = B[Pos++];
+      auto Size = u32();
+      if (!Size)
+        return Error("truncated section header");
+      size_t End = Pos + *Size;
+      if (End > B.size())
+        return Error("section extends past end of module");
+      Status S = Status::success();
+      switch (Id) {
+      case 1:
+        S = typeSection();
+        break;
+      case 2:
+        S = importSection();
+        break;
+      case 3:
+        S = functionSection();
+        break;
+      case 4:
+        S = tableSection();
+        break;
+      case 5:
+        S = memorySection();
+        break;
+      case 6:
+        S = globalSection();
+        break;
+      case 7:
+        S = exportSection();
+        break;
+      case 8: {
+        auto V = u32();
+        if (!V)
+          return Error("bad start section");
+        M.Start = static_cast<uint32_t>(*V);
+        break;
+      }
+      case 9:
+        S = elemSection();
+        break;
+      case 10:
+        S = codeSection();
+        break;
+      case 11:
+        S = dataSection();
+        break;
+      default:
+        Pos = End; // Skip custom/unknown sections.
+        break;
+      }
+      if (!S)
+        return S.error();
+      if (Pos != End)
+        return Error("section size mismatch (id " + std::to_string(Id) + ")");
+    }
+    if (M.Funcs.size() != TypeIdxs.size())
+      return Error("function and code section counts disagree");
+    for (size_t I = 0; I < M.Funcs.size(); ++I)
+      M.Funcs[I].TypeIdx = TypeIdxs[I];
+    M.TableElems = Elems;
+    return std::move(M);
+  }
+
+private:
+  std::optional<uint64_t> u32() { return decodeULEB128(B, Pos); }
+  std::optional<int64_t> s64() { return decodeSLEB128(B, Pos); }
+  std::optional<uint8_t> u8() {
+    if (Pos >= B.size())
+      return std::nullopt;
+    return B[Pos++];
+  }
+
+  Expected<ValType> valType() {
+    auto V = u8();
+    if (!V)
+      return Error("truncated value type");
+    switch (*V) {
+    case 0x7f:
+      return ValType::I32;
+    case 0x7e:
+      return ValType::I64;
+    case 0x7d:
+      return ValType::F32;
+    case 0x7c:
+      return ValType::F64;
+    default:
+      return Error("unknown value type");
+    }
+  }
+
+  Expected<std::string> name() {
+    auto N = u32();
+    if (!N || Pos + *N > B.size())
+      return Error("truncated name");
+    std::string S(B.begin() + Pos, B.begin() + Pos + *N);
+    Pos += *N;
+    return S;
+  }
+
+  Status typeSection() {
+    auto N = u32();
+    if (!N)
+      return Error("bad type count");
+    for (uint64_t I = 0; I < *N; ++I) {
+      auto Tag = u8();
+      if (!Tag || *Tag != 0x60)
+        return Error("expected functype tag");
+      FuncType FT;
+      auto NP = u32();
+      if (!NP)
+        return Error("bad param count");
+      for (uint64_t J = 0; J < *NP; ++J) {
+        Expected<ValType> V = valType();
+        if (!V)
+          return V.error();
+        FT.Params.push_back(*V);
+      }
+      auto NR = u32();
+      if (!NR)
+        return Error("bad result count");
+      for (uint64_t J = 0; J < *NR; ++J) {
+        Expected<ValType> V = valType();
+        if (!V)
+          return V.error();
+        FT.Results.push_back(*V);
+      }
+      M.Types.push_back(std::move(FT));
+    }
+    return Status::success();
+  }
+
+  Status importSection() {
+    auto N = u32();
+    if (!N)
+      return Error("bad import count");
+    for (uint64_t I = 0; I < *N; ++I) {
+      Expected<std::string> Mod = name();
+      if (!Mod)
+        return Mod.error();
+      Expected<std::string> Nm = name();
+      if (!Nm)
+        return Nm.error();
+      auto Kind = u8();
+      if (!Kind || *Kind != 0x00)
+        return Error("only function imports are supported");
+      auto TI = u32();
+      if (!TI)
+        return Error("bad import type index");
+      M.ImportFuncs.push_back(
+          {std::move(*Mod), std::move(*Nm), static_cast<uint32_t>(*TI)});
+    }
+    return Status::success();
+  }
+
+  Status functionSection() {
+    auto N = u32();
+    if (!N)
+      return Error("bad function count");
+    for (uint64_t I = 0; I < *N; ++I) {
+      auto TI = u32();
+      if (!TI)
+        return Error("bad function type index");
+      TypeIdxs.push_back(static_cast<uint32_t>(*TI));
+    }
+    return Status::success();
+  }
+
+  Status tableSection() {
+    auto N = u32();
+    if (!N || *N != 1)
+      return Error("expected one table");
+    auto ET = u8();
+    if (!ET || *ET != 0x70)
+      return Error("expected funcref table");
+    auto HasMax = u8();
+    if (!HasMax)
+      return Error("bad table limits");
+    auto Min = u32();
+    if (!Min)
+      return Error("bad table min");
+    if (*HasMax == 1)
+      (void)u32();
+    return Status::success();
+  }
+
+  Status memorySection() {
+    auto N = u32();
+    if (!N || *N != 1)
+      return Error("expected one memory");
+    auto HasMax = u8();
+    auto Min = u32();
+    if (!HasMax || !Min)
+      return Error("bad memory limits");
+    std::optional<uint32_t> Max;
+    if (*HasMax == 1) {
+      auto Mx = u32();
+      if (!Mx)
+        return Error("bad memory max");
+      Max = static_cast<uint32_t>(*Mx);
+    }
+    M.Memory = {static_cast<uint32_t>(*Min), Max};
+    return Status::success();
+  }
+
+  Status globalSection() {
+    auto N = u32();
+    if (!N)
+      return Error("bad global count");
+    for (uint64_t I = 0; I < *N; ++I) {
+      Expected<ValType> T = valType();
+      if (!T)
+        return T.error();
+      auto Mut = u8();
+      if (!Mut)
+        return Error("bad global mutability");
+      WGlobal G;
+      G.T = *T;
+      G.Mut = *Mut == 1;
+      Expected<std::vector<WInst>> Init = expr();
+      if (!Init)
+        return Init.error();
+      G.Init = std::move(*Init);
+      M.Globals.push_back(std::move(G));
+    }
+    return Status::success();
+  }
+
+  Status exportSection() {
+    auto N = u32();
+    if (!N)
+      return Error("bad export count");
+    for (uint64_t I = 0; I < *N; ++I) {
+      Expected<std::string> Nm = name();
+      if (!Nm)
+        return Nm.error();
+      auto Kind = u8();
+      auto Idx = u32();
+      if (!Kind || !Idx)
+        return Error("bad export entry");
+      M.Exports.push_back({std::move(*Nm), static_cast<ExportKind>(*Kind),
+                           static_cast<uint32_t>(*Idx)});
+    }
+    return Status::success();
+  }
+
+  Status elemSection() {
+    auto N = u32();
+    if (!N)
+      return Error("bad elem count");
+    for (uint64_t I = 0; I < *N; ++I) {
+      auto Flag = u8();
+      if (!Flag || *Flag != 0x00)
+        return Error("unsupported elem segment");
+      Expected<std::vector<WInst>> Off = expr();
+      if (!Off)
+        return Off.error();
+      auto Cnt = u32();
+      if (!Cnt)
+        return Error("bad elem entry count");
+      for (uint64_t J = 0; J < *Cnt; ++J) {
+        auto FI = u32();
+        if (!FI)
+          return Error("bad elem function index");
+        Elems.push_back(static_cast<uint32_t>(*FI));
+      }
+    }
+    return Status::success();
+  }
+
+  Status codeSection() {
+    auto N = u32();
+    if (!N)
+      return Error("bad code count");
+    for (uint64_t I = 0; I < *N; ++I) {
+      auto Size = u32();
+      if (!Size)
+        return Error("bad code body size");
+      size_t End = Pos + *Size;
+      WFunc F;
+      auto NRuns = u32();
+      if (!NRuns)
+        return Error("bad local runs");
+      for (uint64_t J = 0; J < *NRuns; ++J) {
+        auto Cnt = u32();
+        Expected<ValType> T = valType();
+        if (!Cnt || !T)
+          return Error("bad local run");
+        for (uint64_t K = 0; K < *Cnt; ++K)
+          F.Locals.push_back(*T);
+      }
+      Expected<std::vector<WInst>> Body = expr();
+      if (!Body)
+        return Body.error();
+      F.Body = std::move(*Body);
+      if (Pos != End)
+        return Error("code body size mismatch");
+      M.Funcs.push_back(std::move(F));
+    }
+    return Status::success();
+  }
+
+  Status dataSection() {
+    auto N = u32();
+    if (!N)
+      return Error("bad data count");
+    for (uint64_t I = 0; I < *N; ++I) {
+      auto Flag = u8();
+      if (!Flag || *Flag != 0x00)
+        return Error("unsupported data segment");
+      Expected<std::vector<WInst>> Off = expr();
+      if (!Off)
+        return Off.error();
+      uint32_t Offset = 0;
+      if (!Off->empty() && (*Off)[0].K == Op::I32Const)
+        Offset = static_cast<uint32_t>((*Off)[0].U64);
+      auto Len = u32();
+      if (!Len || Pos + *Len > B.size())
+        return Error("bad data bytes");
+      WData D;
+      D.Offset = Offset;
+      D.Bytes.assign(B.begin() + Pos, B.begin() + Pos + *Len);
+      Pos += *Len;
+      M.Data.push_back(std::move(D));
+    }
+    return Status::success();
+  }
+
+  Expected<FuncType> blockType() {
+    // Peek: 0x40, a valtype byte, or an s33 index.
+    if (Pos >= B.size())
+      return Error("truncated block type");
+    uint8_t Peek = B[Pos];
+    if (Peek == 0x40) {
+      ++Pos;
+      return FuncType{};
+    }
+    if (Peek == 0x7f || Peek == 0x7e || Peek == 0x7d || Peek == 0x7c) {
+      ++Pos;
+      FuncType FT;
+      FT.Results.push_back(static_cast<ValType>(Peek));
+      return FT;
+    }
+    auto Idx = s64();
+    if (!Idx || *Idx < 0 || static_cast<size_t>(*Idx) >= M.Types.size())
+      return Error("bad block type index");
+    return M.Types[static_cast<size_t>(*Idx)];
+  }
+
+  /// Parses instructions until the matching `end` (consumed). The `else`
+  /// marker terminates a then-branch without being consumed by it.
+  Expected<std::vector<WInst>> parseUntil(uint8_t &Terminator) {
+    std::vector<WInst> Out;
+    for (;;) {
+      auto Bc = u8();
+      if (!Bc)
+        return Error("truncated expression");
+      if (*Bc == 0x0b || *Bc == 0x05) {
+        Terminator = *Bc;
+        return Out;
+      }
+      Op K = static_cast<Op>(*Bc);
+      WInst I(K);
+      switch (K) {
+      case Op::Block:
+      case Op::Loop: {
+        Expected<FuncType> BT = blockType();
+        if (!BT)
+          return BT.error();
+        I.BT = std::move(*BT);
+        uint8_t T = 0;
+        Expected<std::vector<WInst>> Body = parseUntil(T);
+        if (!Body)
+          return Body.error();
+        if (T != 0x0b)
+          return Error("unexpected else in block");
+        I.Body = std::move(*Body);
+        break;
+      }
+      case Op::If: {
+        Expected<FuncType> BT = blockType();
+        if (!BT)
+          return BT.error();
+        I.BT = std::move(*BT);
+        uint8_t T = 0;
+        Expected<std::vector<WInst>> Then = parseUntil(T);
+        if (!Then)
+          return Then.error();
+        I.Body = std::move(*Then);
+        if (T == 0x05) {
+          Expected<std::vector<WInst>> Else = parseUntil(T);
+          if (!Else)
+            return Else.error();
+          if (T != 0x0b)
+            return Error("unterminated else");
+          I.Else = std::move(*Else);
+        }
+        break;
+      }
+      case Op::Br:
+      case Op::BrIf:
+      case Op::Call:
+      case Op::LocalGet:
+      case Op::LocalSet:
+      case Op::LocalTee:
+      case Op::GlobalGet:
+      case Op::GlobalSet: {
+        auto V = u32();
+        if (!V)
+          return Error("truncated index immediate");
+        I.U32 = static_cast<uint32_t>(*V);
+        break;
+      }
+      case Op::CallIndirect: {
+        auto V = u32();
+        auto Tbl = u8();
+        if (!V || !Tbl)
+          return Error("truncated call_indirect");
+        I.U32 = static_cast<uint32_t>(*V);
+        break;
+      }
+      case Op::BrTable: {
+        auto N = u32();
+        if (!N)
+          return Error("truncated br_table");
+        for (uint64_t J = 0; J < *N; ++J) {
+          auto T = u32();
+          if (!T)
+            return Error("truncated br_table target");
+          I.Table.push_back(static_cast<uint32_t>(*T));
+        }
+        auto D = u32();
+        if (!D)
+          return Error("truncated br_table default");
+        I.U32 = static_cast<uint32_t>(*D);
+        break;
+      }
+      case Op::I32Const: {
+        auto V = s64();
+        if (!V)
+          return Error("truncated i32.const");
+        I.U64 = static_cast<uint32_t>(static_cast<int32_t>(*V));
+        break;
+      }
+      case Op::I64Const: {
+        auto V = s64();
+        if (!V)
+          return Error("truncated i64.const");
+        I.U64 = static_cast<uint64_t>(*V);
+        break;
+      }
+      case Op::F32Const: {
+        if (Pos + 4 > B.size())
+          return Error("truncated f32.const");
+        uint32_t V;
+        std::memcpy(&V, B.data() + Pos, 4);
+        Pos += 4;
+        I.U64 = V;
+        break;
+      }
+      case Op::F64Const: {
+        if (Pos + 8 > B.size())
+          return Error("truncated f64.const");
+        uint64_t V;
+        std::memcpy(&V, B.data() + Pos, 8);
+        Pos += 8;
+        I.U64 = V;
+        break;
+      }
+      case Op::MemorySize:
+      case Op::MemoryGrow: {
+        (void)u8();
+        break;
+      }
+      default: {
+        uint8_t C = static_cast<uint8_t>(K);
+        if (C >= 0x28 && C <= 0x3e) {
+          auto A = u32();
+          auto O = u32();
+          if (!A || !O)
+            return Error("truncated memarg");
+          I.Align = static_cast<uint32_t>(*A);
+          I.Offset = static_cast<uint32_t>(*O);
+        }
+        break;
+      }
+      }
+      Out.push_back(std::move(I));
+    }
+  }
+
+  Expected<std::vector<WInst>> expr() {
+    uint8_t T = 0;
+    Expected<std::vector<WInst>> Body = parseUntil(T);
+    if (!Body)
+      return Body;
+    if (T != 0x0b)
+      return Error("expression not terminated by end");
+    return Body;
+  }
+
+  const std::vector<uint8_t> &B;
+  size_t Pos = 0;
+  WModule M;
+  std::vector<uint32_t> TypeIdxs;
+  std::vector<uint32_t> Elems;
+};
+
+} // namespace
+
+Expected<WModule> rw::wasm::decode(const std::vector<uint8_t> &Bytes) {
+  Decoder D(Bytes);
+  return D.run();
+}
+
+//===----------------------------------------------------------------------===//
+// WAT-ish printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *opName(Op K);
+
+void printInsts(std::ostringstream &OS, const std::vector<WInst> &Body,
+                unsigned Indent) {
+  std::string Pad(Indent * 2, ' ');
+  for (const WInst &I : Body) {
+    switch (I.K) {
+    case Op::Block:
+    case Op::Loop:
+    case Op::If:
+      OS << Pad << opName(I.K) << "\n";
+      printInsts(OS, I.Body, Indent + 1);
+      if (I.K == Op::If && !I.Else.empty()) {
+        OS << Pad << "else\n";
+        printInsts(OS, I.Else, Indent + 1);
+      }
+      OS << Pad << "end\n";
+      break;
+    case Op::I32Const:
+      OS << Pad << "i32.const " << static_cast<int32_t>(I.U64) << "\n";
+      break;
+    case Op::I64Const:
+      OS << Pad << "i64.const " << static_cast<int64_t>(I.U64) << "\n";
+      break;
+    case Op::Br:
+    case Op::BrIf:
+    case Op::Call:
+    case Op::CallIndirect:
+    case Op::LocalGet:
+    case Op::LocalSet:
+    case Op::LocalTee:
+    case Op::GlobalGet:
+    case Op::GlobalSet:
+      OS << Pad << opName(I.K) << " " << I.U32 << "\n";
+      break;
+    case Op::BrTable: {
+      OS << Pad << "br_table";
+      for (uint32_t T : I.Table)
+        OS << " " << T;
+      OS << " " << I.U32 << "\n";
+      break;
+    }
+    default: {
+      uint8_t C = static_cast<uint8_t>(I.K);
+      if (C >= 0x28 && C <= 0x3e)
+        OS << Pad << opName(I.K) << " offset=" << I.Offset << "\n";
+      else
+        OS << Pad << opName(I.K) << "\n";
+      break;
+    }
+    }
+  }
+}
+
+const char *opName(Op K) {
+  switch (K) {
+  case Op::Unreachable:
+    return "unreachable";
+  case Op::Nop:
+    return "nop";
+  case Op::Block:
+    return "block";
+  case Op::Loop:
+    return "loop";
+  case Op::If:
+    return "if";
+  case Op::Br:
+    return "br";
+  case Op::BrIf:
+    return "br_if";
+  case Op::BrTable:
+    return "br_table";
+  case Op::Return:
+    return "return";
+  case Op::Call:
+    return "call";
+  case Op::CallIndirect:
+    return "call_indirect";
+  case Op::Drop:
+    return "drop";
+  case Op::Select:
+    return "select";
+  case Op::LocalGet:
+    return "local.get";
+  case Op::LocalSet:
+    return "local.set";
+  case Op::LocalTee:
+    return "local.tee";
+  case Op::GlobalGet:
+    return "global.get";
+  case Op::GlobalSet:
+    return "global.set";
+  case Op::I32Load:
+    return "i32.load";
+  case Op::I64Load:
+    return "i64.load";
+  case Op::I32Store:
+    return "i32.store";
+  case Op::I64Store:
+    return "i64.store";
+  case Op::MemorySize:
+    return "memory.size";
+  case Op::MemoryGrow:
+    return "memory.grow";
+  case Op::I32Add:
+    return "i32.add";
+  case Op::I32Sub:
+    return "i32.sub";
+  case Op::I32Mul:
+    return "i32.mul";
+  case Op::I64Add:
+    return "i64.add";
+  case Op::I32Eqz:
+    return "i32.eqz";
+  case Op::I32Eq:
+    return "i32.eq";
+  case Op::I32LtS:
+    return "i32.lt_s";
+  default:
+    return "op";
+  }
+}
+
+} // namespace
+
+std::string rw::wasm::printWat(const WModule &M) {
+  std::ostringstream OS;
+  OS << "(module\n";
+  for (size_t I = 0; I < M.ImportFuncs.size(); ++I)
+    OS << "  (import \"" << M.ImportFuncs[I].Mod << "\" \""
+       << M.ImportFuncs[I].Name << "\" (func $" << I << "))\n";
+  if (M.Memory)
+    OS << "  (memory " << M.Memory->first << ")\n";
+  for (size_t I = 0; I < M.Funcs.size(); ++I) {
+    const WFunc &F = M.Funcs[I];
+    const FuncType &FT = M.Types[F.TypeIdx];
+    OS << "  (func $" << (I + M.ImportFuncs.size()) << " (param";
+    for (ValType T : FT.Params)
+      OS << " " << valTypeName(T);
+    OS << ") (result";
+    for (ValType T : FT.Results)
+      OS << " " << valTypeName(T);
+    OS << ")\n";
+    printInsts(OS, F.Body, 2);
+    OS << "  )\n";
+  }
+  for (const WExport &E : M.Exports)
+    OS << "  (export \"" << E.Name << "\")\n";
+  OS << ")\n";
+  return OS.str();
+}

@@ -1,0 +1,35 @@
+//===- wasm/Binary.h - Wasm binary encoder and decoder ----------*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The WebAssembly 1.0 binary format (with multi-value block types).
+/// encode() produces a .wasm byte vector runnable by any engine; decode()
+/// parses one back, enabling round-trip testing of the whole pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_WASM_BINARY_H
+#define RICHWASM_WASM_BINARY_H
+
+#include "support/Error.h"
+#include "wasm/WasmAst.h"
+
+namespace rw::wasm {
+
+/// Serializes \p M to the binary format. Multi-value block types are
+/// emitted as type-section references, so \p M is taken by value and its
+/// type section may be extended internally.
+std::vector<uint8_t> encode(WModule M);
+
+/// Parses a binary module.
+Expected<WModule> decode(const std::vector<uint8_t> &Bytes);
+
+/// Renders the module in a WAT-like text form (for debugging and docs).
+std::string printWat(const WModule &M);
+
+} // namespace rw::wasm
+
+#endif // RICHWASM_WASM_BINARY_H

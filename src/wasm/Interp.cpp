@@ -1,0 +1,725 @@
+//===- wasm/Interp.cpp - Wasm interpreter ----------------------------------===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wasm/Interp.h"
+
+#include "support/NumericOps.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace rw;
+using namespace rw::wasm;
+
+namespace {
+
+constexpr uint64_t PageSize = 65536;
+constexpr unsigned MaxCallDepth = 2000;
+
+} // namespace
+
+uint32_t WasmInstance::load32(uint32_t Addr) const {
+  assert(Addr + 4 <= Mem.size() && "host load out of bounds");
+  uint32_t V;
+  std::memcpy(&V, Mem.data() + Addr, 4);
+  return V;
+}
+
+void WasmInstance::store32(uint32_t Addr, uint32_t V) {
+  assert(Addr + 4 <= Mem.size() && "host store out of bounds");
+  std::memcpy(Mem.data() + Addr, &V, 4);
+}
+
+std::optional<uint32_t> WasmInstance::findExport(const std::string &Name,
+                                                 ExportKind Kind) const {
+  for (const WExport &E : M->Exports)
+    if (E.Kind == Kind && E.Name == Name)
+      return E.Idx;
+  return std::nullopt;
+}
+
+Status WasmInstance::initialize() {
+  for (const WImportFunc &I : M->ImportFuncs)
+    if (!Hosts.count({I.Mod, I.Name}))
+      return Error("unsatisfied import " + I.Mod + "." + I.Name);
+  if (M->Memory)
+    Mem.assign(static_cast<size_t>(M->Memory->first) * PageSize, 0);
+  Globals.clear();
+  for (const WGlobal &G : M->Globals) {
+    // Initializer must be a single const (or global.get) expression.
+    WValue V{G.T, 0};
+    if (!G.Init.empty()) {
+      const WInst &I = G.Init[0];
+      switch (I.K) {
+      case Op::I32Const:
+      case Op::I64Const:
+      case Op::F32Const:
+      case Op::F64Const:
+        V.Bits = I.U64;
+        break;
+      case Op::GlobalGet:
+        V = Globals[I.U32];
+        break;
+      default:
+        return Error("unsupported global initializer");
+      }
+    }
+    Globals.push_back(V);
+  }
+  Table = M->TableElems;
+  for (const WData &D : M->Data) {
+    if (D.Offset + D.Bytes.size() > Mem.size())
+      return Error("data segment out of bounds");
+    std::memcpy(Mem.data() + D.Offset, D.Bytes.data(), D.Bytes.size());
+  }
+  if (M->Start) {
+    Expected<std::vector<WValue>> R = invoke(*M->Start, {});
+    if (!R)
+      return R.error();
+  }
+  return Status::success();
+}
+
+Expected<std::vector<WValue>>
+WasmInstance::invokeByName(const std::string &Name, std::vector<WValue> Args,
+                           uint64_t MaxFuel) {
+  std::optional<uint32_t> Idx = findExport(Name, ExportKind::Func);
+  if (!Idx)
+    return Error("no exported function named '" + Name + "'");
+  return invoke(*Idx, std::move(Args), MaxFuel);
+}
+
+Expected<std::vector<WValue>> WasmInstance::invoke(uint32_t FuncIdx,
+                                                   std::vector<WValue> Args,
+                                                   uint64_t MaxFuel) {
+  Fuel = MaxFuel;
+  Stack.clear();
+  CallDepth = 0;
+  for (const WValue &A : Args)
+    Stack.push_back(A);
+  Exec R = callFunction(FuncIdx);
+  if (R == Exec::Trap)
+    return Error("trap: " + TrapMsg);
+  const FuncType &FT = M->funcType(FuncIdx);
+  if (Stack.size() < FT.Results.size())
+    return Error("function left too few results");
+  std::vector<WValue> Out(Stack.end() - FT.Results.size(), Stack.end());
+  Stack.clear();
+  return Out;
+}
+
+WasmInstance::Exec WasmInstance::callFunction(uint32_t FuncIdx) {
+  if (++CallDepth > MaxCallDepth) {
+    --CallDepth;
+    return trap("call stack exhausted");
+  }
+  const FuncType &FT = M->funcType(FuncIdx);
+  if (FuncIdx < M->ImportFuncs.size()) {
+    const WImportFunc &Imp = M->ImportFuncs[FuncIdx];
+    auto It = Hosts.find({Imp.Mod, Imp.Name});
+    if (It == Hosts.end()) {
+      --CallDepth;
+      return trap("unsatisfied import");
+    }
+    if (Stack.size() < FT.Params.size()) {
+      --CallDepth;
+      return trap("host call stack underflow");
+    }
+    std::vector<WValue> Args(Stack.end() - FT.Params.size(), Stack.end());
+    Stack.resize(Stack.size() - FT.Params.size());
+    Expected<std::vector<WValue>> R = It->second(*this, Args);
+    --CallDepth;
+    if (!R) {
+      TrapMsg = R.error().message();
+      return Exec::Trap;
+    }
+    for (const WValue &V : *R)
+      Stack.push_back(V);
+    return Exec::Normal;
+  }
+
+  const WFunc &F = M->Funcs[FuncIdx - M->ImportFuncs.size()];
+  Frame Fr;
+  if (Stack.size() < FT.Params.size()) {
+    --CallDepth;
+    return trap("call stack underflow");
+  }
+  Fr.Locals.assign(Stack.end() - FT.Params.size(), Stack.end());
+  Stack.resize(Stack.size() - FT.Params.size());
+  size_t Base = Stack.size();
+  for (ValType T : F.Locals)
+    Fr.Locals.push_back({T, 0});
+
+  uint32_t BrDepth = 0;
+  Exec R = execSeq(F.Body, Fr, BrDepth);
+  --CallDepth;
+  if (R == Exec::Trap)
+    return R;
+  if (R == Exec::Branch)
+    return trap("branch escaped function body");
+  // Keep exactly the results above the caller's stack base.
+  if (Stack.size() < Base + FT.Results.size())
+    return trap("function body left too few results");
+  std::vector<WValue> Res(Stack.end() - FT.Results.size(), Stack.end());
+  Stack.resize(Base);
+  for (const WValue &V : Res)
+    Stack.push_back(V);
+  return Exec::Normal;
+}
+
+WasmInstance::Exec WasmInstance::execSeq(const std::vector<WInst> &Body,
+                                         Frame &F, uint32_t &BrDepth) {
+  for (const WInst &I : Body) {
+    if (Fuel == 0)
+      return trap("fuel exhausted");
+    --Fuel;
+    ++Executed;
+    Exec R = execInst(I, F, BrDepth);
+    if (R != Exec::Normal)
+      return R;
+  }
+  return Exec::Normal;
+}
+
+WasmInstance::Exec WasmInstance::execInst(const WInst &I, Frame &F,
+                                          uint32_t &BrDepth) {
+  switch (I.K) {
+  case Op::Unreachable:
+    return trap("unreachable executed");
+  case Op::Nop:
+    return Exec::Normal;
+
+  case Op::Block: {
+    size_t Base = Stack.size() - I.BT.Params.size();
+    Exec R = execSeq(I.Body, F, BrDepth);
+    if (R == Exec::Branch) {
+      if (BrDepth > 0) {
+        --BrDepth;
+        return Exec::Branch;
+      }
+      // Branch to this block: keep the top |results| values above Base.
+      std::vector<WValue> Keep(Stack.end() - I.BT.Results.size(),
+                               Stack.end());
+      Stack.resize(Base);
+      for (const WValue &V : Keep)
+        Stack.push_back(V);
+      return Exec::Normal;
+    }
+    return R;
+  }
+  case Op::Loop: {
+    for (;;) {
+      size_t Base = Stack.size() - I.BT.Params.size();
+      Exec R = execSeq(I.Body, F, BrDepth);
+      if (R == Exec::Branch) {
+        if (BrDepth > 0) {
+          --BrDepth;
+          return Exec::Branch;
+        }
+        // Branch to the loop: keep |params| values and iterate again.
+        std::vector<WValue> Keep(Stack.end() - I.BT.Params.size(),
+                                 Stack.end());
+        Stack.resize(Base);
+        for (const WValue &V : Keep)
+          Stack.push_back(V);
+        continue;
+      }
+      return R;
+    }
+  }
+  case Op::If: {
+    if (Stack.empty())
+      return trap("if: stack underflow");
+    uint32_t Cond = Stack.back().asU32();
+    Stack.pop_back();
+    size_t Base = Stack.size() - I.BT.Params.size();
+    Exec R = execSeq(Cond ? I.Body : I.Else, F, BrDepth);
+    if (R == Exec::Branch) {
+      if (BrDepth > 0) {
+        --BrDepth;
+        return Exec::Branch;
+      }
+      std::vector<WValue> Keep(Stack.end() - I.BT.Results.size(),
+                               Stack.end());
+      Stack.resize(Base);
+      for (const WValue &V : Keep)
+        Stack.push_back(V);
+      return Exec::Normal;
+    }
+    return R;
+  }
+  case Op::Br:
+    BrDepth = I.U32;
+    return Exec::Branch;
+  case Op::BrIf: {
+    if (Stack.empty())
+      return trap("br_if: stack underflow");
+    uint32_t Cond = Stack.back().asU32();
+    Stack.pop_back();
+    if (!Cond)
+      return Exec::Normal;
+    BrDepth = I.U32;
+    return Exec::Branch;
+  }
+  case Op::BrTable: {
+    if (Stack.empty())
+      return trap("br_table: stack underflow");
+    uint32_t Idx = Stack.back().asU32();
+    Stack.pop_back();
+    BrDepth = Idx < I.Table.size() ? I.Table[Idx] : I.U32;
+    return Exec::Branch;
+  }
+  case Op::Return:
+    return Exec::Ret;
+  case Op::Call:
+    return callFunction(I.U32);
+  case Op::CallIndirect: {
+    if (Stack.empty())
+      return trap("call_indirect: stack underflow");
+    uint32_t Idx = Stack.back().asU32();
+    Stack.pop_back();
+    if (Idx >= Table.size())
+      return trap("call_indirect: table index out of bounds");
+    uint32_t FuncIdx = Table[Idx];
+    if (!(M->funcType(FuncIdx) == M->Types[I.U32]))
+      return trap("call_indirect: signature mismatch");
+    return callFunction(FuncIdx);
+  }
+
+  case Op::Drop:
+    if (Stack.empty())
+      return trap("drop: stack underflow");
+    Stack.pop_back();
+    return Exec::Normal;
+  case Op::Select: {
+    if (Stack.size() < 3)
+      return trap("select: stack underflow");
+    uint32_t Cond = Stack.back().asU32();
+    Stack.pop_back();
+    WValue B = Stack.back();
+    Stack.pop_back();
+    WValue A = Stack.back();
+    Stack.pop_back();
+    Stack.push_back(Cond ? A : B);
+    return Exec::Normal;
+  }
+
+  case Op::LocalGet:
+    Stack.push_back(F.Locals[I.U32]);
+    return Exec::Normal;
+  case Op::LocalSet:
+    F.Locals[I.U32] = Stack.back();
+    Stack.pop_back();
+    return Exec::Normal;
+  case Op::LocalTee:
+    F.Locals[I.U32] = Stack.back();
+    return Exec::Normal;
+  case Op::GlobalGet:
+    Stack.push_back(Globals[I.U32]);
+    return Exec::Normal;
+  case Op::GlobalSet:
+    Globals[I.U32] = Stack.back();
+    Stack.pop_back();
+    return Exec::Normal;
+
+  case Op::MemorySize:
+    Stack.push_back(WValue::i32(static_cast<uint32_t>(Mem.size() / PageSize)));
+    return Exec::Normal;
+  case Op::MemoryGrow: {
+    uint32_t Delta = Stack.back().asU32();
+    Stack.pop_back();
+    uint64_t OldPages = Mem.size() / PageSize;
+    uint64_t NewPages = OldPages + Delta;
+    uint64_t MaxPages =
+        M->Memory && M->Memory->second ? *M->Memory->second : 65536;
+    if (NewPages > MaxPages) {
+      Stack.push_back(WValue::i32(0xffffffffu));
+    } else {
+      Mem.resize(NewPages * PageSize, 0);
+      Stack.push_back(WValue::i32(static_cast<uint32_t>(OldPages)));
+    }
+    return Exec::Normal;
+  }
+
+  case Op::I32Const:
+    Stack.push_back({ValType::I32, I.U64 & 0xffffffffu});
+    return Exec::Normal;
+  case Op::I64Const:
+    Stack.push_back({ValType::I64, I.U64});
+    return Exec::Normal;
+  case Op::F32Const:
+    Stack.push_back({ValType::F32, I.U64 & 0xffffffffu});
+    return Exec::Normal;
+  case Op::F64Const:
+    Stack.push_back({ValType::F64, I.U64});
+    return Exec::Normal;
+
+  default:
+    if (static_cast<uint8_t>(I.K) >= 0x28 && static_cast<uint8_t>(I.K) <= 0x3e)
+      return execMemory(I);
+    return execNumeric(I);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Memory access
+//===----------------------------------------------------------------------===//
+
+WasmInstance::Exec WasmInstance::execMemory(const WInst &I) {
+  uint8_t C = static_cast<uint8_t>(I.K);
+  bool IsStore = C >= 0x36;
+  WValue StoreVal{};
+  if (IsStore) {
+    StoreVal = Stack.back();
+    Stack.pop_back();
+  }
+  uint64_t Addr = Stack.back().asU32() + static_cast<uint64_t>(I.Offset);
+  Stack.pop_back();
+
+  auto InBounds = [&](unsigned N) { return Addr + N <= Mem.size(); };
+  auto LoadN = [&](unsigned N) {
+    uint64_t V = 0;
+    std::memcpy(&V, Mem.data() + Addr, N);
+    return V;
+  };
+  auto StoreN = [&](unsigned N, uint64_t V) {
+    std::memcpy(Mem.data() + Addr, &V, N);
+  };
+  auto SignExtend = [](uint64_t V, unsigned Bits) {
+    uint64_t Mask = 1ull << (Bits - 1);
+    return (V ^ Mask) - Mask;
+  };
+
+  switch (I.K) {
+  case Op::I32Load:
+    if (!InBounds(4))
+      return trap("out-of-bounds memory access");
+    Stack.push_back({ValType::I32, LoadN(4)});
+    return Exec::Normal;
+  case Op::I64Load:
+    if (!InBounds(8))
+      return trap("out-of-bounds memory access");
+    Stack.push_back({ValType::I64, LoadN(8)});
+    return Exec::Normal;
+  case Op::F32Load:
+    if (!InBounds(4))
+      return trap("out-of-bounds memory access");
+    Stack.push_back({ValType::F32, LoadN(4)});
+    return Exec::Normal;
+  case Op::F64Load:
+    if (!InBounds(8))
+      return trap("out-of-bounds memory access");
+    Stack.push_back({ValType::F64, LoadN(8)});
+    return Exec::Normal;
+  case Op::I32Load8S:
+    if (!InBounds(1))
+      return trap("out-of-bounds memory access");
+    Stack.push_back({ValType::I32, SignExtend(LoadN(1), 8) & 0xffffffffu});
+    return Exec::Normal;
+  case Op::I32Load8U:
+    if (!InBounds(1))
+      return trap("out-of-bounds memory access");
+    Stack.push_back({ValType::I32, LoadN(1)});
+    return Exec::Normal;
+  case Op::I32Load16S:
+    if (!InBounds(2))
+      return trap("out-of-bounds memory access");
+    Stack.push_back({ValType::I32, SignExtend(LoadN(2), 16) & 0xffffffffu});
+    return Exec::Normal;
+  case Op::I32Load16U:
+    if (!InBounds(2))
+      return trap("out-of-bounds memory access");
+    Stack.push_back({ValType::I32, LoadN(2)});
+    return Exec::Normal;
+  case Op::I64Load8S:
+    if (!InBounds(1))
+      return trap("out-of-bounds memory access");
+    Stack.push_back({ValType::I64, SignExtend(LoadN(1), 8)});
+    return Exec::Normal;
+  case Op::I64Load8U:
+    if (!InBounds(1))
+      return trap("out-of-bounds memory access");
+    Stack.push_back({ValType::I64, LoadN(1)});
+    return Exec::Normal;
+  case Op::I64Load16S:
+    if (!InBounds(2))
+      return trap("out-of-bounds memory access");
+    Stack.push_back({ValType::I64, SignExtend(LoadN(2), 16)});
+    return Exec::Normal;
+  case Op::I64Load16U:
+    if (!InBounds(2))
+      return trap("out-of-bounds memory access");
+    Stack.push_back({ValType::I64, LoadN(2)});
+    return Exec::Normal;
+  case Op::I64Load32S:
+    if (!InBounds(4))
+      return trap("out-of-bounds memory access");
+    Stack.push_back({ValType::I64, SignExtend(LoadN(4), 32)});
+    return Exec::Normal;
+  case Op::I64Load32U:
+    if (!InBounds(4))
+      return trap("out-of-bounds memory access");
+    Stack.push_back({ValType::I64, LoadN(4)});
+    return Exec::Normal;
+  case Op::I32Store:
+  case Op::F32Store:
+    if (!InBounds(4))
+      return trap("out-of-bounds memory access");
+    StoreN(4, StoreVal.Bits);
+    return Exec::Normal;
+  case Op::I64Store:
+  case Op::F64Store:
+    if (!InBounds(8))
+      return trap("out-of-bounds memory access");
+    StoreN(8, StoreVal.Bits);
+    return Exec::Normal;
+  case Op::I32Store8:
+  case Op::I64Store8:
+    if (!InBounds(1))
+      return trap("out-of-bounds memory access");
+    StoreN(1, StoreVal.Bits);
+    return Exec::Normal;
+  case Op::I32Store16:
+  case Op::I64Store16:
+    if (!InBounds(2))
+      return trap("out-of-bounds memory access");
+    StoreN(2, StoreVal.Bits);
+    return Exec::Normal;
+  case Op::I64Store32:
+    if (!InBounds(4))
+      return trap("out-of-bounds memory access");
+    StoreN(4, StoreVal.Bits);
+    return Exec::Normal;
+  default:
+    return trap("bad memory opcode");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Numerics
+//===----------------------------------------------------------------------===//
+
+WasmInstance::Exec WasmInstance::execNumeric(const WInst &I) {
+  using namespace rw::num;
+  uint8_t C = static_cast<uint8_t>(I.K);
+
+  auto Pop = [&]() {
+    WValue V = Stack.back();
+    Stack.pop_back();
+    return V;
+  };
+  auto PushI32 = [&](uint64_t V) {
+    Stack.push_back({ValType::I32, V & 0xffffffffu});
+  };
+
+  // Test / comparison operators.
+  if (C == 0x45) { // i32.eqz
+    PushI32(Pop().asU32() == 0 ? 1 : 0);
+    return Exec::Normal;
+  }
+  if (C == 0x50) { // i64.eqz
+    PushI32(Pop().Bits == 0 ? 1 : 0);
+    return Exec::Normal;
+  }
+  if (C >= 0x46 && C <= 0x4f) { // i32 relops
+    WValue B = Pop(), A = Pop();
+    static const IntRelop Map[] = {IntRelop::Eq, IntRelop::Ne, IntRelop::Lt,
+                                   IntRelop::Lt, IntRelop::Gt, IntRelop::Gt,
+                                   IntRelop::Le, IntRelop::Le, IntRelop::Ge,
+                                   IntRelop::Ge};
+    static const bool Signed[] = {false, false, true, false, true,
+                                  false, true,  false, true, false};
+    unsigned Idx = C - 0x46;
+    PushI32(evalIntRelop(Map[Idx], A.Bits, B.Bits, false, Signed[Idx]));
+    return Exec::Normal;
+  }
+  if (C >= 0x51 && C <= 0x5a) { // i64 relops
+    WValue B = Pop(), A = Pop();
+    static const IntRelop Map[] = {IntRelop::Eq, IntRelop::Ne, IntRelop::Lt,
+                                   IntRelop::Lt, IntRelop::Gt, IntRelop::Gt,
+                                   IntRelop::Le, IntRelop::Le, IntRelop::Ge,
+                                   IntRelop::Ge};
+    static const bool Signed[] = {false, false, true, false, true,
+                                  false, true,  false, true, false};
+    unsigned Idx = C - 0x51;
+    PushI32(evalIntRelop(Map[Idx], A.Bits, B.Bits, true, Signed[Idx]));
+    return Exec::Normal;
+  }
+  if (C >= 0x5b && C <= 0x66) { // float relops
+    WValue B = Pop(), A = Pop();
+    bool Is64 = C >= 0x61;
+    unsigned Idx = Is64 ? C - 0x61 : C - 0x5b;
+    static const FloatRelop Map[] = {FloatRelop::Eq, FloatRelop::Ne,
+                                     FloatRelop::Lt, FloatRelop::Gt,
+                                     FloatRelop::Le, FloatRelop::Ge};
+    PushI32(evalFloatRelop(Map[Idx], A.Bits, B.Bits, Is64));
+    return Exec::Normal;
+  }
+
+  // Integer unary.
+  if (C >= 0x67 && C <= 0x69) {
+    WValue A = Pop();
+    uint64_t R = C == 0x67   ? intClz(A.Bits, false)
+                 : C == 0x68 ? intCtz(A.Bits, false)
+                             : intPopcnt(A.Bits, false);
+    PushI32(R);
+    return Exec::Normal;
+  }
+  if (C >= 0x79 && C <= 0x7b) {
+    WValue A = Pop();
+    uint64_t R = C == 0x79   ? intClz(A.Bits, true)
+                 : C == 0x7a ? intCtz(A.Bits, true)
+                             : intPopcnt(A.Bits, true);
+    Stack.push_back({ValType::I64, R});
+    return Exec::Normal;
+  }
+
+  // Integer binary.
+  if ((C >= 0x6a && C <= 0x78) || (C >= 0x7c && C <= 0x8a)) {
+    bool Is64 = C >= 0x7c;
+    unsigned Idx = Is64 ? C - 0x7c : C - 0x6a;
+    static const IntBinop Map[] = {
+        IntBinop::Add, IntBinop::Sub, IntBinop::Mul, IntBinop::Div,
+        IntBinop::Div, IntBinop::Rem, IntBinop::Rem, IntBinop::And,
+        IntBinop::Or,  IntBinop::Xor, IntBinop::Shl, IntBinop::Shr,
+        IntBinop::Shr, IntBinop::Rotl, IntBinop::Rotr};
+    static const bool Signed[] = {false, false, false, true,  false,
+                                  true,  false, false, false, false,
+                                  false, true,  false, false, false};
+    WValue B = Pop(), A = Pop();
+    std::optional<uint64_t> R =
+        evalIntBinop(Map[Idx], A.Bits, B.Bits, Is64, Signed[Idx]);
+    if (!R)
+      return trap("integer divide error");
+    Stack.push_back({Is64 ? ValType::I64 : ValType::I32,
+                     Is64 ? *R : (*R & 0xffffffffu)});
+    return Exec::Normal;
+  }
+
+  // Float unary.
+  if ((C >= 0x8b && C <= 0x91) || (C >= 0x99 && C <= 0x9f)) {
+    bool Is64 = C >= 0x99;
+    unsigned Idx = Is64 ? C - 0x99 : C - 0x8b;
+    static const FloatUnop Map[] = {FloatUnop::Abs,     FloatUnop::Neg,
+                                    FloatUnop::Ceil,    FloatUnop::Floor,
+                                    FloatUnop::Trunc,   FloatUnop::Nearest,
+                                    FloatUnop::Sqrt};
+    WValue A = Pop();
+    Stack.push_back({Is64 ? ValType::F64 : ValType::F32,
+                     evalFloatUnop(Map[Idx], A.Bits, Is64)});
+    return Exec::Normal;
+  }
+
+  // Float binary.
+  if ((C >= 0x92 && C <= 0x98) || (C >= 0xa0 && C <= 0xa6)) {
+    bool Is64 = C >= 0xa0;
+    unsigned Idx = Is64 ? C - 0xa0 : C - 0x92;
+    static const FloatBinop Map[] = {FloatBinop::Add, FloatBinop::Sub,
+                                     FloatBinop::Mul, FloatBinop::Div,
+                                     FloatBinop::Min, FloatBinop::Max,
+                                     FloatBinop::Copysign};
+    WValue B = Pop(), A = Pop();
+    Stack.push_back({Is64 ? ValType::F64 : ValType::F32,
+                     evalFloatBinop(Map[Idx], A.Bits, B.Bits, Is64)});
+    return Exec::Normal;
+  }
+
+  // Conversions.
+  switch (I.K) {
+  case Op::I32WrapI64:
+    PushI32(Pop().Bits);
+    return Exec::Normal;
+  case Op::I64ExtendI32S: {
+    WValue A = Pop();
+    Stack.push_back(
+        {ValType::I64,
+         static_cast<uint64_t>(
+             static_cast<int64_t>(static_cast<int32_t>(A.asU32())))});
+    return Exec::Normal;
+  }
+  case Op::I64ExtendI32U:
+    Stack.push_back({ValType::I64, Pop().asU32()});
+    return Exec::Normal;
+  case Op::I32TruncF32S:
+  case Op::I32TruncF32U:
+  case Op::I64TruncF32S:
+  case Op::I64TruncF32U: {
+    bool Dst64 = I.K == Op::I64TruncF32S || I.K == Op::I64TruncF32U;
+    bool Sgn = I.K == Op::I32TruncF32S || I.K == Op::I64TruncF32S;
+    std::optional<uint64_t> R = truncToInt(bitsToF32(Pop().Bits), Dst64, Sgn);
+    if (!R)
+      return trap("invalid conversion to integer");
+    Stack.push_back({Dst64 ? ValType::I64 : ValType::I32, *R});
+    return Exec::Normal;
+  }
+  case Op::I32TruncF64S:
+  case Op::I32TruncF64U:
+  case Op::I64TruncF64S:
+  case Op::I64TruncF64U: {
+    bool Dst64 = I.K == Op::I64TruncF64S || I.K == Op::I64TruncF64U;
+    bool Sgn = I.K == Op::I32TruncF64S || I.K == Op::I64TruncF64S;
+    std::optional<uint64_t> R = truncToInt(bitsToF64(Pop().Bits), Dst64, Sgn);
+    if (!R)
+      return trap("invalid conversion to integer");
+    Stack.push_back({Dst64 ? ValType::I64 : ValType::I32, *R});
+    return Exec::Normal;
+  }
+  case Op::F32ConvertI32S:
+    Stack.push_back({ValType::F32, f32ToBits(static_cast<float>(
+                                       static_cast<int32_t>(Pop().asU32())))});
+    return Exec::Normal;
+  case Op::F32ConvertI32U:
+    Stack.push_back(
+        {ValType::F32, f32ToBits(static_cast<float>(Pop().asU32()))});
+    return Exec::Normal;
+  case Op::F32ConvertI64S:
+    Stack.push_back({ValType::F32, f32ToBits(static_cast<float>(
+                                       static_cast<int64_t>(Pop().Bits)))});
+    return Exec::Normal;
+  case Op::F32ConvertI64U:
+    Stack.push_back(
+        {ValType::F32, f32ToBits(static_cast<float>(Pop().Bits))});
+    return Exec::Normal;
+  case Op::F64ConvertI32S:
+    Stack.push_back({ValType::F64, f64ToBits(static_cast<double>(
+                                       static_cast<int32_t>(Pop().asU32())))});
+    return Exec::Normal;
+  case Op::F64ConvertI32U:
+    Stack.push_back(
+        {ValType::F64, f64ToBits(static_cast<double>(Pop().asU32()))});
+    return Exec::Normal;
+  case Op::F64ConvertI64S:
+    Stack.push_back({ValType::F64, f64ToBits(static_cast<double>(
+                                       static_cast<int64_t>(Pop().Bits)))});
+    return Exec::Normal;
+  case Op::F64ConvertI64U:
+    Stack.push_back(
+        {ValType::F64, f64ToBits(static_cast<double>(Pop().Bits))});
+    return Exec::Normal;
+  case Op::F32DemoteF64:
+    Stack.push_back({ValType::F32, f32ToBits(static_cast<float>(
+                                       bitsToF64(Pop().Bits)))});
+    return Exec::Normal;
+  case Op::F64PromoteF32:
+    Stack.push_back({ValType::F64, f64ToBits(static_cast<double>(
+                                       bitsToF32(Pop().Bits)))});
+    return Exec::Normal;
+  case Op::I32ReinterpretF32:
+    Stack.push_back({ValType::I32, Pop().Bits});
+    return Exec::Normal;
+  case Op::I64ReinterpretF64:
+    Stack.push_back({ValType::I64, Pop().Bits});
+    return Exec::Normal;
+  case Op::F32ReinterpretI32:
+    Stack.push_back({ValType::F32, Pop().Bits});
+    return Exec::Normal;
+  case Op::F64ReinterpretI64:
+    Stack.push_back({ValType::F64, Pop().Bits});
+    return Exec::Normal;
+  default:
+    return trap("unhandled opcode");
+  }
+}

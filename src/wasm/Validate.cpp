@@ -1,0 +1,427 @@
+//===- wasm/Validate.cpp - Wasm module validation --------------------------===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wasm/Validate.h"
+
+#include <cassert>
+
+using namespace rw;
+using namespace rw::wasm;
+
+namespace {
+
+constexpr ValType I32 = ValType::I32;
+constexpr ValType I64 = ValType::I64;
+constexpr ValType F32 = ValType::F32;
+constexpr ValType F64 = ValType::F64;
+
+} // namespace
+
+OpSig rw::wasm::opSignature(Op K) {
+  uint8_t C = static_cast<uint8_t>(K);
+  // Comparison / test operators.
+  if (C == 0x45)
+    return {{I32}, {I32}};
+  if (C >= 0x46 && C <= 0x4f)
+    return {{I32, I32}, {I32}};
+  if (C == 0x50)
+    return {{I64}, {I32}};
+  if (C >= 0x51 && C <= 0x5a)
+    return {{I64, I64}, {I32}};
+  if (C >= 0x5b && C <= 0x60)
+    return {{F32, F32}, {I32}};
+  if (C >= 0x61 && C <= 0x66)
+    return {{F64, F64}, {I32}};
+  // Numeric operators.
+  if (C >= 0x67 && C <= 0x69)
+    return {{I32}, {I32}};
+  if (C >= 0x6a && C <= 0x78)
+    return {{I32, I32}, {I32}};
+  if (C >= 0x79 && C <= 0x7b)
+    return {{I64}, {I64}};
+  if (C >= 0x7c && C <= 0x8a)
+    return {{I64, I64}, {I64}};
+  if (C >= 0x8b && C <= 0x91)
+    return {{F32}, {F32}};
+  if (C >= 0x92 && C <= 0x98)
+    return {{F32, F32}, {F32}};
+  if (C >= 0x99 && C <= 0x9f)
+    return {{F64}, {F64}};
+  if (C >= 0xa0 && C <= 0xa6)
+    return {{F64, F64}, {F64}};
+  // Conversions.
+  switch (K) {
+  case Op::I32WrapI64:
+    return {{I64}, {I32}};
+  case Op::I32TruncF32S:
+  case Op::I32TruncF32U:
+    return {{F32}, {I32}};
+  case Op::I32TruncF64S:
+  case Op::I32TruncF64U:
+    return {{F64}, {I32}};
+  case Op::I64ExtendI32S:
+  case Op::I64ExtendI32U:
+    return {{I32}, {I64}};
+  case Op::I64TruncF32S:
+  case Op::I64TruncF32U:
+    return {{F32}, {I64}};
+  case Op::I64TruncF64S:
+  case Op::I64TruncF64U:
+    return {{F64}, {I64}};
+  case Op::F32ConvertI32S:
+  case Op::F32ConvertI32U:
+    return {{I32}, {F32}};
+  case Op::F32ConvertI64S:
+  case Op::F32ConvertI64U:
+    return {{I64}, {F32}};
+  case Op::F32DemoteF64:
+    return {{F64}, {F32}};
+  case Op::F64ConvertI32S:
+  case Op::F64ConvertI32U:
+    return {{I32}, {F64}};
+  case Op::F64ConvertI64S:
+  case Op::F64ConvertI64U:
+    return {{I64}, {F64}};
+  case Op::F64PromoteF32:
+    return {{F32}, {F64}};
+  case Op::I32ReinterpretF32:
+    return {{F32}, {I32}};
+  case Op::I64ReinterpretF64:
+    return {{F64}, {I64}};
+  case Op::F32ReinterpretI32:
+    return {{I32}, {F32}};
+  case Op::F64ReinterpretI64:
+    return {{I64}, {F64}};
+  // Memory access.
+  case Op::I32Load:
+  case Op::I32Load8S:
+  case Op::I32Load8U:
+  case Op::I32Load16S:
+  case Op::I32Load16U:
+    return {{I32}, {I32}};
+  case Op::I64Load:
+  case Op::I64Load8S:
+  case Op::I64Load8U:
+  case Op::I64Load16S:
+  case Op::I64Load16U:
+  case Op::I64Load32S:
+  case Op::I64Load32U:
+    return {{I32}, {I64}};
+  case Op::F32Load:
+    return {{I32}, {F32}};
+  case Op::F64Load:
+    return {{I32}, {F64}};
+  case Op::I32Store:
+  case Op::I32Store8:
+  case Op::I32Store16:
+    return {{I32, I32}, {}};
+  case Op::I64Store:
+  case Op::I64Store8:
+  case Op::I64Store16:
+  case Op::I64Store32:
+    return {{I32, I64}, {}};
+  case Op::F32Store:
+    return {{I32, F32}, {}};
+  case Op::F64Store:
+    return {{I32, F64}, {}};
+  case Op::MemorySize:
+    return {{}, {I32}};
+  case Op::MemoryGrow:
+    return {{I32}, {I32}};
+  case Op::I32Const:
+    return {{}, {I32}};
+  case Op::I64Const:
+    return {{}, {I64}};
+  case Op::F32Const:
+    return {{}, {F32}};
+  case Op::F64Const:
+    return {{}, {F64}};
+  default:
+    return {{}, {}};
+  }
+}
+
+namespace {
+
+/// Per-function validation context, recursing over the structured tree.
+class FuncValidator {
+public:
+  FuncValidator(const WModule &M, std::vector<ValType> Locals,
+                std::vector<ValType> Results)
+      : M(M), Locals(std::move(Locals)), Results(std::move(Results)) {}
+
+  Status run(const std::vector<WInst> &Body) {
+    Labels.push_back(Results); // The implicit function label.
+    Status S = seq(Body, {}, Results);
+    Labels.pop_back();
+    return S;
+  }
+
+private:
+  struct Stack {
+    std::vector<ValType> Vals;
+    bool Unreachable = false;
+  };
+
+  Status popExpect(Stack &St, ValType Want, const char *What) {
+    if (St.Vals.empty()) {
+      if (St.Unreachable)
+        return Status::success();
+      return Error(std::string("stack underflow at ") + What);
+    }
+    ValType Got = St.Vals.back();
+    St.Vals.pop_back();
+    if (Got != Want)
+      return Error(std::string("type mismatch at ") + What + ": expected " +
+                   valTypeName(Want) + ", found " + valTypeName(Got));
+    return Status::success();
+  }
+
+  Status popMany(Stack &St, const std::vector<ValType> &Ts,
+                 const char *What) {
+    for (size_t I = Ts.size(); I > 0; --I)
+      if (Status S = popExpect(St, Ts[I - 1], What); !S)
+        return S;
+    return Status::success();
+  }
+
+  Status seq(const std::vector<WInst> &Body, std::vector<ValType> In,
+             const std::vector<ValType> &Out) {
+    Stack St;
+    St.Vals = std::move(In);
+    for (const WInst &I : Body) {
+      if (St.Unreachable && isStackPolymorphicBarrier(I.K)) {
+        // Keep scanning for structural validity but skip type checking of
+        // dead code (sound: never executed).
+        continue;
+      }
+      if (St.Unreachable)
+        continue;
+      if (Status S = inst(I, St); !S)
+        return S;
+    }
+    if (St.Unreachable)
+      return Status::success();
+    if (St.Vals.size() != Out.size())
+      return Error("block leaves " + std::to_string(St.Vals.size()) +
+                   " values, expected " + std::to_string(Out.size()));
+    for (size_t I = 0; I < Out.size(); ++I)
+      if (St.Vals[I] != Out[I])
+        return Error("block result type mismatch");
+    return Status::success();
+  }
+
+  static bool isStackPolymorphicBarrier(Op K) {
+    return K == Op::Block || K == Op::Loop || K == Op::If;
+  }
+
+  Status brTarget(uint32_t D, Stack &St, const char *What) {
+    if (D >= Labels.size())
+      return Error(std::string(What) + ": label depth out of range");
+    const std::vector<ValType> &T = Labels[Labels.size() - 1 - D];
+    return popMany(St, T, What);
+  }
+
+  Status inst(const WInst &I, Stack &St) {
+    switch (I.K) {
+    case Op::Unreachable:
+      St.Unreachable = true;
+      return Status::success();
+    case Op::Nop:
+      return Status::success();
+    case Op::Block:
+    case Op::Loop: {
+      if (Status S = popMany(St, I.BT.Params, "block"); !S)
+        return S;
+      Labels.push_back(I.K == Op::Loop ? I.BT.Params : I.BT.Results);
+      Status S = seq(I.Body, I.BT.Params, I.BT.Results);
+      Labels.pop_back();
+      if (!S)
+        return S;
+      for (ValType T : I.BT.Results)
+        St.Vals.push_back(T);
+      return Status::success();
+    }
+    case Op::If: {
+      if (Status S = popExpect(St, I32, "if"); !S)
+        return S;
+      if (Status S = popMany(St, I.BT.Params, "if"); !S)
+        return S;
+      Labels.push_back(I.BT.Results);
+      Status S1 = seq(I.Body, I.BT.Params, I.BT.Results);
+      Status S2 = seq(I.Else, I.BT.Params, I.BT.Results);
+      Labels.pop_back();
+      if (!S1)
+        return S1;
+      if (!S2)
+        return S2;
+      for (ValType T : I.BT.Results)
+        St.Vals.push_back(T);
+      return Status::success();
+    }
+    case Op::Br: {
+      if (Status S = brTarget(I.U32, St, "br"); !S)
+        return S;
+      St.Unreachable = true;
+      return Status::success();
+    }
+    case Op::BrIf: {
+      if (Status S = popExpect(St, I32, "br_if"); !S)
+        return S;
+      if (I.U32 >= Labels.size())
+        return Error("br_if: label depth out of range");
+      const std::vector<ValType> &T = Labels[Labels.size() - 1 - I.U32];
+      if (Status S = popMany(St, T, "br_if"); !S)
+        return S;
+      for (ValType V : T)
+        St.Vals.push_back(V);
+      return Status::success();
+    }
+    case Op::BrTable: {
+      if (Status S = popExpect(St, I32, "br_table"); !S)
+        return S;
+      if (Status S = brTarget(I.U32, St, "br_table"); !S)
+        return S;
+      for (uint32_t D : I.Table)
+        if (D >= Labels.size())
+          return Error("br_table: label depth out of range");
+      St.Unreachable = true;
+      return Status::success();
+    }
+    case Op::Return: {
+      if (Status S = popMany(St, Results, "return"); !S)
+        return S;
+      St.Unreachable = true;
+      return Status::success();
+    }
+    case Op::Call: {
+      if (I.U32 >= M.numFuncs())
+        return Error("call: function index out of range");
+      const FuncType &FT = M.funcType(I.U32);
+      if (Status S = popMany(St, FT.Params, "call"); !S)
+        return S;
+      for (ValType T : FT.Results)
+        St.Vals.push_back(T);
+      return Status::success();
+    }
+    case Op::CallIndirect: {
+      if (I.U32 >= M.Types.size())
+        return Error("call_indirect: type index out of range");
+      if (Status S = popExpect(St, I32, "call_indirect"); !S)
+        return S;
+      const FuncType &FT = M.Types[I.U32];
+      if (Status S = popMany(St, FT.Params, "call_indirect"); !S)
+        return S;
+      for (ValType T : FT.Results)
+        St.Vals.push_back(T);
+      return Status::success();
+    }
+    case Op::Drop: {
+      if (St.Vals.empty())
+        return Error("drop: stack underflow");
+      St.Vals.pop_back();
+      return Status::success();
+    }
+    case Op::Select: {
+      if (Status S = popExpect(St, I32, "select"); !S)
+        return S;
+      if (St.Vals.size() < 2)
+        return Error("select: stack underflow");
+      ValType A = St.Vals.back();
+      St.Vals.pop_back();
+      ValType B = St.Vals.back();
+      St.Vals.pop_back();
+      if (A != B)
+        return Error("select: operand types disagree");
+      St.Vals.push_back(A);
+      return Status::success();
+    }
+    case Op::LocalGet: {
+      if (I.U32 >= Locals.size())
+        return Error("local.get: index out of range");
+      St.Vals.push_back(Locals[I.U32]);
+      return Status::success();
+    }
+    case Op::LocalSet: {
+      if (I.U32 >= Locals.size())
+        return Error("local.set: index out of range");
+      return popExpect(St, Locals[I.U32], "local.set");
+    }
+    case Op::LocalTee: {
+      if (I.U32 >= Locals.size())
+        return Error("local.tee: index out of range");
+      if (Status S = popExpect(St, Locals[I.U32], "local.tee"); !S)
+        return S;
+      St.Vals.push_back(Locals[I.U32]);
+      return Status::success();
+    }
+    case Op::GlobalGet: {
+      if (I.U32 >= M.Globals.size())
+        return Error("global.get: index out of range");
+      St.Vals.push_back(M.Globals[I.U32].T);
+      return Status::success();
+    }
+    case Op::GlobalSet: {
+      if (I.U32 >= M.Globals.size())
+        return Error("global.set: index out of range");
+      if (!M.Globals[I.U32].Mut)
+        return Error("global.set of immutable global");
+      return popExpect(St, M.Globals[I.U32].T, "global.set");
+    }
+    default: {
+      // Memory access requires a memory.
+      uint8_t C = static_cast<uint8_t>(I.K);
+      if (C >= 0x28 && C <= 0x40 && !M.Memory)
+        return Error("memory instruction without a memory");
+      OpSig Sig = opSignature(I.K);
+      if (Status S = popMany(St, Sig.In, "operator"); !S)
+        return S;
+      for (ValType T : Sig.Out)
+        St.Vals.push_back(T);
+      return Status::success();
+    }
+    }
+  }
+
+  const WModule &M;
+  std::vector<ValType> Locals;
+  std::vector<ValType> Results;
+  std::vector<std::vector<ValType>> Labels;
+};
+
+} // namespace
+
+Status rw::wasm::validate(const WModule &M) {
+  for (const WImportFunc &I : M.ImportFuncs)
+    if (I.TypeIdx >= M.Types.size())
+      return Error("import type index out of range");
+  for (uint32_t E : M.TableElems)
+    if (E >= M.numFuncs())
+      return Error("table element out of range");
+  for (const WExport &E : M.Exports) {
+    if (E.Kind == ExportKind::Func && E.Idx >= M.numFuncs())
+      return Error("exported function index out of range");
+    if (E.Kind == ExportKind::Global && E.Idx >= M.Globals.size())
+      return Error("exported global index out of range");
+  }
+  if (M.Start && *M.Start >= M.numFuncs())
+    return Error("start function index out of range");
+
+  for (size_t FI = 0; FI < M.Funcs.size(); ++FI) {
+    const WFunc &F = M.Funcs[FI];
+    if (F.TypeIdx >= M.Types.size())
+      return Error("function type index out of range");
+    const FuncType &FT = M.Types[F.TypeIdx];
+    std::vector<ValType> Locals = FT.Params;
+    Locals.insert(Locals.end(), F.Locals.begin(), F.Locals.end());
+    FuncValidator V(M, std::move(Locals), FT.Results);
+    if (Status S = V.run(F.Body); !S)
+      return Error("in function " +
+                   std::to_string(FI + M.ImportFuncs.size()) + ": " +
+                   S.error().message());
+  }
+  return Status::success();
+}

@@ -1,0 +1,35 @@
+//===- wasm/Validate.h - Wasm module validation -----------------*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standard WebAssembly validation algorithm (type-checking of function
+/// bodies with structured control flow and multi-value blocks). Lowered
+/// RichWasm modules are validated before execution and before encoding —
+/// a lowering bug cannot silently produce an ill-typed Wasm module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_WASM_VALIDATE_H
+#define RICHWASM_WASM_VALIDATE_H
+
+#include "support/Error.h"
+#include "wasm/WasmAst.h"
+
+namespace rw::wasm {
+
+/// Validates a whole module. Returns the first error found.
+Status validate(const WModule &M);
+
+/// The stack signature of a non-structured opcode: operand types (bottom
+/// first) and result types. Used by the validator and tests.
+struct OpSig {
+  std::vector<ValType> In, Out;
+};
+OpSig opSignature(Op K);
+
+} // namespace rw::wasm
+
+#endif // RICHWASM_WASM_VALIDATE_H

@@ -1,0 +1,252 @@
+//===- tests/entail_test.cpp - Qualifier and size entailment --------------===//
+//
+// Covers the constraint judgments q ⪯ q' and sz ≤ sz' of §4, including
+// bounded variables, transitivity through constraint chains, and the
+// soundness of the incomplete size fragment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "typing/Entail.h"
+#include "typing/WellFormed.h"
+
+#include <gtest/gtest.h>
+
+using namespace rw;
+using namespace rw::ir;
+using namespace rw::typing;
+
+namespace {
+
+KindCtx emptyCtx() { return KindCtx(); }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Qualifier entailment
+//===----------------------------------------------------------------------===//
+
+TEST(QualEntail, ConstantLattice) {
+  KindCtx C = emptyCtx();
+  EXPECT_TRUE(leqQual(Qual::unr(), Qual::unr(), C));
+  EXPECT_TRUE(leqQual(Qual::unr(), Qual::lin(), C));
+  EXPECT_TRUE(leqQual(Qual::lin(), Qual::lin(), C));
+  EXPECT_FALSE(leqQual(Qual::lin(), Qual::unr(), C));
+}
+
+TEST(QualEntail, VariableReflexivity) {
+  KindCtx C;
+  C.Quals.push_back({});
+  EXPECT_TRUE(leqQual(Qual::var(0), Qual::var(0), C));
+  EXPECT_TRUE(leqQual(Qual::unr(), Qual::var(0), C));
+  EXPECT_TRUE(leqQual(Qual::var(0), Qual::lin(), C));
+  // An unconstrained variable is not comparable to unr from above or lin
+  // from below.
+  EXPECT_FALSE(leqQual(Qual::var(0), Qual::unr(), C));
+  EXPECT_FALSE(leqQual(Qual::lin(), Qual::var(0), C));
+}
+
+TEST(QualEntail, UpperBoundMakesVarUnr) {
+  KindCtx C;
+  C.Quals.push_back({{}, {Qual::unr()}}); // δ0 ⪯ unr
+  EXPECT_TRUE(leqQual(Qual::var(0), Qual::unr(), C));
+}
+
+TEST(QualEntail, LowerBoundMakesVarLin) {
+  KindCtx C;
+  C.Quals.push_back({{Qual::lin()}, {}}); // lin ⪯ δ0
+  EXPECT_TRUE(leqQual(Qual::lin(), Qual::var(0), C));
+}
+
+TEST(QualEntail, TransitivityThroughVariables) {
+  // δ1 ⪯ δ0 and δ0 ⪯ unr implies δ1 ⪯ unr. In de Bruijn form: binder list
+  // [δa (⪯ unr), δb (⪯ δa)] — inside the body δb has index 0, δa index 1.
+  KindCtx C;
+  C.Quals.push_back({{}, {Qual::var(1)}}); // index 0: upper bound δ1
+  C.Quals.push_back({{}, {Qual::unr()}});  // index 1: upper bound unr
+  EXPECT_TRUE(leqQual(Qual::var(0), Qual::var(1), C));
+  EXPECT_TRUE(leqQual(Qual::var(0), Qual::unr(), C));
+}
+
+TEST(QualEntail, CyclicConstraintsTerminate) {
+  // δ0 ⪯ δ1, δ1 ⪯ δ0: legal, mutually equal variables.
+  KindCtx C;
+  C.Quals.push_back({{}, {Qual::var(1)}});
+  C.Quals.push_back({{}, {Qual::var(0)}});
+  EXPECT_TRUE(leqQual(Qual::var(0), Qual::var(1), C));
+  EXPECT_TRUE(leqQual(Qual::var(1), Qual::var(0), C));
+  EXPECT_FALSE(leqQual(Qual::var(0), Qual::unr(), C));
+}
+
+//===----------------------------------------------------------------------===//
+// Size entailment
+//===----------------------------------------------------------------------===//
+
+TEST(SizeEntail, Constants) {
+  KindCtx C = emptyCtx();
+  EXPECT_TRUE(leqSize(Size::constant(32), Size::constant(32), C));
+  EXPECT_TRUE(leqSize(Size::constant(32), Size::constant(64), C));
+  EXPECT_FALSE(leqSize(Size::constant(64), Size::constant(32), C));
+}
+
+TEST(SizeEntail, SyntacticInclusion) {
+  KindCtx C;
+  C.Sizes.push_back({});
+  C.Sizes.push_back({});
+  // σ0 + 32 ≤ σ0 + 64 regardless of σ0's bounds.
+  EXPECT_TRUE(leqSize(Size::plus(Size::var(0), Size::constant(32)),
+                      Size::plus(Size::var(0), Size::constant(64)), C));
+  // σ0 ≤ σ0 + σ1.
+  EXPECT_TRUE(leqSize(Size::var(0),
+                      Size::plus(Size::var(0), Size::var(1)), C));
+  // σ0 + σ0 is not included in σ0 (multiplicity matters).
+  EXPECT_FALSE(leqSize(Size::plus(Size::var(0), Size::var(0)),
+                       Size::var(0), C));
+}
+
+TEST(SizeEntail, IntervalThroughBounds) {
+  KindCtx C;
+  // σ0 with upper bound 32.
+  C.Sizes.push_back({{}, {Size::constant(32)}});
+  // σ1 with lower bound 64.
+  C.Sizes.push_back({{Size::constant(64)}, {}});
+  EXPECT_TRUE(leqSize(Size::var(0), Size::constant(32), C));
+  EXPECT_TRUE(leqSize(Size::var(0), Size::var(1), C));
+  EXPECT_FALSE(leqSize(Size::var(1), Size::var(0), C));
+  // σ0 + σ0 ≤ 64 via doubled upper bound.
+  EXPECT_TRUE(leqSize(Size::plus(Size::var(0), Size::var(0)),
+                      Size::constant(64), C));
+}
+
+TEST(SizeEntail, ChainedVariableBounds) {
+  KindCtx C;
+  C.Sizes.push_back({{}, {Size::var(1)}});       // σ0 ≤ σ1
+  C.Sizes.push_back({{}, {Size::constant(16)}}); // σ1 ≤ 16
+  EXPECT_TRUE(leqSize(Size::var(0), Size::constant(16), C));
+  EXPECT_FALSE(leqSize(Size::var(0), Size::constant(8), C));
+}
+
+TEST(SizeEntail, UnboundedVarHasNoUpper) {
+  KindCtx C;
+  C.Sizes.push_back({});
+  EXPECT_FALSE(leqSize(Size::var(0), Size::constant(1u << 20), C));
+}
+
+TEST(SizeEntail, PaperSumConstraint) {
+  // The §2.1 example: σ1 + σ2 ≤ σ3 must be derivable when σ3's lower bound
+  // is σ1 + σ2.
+  KindCtx C;
+  C.Sizes.push_back({});
+  C.Sizes.push_back({});
+  C.Sizes.push_back({{Size::plus(Size::var(0), Size::var(1))}, {}});
+  EXPECT_TRUE(leqSize(Size::plus(Size::var(0), Size::var(1)),
+                      Size::var(2), C));
+}
+
+//===----------------------------------------------------------------------===//
+// Kind-context construction (quantifier list → body coordinates)
+//===----------------------------------------------------------------------===//
+
+TEST(KindCtxBuild, ReindexesConstraints) {
+  // ∀ σa σb (σb's lower bound mentions σa as index 0 at declaration time).
+  std::vector<Quant> Qs = {
+      Quant::size(),
+      Quant::size({Size::var(0)}, {}),
+  };
+  KindCtx C = buildKindCtx(Qs);
+  ASSERT_EQ(C.Sizes.size(), 2u);
+  // In body coordinates: σb is index 0, σa is index 1; the stored lower
+  // bound of σb must now reference index 1.
+  ASSERT_EQ(C.Sizes[0].Lower.size(), 1u);
+  EXPECT_EQ(C.Sizes[0].Lower[0]->varIndex(), 1u);
+}
+
+TEST(KindCtxBuild, CountsLocations) {
+  std::vector<Quant> Qs = {Quant::loc(), Quant::loc(),
+                           Quant::type(Qual::unr(), Size::constant(64), true)};
+  KindCtx C = buildKindCtx(Qs);
+  EXPECT_EQ(C.NumLocVars, 2u);
+  EXPECT_EQ(C.Types.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Well-formedness
+//===----------------------------------------------------------------------===//
+
+TEST(WellFormed, ScopingErrors) {
+  KindCtx C = emptyCtx();
+  EXPECT_FALSE(wfQual(Qual::var(0), C).ok());
+  EXPECT_FALSE(wfSize(Size::var(0), C).ok());
+  EXPECT_FALSE(wfLoc(Loc::var(0), C).ok());
+  EXPECT_FALSE(wfType(Type(varPT(0), Qual::unr()), C).ok());
+}
+
+TEST(WellFormed, TupleQualifierBound) {
+  KindCtx C = emptyCtx();
+  // An unrestricted tuple may not contain a linear component.
+  Type LinRef(refPT(Privilege::RW, Loc::concrete(MemKind::Lin, 1),
+                    arrayHT(i32T())),
+              Qual::lin());
+  Type BadTuple(prodPT({LinRef}), Qual::unr());
+  EXPECT_FALSE(wfType(BadTuple, C).ok());
+  Type GoodTuple(prodPT({LinRef}), Qual::lin());
+  EXPECT_TRUE(wfType(GoodTuple, C).ok());
+}
+
+TEST(WellFormed, RefMemoryQualCoherence) {
+  KindCtx C = emptyCtx();
+  HeapTypeRef H = arrayHT(i32T());
+  // Linear-memory reference must be linear.
+  EXPECT_FALSE(wfType(Type(refPT(Privilege::RW,
+                                 Loc::concrete(MemKind::Lin, 1), H),
+                           Qual::unr()),
+                      C)
+                   .ok());
+  // Unrestricted-memory reference must be unrestricted.
+  EXPECT_FALSE(wfType(Type(refPT(Privilege::RW,
+                                 Loc::concrete(MemKind::Unr, 1), H),
+                           Qual::lin()),
+                      C)
+                   .ok());
+}
+
+TEST(WellFormed, TypeVarQualLowerBound) {
+  KindCtx C;
+  C.Types.push_back({Qual::lin(), Size::constant(64), true}); // lin ⪯ α0
+  // α0 at qualifier unr violates the lower bound.
+  EXPECT_FALSE(wfType(Type(varPT(0), Qual::unr()), C).ok());
+  EXPECT_TRUE(wfType(Type(varPT(0), Qual::lin()), C).ok());
+}
+
+TEST(WellFormed, RecRequiresIndirection) {
+  KindCtx C = emptyCtx();
+  // rec α. (α, i32) — the variable occurs flat: rejected.
+  Type FlatBody(prodPT({Type(varPT(0), Qual::unr()), i32T()}), Qual::unr());
+  EXPECT_FALSE(
+      wfType(Type(recPT(Qual::unr(), FlatBody), Qual::unr()), C).ok());
+  // rec α. ref rw ℓu (variant [unit; α]) — protected: accepted.
+  Type RecBody(refPT(Privilege::RW, Loc::concrete(MemKind::Unr, 0),
+                     variantHT({unitT(), Type(varPT(0), Qual::unr())})),
+               Qual::unr());
+  EXPECT_TRUE(
+      wfType(Type(recPT(Qual::unr(), RecBody), Qual::unr()), C).ok());
+}
+
+TEST(WellFormed, StructFieldsMustFitSlots) {
+  KindCtx C = emptyCtx();
+  HeapTypeRef Bad = structHT({{i64T(), Size::constant(32)}});
+  EXPECT_FALSE(wfHeapType(Bad, C).ok());
+  HeapTypeRef Good = structHT({{i64T(), Size::constant(64)}});
+  EXPECT_TRUE(wfHeapType(Good, C).ok());
+}
+
+TEST(WellFormed, FunTypeWithConstraints) {
+  // ∀ρ σ (unr ⪯ α ≲ σ). [(ref rw ρ (struct (α^unr, σ)))^unr] → [].
+  HeapTypeRef H = structHT({{Type(varPT(0), Qual::unr()), Size::var(0)}});
+  FunTypeRef F = FunType::get(
+      {Quant::loc(), Quant::size(),
+       Quant::type(Qual::unr(), Size::var(0), true)},
+      build::arrow(
+          {Type(refPT(Privilege::RW, Loc::var(0), H), Qual::unr())}, {}));
+  EXPECT_TRUE(wfFunType(*F, KindCtx()).ok());
+}

@@ -1,0 +1,569 @@
+//===- tests/lower_test.cpp - RichWasm→Wasm lowering (§6) -----------------===//
+//
+// Differential testing: every program is executed both by the RichWasm
+// small-step machine and — after lowering, validation, and binary
+// round-trip — by the Wasm interpreter; numeric results must agree. This
+// pins the semantics-preservation claim of the compiler. Also checks the
+// erasure property (capability instructions emit no code), the allocator,
+// and the host-assisted GC.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "link/Link.h"
+#include "lower/Lower.h"
+#include "sem/Machine.h"
+#include "wasm/Binary.h"
+#include "wasm/Interp.h"
+#include "wasm/Validate.h"
+
+#include <gtest/gtest.h>
+
+using namespace rw;
+using namespace rw::ir;
+using namespace rw::ir::build;
+
+namespace {
+
+/// Runs "main" (type [] -> [i32-like]) through both pipelines and returns
+/// (interp bits, lowered bits).
+struct BothResults {
+  uint64_t Interp = ~0ull;
+  uint64_t Lowered = ~0ull;
+  std::string Err;
+  bool ok() const { return Err.empty(); }
+};
+
+BothResults runBoth(const ir::Module &M, const std::string &Export = "main") {
+  BothResults R;
+  // RichWasm machine.
+  {
+    auto Mach = link::instantiate({&M});
+    if (!Mach) {
+      R.Err = "link: " + Mach.error().message();
+      return R;
+    }
+    auto Idx = link::findExport(M, Export);
+    if (!Idx) {
+      R.Err = "no export";
+      return R;
+    }
+    auto Out = (*Mach)->invoke(0, *Idx, {}, {});
+    if (!Out) {
+      R.Err = "interp: " + Out.error().message();
+      return R;
+    }
+    if (!Out->empty() && (*Out)[0].isNum())
+      R.Interp = (*Out)[0].bits();
+  }
+  // Lowered pipeline: lower → validate → encode → decode → run.
+  {
+    auto LP = lower::lowerProgram({&M});
+    if (!LP) {
+      R.Err = "lower: " + LP.error().message();
+      return R;
+    }
+    if (Status S = wasm::validate(LP->Module); !S) {
+      R.Err = "validate: " + S.error().message();
+      return R;
+    }
+    auto M2 = wasm::decode(wasm::encode(LP->Module));
+    if (!M2) {
+      R.Err = "codec: " + M2.error().message();
+      return R;
+    }
+    wasm::WasmInstance Inst(*M2);
+    if (Status S = Inst.initialize(); !S) {
+      R.Err = "init: " + S.error().message();
+      return R;
+    }
+    auto Out = Inst.invokeByName(M.Name + "." + Export, {});
+    if (!Out) {
+      R.Err = "wasm run: " + Out.error().message();
+      return R;
+    }
+    if (!Out->empty())
+      R.Lowered = (*Out)[0].Bits;
+  }
+  return R;
+}
+
+ir::Module mainModule(InstVec Body, std::vector<Type> Results,
+                      std::vector<SizeRef> Locals = {}) {
+  ir::Module M;
+  M.Name = "t";
+  M.Funcs.push_back(function({"main"},
+                             FunType::get({}, arrow({}, std::move(Results))),
+                             std::move(Locals), std::move(Body)));
+  return M;
+}
+
+void expectAgree(const ir::Module &M, uint64_t Expected) {
+  BothResults R = runBoth(M);
+  ASSERT_TRUE(R.ok()) << R.Err;
+  EXPECT_EQ(R.Interp, Expected);
+  EXPECT_EQ(R.Lowered, Expected);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Numerics and control flow
+//===----------------------------------------------------------------------===//
+
+TEST(Lower, Arithmetic) {
+  expectAgree(mainModule({iconst(30), iconst(12), addI32()}, {i32T()}), 42);
+}
+
+TEST(Lower, I64Arithmetic) {
+  expectAgree(mainModule({i64const(1) , i64const(41),
+                          binop(NumType::I64, BinopKind::Add)},
+                         {i64T()}),
+              42);
+}
+
+TEST(Lower, ControlFlow) {
+  expectAgree(
+      mainModule({iconst(1),
+                  ifElse(arrow({}, {i32T()}), {}, {iconst(7)}, {iconst(9)})},
+                 {i32T()}),
+      7);
+}
+
+TEST(Lower, LoopSum) {
+  // sum 1..10 via locals.
+  InstVec Body = {
+      iconst(0), setLocal(0), iconst(0), setLocal(1),
+      block(arrow({}, {}), {},
+            {loop(arrow({}, {}),
+                  {getLocal(1, Qual::unr()), iconst(1), addI32(),
+                   setLocal(1), getLocal(0, Qual::unr()),
+                   getLocal(1, Qual::unr()), addI32(), setLocal(0),
+                   getLocal(1, Qual::unr()), iconst(10),
+                   relop(NumType::I32, RelopKind::Lt), brIf(0)})}),
+      getLocal(0, Qual::unr()),
+  };
+  expectAgree(mainModule(Body, {i32T()},
+                         {Size::constant(32), Size::constant(32)}),
+              55);
+}
+
+TEST(Lower, LocalStrongUpdateI64) {
+  // A 64-bit slot first holds an i32, then an i64 (strong local update).
+  InstVec Body = {
+      iconst(5),     setLocal(0),
+      i64const(40),  setLocal(0),
+      getLocal(0, Qual::unr()),
+      i64const(2),   binop(NumType::I64, BinopKind::Add),
+  };
+  expectAgree(mainModule(Body, {i64T()}, {Size::constant(64)}), 42);
+}
+
+//===----------------------------------------------------------------------===//
+// Heap structures
+//===----------------------------------------------------------------------===//
+
+TEST(Lower, StructRoundTrip) {
+  InstVec Body = {
+      iconst(7),
+      structMalloc({Size::constant(32)}, Qual::lin()),
+      memUnpack(arrow({}, {i32T()}), {{0, i32T()}},
+                {iconst(35), structSwap(0), setLocal(0), structFree(),
+                 getLocal(0, Qual::unr())}),
+  };
+  expectAgree(mainModule(Body, {i32T()}, {Size::constant(32)}), 7);
+}
+
+TEST(Lower, StructTwoFieldsMixedWidth) {
+  InstVec Body = {
+      iconst(2), i64const(40),
+      structMalloc({Size::constant(32), Size::constant(64)}, Qual::lin()),
+      memUnpack(arrow({}, {i64T()}), {{0, i32T()}, {1, i64T()}},
+                {structGet(0), setLocal(0), // i32 field
+                 structGet(1), setLocal(1), // i64 field
+                 structFree(),
+                 getLocal(0, Qual::unr()), cvt(NumType::I32, NumType::I64),
+                 getLocal(1, Qual::unr()),
+                 binop(NumType::I64, BinopKind::Add)}),
+  };
+  expectAgree(mainModule(Body, {i64T()},
+                         {Size::constant(32), Size::constant(64)}),
+              42);
+}
+
+TEST(Lower, UnrStructSharedMutation) {
+  InstVec Body = {
+      iconst(40),
+      structMalloc({Size::constant(32)}, Qual::unr()),
+      memUnpack(arrow({}, {i32T()}), {{0, i32T()}, {1, i32T()}},
+                {// Mutate through one copy, read through another.
+                 teeLocal(0), iconst(42), structSet(0), drop(),
+                 getLocal(0, Qual::unr()), structGet(0), setLocal(1), drop(),
+                 getLocal(1, Qual::unr()), iconst(0), setLocal(0)}),
+  };
+  ir::Module M = mainModule(Body, {i32T()},
+                            {Size::constant(64), Size::constant(32)});
+  expectAgree(M, 42);
+}
+
+TEST(Lower, VariantDispatch) {
+  std::vector<Type> Cases = {unitT(), i32T()};
+  InstVec Body = {
+      iconst(33),
+      variantMalloc(1, Cases, Qual::lin()),
+      memUnpack(arrow({}, {i32T()}), {},
+                {variantCase(Qual::lin(), variantHT(Cases),
+                             arrow({}, {i32T()}), {},
+                             {{drop(), iconst(-1)}, {}})}),
+  };
+  expectAgree(mainModule(Body, {i32T()}), 33);
+}
+
+TEST(Lower, VariantUnitCase) {
+  std::vector<Type> Cases = {unitT(), i32T()};
+  InstVec Body = {
+      // A fresh local holds unit; reading it builds the unit payload. (A
+      // unit payload occupies zero words.)
+      getLocal(0, Qual::unr()),
+      variantMalloc(0, Cases, Qual::lin()),
+      memUnpack(arrow({}, {i32T()}), {},
+                {variantCase(Qual::lin(), variantHT(Cases),
+                             arrow({}, {i32T()}), {},
+                             {{drop(), iconst(55)}, {}})}),
+  };
+  expectAgree(mainModule(Body, {i32T()}, {Size::constant(0)}), 55);
+}
+
+TEST(Lower, ArrayOps) {
+  InstVec Body = {
+      iconst(7), uconst(5), arrayMalloc(Qual::lin()),
+      memUnpack(arrow({}, {i32T()}), {{0, i32T()}, {1, i32T()}},
+                {uconst(2), iconst(9), arraySet(), uconst(2), arrayGet(),
+                 setLocal(0), uconst(4), arrayGet(), setLocal(1),
+                 arrayFree(), getLocal(0, Qual::unr()),
+                 getLocal(1, Qual::unr()), addI32()}),
+  };
+  expectAgree(mainModule(Body, {i32T()},
+                         {Size::constant(32), Size::constant(32)}),
+              16);
+}
+
+TEST(Lower, ExistentialPackUnpack) {
+  // The opened value is abstract (α#); it can only be dropped or passed
+  // along abstractly — computing with it is rejected by the checker. The
+  // Fig 9 pattern (applying a packed coderef to the abstract value) is
+  // covered by ExistentialWithCoderef below.
+  HeapTypeRef Ex =
+      exHT(Qual::unr(), Size::constant(32), Type(varPT(0), Qual::unr()));
+  InstVec Body = {
+      iconst(21),
+      existPack(numPT(NumType::I32), Ex, Qual::lin()),
+      memUnpack(arrow({}, {i32T()}), {},
+                {existUnpack(Qual::lin(), Ex, arrow({}, {i32T()}), {},
+                             {drop(), iconst(42)})}),
+  };
+  expectAgree(mainModule(Body, {i32T()}), 42);
+}
+
+TEST(Lower, ExistentialWithCoderef) {
+  // Fig 9 in miniature: a package hides a value α together with a coderef
+  // ∀ε. α → i32; the client applies the coderef to the abstract value.
+  // Lowering must use the runtime shape dispatch at the call_indirect.
+  Type AlphaV(varPT(0), Qual::unr());
+  FunTypeRef OpTy =
+      FunType::get({}, build::arrow({AlphaV}, {i32T()}));
+  HeapTypeRef Ex = exHT(
+      Qual::unr(), Size::constant(32),
+      Type(prodPT({AlphaV, Type(coderefPT(OpTy), Qual::unr())}),
+           Qual::unr()));
+
+  ir::Module M;
+  M.Name = "t";
+  // f0: i32 -> i32, doubles.
+  M.Funcs.push_back(function(
+      {}, FunType::get({}, arrow({i32T()}, {i32T()})), {},
+      {getLocal(0, Qual::unr()), iconst(2), mulI32()}));
+  M.Tab.Entries = {0};
+  // main: pack (21, coderef f0) as ∃α.(α, coderef α→i32) with witness i32.
+  M.Funcs.push_back(function(
+      {"main"}, FunType::get({}, arrow({}, {i32T()})), {},
+      {iconst(21), coderef(0), group(2, Qual::unr()),
+       existPack(numPT(NumType::I32), Ex, Qual::lin()),
+       memUnpack(
+           arrow({}, {i32T()}), {},
+           {existUnpack(Qual::lin(), Ex, arrow({}, {i32T()}), {},
+                        {// Stack: the opened (α, coderef α→i32) pair.
+                         ungroup(), callIndirect()})})}));
+  expectAgree(M, 42);
+}
+
+//===----------------------------------------------------------------------===//
+// Calls, polymorphism, coderefs
+//===----------------------------------------------------------------------===//
+
+TEST(Lower, DirectCall) {
+  ir::Module M;
+  M.Name = "t";
+  M.Funcs.push_back(function(
+      {}, FunType::get({}, arrow({i32T(), i32T()}, {i32T()})), {},
+      {getLocal(0, Qual::unr()), getLocal(1, Qual::unr()), addI32()}));
+  M.Funcs.push_back(function({"main"},
+                             FunType::get({}, arrow({}, {i32T()})), {},
+                             {iconst(30), iconst(12), call(0)}));
+  expectAgree(M, 42);
+}
+
+TEST(Lower, PolymorphicIdentityCoercion) {
+  // id : ∀(unr ⪯ α ≲ 64). [α^unr] -> [α^unr]; calls at i32 and i64 need
+  // the paper's stack coercions.
+  ir::Module M;
+  M.Name = "t";
+  FunTypeRef IdTy = FunType::get(
+      {Quant::type(Qual::unr(), Size::constant(64), true)},
+      arrow({Type(varPT(0), Qual::unr())}, {Type(varPT(0), Qual::unr())}));
+  M.Funcs.push_back(function({}, IdTy, {}, {getLocal(0, Qual::unr())}));
+  M.Funcs.push_back(function(
+      {"main"}, FunType::get({}, arrow({}, {i64T()})), {},
+      {iconst(2), call(0, {Index::pretype(numPT(NumType::I32))}),
+       cvt(NumType::I32, NumType::I64),
+       i64const(40), call(0, {Index::pretype(numPT(NumType::I64))}),
+       binop(NumType::I64, BinopKind::Add)}));
+  expectAgree(M, 42);
+}
+
+TEST(Lower, IndirectCallThroughTable) {
+  ir::Module M;
+  M.Name = "t";
+  M.Funcs.push_back(function(
+      {}, FunType::get({}, arrow({i32T()}, {i32T()})), {},
+      {getLocal(0, Qual::unr()), iconst(2), mulI32()}));
+  M.Tab.Entries = {0};
+  M.Funcs.push_back(function(
+      {"main"}, FunType::get({}, arrow({}, {i32T()})), {},
+      {iconst(21), coderef(0), callIndirect()}));
+  expectAgree(M, 42);
+}
+
+TEST(Lower, CrossModuleCall) {
+  ir::Module Lib;
+  Lib.Name = "lib";
+  Lib.Funcs.push_back(function(
+      {"inc"}, FunType::get({}, arrow({i32T()}, {i32T()})), {},
+      {getLocal(0, Qual::unr()), iconst(1), addI32()}));
+  ir::Module App;
+  App.Name = "app";
+  App.Funcs.push_back(importFunc(
+      {"lib", "inc"}, FunType::get({}, arrow({i32T()}, {i32T()}))));
+  App.Funcs.push_back(function({"main"},
+                               FunType::get({}, arrow({}, {i32T()})), {},
+                               {iconst(41), call(0)}));
+
+  // RichWasm interp.
+  auto Mach = link::instantiate({&Lib, &App});
+  ASSERT_TRUE(bool(Mach)) << Mach.error().message();
+  auto R1 = (*Mach)->invoke(1, 1, {}, {});
+  ASSERT_TRUE(bool(R1));
+  EXPECT_EQ((*R1)[0].bits(), 42u);
+
+  // Lowered.
+  auto LP = lower::lowerProgram({&Lib, &App});
+  ASSERT_TRUE(bool(LP)) << LP.error().message();
+  ASSERT_TRUE(wasm::validate(LP->Module).ok())
+      << wasm::validate(LP->Module).error().message();
+  wasm::WasmInstance Inst(LP->Module);
+  ASSERT_TRUE(Inst.initialize().ok());
+  auto R2 = Inst.invokeByName("app.main", {});
+  ASSERT_TRUE(bool(R2)) << R2.error().message();
+  EXPECT_EQ((*R2)[0].asU32(), 42u);
+}
+
+//===----------------------------------------------------------------------===//
+// Globals and start
+//===----------------------------------------------------------------------===//
+
+TEST(Lower, GlobalInitAndStart) {
+  ir::Module M;
+  M.Name = "t";
+  ir::Global G;
+  G.Mut = true;
+  G.P = numPT(NumType::I32);
+  G.Init = {iconst(20)};
+  M.Globals.push_back(G);
+  M.Funcs.push_back(function({}, FunType::get({}, arrow({}, {})), {},
+                             {getGlobal(0), iconst(22), addI32(),
+                              setGlobal(0)}));
+  M.Funcs.push_back(function({"main"},
+                             FunType::get({}, arrow({}, {i32T()})), {},
+                             {getGlobal(0)}));
+  M.Start = 0;
+  expectAgree(M, 42);
+}
+
+//===----------------------------------------------------------------------===//
+// Erasure: capability bookkeeping compiles to zero instructions
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Counts instructions in a lowered function body.
+size_t countInsts(const std::vector<wasm::WInst> &Body) {
+  size_t N = 0;
+  for (const wasm::WInst &I : Body) {
+    ++N;
+    N += countInsts(I.Body);
+    N += countInsts(I.Else);
+  }
+  return N;
+}
+
+} // namespace
+
+TEST(Lower, CapabilityOpsAreErased) {
+  // Two variants of the same function: one shuffles capability/ownership
+  // tokens heavily, the other does not. The lowered code must be
+  // *identical in size* — the zero-cost claim (§6, contrast with MSWasm).
+  auto MkBody = [](bool WithCaps) {
+    InstVec Inner;
+    if (WithCaps) {
+      for (int J = 0; J < 16; ++J) {
+        Inner.push_back(refSplit()); // ref → cap, ptr
+        Inner.push_back(refJoin());  // cap, ptr → ref
+        Inner.push_back(qualify(Qual::lin()));
+      }
+    }
+    Inner.push_back(structGet(0));
+    Inner.push_back(setLocal(0));
+    Inner.push_back(structFree());
+    Inner.push_back(getLocal(0, Qual::unr()));
+    InstVec Body = {
+        iconst(42),
+        structMalloc({Size::constant(32)}, Qual::lin()),
+        memUnpack(arrow({}, {i32T()}), {{0, i32T()}}, std::move(Inner)),
+    };
+    return Body;
+  };
+  ir::Module Plain = mainModule(MkBody(false), {i32T()}, {Size::constant(32)});
+  ir::Module Caps = mainModule(MkBody(true), {i32T()}, {Size::constant(32)});
+  auto LP1 = lower::lowerProgram({&Plain});
+  auto LP2 = lower::lowerProgram({&Caps});
+  ASSERT_TRUE(bool(LP1)) << LP1.error().message();
+  ASSERT_TRUE(bool(LP2)) << LP2.error().message();
+  // Find the lowered main bodies (same index in both).
+  uint32_t I1 = LP1->Exports.at("t.main") -
+                static_cast<uint32_t>(LP1->Module.ImportFuncs.size());
+  uint32_t I2 = LP2->Exports.at("t.main") -
+                static_cast<uint32_t>(LP2->Module.ImportFuncs.size());
+  EXPECT_EQ(countInsts(LP1->Module.Funcs[I1].Body),
+            countInsts(LP2->Module.Funcs[I2].Body));
+  expectAgree(Caps, 42);
+}
+
+//===----------------------------------------------------------------------===//
+// Allocator behaviour and host GC
+//===----------------------------------------------------------------------===//
+
+TEST(Lower, FreeListReusesMemory) {
+  // Allocate and free in a loop: the bump pointer must stabilize (the
+  // free list recycles the block).
+  InstVec Body = {
+      iconst(0), setLocal(1),
+      block(arrow({}, {}), {},
+            {loop(arrow({}, {}),
+                  {iconst(7),
+                   structMalloc({Size::constant(32)}, Qual::lin()),
+                   memUnpack(arrow({}, {}), {}, {structFree()}),
+                   getLocal(1, Qual::unr()), iconst(1), addI32(),
+                   setLocal(1), getLocal(1, Qual::unr()), iconst(100),
+                   relop(NumType::I32, RelopKind::Lt), brIf(0)})}),
+      iconst(0),
+  };
+  ir::Module M = mainModule(Body, {i32T()},
+                            {Size::constant(64), Size::constant(32)});
+  auto LP = lower::lowerProgram({&M});
+  ASSERT_TRUE(bool(LP)) << LP.error().message();
+  ASSERT_TRUE(wasm::validate(LP->Module).ok())
+      << wasm::validate(LP->Module).error().message();
+  wasm::WasmInstance Inst(LP->Module);
+  ASSERT_TRUE(Inst.initialize().ok());
+  auto R = Inst.invokeByName("t.main", {});
+  ASSERT_TRUE(bool(R)) << R.error().message();
+  // 100 allocations, 100 frees; everything reused.
+  EXPECT_EQ(Inst.global(LP->Runtime.GAllocs).asU32(), 100u);
+  EXPECT_EQ(Inst.global(LP->Runtime.GFrees).asU32(), 100u);
+  EXPECT_EQ(Inst.global(LP->Runtime.GLive).asU32(), 0u);
+  // Bump pointer advanced by roughly one block, not a hundred.
+  EXPECT_LT(Inst.global(LP->Runtime.GBump).asU32(),
+            lower::RuntimeLayout::HeapBase + 64);
+}
+
+TEST(Lower, HostGcCollectsGarbage) {
+  // Allocate unrestricted cells in a loop without keeping references.
+  InstVec Body = {
+      iconst(0), setLocal(1),
+      block(arrow({}, {}), {},
+            {loop(arrow({}, {}),
+                  {iconst(7),
+                   structMalloc({Size::constant(32)}, Qual::unr()),
+                   memUnpack(arrow({}, {}), {}, {drop()}),
+                   getLocal(1, Qual::unr()), iconst(1), addI32(),
+                   setLocal(1), getLocal(1, Qual::unr()), iconst(50),
+                   relop(NumType::I32, RelopKind::Lt), brIf(0)})}),
+      iconst(0),
+  };
+  ir::Module M = mainModule(Body, {i32T()},
+                            {Size::constant(64), Size::constant(32)});
+  auto LP = lower::lowerProgram({&M});
+  ASSERT_TRUE(bool(LP)) << LP.error().message();
+  wasm::WasmInstance Inst(LP->Module);
+  ASSERT_TRUE(Inst.initialize().ok());
+  ASSERT_TRUE(bool(Inst.invokeByName("t.main", {})));
+  EXPECT_EQ(Inst.global(LP->Runtime.GLive).asU32(), 50u);
+  lower::HostGc Gc(Inst, LP->Runtime, LP->RefGlobals);
+  lower::HostGc::Stats St = Gc.collect();
+  EXPECT_EQ(St.Swept, 50u);
+  EXPECT_EQ(Inst.global(LP->Runtime.GLive).asU32(), 0u);
+}
+
+TEST(Lower, HostGcTracesThroughHeap) {
+  // A chain root-global → unr cell → unr cell stays alive; an unlinked
+  // cell dies.
+  ir::Module M;
+  M.Name = "t";
+  HeapTypeRef InnerHT = structHT({{i32T(), Size::constant(32)}});
+  Type InnerRef(exLocPT(Type(refPT(Privilege::RW, Loc::var(0), InnerHT),
+                             Qual::unr())),
+                Qual::unr());
+  ir::Global G;
+  G.Mut = true;
+  G.P = exLocPT(Type(
+      refPT(Privilege::RW, Loc::var(0),
+            structHT({{InnerRef, Size::constant(64)}})),
+      Qual::unr()));
+  // Initializer: inner = {7}; outer = {inner}; plus one garbage cell.
+  G.Init = {
+      iconst(7),
+      structMalloc({Size::constant(32)}, Qual::unr()), // inner
+      structMalloc({Size::constant(64)}, Qual::unr()), // outer holds inner
+      // garbage:
+      iconst(9),
+      structMalloc({Size::constant(32)}, Qual::unr()),
+      memUnpack(arrow({}, {}), {}, {drop()}),
+  };
+  M.Globals.push_back(G);
+  M.Funcs.push_back(function({"main"},
+                             FunType::get({}, arrow({}, {i32T()})), {},
+                             {iconst(0)}));
+  auto LP = lower::lowerProgram({&M});
+  ASSERT_TRUE(bool(LP)) << LP.error().message();
+  ASSERT_TRUE(wasm::validate(LP->Module).ok())
+      << wasm::validate(LP->Module).error().message();
+  wasm::WasmInstance Inst(LP->Module);
+  ASSERT_TRUE(Inst.initialize().ok());
+  EXPECT_EQ(Inst.global(LP->Runtime.GLive).asU32(), 3u);
+  ASSERT_EQ(LP->RefGlobals.size(), 1u);
+  lower::HostGc Gc(Inst, LP->Runtime, LP->RefGlobals);
+  lower::HostGc::Stats St = Gc.collect();
+  EXPECT_EQ(St.Marked, 2u); // outer + inner survive
+  EXPECT_EQ(St.Swept, 1u);  // the garbage cell dies
+  EXPECT_EQ(Inst.global(LP->Runtime.GLive).asU32(), 2u);
+}

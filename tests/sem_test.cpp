@@ -1,0 +1,571 @@
+//===- tests/sem_test.cpp - Dynamic semantics (Fig 4) ---------------------===//
+//
+// One test per reduction-rule family: numerics, control flow, locals,
+// calls (direct, indirect, polymorphic), every heap-value family, the
+// administrative malloc/free instructions, traps, and the collect rule
+// (GC with linear finalization).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "link/Link.h"
+#include "sem/Machine.h"
+#include "support/NumericOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace rw;
+using namespace rw::ir;
+using namespace rw::ir::build;
+using namespace rw::sem;
+
+namespace {
+
+/// Runs a body as a [] -> Results function in a single-module store.
+Expected<std::vector<Value>> runBody(InstVec Body,
+                                     std::vector<Type> Results = {},
+                                     std::vector<SizeRef> Locals = {}) {
+  auto M = std::make_unique<ir::Module>();
+  M->Name = "t";
+  M->Funcs.push_back(function({"main"},
+                              FunType::get({}, arrow({}, std::move(Results))),
+                              std::move(Locals), std::move(Body)));
+  // Keep the module alive for the machine's lifetime via a static pool.
+  static std::vector<std::unique_ptr<ir::Module>> Pool;
+  Pool.push_back(std::move(M));
+  link::LinkOptions Opts;
+  Opts.TypeCheck = false; // Semantics tests drive unchecked code on purpose.
+  auto Mach = link::instantiate({Pool.back().get()}, Opts);
+  if (!Mach)
+    return Mach.error();
+  return (*Mach)->invoke(0, 0, {}, {});
+}
+
+uint64_t asBits(const Expected<std::vector<Value>> &R, size_t I = 0) {
+  EXPECT_TRUE(bool(R)) << (R ? "" : R.error().message());
+  if (!R || R->size() <= I || !(*R)[I].isNum())
+    return ~0ull;
+  return (*R)[I].bits();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Numerics
+//===----------------------------------------------------------------------===//
+
+TEST(Sem, ArithmeticBasics) {
+  EXPECT_EQ(asBits(runBody({iconst(2), iconst(3), addI32()}, {i32T()})), 5u);
+  EXPECT_EQ(asBits(runBody({iconst(10), iconst(3), subI32()}, {i32T()})), 7u);
+  EXPECT_EQ(asBits(runBody({iconst(6), iconst(7), mulI32()}, {i32T()})), 42u);
+}
+
+TEST(Sem, WrapAroundArithmetic) {
+  EXPECT_EQ(asBits(runBody({iconst(-1), iconst(1), addI32()}, {i32T()})), 0u);
+  EXPECT_EQ(asBits(runBody(
+                {numConst(NumType::U32, 0xffffffffu), iconst(2), mulI32()},
+                {i32T()})),
+            0xfffffffeu);
+}
+
+TEST(Sem, SignedVsUnsignedDivision) {
+  // -7 / 2 signed = -3; same bits unsigned = huge.
+  EXPECT_EQ(asBits(runBody({iconst(-7), iconst(2),
+                            binop(NumType::I32, BinopKind::Div)},
+                           {i32T()})),
+            static_cast<uint32_t>(-3));
+  EXPECT_EQ(asBits(runBody({numConst(NumType::U32, 0xfffffff9u), uconst(2),
+                            binop(NumType::U32, BinopKind::Div)},
+                           {numT(NumType::U32)})),
+            0x7ffffffcu);
+}
+
+TEST(Sem, DivisionByZeroTraps) {
+  auto R = runBody({iconst(1), iconst(0), binop(NumType::I32, BinopKind::Div)},
+                   {i32T()});
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.error().message().find("trap"), std::string::npos);
+}
+
+TEST(Sem, RelopsAndSelect) {
+  EXPECT_EQ(asBits(runBody({iconst(3), iconst(4),
+                            relop(NumType::I32, RelopKind::Lt)},
+                           {i32T()})),
+            1u);
+  EXPECT_EQ(asBits(runBody({iconst(10), iconst(20), iconst(1), select()},
+                           {i32T()})),
+            10u);
+  EXPECT_EQ(asBits(runBody({iconst(10), iconst(20), iconst(0), select()},
+                           {i32T()})),
+            20u);
+}
+
+TEST(Sem, Conversions) {
+  EXPECT_EQ(asBits(runBody({iconst(-1), cvt(NumType::I32, NumType::I64)},
+                           {i64T()})),
+            0xffffffffffffffffull);
+  EXPECT_EQ(asBits(runBody({numConst(NumType::U32, 0xffffffffu),
+                            cvt(NumType::U32, NumType::U64)},
+                           {numT(NumType::U64)})),
+            0xffffffffull);
+  // f64 7.5 → i32 trunc = 7.
+  EXPECT_EQ(asBits(runBody({numConst(NumType::F64, num::f64ToBits(7.5)),
+                            cvt(NumType::F64, NumType::I32)},
+                           {i32T()})),
+            7u);
+}
+
+TEST(Sem, FloatToIntOverflowTraps) {
+  auto R = runBody({numConst(NumType::F64, num::f64ToBits(1e30)),
+                    cvt(NumType::F64, NumType::I32)},
+                   {i32T()});
+  EXPECT_FALSE(bool(R));
+}
+
+//===----------------------------------------------------------------------===//
+// Control flow
+//===----------------------------------------------------------------------===//
+
+TEST(Sem, BlockAndBr) {
+  EXPECT_EQ(asBits(runBody({block(arrow({}, {i32T()}), {},
+                                  {iconst(5), br(0), iconst(9)})},
+                           {i32T()})),
+            5u);
+}
+
+TEST(Sem, IfTakesCorrectBranch) {
+  EXPECT_EQ(asBits(runBody({iconst(1), ifElse(arrow({}, {i32T()}), {},
+                                              {iconst(10)}, {iconst(20)})},
+                           {i32T()})),
+            10u);
+  EXPECT_EQ(asBits(runBody({iconst(0), ifElse(arrow({}, {i32T()}), {},
+                                              {iconst(10)}, {iconst(20)})},
+                           {i32T()})),
+            20u);
+}
+
+TEST(Sem, LoopCountsToTen) {
+  // Local 0 counts up; the loop re-enters while local < 10.
+  InstVec Body = {
+      iconst(0), setLocal(0),
+      block(arrow({}, {}), {},
+            {loop(arrow({}, {}),
+                  {getLocal(0, Qual::unr()), iconst(1), addI32(),
+                   setLocal(0), getLocal(0, Qual::unr()), iconst(10),
+                   relop(NumType::I32, RelopKind::Lt), brIf(0)})}),
+      getLocal(0, Qual::unr()),
+  };
+  EXPECT_EQ(asBits(runBody(Body, {i32T()}, {Size::constant(32)})), 10u);
+}
+
+TEST(Sem, BrTableSelectsDepth) {
+  // br_table over three nested blocks returns a distinct constant per
+  // depth.
+  auto Mk = [](int32_t Idx) {
+    return runBody(
+        {block(arrow({}, {i32T()}), {},
+               {block(arrow({}, {i32T()}), {},
+                      {block(arrow({}, {i32T()}), {},
+                             {iconst(99), iconst(Idx),
+                              brTable({0, 1}, 2)}),
+                       drop(), iconst(0), br(1)}),
+                drop(), iconst(1), br(0)})},
+        {i32T()});
+  };
+  EXPECT_EQ(asBits(Mk(0)), 0u);  // depth 0 → inner block → arm 0
+  EXPECT_EQ(asBits(Mk(1)), 1u);  // depth 1 → middle block → arm 1
+  EXPECT_EQ(asBits(Mk(7)), 99u); // default depth 2 → outermost
+}
+
+TEST(Sem, UnreachableTraps) {
+  auto R = runBody({unreachable()});
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.error().message().find("trap"), std::string::npos);
+}
+
+TEST(Sem, ReturnShortCircuits) {
+  EXPECT_EQ(asBits(runBody({iconst(1), ret(), iconst(2)}, {i32T()})), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Locals: linear move-out semantics
+//===----------------------------------------------------------------------===//
+
+TEST(Sem, GetLocalLinBlanksSlot) {
+  // After a linear get, the slot holds unit; an unrestricted get then
+  // yields unit (observed via a tuple).
+  InstVec Body = {
+      iconst(7), qualify(Qual::lin()), setLocal(0),
+      getLocal(0, Qual::lin()),  // moves out 7
+      drop(),                    // runtime drop is fine in unchecked code
+      getLocal(0, Qual::unr()),  // now unit
+  };
+  auto R = runBody(Body, {unitT()}, {Size::constant(32)});
+  ASSERT_TRUE(bool(R)) << R.error().message();
+  ASSERT_EQ(R->size(), 1u);
+  EXPECT_TRUE((*R)[0].isUnit());
+}
+
+//===----------------------------------------------------------------------===//
+// Calls
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::unique_ptr<ir::Module> twoFuncModule() {
+  auto M = std::make_unique<ir::Module>();
+  M->Name = "m";
+  M->Funcs.push_back(function(
+      {}, FunType::get({}, arrow({i32T(), i32T()}, {i32T()})), {},
+      {getLocal(0, Qual::unr()), getLocal(1, Qual::unr()), addI32()}));
+  M->Funcs.push_back(function({"main"},
+                              FunType::get({}, arrow({}, {i32T()})), {},
+                              {iconst(30), iconst(12), call(0)}));
+  M->Tab.Entries = {0};
+  return M;
+}
+
+} // namespace
+
+TEST(Sem, DirectCall) {
+  auto M = twoFuncModule();
+  auto Mach = link::instantiate({M.get()});
+  ASSERT_TRUE(bool(Mach)) << Mach.error().message();
+  auto R = (*Mach)->invoke(0, 1, {}, {});
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ((*R)[0].bits(), 42u);
+}
+
+TEST(Sem, IndirectCallThroughTable) {
+  auto M = twoFuncModule();
+  M->Funcs.push_back(function(
+      {"indirect"}, FunType::get({}, arrow({}, {i32T()})), {},
+      {iconst(40), iconst(2), coderef(0), callIndirect()}));
+  auto Mach = link::instantiate({M.get()});
+  ASSERT_TRUE(bool(Mach)) << Mach.error().message();
+  auto R = (*Mach)->invoke(0, 2, {}, {});
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ((*R)[0].bits(), 42u);
+}
+
+TEST(Sem, PolymorphicCallSubstitutesBody) {
+  // ∀α≲64. [α^unr] -> [α^unr] identity; call at i64.
+  auto M = std::make_unique<ir::Module>();
+  M->Name = "m";
+  FunTypeRef IdTy = FunType::get(
+      {Quant::type(Qual::unr(), Size::constant(64), true)},
+      arrow({Type(varPT(0), Qual::unr())}, {Type(varPT(0), Qual::unr())}));
+  M->Funcs.push_back(function({}, IdTy, {}, {getLocal(0, Qual::unr())}));
+  M->Funcs.push_back(function(
+      {"main"}, FunType::get({}, arrow({}, {i64T()})), {},
+      {i64const(77), call(0, {Index::pretype(numPT(NumType::I64))})}));
+  auto Mach = link::instantiate({M.get()});
+  ASSERT_TRUE(bool(Mach)) << Mach.error().message();
+  auto R = (*Mach)->invoke(0, 1, {}, {});
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ((*R)[0].bits(), 77u);
+}
+
+TEST(Sem, CrossModuleImportCall) {
+  auto Provider = std::make_unique<ir::Module>();
+  Provider->Name = "lib";
+  Provider->Funcs.push_back(function(
+      {"inc"}, FunType::get({}, arrow({i32T()}, {i32T()})), {},
+      {getLocal(0, Qual::unr()), iconst(1), addI32()}));
+
+  auto Client = std::make_unique<ir::Module>();
+  Client->Name = "app";
+  Client->Funcs.push_back(importFunc(
+      {"lib", "inc"}, FunType::get({}, arrow({i32T()}, {i32T()}))));
+  Client->Funcs.push_back(function({"main"},
+                                   FunType::get({}, arrow({}, {i32T()})), {},
+                                   {iconst(41), call(0)}));
+
+  auto Mach = link::instantiate({Provider.get(), Client.get()});
+  ASSERT_TRUE(bool(Mach)) << Mach.error().message();
+  auto R = (*Mach)->invoke(1, 1, {}, {});
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ((*R)[0].bits(), 42u);
+}
+
+TEST(Sem, ImportTypeMismatchRejectedAtLink) {
+  auto Provider = std::make_unique<ir::Module>();
+  Provider->Name = "lib";
+  Provider->Funcs.push_back(function(
+      {"inc"}, FunType::get({}, arrow({i32T()}, {i32T()})), {},
+      {getLocal(0, Qual::unr()), iconst(1), addI32()}));
+
+  auto Client = std::make_unique<ir::Module>();
+  Client->Name = "app";
+  Client->Funcs.push_back(importFunc(
+      {"lib", "inc"}, FunType::get({}, arrow({i64T()}, {i64T()}))));
+
+  auto Mach = link::instantiate({Provider.get(), Client.get()});
+  ASSERT_FALSE(bool(Mach));
+  EXPECT_NE(Mach.error().message().find("mismatch"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Heap: structs, variants, arrays, existentials
+//===----------------------------------------------------------------------===//
+
+TEST(Sem, StructLifecycle) {
+  // Allocate {7}, strong-update to 9 via swap, read back, free.
+  InstVec Body = {
+      iconst(7),
+      structMalloc({Size::constant(32)}, Qual::lin()),
+      memUnpack(arrow({}, {i32T()}), {},
+                {iconst(9), structSwap(0), setLocal(0), structFree(),
+                 getLocal(0, Qual::unr())}),
+  };
+  EXPECT_EQ(asBits(runBody(Body, {i32T()}, {Size::constant(32)})), 7u);
+}
+
+TEST(Sem, StructSetMutates) {
+  InstVec Body = {
+      iconst(7),
+      structMalloc({Size::constant(32)}, Qual::unr()),
+      memUnpack(arrow({}, {i32T()}), {},
+                {iconst(9), structSet(0), structGet(0), setLocal(0), drop(),
+                 getLocal(0, Qual::unr())}),
+  };
+  EXPECT_EQ(asBits(runBody(Body, {i32T()}, {Size::constant(32)})), 9u);
+}
+
+TEST(Sem, DoubleFreeTraps) {
+  // Free the same linear cell twice: the machine traps (this is exactly
+  // the runtime crash the type system exists to rule out).
+  InstVec Body = {
+      iconst(7),
+      structMalloc({Size::constant(32)}, Qual::lin()),
+      memUnpack(arrow({}, {}), {},
+                {teeLocal(0), structFree(), getLocal(0, Qual::unr()),
+                 structFree()}),
+  };
+  auto R = runBody(Body, {}, {Size::constant(64)});
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.error().message().find("trap"), std::string::npos);
+}
+
+TEST(Sem, VariantCaseDispatch) {
+  std::vector<Type> Cases = {unitT(), i32T()};
+  auto Mk = [&](uint32_t Tag, InstVec Payload) {
+    InstVec Body = Payload;
+    Body.push_back(variantMalloc(Tag, Cases, Qual::lin()));
+    Body.push_back(memUnpack(
+        arrow({}, {i32T()}), {},
+        {variantCase(Qual::lin(), variantHT(Cases), arrow({}, {i32T()}), {},
+                     {{drop(), iconst(-1)}, {}})}));
+    return runBody(Body, {i32T()});
+  };
+  // Tag 1 carries an i32 payload which the arm returns directly.
+  EXPECT_EQ(asBits(Mk(1, {iconst(33)})), 33u);
+}
+
+TEST(Sem, LinearVariantCaseFreesCell) {
+  std::vector<Type> Cases = {i32T()};
+  InstVec Body = {
+      iconst(5),
+      variantMalloc(0, Cases, Qual::lin()),
+      memUnpack(arrow({}, {i32T()}), {},
+                {variantCase(Qual::lin(), variantHT(Cases),
+                             arrow({}, {i32T()}), {}, {{}})}),
+  };
+  auto M = std::make_unique<ir::Module>();
+  M->Name = "t";
+  M->Funcs.push_back(function({"main"},
+                              FunType::get({}, arrow({}, {i32T()})), {},
+                              Body));
+  link::LinkOptions Opts;
+  Opts.TypeCheck = false;
+  auto Mach = link::instantiate({M.get()}, Opts);
+  ASSERT_TRUE(bool(Mach));
+  auto R = (*Mach)->invoke(0, 0, {}, {});
+  ASSERT_TRUE(bool(R)) << R.error().message();
+  EXPECT_EQ((*R)[0].bits(), 5u);
+  // The cell was freed by the linear case.
+  EXPECT_TRUE((*Mach)->store().Mem.Lin.empty());
+  EXPECT_EQ((*Mach)->store().Mem.FreeCountLin, 1u);
+}
+
+TEST(Sem, ArrayLifecycle) {
+  InstVec Body = {
+      iconst(7), uconst(5), arrayMalloc(Qual::lin()),
+      memUnpack(arrow({}, {i32T()}), {},
+                {uconst(2), iconst(9), arraySet(), uconst(2), arrayGet(),
+                 setLocal(0), uconst(0), arrayGet(), setLocal(1),
+                 arrayFree(), getLocal(0, Qual::unr()),
+                 getLocal(1, Qual::unr()), addI32()}),
+  };
+  EXPECT_EQ(asBits(runBody(Body, {i32T()},
+                           {Size::constant(32), Size::constant(32)})),
+            16u); // 9 (updated) + 7 (original)
+}
+
+TEST(Sem, ArrayOutOfBoundsTraps) {
+  InstVec Body = {
+      iconst(7), uconst(5), arrayMalloc(Qual::lin()),
+      memUnpack(arrow({}, {i32T()}), {}, {uconst(9), arrayGet(), drop()}),
+  };
+  auto R = runBody(Body, {i32T()});
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.error().message().find("trap"), std::string::npos);
+}
+
+TEST(Sem, ExistentialPackUnpack) {
+  HeapTypeRef Ex =
+      exHT(Qual::unr(), Size::constant(32), Type(varPT(0), Qual::unr()));
+  InstVec Body = {
+      iconst(11),
+      existPack(numPT(NumType::I32), Ex, Qual::lin()),
+      memUnpack(arrow({}, {i32T()}), {},
+                {existUnpack(Qual::lin(), Ex, arrow({}, {i32T()}), {}, {})}),
+  };
+  EXPECT_EQ(asBits(runBody(Body, {i32T()})), 11u);
+}
+
+TEST(Sem, TupleGroupUngroup) {
+  InstVec Body = {
+      iconst(1), i64const(2), group(2, Qual::unr()), ungroup(),
+      drop(), // drop the i64
+  };
+  EXPECT_EQ(asBits(runBody(Body, {i32T()})), 1u);
+}
+
+TEST(Sem, CapAndRefOpsAreValueLevel) {
+  InstVec Body = {
+      iconst(7),
+      structMalloc({Size::constant(32)}, Qual::lin()),
+      memUnpack(arrow({}, {i32T()}), {},
+                {refSplit(), refJoin(), // split into cap+ptr and rejoin
+                 structGet(0), setLocal(0), structFree(),
+                 getLocal(0, Qual::unr())}),
+  };
+  EXPECT_EQ(asBits(runBody(Body, {i32T()}, {Size::constant(32)})), 7u);
+}
+
+//===----------------------------------------------------------------------===//
+// Garbage collection (the collect rule)
+//===----------------------------------------------------------------------===//
+
+TEST(Sem, CollectReclaimsUnreachableUnr) {
+  auto M = std::make_unique<ir::Module>();
+  M->Name = "t";
+  // Allocate an unrestricted cell and drop every reference to it.
+  M->Funcs.push_back(function(
+      {"main"}, FunType::get({}, arrow({}, {})), {},
+      {iconst(7), structMalloc({Size::constant(32)}, Qual::unr()),
+       memUnpack(arrow({}, {}), {}, {drop()})}));
+  link::LinkOptions Opts;
+  Opts.TypeCheck = false;
+  auto Mach = link::instantiate({M.get()}, Opts);
+  ASSERT_TRUE(bool(Mach));
+  auto R = (*Mach)->invoke(0, 0, {}, {});
+  ASSERT_TRUE(bool(R)) << R.error().message();
+  EXPECT_EQ((*Mach)->store().Mem.Unr.size(), 1u);
+  uint64_t Reclaimed = (*Mach)->collect();
+  EXPECT_EQ(Reclaimed, 1u);
+  EXPECT_TRUE((*Mach)->store().Mem.Unr.empty());
+}
+
+TEST(Sem, CollectKeepsReachableCells) {
+  auto M = std::make_unique<ir::Module>();
+  M->Name = "t";
+  // Return the reference: it is a root during collection.
+  Type RefOut(exLocPT(Type(refPT(Privilege::RW, Loc::var(0),
+                                 structHT({{i32T(), Size::constant(32)}})),
+                           Qual::unr())),
+              Qual::unr());
+  M->Funcs.push_back(function(
+      {"main"}, FunType::get({}, arrow({}, {RefOut})), {},
+      {iconst(7), structMalloc({Size::constant(32)}, Qual::unr())}));
+  link::LinkOptions Opts;
+  Opts.TypeCheck = false;
+  auto Mach = link::instantiate({M.get()}, Opts);
+  ASSERT_TRUE(bool(Mach));
+  auto R = (*Mach)->invoke(0, 0, {}, {});
+  ASSERT_TRUE(bool(R));
+  // The result still sits in the machine's final program; re-arm a config
+  // holding it as a root.
+  (*Mach)->setupProgram(0, {});
+  (*Mach)->config().Locals.push_back((*R)[0]);
+  EXPECT_EQ((*Mach)->collect(), 0u);
+  EXPECT_EQ((*Mach)->store().Mem.Unr.size(), 1u);
+}
+
+TEST(Sem, CollectFinalizesLinearOwnedByGc) {
+  // A linear cell whose only reference lives inside an unrestricted cell:
+  // collecting the unrestricted cell finalizes the linear one (the paper's
+  // GC-owns-linear-memory story).
+  auto M = std::make_unique<ir::Module>();
+  M->Name = "t";
+  M->Funcs.push_back(function(
+      {"main"}, FunType::get({}, arrow({}, {})), {},
+      {// lin cell
+       iconst(1), structMalloc({Size::constant(32)}, Qual::lin()),
+       memUnpack(arrow({}, {}), {},
+                 {// unr cell holding the linear ref (64-bit slot)
+                  structMalloc({Size::constant(64)}, Qual::unr()),
+                  memUnpack(arrow({}, {}), {}, {drop()})})}));
+  link::LinkOptions Opts;
+  Opts.TypeCheck = false;
+  auto Mach = link::instantiate({M.get()}, Opts);
+  ASSERT_TRUE(bool(Mach));
+  auto R = (*Mach)->invoke(0, 0, {}, {});
+  ASSERT_TRUE(bool(R)) << R.error().message();
+  EXPECT_EQ((*Mach)->store().Mem.Lin.size(), 1u);
+  EXPECT_EQ((*Mach)->store().Mem.Unr.size(), 1u);
+  uint64_t Reclaimed = (*Mach)->collect();
+  EXPECT_EQ(Reclaimed, 2u);
+  EXPECT_TRUE((*Mach)->store().Mem.Lin.empty());
+  EXPECT_EQ((*Mach)->store().Mem.FinalizedLin, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Globals and start functions
+//===----------------------------------------------------------------------===//
+
+TEST(Sem, GlobalInitAndStart) {
+  auto M = std::make_unique<ir::Module>();
+  M->Name = "t";
+  ir::Global G;
+  G.Mut = true;
+  G.P = numPT(NumType::I32);
+  G.Init = {iconst(5)};
+  M->Globals.push_back(G);
+  // start: g0 := g0 * 2
+  M->Funcs.push_back(function({}, FunType::get({}, arrow({}, {})), {},
+                              {getGlobal(0), iconst(2), mulI32(),
+                               setGlobal(0)}));
+  M->Funcs.push_back(function({"read"},
+                              FunType::get({}, arrow({}, {i32T()})), {},
+                              {getGlobal(0)}));
+  M->Start = 0;
+  auto Mach = link::instantiate({M.get()});
+  ASSERT_TRUE(bool(Mach)) << Mach.error().message();
+  auto R = (*Mach)->invoke(0, 1, {}, {});
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ((*R)[0].bits(), 10u);
+}
+
+//===----------------------------------------------------------------------===//
+// Single-stepping (the property-test interface)
+//===----------------------------------------------------------------------===//
+
+TEST(Sem, SingleSteppingReachesDone) {
+  auto M = std::make_unique<ir::Module>();
+  M->Name = "t";
+  M->Funcs.push_back(function({"main"},
+                              FunType::get({}, arrow({}, {i32T()})), {},
+                              {iconst(2), iconst(3), addI32()}));
+  link::LinkOptions Opts;
+  Opts.TypeCheck = false;
+  auto Mach = link::instantiate({M.get()}, Opts);
+  ASSERT_TRUE(bool(Mach));
+  (*Mach)->setupInvoke(0, 0, {}, {});
+  uint64_t N = 0;
+  while ((*Mach)->step() == StepStatus::Stepped)
+    ++N;
+  EXPECT_GT(N, 2u);
+  EXPECT_EQ((*Mach)->step(), StepStatus::Done);
+}
