@@ -23,24 +23,31 @@ static void C3_MachineCollect(benchmark::State &St) {
 }
 BENCHMARK(C3_MachineCollect)->Arg(100)->Arg(1000)->Arg(10000);
 
-static void C3_HostGcOnWasm(benchmark::State &St) {
+static void C3_HostGcOnWasm(benchmark::State &St, wasm::EngineKind K) {
   int32_t N = static_cast<int32_t>(St.range(0));
   ir::Module M = allocModule(N, /*Linear=*/false);
   auto LP = lower::lowerProgram({&M});
   if (!LP) { St.SkipWithError("lowering failed"); return; }
-  wasm::WasmInstance Inst(LP->Module);
-  (void)Inst.initialize();
-  lower::HostGc Gc(Inst, LP->Runtime, LP->RefGlobals);
+  auto Inst = wasm::createInstance(LP->Module, K);
+  (void)Inst->initialize();
+  lower::HostGc Gc(*Inst, LP->Runtime, LP->RefGlobals);
   uint64_t Swept = 0;
   for (auto _ : St) {
     St.PauseTiming();
-    (void)Inst.invokeByName("allocmod.main", {});
+    (void)Inst->invokeByName("allocmod.main", {});
     St.ResumeTiming();
     Swept += Gc.collect().Swept;
   }
   St.counters["cells/s"] = benchmark::Counter(
       static_cast<double>(Swept), benchmark::Counter::kIsRate);
 }
-BENCHMARK(C3_HostGcOnWasm)->Arg(100)->Arg(1000)->Arg(10000);
+static void C3_HostGcOnWasm_Tree(benchmark::State &St) {
+  C3_HostGcOnWasm(St, wasm::EngineKind::Tree);
+}
+static void C3_HostGcOnWasm_Flat(benchmark::State &St) {
+  C3_HostGcOnWasm(St, wasm::EngineKind::Flat);
+}
+BENCHMARK(C3_HostGcOnWasm_Tree)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(C3_HostGcOnWasm_Flat)->Arg(100)->Arg(1000)->Arg(10000);
 
 BENCHMARK_MAIN();

@@ -19,17 +19,24 @@ static void C5_RichWasmMachine(benchmark::State &St) {
 }
 BENCHMARK(C5_RichWasmMachine)->Arg(100)->Arg(1000);
 
-static void C5_LoweredWasm(benchmark::State &St) {
+static void C5_LoweredWasm(benchmark::State &St, wasm::EngineKind K) {
   ir::Module M = loopModule(static_cast<int32_t>(St.range(0)));
   auto LP = lower::lowerProgram({&M});
   if (!LP) { St.SkipWithError("lowering failed"); return; }
-  wasm::WasmInstance Inst(LP->Module);
-  (void)Inst.initialize();
+  auto Inst = wasm::createInstance(LP->Module, K);
+  (void)Inst->initialize();
   for (auto _ : St) {
-    auto R = Inst.invokeByName("loopmod.main", {});
+    auto R = Inst->invokeByName("loopmod.main", {});
     benchmark::DoNotOptimize(R);
   }
 }
-BENCHMARK(C5_LoweredWasm)->Arg(100)->Arg(1000);
+static void C5_LoweredWasm_Tree(benchmark::State &St) {
+  C5_LoweredWasm(St, wasm::EngineKind::Tree);
+}
+static void C5_LoweredWasm_Flat(benchmark::State &St) {
+  C5_LoweredWasm(St, wasm::EngineKind::Flat);
+}
+BENCHMARK(C5_LoweredWasm_Tree)->Arg(100)->Arg(1000);
+BENCHMARK(C5_LoweredWasm_Flat)->Arg(100)->Arg(1000);
 
 BENCHMARK_MAIN();

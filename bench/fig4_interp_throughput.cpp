@@ -1,6 +1,9 @@
-//===- bench/fig4_interp_throughput.cpp - F4: reduction throughput --------===//
-// The Fig 4 small-step machine: reductions per second on loop and
-// heap-churn workloads (the dynamic semantics' cost profile).
+//===- bench/fig4_interp_throughput.cpp - F4: execution throughput --------===//
+// The Fig 4 cost profile, at every execution tier: the RichWasm
+// small-step machine (the dynamic semantics), and the lowered-Wasm path
+// on both engines — the tree-walking reference interpreter and the
+// flat-bytecode engine. The per-engine counters let run_bench.sh emit a
+// geomean Tree→Flat speedup; the flat engine is the shipping tier.
 #include "Common.h"
 #include <benchmark/benchmark.h>
 using namespace rw;
@@ -34,5 +37,51 @@ static void F4_StepsPerSecond_HeapChurn(benchmark::State &St) {
       static_cast<double>((*Mach)->stepCount()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(F4_StepsPerSecond_HeapChurn)->Arg(100)->Arg(1000);
+
+//===----------------------------------------------------------------------===//
+// Lowered Wasm, both engines. The benchmark names carry the engine so
+// tooling can compute per-engine throughput and the Tree→Flat speedup.
+//===----------------------------------------------------------------------===//
+
+static void runLowered(benchmark::State &St, ir::Module M, const char *Export,
+                       wasm::EngineKind K) {
+  link::LinkOptions Opts;
+  Opts.Engine = K;
+  auto LI = link::instantiateLowered({&M}, Opts);
+  if (!LI) {
+    St.SkipWithError("instantiation failed");
+    return;
+  }
+  LI->Instance->resetInstrCount();
+  for (auto _ : St) {
+    auto R = LI->invokeExport(Export, {});
+    benchmark::DoNotOptimize(R);
+  }
+  St.counters["insts/s"] =
+      benchmark::Counter(static_cast<double>(LI->Instance->instrCount()),
+                         benchmark::Counter::kIsRate);
+}
+
+static void F4_Wasm_Loop_Tree(benchmark::State &St) {
+  runLowered(St, loopModule(static_cast<int32_t>(St.range(0))),
+             "loopmod.main", wasm::EngineKind::Tree);
+}
+static void F4_Wasm_Loop_Flat(benchmark::State &St) {
+  runLowered(St, loopModule(static_cast<int32_t>(St.range(0))),
+             "loopmod.main", wasm::EngineKind::Flat);
+}
+BENCHMARK(F4_Wasm_Loop_Tree)->Arg(100)->Arg(1000);
+BENCHMARK(F4_Wasm_Loop_Flat)->Arg(100)->Arg(1000);
+
+static void F4_Wasm_HeapChurn_Tree(benchmark::State &St) {
+  runLowered(St, allocModule(static_cast<int32_t>(St.range(0)), true),
+             "allocmod.main", wasm::EngineKind::Tree);
+}
+static void F4_Wasm_HeapChurn_Flat(benchmark::State &St) {
+  runLowered(St, allocModule(static_cast<int32_t>(St.range(0)), true),
+             "allocmod.main", wasm::EngineKind::Flat);
+}
+BENCHMARK(F4_Wasm_HeapChurn_Tree)->Arg(100)->Arg(1000);
+BENCHMARK(F4_Wasm_HeapChurn_Flat)->Arg(100)->Arg(1000);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Runs the interpreter-throughput benchmark on both execution engines
+# and emits BENCH_interp.json with per-engine throughput plus the
+# Tree→Flat geomean speedup, so successive PRs have a perf trajectory.
+#
+# Usage: bench/run_bench.sh [build-dir] [output.json]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_interp.json}"
+BIN="$BUILD_DIR/fig4_interp_throughput"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+"$BIN" --benchmark_filter='F4_Wasm' --benchmark_format=json \
+       --benchmark_repetitions="${BENCH_REPS:-1}" >"$RAW"
+
+python3 - "$RAW" "$OUT" <<'EOF'
+import json, sys, math, datetime
+
+raw = json.load(open(sys.argv[1]))
+runs = {}
+for b in raw["benchmarks"]:
+    if b.get("run_type") == "aggregate":
+        continue
+    if b.get("error_occurred") or b.get("skipped"):
+        continue
+    name = b["name"]  # e.g. F4_Wasm_Loop_Flat/1000
+    runs.setdefault(name, []).append(b)
+
+engines = {"tree": {}, "flat": {}}
+for name, bs in runs.items():
+    base, _, arg = name.partition("/")
+    parts = base.split("_")          # F4 Wasm <Workload> <Engine>
+    workload, engine = parts[2], parts[3].lower()
+    best = min(bs, key=lambda b: b["real_time"])
+    engines[engine][f"{workload}/{arg}"] = {
+        "ns_per_invoke": best["real_time"],
+        "insts_per_sec": best.get("insts/s"),
+    }
+
+speedups = {}
+for key, tree in engines["tree"].items():
+    flat = engines["flat"].get(key)
+    if flat:
+        speedups[key] = tree["ns_per_invoke"] / flat["ns_per_invoke"]
+
+geomean = (
+    math.exp(sum(math.log(s) for s in speedups.values()) / len(speedups))
+    if speedups else None
+)
+
+out = {
+    "benchmark": "fig4_interp_throughput",
+    "date": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+    "engines": engines,
+    "speedup_flat_over_tree": speedups,
+    "speedup_geomean": geomean,
+}
+json.dump(out, open(sys.argv[2], "w"), indent=2)
+if geomean is None:
+    print(f"wrote {sys.argv[2]}: no comparable tree/flat pairs (benchmarks "
+          "skipped or errored)")
+    sys.exit(1)
+print(f"wrote {sys.argv[2]}: geomean Tree->Flat speedup = {geomean:.2f}x")
+EOF

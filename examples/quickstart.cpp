@@ -2,9 +2,10 @@
 //
 // Builds a RichWasm module with the C++ builder API, type-checks it, runs
 // it on the small-step machine, then compiles it to WebAssembly and runs
-// the binary through the bundled Wasm interpreter.
+// the binary on both execution engines (the tree-walking reference
+// interpreter and the flat-bytecode engine).
 //
-//   cmake --build build && ./build/examples/quickstart
+//   cmake --build build && ./build/example_quickstart
 //
 //===----------------------------------------------------------------------===//
 
@@ -81,7 +82,17 @@ int main() {
   wasm::WasmInstance Inst(*M2);
   (void)Inst.initialize();
   auto W = Inst.invokeByName("quickstart.triple", {wasm::WValue::i32(14)});
-  printf("wasm: triple(14) = %u  (instructions executed: %llu)\n",
+  printf("wasm (tree): triple(14) = %u  (instructions executed: %llu)\n",
          (*W)[0].asU32(), (unsigned long long)Inst.instrCount());
+
+  // 4. The same module on the flat-bytecode engine: identical embedder
+  //    surface, selected by EngineKind (or LinkOptions::Engine when
+  //    going through link::instantiateLowered).
+  auto Flat = wasm::createInstance(*M2, wasm::EngineKind::Flat);
+  (void)Flat->initialize();
+  auto WF = Flat->invokeByName("quickstart.triple", {wasm::WValue::i32(14)});
+  printf("wasm (%s): triple(14) = %u  (instructions executed: %llu)\n",
+         wasm::engineKindName(Flat->engine()), (*WF)[0].asU32(),
+         (unsigned long long)Flat->instrCount());
   return 0;
 }

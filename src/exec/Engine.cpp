@@ -1,0 +1,886 @@
+//===- exec/Engine.cpp - Flat-bytecode Wasm engine --------------------------===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Engine.h"
+
+#include "support/NumericOps.h"
+#include "wasm/Interp.h"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+using namespace rw;
+using namespace rw::exec;
+using namespace rw::wasm;
+
+Status FlatInstance::prepare() {
+  Expected<FlatModule> R = translate(*M);
+  if (!R)
+    return R.error();
+  FM = R.take();
+  return Status::success();
+}
+
+Expected<std::vector<WValue>> FlatInstance::invoke(uint32_t FuncIdx,
+                                                   std::vector<WValue> Args,
+                                                   uint64_t MaxFuel) {
+  if (!FM.Source)
+    return Error("flat engine: instance not initialized");
+  const FuncType &FT = M->funcType(FuncIdx);
+
+  // Invoking an import dispatches straight to the host, like the tree
+  // engine's callFunction — including its result handling: keep the
+  // last |results| values, error when the host returns too few.
+  if (FuncIdx < FM.NumImports) {
+    const HostFn *H = hostFor(FuncIdx);
+    if (!H)
+      return Error("trap: unsatisfied import");
+    Expected<std::vector<WValue>> R = (*H)(*this, Args);
+    if (!R)
+      return Error("trap: " + R.error().message());
+    if (R->size() < FT.Results.size())
+      return Error("function left too few results");
+    return std::vector<WValue>(R->end() - FT.Results.size(), R->end());
+  }
+
+  const FlatFunc &F = FM.Funcs[FuncIdx - FM.NumImports];
+  if (Args.size() < F.NumParams)
+    return Error("trap: call stack underflow");
+
+  Frames.clear();
+  if (Regs.size() < F.NumRegs)
+    Regs.resize(F.NumRegs);
+  for (uint32_t I = 0; I < F.NumRegs; ++I)
+    Regs[I] = I < F.NumParams ? Args[I].Bits : 0;
+  if (OpStack.size() < F.MaxDepth)
+    OpStack.resize(F.MaxDepth);
+  Frames.push_back({&F, 0, 0, 0});
+
+  std::string TrapMsg;
+  if (!run(MaxFuel, TrapMsg))
+    return Error("trap: " + TrapMsg);
+
+  std::vector<WValue> Out;
+  Out.reserve(FT.Results.size());
+  for (uint32_t I = 0; I < FT.Results.size(); ++I)
+    Out.push_back({FT.Results[I], OpStack[I]});
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch plumbing: threaded (computed-goto) dispatch on GNU-compatible
+// compilers — each handler ends in its own indirect jump, which the
+// branch predictor can specialize per opcode pair — with a portable
+// switch fallback elsewhere. One fuel decrement per dispatched
+// instruction doubles as the executed-instruction counter
+// (Executed = MaxFuel - Fuel at exit).
+//===----------------------------------------------------------------------===//
+
+#if (defined(__GNUC__) || defined(__clang__)) && defined(RW_FORCE_THREADED)
+#define RW_THREADED 1
+#else
+#define RW_THREADED 0
+#endif
+
+#if RW_THREADED
+
+#define RW_OPW(NAME) L_##NAME:
+#define RW_OPF(NAME) L_##NAME:
+#define RW_DEFAULT() L_generic:
+#define RW_NEXT()                                                              \
+  do {                                                                         \
+    if (Fuel == 0)                                                             \
+      return trapOut("fuel exhausted");                                        \
+    --Fuel;                                                                    \
+    OpC = *Pc++;                                                               \
+    goto *DispatchTable[OpC];                                                  \
+  } while (0)
+#define RW_LOOP_BEGIN() RW_NEXT();
+#define RW_LOOP_END()
+
+#else
+
+#define RW_OPW(NAME) case static_cast<uint32_t>(Op::NAME):
+#define RW_OPF(NAME) case NAME:
+#define RW_DEFAULT() default:
+#define RW_NEXT() continue
+#define RW_LOOP_BEGIN()                                                        \
+  for (;;) {                                                                   \
+    if (Fuel == 0)                                                             \
+      return trapOut("fuel exhausted");                                        \
+    --Fuel;                                                                    \
+    OpC = *Pc++;                                                               \
+    switch (OpC) {
+#define RW_LOOP_END()                                                          \
+  }                                                                            \
+  }
+
+#endif
+
+bool FlatInstance::run(uint64_t MaxFuel, std::string &TrapMsg) {
+  using namespace rw::num;
+
+  uint64_t Fuel = MaxFuel;
+
+  CallFrame *Fr = &Frames.back();
+  const uint32_t *C = Fr->F->Code.data();
+  const uint32_t *Pc = C; // Within the current function's code stream.
+  uint64_t *Ops = OpStack.data();
+  uint64_t *R = Regs.data() + Fr->RegBase;
+  uint32_t Base = Fr->OpBase;
+  uint32_t Sp = Base; // Absolute operand-stack index.
+  uint8_t *MemP = Mem.data();
+  size_t MemSz = Mem.size();
+  uint32_t OpC = 0;
+
+  // Call-transfer scratch shared by FCall / FCallIndirect.
+  uint32_t CalleeIdx = 0;
+  uint32_t HostIdx = 0;
+
+  auto trapOut = [&](std::string Msg) {
+    TrapMsg = std::move(Msg);
+    Executed += MaxFuel - Fuel;
+    Frames.clear();
+    return false;
+  };
+
+#if RW_THREADED
+  // Opcode → handler label. Label addresses only exist inside this
+  // function, so each entry builds the table locally (cheap: once per
+  // invoke, not per instruction) and the first entry publishes it via
+  // call_once — safe against concurrent first invokes on two threads.
+  static const void *DispatchTable[FOpCount];
+  static std::once_flag TableOnce;
+  static std::atomic<bool> TablePublished{false};
+  if (!TablePublished.load(std::memory_order_acquire)) {
+    const void *Local[FOpCount];
+    for (const void *&E : Local)
+      E = &&L_generic;
+#define RW_REGW(NAME) Local[static_cast<uint32_t>(Op::NAME)] = &&L_##NAME;
+#define RW_REGF(NAME) Local[NAME] = &&L_##NAME;
+    RW_REGW(Unreachable)
+    RW_REGF(FGoto) RW_REGF(FGotoIf) RW_REGF(FGotoIfZ) RW_REGF(FBr)
+    RW_REGF(FBrIf) RW_REGF(FBrTable) RW_REGF(FReturn) RW_REGF(FCall)
+    RW_REGF(FCallHost) RW_REGF(FCallIndirect)
+    RW_REGF(FGetGet) RW_REGF(FGetConst) RW_REGF(FGetGetAdd)
+    RW_REGF(FGetConstAdd) RW_REGF(FGetGetAddSet) RW_REGF(FGetConstAddSet)
+    RW_REGF(FMove) RW_REGF(FConstSet) RW_REGF(FGetLoadI32)
+    RW_REGF(FGetGetStoreI32) RW_REGF(FGetConstStoreI32)
+    RW_REGW(Drop) RW_REGW(Select)
+    RW_REGW(LocalGet) RW_REGW(LocalSet) RW_REGW(LocalTee)
+    RW_REGW(GlobalGet) RW_REGW(GlobalSet)
+    RW_REGW(MemorySize) RW_REGW(MemoryGrow)
+    RW_REGW(I32Load) RW_REGW(F32Load) RW_REGW(I64Load) RW_REGW(F64Load)
+    RW_REGW(I32Load8S) RW_REGW(I32Load8U) RW_REGW(I32Load16S)
+    RW_REGW(I32Load16U) RW_REGW(I64Load8S) RW_REGW(I64Load8U)
+    RW_REGW(I64Load16S) RW_REGW(I64Load16U) RW_REGW(I64Load32S)
+    RW_REGW(I64Load32U)
+    RW_REGW(I32Store) RW_REGW(F32Store) RW_REGW(I64Store32)
+    RW_REGW(I64Store) RW_REGW(F64Store) RW_REGW(I32Store8)
+    RW_REGW(I64Store8) RW_REGW(I32Store16) RW_REGW(I64Store16)
+    RW_REGW(I32Const) RW_REGW(F32Const) RW_REGW(I64Const) RW_REGW(F64Const)
+    RW_REGW(I32Add) RW_REGW(I32Sub) RW_REGW(I32Mul) RW_REGW(I32And)
+    RW_REGW(I32Or) RW_REGW(I32Xor) RW_REGW(I32Shl) RW_REGW(I32ShrU)
+    RW_REGW(I32ShrS) RW_REGW(I32Eq) RW_REGW(I32Ne) RW_REGW(I32LtU)
+    RW_REGW(I32GtU) RW_REGW(I32LeU) RW_REGW(I32GeU) RW_REGW(I32LtS)
+    RW_REGW(I32GtS) RW_REGW(I32LeS) RW_REGW(I32GeS)
+    RW_REGW(I64Add) RW_REGW(I64Sub) RW_REGW(I64Mul) RW_REGW(I64And)
+    RW_REGW(I64Or) RW_REGW(I64Xor) RW_REGW(I64Shl) RW_REGW(I64ShrU)
+    RW_REGW(I64Eq) RW_REGW(I64Ne) RW_REGW(I64LtU) RW_REGW(I64GtU)
+    RW_REGW(I64LtS) RW_REGW(I64GtS)
+    RW_REGW(I32Eqz) RW_REGW(I64Eqz)
+    RW_REGW(I32DivS) RW_REGW(I32DivU) RW_REGW(I32RemS) RW_REGW(I32RemU)
+#undef RW_REGW
+#undef RW_REGF
+    std::call_once(TableOnce, [&] {
+      std::memcpy(DispatchTable, Local, sizeof(Local));
+      TablePublished.store(true, std::memory_order_release);
+    });
+  }
+#endif
+
+  RW_LOOP_BEGIN()
+
+  //===--------------------------------------------------------------===//
+  // Control
+  //===--------------------------------------------------------------===//
+  RW_OPW(Unreachable)
+  return trapOut("unreachable executed");
+
+  RW_OPF(FGoto)
+  Pc = C + *Pc;
+  RW_NEXT();
+
+  RW_OPF(FGotoIf) {
+    uint32_t Cond = static_cast<uint32_t>(Ops[--Sp]);
+    Pc = Cond ? C + *Pc : Pc + 1;
+    RW_NEXT();
+  }
+
+  RW_OPF(FGotoIfZ) {
+    uint32_t Cond = static_cast<uint32_t>(Ops[--Sp]);
+    Pc = Cond ? Pc + 1 : C + *Pc;
+    RW_NEXT();
+  }
+
+  RW_OPF(FBr) {
+    uint32_t Target = Pc[0], Keep = Pc[1], Reset = Pc[2];
+    uint64_t *Dst = Ops + Base + Reset, *Src = Ops + Sp - Keep;
+    for (uint32_t K = 0; K < Keep; ++K)
+      Dst[K] = Src[K];
+    Sp = Base + Reset + Keep;
+    Pc = C + Target;
+    RW_NEXT();
+  }
+
+  RW_OPF(FBrIf) {
+    uint32_t Cond = static_cast<uint32_t>(Ops[--Sp]);
+    if (!Cond) {
+      Pc += 3;
+      RW_NEXT();
+    }
+    uint32_t Target = Pc[0], Keep = Pc[1], Reset = Pc[2];
+    uint64_t *Dst = Ops + Base + Reset, *Src = Ops + Sp - Keep;
+    for (uint32_t K = 0; K < Keep; ++K)
+      Dst[K] = Src[K];
+    Sp = Base + Reset + Keep;
+    Pc = C + Target;
+    RW_NEXT();
+  }
+
+  RW_OPF(FBrTable) {
+    uint32_t N = *Pc++;
+    uint32_t Idx = static_cast<uint32_t>(Ops[--Sp]);
+    const uint32_t *Entry = Pc + 3 * (Idx < N ? Idx : N);
+    uint32_t Target = Entry[0], Keep = Entry[1], Reset = Entry[2];
+    uint64_t *Dst = Ops + Base + Reset, *Src = Ops + Sp - Keep;
+    for (uint32_t K = 0; K < Keep; ++K)
+      Dst[K] = Src[K];
+    Sp = Base + Reset + Keep;
+    Pc = C + Target;
+    RW_NEXT();
+  }
+
+  RW_OPF(FReturn) {
+    uint32_t NRes = Fr->F->NumResults;
+    uint64_t *Dst = Ops + Base, *Src = Ops + Sp - NRes;
+    if (Dst != Src)
+      for (uint32_t K = 0; K < NRes; ++K)
+        Dst[K] = Src[K];
+    Sp = Base + NRes;
+    Frames.pop_back();
+    if (Frames.empty()) {
+      Executed += MaxFuel - Fuel;
+      return true;
+    }
+    Fr = &Frames.back();
+    C = Fr->F->Code.data();
+    Pc = C + Fr->Pc;
+    R = Regs.data() + Fr->RegBase;
+    Base = Fr->OpBase;
+    RW_NEXT();
+  }
+
+  //===--------------------------------------------------------------===//
+  // Calls
+  //===--------------------------------------------------------------===//
+  RW_OPF(FCall)
+  CalleeIdx = *Pc++;
+  goto direct_call;
+
+  RW_OPF(FCallHost)
+  HostIdx = *Pc++;
+  goto host_call;
+
+  RW_OPF(FCallIndirect) {
+    uint32_t Expect = *Pc++;
+    uint32_t TblIdx = static_cast<uint32_t>(Ops[--Sp]);
+    if (TblIdx >= Table.size())
+      return trapOut("call_indirect: table index out of bounds");
+    uint32_t Func = Table[TblIdx];
+    if (FM.CanonType[Func] != Expect)
+      return trapOut("call_indirect: signature mismatch");
+    if (Func < FM.NumImports) {
+      HostIdx = Func;
+      goto host_call;
+    }
+    CalleeIdx = Func - FM.NumImports;
+    goto direct_call;
+  }
+
+direct_call: {
+  if (Frames.size() >= MaxCallDepth)
+    return trapOut("call stack exhausted");
+  const FlatFunc *Callee = &FM.Funcs[CalleeIdx];
+  uint32_t NewRegBase = Fr->RegBase + Fr->F->NumRegs;
+  if (Regs.size() < NewRegBase + Callee->NumRegs)
+    Regs.resize(
+        std::max<size_t>(NewRegBase + Callee->NumRegs, Regs.size() * 2));
+  uint32_t NP = Callee->NumParams;
+  Sp -= NP;
+  uint64_t *NR = Regs.data() + NewRegBase;
+  for (uint32_t I = 0; I < NP; ++I)
+    NR[I] = Ops[Sp + I];
+  for (uint32_t I = NP; I < Callee->NumRegs; ++I)
+    NR[I] = 0;
+  if (OpStack.size() < Sp + Callee->MaxDepth)
+    OpStack.resize(std::max<size_t>(Sp + Callee->MaxDepth, OpStack.size() * 2));
+  Fr->Pc = static_cast<uint32_t>(Pc - C);
+  Frames.push_back({Callee, 0, NewRegBase, Sp});
+  Fr = &Frames.back();
+  C = Callee->Code.data();
+  Pc = C;
+  Ops = OpStack.data();
+  R = Regs.data() + NewRegBase;
+  Base = Sp;
+  RW_NEXT();
+}
+
+host_call: {
+  const HostFn *H = hostFor(HostIdx);
+  if (!H)
+    return trapOut("unsatisfied import");
+  const FuncType &HT = M->Types[M->ImportFuncs[HostIdx].TypeIdx];
+  uint32_t NP = static_cast<uint32_t>(HT.Params.size());
+  std::vector<WValue> HArgs(NP);
+  Sp -= NP;
+  for (uint32_t I = 0; I < NP; ++I)
+    HArgs[I] = {HT.Params[I], Ops[Sp + I]};
+  Expected<std::vector<WValue>> HR = (*H)(*this, HArgs);
+  if (!HR)
+    return trapOut(HR.error().message());
+  if (OpStack.size() < Sp + HR->size())
+    OpStack.resize(Sp + HR->size());
+  Ops = OpStack.data();
+  for (const WValue &V : *HR)
+    Ops[Sp++] = V.Bits;
+  // The host may have touched (or grown) the instance memory.
+  MemP = Mem.data();
+  MemSz = Mem.size();
+  RW_NEXT();
+}
+
+  //===--------------------------------------------------------------===//
+  // Superinstructions (translator peephole fusions; see Translate.h)
+  //===--------------------------------------------------------------===//
+  RW_OPF(FGetGet) {
+    Ops[Sp] = R[Pc[0]];
+    Ops[Sp + 1] = R[Pc[1]];
+    Sp += 2;
+    Pc += 2;
+    RW_NEXT();
+  }
+
+  RW_OPF(FGetConst) {
+    Ops[Sp] = R[Pc[0]];
+    Ops[Sp + 1] = Pc[1];
+    Sp += 2;
+    Pc += 2;
+    RW_NEXT();
+  }
+
+  RW_OPF(FGetGetAdd) {
+    Ops[Sp++] = static_cast<uint32_t>(R[Pc[0]] + R[Pc[1]]);
+    Pc += 2;
+    RW_NEXT();
+  }
+
+  RW_OPF(FGetConstAdd) {
+    Ops[Sp++] = static_cast<uint32_t>(R[Pc[0]] + Pc[1]);
+    Pc += 2;
+    RW_NEXT();
+  }
+
+  RW_OPF(FGetGetAddSet) {
+    R[Pc[2]] = static_cast<uint32_t>(R[Pc[0]] + R[Pc[1]]);
+    Pc += 3;
+    RW_NEXT();
+  }
+
+  RW_OPF(FGetConstAddSet) {
+    R[Pc[2]] = static_cast<uint32_t>(R[Pc[0]] + Pc[1]);
+    Pc += 3;
+    RW_NEXT();
+  }
+
+  RW_OPF(FMove) {
+    R[Pc[1]] = R[Pc[0]];
+    Pc += 2;
+    RW_NEXT();
+  }
+
+  RW_OPF(FConstSet) {
+    R[Pc[1]] = Pc[0];
+    Pc += 2;
+    RW_NEXT();
+  }
+
+  RW_OPF(FGetLoadI32) {
+    uint64_t Addr =
+        static_cast<uint32_t>(R[Pc[0]]) + static_cast<uint64_t>(Pc[1]);
+    Pc += 2;
+    if (Addr + 4 > MemSz)
+      return trapOut("out-of-bounds memory access");
+    uint32_t V;
+    std::memcpy(&V, MemP + Addr, 4);
+    Ops[Sp++] = V;
+    RW_NEXT();
+  }
+
+  RW_OPF(FGetGetStoreI32) {
+    uint64_t Addr =
+        static_cast<uint32_t>(R[Pc[0]]) + static_cast<uint64_t>(Pc[2]);
+    uint32_t V = static_cast<uint32_t>(R[Pc[1]]);
+    Pc += 3;
+    if (Addr + 4 > MemSz)
+      return trapOut("out-of-bounds memory access");
+    std::memcpy(MemP + Addr, &V, 4);
+    RW_NEXT();
+  }
+
+  RW_OPF(FGetConstStoreI32) {
+    uint64_t Addr =
+        static_cast<uint32_t>(R[Pc[0]]) + static_cast<uint64_t>(Pc[2]);
+    uint32_t V = Pc[1];
+    Pc += 3;
+    if (Addr + 4 > MemSz)
+      return trapOut("out-of-bounds memory access");
+    std::memcpy(MemP + Addr, &V, 4);
+    RW_NEXT();
+  }
+
+  //===--------------------------------------------------------------===//
+  // Parametric / variables
+  //===--------------------------------------------------------------===//
+  RW_OPW(Drop)
+  --Sp;
+  RW_NEXT();
+
+  RW_OPW(Select) {
+    uint32_t Cond = static_cast<uint32_t>(Ops[Sp - 1]);
+    Sp -= 2;
+    Ops[Sp - 1] = Cond ? Ops[Sp - 1] : Ops[Sp];
+    RW_NEXT();
+  }
+
+  RW_OPW(LocalGet)
+  Ops[Sp++] = R[*Pc++];
+  RW_NEXT();
+
+  RW_OPW(LocalSet)
+  R[*Pc++] = Ops[--Sp];
+  RW_NEXT();
+
+  RW_OPW(LocalTee)
+  R[*Pc++] = Ops[Sp - 1];
+  RW_NEXT();
+
+  RW_OPW(GlobalGet)
+  Ops[Sp++] = Globals[*Pc++].Bits;
+  RW_NEXT();
+
+  RW_OPW(GlobalSet)
+  Globals[*Pc++].Bits = Ops[--Sp];
+  RW_NEXT();
+
+  //===--------------------------------------------------------------===//
+  // Memory
+  //===--------------------------------------------------------------===//
+  RW_OPW(MemorySize)
+  Ops[Sp++] = MemSz / PageSize;
+  RW_NEXT();
+
+  RW_OPW(MemoryGrow) {
+    uint32_t Delta = static_cast<uint32_t>(Ops[Sp - 1]);
+    uint64_t OldPages = MemSz / PageSize;
+    uint64_t NewPages = OldPages + Delta;
+    uint64_t MaxPages =
+        M->Memory && M->Memory->second ? *M->Memory->second : 65536;
+    if (NewPages > MaxPages) {
+      Ops[Sp - 1] = 0xffffffffu;
+    } else {
+      Mem.resize(NewPages * PageSize, 0);
+      MemP = Mem.data();
+      MemSz = Mem.size();
+      Ops[Sp - 1] = OldPages;
+    }
+    RW_NEXT();
+  }
+
+#define RW_LOAD(NBYTES, EXPR)                                                  \
+  {                                                                            \
+    uint64_t Addr =                                                            \
+        static_cast<uint32_t>(Ops[Sp - 1]) + static_cast<uint64_t>(*Pc++);     \
+    if (Addr + (NBYTES) > MemSz)                                               \
+      return trapOut("out-of-bounds memory access");                           \
+    uint64_t V = 0;                                                            \
+    std::memcpy(&V, MemP + Addr, (NBYTES));                                    \
+    Ops[Sp - 1] = (EXPR);                                                      \
+    RW_NEXT();                                                                 \
+  }
+#define RW_STORE(NBYTES)                                                       \
+  {                                                                            \
+    uint64_t Val = Ops[Sp - 1];                                                \
+    uint64_t Addr =                                                            \
+        static_cast<uint32_t>(Ops[Sp - 2]) + static_cast<uint64_t>(*Pc++);     \
+    Sp -= 2;                                                                   \
+    if (Addr + (NBYTES) > MemSz)                                               \
+      return trapOut("out-of-bounds memory access");                           \
+    std::memcpy(MemP + Addr, &Val, (NBYTES));                                  \
+    RW_NEXT();                                                                 \
+  }
+
+  RW_OPW(I32Load) RW_OPW(F32Load) RW_LOAD(4, V)
+  RW_OPW(I64Load) RW_OPW(F64Load) RW_LOAD(8, V)
+  RW_OPW(I32Load8S)
+  RW_LOAD(1, static_cast<uint64_t>(
+                 static_cast<int64_t>(static_cast<int8_t>(V))) &
+                 0xffffffffu)
+  RW_OPW(I32Load8U) RW_LOAD(1, V)
+  RW_OPW(I32Load16S)
+  RW_LOAD(2, static_cast<uint64_t>(
+                 static_cast<int64_t>(static_cast<int16_t>(V))) &
+                 0xffffffffu)
+  RW_OPW(I32Load16U) RW_LOAD(2, V)
+  RW_OPW(I64Load8S)
+  RW_LOAD(1,
+          static_cast<uint64_t>(static_cast<int64_t>(static_cast<int8_t>(V))))
+  RW_OPW(I64Load8U) RW_LOAD(1, V)
+  RW_OPW(I64Load16S)
+  RW_LOAD(2,
+          static_cast<uint64_t>(static_cast<int64_t>(static_cast<int16_t>(V))))
+  RW_OPW(I64Load16U) RW_LOAD(2, V)
+  RW_OPW(I64Load32S)
+  RW_LOAD(4,
+          static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(V))))
+  RW_OPW(I64Load32U) RW_LOAD(4, V)
+
+  RW_OPW(I32Store) RW_OPW(F32Store) RW_OPW(I64Store32) RW_STORE(4)
+  RW_OPW(I64Store) RW_OPW(F64Store) RW_STORE(8)
+  RW_OPW(I32Store8) RW_OPW(I64Store8) RW_STORE(1)
+  RW_OPW(I32Store16) RW_OPW(I64Store16) RW_STORE(2)
+
+#undef RW_LOAD
+#undef RW_STORE
+
+  //===--------------------------------------------------------------===//
+  // Constants
+  //===--------------------------------------------------------------===//
+  RW_OPW(I32Const) RW_OPW(F32Const)
+  Ops[Sp++] = *Pc++;
+  RW_NEXT();
+
+  RW_OPW(I64Const) RW_OPW(F64Const) {
+    uint64_t Lo = Pc[0], Hi = Pc[1];
+    Pc += 2;
+    Ops[Sp++] = Lo | (Hi << 32);
+    RW_NEXT();
+  }
+
+  //===--------------------------------------------------------------===//
+  // Hot ALU ops: dedicated handlers so the common path is one indirect
+  // jump instead of the range chain in the generic tail.
+  //===--------------------------------------------------------------===//
+#define RW_BIN32(OPNAME, EXPR)                                                 \
+  RW_OPW(OPNAME) {                                                             \
+    uint32_t B = static_cast<uint32_t>(Ops[--Sp]);                             \
+    uint32_t A = static_cast<uint32_t>(Ops[Sp - 1]);                           \
+    Ops[Sp - 1] = static_cast<uint32_t>(EXPR);                                 \
+    (void)A;                                                                   \
+    (void)B;                                                                   \
+    RW_NEXT();                                                                 \
+  }
+#define RW_BIN64(OPNAME, EXPR)                                                 \
+  RW_OPW(OPNAME) {                                                             \
+    uint64_t B = Ops[--Sp];                                                    \
+    uint64_t A = Ops[Sp - 1];                                                  \
+    Ops[Sp - 1] = (EXPR);                                                      \
+    (void)A;                                                                   \
+    (void)B;                                                                   \
+    RW_NEXT();                                                                 \
+  }
+
+  RW_BIN32(I32Add, A + B)
+  RW_BIN32(I32Sub, A - B)
+  RW_BIN32(I32Mul, A * B)
+  RW_BIN32(I32And, A & B)
+  RW_BIN32(I32Or, A | B)
+  RW_BIN32(I32Xor, A ^ B)
+  RW_BIN32(I32Shl, A << (B & 31))
+  RW_BIN32(I32ShrU, A >> (B & 31))
+  RW_BIN32(I32ShrS, static_cast<uint32_t>(static_cast<int32_t>(A) >> (B & 31)))
+  RW_BIN32(I32Eq, A == B ? 1 : 0)
+  RW_BIN32(I32Ne, A != B ? 1 : 0)
+  RW_BIN32(I32LtU, A < B ? 1 : 0)
+  RW_BIN32(I32GtU, A > B ? 1 : 0)
+  RW_BIN32(I32LeU, A <= B ? 1 : 0)
+  RW_BIN32(I32GeU, A >= B ? 1 : 0)
+  RW_BIN32(I32LtS, static_cast<int32_t>(A) < static_cast<int32_t>(B) ? 1 : 0)
+  RW_BIN32(I32GtS, static_cast<int32_t>(A) > static_cast<int32_t>(B) ? 1 : 0)
+  RW_BIN32(I32LeS, static_cast<int32_t>(A) <= static_cast<int32_t>(B) ? 1 : 0)
+  RW_BIN32(I32GeS, static_cast<int32_t>(A) >= static_cast<int32_t>(B) ? 1 : 0)
+  RW_BIN64(I64Add, A + B)
+  RW_BIN64(I64Sub, A - B)
+  RW_BIN64(I64Mul, A * B)
+  RW_BIN64(I64And, A & B)
+  RW_BIN64(I64Or, A | B)
+  RW_BIN64(I64Xor, A ^ B)
+  RW_BIN64(I64Shl, A << (B & 63))
+  RW_BIN64(I64ShrU, A >> (B & 63))
+  RW_BIN64(I64Eq, A == B ? 1 : 0)
+  RW_BIN64(I64Ne, A != B ? 1 : 0)
+  RW_BIN64(I64LtU, A < B ? 1 : 0)
+  RW_BIN64(I64GtU, A > B ? 1 : 0)
+  RW_BIN64(I64LtS, static_cast<int64_t>(A) < static_cast<int64_t>(B) ? 1 : 0)
+  RW_BIN64(I64GtS, static_cast<int64_t>(A) > static_cast<int64_t>(B) ? 1 : 0)
+
+#undef RW_BIN32
+#undef RW_BIN64
+
+  RW_OPW(I32Eqz)
+  Ops[Sp - 1] = static_cast<uint32_t>(Ops[Sp - 1]) == 0 ? 1 : 0;
+  RW_NEXT();
+
+  RW_OPW(I64Eqz)
+  Ops[Sp - 1] = Ops[Sp - 1] == 0 ? 1 : 0;
+  RW_NEXT();
+
+  RW_OPW(I32DivS) {
+    uint32_t B = static_cast<uint32_t>(Ops[--Sp]);
+    uint32_t A = static_cast<uint32_t>(Ops[Sp - 1]);
+    if (B == 0 || (A == 0x80000000u && B == 0xffffffffu))
+      return trapOut("integer divide error");
+    Ops[Sp - 1] =
+        static_cast<uint32_t>(static_cast<int32_t>(A) / static_cast<int32_t>(B));
+    RW_NEXT();
+  }
+
+  RW_OPW(I32DivU) {
+    uint32_t B = static_cast<uint32_t>(Ops[--Sp]);
+    if (B == 0)
+      return trapOut("integer divide error");
+    Ops[Sp - 1] = static_cast<uint32_t>(Ops[Sp - 1]) / B;
+    RW_NEXT();
+  }
+
+  RW_OPW(I32RemS) {
+    uint32_t B = static_cast<uint32_t>(Ops[--Sp]);
+    uint32_t A = static_cast<uint32_t>(Ops[Sp - 1]);
+    if (B == 0)
+      return trapOut("integer divide error");
+    Ops[Sp - 1] = B == 0xffffffffu
+                      ? 0
+                      : static_cast<uint32_t>(static_cast<int32_t>(A) %
+                                              static_cast<int32_t>(B));
+    RW_NEXT();
+  }
+
+  RW_OPW(I32RemU) {
+    uint32_t B = static_cast<uint32_t>(Ops[--Sp]);
+    if (B == 0)
+      return trapOut("integer divide error");
+    Ops[Sp - 1] = static_cast<uint32_t>(Ops[Sp - 1]) % B;
+    RW_NEXT();
+  }
+
+  //===--------------------------------------------------------------===//
+  // Generic tail: the remaining numerics and conversions, evaluated
+  // with the same helpers as the tree engine (bit-exact agreement).
+  // Opcodes with dedicated handlers above never land here.
+  //===--------------------------------------------------------------===//
+  RW_DEFAULT() {
+    if (OpC >= 0x46 && OpC <= 0x4f) { // i32 relops
+      static const IntRelop Map[] = {IntRelop::Eq, IntRelop::Ne, IntRelop::Lt,
+                                     IntRelop::Lt, IntRelop::Gt, IntRelop::Gt,
+                                     IntRelop::Le, IntRelop::Le, IntRelop::Ge,
+                                     IntRelop::Ge};
+      static const bool Signed[] = {false, false, true, false, true,
+                                    false, true,  false, true, false};
+      unsigned Idx = OpC - 0x46;
+      uint64_t B = Ops[--Sp];
+      Ops[Sp - 1] = evalIntRelop(Map[Idx], Ops[Sp - 1], B, false, Signed[Idx]);
+      RW_NEXT();
+    }
+    if (OpC >= 0x51 && OpC <= 0x5a) { // i64 relops
+      static const IntRelop Map[] = {IntRelop::Eq, IntRelop::Ne, IntRelop::Lt,
+                                     IntRelop::Lt, IntRelop::Gt, IntRelop::Gt,
+                                     IntRelop::Le, IntRelop::Le, IntRelop::Ge,
+                                     IntRelop::Ge};
+      static const bool Signed[] = {false, false, true, false, true,
+                                    false, true,  false, true, false};
+      unsigned Idx = OpC - 0x51;
+      uint64_t B = Ops[--Sp];
+      Ops[Sp - 1] = evalIntRelop(Map[Idx], Ops[Sp - 1], B, true, Signed[Idx]);
+      RW_NEXT();
+    }
+    if (OpC >= 0x5b && OpC <= 0x66) { // float relops
+      static const FloatRelop Map[] = {FloatRelop::Eq, FloatRelop::Ne,
+                                       FloatRelop::Lt, FloatRelop::Gt,
+                                       FloatRelop::Le, FloatRelop::Ge};
+      bool Is64 = OpC >= 0x61;
+      unsigned Idx = Is64 ? OpC - 0x61 : OpC - 0x5b;
+      uint64_t B = Ops[--Sp];
+      Ops[Sp - 1] = evalFloatRelop(Map[Idx], Ops[Sp - 1], B, Is64);
+      RW_NEXT();
+    }
+    if (OpC >= 0x67 && OpC <= 0x69) { // i32 unary
+      uint64_t A = Ops[Sp - 1];
+      Ops[Sp - 1] = OpC == 0x67   ? intClz(A, false)
+                    : OpC == 0x68 ? intCtz(A, false)
+                                  : intPopcnt(A, false);
+      RW_NEXT();
+    }
+    if (OpC >= 0x79 && OpC <= 0x7b) { // i64 unary
+      uint64_t A = Ops[Sp - 1];
+      Ops[Sp - 1] = OpC == 0x79   ? intClz(A, true)
+                    : OpC == 0x7a ? intCtz(A, true)
+                                  : intPopcnt(A, true);
+      RW_NEXT();
+    }
+    if ((OpC >= 0x6a && OpC <= 0x78) ||
+        (OpC >= 0x7c && OpC <= 0x8a)) { // remaining int binops
+      static const IntBinop Map[] = {
+          IntBinop::Add, IntBinop::Sub,  IntBinop::Mul, IntBinop::Div,
+          IntBinop::Div, IntBinop::Rem,  IntBinop::Rem, IntBinop::And,
+          IntBinop::Or,  IntBinop::Xor,  IntBinop::Shl, IntBinop::Shr,
+          IntBinop::Shr, IntBinop::Rotl, IntBinop::Rotr};
+      static const bool Signed[] = {false, false, false, true,  false,
+                                    true,  false, false, false, false,
+                                    false, true,  false, false, false};
+      bool Is64 = OpC >= 0x7c;
+      unsigned Idx = Is64 ? OpC - 0x7c : OpC - 0x6a;
+      uint64_t B = Ops[--Sp];
+      std::optional<uint64_t> V =
+          evalIntBinop(Map[Idx], Ops[Sp - 1], B, Is64, Signed[Idx]);
+      if (!V)
+        return trapOut("integer divide error");
+      Ops[Sp - 1] = *V;
+      RW_NEXT();
+    }
+    if ((OpC >= 0x8b && OpC <= 0x91) ||
+        (OpC >= 0x99 && OpC <= 0x9f)) { // float unops
+      static const FloatUnop Map[] = {FloatUnop::Abs,   FloatUnop::Neg,
+                                      FloatUnop::Ceil,  FloatUnop::Floor,
+                                      FloatUnop::Trunc, FloatUnop::Nearest,
+                                      FloatUnop::Sqrt};
+      bool Is64 = OpC >= 0x99;
+      unsigned Idx = Is64 ? OpC - 0x99 : OpC - 0x8b;
+      Ops[Sp - 1] = evalFloatUnop(Map[Idx], Ops[Sp - 1], Is64);
+      RW_NEXT();
+    }
+    if ((OpC >= 0x92 && OpC <= 0x98) ||
+        (OpC >= 0xa0 && OpC <= 0xa6)) { // float binops
+      static const FloatBinop Map[] = {
+          FloatBinop::Add, FloatBinop::Sub, FloatBinop::Mul, FloatBinop::Div,
+          FloatBinop::Min, FloatBinop::Max, FloatBinop::Copysign};
+      bool Is64 = OpC >= 0xa0;
+      unsigned Idx = Is64 ? OpC - 0xa0 : OpC - 0x92;
+      uint64_t B = Ops[--Sp];
+      Ops[Sp - 1] = evalFloatBinop(Map[Idx], Ops[Sp - 1], B, Is64);
+      RW_NEXT();
+    }
+
+    // Conversions.
+    switch (static_cast<Op>(OpC)) {
+    case Op::I32WrapI64:
+      Ops[Sp - 1] &= 0xffffffffu;
+      RW_NEXT();
+    case Op::I64ExtendI32S:
+      Ops[Sp - 1] = static_cast<uint64_t>(static_cast<int64_t>(
+          static_cast<int32_t>(static_cast<uint32_t>(Ops[Sp - 1]))));
+      RW_NEXT();
+    case Op::I64ExtendI32U:
+      Ops[Sp - 1] = static_cast<uint32_t>(Ops[Sp - 1]);
+      RW_NEXT();
+    case Op::I32TruncF32S:
+    case Op::I32TruncF32U:
+    case Op::I64TruncF32S:
+    case Op::I64TruncF32U: {
+      bool Dst64 = OpC == static_cast<uint32_t>(Op::I64TruncF32S) ||
+                   OpC == static_cast<uint32_t>(Op::I64TruncF32U);
+      bool Sgn = OpC == static_cast<uint32_t>(Op::I32TruncF32S) ||
+                 OpC == static_cast<uint32_t>(Op::I64TruncF32S);
+      std::optional<uint64_t> V = truncToInt(bitsToF32(Ops[Sp - 1]), Dst64, Sgn);
+      if (!V)
+        return trapOut("invalid conversion to integer");
+      Ops[Sp - 1] = *V;
+      RW_NEXT();
+    }
+    case Op::I32TruncF64S:
+    case Op::I32TruncF64U:
+    case Op::I64TruncF64S:
+    case Op::I64TruncF64U: {
+      bool Dst64 = OpC == static_cast<uint32_t>(Op::I64TruncF64S) ||
+                   OpC == static_cast<uint32_t>(Op::I64TruncF64U);
+      bool Sgn = OpC == static_cast<uint32_t>(Op::I32TruncF64S) ||
+                 OpC == static_cast<uint32_t>(Op::I64TruncF64S);
+      std::optional<uint64_t> V = truncToInt(bitsToF64(Ops[Sp - 1]), Dst64, Sgn);
+      if (!V)
+        return trapOut("invalid conversion to integer");
+      Ops[Sp - 1] = *V;
+      RW_NEXT();
+    }
+    case Op::F32ConvertI32S:
+      Ops[Sp - 1] = f32ToBits(static_cast<float>(
+          static_cast<int32_t>(static_cast<uint32_t>(Ops[Sp - 1]))));
+      RW_NEXT();
+    case Op::F32ConvertI32U:
+      Ops[Sp - 1] =
+          f32ToBits(static_cast<float>(static_cast<uint32_t>(Ops[Sp - 1])));
+      RW_NEXT();
+    case Op::F32ConvertI64S:
+      Ops[Sp - 1] =
+          f32ToBits(static_cast<float>(static_cast<int64_t>(Ops[Sp - 1])));
+      RW_NEXT();
+    case Op::F32ConvertI64U:
+      Ops[Sp - 1] = f32ToBits(static_cast<float>(Ops[Sp - 1]));
+      RW_NEXT();
+    case Op::F64ConvertI32S:
+      Ops[Sp - 1] = f64ToBits(static_cast<double>(
+          static_cast<int32_t>(static_cast<uint32_t>(Ops[Sp - 1]))));
+      RW_NEXT();
+    case Op::F64ConvertI32U:
+      Ops[Sp - 1] =
+          f64ToBits(static_cast<double>(static_cast<uint32_t>(Ops[Sp - 1])));
+      RW_NEXT();
+    case Op::F64ConvertI64S:
+      Ops[Sp - 1] =
+          f64ToBits(static_cast<double>(static_cast<int64_t>(Ops[Sp - 1])));
+      RW_NEXT();
+    case Op::F64ConvertI64U:
+      Ops[Sp - 1] = f64ToBits(static_cast<double>(Ops[Sp - 1]));
+      RW_NEXT();
+    case Op::F32DemoteF64:
+      Ops[Sp - 1] = f32ToBits(static_cast<float>(bitsToF64(Ops[Sp - 1])));
+      RW_NEXT();
+    case Op::F64PromoteF32:
+      Ops[Sp - 1] = f64ToBits(static_cast<double>(bitsToF32(Ops[Sp - 1])));
+      RW_NEXT();
+    case Op::I32ReinterpretF32:
+    case Op::I64ReinterpretF64:
+    case Op::F32ReinterpretI32:
+    case Op::F64ReinterpretI64:
+      RW_NEXT(); // Bit patterns are already untyped slots.
+    default:
+      return trapOut("unhandled opcode");
+    }
+  }
+
+  RW_LOOP_END()
+}
+
+//===----------------------------------------------------------------------===//
+// Engine factory (declared in wasm/Instance.h; defined here where both
+// engines are visible)
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Instance> rw::wasm::createInstance(const WModule &M,
+                                                   EngineKind K) {
+  if (K == EngineKind::Flat)
+    return std::make_unique<FlatInstance>(M);
+  return std::make_unique<WasmInstance>(M);
+}

@@ -9,6 +9,7 @@
 #include "ir/Print.h"
 #include "ir/TypeOps.h"
 #include "typing/Checker.h"
+#include "wasm/Validate.h"
 
 #include <map>
 
@@ -165,4 +166,26 @@ rw::link::instantiate(const std::vector<const ir::Module *> &Mods,
                    "': " + R.error().message());
   }
   return Mach;
+}
+
+Expected<LoweredInstance>
+rw::link::instantiateLowered(const std::vector<const ir::Module *> &Mods,
+                             const LinkOptions &Opts) {
+  // lowerProgram performs the per-module type check and the import
+  // signature checks as part of lowering (the same guarantees as
+  // instantiate, on the shipping path).
+  Expected<lower::LoweredProgram> LP = lower::lowerProgram(Mods);
+  if (!LP)
+    return LP.error();
+  auto Program = std::make_unique<lower::LoweredProgram>(LP.take());
+  if (Opts.ValidateWasm)
+    if (Status S = wasm::validate(Program->Module); !S)
+      return S.error().addContext("lowered module validation");
+  std::unique_ptr<wasm::Instance> Inst =
+      wasm::createInstance(Program->Module, Opts.Engine);
+  // RunStart only gates the start function; instance state (memory,
+  // globals, data, host/flat preparation) always exists.
+  if (Status S = Inst->initialize(Opts.RunStart); !S)
+    return S.error();
+  return LoweredInstance{std::move(Program), std::move(Inst)};
 }

@@ -23,8 +23,10 @@
 #define RICHWASM_LINK_LINK_H
 
 #include "ir/Module.h"
+#include "lower/Lower.h"
 #include "sem/Machine.h"
 #include "support/Error.h"
+#include "wasm/Instance.h"
 
 #include <memory>
 #include <vector>
@@ -37,6 +39,11 @@ struct LinkOptions {
   bool TypeCheck = true;
   /// Run global initializers and start functions.
   bool RunStart = true;
+  /// Execution engine for the lowered path (instantiateLowered): the
+  /// tree-walking reference interpreter or the flat-bytecode engine.
+  wasm::EngineKind Engine = wasm::EngineKind::Tree;
+  /// Validate the lowered Wasm module before instantiation.
+  bool ValidateWasm = true;
 };
 
 /// Links and instantiates \p Mods in order. The returned machine owns the
@@ -49,6 +56,29 @@ instantiate(const std::vector<const ir::Module *> &Mods,
 /// Finds the index of the function exporting \p Name in \p M, if any.
 std::optional<uint32_t> findExport(const ir::Module &M,
                                    const std::string &Name);
+
+/// The shipping path: a whole program linked, lowered to one Wasm
+/// module, and instantiated on the engine selected by
+/// LinkOptions::Engine. Owns the lowered module (the instance borrows
+/// it) and the GC metadata the embedder needs to run collections.
+struct LoweredInstance {
+  std::unique_ptr<lower::LoweredProgram> Program;
+  std::unique_ptr<wasm::Instance> Instance;
+
+  /// Invokes "module.export" (the lowered export naming scheme).
+  Expected<std::vector<wasm::WValue>>
+  invokeExport(const std::string &Name, std::vector<wasm::WValue> Args,
+               uint64_t MaxFuel = 1'000'000'000) {
+    return Instance->invokeByName(Name, std::move(Args), MaxFuel);
+  }
+};
+
+/// Type-checks, links, and lowers \p Mods (modules in link order, like
+/// instantiate), then instantiates the lowered Wasm module on the
+/// engine chosen in \p Opts. Module pointers must outlive the result.
+Expected<LoweredInstance>
+instantiateLowered(const std::vector<const ir::Module *> &Mods,
+                   const LinkOptions &Opts = LinkOptions());
 
 } // namespace rw::link
 

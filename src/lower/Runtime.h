@@ -25,7 +25,7 @@
 #ifndef RICHWASM_LOWER_RUNTIME_H
 #define RICHWASM_LOWER_RUNTIME_H
 
-#include "wasm/Interp.h"
+#include "wasm/Instance.h"
 #include "wasm/WasmAst.h"
 
 namespace rw::lower {
@@ -60,10 +60,12 @@ RuntimeLayout emitRuntime(wasm::WModule &M);
 
 /// Precise mark-sweep over a lowered module's heap, driven by the host.
 /// Roots are the lowered globals that hold references (known statically
-/// from lowering) plus any extra roots the embedder supplies.
+/// from lowering) plus any extra roots the embedder supplies. Works
+/// against any execution engine through the shared wasm::Instance
+/// surface (memory and global access are all it needs).
 class HostGc {
 public:
-  HostGc(wasm::WasmInstance &Inst, RuntimeLayout L,
+  HostGc(wasm::Instance &Inst, RuntimeLayout L,
          std::vector<uint32_t> RefGlobals)
       : Inst(Inst), L(L), RefGlobals(std::move(RefGlobals)) {}
 
@@ -78,7 +80,7 @@ public:
   Stats collect(const std::vector<uint32_t> &ExtraRoots = {});
 
 private:
-  wasm::WasmInstance &Inst;
+  wasm::Instance &Inst;
   RuntimeLayout L;
   std::vector<uint32_t> RefGlobals;
 };

@@ -1,0 +1,91 @@
+//===- wasm/Instance.cpp - Engine-independent instance state ---------------===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wasm/Instance.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace rw;
+using namespace rw::wasm;
+
+uint32_t Instance::load32(uint32_t Addr) const {
+  assert(Addr + 4 <= Mem.size() && "host load out of bounds");
+  uint32_t V;
+  std::memcpy(&V, Mem.data() + Addr, 4);
+  return V;
+}
+
+void Instance::store32(uint32_t Addr, uint32_t V) {
+  assert(Addr + 4 <= Mem.size() && "host store out of bounds");
+  std::memcpy(Mem.data() + Addr, &V, 4);
+}
+
+std::optional<uint32_t> Instance::findExport(const std::string &Name,
+                                             ExportKind Kind) const {
+  for (const WExport &E : M->Exports)
+    if (E.Kind == Kind && E.Name == Name)
+      return E.Idx;
+  return std::nullopt;
+}
+
+Status Instance::initialize(bool RunStart) {
+  HostTable.clear();
+  HostTable.reserve(M->ImportFuncs.size());
+  for (const WImportFunc &I : M->ImportFuncs) {
+    auto It = Hosts.find({I.Mod, I.Name});
+    if (It == Hosts.end())
+      return Error("unsatisfied import " + I.Mod + "." + I.Name);
+    HostTable.push_back(&It->second);
+  }
+  if (M->Memory)
+    Mem.assign(static_cast<size_t>(M->Memory->first) * PageSize, 0);
+  Globals.clear();
+  for (const WGlobal &G : M->Globals) {
+    // Initializer must be a single const (or global.get) expression.
+    WValue V{G.T, 0};
+    if (!G.Init.empty()) {
+      const WInst &I = G.Init[0];
+      switch (I.K) {
+      case Op::I32Const:
+      case Op::I64Const:
+      case Op::F32Const:
+      case Op::F64Const:
+        V.Bits = I.U64;
+        break;
+      case Op::GlobalGet:
+        V = Globals[I.U32];
+        break;
+      default:
+        return Error("unsupported global initializer");
+      }
+    }
+    Globals.push_back(V);
+  }
+  Table = M->TableElems;
+  for (const WData &D : M->Data) {
+    if (D.Offset + D.Bytes.size() > Mem.size())
+      return Error("data segment out of bounds");
+    std::memcpy(Mem.data() + D.Offset, D.Bytes.data(), D.Bytes.size());
+  }
+  if (Status S = prepare(); !S)
+    return S;
+  if (RunStart && M->Start) {
+    Expected<std::vector<WValue>> R = invoke(*M->Start, {});
+    if (!R)
+      return R.error();
+  }
+  return Status::success();
+}
+
+Expected<std::vector<WValue>> Instance::invokeByName(const std::string &Name,
+                                                     std::vector<WValue> Args,
+                                                     uint64_t MaxFuel) {
+  std::optional<uint32_t> Idx = findExport(Name, ExportKind::Func);
+  if (!Idx)
+    return Error("no exported function named '" + Name + "'");
+  return invoke(*Idx, std::move(Args), MaxFuel);
+}

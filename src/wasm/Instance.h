@@ -1,0 +1,145 @@
+//===- wasm/Instance.h - Shared embedder surface for Wasm engines -*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine-independent embedder (host) API for instantiated Wasm
+/// modules (DESIGN.md §5). Two execution engines implement it:
+///
+///   * EngineKind::Tree — wasm::WasmInstance (wasm/Interp.h), a direct
+///     tree-walking interpreter over the structured WInst AST;
+///   * EngineKind::Flat — exec::FlatInstance (exec/Engine.h), which
+///     translates the module once into a flat pre-resolved bytecode and
+///     runs it with a tight dispatch loop.
+///
+/// Everything the RichWasm runtime needs from an instance lives here:
+/// host functions satisfy imports, the host can read and write the flat
+/// memory and the globals (which is how the host-assisted mark-sweep GC
+/// in lower/Runtime.h works against either engine), and an
+/// executed-instruction counter backs the C1 capability-erasure
+/// measurement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_WASM_INSTANCE_H
+#define RICHWASM_WASM_INSTANCE_H
+
+#include "support/Error.h"
+#include "wasm/WasmAst.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+
+namespace rw::wasm {
+
+constexpr uint64_t PageSize = 65536;
+
+/// Call-frame limit shared by both engines, so the "call stack
+/// exhausted" trap fires at the same recursion depth everywhere.
+constexpr unsigned MaxCallDepth = 2000;
+
+/// A runtime value: a type tag plus raw bits.
+struct WValue {
+  ValType T = ValType::I32;
+  uint64_t Bits = 0;
+
+  static WValue i32(uint32_t V) { return {ValType::I32, V}; }
+  static WValue i64(uint64_t V) { return {ValType::I64, V}; }
+  uint32_t asU32() const { return static_cast<uint32_t>(Bits); }
+};
+
+class Instance;
+
+/// A host function: receives the instance (for memory access) and the
+/// arguments; returns results or a trap.
+using HostFn = std::function<Expected<std::vector<WValue>>(
+    Instance &, const std::vector<WValue> &)>;
+
+/// Which execution engine backs an instance.
+enum class EngineKind : uint8_t {
+  Tree, ///< Tree-walking interpreter over the structured AST.
+  Flat, ///< Flat-bytecode engine with pre-resolved control flow.
+};
+
+inline const char *engineKindName(EngineKind K) {
+  return K == EngineKind::Tree ? "tree" : "flat";
+}
+
+/// An instantiated Wasm module, independent of the engine executing it.
+/// Owns the instance state (memory, globals, table, host bindings); the
+/// derived engine owns only its execution machinery.
+class Instance {
+public:
+  explicit Instance(const WModule &M) : M(&M) {}
+  virtual ~Instance() = default;
+
+  /// Registers a host function for import Mod.Name. Must be called for
+  /// every import before initialize().
+  void registerHost(const std::string &Mod, const std::string &Name,
+                    HostFn Fn) {
+    Hosts[{Mod, Name}] = std::move(Fn);
+  }
+
+  /// Allocates memory, evaluates global initializers, fills the table,
+  /// copies data segments, prepares the engine, and (unless \p RunStart
+  /// is false) runs the start function.
+  Status initialize(bool RunStart = true);
+
+  virtual Expected<std::vector<WValue>>
+  invoke(uint32_t FuncIdx, std::vector<WValue> Args,
+         uint64_t MaxFuel = 1'000'000'000) = 0;
+  Expected<std::vector<WValue>> invokeByName(const std::string &Name,
+                                             std::vector<WValue> Args,
+                                             uint64_t MaxFuel = 1'000'000'000);
+
+  /// The engine executing this instance.
+  virtual EngineKind engine() const = 0;
+
+  std::vector<uint8_t> &memory() { return Mem; }
+  const std::vector<uint8_t> &memory() const { return Mem; }
+  uint32_t load32(uint32_t Addr) const;
+  void store32(uint32_t Addr, uint32_t V);
+
+  WValue global(uint32_t I) const { return Globals[I]; }
+  void setGlobal(uint32_t I, WValue V) { Globals[I] = V; }
+  const WModule &module() const { return *M; }
+
+  /// Executed-instruction counter (all functions, cumulative).
+  uint64_t instrCount() const { return Executed; }
+  void resetInstrCount() { Executed = 0; }
+
+  std::optional<uint32_t> findExport(const std::string &Name,
+                                     ExportKind Kind) const;
+
+protected:
+  /// Engine hook run by initialize() after instance state exists but
+  /// before the start function: translate code, resolve host bindings.
+  virtual Status prepare() { return Status::success(); }
+
+  /// The resolved host function for import index \p I (valid after
+  /// initialize()), or null when unbound.
+  const HostFn *hostFor(uint32_t I) const {
+    return I < HostTable.size() ? HostTable[I] : nullptr;
+  }
+
+  const WModule *M;
+  std::vector<uint8_t> Mem;
+  std::vector<WValue> Globals;
+  std::vector<uint32_t> Table;
+  std::map<std::pair<std::string, std::string>, HostFn> Hosts;
+  /// Import index → resolved host function (avoids the map on calls).
+  std::vector<const HostFn *> HostTable;
+  uint64_t Executed = 0;
+};
+
+/// Creates an uninitialized instance of \p M backed by engine \p K.
+/// (Defined in exec/Engine.cpp, where both engines are visible.)
+std::unique_ptr<Instance> createInstance(const WModule &M,
+                                         EngineKind K = EngineKind::Tree);
+
+} // namespace rw::wasm
+
+#endif // RICHWASM_WASM_INSTANCE_H

@@ -14,84 +14,6 @@
 using namespace rw;
 using namespace rw::wasm;
 
-namespace {
-
-constexpr uint64_t PageSize = 65536;
-constexpr unsigned MaxCallDepth = 2000;
-
-} // namespace
-
-uint32_t WasmInstance::load32(uint32_t Addr) const {
-  assert(Addr + 4 <= Mem.size() && "host load out of bounds");
-  uint32_t V;
-  std::memcpy(&V, Mem.data() + Addr, 4);
-  return V;
-}
-
-void WasmInstance::store32(uint32_t Addr, uint32_t V) {
-  assert(Addr + 4 <= Mem.size() && "host store out of bounds");
-  std::memcpy(Mem.data() + Addr, &V, 4);
-}
-
-std::optional<uint32_t> WasmInstance::findExport(const std::string &Name,
-                                                 ExportKind Kind) const {
-  for (const WExport &E : M->Exports)
-    if (E.Kind == Kind && E.Name == Name)
-      return E.Idx;
-  return std::nullopt;
-}
-
-Status WasmInstance::initialize() {
-  for (const WImportFunc &I : M->ImportFuncs)
-    if (!Hosts.count({I.Mod, I.Name}))
-      return Error("unsatisfied import " + I.Mod + "." + I.Name);
-  if (M->Memory)
-    Mem.assign(static_cast<size_t>(M->Memory->first) * PageSize, 0);
-  Globals.clear();
-  for (const WGlobal &G : M->Globals) {
-    // Initializer must be a single const (or global.get) expression.
-    WValue V{G.T, 0};
-    if (!G.Init.empty()) {
-      const WInst &I = G.Init[0];
-      switch (I.K) {
-      case Op::I32Const:
-      case Op::I64Const:
-      case Op::F32Const:
-      case Op::F64Const:
-        V.Bits = I.U64;
-        break;
-      case Op::GlobalGet:
-        V = Globals[I.U32];
-        break;
-      default:
-        return Error("unsupported global initializer");
-      }
-    }
-    Globals.push_back(V);
-  }
-  Table = M->TableElems;
-  for (const WData &D : M->Data) {
-    if (D.Offset + D.Bytes.size() > Mem.size())
-      return Error("data segment out of bounds");
-    std::memcpy(Mem.data() + D.Offset, D.Bytes.data(), D.Bytes.size());
-  }
-  if (M->Start) {
-    Expected<std::vector<WValue>> R = invoke(*M->Start, {});
-    if (!R)
-      return R.error();
-  }
-  return Status::success();
-}
-
-Expected<std::vector<WValue>>
-WasmInstance::invokeByName(const std::string &Name, std::vector<WValue> Args,
-                           uint64_t MaxFuel) {
-  std::optional<uint32_t> Idx = findExport(Name, ExportKind::Func);
-  if (!Idx)
-    return Error("no exported function named '" + Name + "'");
-  return invoke(*Idx, std::move(Args), MaxFuel);
-}
-
 Expected<std::vector<WValue>> WasmInstance::invoke(uint32_t FuncIdx,
                                                    std::vector<WValue> Args,
                                                    uint64_t MaxFuel) {
@@ -118,9 +40,8 @@ WasmInstance::Exec WasmInstance::callFunction(uint32_t FuncIdx) {
   }
   const FuncType &FT = M->funcType(FuncIdx);
   if (FuncIdx < M->ImportFuncs.size()) {
-    const WImportFunc &Imp = M->ImportFuncs[FuncIdx];
-    auto It = Hosts.find({Imp.Mod, Imp.Name});
-    if (It == Hosts.end()) {
+    const HostFn *H = hostFor(FuncIdx);
+    if (!H) {
       --CallDepth;
       return trap("unsatisfied import");
     }
@@ -130,7 +51,7 @@ WasmInstance::Exec WasmInstance::callFunction(uint32_t FuncIdx) {
     }
     std::vector<WValue> Args(Stack.end() - FT.Params.size(), Stack.end());
     Stack.resize(Stack.size() - FT.Params.size());
-    Expected<std::vector<WValue>> R = It->second(*this, Args);
+    Expected<std::vector<WValue>> R = (*H)(*this, Args);
     --CallDepth;
     if (!R) {
       TrapMsg = R.error().message();

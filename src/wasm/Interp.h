@@ -1,16 +1,21 @@
-//===- wasm/Interp.h - Wasm interpreter and embedder API --------*- C++-*-===//
+//===- wasm/Interp.h - Tree-walking Wasm engine -----------------*- C++-*-===//
 //
 // Part of the RichWasm reproduction. MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A tree-walking WebAssembly interpreter with an embedder (host) API:
-/// host functions satisfy imports, and the host can read/write the
-/// instance's flat memory — which is how the RichWasm runtime's
-/// host-assisted garbage collector works (DESIGN.md §3). The interpreter
-/// counts executed instructions, which the C1 capability-erasure benchmark
-/// uses to show that capability bookkeeping compiles to *zero* instructions.
+/// The tree-walking WebAssembly engine (EngineKind::Tree): a direct
+/// interpreter over the structured WInst AST. It implements the shared
+/// embedder surface in wasm/Instance.h — host functions satisfy imports,
+/// and the host can read/write the instance's flat memory, which is how
+/// the RichWasm runtime's host-assisted garbage collector works
+/// (DESIGN.md §3). The interpreter counts executed instructions, which
+/// the C1 capability-erasure benchmark uses to show that capability
+/// bookkeeping compiles to *zero* instructions.
+///
+/// This engine is the semantic reference; the flat-bytecode engine in
+/// exec/Engine.h is differentially tested against it (DESIGN.md §5).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,68 +23,21 @@
 #define RICHWASM_WASM_INTERP_H
 
 #include "support/Error.h"
+#include "wasm/Instance.h"
 #include "wasm/WasmAst.h"
-
-#include <functional>
-#include <map>
 
 namespace rw::wasm {
 
-/// A runtime value: a type tag plus raw bits.
-struct WValue {
-  ValType T = ValType::I32;
-  uint64_t Bits = 0;
-
-  static WValue i32(uint32_t V) { return {ValType::I32, V}; }
-  static WValue i64(uint64_t V) { return {ValType::I64, V}; }
-  uint32_t asU32() const { return static_cast<uint32_t>(Bits); }
-};
-
-class WasmInstance;
-
-/// A host function: receives the instance (for memory access) and the
-/// arguments; returns results or a trap.
-using HostFn = std::function<Expected<std::vector<WValue>>(
-    WasmInstance &, const std::vector<WValue> &)>;
-
-/// An instantiated Wasm module.
-class WasmInstance {
+/// An instantiated Wasm module executed by walking the instruction tree.
+class WasmInstance : public Instance {
 public:
-  explicit WasmInstance(const WModule &M) : M(&M) {}
+  explicit WasmInstance(const WModule &M) : Instance(M) {}
 
-  /// Registers a host function for import Mod.Name. Must be called for
-  /// every import before initialize().
-  void registerHost(const std::string &Mod, const std::string &Name,
-                    HostFn Fn) {
-    Hosts[{Mod, Name}] = std::move(Fn);
-  }
+  Expected<std::vector<WValue>>
+  invoke(uint32_t FuncIdx, std::vector<WValue> Args,
+         uint64_t MaxFuel = 1'000'000'000) override;
 
-  /// Allocates memory, evaluates global initializers, fills the table,
-  /// copies data segments, and runs the start function.
-  Status initialize();
-
-  Expected<std::vector<WValue>> invoke(uint32_t FuncIdx,
-                                       std::vector<WValue> Args,
-                                       uint64_t MaxFuel = 1'000'000'000);
-  Expected<std::vector<WValue>> invokeByName(const std::string &Name,
-                                             std::vector<WValue> Args,
-                                             uint64_t MaxFuel = 1'000'000'000);
-
-  std::vector<uint8_t> &memory() { return Mem; }
-  const std::vector<uint8_t> &memory() const { return Mem; }
-  uint32_t load32(uint32_t Addr) const;
-  void store32(uint32_t Addr, uint32_t V);
-
-  WValue global(uint32_t I) const { return Globals[I]; }
-  void setGlobal(uint32_t I, WValue V) { Globals[I] = V; }
-  const WModule &module() const { return *M; }
-
-  /// Executed-instruction counter (all functions, cumulative).
-  uint64_t instrCount() const { return Executed; }
-  void resetInstrCount() { Executed = 0; }
-
-  std::optional<uint32_t> findExport(const std::string &Name,
-                                     ExportKind Kind) const;
+  EngineKind engine() const override { return EngineKind::Tree; }
 
 private:
   enum class Exec : uint8_t { Normal, Branch, Ret, Trap };
@@ -98,14 +56,8 @@ private:
     return Exec::Trap;
   }
 
-  const WModule *M;
-  std::vector<uint8_t> Mem;
-  std::vector<WValue> Globals;
-  std::vector<uint32_t> Table;
-  std::map<std::pair<std::string, std::string>, HostFn> Hosts;
   std::vector<WValue> Stack;
   uint64_t Fuel = 0;
-  uint64_t Executed = 0;
   std::string TrapMsg;
   unsigned CallDepth = 0;
 };

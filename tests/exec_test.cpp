@@ -1,0 +1,941 @@
+//===- tests/exec_test.cpp - Differential testing of the two engines ------===//
+//
+// The flat-bytecode engine (exec/Engine.h) must be observationally
+// identical to the tree-walking reference interpreter (wasm/Interp.h):
+// same results, same traps (same messages), same final memory, and same
+// GC-statistics globals. This suite sweeps
+//
+//   * handcrafted Wasm modules covering the control-flow re-encoding
+//     (blocks with results, loops, if/else, br_table, multi-value
+//     branches), calls (direct, indirect, host), memory, and every trap;
+//   * the lowered-pipeline workloads from bench/Common.h (loop,
+//     linear/unrestricted heap churn, the Counter/Client FFI protocol),
+//     including host-assisted GC parity;
+//   * a deterministic fuzz-ish sweep of straight-line numeric functions
+//     over the whole operator alphabet, checksummed through a local.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Common.h"
+#include "exec/Engine.h"
+#include "exec/Translate.h"
+#include "link/Link.h"
+#include "lower/Lower.h"
+#include "wasm/Interp.h"
+#include "support/NumericOps.h"
+#include "wasm/Validate.h"
+
+#include <gtest/gtest.h>
+
+using namespace rw;
+using namespace rw::wasm;
+
+namespace {
+
+constexpr EngineKind BothEngines[] = {EngineKind::Tree, EngineKind::Flat};
+
+/// Everything observable about one engine run.
+struct RunResult {
+  bool Ok = false;
+  std::string Err;
+  std::vector<WValue> Results;
+  std::vector<uint8_t> FinalMem;
+  std::vector<WValue> FinalGlobals;
+  std::unique_ptr<Instance> Inst; // Kept alive for follow-up (GC) checks.
+};
+
+RunResult runOn(const WModule &M, EngineKind K, const std::string &Export,
+                std::vector<WValue> Args,
+                const std::function<void(Instance &)> &Bind = {}) {
+  RunResult R;
+  R.Inst = createInstance(M, K);
+  if (Bind)
+    Bind(*R.Inst);
+  if (Status S = R.Inst->initialize(); !S) {
+    R.Err = S.error().message();
+    return R;
+  }
+  Expected<std::vector<WValue>> Out = R.Inst->invokeByName(Export, Args);
+  if (!Out) {
+    R.Err = Out.error().message();
+  } else {
+    R.Ok = true;
+    R.Results = *Out;
+  }
+  R.FinalMem = R.Inst->memory();
+  for (uint32_t I = 0; I < M.Globals.size(); ++I)
+    R.FinalGlobals.push_back(R.Inst->global(I));
+  return R;
+}
+
+/// Runs \p Export on both engines and asserts observational equality.
+/// Returns the two runs for extra checks.
+std::pair<RunResult, RunResult>
+expectSame(const WModule &M, const std::string &Export,
+           std::vector<WValue> Args = {},
+           const std::function<void(Instance &)> &Bind = {}) {
+  EXPECT_TRUE(validate(M).ok()) << validate(M).error().message();
+  RunResult T = runOn(M, EngineKind::Tree, Export, Args, Bind);
+  RunResult F = runOn(M, EngineKind::Flat, Export, Args, Bind);
+  EXPECT_EQ(T.Ok, F.Ok) << "tree: " << T.Err << " / flat: " << F.Err;
+  EXPECT_EQ(T.Err, F.Err);
+  EXPECT_EQ(T.Results.size(), F.Results.size());
+  if (T.Results.size() == F.Results.size())
+    for (size_t I = 0; I < T.Results.size(); ++I) {
+      EXPECT_EQ(T.Results[I].T, F.Results[I].T) << "result " << I;
+      EXPECT_EQ(T.Results[I].Bits, F.Results[I].Bits) << "result " << I;
+    }
+  EXPECT_EQ(T.FinalMem, F.FinalMem);
+  EXPECT_EQ(T.FinalGlobals.size(), F.FinalGlobals.size());
+  if (T.FinalGlobals.size() == F.FinalGlobals.size())
+    for (size_t I = 0; I < T.FinalGlobals.size(); ++I)
+      EXPECT_EQ(T.FinalGlobals[I].Bits, F.FinalGlobals[I].Bits)
+          << "global " << I;
+  return {std::move(T), std::move(F)};
+}
+
+WModule oneFunc(FuncType FT, std::vector<ValType> Locals,
+                std::vector<WInst> Body) {
+  WModule M;
+  uint32_t TI = M.addType(std::move(FT));
+  M.Funcs.push_back({TI, std::move(Locals), std::move(Body)});
+  M.Exports.push_back({"f", ExportKind::Func, 0});
+  return M;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Control-flow re-encoding
+//===----------------------------------------------------------------------===//
+
+TEST(ExecDiff, BlockWithResultAndBr) {
+  // block (result i32) { 7; br 0; 999 } + 1 — the br carries one value.
+  WModule M = oneFunc(
+      {{}, {ValType::I32}}, {},
+      {WInst::block({{}, {ValType::I32}},
+                    {WInst::i32c(7), WInst::idx(Op::Br, 0), WInst::i32c(999)}),
+       WInst::i32c(1), WInst::mk(Op::I32Add)});
+  auto [T, F] = expectSame(M, "f");
+  EXPECT_TRUE(T.Ok);
+  EXPECT_EQ(T.Results[0].asU32(), 8u);
+}
+
+TEST(ExecDiff, BrWithStackFixup) {
+  // Extra operands below the branched value must be discarded: the flat
+  // engine's keep/reset fix-up path.
+  WModule M = oneFunc(
+      {{}, {ValType::I32}}, {},
+      {WInst::block({{}, {ValType::I32}},
+                    {WInst::i32c(100), WInst::i32c(200), WInst::i32c(42),
+                     WInst::idx(Op::Br, 0)}),
+       });
+  auto [T, F] = expectSame(M, "f");
+  EXPECT_TRUE(T.Ok);
+  EXPECT_EQ(T.Results[0].asU32(), 42u);
+}
+
+TEST(ExecDiff, LoopSum) {
+  // sum 1..n with a loop whose br_if re-enters the label.
+  WModule M = oneFunc(
+      {{ValType::I32}, {ValType::I32}}, {ValType::I32, ValType::I32},
+      {WInst::block(
+           {{}, {}},
+           {WInst::loop(
+               {{}, {}},
+               {WInst::idx(Op::LocalGet, 1), WInst::i32c(1),
+                WInst::mk(Op::I32Add), WInst::idx(Op::LocalTee, 1),
+                WInst::idx(Op::LocalGet, 2), WInst::mk(Op::I32Add),
+                WInst::idx(Op::LocalSet, 2), WInst::idx(Op::LocalGet, 1),
+                WInst::idx(Op::LocalGet, 0), WInst::mk(Op::I32LtS),
+                WInst::idx(Op::BrIf, 0)})}),
+       WInst::idx(Op::LocalGet, 2)});
+  auto [T, F] = expectSame(M, "f", {WValue::i32(100)});
+  EXPECT_TRUE(T.Ok);
+  EXPECT_EQ(T.Results[0].asU32(), 5050u);
+}
+
+TEST(ExecDiff, LoopWithParams) {
+  // A loop whose label has a parameter: branching back must keep the
+  // top slot as the next iteration's argument. Computes 2^10 by
+  // iterating (x -> 2x) from 1, counting with local 0.
+  WModule M = oneFunc(
+      {{}, {ValType::I32}}, {ValType::I32},
+      {WInst::i32c(1),
+       WInst::loop({{ValType::I32}, {ValType::I32}},
+                   {WInst::i32c(2), WInst::mk(Op::I32Mul),
+                    WInst::idx(Op::LocalGet, 0), WInst::i32c(1),
+                    WInst::mk(Op::I32Add), WInst::idx(Op::LocalTee, 0),
+                    WInst::i32c(10), WInst::mk(Op::I32LtS),
+                    WInst::idx(Op::BrIf, 0)})});
+  auto [T, F] = expectSame(M, "f");
+  EXPECT_TRUE(T.Ok);
+  EXPECT_EQ(T.Results[0].asU32(), 1024u);
+}
+
+TEST(ExecDiff, IfElseMultiValue) {
+  // if (result i32 i32) picks between two pairs; then sums them.
+  for (uint32_t Cond : {0u, 1u}) {
+    WModule M = oneFunc(
+        {{ValType::I32}, {ValType::I32}}, {},
+        {WInst::idx(Op::LocalGet, 0),
+         WInst::ifElse({{}, {ValType::I32, ValType::I32}},
+                       {WInst::i32c(10), WInst::i32c(20)},
+                       {WInst::i32c(1), WInst::i32c(2)}),
+         WInst::mk(Op::I32Add)});
+    auto [T, F] = expectSame(M, "f", {WValue::i32(Cond)});
+    EXPECT_TRUE(T.Ok);
+    EXPECT_EQ(T.Results[0].asU32(), Cond ? 30u : 3u);
+  }
+}
+
+TEST(ExecDiff, IfWithoutElse) {
+  WModule M = oneFunc({{ValType::I32}, {ValType::I32}}, {ValType::I32},
+                      {WInst::idx(Op::LocalGet, 0),
+                       WInst::ifElse({{}, {}},
+                                     {WInst::i32c(99),
+                                      WInst::idx(Op::LocalSet, 1)},
+                                     {}),
+                       WInst::idx(Op::LocalGet, 1)});
+  for (uint32_t Cond : {0u, 7u}) {
+    auto [T, F] = expectSame(M, "f", {WValue::i32(Cond)});
+    EXPECT_TRUE(T.Ok);
+    EXPECT_EQ(T.Results[0].asU32(), Cond ? 99u : 0u);
+  }
+}
+
+TEST(ExecDiff, BrTableDispatch) {
+  // br_table over three nested blocks plus default, routing to a
+  // different local.set in each arm.
+  for (uint32_t Sel : {0u, 1u, 2u, 3u, 200u}) {
+    WModule M = oneFunc(
+        {{ValType::I32}, {ValType::I32}}, {ValType::I32},
+        {WInst::block(
+             {{}, {}},
+             {WInst::block(
+                  {{}, {}},
+                  {WInst::block(
+                       {{}, {}},
+                       {WInst::block({{}, {}},
+                                     {WInst::idx(Op::LocalGet, 0),
+                                      WInst::brTable({0, 1, 2}, 3)}),
+                        // depth-0 target: record 10, exit everything.
+                        WInst::i32c(10), WInst::idx(Op::LocalSet, 1),
+                        WInst::idx(Op::Br, 2)}),
+                   WInst::i32c(20), WInst::idx(Op::LocalSet, 1),
+                   WInst::idx(Op::Br, 1)}),
+              WInst::i32c(30), WInst::idx(Op::LocalSet, 1)}),
+         WInst::idx(Op::LocalGet, 1)});
+    auto [T, F] = expectSame(M, "f", {WValue::i32(Sel)});
+    EXPECT_TRUE(T.Ok);
+    // Default (depth 3) exits past every local.set, leaving 0.
+    uint32_t Want = Sel == 0 ? 10 : Sel == 1 ? 20 : Sel == 2 ? 30 : 0;
+    EXPECT_EQ(T.Results[0].asU32(), Want) << "selector " << Sel;
+  }
+}
+
+TEST(ExecDiff, BrTableCarriesValue) {
+  // All br_table labels share one value-carrying block; extra operands
+  // below the carried value force the keep/reset fix-up.
+  for (uint32_t Sel : {0u, 5u}) {
+    WModule M = oneFunc(
+        {{ValType::I32}, {ValType::I32}}, {},
+        {WInst::block({{}, {ValType::I32}},
+                      {WInst::i32c(7), WInst::i32c(42),
+                       WInst::idx(Op::LocalGet, 0),
+                       WInst::brTable({0}, 0)})});
+    auto [T, F] = expectSame(M, "f", {WValue::i32(Sel)});
+    EXPECT_TRUE(T.Ok);
+    EXPECT_EQ(T.Results[0].asU32(), 42u) << "selector " << Sel;
+  }
+}
+
+TEST(ExecDiff, DeadCodeAfterBranchIsSkipped) {
+  // The translator drops unreachable tails; semantics must not change.
+  WModule M = oneFunc(
+      {{}, {ValType::I32}}, {},
+      {WInst::block({{}, {ValType::I32}},
+                    {WInst::i32c(5), WInst::idx(Op::Br, 0),
+                     // Dead: a whole nested structure.
+                     WInst::block({{}, {}}, {WInst::mk(Op::Unreachable)}),
+                     WInst::i32c(1), WInst::mk(Op::I32Add)})});
+  auto [T, F] = expectSame(M, "f");
+  EXPECT_TRUE(T.Ok);
+  EXPECT_EQ(T.Results[0].asU32(), 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Calls
+//===----------------------------------------------------------------------===//
+
+TEST(ExecDiff, DirectCallsAndRecursion) {
+  // fib(n) by naive double recursion across a direct call.
+  WModule M;
+  uint32_t TI = M.addType({{ValType::I32}, {ValType::I32}});
+  M.Funcs.push_back(
+      {TI,
+       {},
+       {WInst::idx(Op::LocalGet, 0), WInst::i32c(2), WInst::mk(Op::I32LtS),
+        WInst::ifElse({{}, {ValType::I32}}, {WInst::idx(Op::LocalGet, 0)},
+                      {WInst::idx(Op::LocalGet, 0), WInst::i32c(1),
+                       WInst::mk(Op::I32Sub), WInst::idx(Op::Call, 0),
+                       WInst::idx(Op::LocalGet, 0), WInst::i32c(2),
+                       WInst::mk(Op::I32Sub), WInst::idx(Op::Call, 0),
+                       WInst::mk(Op::I32Add)})}});
+  M.Exports.push_back({"f", ExportKind::Func, 0});
+  auto [T, F] = expectSame(M, "f", {WValue::i32(15)});
+  EXPECT_TRUE(T.Ok);
+  EXPECT_EQ(T.Results[0].asU32(), 610u);
+}
+
+TEST(ExecDiff, CallIndirect) {
+  // Table dispatch between an adder and a multiplier, plus both trap
+  // modes (index out of bounds, signature mismatch).
+  WModule M;
+  uint32_t Bin = M.addType({{ValType::I32, ValType::I32}, {ValType::I32}});
+  uint32_t Un = M.addType({{ValType::I32}, {ValType::I32}});
+  M.Funcs.push_back({Bin,
+                     {},
+                     {WInst::idx(Op::LocalGet, 0), WInst::idx(Op::LocalGet, 1),
+                      WInst::mk(Op::I32Add)}});
+  M.Funcs.push_back({Bin,
+                     {},
+                     {WInst::idx(Op::LocalGet, 0), WInst::idx(Op::LocalGet, 1),
+                      WInst::mk(Op::I32Mul)}});
+  M.Funcs.push_back(
+      {Un, {}, {WInst::idx(Op::LocalGet, 0), WInst::i32c(1),
+                WInst::mk(Op::I32Add)}});
+  // f(sel, a, b) = table[sel](a, b) via the binary type.
+  std::vector<WInst> Body = {WInst::idx(Op::LocalGet, 1),
+                             WInst::idx(Op::LocalGet, 2),
+                             WInst::idx(Op::LocalGet, 0),
+                             WInst::idx(Op::CallIndirect, Bin)};
+  uint32_t Tri =
+      M.addType({{ValType::I32, ValType::I32, ValType::I32}, {ValType::I32}});
+  M.Funcs.push_back({Tri, {}, std::move(Body)});
+  M.TableElems = {0, 1, 2};
+  M.Exports.push_back({"f", ExportKind::Func, 3});
+
+  struct Case {
+    uint32_t Sel;
+    bool Traps;
+    uint32_t Want;
+  } Cases[] = {
+      {0, false, 9}, // add
+      {1, false, 18}, // mul
+      {2, true, 0},  // unary: signature mismatch
+      {9, true, 0},  // out of bounds
+  };
+  for (const Case &C : Cases) {
+    auto [T, F] = expectSame(
+        M, "f", {WValue::i32(C.Sel), WValue::i32(3), WValue::i32(6)});
+    EXPECT_EQ(T.Ok, !C.Traps) << "selector " << C.Sel << ": " << T.Err;
+    if (!C.Traps)
+      EXPECT_EQ(T.Results[0].asU32(), C.Want);
+  }
+}
+
+TEST(ExecDiff, HostCallsThroughImports) {
+  // An import in the middle of wasm-to-wasm arithmetic; the host also
+  // pokes instance memory, which both engines must expose identically.
+  WModule M;
+  uint32_t TI = M.addType({{ValType::I32}, {ValType::I32}});
+  M.ImportFuncs.push_back({"env", "scale", TI});
+  M.Memory = {{1, std::nullopt}};
+  M.Funcs.push_back({TI,
+                     {},
+                     {WInst::idx(Op::LocalGet, 0), WInst::idx(Op::Call, 0),
+                      WInst::i32c(1), WInst::mk(Op::I32Add)}});
+  M.Exports.push_back({"f", ExportKind::Func, 1});
+  auto Bind = [](Instance &I) {
+    I.registerHost("env", "scale",
+                   [](Instance &Inst, const std::vector<WValue> &Args)
+                       -> Expected<std::vector<WValue>> {
+                     Inst.store32(64, Args[0].asU32());
+                     return std::vector<WValue>{
+                         WValue::i32(Args[0].asU32() * 3)};
+                   });
+  };
+  auto [T, F] = expectSame(M, "f", {WValue::i32(5)}, Bind);
+  EXPECT_TRUE(T.Ok);
+  EXPECT_EQ(T.Results[0].asU32(), 16u);
+  EXPECT_EQ(T.Inst->load32(64), 5u);
+}
+
+TEST(ExecDiff, HostTrapPropagates) {
+  WModule M;
+  uint32_t TI = M.addType({{}, {}});
+  M.ImportFuncs.push_back({"env", "boom", TI});
+  M.Funcs.push_back({TI, {}, {WInst::idx(Op::Call, 0)}});
+  M.Exports.push_back({"f", ExportKind::Func, 1});
+  auto Bind = [](Instance &I) {
+    I.registerHost("env", "boom",
+                   [](Instance &, const std::vector<WValue> &)
+                       -> Expected<std::vector<WValue>> {
+                     return Error("host exploded");
+                   });
+  };
+  auto [T, F] = expectSame(M, "f", {}, Bind);
+  EXPECT_FALSE(T.Ok);
+  EXPECT_EQ(T.Err, "trap: host exploded");
+}
+
+TEST(ExecDiff, CallStackExhaustion) {
+  // Infinite recursion must trap identically on both engines.
+  WModule M;
+  uint32_t TI = M.addType({{}, {}});
+  M.Funcs.push_back({TI, {}, {WInst::idx(Op::Call, 0)}});
+  M.Exports.push_back({"f", ExportKind::Func, 0});
+  auto [T, F] = expectSame(M, "f");
+  EXPECT_FALSE(T.Ok);
+  EXPECT_EQ(T.Err, "trap: call stack exhausted");
+}
+
+//===----------------------------------------------------------------------===//
+// Memory and traps
+//===----------------------------------------------------------------------===//
+
+TEST(ExecDiff, MemoryOpsAllWidths) {
+  // Write with every store width, read back with every load flavor,
+  // checksum everything.
+  WModule M = oneFunc(
+      {{}, {ValType::I64}}, {ValType::I64},
+      {// i64 store at 0
+       WInst::i32c(0), WInst::i64c(0x1122334455667788ll),
+       WInst::mem(Op::I64Store, 3, 0),
+       // i32 store16/store8 at 16
+       WInst::i32c(16), WInst::i32c(0xbeef), WInst::mem(Op::I32Store16, 1, 0),
+       WInst::i32c(18), WInst::i32c(0x7f), WInst::mem(Op::I32Store8, 0, 0),
+       // f64/f32 stores
+       WInst::i32c(24), WInst::i64c(0x3ff0000000000000ll),
+       WInst::mem(Op::I64Store, 3, 0),
+       // checksum: i64 loads of various widths/signs
+       WInst::i32c(0), WInst::mem(Op::I64Load, 3, 0),
+       WInst::i32c(0), WInst::mem(Op::I64Load8S, 0, 3),
+       WInst::mk(Op::I64Add),
+       WInst::i32c(0), WInst::mem(Op::I64Load16U, 1, 4),
+       WInst::mk(Op::I64Xor),
+       WInst::i32c(16), WInst::mem(Op::I64Load32S, 2, 0),
+       WInst::mk(Op::I64Add),
+       WInst::i32c(14), WInst::mem(Op::I64Load16S, 1, 0),
+       WInst::mk(Op::I64Xor),
+       WInst::i32c(24), WInst::mem(Op::I64Load, 3, 0),
+       WInst::mk(Op::I64Add)});
+  M.Memory = {{1, std::nullopt}};
+  auto [T, F] = expectSame(M, "f");
+  EXPECT_TRUE(T.Ok) << T.Err;
+}
+
+TEST(ExecDiff, OutOfBoundsTrap) {
+  for (uint32_t Addr : {65533u, 65536u, 0xfffffffcu}) {
+    WModule M = oneFunc({{}, {ValType::I32}}, {},
+                        {WInst::i32c(static_cast<int32_t>(Addr)),
+                         WInst::mem(Op::I32Load, 2, 0)});
+    M.Memory = {{1, std::nullopt}};
+    auto [T, F] = expectSame(M, "f");
+    EXPECT_FALSE(T.Ok);
+    EXPECT_EQ(T.Err, "trap: out-of-bounds memory access");
+  }
+}
+
+TEST(ExecDiff, MemoryGrowAndSize) {
+  // Grow by 2 pages (observing the old size), then store past the old
+  // boundary, then grow past the max and observe -1.
+  WModule M = oneFunc(
+      {{}, {ValType::I32}}, {ValType::I32},
+      {WInst::i32c(2), WInst::mk(Op::MemoryGrow), WInst::idx(Op::LocalSet, 0),
+       WInst::i32c(65536 + 8), WInst::i32c(77), WInst::mem(Op::I32Store, 2, 0),
+       WInst::i32c(100), WInst::mk(Op::MemoryGrow), // beyond max: -1
+       WInst::idx(Op::LocalGet, 0), WInst::mk(Op::I32Add),
+       WInst::mk(Op::MemorySize), WInst::mk(Op::I32Add)});
+  M.Memory = {{1, {4}}};
+  auto [T, F] = expectSame(M, "f");
+  EXPECT_TRUE(T.Ok) << T.Err;
+  // old(1) + (-1) + size(3) = 3
+  EXPECT_EQ(T.Results[0].asU32(), 3u);
+}
+
+TEST(ExecDiff, ArithmeticTraps) {
+  struct Case {
+    std::vector<WInst> Body;
+    const char *Msg;
+  } Cases[] = {
+      {{WInst::i32c(1), WInst::i32c(0), WInst::mk(Op::I32DivS)},
+       "trap: integer divide error"},
+      {{WInst::i32c(static_cast<int32_t>(0x80000000)), WInst::i32c(-1),
+        WInst::mk(Op::I32DivS)},
+       "trap: integer divide error"},
+      {{WInst::i64c(5), WInst::i64c(0), WInst::mk(Op::I64RemU),
+        WInst::mk(Op::I32WrapI64)},
+       "trap: integer divide error"},
+      {{WInst::mk(Op::Unreachable)}, "trap: unreachable executed"},
+  };
+  for (Case &C : Cases) {
+    WModule M = oneFunc({{}, {ValType::I32}}, {}, C.Body);
+    auto [T, F] = expectSame(M, "f");
+    EXPECT_FALSE(T.Ok);
+    EXPECT_EQ(T.Err, C.Msg);
+  }
+}
+
+TEST(ExecDiff, TruncationTrap) {
+  // f64 2^40 fits i64 but traps for i32.
+  WModule M = oneFunc({{}, {ValType::I32}}, {},
+                      {WInst::i64c(0x4270000000000000ll), // f64 2^40 bits
+                       WInst::mk(Op::F64ReinterpretI64),
+                       WInst::mk(Op::I32TruncF64S)});
+  auto [T, F] = expectSame(M, "f");
+  EXPECT_FALSE(T.Ok);
+  EXPECT_EQ(T.Err, "trap: invalid conversion to integer");
+}
+
+TEST(ExecDiff, GlobalsAndSelect) {
+  WModule M = oneFunc(
+      {{ValType::I32}, {ValType::I64}}, {},
+      {WInst::idx(Op::GlobalGet, 0), WInst::i64c(100), WInst::mk(Op::I64Add),
+       WInst::idx(Op::GlobalSet, 1),
+       WInst::idx(Op::GlobalGet, 1), WInst::idx(Op::GlobalGet, 0),
+       WInst::idx(Op::LocalGet, 0), WInst::mk(Op::Select)});
+  M.Globals.push_back({ValType::I64, false, {WInst::i64c(7)}});
+  M.Globals.push_back({ValType::I64, true, {WInst::i64c(0)}});
+  for (uint32_t Cond : {0u, 1u}) {
+    auto [T, F] = expectSame(M, "f", {WValue::i32(Cond)});
+    EXPECT_TRUE(T.Ok);
+    EXPECT_EQ(T.Results[0].Bits, Cond ? 107u : 7u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Lowered-pipeline workloads (bench/Common.h) on both engines
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Lowers a program and runs "module.main" on both engines, asserting
+/// identical results, memory, and runtime/GC globals. Returns the
+/// lowered program and both instances for GC follow-ups.
+struct LoweredBoth {
+  link::LoweredInstance Tree, Flat;
+};
+
+LoweredBoth runLoweredBoth(const std::vector<const ir::Module *> &Mods,
+                           const std::string &Export) {
+  LoweredBoth B;
+  for (EngineKind K : BothEngines) {
+    link::LinkOptions Opts;
+    Opts.Engine = K;
+    auto LI = link::instantiateLowered(Mods, Opts);
+    EXPECT_TRUE(bool(LI)) << engineKindName(K) << ": "
+                          << LI.error().message();
+    if (!LI)
+      return B;
+    (K == EngineKind::Tree ? B.Tree : B.Flat) = std::move(*LI);
+  }
+  auto RT = B.Tree.invokeExport(Export, {});
+  auto RF = B.Flat.invokeExport(Export, {});
+  EXPECT_EQ(bool(RT), bool(RF));
+  if (RT && RF) {
+    EXPECT_EQ(RT->size(), RF->size());
+    if (RT->size() == RF->size())
+      for (size_t I = 0; I < RT->size(); ++I)
+        EXPECT_EQ((*RT)[I].Bits, (*RF)[I].Bits);
+  } else if (!RT && !RF) {
+    EXPECT_EQ(RT.error().message(), RF.error().message());
+  }
+  EXPECT_EQ(B.Tree.Instance->memory(), B.Flat.Instance->memory());
+  const wasm::WModule &WM = B.Tree.Program->Module;
+  for (uint32_t I = 0; I < WM.Globals.size(); ++I)
+    EXPECT_EQ(B.Tree.Instance->global(I).Bits,
+              B.Flat.Instance->global(I).Bits)
+        << "lowered global " << I;
+  return B;
+}
+
+} // namespace
+
+TEST(ExecLowered, LoopWorkload) {
+  ir::Module M = rwbench::loopModule(500);
+  runLoweredBoth({&M}, "loopmod.main");
+}
+
+TEST(ExecLowered, LinearHeapChurn) {
+  ir::Module M = rwbench::allocModule(300, /*Linear=*/true);
+  runLoweredBoth({&M}, "allocmod.main");
+}
+
+TEST(ExecLowered, UnrestrictedChurnAndHostGc) {
+  ir::Module M = rwbench::allocModule(200, /*Linear=*/false);
+  LoweredBoth B = runLoweredBoth({&M}, "allocmod.main");
+  ASSERT_TRUE(B.Tree.Instance && B.Flat.Instance);
+  // The host-assisted collector must behave identically against either
+  // engine: same mark/sweep statistics, same final heap bytes, same
+  // runtime counters.
+  lower::HostGc GcT(*B.Tree.Instance, B.Tree.Program->Runtime,
+                    B.Tree.Program->RefGlobals);
+  lower::HostGc GcF(*B.Flat.Instance, B.Flat.Program->Runtime,
+                    B.Flat.Program->RefGlobals);
+  lower::HostGc::Stats ST = GcT.collect();
+  lower::HostGc::Stats SF = GcF.collect();
+  EXPECT_EQ(ST.Marked, SF.Marked);
+  EXPECT_EQ(ST.Swept, SF.Swept);
+  EXPECT_EQ(ST.BytesReclaimed, SF.BytesReclaimed);
+  EXPECT_GT(SF.Swept, 0u);
+  EXPECT_EQ(B.Tree.Instance->memory(), B.Flat.Instance->memory());
+  const lower::RuntimeLayout &L = B.Tree.Program->Runtime;
+  for (uint32_t G : {L.GFree, L.GBump, L.GLive, L.GAllocs, L.GFrees})
+    EXPECT_EQ(B.Tree.Instance->global(G).Bits,
+              B.Flat.Instance->global(G).Bits);
+}
+
+TEST(ExecLowered, WideModuleEveryFunction) {
+  ir::Module M = rwbench::wideModule(20);
+  auto LP = lower::lowerProgram({&M});
+  ASSERT_TRUE(bool(LP)) << LP.error().message();
+  auto TI = createInstance(LP->Module, EngineKind::Tree);
+  auto FI = createInstance(LP->Module, EngineKind::Flat);
+  ASSERT_TRUE(TI->initialize().ok());
+  ASSERT_TRUE(FI->initialize().ok());
+  for (const auto &[Name, Idx] : LP->Exports) {
+    for (uint32_t Arg : {0u, 13u}) {
+      auto RT = TI->invoke(Idx, {WValue::i32(Arg)});
+      auto RF = FI->invoke(Idx, {WValue::i32(Arg)});
+      ASSERT_EQ(bool(RT), bool(RF)) << Name;
+      if (RT) {
+        ASSERT_EQ(RT->size(), RF->size());
+        for (size_t I = 0; I < RT->size(); ++I)
+          EXPECT_EQ((*RT)[I].Bits, (*RF)[I].Bits) << Name;
+      }
+    }
+  }
+  EXPECT_EQ(TI->memory(), FI->memory());
+}
+
+TEST(ExecLowered, CounterClientProtocol) {
+  // The Fig 9 Counter/Client FFI workload: stateful globals, linear
+  // references crossing the boundary, repeated invocations.
+  auto Lib = l3::compileSource("lib", rwbench::CounterLibL3);
+  auto App = ml::compileSource("app", rwbench::CounterClientML);
+  ASSERT_TRUE(bool(Lib)) << Lib.error().message();
+  ASSERT_TRUE(bool(App)) << App.error().message();
+
+  link::LinkOptions TreeOpts, FlatOpts;
+  FlatOpts.Engine = EngineKind::Flat;
+  auto LT = link::instantiateLowered({&*Lib, &*App}, TreeOpts);
+  auto LF = link::instantiateLowered({&*Lib, &*App}, FlatOpts);
+  ASSERT_TRUE(bool(LT)) << LT.error().message();
+  ASSERT_TRUE(bool(LF)) << LF.error().message();
+  for (link::LoweredInstance *LI : {&*LT, &*LF}) {
+    ASSERT_TRUE(bool(LI->invokeExport("app.init", {})));
+    ASSERT_TRUE(bool(LI->invokeExport("app.set_rate", {WValue::i32(3)})));
+    for (int I = 0; I < 5; ++I)
+      ASSERT_TRUE(bool(LI->invokeExport("app.tick", {})));
+  }
+  auto TT = LT->invokeExport("app.total", {});
+  auto TF = LF->invokeExport("app.total", {});
+  ASSERT_TRUE(bool(TT)) << TT.error().message();
+  ASSERT_TRUE(bool(TF)) << TF.error().message();
+  EXPECT_EQ((*TT)[0].Bits, (*TF)[0].Bits);
+  EXPECT_EQ((*TT)[0].asU32(), 15u);
+  EXPECT_EQ(LT->Instance->memory(), LF->Instance->memory());
+}
+
+//===----------------------------------------------------------------------===//
+// Fuzz-ish sweep: straight-line numerics over the operator alphabet
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Deterministic 64-bit LCG (so failures are reproducible by seed).
+struct Rng {
+  uint64_t S;
+  explicit Rng(uint64_t Seed) : S(Seed) {}
+  uint64_t next() {
+    S = S * 6364136223846793005ull + 1442695040888963407ull;
+    return S >> 31;
+  }
+  uint32_t below(uint32_t N) { return static_cast<uint32_t>(next() % N); }
+};
+
+/// Builds a random straight-line function f(i32) -> i32 exercising the
+/// numeric alphabet. A typed virtual stack keeps the module valid; an
+/// i32 accumulator local checksums intermediate values so divergence
+/// anywhere shows up in the result.
+WModule fuzzModule(uint64_t Seed, unsigned Steps) {
+  Rng R(Seed);
+  std::vector<WInst> Body;
+  std::vector<ValType> Stk;
+  auto fold = [&]() {
+    // Fold the top of stack into the accumulator (local 1), erasing it.
+    switch (Stk.back()) {
+    case ValType::I64:
+      Body.push_back(WInst::mk(Op::I32WrapI64));
+      break;
+    case ValType::F32:
+      Body.push_back(WInst::mk(Op::I32ReinterpretF32));
+      break;
+    case ValType::F64:
+      Body.push_back(WInst::mk(Op::I64ReinterpretF64));
+      Body.push_back(WInst::mk(Op::I32WrapI64));
+      break;
+    case ValType::I32:
+      break;
+    }
+    Body.push_back(WInst::idx(Op::LocalGet, 1));
+    Body.push_back(WInst::mk(Op::I32Xor));
+    Body.push_back(WInst::idx(Op::LocalSet, 1));
+    Stk.pop_back();
+  };
+  auto pushConst = [&]() {
+    switch (R.below(4)) {
+    case 0: {
+      static const int32_t Pool[] = {0, 1, -1, 7, 1000000007,
+                                     static_cast<int32_t>(0x80000000)};
+      Body.push_back(WInst::i32c(Pool[R.below(6)]));
+      Stk.push_back(ValType::I32);
+      break;
+    }
+    case 1: {
+      static const int64_t Pool[] = {0, 1, -1, 1ll << 40,
+                                     static_cast<int64_t>(0x8000000000000000ull)};
+      Body.push_back(WInst::i64c(Pool[R.below(5)]));
+      Stk.push_back(ValType::I64);
+      break;
+    }
+    case 2: {
+      WInst W(Op::F32Const);
+      // Small integral floats keep the space interesting but portable.
+      W.U64 = num::f32ToBits(static_cast<float>(
+                  static_cast<int32_t>(R.below(64)) - 16)) &
+              0xffffffffu;
+      Body.push_back(W);
+      Stk.push_back(ValType::F32);
+      break;
+    }
+    default: {
+      WInst W(Op::F64Const);
+      W.U64 = num::f64ToBits(static_cast<double>(
+          static_cast<int32_t>(R.below(1024)) - 256));
+      Body.push_back(W);
+      Stk.push_back(ValType::F64);
+      break;
+    }
+    }
+  };
+
+  // Opcode pools by shape.
+  static const Op I32Bin[] = {Op::I32Add, Op::I32Sub, Op::I32Mul, Op::I32DivS,
+                              Op::I32DivU, Op::I32RemS, Op::I32RemU,
+                              Op::I32And, Op::I32Or, Op::I32Xor, Op::I32Shl,
+                              Op::I32ShrS, Op::I32ShrU, Op::I32Rotl,
+                              Op::I32Rotr, Op::I32Eq, Op::I32Ne, Op::I32LtS,
+                              Op::I32LtU, Op::I32GtS, Op::I32GtU, Op::I32LeS,
+                              Op::I32LeU, Op::I32GeS, Op::I32GeU};
+  static const Op I64Bin[] = {Op::I64Add, Op::I64Sub, Op::I64Mul, Op::I64DivS,
+                              Op::I64DivU, Op::I64RemS, Op::I64RemU,
+                              Op::I64And, Op::I64Or, Op::I64Xor, Op::I64Shl,
+                              Op::I64ShrS, Op::I64ShrU, Op::I64Rotl,
+                              Op::I64Rotr};
+  static const Op F32Bin[] = {Op::F32Add, Op::F32Sub, Op::F32Mul, Op::F32Div,
+                              Op::F32Min, Op::F32Max, Op::F32Copysign};
+  static const Op F64Bin[] = {Op::F64Add, Op::F64Sub, Op::F64Mul, Op::F64Div,
+                              Op::F64Min, Op::F64Max, Op::F64Copysign};
+  static const Op I32Un[] = {Op::I32Clz, Op::I32Ctz, Op::I32Popcnt,
+                             Op::I32Eqz};
+  static const Op I64Un[] = {Op::I64Clz, Op::I64Ctz, Op::I64Popcnt};
+  static const Op F32Un[] = {Op::F32Abs, Op::F32Neg, Op::F32Ceil,
+                             Op::F32Floor, Op::F32Trunc, Op::F32Nearest,
+                             Op::F32Sqrt};
+  static const Op F64Un[] = {Op::F64Abs, Op::F64Neg, Op::F64Ceil,
+                             Op::F64Floor, Op::F64Trunc, Op::F64Nearest,
+                             Op::F64Sqrt};
+  static const Op FromI32[] = {Op::I64ExtendI32S, Op::I64ExtendI32U,
+                               Op::F32ConvertI32S, Op::F32ConvertI32U,
+                               Op::F64ConvertI32S, Op::F64ConvertI32U,
+                               Op::F32ReinterpretI32};
+  static const Op FromI64[] = {Op::I32WrapI64, Op::F32ConvertI64S,
+                               Op::F32ConvertI64U, Op::F64ConvertI64S,
+                               Op::F64ConvertI64U, Op::F64ReinterpretI64};
+  static const Op FromF32[] = {Op::I32TruncF32S, Op::I32TruncF32U,
+                               Op::I64TruncF32S, Op::I64TruncF32U,
+                               Op::F64PromoteF32, Op::I32ReinterpretF32};
+  static const Op FromF64[] = {Op::I32TruncF64S, Op::I32TruncF64U,
+                               Op::I64TruncF64S, Op::I64TruncF64U,
+                               Op::F32DemoteF64, Op::I64ReinterpretF64};
+
+  // Seed the stack from the parameter.
+  Body.push_back(WInst::idx(Op::LocalGet, 0));
+  Stk.push_back(ValType::I32);
+
+  for (unsigned I = 0; I < Steps; ++I) {
+    unsigned Choice = R.below(10);
+    if (Stk.size() < 2 || Choice < 3) {
+      pushConst();
+      continue;
+    }
+    ValType Top = Stk.back();
+    if (Choice < 6 && Stk[Stk.size() - 2] == Top) { // binop
+      const Op *Pool = nullptr;
+      uint32_t N = 0;
+      switch (Top) {
+      case ValType::I32: Pool = I32Bin; N = 25; break;
+      case ValType::I64: Pool = I64Bin; N = 15; break;
+      case ValType::F32: Pool = F32Bin; N = 7; break;
+      case ValType::F64: Pool = F64Bin; N = 7; break;
+      }
+      Op K = Pool[R.below(N)];
+      Body.push_back(WInst::mk(K));
+      Stk.pop_back();
+      Stk.pop_back();
+      Stk.push_back(opSignature(K).Out[0]);
+      continue;
+    }
+    if (Choice < 8) { // unop
+      const Op *Pool = nullptr;
+      uint32_t N = 0;
+      switch (Top) {
+      case ValType::I32: Pool = I32Un; N = 4; break;
+      case ValType::I64: Pool = I64Un; N = 3; break;
+      case ValType::F32: Pool = F32Un; N = 7; break;
+      case ValType::F64: Pool = F64Un; N = 7; break;
+      }
+      Op K = Pool[R.below(N)];
+      Body.push_back(WInst::mk(K));
+      Stk.back() = opSignature(K).Out[0];
+      continue;
+    }
+    if (Choice == 8) { // conversion
+      const Op *Pool = nullptr;
+      uint32_t N = 0;
+      switch (Top) {
+      case ValType::I32: Pool = FromI32; N = 7; break;
+      case ValType::I64: Pool = FromI64; N = 6; break;
+      case ValType::F32: Pool = FromF32; N = 6; break;
+      case ValType::F64: Pool = FromF64; N = 6; break;
+      }
+      Op K = Pool[R.below(N)];
+      Body.push_back(WInst::mk(K));
+      Stk.back() = opSignature(K).Out[0];
+      continue;
+    }
+    fold(); // checksum the top into the accumulator
+  }
+  while (!Stk.empty())
+    fold();
+  Body.push_back(WInst::idx(Op::LocalGet, 1));
+  return oneFunc({{ValType::I32}, {ValType::I32}}, {ValType::I32},
+                 std::move(Body));
+}
+
+} // namespace
+
+TEST(ExecFuzz, StraightLineNumericSweep) {
+  unsigned Agree = 0, Trapped = 0;
+  for (uint64_t Seed = 1; Seed <= 150; ++Seed) {
+    WModule M = fuzzModule(Seed, 60);
+    ASSERT_TRUE(validate(M).ok())
+        << "seed " << Seed << ": " << validate(M).error().message();
+    for (uint32_t Arg : {0u, 0xdeadbeefu}) {
+      RunResult T = runOn(M, EngineKind::Tree, "f", {WValue::i32(Arg)});
+      RunResult F = runOn(M, EngineKind::Flat, "f", {WValue::i32(Arg)});
+      ASSERT_EQ(T.Ok, F.Ok) << "seed " << Seed << " arg " << Arg
+                            << " tree: " << T.Err << " flat: " << F.Err;
+      ASSERT_EQ(T.Err, F.Err) << "seed " << Seed;
+      if (T.Ok) {
+        ASSERT_EQ(T.Results[0].Bits, F.Results[0].Bits)
+            << "seed " << Seed << " arg " << Arg;
+        ++Agree;
+      } else {
+        ++Trapped;
+      }
+    }
+  }
+  // The sweep must actually exercise both completion and trapping.
+  EXPECT_GT(Agree, 50u);
+  EXPECT_GT(Trapped, 10u);
+}
+
+//===----------------------------------------------------------------------===//
+// Flat-engine specifics
+//===----------------------------------------------------------------------===//
+
+TEST(ExecFlat, TranslationShrinksDispatchCount) {
+  // The flat engine must execute fewer dispatches than the tree walker
+  // for the same structured program (blocks/ends/dead code erased).
+  ir::Module M = rwbench::loopModule(100);
+  auto LP = lower::lowerProgram({&M});
+  ASSERT_TRUE(bool(LP));
+  auto TI = createInstance(LP->Module, EngineKind::Tree);
+  auto FI = createInstance(LP->Module, EngineKind::Flat);
+  ASSERT_TRUE(TI->initialize().ok());
+  ASSERT_TRUE(FI->initialize().ok());
+  ASSERT_TRUE(bool(TI->invokeByName("loopmod.main", {})));
+  ASSERT_TRUE(bool(FI->invokeByName("loopmod.main", {})));
+  EXPECT_GT(TI->instrCount(), 0u);
+  EXPECT_GT(FI->instrCount(), 0u);
+  EXPECT_LE(FI->instrCount(), TI->instrCount());
+}
+
+TEST(ExecFlat, FuelExhaustionTraps) {
+  WModule M = oneFunc({{}, {}}, {},
+                      {WInst::block({{}, {}},
+                                    {WInst::loop({{}, {}},
+                                                 {WInst::idx(Op::Br, 0)})})});
+  auto FI = createInstance(M, EngineKind::Flat);
+  ASSERT_TRUE(FI->initialize().ok());
+  auto R = FI->invoke(0, {}, /*MaxFuel=*/1000);
+  ASSERT_FALSE(bool(R));
+  EXPECT_EQ(R.error().message(), "trap: fuel exhausted");
+}
+
+TEST(ExecFlat, ImportInvokeResultArityMatchesTree) {
+  // invoke() of an import index must apply the same result handling as
+  // the tree engine: keep the last |results| values from the host.
+  WModule M;
+  uint32_t TI = M.addType({{}, {ValType::I32}});
+  M.ImportFuncs.push_back({"env", "chatty", TI});
+  auto Bind = [](Instance &I) {
+    I.registerHost("env", "chatty",
+                   [](Instance &, const std::vector<WValue> &)
+                       -> Expected<std::vector<WValue>> {
+                     return std::vector<WValue>{WValue::i32(1),
+                                                WValue::i32(42)};
+                   });
+  };
+  std::vector<std::vector<WValue>> Out;
+  for (EngineKind K : BothEngines) {
+    auto I = createInstance(M, K);
+    Bind(*I);
+    ASSERT_TRUE(I->initialize().ok());
+    auto R = I->invoke(0, {});
+    ASSERT_TRUE(bool(R)) << engineKindName(K);
+    Out.push_back(*R);
+  }
+  ASSERT_EQ(Out[0].size(), Out[1].size());
+  EXPECT_EQ(Out[0][0].Bits, Out[1][0].Bits);
+  EXPECT_EQ(Out[1][0].asU32(), 42u);
+}
+
+TEST(ExecFlat, RunStartFalseStillBuildsInstanceState) {
+  // LinkOptions::RunStart only gates the start function; the instance
+  // (memory, globals, engine preparation) must still exist.
+  ir::Module M = rwbench::loopModule(10);
+  for (EngineKind K : BothEngines) {
+    link::LinkOptions Opts;
+    Opts.Engine = K;
+    Opts.RunStart = false;
+    auto LI = link::instantiateLowered({&M}, Opts);
+    ASSERT_TRUE(bool(LI)) << LI.error().message();
+    EXPECT_FALSE(LI->Instance->memory().empty()) << engineKindName(K);
+    auto R = LI->invokeExport("loopmod.main", {});
+    ASSERT_TRUE(bool(R)) << engineKindName(K) << ": "
+                         << R.error().message();
+    EXPECT_EQ((*R)[0].asU32(), 55u);
+  }
+}
+
+TEST(ExecFlat, EngineKindReporting) {
+  WModule M = oneFunc({{}, {}}, {}, {});
+  EXPECT_EQ(createInstance(M, EngineKind::Tree)->engine(), EngineKind::Tree);
+  EXPECT_EQ(createInstance(M, EngineKind::Flat)->engine(), EngineKind::Flat);
+  EXPECT_STREQ(engineKindName(EngineKind::Flat), "flat");
+}

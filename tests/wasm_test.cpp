@@ -195,7 +195,7 @@ TEST(WasmInterp, HostFunctionImport) {
   M.Exports.push_back({"f", ExportKind::Func, 1});
   WasmInstance Inst(M);
   Inst.registerHost("env", "double",
-                    [](WasmInstance &, const std::vector<WValue> &Args)
+                    [](Instance &, const std::vector<WValue> &Args)
                         -> Expected<std::vector<WValue>> {
                       return std::vector<WValue>{
                           WValue::i32(Args[0].asU32() * 2)};
