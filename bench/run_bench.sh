@@ -1,22 +1,34 @@
 #!/usr/bin/env bash
-# Runs the interpreter-throughput benchmark on both execution engines
-# and emits BENCH_interp.json with per-engine throughput plus the
-# Tree→Flat geomean speedup, so successive PRs have a perf trajectory.
+# Runs the benchmark suite's trajectory experiments and emits machine-
+# readable JSON so successive PRs have perf trajectories:
 #
-# Usage: bench/run_bench.sh [build-dir] [output.json]
+#  * BENCH_interp.json  — interpreter throughput on both execution engines
+#                         (fig4), with the Tree→Flat geomean speedup;
+#  * BENCH_typing.json  — type-checker throughput (fig7 F7_CheckModule and
+#                         the T1 soundness generate-check-run loop), the
+#                         admission-control hot path at link boundaries.
+#
+# Usage: bench/run_bench.sh [build-dir] [interp-out.json] [typing-out.json]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_interp.json}"
+TYPING_OUT="${3:-BENCH_typing.json}"
 BIN="$BUILD_DIR/fig4_interp_throughput"
+TYPING_BIN="$BUILD_DIR/fig7_typecheck_throughput"
+T1_BIN="$BUILD_DIR/t1_soundness_throughput"
 
-if [[ ! -x "$BIN" ]]; then
-  echo "error: $BIN not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
-  exit 1
-fi
+for B in "$BIN" "$TYPING_BIN" "$T1_BIN"; do
+  if [[ ! -x "$B" ]]; then
+    echo "error: $B not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+  fi
+done
 
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+TYPING_RAW="$(mktemp)"
+T1_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$TYPING_RAW" "$T1_RAW"' EXIT
 
 "$BIN" --benchmark_filter='F4_Wasm' --benchmark_format=json \
        --benchmark_repetitions="${BENCH_REPS:-1}" >"$RAW"
@@ -69,4 +81,58 @@ if geomean is None:
           "skipped or errored)")
     sys.exit(1)
 print(f"wrote {sys.argv[2]}: geomean Tree->Flat speedup = {geomean:.2f}x")
+EOF
+
+"$TYPING_BIN" --benchmark_filter='F7_' --benchmark_format=json \
+              --benchmark_repetitions="${BENCH_REPS:-1}" >"$TYPING_RAW"
+"$T1_BIN" --benchmark_filter='T1_' --benchmark_format=json \
+          --benchmark_repetitions="${BENCH_REPS:-1}" >"$T1_RAW"
+
+# BENCH_BASELINE_TYPING can point at a previous BENCH_typing.json to embed
+# per-benchmark speedups (the F7_CheckModule geomean gates checker PRs).
+python3 - "$TYPING_RAW" "$T1_RAW" "$TYPING_OUT" <<'EOF'
+import json, sys, math, os, datetime
+
+results = {}
+for path in (sys.argv[1], sys.argv[2]):
+    raw = json.load(open(path))
+    for b in raw["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue
+        if b.get("error_occurred") or b.get("skipped"):
+            continue
+        cur = results.get(b["name"])
+        if cur is None or b["real_time"] < cur["ns"]:
+            results[b["name"]] = {
+                "ns": b["real_time"],
+                "per_sec": b.get("funcs/s") or b.get("programs/s"),
+            }
+
+out = {
+    "benchmark": "typing_throughput",
+    "date": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+    "results": results,
+}
+
+baseline_path = os.environ.get("BENCH_BASELINE_TYPING", "")
+if baseline_path and os.path.exists(baseline_path):
+    base = json.load(open(baseline_path))["results"]
+    speedups = {
+        name: base[name]["ns"] / r["ns"]
+        for name, r in results.items()
+        if name in base and r["ns"] > 0
+    }
+    out["speedup_vs_baseline"] = speedups
+    gate = [s for n, s in speedups.items()
+            if n in ("F7_CheckModule/64", "F7_CheckModule/256")]
+    if gate:
+        out["checkmodule_geomean_speedup"] = math.exp(
+            sum(math.log(s) for s in gate) / len(gate))
+
+json.dump(out, open(sys.argv[3], "w"), indent=2)
+line = ", ".join(f"{n}={r['ns']:.0f}ns" for n, r in sorted(results.items()))
+print(f"wrote {sys.argv[3]}: {line}")
+if "checkmodule_geomean_speedup" in out:
+    print(f"F7_CheckModule geomean speedup vs baseline = "
+          f"{out['checkmodule_geomean_speedup']:.2f}x")
 EOF

@@ -16,8 +16,10 @@
 #define RICHWASM_IR_MODULE_H
 
 #include "ir/Inst.h"
+#include "ir/TypeArena.h"
 #include "ir/Types.h"
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -77,6 +79,12 @@ struct Module {
   /// extension over the paper's grammar, needed by the ML frontend to
   /// initialize heap-allocated globals).
   std::optional<uint32_t> Start;
+  /// The type arena this module's types are interned in. Defaults to the
+  /// process-wide arena so that independently built modules share one
+  /// canonical type universe — which is what keeps link-time import/export
+  /// type matching a pointer comparison. The checker, lowering, and linker
+  /// install this as the current arena while processing the module.
+  std::shared_ptr<TypeArena> Arena = TypeArena::globalPtr();
 };
 
 } // namespace rw::ir

@@ -23,6 +23,11 @@ Qual TypeRewriter::rewrite(Qual Q) {
 
 SizeRef TypeRewriter::rewrite(const SizeRef &S) {
   assert(S && "rewriting a null size");
+  // Sizes only contain size variables; a size whose free bound is below
+  // the current size depth (or a rewriter that never touches size
+  // variables) passes through unchanged.
+  if (MemoOn && (!ActSize || S->freeBound() <= SizeDepth))
+    return S;
   switch (S->kind()) {
   case Size::Kind::Const:
     return S;
@@ -46,6 +51,19 @@ Type TypeRewriter::rewrite(const Type &T) {
 
 PretypeRef TypeRewriter::rewrite(const PretypeRef &P) {
   assert(P && "rewriting a null pretype");
+  if (MemoOn && unaffected(P->freeBounds(), P->flags()))
+    return P;
+  if (!memoUsable())
+    return rewriteUncached(P);
+  MemoKey K{P.get(), depthKey()};
+  if (auto It = PMemo.find(K); It != PMemo.end())
+    return It->second;
+  PretypeRef R = rewriteUncached(P);
+  PMemo.emplace(K, R);
+  return R;
+}
+
+PretypeRef TypeRewriter::rewriteUncached(const PretypeRef &P) {
   switch (P->kind()) {
   case PretypeKind::Unit:
   case PretypeKind::Num:
@@ -95,6 +113,19 @@ PretypeRef TypeRewriter::rewrite(const PretypeRef &P) {
 
 HeapTypeRef TypeRewriter::rewrite(const HeapTypeRef &H) {
   assert(H && "rewriting a null heap type");
+  if (MemoOn && unaffected(H->freeBounds(), H->flags()))
+    return H;
+  if (!memoUsable())
+    return rewriteUncached(H);
+  MemoKey K{H.get(), depthKey()};
+  if (auto It = HMemo.find(K); It != HMemo.end())
+    return It->second;
+  HeapTypeRef R = rewriteUncached(H);
+  HMemo.emplace(K, R);
+  return R;
+}
+
+HeapTypeRef TypeRewriter::rewriteUncached(const HeapTypeRef &H) {
   switch (H->kind()) {
   case HeapTypeKind::Variant: {
     const auto *V = cast<VariantHT>(H.get());
@@ -187,6 +218,19 @@ Index TypeRewriter::rewrite(const Index &I) {
 
 FunTypeRef TypeRewriter::rewrite(const FunTypeRef &F) {
   assert(F && "rewriting a null function type");
+  if (MemoOn && unaffected(F->freeBounds(), F->flags()))
+    return F;
+  if (!memoUsable())
+    return rewriteUncached(F);
+  MemoKey K{F.get(), depthKey()};
+  if (auto It = FMemo.find(K); It != FMemo.end())
+    return It->second;
+  FunTypeRef R = rewriteUncached(F);
+  FMemo.emplace(K, R);
+  return R;
+}
+
+FunTypeRef TypeRewriter::rewriteUncached(const FunTypeRef &F) {
   std::vector<Quant> Quants;
   Quants.reserve(F->quants().size());
   // Each quantifier's constraints see the binders declared before it.

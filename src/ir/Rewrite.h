@@ -16,6 +16,15 @@
 ///    or opening a single rec/∃ binder), shifting replacements as they move
 ///    under binders.
 ///
+/// Because types are hash-consed (ir/TypeArena.h), the rewriter exploits
+/// per-node metadata: a subtree whose free-variable bounds show it cannot
+/// be touched by the hooks is returned as-is (closed-type short-circuit),
+/// and rewriters whose hooks are pure in (index, depths) memoize results
+/// per (node, binder-depths) — so rewriting a shared subtree twice costs
+/// one hash lookup the second time. Shifter and Subst opt in; custom
+/// subclasses may via enableStructuralMemo once their replacement state is
+/// final.
+///
 /// rewriteInsts clones an instruction tree through a TypeRewriter, entering
 /// binder scopes for mem.unpack (location) and exist.unpack (pretype)
 /// bodies — this is what call-time substitution e*[z*/κ*] in Fig 4 uses.
@@ -27,6 +36,8 @@
 
 #include "ir/Inst.h"
 #include "ir/Types.h"
+
+#include <unordered_map>
 
 namespace rw::ir {
 
@@ -65,10 +76,78 @@ protected:
   virtual Loc onLocVar(uint32_t Idx) { return Loc::var(Idx); }
   virtual PretypeRef onTypeVar(uint32_t Idx) { return varPT(Idx); }
 
+  /// Opts in to per-(node, depths) memoization and closed-subtree
+  /// short-circuiting. Only valid when the hooks are pure functions of
+  /// (index, current depths) that leave bound variables (index < depth)
+  /// untouched, and when the rewriter's state is final. \p ActLoc..ActType
+  /// say which kinds of free variables the hooks may change; a subtree
+  /// whose free bounds rule out any such occurrence is returned unchanged.
+  /// Set \p NonVarLocs when rewrite(Loc) may also alter skolem/concrete
+  /// locations — subtrees mentioning one are then never short-circuited.
+  void enableStructuralMemo(bool ActLoc, bool ActSize, bool ActQual,
+                            bool ActType, bool NonVarLocs = false) {
+    MemoOn = true;
+    this->ActLoc = ActLoc;
+    this->ActSize = ActSize;
+    this->ActQual = ActQual;
+    this->ActType = ActType;
+    this->NonVarLocs = NonVarLocs;
+  }
+
   uint32_t LocDepth = 0;
   uint32_t SizeDepth = 0;
   uint32_t QualDepth = 0;
   uint32_t TypeDepth = 0;
+
+private:
+  /// True when the hooks provably leave every variable of \p FB unchanged
+  /// at the current depths (and, for loc-rewriting hooks, the subtree
+  /// mentions no skolem/concrete location).
+  bool unaffected(const FreeBounds &FB, uint8_t Flags) const {
+    if (NonVarLocs && (Flags & (TF_HasSkolemLoc | TF_HasConcreteLoc)))
+      return false;
+    return (!ActLoc || FB.Loc <= LocDepth) &&
+           (!ActSize || FB.Size <= SizeDepth) &&
+           (!ActQual || FB.Qual <= QualDepth) &&
+           (!ActType || FB.Type <= TypeDepth);
+  }
+  /// Packs the four binder depths into one memo-key word.
+  uint64_t depthKey() const {
+    return (static_cast<uint64_t>(LocDepth & 0xffff)) |
+           (static_cast<uint64_t>(SizeDepth & 0xffff) << 16) |
+           (static_cast<uint64_t>(QualDepth & 0xffff) << 32) |
+           (static_cast<uint64_t>(TypeDepth & 0xffff) << 48);
+  }
+  bool memoUsable() const {
+    return MemoOn && LocDepth < 0x10000 && SizeDepth < 0x10000 &&
+           QualDepth < 0x10000 && TypeDepth < 0x10000;
+  }
+
+  struct MemoKey {
+    const void *Node;
+    uint64_t Depths;
+    bool operator==(const MemoKey &O) const {
+      return Node == O.Node && Depths == O.Depths;
+    }
+  };
+  struct MemoKeyHash {
+    size_t operator()(const MemoKey &K) const {
+      uint64_t H = reinterpret_cast<uintptr_t>(K.Node);
+      H ^= K.Depths + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+      return static_cast<size_t>(H);
+    }
+  };
+
+  bool MemoOn = false;
+  bool ActLoc = false, ActSize = false, ActQual = false, ActType = false;
+  bool NonVarLocs = false;
+  std::unordered_map<MemoKey, PretypeRef, MemoKeyHash> PMemo;
+  std::unordered_map<MemoKey, HeapTypeRef, MemoKeyHash> HMemo;
+  std::unordered_map<MemoKey, FunTypeRef, MemoKeyHash> FMemo;
+
+  PretypeRef rewriteUncached(const PretypeRef &P);
+  HeapTypeRef rewriteUncached(const HeapTypeRef &H);
+  FunTypeRef rewriteUncached(const FunTypeRef &F);
 };
 
 /// Adds per-kind deltas to all free variables (those with index >= the
@@ -76,7 +155,9 @@ protected:
 class Shifter : public TypeRewriter {
 public:
   Shifter(uint32_t DLoc, uint32_t DSize, uint32_t DQual, uint32_t DType)
-      : DLoc(DLoc), DSize(DSize), DQual(DQual), DType(DType) {}
+      : DLoc(DLoc), DSize(DSize), DQual(DQual), DType(DType) {
+    enableStructuralMemo(DLoc != 0, DSize != 0, DQual != 0, DType != 0);
+  }
 
 protected:
   Qual onQualVar(uint32_t Idx) override {
@@ -101,13 +182,13 @@ private:
 /// type's quantifier list); binders beyond the replaced group are stripped
 /// (their indices drop by the group size). Replacements are shifted by the
 /// current depths as they move under binders.
+///
+/// The replacement vectors are populated only through the factories below
+/// — the first rewrite call freezes which variable kinds the memoization
+/// treats as active, so later mutation would be unsound (and is also
+/// guarded by a debug fingerprint).
 class Subst : public TypeRewriter {
 public:
-  std::vector<Loc> Locs;
-  std::vector<SizeRef> Sizes;
-  std::vector<Qual> Quals;
-  std::vector<PretypeRef> Types;
-
   /// Builds a substitution from a quantifier instantiation list (the κ*/z*
   /// of call/inst), splitting the indices by kind.
   static Subst fromIndices(const std::vector<Index> &Args);
@@ -125,11 +206,74 @@ public:
     return S;
   }
 
+  Type rewrite(const Type &T) { return seal().TypeRewriter::rewrite(T); }
+  PretypeRef rewrite(const PretypeRef &P) {
+    return seal().TypeRewriter::rewrite(P);
+  }
+  HeapTypeRef rewrite(const HeapTypeRef &H) {
+    return seal().TypeRewriter::rewrite(H);
+  }
+  FunTypeRef rewrite(const FunTypeRef &F) {
+    return seal().TypeRewriter::rewrite(F);
+  }
+  ArrowType rewrite(const ArrowType &A) {
+    return seal().TypeRewriter::rewrite(A);
+  }
+  SizeRef rewrite(const SizeRef &S) { return seal().TypeRewriter::rewrite(S); }
+  Qual rewrite(Qual Q) { return seal().TypeRewriter::rewrite(Q); }
+  using TypeRewriter::rewrite; // Loc, Quant, Index.
+
 protected:
   Qual onQualVar(uint32_t Idx) override;
   SizeRef onSizeVar(uint32_t Idx) override;
   Loc onLocVar(uint32_t Idx) override;
   PretypeRef onTypeVar(uint32_t Idx) override;
+
+private:
+  std::vector<Loc> Locs;
+  std::vector<SizeRef> Sizes;
+  std::vector<Qual> Quals;
+  std::vector<PretypeRef> Types;
+
+  /// Debug fingerprint of the replacement vectors (element-sensitive, not
+  /// just sizes), so mutation after the first rewrite is caught.
+  size_t replacementFingerprint() const {
+    auto Mix = [](size_t H, size_t V) {
+      return H ^ (V + 0x9e3779b9u + (H << 6) + (H >> 2));
+    };
+    size_t H = Locs.size();
+    for (const Loc &L : Locs)
+      H = Mix(H, L.isVar() ? L.varIndex() + 1
+                           : (L.isSkolem() ? L.skolemId() * 3 + 2
+                                           : L.addr() * 5 + 3));
+    for (const SizeRef &S : Sizes)
+      H = Mix(H, reinterpret_cast<uintptr_t>(S.get()));
+    for (Qual Q : Quals)
+      H = Mix(H, Q.isVar() ? Q.varIndex() * 2 + 1
+                           : static_cast<size_t>(Q.constValue()) * 2);
+    for (const PretypeRef &P : Types)
+      H = Mix(H, reinterpret_cast<uintptr_t>(P.get()));
+    return H;
+  }
+
+  /// Enables memoization once the replacement vectors are known; later
+  /// mutation of the vectors would make the frozen activity flags (and any
+  /// cached results) wrong, so it is rejected in debug builds via the
+  /// element-sensitive fingerprint above.
+  Subst &seal() {
+    if (!Sealed) {
+      Sealed = true;
+      SealedFingerprint = replacementFingerprint();
+      enableStructuralMemo(!Locs.empty(), !Sizes.empty(), !Quals.empty(),
+                           !Types.empty());
+    } else {
+      assert(SealedFingerprint == replacementFingerprint() &&
+             "Subst replacement vectors mutated after the first rewrite");
+    }
+    return *this;
+  }
+  bool Sealed = false;
+  size_t SealedFingerprint = 0;
 };
 
 /// Clones an instruction sequence, rewriting every embedded type, size,

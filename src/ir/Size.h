@@ -11,12 +11,16 @@
 /// tracks them to make strong updates safe in flat memory. A size is a
 /// constant, a de Bruijn size variable, or a sum.
 ///
+/// Sizes are hash-consed: every node is allocated by a TypeArena (see
+/// ir/TypeArena.h), canonicalized to its +-normal form at intern time, and
+/// unique per structural identity within its arena. Consequently
+/// `sizeEquals` is pointer identity and `normalizeSize` is a field read.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RICHWASM_IR_SIZE_H
 #define RICHWASM_IR_SIZE_H
 
-#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -26,35 +30,44 @@
 namespace rw::ir {
 
 class Size;
+class TypeArena;
+struct TypeArenaAccess;
 using SizeRef = std::shared_ptr<const Size>;
 
-/// A size expression tree.
-class Size {
+/// The normal form of a size: a constant plus a sorted multiset of size
+/// variables. Two sizes are structurally equal iff their normal forms match.
+struct NormalSize {
+  uint64_t Const = 0;
+  std::vector<uint32_t> Vars; ///< Sorted, with multiplicity.
+
+  bool operator==(const NormalSize &O) const {
+    return Const == O.Const && Vars == O.Vars;
+  }
+
+  /// True when this size is a closed constant (no variables).
+  bool isConst() const { return Vars.empty(); }
+};
+
+/// A size expression tree in canonical (+-normalized) form.
+///
+/// The canonical shape for a normal form `c + v0 + v1 + ...` (variables
+/// sorted ascending, with multiplicity) is a left-leaning chain of sums over
+/// the variables with the constant folded in last (and omitted when zero);
+/// a variable-free size is a single Const node. Construct sizes only through
+/// the factories below — they intern into the current TypeArena, which is
+/// what makes pointer comparison a complete equality test.
+/// (enable_shared_from_this lets the arena's lock-free memo fast paths hand
+/// out *owning* references from a raw cached pointer.)
+class Size : public std::enable_shared_from_this<Size> {
 public:
   enum class Kind : uint8_t { Const, Var, Plus };
 
-  /// Creates the constant size \p Bits.
-  static SizeRef constant(uint64_t Bits) {
-    auto S = std::make_shared<Size>(Kind::Const);
-    S->ConstBits = Bits;
-    return S;
-  }
-  /// Creates a size variable with de Bruijn index \p Idx.
-  static SizeRef var(uint32_t Idx) {
-    auto S = std::make_shared<Size>(Kind::Var);
-    S->VarIdx = Idx;
-    return S;
-  }
-  /// Creates the sum \p L + \p R.
-  static SizeRef plus(SizeRef L, SizeRef R) {
-    assert(L && R && "plus of null sizes");
-    auto S = std::make_shared<Size>(Kind::Plus);
-    S->LHS = std::move(L);
-    S->RHS = std::move(R);
-    return S;
-  }
-
-  explicit Size(Kind K) : K(K) {}
+  /// Interns the constant size \p Bits in the current TypeArena.
+  static SizeRef constant(uint64_t Bits);
+  /// Interns a size variable with de Bruijn index \p Idx.
+  static SizeRef var(uint32_t Idx);
+  /// Interns the canonicalized sum \p L + \p R.
+  static SizeRef plus(SizeRef L, SizeRef R);
 
   Kind kind() const { return K; }
   uint64_t constBits() const {
@@ -74,6 +87,16 @@ public:
     return RHS;
   }
 
+  /// The +-normal form, precomputed at intern time.
+  const NormalSize &norm() const { return Norm; }
+  /// 1 + the largest free size-variable index in this size (0 when closed).
+  uint32_t freeBound() const { return FreeBound; }
+  /// Structural hash, stable across arenas.
+  uint64_t hashValue() const { return H; }
+  /// The arena that owns this node (used for memoized judgments). A node
+  /// must not be used after its owning arena is destroyed.
+  TypeArena *arena() const { return Arena; }
+
   std::string str() const {
     switch (K) {
     case Kind::Const:
@@ -87,62 +110,43 @@ public:
   }
 
 private:
+  friend class TypeArena;
+  friend struct TypeArenaAccess;
+  explicit Size(Kind K) : K(K) {}
+
   Kind K;
   uint64_t ConstBits = 0;
   uint32_t VarIdx = 0;
   SizeRef LHS, RHS;
+  NormalSize Norm;
+  uint32_t FreeBound = 0;
+  uint64_t H = 0;
+  TypeArena *Arena = nullptr;
 };
 
-/// The normal form of a size: a constant plus a sorted multiset of size
-/// variables. Two sizes are structurally equal iff their normal forms match.
-struct NormalSize {
-  uint64_t Const = 0;
-  std::vector<uint32_t> Vars; ///< Sorted, with multiplicity.
-
-  bool operator==(const NormalSize &O) const {
-    return Const == O.Const && Vars == O.Vars;
-  }
-
-  /// True when this size is a closed constant (no variables).
-  bool isConst() const { return Vars.empty(); }
-};
-
-/// Flattens \p S into its normal form.
-inline NormalSize normalizeSize(const SizeRef &S) {
-  NormalSize N;
-  // Iterative worklist to avoid deep recursion on pathological sums.
-  std::vector<const Size *> Work = {S.get()};
-  while (!Work.empty()) {
-    const Size *Cur = Work.back();
-    Work.pop_back();
-    assert(Cur && "null size in normalization");
-    switch (Cur->kind()) {
-    case Size::Kind::Const:
-      N.Const += Cur->constBits();
-      break;
-    case Size::Kind::Var:
-      N.Vars.push_back(Cur->varIndex());
-      break;
-    case Size::Kind::Plus:
-      Work.push_back(Cur->lhs().get());
-      Work.push_back(Cur->rhs().get());
-      break;
-    }
-  }
-  std::sort(N.Vars.begin(), N.Vars.end());
-  return N;
+/// O(1): the normal form is computed once when the node is interned.
+inline const NormalSize &normalizeSize(const SizeRef &S) {
+  assert(S && "normalizing a null size");
+  return S->norm();
 }
 
-/// Structural equality modulo associativity/commutativity of `+`.
+/// Structural equality modulo associativity/commutativity of `+`. Sizes are
+/// canonicalized at intern time, so this is pointer identity (valid for
+/// sizes interned in the same arena; see ir/TypeArena.h).
 inline bool sizeEquals(const SizeRef &A, const SizeRef &B) {
+  return A.get() == B.get();
+}
+
+/// Deep structural equality via normal forms — the pre-interning reference
+/// semantics, kept for differential testing against pointer equality.
+inline bool structuralSizeEquals(const SizeRef &A, const SizeRef &B) {
   return normalizeSize(A) == normalizeSize(B);
 }
 
 /// Returns the constant value of a closed size, asserting closedness.
 inline uint64_t closedSizeBits(const SizeRef &S) {
-  NormalSize N = normalizeSize(S);
-  assert(N.isConst() && "size is not closed");
-  return N.Const;
+  assert(S && S->norm().isConst() && "size is not closed");
+  return S->norm().Const;
 }
 
 } // namespace rw::ir

@@ -6,20 +6,16 @@
 
 #include "ir/TypeOps.h"
 
+#include "ir/TypeArena.h"
+
 #include <cassert>
 
 using namespace rw;
 using namespace rw::ir;
 
 //===----------------------------------------------------------------------===//
-// Structural equality
+// Shallow equality over interned children (arrow/quant are value types)
 //===----------------------------------------------------------------------===//
-
-bool rw::ir::typeEquals(const Type &A, const Type &B) {
-  if (A.Q != B.Q)
-    return false;
-  return pretypeEquals(*A.P, *B.P);
-}
 
 static bool typesEqual(const std::vector<Type> &A, const std::vector<Type> &B) {
   if (A.size() != B.size())
@@ -63,46 +59,110 @@ bool rw::ir::quantEquals(const Quant &A, const Quant &B) {
   return false;
 }
 
-bool rw::ir::funTypeEquals(const FunType &A, const FunType &B) {
+//===----------------------------------------------------------------------===//
+// Deep-structural equality — reference implementations (tests only)
+//===----------------------------------------------------------------------===//
+
+static bool structuralSizeRefEquals(const SizeRef &A, const SizeRef &B) {
+  if (A.get() == B.get())
+    return true;
+  if (!A || !B)
+    return false;
+  return structuralSizeEquals(A, B);
+}
+
+bool rw::ir::structuralTypeEquals(const Type &A, const Type &B) {
+  if (A.Q != B.Q)
+    return false;
+  return structuralPretypeEquals(*A.P, *B.P);
+}
+
+static bool structuralTypesEqual(const std::vector<Type> &A,
+                                 const std::vector<Type> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0, E = A.size(); I != E; ++I)
+    if (!structuralTypeEquals(A[I], B[I]))
+      return false;
+  return true;
+}
+
+static bool structuralSizesEqual(const std::vector<SizeRef> &A,
+                                 const std::vector<SizeRef> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0, E = A.size(); I != E; ++I)
+    if (!structuralSizeRefEquals(A[I], B[I]))
+      return false;
+  return true;
+}
+
+bool rw::ir::structuralArrowEquals(const ArrowType &A, const ArrowType &B) {
+  return structuralTypesEqual(A.Params, B.Params) &&
+         structuralTypesEqual(A.Results, B.Results);
+}
+
+bool rw::ir::structuralQuantEquals(const Quant &A, const Quant &B) {
+  if (A.K != B.K)
+    return false;
+  switch (A.K) {
+  case QuantKind::Loc:
+    return true;
+  case QuantKind::Size:
+    return structuralSizesEqual(A.SizeLower, B.SizeLower) &&
+           structuralSizesEqual(A.SizeUpper, B.SizeUpper);
+  case QuantKind::Qual:
+    return A.QualLower == B.QualLower && A.QualUpper == B.QualUpper;
+  case QuantKind::Type:
+    return A.TypeQualLower == B.TypeQualLower &&
+           structuralSizeRefEquals(A.TypeSizeUpper, B.TypeSizeUpper) &&
+           A.TypeNoCaps == B.TypeNoCaps;
+  }
+  return false;
+}
+
+bool rw::ir::structuralFunTypeEquals(const FunType &A, const FunType &B) {
   if (A.quants().size() != B.quants().size())
     return false;
   for (size_t I = 0, E = A.quants().size(); I != E; ++I)
-    if (!quantEquals(A.quants()[I], B.quants()[I]))
+    if (!structuralQuantEquals(A.quants()[I], B.quants()[I]))
       return false;
-  return arrowEquals(A.arrow(), B.arrow());
+  return structuralArrowEquals(A.arrow(), B.arrow());
 }
 
-bool rw::ir::heapTypeEquals(const HeapType &A, const HeapType &B) {
+bool rw::ir::structuralHeapTypeEquals(const HeapType &A, const HeapType &B) {
   if (A.kind() != B.kind())
     return false;
   switch (A.kind()) {
   case HeapTypeKind::Variant:
-    return typesEqual(cast<VariantHT>(&A)->cases(),
-                      cast<VariantHT>(&B)->cases());
+    return structuralTypesEqual(cast<VariantHT>(&A)->cases(),
+                                cast<VariantHT>(&B)->cases());
   case HeapTypeKind::Struct: {
     const auto &FA = cast<StructHT>(&A)->fields();
     const auto &FB = cast<StructHT>(&B)->fields();
     if (FA.size() != FB.size())
       return false;
     for (size_t I = 0, E = FA.size(); I != E; ++I)
-      if (!typeEquals(FA[I].T, FB[I].T) || !sizeEquals(FA[I].Slot, FB[I].Slot))
+      if (!structuralTypeEquals(FA[I].T, FB[I].T) ||
+          !structuralSizeRefEquals(FA[I].Slot, FB[I].Slot))
         return false;
     return true;
   }
   case HeapTypeKind::Array:
-    return typeEquals(cast<ArrayHT>(&A)->elem(), cast<ArrayHT>(&B)->elem());
+    return structuralTypeEquals(cast<ArrayHT>(&A)->elem(),
+                                cast<ArrayHT>(&B)->elem());
   case HeapTypeKind::Ex: {
     const auto *EA = cast<ExHT>(&A);
     const auto *EB = cast<ExHT>(&B);
     return EA->qualLower() == EB->qualLower() &&
-           sizeEquals(EA->sizeUpper(), EB->sizeUpper()) &&
-           typeEquals(EA->body(), EB->body());
+           structuralSizeRefEquals(EA->sizeUpper(), EB->sizeUpper()) &&
+           structuralTypeEquals(EA->body(), EB->body());
   }
   }
   return false;
 }
 
-bool rw::ir::pretypeEquals(const Pretype &A, const Pretype &B) {
+bool rw::ir::structuralPretypeEquals(const Pretype &A, const Pretype &B) {
   if (A.kind() != B.kind())
     return false;
   switch (A.kind()) {
@@ -112,15 +172,25 @@ bool rw::ir::pretypeEquals(const Pretype &A, const Pretype &B) {
     return cast<NumPT>(&A)->numType() == cast<NumPT>(&B)->numType();
   case PretypeKind::Var:
     return cast<VarPT>(&A)->index() == cast<VarPT>(&B)->index();
-  case PretypeKind::Skolem:
-    return cast<SkolemPT>(&A)->id() == cast<SkolemPT>(&B)->id();
+  case PretypeKind::Skolem: {
+    // A skolem's identity is (id, binder constraints): the checker mints
+    // fresh ids, but the lowering reuses id 0 with varying bounds, so the
+    // bounds must participate — this is also exactly the intern key, which
+    // is what keeps pointer equality ≡ structural equality.
+    const auto *SA = cast<SkolemPT>(&A);
+    const auto *SB = cast<SkolemPT>(&B);
+    return SA->id() == SB->id() && SA->qualLower() == SB->qualLower() &&
+           structuralSizeRefEquals(SA->sizeUpper(), SB->sizeUpper()) &&
+           SA->noCaps() == SB->noCaps();
+  }
   case PretypeKind::Prod:
-    return typesEqual(cast<ProdPT>(&A)->elems(), cast<ProdPT>(&B)->elems());
+    return structuralTypesEqual(cast<ProdPT>(&A)->elems(),
+                                cast<ProdPT>(&B)->elems());
   case PretypeKind::Ref: {
     const auto *RA = cast<RefPT>(&A);
     const auto *RB = cast<RefPT>(&B);
     return RA->privilege() == RB->privilege() && RA->loc() == RB->loc() &&
-           heapTypeEquals(*RA->heapType(), *RB->heapType());
+           structuralHeapTypeEquals(*RA->heapType(), *RB->heapType());
   }
   case PretypeKind::Ptr:
     return cast<PtrPT>(&A)->loc() == cast<PtrPT>(&B)->loc();
@@ -128,29 +198,32 @@ bool rw::ir::pretypeEquals(const Pretype &A, const Pretype &B) {
     const auto *CA = cast<CapPT>(&A);
     const auto *CB = cast<CapPT>(&B);
     return CA->privilege() == CB->privilege() && CA->loc() == CB->loc() &&
-           heapTypeEquals(*CA->heapType(), *CB->heapType());
+           structuralHeapTypeEquals(*CA->heapType(), *CB->heapType());
   }
   case PretypeKind::Own:
     return cast<OwnPT>(&A)->loc() == cast<OwnPT>(&B)->loc();
   case PretypeKind::Rec: {
     const auto *RA = cast<RecPT>(&A);
     const auto *RB = cast<RecPT>(&B);
-    return RA->bound() == RB->bound() && typeEquals(RA->body(), RB->body());
+    return RA->bound() == RB->bound() &&
+           structuralTypeEquals(RA->body(), RB->body());
   }
   case PretypeKind::ExLoc:
-    return typeEquals(cast<ExLocPT>(&A)->body(), cast<ExLocPT>(&B)->body());
+    return structuralTypeEquals(cast<ExLocPT>(&A)->body(),
+                                cast<ExLocPT>(&B)->body());
   case PretypeKind::Coderef:
-    return funTypeEquals(*cast<CoderefPT>(&A)->funType(),
-                         *cast<CoderefPT>(&B)->funType());
+    return structuralFunTypeEquals(*cast<CoderefPT>(&A)->funType(),
+                                   *cast<CoderefPT>(&B)->funType());
   }
   return false;
 }
 
 //===----------------------------------------------------------------------===//
-// Size metafunction
+// Size metafunction (memoized for closed pretypes)
 //===----------------------------------------------------------------------===//
 
-SizeRef rw::ir::sizeOfPretype(const PretypeRef &P, const TypeVarSizes &Bounds) {
+SizeRef rw::ir::detail::sizeOfPretypeRaw(const PretypeRef &P,
+                                         const TypeVarSizes &Bounds) {
   assert(P && "sizing a null pretype");
   switch (P->kind()) {
   case PretypeKind::Unit:
@@ -190,8 +263,18 @@ SizeRef rw::ir::sizeOfPretype(const PretypeRef &P, const TypeVarSizes &Bounds) {
   return Size::constant(0);
 }
 
+SizeRef rw::ir::sizeOfPretype(const PretypeRef &P, const TypeVarSizes &Bounds) {
+  assert(P && "sizing a null pretype");
+  // A pretype with no free pretype variables has a context-independent
+  // size: answer from the per-node cache in its owning arena. Open
+  // pretypes recurse, with every closed subtree hitting this fast path.
+  if (P->freeBounds().Type == 0 && P->arena())
+    return P->arena()->closedSizeOf(P);
+  return detail::sizeOfPretypeRaw(P, Bounds);
+}
+
 //===----------------------------------------------------------------------===//
-// no_caps
+// no_caps (answered from intern-time bits when context-independent)
 //===----------------------------------------------------------------------===//
 
 bool rw::ir::typeNoCaps(const Type &T, const std::vector<bool> &VarNoCaps) {
@@ -200,6 +283,8 @@ bool rw::ir::typeNoCaps(const Type &T, const std::vector<bool> &VarNoCaps) {
 
 bool rw::ir::heapTypeNoCaps(const HeapTypeRef &H,
                             const std::vector<bool> &VarNoCaps) {
+  if (!H->noCapsDependsOnVars())
+    return H->noCapsIfAllVarsFree();
   switch (H->kind()) {
   case HeapTypeKind::Variant:
     for (const Type &T : cast<VariantHT>(H.get())->cases())
@@ -226,6 +311,8 @@ bool rw::ir::heapTypeNoCaps(const HeapTypeRef &H,
 
 bool rw::ir::pretypeNoCaps(const PretypeRef &P,
                            const std::vector<bool> &VarNoCaps) {
+  if (!P->noCapsDependsOnVars())
+    return P->noCapsIfAllVarsFree();
   switch (P->kind()) {
   case PretypeKind::Unit:
   case PretypeKind::Num:

@@ -11,6 +11,17 @@
 /// context; references, pointers, and code references are one 64-bit word;
 /// erased entities (unit, cap, own) are zero bits.
 ///
+/// Both ||τ|| and the no_caps predicate are memoized on the hash-consed
+/// nodes: a pretype with no free pretype variables has a context-
+/// independent answer, cached per node (sizes in the node's owning arena,
+/// no_caps as intern-time bits); open pretypes recurse, with every closed
+/// subtree answering in O(1).
+///
+/// This header also declares the deep-structural equality *reference
+/// implementations*. Production equality is pointer comparison on interned
+/// nodes (ir/Types.h); these walks exist so differential tests can pin
+/// interned equality ≡ structural equality.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RICHWASM_IR_TYPEOPS_H
@@ -28,19 +39,42 @@ using TypeVarSizes = std::vector<SizeRef>;
 
 /// Computes ||τ|| under \p Bounds. A rec-bound variable is assigned 64 bits
 /// (well-formedness guarantees it only occurs behind a reference, so the
-/// value is never consulted for layout).
+/// value is never consulted for layout). Memoized for closed pretypes.
 SizeRef sizeOfPretype(const PretypeRef &P, const TypeVarSizes &Bounds);
 inline SizeRef sizeOfType(const Type &T, const TypeVarSizes &Bounds) {
   return sizeOfPretype(T.P, Bounds);
 }
 
+namespace detail {
+/// The un-memoized recursion behind sizeOfPretype; used by
+/// TypeArena::closedSizeOf to fill its cache. Not for general use.
+SizeRef sizeOfPretypeRaw(const PretypeRef &P, const TypeVarSizes &Bounds);
+} // namespace detail
+
 /// True if the pretype syntactically cannot contain a capability or
 /// ownership token (the paper's no_caps predicate). Type variables are
 /// capability-free iff their quantifier says so, which \p VarNoCaps
-/// records per index (innermost first).
+/// records per index (innermost first). O(1) whenever the answer does not
+/// depend on the variable flags (precomputed no_caps bits on each node).
 bool pretypeNoCaps(const PretypeRef &P, const std::vector<bool> &VarNoCaps);
 bool typeNoCaps(const Type &T, const std::vector<bool> &VarNoCaps);
 bool heapTypeNoCaps(const HeapTypeRef &H, const std::vector<bool> &VarNoCaps);
+
+//===----------------------------------------------------------------------===//
+// Deep-structural equality — reference implementations (tests only)
+//===----------------------------------------------------------------------===//
+
+/// The pre-interning equality semantics: full tree walks, sizes modulo
+/// +-normalization, skolems by id. Production code uses the pointer
+/// comparisons in ir/Types.h; differential tests check the two agree on
+/// types interned in the same arena, and use these to compare types across
+/// independent arenas (where pointer identity deliberately fails).
+bool structuralTypeEquals(const Type &A, const Type &B);
+bool structuralPretypeEquals(const Pretype &A, const Pretype &B);
+bool structuralHeapTypeEquals(const HeapType &A, const HeapType &B);
+bool structuralFunTypeEquals(const FunType &A, const FunType &B);
+bool structuralArrowEquals(const ArrowType &A, const ArrowType &B);
+bool structuralQuantEquals(const Quant &A, const Quant &B);
 
 } // namespace rw::ir
 

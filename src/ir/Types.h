@@ -14,11 +14,19 @@
 ///                 | (∃ q ⪯ α ≲ sz. τ)
 ///   functions χ ::= ∀κ*. τ1* → τ2*
 ///
-/// Types are immutable shared trees. Variables of every kind (location,
-/// size, qualifier, pretype) are de Bruijn indices in their own index
-/// space, mirroring the paper's separate context components. Pretypes form
-/// an LLVM-style class hierarchy discriminated by PretypeKind, usable with
-/// isa/cast/dyn_cast from support/Casting.h.
+/// Types are immutable *hash-consed* trees: every Pretype/HeapType/FunType
+/// node is interned by a TypeArena (ir/TypeArena.h), so one structural
+/// identity has exactly one node per arena and structural equality is
+/// pointer comparison (`typeEquals` & friends below). Each node carries
+/// precomputed metadata — free-variable bounds per binder kind, occurrence
+/// flags, a structural hash, and no_caps bits — that the rewriter, sizing,
+/// and no_caps judgments use to short-circuit and memoize.
+///
+/// Variables of every kind (location, size, qualifier, pretype) are de
+/// Bruijn indices in their own index space, mirroring the paper's separate
+/// context components. Pretypes form an LLVM-style class hierarchy
+/// discriminated by PretypeKind, usable with isa/cast/dyn_cast from
+/// support/Casting.h.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +39,7 @@
 #include "ir/Size.h"
 #include "support/Casting.h"
 
+#include <atomic>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -40,9 +49,33 @@ namespace rw::ir {
 class Pretype;
 class HeapType;
 class FunType;
+class TypeArena;
+struct TypeArenaAccess;
 using PretypeRef = std::shared_ptr<const Pretype>;
 using HeapTypeRef = std::shared_ptr<const HeapType>;
 using FunTypeRef = std::shared_ptr<const FunType>;
+
+/// Per-kind upper bounds on the free de Bruijn variables of a node: for
+/// each binder kind, 1 + the largest free index occurring in the subtree
+/// (0 = closed with respect to that kind). Precomputed at intern time;
+/// rewriters use it to prove a shift/substitution is the identity without
+/// walking the tree.
+struct FreeBounds {
+  uint32_t Loc = 0;
+  uint32_t Size = 0;
+  uint32_t Qual = 0;
+  uint32_t Type = 0;
+};
+
+/// Occurrence flags precomputed per node (OR over the whole subtree).
+enum TypeNodeFlags : uint8_t {
+  /// Mentions a skolem location (checker eigenvariable of mem.unpack).
+  TF_HasSkolemLoc = 1u << 0,
+  /// Mentions a concrete (runtime) location.
+  TF_HasConcreteLoc = 1u << 1,
+  /// Mentions a skolem pretype (checker eigenvariable of exist.unpack).
+  TF_HasSkolemType = 1u << 2,
+};
 
 /// A value type τ = p^q: a pretype annotated with a qualifier.
 struct Type {
@@ -77,23 +110,64 @@ enum class PretypeKind : uint8_t {
   Coderef,
 };
 
-/// Base class of all pretypes.
-class Pretype {
+/// Base class of all pretypes. Construct via TypeArena (or the free factory
+/// helpers below, which intern into the current arena) — never directly —
+/// so that pointer identity coincides with structural identity.
+/// (enable_shared_from_this lets the arena's lock-free leaf/memo fast paths
+/// hand out owning references from raw cached pointers.)
+class Pretype : public std::enable_shared_from_this<Pretype> {
 public:
   PretypeKind kind() const { return K; }
   virtual ~Pretype() = default;
+
+  /// Free-variable bounds per binder kind (intern-time metadata).
+  const FreeBounds &freeBounds() const { return FB; }
+  /// OR of TypeNodeFlags over the subtree.
+  uint8_t flags() const { return Flags; }
+  /// Structural hash, stable across arenas.
+  uint64_t hashValue() const { return H; }
+  /// The arena that owns this node. A node must not be used after its
+  /// owning arena is destroyed.
+  TypeArena *arena() const { return Arena; }
+
+  /// The value of no_caps when every free pretype variable in scope is
+  /// itself capability-free (an upper bound: flipping a variable's flag to
+  /// "may hold caps" can only turn the predicate false).
+  bool noCapsIfAllVarsFree() const { return NoCapsIfTrue; }
+  /// Whether no_caps actually depends on the free-variable flags; when
+  /// false, noCapsIfAllVarsFree() is the answer in every context.
+  bool noCapsDependsOnVars() const { return NoCapsDepends; }
 
 protected:
   explicit Pretype(PretypeKind K) : K(K) {}
 
 private:
+  friend class TypeArena;
+  friend struct TypeArenaAccess;
   PretypeKind K;
+  uint8_t Flags = 0;
+  bool NoCapsIfTrue = true;
+  bool NoCapsDepends = false;
+  FreeBounds FB;
+  uint64_t H = 0;
+  TypeArena *Arena = nullptr;
+  /// Lock-free fast path of TypeArena::closedSizeOf: the canonical size of
+  /// a closed pretype, owned (kept alive) by the arena's memo table. A
+  /// benign write-once race: every writer stores the same canonical node.
+  mutable std::atomic<const Size *> ClosedSizeMemo{nullptr};
+  /// Success bits of the context-free well-formedness judgment (see
+  /// TypeArena::isKnownWfPretype): bit0 = wf at unr, bit1 = wf at lin.
+  mutable std::atomic<uint8_t> WfMemo{0};
 };
 
 /// The unit pretype; its only value is `()` and its size is 0.
 class UnitPT : public Pretype {
-public:
+private:
+  friend class TypeArena;
+  friend struct TypeArenaAccess;
   UnitPT() : Pretype(PretypeKind::Unit) {}
+
+public:
   static bool classof(const Pretype *P) {
     return P->kind() == PretypeKind::Unit;
   }
@@ -101,8 +175,12 @@ public:
 
 /// A numeric pretype np.
 class NumPT : public Pretype {
-public:
+private:
+  friend class TypeArena;
+  friend struct TypeArenaAccess;
   explicit NumPT(NumType NT) : Pretype(PretypeKind::Num), NT(NT) {}
+
+public:
   NumType numType() const { return NT; }
   static bool classof(const Pretype *P) {
     return P->kind() == PretypeKind::Num;
@@ -114,8 +192,12 @@ private:
 
 /// A pretype variable α (de Bruijn index into the type context).
 class VarPT : public Pretype {
-public:
+private:
+  friend class TypeArena;
+  friend struct TypeArenaAccess;
   explicit VarPT(uint32_t Idx) : Pretype(PretypeKind::Var), Idx(Idx) {}
+
+public:
   uint32_t index() const { return Idx; }
   static bool classof(const Pretype *P) {
     return P->kind() == PretypeKind::Var;
@@ -128,12 +210,19 @@ private:
 /// A skolem pretype — an eigenvariable the type checker introduces when
 /// opening a heap existential (`exist.unpack α. e*`). It remembers the
 /// binder's constraints so entailment and sizing can use them. Skolems
-/// never occur in programs or at runtime.
+/// never occur in programs or at runtime. A skolem's identity — both for
+/// interning and for structural equality — is (Id, bounds): the checker
+/// mints per-check-fresh ids, while the lowering reuses id 0 with varying
+/// bounds, and the bounds keep those distinct.
 class SkolemPT : public Pretype {
-public:
+private:
+  friend class TypeArena;
+  friend struct TypeArenaAccess;
   SkolemPT(uint64_t Id, Qual QualLower, SizeRef SizeUpper, bool NoCaps)
       : Pretype(PretypeKind::Skolem), Id(Id), QualLower(QualLower),
         SizeUpper(std::move(SizeUpper)), NoCaps(NoCaps) {}
+
+public:
   uint64_t id() const { return Id; }
   Qual qualLower() const { return QualLower; }
   const SizeRef &sizeUpper() const { return SizeUpper; }
@@ -151,9 +240,13 @@ private:
 
 /// A tuple pretype (τ*). Produced by seq.group; consumed by seq.ungroup.
 class ProdPT : public Pretype {
-public:
+private:
+  friend class TypeArena;
+  friend struct TypeArenaAccess;
   explicit ProdPT(std::vector<Type> Elems)
       : Pretype(PretypeKind::Prod), Elems(std::move(Elems)) {}
+
+public:
   const std::vector<Type> &elems() const { return Elems; }
   static bool classof(const Pretype *P) {
     return P->kind() == PretypeKind::Prod;
@@ -166,9 +259,13 @@ private:
 /// A reference `ref π ℓ ψ`: the fusion of a capability and a pointer to
 /// location ℓ, holding heap type ψ with privilege π.
 class RefPT : public Pretype {
-public:
+private:
+  friend class TypeArena;
+  friend struct TypeArenaAccess;
   RefPT(Privilege Priv, Loc L, HeapTypeRef HT)
       : Pretype(PretypeKind::Ref), Priv(Priv), L(L), HT(std::move(HT)) {}
+
+public:
   Privilege privilege() const { return Priv; }
   const Loc &loc() const { return L; }
   const HeapTypeRef &heapType() const { return HT; }
@@ -184,8 +281,12 @@ private:
 
 /// A bare pointer `ptr ℓ`: names a location but confers no access.
 class PtrPT : public Pretype {
-public:
+private:
+  friend class TypeArena;
+  friend struct TypeArenaAccess;
   explicit PtrPT(Loc L) : Pretype(PretypeKind::Ptr), L(L) {}
+
+public:
   const Loc &loc() const { return L; }
   static bool classof(const Pretype *P) {
     return P->kind() == PretypeKind::Ptr;
@@ -197,9 +298,13 @@ private:
 
 /// A capability `cap π ℓ ψ`: static ownership of ℓ, erased at runtime.
 class CapPT : public Pretype {
-public:
+private:
+  friend class TypeArena;
+  friend struct TypeArenaAccess;
   CapPT(Privilege Priv, Loc L, HeapTypeRef HT)
       : Pretype(PretypeKind::Cap), Priv(Priv), L(L), HT(std::move(HT)) {}
+
+public:
   Privilege privilege() const { return Priv; }
   const Loc &loc() const { return L; }
   const HeapTypeRef &heapType() const { return HT; }
@@ -215,8 +320,12 @@ private:
 
 /// An ownership token `own ℓ`: write ownership split off a rw capability.
 class OwnPT : public Pretype {
-public:
+private:
+  friend class TypeArena;
+  friend struct TypeArenaAccess;
   explicit OwnPT(Loc L) : Pretype(PretypeKind::Own), L(L) {}
+
+public:
   const Loc &loc() const { return L; }
   static bool classof(const Pretype *P) {
     return P->kind() == PretypeKind::Own;
@@ -230,9 +339,13 @@ private:
 /// qualifiers of the positions the recursive variable may be unfolded into.
 /// Binds one pretype variable in Body.
 class RecPT : public Pretype {
-public:
+private:
+  friend class TypeArena;
+  friend struct TypeArenaAccess;
   RecPT(Qual Bound, Type Body)
       : Pretype(PretypeKind::Rec), Bound(Bound), Body(std::move(Body)) {}
+
+public:
   Qual bound() const { return Bound; }
   const Type &body() const { return Body; }
   static bool classof(const Pretype *P) {
@@ -247,9 +360,13 @@ private:
 /// Existential abstraction over a location: `∃ρ. τ`. Binds one location
 /// variable in Body.
 class ExLocPT : public Pretype {
-public:
+private:
+  friend class TypeArena;
+  friend struct TypeArenaAccess;
   explicit ExLocPT(Type Body)
       : Pretype(PretypeKind::ExLoc), Body(std::move(Body)) {}
+
+public:
   const Type &body() const { return Body; }
   static bool classof(const Pretype *P) {
     return P->kind() == PretypeKind::ExLoc;
@@ -261,9 +378,13 @@ private:
 
 /// A code pointer type `coderef χ`.
 class CoderefPT : public Pretype {
-public:
+private:
+  friend class TypeArena;
+  friend struct TypeArenaAccess;
   explicit CoderefPT(FunTypeRef FT)
       : Pretype(PretypeKind::Coderef), FT(std::move(FT)) {}
+
+public:
   const FunTypeRef &funType() const { return FT; }
   static bool classof(const Pretype *P) {
     return P->kind() == PretypeKind::Coderef;
@@ -280,24 +401,43 @@ private:
 enum class HeapTypeKind : uint8_t { Variant, Struct, Array, Ex };
 
 /// Base class of heap types ψ, describing the structured contents of one
-/// memory cell.
+/// memory cell. Interned like pretypes; carries the same metadata.
 class HeapType {
 public:
   HeapTypeKind kind() const { return K; }
   virtual ~HeapType() = default;
 
+  const FreeBounds &freeBounds() const { return FB; }
+  uint8_t flags() const { return Flags; }
+  uint64_t hashValue() const { return H; }
+  TypeArena *arena() const { return Arena; }
+  bool noCapsIfAllVarsFree() const { return NoCapsIfTrue; }
+  bool noCapsDependsOnVars() const { return NoCapsDepends; }
+
 protected:
   explicit HeapType(HeapTypeKind K) : K(K) {}
 
 private:
+  friend class TypeArena;
+  friend struct TypeArenaAccess;
   HeapTypeKind K;
+  uint8_t Flags = 0;
+  bool NoCapsIfTrue = true;
+  bool NoCapsDepends = false;
+  FreeBounds FB;
+  uint64_t H = 0;
+  TypeArena *Arena = nullptr;
 };
 
 /// `(variant τ*)` — a tagged sum over the listed case types.
 class VariantHT : public HeapType {
-public:
+private:
+  friend class TypeArena;
+  friend struct TypeArenaAccess;
   explicit VariantHT(std::vector<Type> Cases)
       : HeapType(HeapTypeKind::Variant), Cases(std::move(Cases)) {}
+
+public:
   const std::vector<Type> &cases() const { return Cases; }
   static bool classof(const HeapType *H) {
     return H->kind() == HeapTypeKind::Variant;
@@ -317,9 +457,13 @@ struct StructField {
 
 /// `(struct (τ,sz)*)`.
 class StructHT : public HeapType {
-public:
+private:
+  friend class TypeArena;
+  friend struct TypeArenaAccess;
   explicit StructHT(std::vector<StructField> Fields)
       : HeapType(HeapTypeKind::Struct), Fields(std::move(Fields)) {}
+
+public:
   const std::vector<StructField> &fields() const { return Fields; }
   static bool classof(const HeapType *H) {
     return H->kind() == HeapTypeKind::Struct;
@@ -331,9 +475,13 @@ private:
 
 /// `(array τ)` — a variable-length array of τ.
 class ArrayHT : public HeapType {
-public:
+private:
+  friend class TypeArena;
+  friend struct TypeArenaAccess;
   explicit ArrayHT(Type Elem)
       : HeapType(HeapTypeKind::Array), Elem(std::move(Elem)) {}
+
+public:
   const Type &elem() const { return Elem; }
   static bool classof(const HeapType *H) {
     return H->kind() == HeapTypeKind::Array;
@@ -347,10 +495,14 @@ private:
 /// pretype with a qualifier lower bound and a size upper bound. Binds one
 /// pretype variable in Body.
 class ExHT : public HeapType {
-public:
+private:
+  friend class TypeArena;
+  friend struct TypeArenaAccess;
   ExHT(Qual QualLower, SizeRef SizeUpper, Type Body)
       : HeapType(HeapTypeKind::Ex), QualLower(QualLower),
         SizeUpper(std::move(SizeUpper)), Body(std::move(Body)) {}
+
+public:
   Qual qualLower() const { return QualLower; }
   const SizeRef &sizeUpper() const { return SizeUpper; }
   const Type &body() const { return Body; }
@@ -460,70 +612,61 @@ struct ArrowType {
 
 /// A (possibly polymorphic) function type χ = ∀κ*. τ1* → τ2*. The
 /// quantifier list binds left-to-right: the *last* binder of each kind has
-/// de Bruijn index 0 inside the arrow.
+/// de Bruijn index 0 inside the arrow. Interned; FunType::get is the
+/// canonicalizing constructor.
 class FunType {
-public:
+private:
+  friend class TypeArena;
+  friend struct TypeArenaAccess;
   FunType(std::vector<Quant> Quants, ArrowType Arrow)
       : Quants(std::move(Quants)), Arrow(std::move(Arrow)) {}
 
+public:
   const std::vector<Quant> &quants() const { return Quants; }
   const ArrowType &arrow() const { return Arrow; }
 
-  static FunTypeRef get(std::vector<Quant> Quants, ArrowType Arrow) {
-    return std::make_shared<FunType>(std::move(Quants), std::move(Arrow));
-  }
+  const FreeBounds &freeBounds() const { return FB; }
+  uint8_t flags() const { return Flags; }
+  uint64_t hashValue() const { return H; }
+  TypeArena *arena() const { return Arena; }
+
+  /// Interns in the current TypeArena.
+  static FunTypeRef get(std::vector<Quant> Quants, ArrowType Arrow);
 
 private:
   std::vector<Quant> Quants;
   ArrowType Arrow;
+  uint8_t Flags = 0;
+  FreeBounds FB;
+  uint64_t H = 0;
+  TypeArena *Arena = nullptr;
+  /// Success bit of the closed, empty-ambient well-formedness judgment
+  /// (see TypeArena::isKnownWfFun).
+  mutable std::atomic<uint8_t> WfMemo{0};
 };
 
 //===----------------------------------------------------------------------===//
-// Factory helpers
+// Factory helpers (intern into the current TypeArena)
 //===----------------------------------------------------------------------===//
 
-inline PretypeRef unitPT() { return std::make_shared<UnitPT>(); }
-inline PretypeRef numPT(NumType NT) { return std::make_shared<NumPT>(NT); }
-inline PretypeRef varPT(uint32_t Idx) { return std::make_shared<VarPT>(Idx); }
-inline PretypeRef skolemPT(uint64_t Id, Qual QualLower, SizeRef SizeUpper,
-                           bool NoCaps) {
-  return std::make_shared<SkolemPT>(Id, QualLower, std::move(SizeUpper),
-                                    NoCaps);
-}
-inline PretypeRef prodPT(std::vector<Type> Elems) {
-  return std::make_shared<ProdPT>(std::move(Elems));
-}
-inline PretypeRef refPT(Privilege Priv, Loc L, HeapTypeRef HT) {
-  return std::make_shared<RefPT>(Priv, L, std::move(HT));
-}
-inline PretypeRef ptrPT(Loc L) { return std::make_shared<PtrPT>(L); }
-inline PretypeRef capPT(Privilege Priv, Loc L, HeapTypeRef HT) {
-  return std::make_shared<CapPT>(Priv, L, std::move(HT));
-}
-inline PretypeRef ownPT(Loc L) { return std::make_shared<OwnPT>(L); }
-inline PretypeRef recPT(Qual Bound, Type Body) {
-  return std::make_shared<RecPT>(Bound, std::move(Body));
-}
-inline PretypeRef exLocPT(Type Body) {
-  return std::make_shared<ExLocPT>(std::move(Body));
-}
-inline PretypeRef coderefPT(FunTypeRef FT) {
-  return std::make_shared<CoderefPT>(std::move(FT));
-}
+PretypeRef unitPT();
+PretypeRef numPT(NumType NT);
+PretypeRef varPT(uint32_t Idx);
+PretypeRef skolemPT(uint64_t Id, Qual QualLower, SizeRef SizeUpper,
+                    bool NoCaps);
+PretypeRef prodPT(std::vector<Type> Elems);
+PretypeRef refPT(Privilege Priv, Loc L, HeapTypeRef HT);
+PretypeRef ptrPT(Loc L);
+PretypeRef capPT(Privilege Priv, Loc L, HeapTypeRef HT);
+PretypeRef ownPT(Loc L);
+PretypeRef recPT(Qual Bound, Type Body);
+PretypeRef exLocPT(Type Body);
+PretypeRef coderefPT(FunTypeRef FT);
 
-inline HeapTypeRef variantHT(std::vector<Type> Cases) {
-  return std::make_shared<VariantHT>(std::move(Cases));
-}
-inline HeapTypeRef structHT(std::vector<StructField> Fields) {
-  return std::make_shared<StructHT>(std::move(Fields));
-}
-inline HeapTypeRef arrayHT(Type Elem) {
-  return std::make_shared<ArrayHT>(std::move(Elem));
-}
-inline HeapTypeRef exHT(Qual QualLower, SizeRef SizeUpper, Type Body) {
-  return std::make_shared<ExHT>(QualLower, std::move(SizeUpper),
-                                std::move(Body));
-}
+HeapTypeRef variantHT(std::vector<Type> Cases);
+HeapTypeRef structHT(std::vector<StructField> Fields);
+HeapTypeRef arrayHT(Type Elem);
+HeapTypeRef exHT(Qual QualLower, SizeRef SizeUpper, Type Body);
 
 inline Type unitT(Qual Q = Qual::unr()) { return Type(unitPT(), Q); }
 inline Type numT(NumType NT, Qual Q = Qual::unr()) {
@@ -532,12 +675,30 @@ inline Type numT(NumType NT, Qual Q = Qual::unr()) {
 inline Type i32T(Qual Q = Qual::unr()) { return numT(NumType::I32, Q); }
 inline Type i64T(Qual Q = Qual::unr()) { return numT(NumType::I64, Q); }
 
+//===----------------------------------------------------------------------===//
+// Equality
+//===----------------------------------------------------------------------===//
+
 /// Structural type equality (alpha-equivalence is just index equality under
-/// de Bruijn representation). Sizes compare modulo +-normalization.
-bool typeEquals(const Type &A, const Type &B);
-bool pretypeEquals(const Pretype &A, const Pretype &B);
-bool heapTypeEquals(const HeapType &A, const HeapType &B);
-bool funTypeEquals(const FunType &A, const FunType &B);
+/// de Bruijn representation; sizes compare modulo +-normalization). Because
+/// every node is hash-consed, these are *pointer comparisons*: within one
+/// arena, structurally equal types are the same node. Comparing types from
+/// two different arenas yields false even for structurally equal trees —
+/// intern interacting modules into a shared arena (the default: all modules
+/// use TypeArena::global()). The deep-walking reference implementations
+/// survive as structural*Equals in ir/TypeOps.h for differential tests.
+inline bool pretypeEquals(const Pretype &A, const Pretype &B) {
+  return &A == &B;
+}
+inline bool typeEquals(const Type &A, const Type &B) {
+  return A.P.get() == B.P.get() && A.Q == B.Q;
+}
+inline bool heapTypeEquals(const HeapType &A, const HeapType &B) {
+  return &A == &B;
+}
+inline bool funTypeEquals(const FunType &A, const FunType &B) {
+  return &A == &B;
+}
 bool arrowEquals(const ArrowType &A, const ArrowType &B);
 bool quantEquals(const Quant &A, const Quant &B);
 

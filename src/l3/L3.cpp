@@ -1157,6 +1157,10 @@ Status L3Cg::gen(const L3ExprRef &E, InstVec &O) {
 
 Expected<ir::Module> rw::l3::compile(const L3Module &M) {
   ir::Module Out;
+  // All types this compiler builds are interned into the output module's
+  // arena (the process-wide default), so they are pointer-comparable with
+  // every other module's types at link time.
+  ir::ArenaScope Scope(*Out.Arena);
   Out.Name = M.Name;
   std::map<std::string, uint32_t> FnIdx;
   for (const L3Import &I : M.Imports) {

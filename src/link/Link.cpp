@@ -96,9 +96,17 @@ rw::link::instantiate(const std::vector<const ir::Module *> &Mods,
         return Error("unresolved import " + F.Import->Module + "." +
                      F.Import->Name + " in module '" + M.Name + "'");
       // The cross-module safety check: declared import type must equal the
-      // provider's declared export type.
+      // provider's declared export type. Types are hash-consed, so this is
+      // a pointer comparison — valid because all linked modules intern
+      // into one shared arena (ir::Module::Arena defaults to the
+      // process-wide one).
       const ir::Module &PM = *Mods[Provider->InstIdx];
       const ir::FunTypeRef &ProvTy = PM.Funcs[Provider->FuncIdx].Ty;
+      if (F.Ty->arena() && ProvTy->arena() &&
+          F.Ty->arena() != ProvTy->arena())
+        return Error("modules '" + M.Name + "' and '" + PM.Name +
+                     "' use different type arenas; linked modules must "
+                     "intern their types into one shared arena");
       if (!ir::funTypeEquals(*F.Ty, *ProvTy))
         return Error("import type mismatch for " + F.Import->Module + "." +
                      F.Import->Name + ": importer expects " +
@@ -119,6 +127,10 @@ rw::link::instantiate(const std::vector<const ir::Module *> &Mods,
                      G.Import->Name + " in module '" + M.Name + "'");
       const ir::Module &PM = *Mods[Provider->first];
       const ir::Global &PG = PM.Globals[Provider->second];
+      if (G.P->arena() && PG.P->arena() && G.P->arena() != PG.P->arena())
+        return Error("modules '" + M.Name + "' and '" + PM.Name +
+                     "' use different type arenas; linked modules must "
+                     "intern their types into one shared arena");
       if (!ir::pretypeEquals(*G.P, *PG.P))
         return Error("global import type mismatch for " + G.Import->Module +
                      "." + G.Import->Name);

@@ -1906,6 +1906,20 @@ Expected<LoweredProgram> ProgramLowering::run() {
 
 Expected<LoweredProgram>
 rw::lower::lowerProgram(const std::vector<const Module *> &Mods) {
+  // Lowering re-checks modules (typing::checkModule, whose typeEquals is
+  // a pointer comparison) and rewrites their types, so all modules of one
+  // program must share one arena — enforce it, then intern everything the
+  // lowering builds into that shared arena.
+  std::optional<ir::ArenaScope> Scope;
+  if (!Mods.empty() && Mods.front()->Arena) {
+    const std::shared_ptr<ir::TypeArena> &Shared = Mods.front()->Arena;
+    for (const Module *M : Mods)
+      if (M->Arena && M->Arena.get() != Shared.get())
+        return Error("modules '" + Mods.front()->Name + "' and '" + M->Name +
+                     "' use different type arenas; lowered programs must "
+                     "intern their types into one shared arena");
+    Scope.emplace(*Shared);
+  }
   ProgramLowering PL(Mods);
   return PL.run();
 }

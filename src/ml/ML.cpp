@@ -2147,6 +2147,9 @@ Expected<ir::Module> Codegen::run() {
 } // namespace
 
 Expected<ir::Module> rw::ml::compile(const MLModule &M) {
+  // Intern all generated types into the shared (process-wide) arena so the
+  // output module links against L3 modules by pointer equality.
+  ir::ArenaScope Scope(ir::TypeArena::global());
   Codegen CG(M);
   return CG.run();
 }

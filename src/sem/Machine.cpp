@@ -49,6 +49,10 @@ void Machine::setupInvoke(uint32_t InstIdx, uint32_t FuncIdx,
 }
 
 StepStatus Machine::step() {
+  // Types minted during reduction (address-specialized unpack bodies,
+  // call instantiations, witnesses) intern into the machine's own arena
+  // and die with it, instead of accreting in the process-wide one.
+  ir::ArenaScope Scope(*RuntimeTypes);
   LocalEnv Env{&C.Locals, &C.SlotBits, C.InstIdx};
   StepOut Out = stepSeq(C.Program, Env);
   switch (Out.R) {

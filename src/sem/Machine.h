@@ -25,6 +25,7 @@
 #define RICHWASM_SEM_MACHINE_H
 
 #include "ir/Rewrite.h"
+#include "ir/TypeArena.h"
 #include "sem/Store.h"
 #include "sem/Value.h"
 #include "support/Error.h"
@@ -241,6 +242,16 @@ private:
   Config C;
   uint64_t Steps = 0;
   uint64_t GcThreshold = 0;
+
+  /// Arena for types the *runtime* creates while stepping — call-site
+  /// instantiations, mem.unpack bodies specialized to concrete addresses,
+  /// existential witnesses. These are never compared, only sized, and a
+  /// long run mints one per fresh address; giving them a machine-owned
+  /// arena (instead of the immortal process-wide one) lets them die with
+  /// the machine. Module types remain canonical in the module's arena and
+  /// are shared as children untouched.
+  std::shared_ptr<ir::TypeArena> RuntimeTypes =
+      std::make_shared<ir::TypeArena>();
 
   void maybeAutoCollect();
 };

@@ -8,6 +8,7 @@
 
 #include "ir/Print.h"
 #include "ir/Rewrite.h"
+#include "ir/TypeArena.h"
 #include "ir/TypeOps.h"
 #include "typing/Entail.h"
 #include "typing/WellFormed.h"
@@ -24,7 +25,17 @@ namespace {
 /// variable — the canonical abstraction step of mem.pack ℓ.
 class AbstractLoc : public TypeRewriter {
 public:
-  explicit AbstractLoc(Loc Target) : Target(Target) {}
+  explicit AbstractLoc(Loc Target) : Target(Target) {
+    // The hook is pure in (location, depths). When the abstracted target
+    // is a skolem or concrete location (the common case), a subtree with
+    // no free location variables and no non-variable locations cannot be
+    // affected, so memoization/short-circuiting is sound. A *variable*
+    // target is compared literally, which can also match bound variables —
+    // no short-circuit is valid then.
+    if (!Target.isVar())
+      enableStructuralMemo(/*ActLoc=*/true, false, false, false,
+                           /*NonVarLocs=*/true);
+  }
 
   Loc rewrite(const Loc &L) override {
     if (L == Target)
@@ -74,10 +85,15 @@ private:
 bool pretypeHasTypeSkolem(const PretypeRef &P, uint64_t Id);
 
 bool typeHasTypeSkolem(const Type &T, uint64_t Id) {
+  // Intern-time occurrence flags make the common no-skolem case O(1).
+  if (!(T.P->flags() & TF_HasSkolemType))
+    return false;
   return pretypeHasTypeSkolem(T.P, Id);
 }
 
 bool heapHasTypeSkolem(const HeapTypeRef &H, uint64_t Id) {
+  if (!(H->flags() & TF_HasSkolemType))
+    return false;
   switch (H->kind()) {
   case HeapTypeKind::Variant:
     for (const Type &T : cast<VariantHT>(H.get())->cases())
@@ -130,6 +146,9 @@ bool pretypeHasTypeSkolem(const PretypeRef &P, uint64_t Id) {
 }
 
 bool typeHasLocSkolem(const Type &T, uint64_t Id) {
+  // Intern-time occurrence flags make the common no-skolem case O(1).
+  if (!(T.P->flags() & TF_HasSkolemLoc))
+    return false;
   SkolemScan S(Id, 0, true, false);
   return S.found(T);
 }
@@ -199,12 +218,13 @@ private:
   }
 
   Status popExpect(State &St, const Type &Want, const char *What) {
-    Expected<Type> Got = popAny(St, What);
-    if (!Got)
-      return Got.error();
-    if (!typeEquals(*Got, Want))
+    if (St.Stack.empty())
+      return err(std::string("stack underflow at ") + What);
+    // Pointer equality on interned types; no Type copy on the hot path.
+    if (!typeEquals(St.Stack.back(), Want))
       return err(std::string("type mismatch at ") + What + ": expected " +
-                 printType(Want) + ", found " + printType(*Got));
+                 printType(Want) + ", found " + printType(St.Stack.back()));
+    St.Stack.pop_back();
     return Status::success();
   }
 
@@ -281,10 +301,10 @@ private:
         BelowUnr = false;
 
     LabelEntry E;
-    E.Results = IsLoop ? TF.Params : TF.Results;
-    E.Locals = IsLoop ? Outer.Locals : LPrime;
+    E.Results = IsLoop ? &TF.Params : &TF.Results;
+    E.Locals = IsLoop ? &Outer.Locals : &LPrime;
     E.Height = BelowUnr ? 1 : 0; // Reused as the all-unr flag; see brCheck.
-    F.Labels.push_back(std::move(E));
+    F.Labels.push_back(E);
 
     State Inner;
     Inner.Stack = TF.Params;
@@ -324,11 +344,12 @@ private:
                  " but only " + std::to_string(F.Labels.size()) +
                  " labels are in scope");
     const LabelEntry &Target = F.Labels[F.Labels.size() - 1 - D];
-    if (St.Stack.size() < Target.Results.size())
+    const std::vector<Type> &Results = *Target.Results;
+    if (St.Stack.size() < Results.size())
       return err(std::string(What) + ": stack underflow for label results");
-    size_t Base = St.Stack.size() - Target.Results.size();
-    for (size_t I = 0; I < Target.Results.size(); ++I)
-      if (!typeEquals(St.Stack[Base + I], Target.Results[I]))
+    size_t Base = St.Stack.size() - Results.size();
+    for (size_t I = 0; I < Results.size(); ++I)
+      if (!typeEquals(St.Stack[Base + I], Results[I]))
         return err(std::string(What) + ": stack does not match label " +
                    std::to_string(D) + " result types");
     // Everything below the results in this sequence is dropped.
@@ -342,7 +363,7 @@ private:
         return err(std::string(What) +
                    " would drop a linear value locked under label " +
                    std::to_string(I));
-    if (!localsEqual(St.Locals, Target.Locals))
+    if (!localsEqual(St.Locals, *Target.Locals))
       return err(std::string(What) + ": locals disagree with label " +
                  std::to_string(D) + "'s view of the local environment");
     if (Destructive)
@@ -376,7 +397,8 @@ Status CheckerImpl::checkNumeric(const Inst &I, State &St) {
   case InstKind::NumConst: {
     const auto *C = cast<NumConstInst>(&I);
     Type T = numT(C->numType());
-    note(I, {}, {T});
+    if (IM)
+      note(I, {}, {T});
     push(St, T);
     return Status::success();
   }
@@ -387,7 +409,8 @@ Status CheckerImpl::checkNumeric(const Inst &I, State &St) {
     Type T = numT(U->numType());
     if (Status S = popExpect(St, T, "unop"); !S)
       return S;
-    note(I, {T}, {T});
+    if (IM)
+      note(I, {T}, {T});
     push(St, T);
     return Status::success();
   }
@@ -402,7 +425,8 @@ Status CheckerImpl::checkNumeric(const Inst &I, State &St) {
       return S;
     if (Status S = popExpect(St, T, "binop"); !S)
       return S;
-    note(I, {T, T}, {T});
+    if (IM)
+      note(I, {T, T}, {T});
     push(St, T);
     return Status::success();
   }
@@ -413,7 +437,8 @@ Status CheckerImpl::checkNumeric(const Inst &I, State &St) {
     Type In = numT(T->numType());
     if (Status S = popExpect(St, In, "testop"); !S)
       return S;
-    note(I, {In}, {i32T()});
+    if (IM)
+      note(I, {In}, {i32T()});
     push(St, i32T());
     return Status::success();
   }
@@ -424,7 +449,8 @@ Status CheckerImpl::checkNumeric(const Inst &I, State &St) {
       return S;
     if (Status S = popExpect(St, In, "relop"); !S)
       return S;
-    note(I, {In, In}, {i32T()});
+    if (IM)
+      note(I, {In, In}, {i32T()});
     push(St, i32T());
     return Status::success();
   }
@@ -437,7 +463,8 @@ Status CheckerImpl::checkNumeric(const Inst &I, State &St) {
     Type Out = numT(C->to());
     if (Status S = popExpect(St, In, "cvtop"); !S)
       return S;
-    note(I, {In}, {Out});
+    if (IM)
+      note(I, {In}, {Out});
     push(St, Out);
     return Status::success();
   }
@@ -458,7 +485,8 @@ Status CheckerImpl::checkCallLike(const Inst &I, State &St) {
       return err("coderef index " + std::to_string(C->funcIndex()) +
                  " out of table range");
     Type T(coderefPT(Env.Table[C->funcIndex()]), Qual::unr());
-    note(I, {}, {T});
+    if (IM)
+      note(I, {}, {T});
     push(St, T);
     return Status::success();
   }
@@ -483,7 +511,8 @@ Status CheckerImpl::checkCallLike(const Inst &I, State &St) {
     Subst Sub = Subst::fromIndices(II->args());
     FunTypeRef NewFT = Sub.rewrite(Trunc);
     Type Out(coderefPT(NewFT), T->Q);
-    note(I, {*T}, {Out});
+    if (IM)
+      note(I, {*T}, {Out});
     push(St, Out);
     return Status::success();
   }
@@ -501,7 +530,8 @@ Status CheckerImpl::checkCallLike(const Inst &I, State &St) {
       return S;
     std::vector<Type> Ops = FT.arrow().Params;
     Ops.push_back(*T);
-    note(I, std::move(Ops), FT.arrow().Results);
+    if (IM)
+      note(I, std::move(Ops), FT.arrow().Results);
     pushAll(St, FT.arrow().Results);
     return Status::success();
   }
@@ -519,7 +549,8 @@ Status CheckerImpl::checkCallLike(const Inst &I, State &St) {
     ArrowType Arrow = instantiateFunType(FT, C->args());
     if (Status S = popParams(St, Arrow.Params, "call"); !S)
       return S;
-    note(I, Arrow.Params, Arrow.Results);
+    if (IM)
+      note(I, Arrow.Params, Arrow.Results);
     pushAll(St, Arrow.Results);
     return Status::success();
   }
@@ -553,7 +584,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
       return T.error();
     if (!isUnr(T->Q))
       return err("drop of a linear value of type " + printType(*T));
-    note(I, {*T}, {});
+    if (IM)
+      note(I, {*T}, {});
     return Status::success();
   }
   case InstKind::Select: {
@@ -570,7 +602,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
                  printType(*T2));
     if (!isUnr(T1->Q))
       return err("select would drop a linear value");
-    note(I, {*T1, *T2, i32T()}, {*T1});
+    if (IM)
+      note(I, {*T1, *T2, i32T()}, {*T1});
     push(St, *T1);
     return Status::success();
   }
@@ -587,7 +620,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
         !S)
       return S;
     St.Locals = *LP;
-    note(I, B->arrow().Params, B->arrow().Results);
+    if (IM)
+      note(I, B->arrow().Params, B->arrow().Results);
     pushAll(St, B->arrow().Results);
     return Status::success();
   }
@@ -600,7 +634,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
                                   /*IsLoop=*/true, {});
         !S)
       return S;
-    note(I, L->arrow().Params, L->arrow().Results);
+    if (IM)
+      note(I, L->arrow().Params, L->arrow().Results);
     pushAll(St, L->arrow().Results);
     return Status::success();
   }
@@ -622,7 +657,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
         !S)
       return S;
     St.Locals = *LP;
-    note(I, FI->arrow().Params, FI->arrow().Results);
+    if (IM)
+      note(I, FI->arrow().Params, FI->arrow().Results);
     pushAll(St, FI->arrow().Results);
     return Status::success();
   }
@@ -684,7 +720,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
       // Move; the slot reverts to unrestricted unit.
       Slot.T = unitT();
     }
-    note(I, {}, {Out});
+    if (IM)
+      note(I, {}, {Out});
     push(St, Out);
     return Status::success();
   }
@@ -703,7 +740,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
       return err("set_local: value of type " + printType(*T) +
                  " does not fit slot of size " + Slot.Slot->str());
     Slot.T = *T;
-    note(I, {*T}, {});
+    if (IM)
+      note(I, {*T}, {});
     return Status::success();
   }
   case InstKind::TeeLocal: {
@@ -722,7 +760,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     if (!leqSize(sizeOfType(*T, F.Kinds), Slot.Slot, F.Kinds))
       return err("tee_local: value does not fit the slot");
     Slot.T = *T;
-    note(I, {*T}, {*T});
+    if (IM)
+      note(I, {*T}, {*T});
     push(St, *T);
     return Status::success();
   }
@@ -731,7 +770,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     if (G->index() >= Env.Globals.size())
       return err("get_global " + std::to_string(G->index()) + " out of range");
     Type T(Env.Globals[G->index()].P, Qual::unr());
-    note(I, {}, {T});
+    if (IM)
+      note(I, {}, {T});
     push(St, T);
     return Status::success();
   }
@@ -750,7 +790,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
       return err("set_global type mismatch");
     if (!isUnr(T->Q))
       return err("globals hold unrestricted values only");
-    note(I, {*T}, {});
+    if (IM)
+      note(I, {*T}, {});
     return Status::success();
   }
   case InstKind::Qualify: {
@@ -765,7 +806,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     Type Out(T->P, Q->qual());
     if (Status S = wfType(Out, F.Kinds); !S)
       return S;
-    note(I, {*T}, {Out});
+    if (IM)
+      note(I, {*T}, {Out});
     push(St, Out);
     return Status::success();
   }
@@ -788,7 +830,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     if (Status S = popExpect(St, Unfolded, "rec.fold"); !S)
       return S;
     Type Out(RF->pretype(), Rec->body().Q);
-    note(I, {Unfolded}, {Out});
+    if (IM)
+      note(I, {Unfolded}, {Out});
     push(St, Out);
     return Status::success();
   }
@@ -801,7 +844,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
       return err("rec.unfold expects a recursive type");
     Subst Sub = Subst::onePretype(T->P);
     Type Out = Sub.rewrite(Rec->body());
-    note(I, {*T}, {Out});
+    if (IM)
+      note(I, {*T}, {Out});
     push(St, Out);
     return Status::success();
   }
@@ -816,7 +860,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     AbstractLoc Abs(Target);
     PretypeRef Body = Abs.TypeRewriter::rewrite(T->P);
     Type Out(exLocPT(Type(Body, T->Q)), T->Q);
-    note(I, {*T}, {Out});
+    if (IM)
+      note(I, {*T}, {Out});
     push(St, Out);
     return Status::success();
   }
@@ -851,7 +896,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     St.Locals = *LP;
     std::vector<Type> Ops = MU->arrow().Params;
     Ops.push_back(*T);
-    note(I, std::move(Ops), MU->arrow().Results);
+    if (IM)
+      note(I, std::move(Ops), MU->arrow().Results);
     pushAll(St, MU->arrow().Results);
     return Status::success();
   }
@@ -868,7 +914,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
       if (!leqQual(E.Q, G->qual(), F.Kinds))
         return err("seq.group: component qualifier exceeds tuple qualifier");
     Type Out(prodPT(Elems), G->qual());
-    note(I, Elems, {Out});
+    if (IM)
+      note(I, Elems, {Out});
     push(St, Out);
     return Status::success();
   }
@@ -879,7 +926,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     const auto *P = dyn_cast<ProdPT>(T->P);
     if (!P)
       return err("seq.ungroup expects a tuple");
-    note(I, {*T}, P->elems());
+    if (IM)
+      note(I, {*T}, P->elems());
     pushAll(St, P->elems());
     return Status::success();
   }
@@ -893,7 +941,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
       return err("cap.split expects a read-write capability");
     Type RCap(capPT(Privilege::R, C->loc(), C->heapType()), T->Q);
     Type Own(ownPT(C->loc()), T->Q);
-    note(I, {*T}, {RCap, Own});
+    if (IM)
+      note(I, {*T}, {RCap, Own});
     push(St, RCap);
     push(St, Own);
     return Status::success();
@@ -913,7 +962,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
       return err("cap.join: capability and ownership token disagree on the "
                  "location");
     Type Out(capPT(Privilege::RW, C->loc(), C->heapType()), TCap->Q);
-    note(I, {*TCap, *TOwn}, {Out});
+    if (IM)
+      note(I, {*TCap, *TOwn}, {Out});
     push(St, Out);
     return Status::success();
   }
@@ -925,7 +975,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     if (!R || R->privilege() != Privilege::RW)
       return err("ref.demote expects a read-write reference");
     Type Out(refPT(Privilege::R, R->loc(), R->heapType()), T->Q);
-    note(I, {*T}, {Out});
+    if (IM)
+      note(I, {*T}, {Out});
     push(St, Out);
     return Status::success();
   }
@@ -938,7 +989,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
       return err("ref.split expects a reference");
     Type Cap(capPT(R->privilege(), R->loc(), R->heapType()), T->Q);
     Type Ptr(ptrPT(R->loc()), Qual::unr());
-    note(I, {*T}, {Cap, Ptr});
+    if (IM)
+      note(I, {*T}, {Cap, Ptr});
     push(St, Cap);
     push(St, Ptr);
     return Status::success();
@@ -957,7 +1009,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     if (P->loc() != C->loc())
       return err("ref.join: capability and pointer disagree on the location");
     Type Out(refPT(C->privilege(), C->loc(), C->heapType()), TCap->Q);
-    note(I, {*TCap, *TPtr}, {Out});
+    if (IM)
+      note(I, {*TCap, *TPtr}, {Out});
     push(St, Out);
     return Status::success();
   }
@@ -996,7 +1049,8 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
     Type Ref(refPT(Privilege::RW, Loc::var(0), structHT(FieldTys)),
              SM->qual());
     Type Out(exLocPT(Ref), SM->qual());
-    note(I, Fields, {Out});
+    if (IM)
+      note(I, Fields, {Out});
     push(St, Out);
     return Status::success();
   }
@@ -1013,7 +1067,8 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
       return err("free of a non-linear reference");
     if (R->loc().isConcrete() && R->loc().mem() != MemKind::Lin)
       return err("free of an unrestricted-memory reference");
-    note(I, {*T}, {});
+    if (IM)
+      note(I, {*T}, {});
     return Status::success();
   }
 
@@ -1031,7 +1086,8 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
     const Type &FieldT = H->fields()[SG->fieldIndex()].T;
     if (!isUnr(FieldT.Q))
       return err("struct.get of a linear field (use struct.swap)");
-    note(I, {RefT}, {RefT, FieldT});
+    if (IM)
+      note(I, {RefT}, {RefT, FieldT});
     push(St, FieldT);
     return Status::success();
   }
@@ -1065,18 +1121,27 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
                  ": capabilities cannot be stored on the heap");
     // Strong updates only through linear references; unrestricted cells
     // admit type-preserving updates only.
-    if (!isLin(RefT.Q) && !typeEquals(*NewT, Field.T))
+    bool SameFieldType = typeEquals(*NewT, Field.T);
+    if (!isLin(RefT.Q) && !SameFieldType)
       return err(std::string(Name) +
                  ": strong update through a non-linear reference");
-    std::vector<StructField> NewFields = H->fields();
-    NewFields[SS->fieldIndex()].T = *NewT;
-    Type NewRef(refPT(Privilege::RW, R->loc(), structHT(NewFields)), RefT.Q);
+    Type NewRef = RefT;
+    if (!SameFieldType) {
+      // Only a genuinely strong update changes the reference type; a
+      // type-preserving write reuses the canonical node outright.
+      std::vector<StructField> NewFields = H->fields();
+      NewFields[SS->fieldIndex()].T = *NewT;
+      NewRef =
+          Type(refPT(Privilege::RW, R->loc(), structHT(NewFields)), RefT.Q);
+    }
     St.Stack.back() = NewRef;
     if (IsSwap) {
-      note(I, {RefT, *NewT}, {NewRef, Field.T});
+      if (IM)
+        note(I, {RefT, *NewT}, {NewRef, Field.T});
       push(St, Field.T);
     } else {
-      note(I, {RefT, *NewT}, {NewRef});
+      if (IM)
+        note(I, {RefT, *NewT}, {NewRef});
     }
     return Status::success();
   }
@@ -1100,7 +1165,8 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
     Type Ref(refPT(Privilege::RW, Loc::var(0), variantHT(VM->cases())),
              VM->qual());
     Type Out(exLocPT(Ref), VM->qual());
-    note(I, {VM->cases()[VM->tag()]}, {Out});
+    if (IM)
+      note(I, {VM->cases()[VM->tag()]}, {Out});
     push(St, Out);
     return Status::success();
   }
@@ -1162,7 +1228,8 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
       Res.push_back(*RefT);
     for (const Type &T : VC->arrow().Results)
       Res.push_back(T);
-    note(I, std::move(Ops), Res);
+    if (IM)
+      note(I, std::move(Ops), Res);
     pushAll(St, Res);
     return Status::success();
   }
@@ -1187,7 +1254,8 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
       return err("array.malloc: capabilities cannot be stored on the heap");
     Type Ref(refPT(Privilege::RW, Loc::var(0), arrayHT(*Init)), AM->qual());
     Type Out(exLocPT(Ref), AM->qual());
-    note(I, {*Init, *Len}, {Out});
+    if (IM)
+      note(I, {*Init, *Len}, {Out});
     push(St, Out);
     return Status::success();
   }
@@ -1206,7 +1274,8 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
       return err("array.get expects an array reference");
     if (!isUnr(H->elem().Q))
       return err("array.get of linear elements");
-    note(I, {RefT, *Idx}, {RefT, H->elem()});
+    if (IM)
+      note(I, {RefT, *Idx}, {RefT, H->elem()});
     push(St, H->elem());
     return Status::success();
   }
@@ -1232,7 +1301,8 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
       return err("array.set: arrays support type-preserving updates only");
     if (!isUnr(NewT->Q))
       return err("array.set would drop the previous (linear) element");
-    note(I, {RefT, *Idx, *NewT}, {RefT});
+    if (IM)
+      note(I, {RefT, *Idx, *NewT}, {RefT});
     return Status::success();
   }
 
@@ -1258,7 +1328,8 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
       return S;
     Type Ref(refPT(Privilege::RW, Loc::var(0), EP->heapType()), EP->qual());
     Type Out(exLocPT(Ref), EP->qual());
-    note(I, {Expected}, {Out});
+    if (IM)
+      note(I, {Expected}, {Out});
     push(St, Out);
     return Status::success();
   }
@@ -1321,7 +1392,8 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
       Res.push_back(*RefT);
     for (const Type &T : EU->arrow().Results)
       Res.push_back(T);
-    note(I, std::move(Ops), Res);
+    if (IM)
+      note(I, std::move(Ops), Res);
     pushAll(St, Res);
     return Status::success();
   }
@@ -1390,7 +1462,11 @@ Status rw::typing::checkInstantiation(const KindCtx &Kinds, const FunType &FT,
         return S;
       SizeRef Bound = Q.TypeSizeUpper ? Sub.rewrite(Q.TypeSizeUpper)
                                       : Size::constant(64);
-      if (!leqSize(sizeOfPretype(A.P, typeVarSizes(Kinds)), Bound, Kinds))
+      SizeRef ArgSize =
+          A.P->freeBounds().Type == 0
+              ? sizeOfPretype(A.P, {}) // Memoized; bounds never consulted.
+              : sizeOfPretype(A.P, typeVarSizes(Kinds));
+      if (!leqSize(ArgSize, Bound, Kinds))
         return Error("pretype index exceeds its size bound");
       if (Q.TypeNoCaps && !noCapsPre(A.P, Kinds))
         return Error("pretype index may not contain capabilities");
@@ -1460,6 +1536,9 @@ Status rw::typing::checkFunction(const ModuleEnv &Env, const Function &Fn,
 }
 
 Status rw::typing::checkModule(const Module &M, InfoMap *IM) {
+  // Intern every type the judgments build into the module's arena, so the
+  // canonical-pointer equality guarantee spans the whole check.
+  ArenaScope Scope(M.Arena ? *M.Arena : TypeArena::global());
   for (uint32_t Idx : M.Tab.Entries)
     if (Idx >= M.Funcs.size())
       return Error("table entry " + std::to_string(Idx) + " out of range");

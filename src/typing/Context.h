@@ -59,10 +59,13 @@ using LocalCtx = std::vector<LocalSlot>;
 
 /// One entry of the label stack: jump target result types, the local
 /// environment every jump must agree on, and the operand-stack height at
-/// label entry (used for the linearity-of-dropped-values check).
+/// label entry (used for the linearity-of-dropped-values check). The
+/// vectors are borrowed from the enclosing block's instruction and checker
+/// state (both outlive the label's scope), so pushing a label allocates
+/// nothing.
 struct LabelEntry {
-  std::vector<ir::Type> Results;
-  LocalCtx Locals;
+  const std::vector<ir::Type> *Results = nullptr;
+  const LocalCtx *Locals = nullptr;
   size_t Height = 0;
 };
 

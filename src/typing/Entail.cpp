@@ -9,6 +9,7 @@
 #include "ir/Rewrite.h"
 #include "ir/TypeOps.h"
 
+#include <algorithm>
 #include <cassert>
 #include <set>
 
@@ -84,14 +85,15 @@ namespace {
 
 constexpr uint64_t Infinity = ~0ull;
 
-/// Interval analysis of size expressions through variable bounds.
+/// Interval analysis of size expressions through variable bounds. Works on
+/// normal forms directly — interned sizes carry theirs, so no size nodes
+/// are built here.
 class SizeSearch {
 public:
   explicit SizeSearch(const KindCtx &Ctx) : Ctx(Ctx) {}
 
-  /// Largest possible value of \p S (Infinity when unbounded).
-  uint64_t hi(const SizeRef &S) {
-    ir::NormalSize N = ir::normalizeSize(S);
+  /// Largest possible value of \p N (Infinity when unbounded).
+  uint64_t hi(const ir::NormalSize &N) {
     uint64_t Acc = N.Const;
     for (uint32_t V : N.Vars) {
       uint64_t H = hiVar(V);
@@ -102,9 +104,8 @@ public:
     return Acc;
   }
 
-  /// Smallest possible value of \p S (sizes are non-negative).
-  uint64_t lo(const SizeRef &S) {
-    ir::NormalSize N = ir::normalizeSize(S);
+  /// Smallest possible value of \p N (sizes are non-negative).
+  uint64_t lo(const ir::NormalSize &N) {
     uint64_t Acc = N.Const;
     for (uint32_t V : N.Vars)
       Acc += loVar(V);
@@ -118,7 +119,7 @@ private:
       return Infinity; // Cycle: no finite bound derivable this way.
     uint64_t Best = Infinity;
     for (const SizeRef &U : Ctx.Sizes[Idx].Upper) {
-      uint64_t H = hi(U);
+      uint64_t H = hi(ir::normalizeSize(U));
       if (H < Best)
         Best = H;
     }
@@ -132,7 +133,7 @@ private:
       return 0;
     uint64_t Best = 0;
     for (const SizeRef &L : Ctx.Sizes[Idx].Lower) {
-      uint64_t V = lo(L);
+      uint64_t V = lo(ir::normalizeSize(L));
       if (V > Best)
         Best = V;
     }
@@ -182,13 +183,6 @@ ir::NormalSize replaceVar(const ir::NormalSize &N, uint32_t V,
   return Out;
 }
 
-ir::SizeRef denormalize(const ir::NormalSize &N) {
-  ir::SizeRef Out = ir::Size::constant(N.Const);
-  for (uint32_t V : N.Vars)
-    Out = ir::Size::plus(Out, ir::Size::var(V));
-  return Out;
-}
-
 /// Recursive entailment: syntactic inclusion, interval reasoning, or
 /// structural substitution of one variable by a declared bound (left vars
 /// by upper bounds, right vars by lower bounds). Depth-limited.
@@ -198,8 +192,8 @@ bool leqSizeRec(const ir::NormalSize &N1, const ir::NormalSize &N2,
     return true;
   {
     SizeSearch S(Ctx);
-    uint64_t Hi = S.hi(denormalize(N1));
-    if (Hi != Infinity && Hi <= S.lo(denormalize(N2)))
+    uint64_t Hi = S.hi(N1);
+    if (Hi != Infinity && Hi <= S.lo(N2))
       return true;
   }
   if (Depth == 0)
@@ -238,6 +232,9 @@ bool leqSizeRec(const ir::NormalSize &N1, const ir::NormalSize &N2,
 bool rw::typing::leqSize(const SizeRef &S1, const SizeRef &S2,
                          const KindCtx &Ctx) {
   assert(S1 && S2 && "entailment on null sizes");
+  // Canonical pointers: identical sizes are trivially entailed.
+  if (S1.get() == S2.get())
+    return true;
   return leqSizeRec(ir::normalizeSize(S1), ir::normalizeSize(S2), Ctx,
                     /*Depth=*/6);
 }
@@ -263,16 +260,29 @@ std::vector<bool> rw::typing::typeVarNoCaps(const KindCtx &Ctx) {
 }
 
 ir::SizeRef rw::typing::sizeOfType(const ir::Type &T, const KindCtx &Ctx) {
+  // Closed pretypes (the overwhelmingly common case) never consult the
+  // bounds, so skip materializing the per-variable vector entirely; the
+  // node-level memo in ir::sizeOfPretype then answers in O(1).
+  if (T.P->freeBounds().Type == 0) {
+    static const ir::TypeVarSizes Empty;
+    return ir::sizeOfPretype(T.P, Empty);
+  }
   return ir::sizeOfType(T, typeVarSizes(Ctx));
 }
 
 bool rw::typing::noCaps(const ir::Type &T, const KindCtx &Ctx) {
+  if (!T.P->noCapsDependsOnVars())
+    return T.P->noCapsIfAllVarsFree();
   return ir::typeNoCaps(T, typeVarNoCaps(Ctx));
 }
 bool rw::typing::noCapsHeap(const ir::HeapTypeRef &H, const KindCtx &Ctx) {
+  if (!H->noCapsDependsOnVars())
+    return H->noCapsIfAllVarsFree();
   return ir::heapTypeNoCaps(H, typeVarNoCaps(Ctx));
 }
 bool rw::typing::noCapsPre(const ir::PretypeRef &P, const KindCtx &Ctx) {
+  if (!P->noCapsDependsOnVars())
+    return P->noCapsIfAllVarsFree();
   return ir::pretypeNoCaps(P, typeVarNoCaps(Ctx));
 }
 

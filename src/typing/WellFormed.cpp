@@ -7,11 +7,25 @@
 #include "typing/WellFormed.h"
 
 #include "ir/Print.h"
+#include "ir/TypeArena.h"
 #include "typing/Entail.h"
 
 using namespace rw;
 using namespace rw::typing;
 using namespace rw::ir;
+
+namespace {
+
+/// Whether wf of \p P at qualifier \p OuterQ is independent of the ambient
+/// context: no free variables of any kind, and a concrete outer qualifier.
+/// (Skolem bounds that mention variables are covered by the free bounds.)
+bool wfIsContextFree(const Pretype &P, Qual OuterQ) {
+  const FreeBounds &FB = P.freeBounds();
+  return OuterQ.isConst() && FB.Loc == 0 && FB.Size == 0 && FB.Qual == 0 &&
+         FB.Type == 0;
+}
+
+} // namespace
 
 Status rw::typing::wfQual(Qual Q, const KindCtx &Ctx) {
   if (Q.isVar() && Q.varIndex() >= Ctx.Quals.size())
@@ -96,6 +110,20 @@ Status rw::typing::wfPretypeAt(const PretypeRef &P, Qual OuterQ,
                                const KindCtx &Ctx) {
   if (!P)
     return Error("missing pretype");
+  // Context-independent judgments are memoized per canonical node in the
+  // owning arena (successes only).
+  const bool Memoizable = P->arena() && wfIsContextFree(*P, OuterQ);
+  if (Memoizable &&
+      P->arena()->isKnownWfPretype(P.get(), OuterQ.isLinConst()))
+    return Status::success();
+  Status Result = wfPretypeAtUncached(P, OuterQ, Ctx);
+  if (Memoizable && Result)
+    P->arena()->noteWfPretype(P.get(), OuterQ.isLinConst());
+  return Result;
+}
+
+Status rw::typing::wfPretypeAtUncached(const PretypeRef &P, Qual OuterQ,
+                                       const KindCtx &Ctx) {
   switch (P->kind()) {
   case PretypeKind::Unit:
   case PretypeKind::Num:
@@ -226,6 +254,15 @@ KindCtx rw::typing::stackKindCtx(const std::vector<Quant> &Quants,
 }
 
 Status rw::typing::wfFunType(const FunType &F, const KindCtx &Ambient) {
+  // A closed function type checked under an empty ambient context is a
+  // per-node judgment; with hash-consing, all occurrences share one node.
+  const FreeBounds &FB = F.freeBounds();
+  const bool Memoizable =
+      F.arena() && Ambient.Quals.empty() && Ambient.Sizes.empty() &&
+      Ambient.Types.empty() && Ambient.NumLocVars == 0 && FB.Loc == 0 &&
+      FB.Size == 0 && FB.Qual == 0 && FB.Type == 0;
+  if (Memoizable && F.arena()->isKnownWfFun(&F))
+    return Status::success();
   KindCtx Ctx = stackKindCtx(F.quants(), Ambient);
   // The (re-indexed) constraints themselves must be well-scoped.
   for (const QualBound &B : Ctx.Quals) {
@@ -259,5 +296,7 @@ Status rw::typing::wfFunType(const FunType &F, const KindCtx &Ambient) {
     if (Status St = wfType(T, Ctx); !St)
       return Error(St.error().message() + " (in result of " +
                    printFunType(F) + ")");
+  if (Memoizable)
+    F.arena()->noteWfFun(&F);
   return Status::success();
 }

@@ -31,8 +31,13 @@ Status wfLoc(const ir::Loc &L, const KindCtx &Ctx);
 Status wfType(const ir::Type &T, const KindCtx &Ctx);
 
 /// Checks that pretype \p P may legally occur at qualifier \p OuterQ.
+/// Context-independent cases (closed pretype, concrete qualifier) are
+/// memoized per canonical node in the owning TypeArena.
 Status wfPretypeAt(const ir::PretypeRef &P, ir::Qual OuterQ,
                    const KindCtx &Ctx);
+/// The un-memoized judgment behind wfPretypeAt.
+Status wfPretypeAtUncached(const ir::PretypeRef &P, ir::Qual OuterQ,
+                           const KindCtx &Ctx);
 
 Status wfHeapType(const ir::HeapTypeRef &H, const KindCtx &Ctx);
 

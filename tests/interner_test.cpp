@@ -1,0 +1,364 @@
+//===- tests/interner_test.cpp - Hash-consing differential tests ---------===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+// Pins the canonical-pointer equality guarantee: for types interned in one
+// arena, pointer comparison (ir::typeEquals & friends) must agree with the
+// deep-structural reference implementations (ir::structural*Equals) that
+// predate the interner — including across shift/substitution round-trips,
+// and for trees interned in two independent arenas (where each arena's
+// interning decisions must agree with structural equality even though
+// pointer identity deliberately fails across arenas).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Rewrite.h"
+#include "ir/TypeArena.h"
+#include "ir/TypeOps.h"
+#include "link/Link.h"
+
+#include <gtest/gtest.h>
+#include <random>
+
+using namespace rw;
+using namespace rw::ir;
+
+namespace {
+
+/// Seeded random type generator. The same seed yields the same structure,
+/// so one tree can be regenerated inside independent arenas. Skolem ids
+/// and bounds vary independently — skolem identity is (id, bounds), for
+/// interning and structural equality alike.
+struct Gen {
+  std::mt19937_64 Rng;
+  explicit Gen(uint64_t Seed) : Rng(Seed) {}
+  uint32_t pick(uint32_t N) { return static_cast<uint32_t>(Rng() % N); }
+
+  Qual qual() {
+    switch (pick(4)) {
+    case 0:
+      return Qual::lin();
+    case 1:
+      return Qual::var(pick(3));
+    default:
+      return Qual::unr();
+    }
+  }
+
+  Loc loc() {
+    switch (pick(3)) {
+    case 0:
+      return Loc::var(pick(3));
+    case 1:
+      return Loc::concrete(pick(2) ? MemKind::Lin : MemKind::Unr, pick(8));
+    default:
+      return Loc::skolem(pick(4));
+    }
+  }
+
+  SizeRef size(unsigned D) {
+    switch (D == 0 ? pick(2) : pick(4)) {
+    case 0:
+      return Size::constant(pick(5) * 32);
+    case 1:
+      return Size::var(pick(4));
+    default:
+      return Size::plus(size(D - 1), size(D - 1));
+    }
+  }
+
+  Type type(unsigned D) { return Type(pretype(D), qual()); }
+
+  PretypeRef pretype(unsigned D) {
+    switch (D == 0 ? pick(6) : pick(12)) {
+    case 0:
+      return unitPT();
+    case 1:
+      return numPT(static_cast<NumType>(pick(6)));
+    case 2:
+      return varPT(pick(4));
+    case 3:
+      return ptrPT(loc());
+    case 4:
+      return ownPT(loc());
+    case 5:
+      return skolemPT(pick(3), pick(2) ? Qual::lin() : Qual::unr(),
+                      Size::constant(32 + 32 * pick(3)), pick(2) == 0);
+    case 6: {
+      std::vector<Type> Es;
+      for (unsigned I = 0, N = pick(3); I < N; ++I)
+        Es.push_back(type(D - 1));
+      return prodPT(std::move(Es));
+    }
+    case 7:
+      return refPT(pick(2) ? Privilege::RW : Privilege::R, loc(),
+                   heap(D - 1));
+    case 8:
+      return capPT(pick(2) ? Privilege::RW : Privilege::R, loc(),
+                   heap(D - 1));
+    case 9:
+      return recPT(qual(), type(D - 1));
+    case 10:
+      return exLocPT(type(D - 1));
+    default:
+      return coderefPT(fun(D - 1));
+    }
+  }
+
+  HeapTypeRef heap(unsigned D) {
+    switch (pick(4)) {
+    case 0: {
+      std::vector<Type> Cs;
+      for (unsigned I = 0, N = 1 + pick(2); I < N; ++I)
+        Cs.push_back(type(D));
+      return variantHT(std::move(Cs));
+    }
+    case 1: {
+      std::vector<StructField> Fs;
+      for (unsigned I = 0, N = pick(3); I < N; ++I)
+        Fs.push_back({type(D), size(1)});
+      return structHT(std::move(Fs));
+    }
+    case 2:
+      return arrayHT(type(D));
+    default:
+      return exHT(qual(), size(1), type(D));
+    }
+  }
+
+  FunTypeRef fun(unsigned D) {
+    std::vector<Quant> Qs;
+    for (unsigned I = 0, N = pick(3); I < N; ++I) {
+      switch (pick(4)) {
+      case 0:
+        Qs.push_back(Quant::loc());
+        break;
+      case 1:
+        Qs.push_back(Quant::size({size(0)}, {size(0)}));
+        break;
+      case 2:
+        Qs.push_back(Quant::qual({qual()}, {}));
+        break;
+      default:
+        Qs.push_back(Quant::type(qual(), size(1), pick(2) == 0));
+        break;
+      }
+    }
+    ArrowType A;
+    for (unsigned I = 0, N = pick(3); I < N; ++I)
+      A.Params.push_back(type(D));
+    for (unsigned I = 0, N = pick(2); I < N; ++I)
+      A.Results.push_back(type(D));
+    return FunType::get(std::move(Qs), std::move(A));
+  }
+};
+
+constexpr unsigned Depth = 3;
+constexpr uint64_t NumSeeds = 150;
+
+//===----------------------------------------------------------------------===//
+// Intern identities
+//===----------------------------------------------------------------------===//
+
+TEST(Interner, LeavesAreUnique) {
+  EXPECT_EQ(i32T().P.get(), i32T().P.get());
+  EXPECT_EQ(unitPT().get(), unitPT().get());
+  EXPECT_EQ(varPT(3).get(), varPT(3).get());
+  EXPECT_NE(varPT(3).get(), varPT(4).get());
+  EXPECT_EQ(Size::constant(64).get(), Size::constant(64).get());
+  EXPECT_EQ(Size::var(0).get(), Size::var(0).get());
+}
+
+TEST(Interner, CompositesAreUnique) {
+  auto mk = [] {
+    return refPT(Privilege::RW, Loc::var(0),
+                 structHT({{i32T(), Size::constant(32)}}));
+  };
+  EXPECT_EQ(mk().get(), mk().get());
+  auto mkF = [] {
+    return FunType::get({Quant::loc()},
+                        ArrowType{{i32T()}, {i64T(Qual::lin())}});
+  };
+  EXPECT_EQ(mkF().get(), mkF().get());
+}
+
+TEST(Interner, SizesCanonicalizeModuloPlus) {
+  // Commutativity, associativity, and constant folding all collapse to one
+  // canonical node — the old sizeEquals semantics, now by pointer.
+  SizeRef A = Size::plus(Size::var(0), Size::constant(32));
+  SizeRef B = Size::plus(Size::constant(32), Size::var(0));
+  EXPECT_EQ(A.get(), B.get());
+  SizeRef C = Size::plus(Size::constant(16), Size::constant(16));
+  EXPECT_EQ(C.get(), Size::constant(32).get());
+  SizeRef D1 = Size::plus(Size::var(1), Size::plus(Size::var(0), A));
+  SizeRef D2 = Size::plus(Size::plus(Size::var(0), Size::var(1)),
+                          Size::plus(Size::var(0), Size::constant(32)));
+  EXPECT_EQ(D1.get(), D2.get());
+  EXPECT_FALSE(sizeEquals(A, Size::plus(A, Size::constant(1))));
+  // Normal forms are precomputed.
+  EXPECT_EQ(normalizeSize(D1).Const, 32u);
+  EXPECT_EQ(normalizeSize(D1).Vars, (std::vector<uint32_t>{0, 0, 1}));
+}
+
+TEST(Interner, ClosedSizeMemoIsCanonical) {
+  PretypeRef P = prodPT({i32T(), i64T(), unitT()});
+  SizeRef S1 = sizeOfPretype(P, {});
+  SizeRef S2 = sizeOfPretype(P, {});
+  EXPECT_EQ(S1.get(), S2.get());
+  EXPECT_EQ(closedSizeBits(S1), 96u);
+  EXPECT_EQ(S1.get(), Size::constant(96).get());
+}
+
+//===----------------------------------------------------------------------===//
+// Differential fuzz: interned equality ≡ deep structural equality
+//===----------------------------------------------------------------------===//
+
+TEST(InternerFuzz, PointerEqualityMatchesStructuralSameArena) {
+  for (uint64_t Seed = 0; Seed < NumSeeds; ++Seed) {
+    // Regenerating from one seed must intern to the same node.
+    Type A = Gen(Seed).type(Depth);
+    Type B = Gen(Seed).type(Depth);
+    EXPECT_TRUE(typeEquals(A, B)) << "seed " << Seed;
+    EXPECT_EQ(A.P.get(), B.P.get()) << "seed " << Seed;
+    EXPECT_TRUE(structuralTypeEquals(A, B)) << "seed " << Seed;
+    // Against an unrelated seed, both equalities must agree (almost always
+    // "not equal", but the point is exact agreement either way).
+    Type C = Gen(Seed + NumSeeds).type(Depth);
+    EXPECT_EQ(typeEquals(A, C), structuralTypeEquals(A, C))
+        << "seed " << Seed;
+    HeapTypeRef HA = Gen(Seed).heap(Depth - 1);
+    HeapTypeRef HC = Gen(Seed + NumSeeds).heap(Depth - 1);
+    EXPECT_EQ(heapTypeEquals(*HA, *HC), structuralHeapTypeEquals(*HA, *HC))
+        << "seed " << Seed;
+    FunTypeRef FA = Gen(Seed).fun(Depth - 1);
+    FunTypeRef FB = Gen(Seed).fun(Depth - 1);
+    FunTypeRef FC = Gen(Seed + NumSeeds).fun(Depth - 1);
+    EXPECT_EQ(FA.get(), FB.get()) << "seed " << Seed;
+    EXPECT_EQ(funTypeEquals(*FA, *FC), structuralFunTypeEquals(*FA, *FC))
+        << "seed " << Seed;
+    SizeRef SA = Gen(Seed).size(Depth);
+    SizeRef SB = Gen(Seed).size(Depth);
+    SizeRef SC = Gen(Seed + NumSeeds).size(Depth);
+    EXPECT_EQ(SA.get(), SB.get()) << "seed " << Seed;
+    EXPECT_EQ(sizeEquals(SA, SC), structuralSizeEquals(SA, SC))
+        << "seed " << Seed;
+  }
+}
+
+TEST(InternerFuzz, IndependentArenasAgreeWithStructuralEquality) {
+  TypeArena Arena1, Arena2;
+  for (uint64_t Seed = 0; Seed < NumSeeds; ++Seed) {
+    uint64_t Other = Seed * 31 + 7;
+    Type A1, B1, A2, B2;
+    {
+      ArenaScope Scope(Arena1);
+      A1 = Gen(Seed).type(Depth);
+      B1 = Gen(Other).type(Depth);
+    }
+    {
+      ArenaScope Scope(Arena2);
+      A2 = Gen(Seed).type(Depth);
+      B2 = Gen(Other).type(Depth);
+    }
+    // The same structure interned twice in one arena is one node; across
+    // arenas pointer identity fails by design while structural equality
+    // holds — and each arena's pointer-equality verdict must match the
+    // deep reference implementation.
+    EXPECT_NE(A1.P.get(), A2.P.get()) << "seed " << Seed;
+    EXPECT_TRUE(structuralTypeEquals(A1, A2)) << "seed " << Seed;
+    EXPECT_TRUE(structuralTypeEquals(B1, B2)) << "seed " << Seed;
+    EXPECT_EQ(typeEquals(A1, B1), structuralTypeEquals(A1, B1))
+        << "seed " << Seed;
+    EXPECT_EQ(typeEquals(A2, B2), structuralTypeEquals(A2, B2))
+        << "seed " << Seed;
+    EXPECT_EQ(typeEquals(A1, B1), typeEquals(A2, B2)) << "seed " << Seed;
+  }
+}
+
+TEST(InternerFuzz, ShiftSubstRoundTripIsIdentity) {
+  for (uint64_t Seed = 0; Seed < NumSeeds; ++Seed) {
+    Type T = Gen(Seed).type(Depth);
+    // Shift every free variable up by one per kind, then strip one binder
+    // per kind: the replacements are unused (no index-0 occurrences remain
+    // after the shift), so the strip must restore the original — as the
+    // *same canonical node*.
+    Shifter Up(1, 1, 1, 1);
+    Type Shifted = Up.rewrite(T);
+    Subst Strip = Subst::fromIndices(
+        {Index::loc(Loc::concrete(MemKind::Lin, 99)),
+         Index::size(Size::constant(8)), Index::qual(Qual::lin()),
+         Index::pretype(unitPT())});
+    Type Back = Strip.rewrite(Shifted);
+    EXPECT_TRUE(typeEquals(Back, T)) << "seed " << Seed;
+    EXPECT_EQ(Back.P.get(), T.P.get()) << "seed " << Seed;
+    EXPECT_TRUE(structuralTypeEquals(Back, T)) << "seed " << Seed;
+  }
+}
+
+TEST(InternerFuzz, RewritesAgreeAcrossArenas) {
+  TypeArena Arena1, Arena2;
+  for (uint64_t Seed = 0; Seed < NumSeeds; ++Seed) {
+    Type R1, R2;
+    {
+      ArenaScope Scope(Arena1);
+      Type T = Gen(Seed).type(Depth);
+      Subst Sub = Subst::onePretype(numPT(NumType::F64));
+      R1 = Sub.rewrite(Shifter(0, 1, 0, 0).rewrite(T));
+    }
+    {
+      ArenaScope Scope(Arena2);
+      Type T = Gen(Seed).type(Depth);
+      Subst Sub = Subst::onePretype(numPT(NumType::F64));
+      R2 = Sub.rewrite(Shifter(0, 1, 0, 0).rewrite(T));
+    }
+    EXPECT_TRUE(structuralTypeEquals(R1, R2)) << "seed " << Seed;
+  }
+}
+
+TEST(Interner, LinkRejectsMixedArenasWithClearDiagnostic) {
+  using namespace rw::ir::build;
+  // Exporter built in the default (global) arena.
+  ir::Module Lib;
+  Lib.Name = "lib";
+  Lib.Funcs.push_back(function({"id"},
+                               FunType::get({}, arrow({i32T()}, {i32T()})),
+                               {}, {getLocal(0, Qual::unr())}));
+  // Importer deliberately interned into (and owning) a private arena:
+  // structurally identical signature, different canonical universe — the
+  // module checks fine in isolation, and the mismatch must surface at the
+  // link boundary as an arena diagnostic, not a bogus type mismatch.
+  auto Private = std::make_shared<TypeArena>();
+  ir::Module Client;
+  Client.Arena = Private;
+  {
+    ArenaScope Scope(*Private);
+    Client.Name = "client";
+    Client.Funcs.push_back(importFunc(
+        {"lib", "id"}, FunType::get({}, arrow({i32T()}, {i32T()}))));
+    Client.Funcs.push_back(function(
+        {"main"}, FunType::get({}, arrow({}, {i32T()})),
+        {}, {iconst(7), call(0)}));
+  }
+  auto R = link::instantiate({&Lib, &Client});
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.error().message().find("different type arenas"),
+            std::string::npos)
+      << R.error().message();
+}
+
+TEST(InternerFuzz, MemoizedJudgmentsAreDeterministic) {
+  for (uint64_t Seed = 0; Seed < NumSeeds; ++Seed) {
+    PretypeRef P = Gen(Seed).pretype(Depth);
+    if (P->freeBounds().Type != 0)
+      continue; // sizeOf/noCaps of open pretypes needs a context.
+    SizeRef S1 = sizeOfPretype(P, {});
+    SizeRef S2 = sizeOfPretype(P, {});
+    EXPECT_EQ(S1.get(), S2.get()) << "seed " << Seed;
+    EXPECT_TRUE(structuralSizeEquals(S1, S2)) << "seed " << Seed;
+    EXPECT_EQ(pretypeNoCaps(P, {}), pretypeNoCaps(P, {}))
+        << "seed " << Seed;
+  }
+}
+
+} // namespace

@@ -279,9 +279,8 @@ TEST(InstRewrite, SubstitutesAnnotationsAndRespectsBinders) {
       memUnpack(arrow({}, {}), {}, {memPack(Loc::var(0))}),
       memPack(Loc::var(0)),
   };
-  Subst S;
-  S.Sizes.push_back(Size::constant(32));
-  S.Locs.push_back(Loc::concrete(MemKind::Lin, 9));
+  Subst S = Subst::fromIndices({Index::size(Size::constant(32)),
+                                Index::loc(Loc::concrete(MemKind::Lin, 9))});
   InstVec Out = rewriteInsts(Body, S);
 
   const auto *SM = cast<StructMallocInst>(Out[0].get());
