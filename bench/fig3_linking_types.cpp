@@ -3,6 +3,8 @@
 // the unsafe pair is rejected at link time (statically), the safe pair
 // links and runs. Measures the full pipeline for both outcomes.
 #include "Common.h"
+#include <algorithm>
+#include <cstdio>
 #include <benchmark/benchmark.h>
 using namespace rw;
 using namespace rwbench;
@@ -29,5 +31,98 @@ static void F3_SafePairLinksAndRuns(benchmark::State &St) {
   }
 }
 BENCHMARK(F3_SafePairLinksAndRuns);
+
+//===----------------------------------------------------------------------===//
+// Batch import resolution (DESIGN.md §7): N modules, each exporting a few
+// functions and importing from earlier modules — the admission-server
+// linking shape. Measures resolveImports alone (no body checking, no
+// instantiation) so the two strategies are compared on exactly the phase
+// the export index changes: sequential = per-import linear scans over
+// earlier modules' export lists; batch = the (name, canonical FunType*)
+// hash index. run_bench.sh emits the pair into BENCH_link.json.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds an N-module link set: module i exports `f<i>_<j>` (j < Exports,
+/// types alternating between two arrows so the index is not degenerate)
+/// and imports Exports functions from the preceding modules. Imports
+/// follow the real dependency shape: most reference the *foundational*
+/// modules linked first (the libc/WASI pattern — everyone imports the
+/// runtime), the rest scatter over later providers. Exports defaults to
+/// 24 — the order of a real interface surface (WASI preview1 exports ~45
+/// functions).
+struct LinkSet {
+  std::vector<rw::ir::Module> Mods;
+  std::vector<const rw::ir::Module *> Ptrs;
+
+  explicit LinkSet(unsigned N, unsigned Exports = 24) {
+    using namespace rw::ir;
+    using namespace rw::ir::build;
+    FunTypeRef Tys[2] = {FunType::get({}, arrow({i32T()}, {i32T()})),
+                         FunType::get({}, arrow({i64T()}, {i64T()}))};
+    // Realistic module naming: a multi-tenant server addresses untrusted
+    // modules by fixed-width identifier (content digest / tenant id), so
+    // every name shares a long prefix and the same length — comparisons
+    // discriminate late, never on length.
+    auto modName = [](unsigned I) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "user_pkg_%06u", I);
+      return std::string(Buf);
+    };
+    Mods.reserve(N);
+    for (unsigned I = 0; I < N; ++I) {
+      ir::Module M;
+      M.Name = modName(I);
+      for (unsigned J = 0; J < Exports; ++J)
+        M.Funcs.push_back(function(
+            {"f" + std::to_string(I) + "_" + std::to_string(J)},
+            Tys[(I + J) % 2], {}, {getLocal(0, Qual::unr())}));
+      if (I > 0)
+        for (unsigned J = 0; J < Exports; ++J) {
+          // 3 of 4 imports hit the foundational modules at the front of
+          // the link order; the rest spread over all predecessors.
+          unsigned P = (J % 4 != 3)
+                           ? (I * 7 + J * 13) % std::min(I, 4u)
+                           : (I * 7 + J * 13) % I;
+          unsigned E = (I + J * 3) % Exports;
+          M.Funcs.push_back(importFunc(
+              {modName(P), "f" + std::to_string(P) + "_" + std::to_string(E)},
+              Tys[(P + E) % 2]));
+        }
+      Mods.push_back(std::move(M));
+    }
+    for (const ir::Module &M : Mods)
+      Ptrs.push_back(&M);
+  }
+};
+
+void runResolve(benchmark::State &St, link::ResolveMode Mode) {
+  LinkSet Set(static_cast<unsigned>(St.range(0)));
+  uint64_t Imports = 0;
+  for (const rw::ir::Module *M : Set.Ptrs)
+    for (const rw::ir::Function &F : M->Funcs)
+      Imports += F.isImport();
+  for (auto _ : St) {
+    auto R = link::resolveImports(Set.Ptrs, Mode);
+    if (!R) { St.SkipWithError("resolution failed"); return; }
+    benchmark::DoNotOptimize(R->size());
+  }
+  St.counters["imports/s"] = benchmark::Counter(
+      static_cast<double>(Imports) * St.iterations(),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+} // namespace
+
+static void F3_ResolveSequential(benchmark::State &St) {
+  runResolve(St, link::ResolveMode::Sequential);
+}
+BENCHMARK(F3_ResolveSequential)->Arg(8)->Arg(64)->Arg(256);
+
+static void F3_ResolveBatch(benchmark::State &St) {
+  runResolve(St, link::ResolveMode::Batch);
+}
+BENCHMARK(F3_ResolveBatch)->Arg(8)->Arg(64)->Arg(256);
 
 BENCHMARK_MAIN();

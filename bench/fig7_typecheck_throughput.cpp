@@ -3,6 +3,7 @@
 // time as module size sweeps (functions with locals, linear heap use, and
 // unpacking — the judgments with the most premises).
 #include "Common.h"
+#include "support/ThreadPool.h"
 #include <benchmark/benchmark.h>
 using namespace rw;
 using namespace rwbench;
@@ -46,6 +47,34 @@ static void F7_CheckModuleCold(benchmark::State &St) {
       benchmark::Counter::kIs1000);
 }
 BENCHMARK(F7_CheckModuleCold)->Arg(64)->Arg(256);
+
+static void F7_CheckModulePar(benchmark::State &St) {
+  // Batch admission: 8 modules of range(0) functions each, checked
+  // function-parallel over the process thread pool (checkModules). On a
+  // single-core box this measures the pipeline's overhead vs the
+  // sequential loop; where cores exist it scales near-linearly (function
+  // granularity keeps the pool balanced).
+  static support::ThreadPool Pool;
+  constexpr unsigned NumMods = 8;
+  std::vector<ir::Module> Mods;
+  std::vector<const ir::Module *> Ptrs;
+  for (unsigned I = 0; I < NumMods; ++I)
+    Mods.push_back(wideModule(static_cast<unsigned>(St.range(0))));
+  for (const ir::Module &M : Mods)
+    Ptrs.push_back(&M);
+  uint64_t Funcs = 0;
+  for (auto _ : St) {
+    std::vector<Status> Rs = typing::checkModules(Ptrs, Pool);
+    for (const Status &S : Rs)
+      if (!S.ok()) { St.SkipWithError("check failed"); return; }
+    Funcs += static_cast<uint64_t>(St.range(0)) * NumMods;
+  }
+  St.counters["funcs/s"] = benchmark::Counter(
+      static_cast<double>(Funcs), benchmark::Counter::kIsRate,
+      benchmark::Counter::kIs1000);
+  St.counters["threads"] = static_cast<double>(Pool.size());
+}
+BENCHMARK(F7_CheckModulePar)->Arg(64)->Arg(256);
 
 static void F7_CheckWithAnnotations(benchmark::State &St) {
   // Checking while recording the lowering annotations (InfoMap).

@@ -4,21 +4,28 @@
 #
 #  * BENCH_interp.json  — interpreter throughput on both execution engines
 #                         (fig4), with the Tree→Flat geomean speedup;
-#  * BENCH_typing.json  — type-checker throughput (fig7 F7_CheckModule and
-#                         the T1 soundness generate-check-run loop), the
-#                         admission-control hot path at link boundaries.
+#  * BENCH_typing.json  — type-checker throughput (fig7 F7_CheckModule,
+#                         the parallel F7_CheckModulePar batch pipeline,
+#                         and the T1 soundness generate-check-run loop),
+#                         the admission-control hot path at link
+#                         boundaries;
+#  * BENCH_link.json    — batch vs sequential import resolution (fig3
+#                         F3_Resolve*) at 8/64/256 modules.
 #
 # Usage: bench/run_bench.sh [build-dir] [interp-out.json] [typing-out.json]
+#                           [link-out.json]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_interp.json}"
 TYPING_OUT="${3:-BENCH_typing.json}"
+LINK_OUT="${4:-BENCH_link.json}"
 BIN="$BUILD_DIR/fig4_interp_throughput"
 TYPING_BIN="$BUILD_DIR/fig7_typecheck_throughput"
 T1_BIN="$BUILD_DIR/t1_soundness_throughput"
+LINK_BIN="$BUILD_DIR/fig3_linking_types"
 
-for B in "$BIN" "$TYPING_BIN" "$T1_BIN"; do
+for B in "$BIN" "$TYPING_BIN" "$T1_BIN" "$LINK_BIN"; do
   if [[ ! -x "$B" ]]; then
     echo "error: $B not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
     exit 1
@@ -28,7 +35,8 @@ done
 RAW="$(mktemp)"
 TYPING_RAW="$(mktemp)"
 T1_RAW="$(mktemp)"
-trap 'rm -f "$RAW" "$TYPING_RAW" "$T1_RAW"' EXIT
+LINK_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$TYPING_RAW" "$T1_RAW" "$LINK_RAW"' EXIT
 
 "$BIN" --benchmark_filter='F4_Wasm' --benchmark_format=json \
        --benchmark_repetitions="${BENCH_REPS:-1}" >"$RAW"
@@ -135,4 +143,47 @@ print(f"wrote {sys.argv[3]}: {line}")
 if "checkmodule_geomean_speedup" in out:
     print(f"F7_CheckModule geomean speedup vs baseline = "
           f"{out['checkmodule_geomean_speedup']:.2f}x")
+EOF
+
+"$LINK_BIN" --benchmark_filter='F3_Resolve' --benchmark_format=json \
+            --benchmark_repetitions="${BENCH_REPS:-1}" >"$LINK_RAW"
+
+# Batch resolution must beat the sequential reference; the 64-module case
+# is the headline number (≥2x gates linker PRs).
+python3 - "$LINK_RAW" "$LINK_OUT" <<'EOF'
+import json, sys, datetime
+
+raw = json.load(open(sys.argv[1]))
+results = {}
+for b in raw["benchmarks"]:
+    if b.get("run_type") == "aggregate":
+        continue
+    if b.get("error_occurred") or b.get("skipped"):
+        continue
+    cur = results.get(b["name"])
+    if cur is None or b["real_time"] < cur["ns"]:
+        results[b["name"]] = {
+            "ns": b["real_time"],
+            "imports_per_sec": b.get("imports/s"),
+        }
+
+speedups = {}
+for name, r in results.items():
+    if not name.startswith("F3_ResolveBatch/"):
+        continue
+    arg = name.split("/")[1]
+    seq = results.get(f"F3_ResolveSequential/{arg}")
+    if seq and r["ns"] > 0:
+        speedups[arg] = seq["ns"] / r["ns"]
+
+out = {
+    "benchmark": "link_batch_resolution",
+    "date": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+    "results": results,
+    "speedup_batch_over_sequential": speedups,
+}
+json.dump(out, open(sys.argv[2], "w"), indent=2)
+line = ", ".join(f"{n}={s:.2f}x" for n, s in sorted(speedups.items(),
+                                                   key=lambda kv: int(kv[0])))
+print(f"wrote {sys.argv[2]}: batch-over-sequential {line}")
 EOF

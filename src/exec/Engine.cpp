@@ -47,6 +47,14 @@ Expected<std::vector<WValue>> FlatInstance::invoke(uint32_t FuncIdx,
     return std::vector<WValue>(R->end() - FT.Results.size(), R->end());
   }
 
+  // Host functions receive a reference to their calling instance; calling
+  // invoke() on it while run() is live below would scribble over the
+  // operand stack, register file, and frame stack of the suspended
+  // execution. Detect the re-entry and trap instead.
+  if (Running)
+    return Error("trap: re-entrant invoke on a running instance (a host "
+                 "function called back into its caller)");
+
   const FlatFunc &F = FM.Funcs[FuncIdx - FM.NumImports];
   if (Args.size() < F.NumParams)
     return Error("trap: call stack underflow");
@@ -61,7 +69,10 @@ Expected<std::vector<WValue>> FlatInstance::invoke(uint32_t FuncIdx,
   Frames.push_back({&F, 0, 0, 0});
 
   std::string TrapMsg;
-  if (!run(MaxFuel, TrapMsg))
+  Running = true;
+  bool Ok = run(MaxFuel, TrapMsg);
+  Running = false;
+  if (!Ok)
     return Error("trap: " + TrapMsg);
 
   std::vector<WValue> Out;

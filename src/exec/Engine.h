@@ -21,8 +21,11 @@
 ///
 /// Semantics (results, traps, memory effects, GC-visible globals) match
 /// the tree engine exactly; tests/exec_test.cpp holds the differential
-/// suite. Like the tree engine, instances are not re-entrant: host
-/// functions must not call invoke() on the instance that invoked them.
+/// suite. Instances are not re-entrant — the operand stack, register
+/// file, and frame stack are instance state — but unlike the tree engine
+/// this is *enforced*: a host function that calls invoke() back into the
+/// instance that invoked it gets a proper trap ("re-entrant invoke"),
+/// never corrupted state.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -69,6 +72,10 @@ private:
   std::vector<uint64_t> OpStack; ///< Raw 64-bit operand slots.
   std::vector<uint64_t> Regs;    ///< All frames' locals, contiguous.
   std::vector<CallFrame> Frames;
+  /// Re-entrancy guard: set while run() executes. A host function called
+  /// from this instance re-entering invoke() would clobber OpStack/Regs/
+  /// Frames mid-run (undefined behavior before this guard); now it traps.
+  bool Running = false;
 };
 
 } // namespace rw::exec

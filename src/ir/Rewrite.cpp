@@ -56,10 +56,17 @@ PretypeRef TypeRewriter::rewrite(const PretypeRef &P) {
   if (!memoUsable())
     return rewriteUncached(P);
   MemoKey K{P.get(), depthKey()};
-  if (auto It = PMemo.find(K); It != PMemo.end())
-    return It->second;
+  if (M)
+    if (auto It = M->P.find(K); It != M->P.end())
+      return It->second;
+  uint64_t Before = ++Visits;
   PretypeRef R = rewriteUncached(P);
-  PMemo.emplace(K, R);
+  // Memoize only subtrees whose rewrite did real work: caching a leaf-ish
+  // node costs a map insert (an allocation) to save a two-node walk, which
+  // is a net loss — and the checker's hot opens (mem.unpack, exist.unpack)
+  // rewrite exactly such tiny trees.
+  if (Visits - Before >= MemoMinVisits)
+    memos().P.emplace(K, R);
   return R;
 }
 
@@ -118,10 +125,13 @@ HeapTypeRef TypeRewriter::rewrite(const HeapTypeRef &H) {
   if (!memoUsable())
     return rewriteUncached(H);
   MemoKey K{H.get(), depthKey()};
-  if (auto It = HMemo.find(K); It != HMemo.end())
-    return It->second;
+  if (M)
+    if (auto It = M->H.find(K); It != M->H.end())
+      return It->second;
+  uint64_t Before = ++Visits;
   HeapTypeRef R = rewriteUncached(H);
-  HMemo.emplace(K, R);
+  if (Visits - Before >= MemoMinVisits)
+    memos().H.emplace(K, R);
   return R;
 }
 
@@ -223,10 +233,13 @@ FunTypeRef TypeRewriter::rewrite(const FunTypeRef &F) {
   if (!memoUsable())
     return rewriteUncached(F);
   MemoKey K{F.get(), depthKey()};
-  if (auto It = FMemo.find(K); It != FMemo.end())
-    return It->second;
+  if (M)
+    if (auto It = M->F.find(K); It != M->F.end())
+      return It->second;
+  uint64_t Before = ++Visits;
   FunTypeRef R = rewriteUncached(F);
-  FMemo.emplace(K, R);
+  if (Visits - Before >= MemoMinVisits)
+    memos().F.emplace(K, R);
   return R;
 }
 

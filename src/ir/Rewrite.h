@@ -36,7 +36,9 @@
 
 #include "ir/Inst.h"
 #include "ir/Types.h"
+#include "support/SmallVec.h"
 
+#include <memory>
 #include <unordered_map>
 
 namespace rw::ir {
@@ -44,6 +46,9 @@ namespace rw::ir {
 /// Depth-tracking structural rewriter over types.
 class TypeRewriter {
 public:
+  TypeRewriter() = default;
+  TypeRewriter(TypeRewriter &&) = default;
+  TypeRewriter &operator=(TypeRewriter &&) = default;
   virtual ~TypeRewriter() = default;
 
   Qual rewrite(Qual Q);
@@ -141,9 +146,27 @@ private:
   bool MemoOn = false;
   bool ActLoc = false, ActSize = false, ActQual = false, ActType = false;
   bool NonVarLocs = false;
-  std::unordered_map<MemoKey, PretypeRef, MemoKeyHash> PMemo;
-  std::unordered_map<MemoKey, HeapTypeRef, MemoKeyHash> HMemo;
-  std::unordered_map<MemoKey, FunTypeRef, MemoKeyHash> FMemo;
+  /// Counts rewrite() entries; a node is memoized only when rewriting it
+  /// required at least MemoMinVisits nested visits, so tiny trees (the
+  /// checker's unpack opens) never pay for a map insert.
+  uint64_t Visits = 0;
+  static constexpr uint64_t MemoMinVisits = 4;
+  /// The memo tables, allocated on first insert: rewriters are built and
+  /// torn down per instruction on the checker's hot path (one Subst per
+  /// unpack open, one scan per skolem-escape check), and most never
+  /// memoize anything — three map ctor/dtor pairs per rewriter showed up
+  /// in the F7 profile.
+  struct Memos {
+    std::unordered_map<MemoKey, PretypeRef, MemoKeyHash> P;
+    std::unordered_map<MemoKey, HeapTypeRef, MemoKeyHash> H;
+    std::unordered_map<MemoKey, FunTypeRef, MemoKeyHash> F;
+  };
+  Memos &memos() {
+    if (!M)
+      M = std::make_unique<Memos>();
+    return *M;
+  }
+  std::unique_ptr<Memos> M;
 
   PretypeRef rewriteUncached(const PretypeRef &P);
   HeapTypeRef rewriteUncached(const HeapTypeRef &H);
@@ -230,10 +253,13 @@ protected:
   PretypeRef onTypeVar(uint32_t Idx) override;
 
 private:
-  std::vector<Loc> Locs;
-  std::vector<SizeRef> Sizes;
-  std::vector<Qual> Quals;
-  std::vector<PretypeRef> Types;
+  // Inline storage: nearly every substitution replaces a handful of
+  // binders (one for the checker's unpack opens), so building one should
+  // not allocate.
+  support::SmallVec<Loc, 4> Locs;
+  support::SmallVec<SizeRef, 4> Sizes;
+  support::SmallVec<Qual, 4> Quals;
+  support::SmallVec<PretypeRef, 4> Types;
 
   /// Debug fingerprint of the replacement vectors (element-sensitive, not
   /// just sizes), so mutation after the first rewrite is caught.

@@ -87,6 +87,14 @@ public:
   HeapTypeRef array(Type Elem);
   HeapTypeRef ex(Qual QualLower, SizeRef SizeUpper, Type Body);
 
+  /// Span-probe variants: intern from a borrowed element range without
+  /// materializing an argument vector. On a table hit (the steady-state
+  /// checker case) nothing is allocated; elements are copied into a node
+  /// only on a miss. The range is not retained.
+  PretypeRef prodSpan(const Type *Elems, size_t N);
+  HeapTypeRef variantSpan(const Type *Cases, size_t N);
+  HeapTypeRef structureSpan(const StructField *Fields, size_t N);
+
   // Function types.
   FunTypeRef fun(std::vector<Quant> Quants, ArrowType Arrow);
 
@@ -111,10 +119,14 @@ public:
   bool isKnownWfFun(const FunType *F) const;
   void noteWfFun(const FunType *F);
 
-  /// Intern-table statistics (for benchmarks and tests). Counts cover the
-  /// locked table probes only: the lock-free fast paths (leaf caches,
-  /// per-node closed-size slots) deliberately skip the counters, so Hits
-  /// is a lower bound on real cache effectiveness.
+  /// Intern-table statistics (for benchmarks, tests, and server growth
+  /// monitoring). Counts cover the locked table probes only: the
+  /// lock-free fast paths (leaf caches, per-node closed-size slots)
+  /// deliberately skip the counters, so Hits is a lower bound on real
+  /// cache effectiveness. SkolemNodes counts currently-interned nodes
+  /// whose subtree mentions a checker skolem (the population Checkpoint
+  /// rollback targets); ApproxBytes is a sizeof-based estimate of live
+  /// node memory (excluding table overhead).
   struct Stats {
     uint64_t Hits = 0;
     uint64_t Misses = 0;
@@ -122,10 +134,58 @@ public:
     uint64_t HeapTypeNodes = 0;
     uint64_t FunTypeNodes = 0;
     uint64_t SizeNodes = 0;
+    uint64_t SkolemNodes = 0;
+    uint64_t ApproxBytes = 0;
+
+    uint64_t totalNodes() const {
+      return PretypeNodes + HeapTypeNodes + FunTypeNodes + SizeNodes;
+    }
   };
   Stats stats() const;
 
+  //===--------------------------------------------------------------------===//
+  // Bounded growth under skolem churn (DESIGN.md §7)
+  //===--------------------------------------------------------------------===//
+  //
+  // Checker-minted skolem types intern into the arena and would otherwise
+  // be retained forever; a long-lived server re-checking adversarial
+  // modules grows monotonically. A Checkpoint marks the intern journal;
+  // rolling back un-interns nodes added after the mark — either only the
+  // skolem-tainted ones (rollbackSkolems, safe after a completed
+  // checkModule whose per-check artifacts are dropped) or everything
+  // (rollback, for check-and-reject admission where the whole module is
+  // discarded).
+  //
+  // Un-interning removes the *table's* ownership and canonical identity;
+  // nodes still referenced externally stay alive but a later re-intern of
+  // the same structure creates a fresh node. Hence the safety contract:
+  //   * quiescence — no concurrent checks may be running in this arena
+  //     during rollback, and
+  //   * no retained artifact (module types for rollback; checker results /
+  //     InfoMaps for rollbackSkolems) may hold nodes younger than the
+  //     checkpoint.
+  // Checkpoints nest LIFO: rolling back to an older checkpoint subsumes
+  // newer ones.
+
+  struct Checkpoint {
+    uint64_t Mark = 0;
+  };
+  Checkpoint checkpoint() const;
+  /// Un-interns every skolem-tainted node interned after \p C. Returns the
+  /// number of nodes removed.
+  uint64_t rollbackSkolems(const Checkpoint &C);
+  /// Un-interns every node interned after \p C. Returns the number of
+  /// nodes removed.
+  uint64_t rollback(const Checkpoint &C);
+
 private:
+  uint64_t rollbackImpl(uint64_t Mark, bool SkolemOnly);
+  PretypeRef prodImpl(const Type *Elems, size_t N, std::vector<Type> *Own);
+  HeapTypeRef variantImpl(const Type *Cases, size_t N,
+                          std::vector<Type> *Own);
+  HeapTypeRef structureImpl(const StructField *Fields, size_t N,
+                            std::vector<StructField> *Own);
+
   struct Impl;
   std::unique_ptr<Impl> I;
 };

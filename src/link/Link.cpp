@@ -11,7 +11,10 @@
 #include "typing/Checker.h"
 #include "wasm/Validate.h"
 
-#include <map>
+#include "support/FlatMap.h"
+
+#include <cstring>
+#include <unordered_map>
 
 using namespace rw;
 using namespace rw::link;
@@ -31,38 +34,251 @@ std::optional<uint32_t> rw::link::findExport(const ir::Module &M,
 
 namespace {
 
-/// Index of exported names across already-instantiated modules.
+using Provider = std::pair<uint32_t, uint32_t>;
+
+/// Hash key of one export: the exporting module's name and the export
+/// name, both borrowed from the module structures (which outlive the
+/// link).
+struct ExportKey {
+  const std::string *Mod;
+  const std::string *Name;
+
+  bool operator==(const ExportKey &O) const {
+    return *Mod == *O.Mod && *Name == *O.Name;
+  }
+};
+
+/// Sampled string hash: length mixed with the first and last eight bytes.
+/// Import resolution hashes two strings per probe, so full-content
+/// hashing is the dominant cost of the batch path; sampling keeps probes
+/// O(1)-ish in name length. Colliding names (same length, same ends) are
+/// disambiguated by the full equality compare — a pathological bucket
+/// degrades toward the sequential scan, never to a wrong resolution.
+/// murmur3's 64-bit finalizer: full avalanche, so sampled inputs whose
+/// entropy sits in a few bytes (shared prefixes, trailing digits) still
+/// spread over the low bits a power-of-two table masks with.
+static uint64_t mix64(uint64_t X) {
+  X ^= X >> 33;
+  X *= 0xff51afd7ed558ccdull;
+  X ^= X >> 33;
+  X *= 0xc4ceb9fe1a85ec53ull;
+  X ^= X >> 33;
+  return X;
+}
+
+static uint64_t sampledHash(const std::string &S) {
+  size_t N = S.size();
+  uint64_t A = 0, B = 0;
+  if (N >= 8) {
+    std::memcpy(&A, S.data(), 8);
+    std::memcpy(&B, S.data() + N - 8, 8);
+  } else if (N > 0) {
+    std::memcpy(&A, S.data(), N);
+    B = A;
+  }
+  return mix64(A ^ (B * 0x9e3779b97f4a7c15ull) ^
+               (N * 0xff51afd7ed558ccdull));
+}
+
+struct ExportKeyHash {
+  size_t operator()(const ExportKey &K) const {
+    return static_cast<size_t>(
+        mix64(sampledHash(*K.Mod) ^
+              (sampledHash(*K.Name) * 0x9e3779b97f4a7c15ull)));
+  }
+};
+
+/// The cross-module export index of the batch resolution phase: one map
+/// per namespace from (module, name) to (provider, canonical type node).
+/// A single probe resolves an import *and* decides the cross-module type
+/// check — the stored type is a canonical pointer, so the check is one
+/// pointer comparison against the importer's declared type. (Folding the
+/// type into the hash key instead was measured slower: it doubles the
+/// string hashing on every add and needs a second name-only index to tell
+/// "unresolved" from "type mismatch".) Insertion overwrites, so the
+/// newest provider of a re-exported name wins — the same shadowing rule
+/// as newest-first sequential scanning.
 class ExportIndex {
 public:
+  struct Entry {
+    Provider P;
+    const void *Ty; ///< Canonical FunType* / Pretype* of the export.
+  };
+
+  /// Pre-sizes the hash tables for the whole link set, so incremental
+  /// add() never rehashes mid-link.
+  void reserve(size_t FuncExports, size_t GlobalExports) {
+    Funcs.reserve(FuncExports);
+    Globals.reserve(GlobalExports);
+  }
+
   void add(uint32_t InstIdx, const ir::Module &M) {
     for (uint32_t I = 0; I < M.Funcs.size(); ++I)
       for (const std::string &E : M.Funcs[I].Exports)
-        Funcs[{M.Name, E}] = {InstIdx, I};
+        Funcs.insert_or_assign({&M.Name, &E},
+                               Entry{{InstIdx, I}, M.Funcs[I].Ty.get()});
     for (uint32_t I = 0; I < M.Globals.size(); ++I)
       for (const std::string &E : M.Globals[I].Exports)
-        Globals[{M.Name, E}] = {InstIdx, I};
+        Globals.insert_or_assign({&M.Name, &E},
+                                 Entry{{InstIdx, I}, M.Globals[I].P.get()});
   }
 
-  std::optional<Closure> findFunc(const ir::ImportName &N) const {
-    auto It = Funcs.find({N.Module, N.Name});
-    if (It == Funcs.end())
-      return std::nullopt;
-    return Closure{It->second.first, It->second.second};
+  const Entry *findFunc(const ir::ImportName &N) const {
+    return Funcs.find({&N.Module, &N.Name});
   }
-  std::optional<std::pair<uint32_t, uint32_t>>
-  findGlobal(const ir::ImportName &N) const {
-    auto It = Globals.find({N.Module, N.Name});
-    if (It == Globals.end())
-      return std::nullopt;
-    return It->second;
+  const Entry *findGlobal(const ir::ImportName &N) const {
+    return Globals.find({&N.Module, &N.Name});
   }
 
 private:
-  std::map<std::pair<std::string, std::string>, std::pair<uint32_t, uint32_t>>
-      Funcs, Globals;
+  // Open-addressed: std::unordered_map pays one node allocation per
+  // export, which dominated the batch path's profile.
+  using Map = support::FlatMap<ExportKey, Entry, ExportKeyHash>;
+
+  Map Funcs, Globals;
 };
 
+/// The reference resolution: scan earlier modules' export lists, newest
+/// first (so a re-exported name shadows an older provider, matching the
+/// index's overwrite-on-add semantics).
+std::optional<Provider> scanFunc(const std::vector<const ir::Module *> &Mods,
+                                 uint32_t Before, const ir::ImportName &N) {
+  for (uint32_t MI = Before; MI > 0; --MI) {
+    const ir::Module &P = *Mods[MI - 1];
+    if (P.Name != N.Module)
+      continue;
+    for (uint32_t FI = static_cast<uint32_t>(P.Funcs.size()); FI > 0; --FI)
+      for (const std::string &E : P.Funcs[FI - 1].Exports)
+        if (E == N.Name)
+          return Provider{MI - 1, FI - 1};
+  }
+  return std::nullopt;
+}
+
+std::optional<Provider> scanGlobal(const std::vector<const ir::Module *> &Mods,
+                                   uint32_t Before, const ir::ImportName &N) {
+  for (uint32_t MI = Before; MI > 0; --MI) {
+    const ir::Module &P = *Mods[MI - 1];
+    if (P.Name != N.Module)
+      continue;
+    for (uint32_t GI = static_cast<uint32_t>(P.Globals.size()); GI > 0; --GI)
+      for (const std::string &E : P.Globals[GI - 1].Exports)
+        if (E == N.Name)
+          return Provider{MI - 1, GI - 1};
+  }
+  return std::nullopt;
+}
+
+/// Shared arena guard: canonical-pointer type equality is only meaningful
+/// within one arena, so cross-arena links are rejected with a directed
+/// diagnostic rather than a puzzling "type mismatch".
+template <class Node>
+Status checkSameArena(const Node &ImpTy, const Node &ProvTy,
+                      const ir::Module &M, const ir::Module &PM) {
+  if (ImpTy.arena() && ProvTy.arena() && ImpTy.arena() != ProvTy.arena())
+    return Error("modules '" + M.Name + "' and '" + PM.Name +
+                 "' use different type arenas; linked modules must "
+                 "intern their types into one shared arena");
+  return Status::success();
+}
+
 } // namespace
+
+Expected<std::vector<ResolvedModule>>
+rw::link::resolveImports(const std::vector<const ir::Module *> &Mods,
+                         ResolveMode Mode) {
+  std::vector<ResolvedModule> Out;
+  Out.reserve(Mods.size());
+  ExportIndex Index;
+  bool Batch = Mode == ResolveMode::Batch;
+  if (Batch) {
+    size_t FuncExports = 0, GlobalExports = 0;
+    for (const ir::Module *M : Mods) {
+      for (const ir::Function &F : M->Funcs)
+        FuncExports += F.Exports.size();
+      for (const ir::Global &G : M->Globals)
+        GlobalExports += G.Exports.size();
+    }
+    Index.reserve(FuncExports, GlobalExports);
+  }
+
+  for (uint32_t Idx = 0; Idx < Mods.size(); ++Idx) {
+    const ir::Module &M = *Mods[Idx];
+    ResolvedModule R;
+
+    for (uint32_t FI = 0; FI < M.Funcs.size(); ++FI) {
+      const ir::Function &F = M.Funcs[FI];
+      if (!F.isImport())
+        continue;
+      std::optional<Provider> P;
+      if (Batch) {
+        // One probe resolves and type-checks: the stored canonical
+        // FunType* pointer-compares against the importer's declared type.
+        if (const ExportIndex::Entry *E = Index.findFunc(*F.Import)) {
+          if (E->Ty == F.Ty.get()) {
+            R.FuncImports.push_back(E->P);
+            continue;
+          }
+          P = E->P; // Name resolves; fall through to diagnose the type.
+        }
+      } else {
+        P = scanFunc(Mods, Idx, *F.Import);
+      }
+      if (!P)
+        return Error("unresolved import " + F.Import->Module + "." +
+                     F.Import->Name + " in module '" + M.Name + "'");
+      // The cross-module safety check: declared import type must equal the
+      // provider's declared export type. Types are hash-consed, so this is
+      // a pointer comparison — valid because all linked modules intern
+      // into one shared arena (ir::Module::Arena defaults to the
+      // process-wide one).
+      const ir::Module &PM = *Mods[P->first];
+      const ir::FunTypeRef &ProvTy = PM.Funcs[P->second].Ty;
+      if (Status S = checkSameArena(*F.Ty, *ProvTy, M, PM); !S)
+        return S.error();
+      if (!ir::funTypeEquals(*F.Ty, *ProvTy))
+        return Error("import type mismatch for " + F.Import->Module + "." +
+                     F.Import->Name + ": importer expects " +
+                     ir::printFunType(*F.Ty) + " but provider exports " +
+                     ir::printFunType(*ProvTy));
+      R.FuncImports.push_back(*P);
+    }
+
+    for (uint32_t GI = 0; GI < M.Globals.size(); ++GI) {
+      const ir::Global &G = M.Globals[GI];
+      if (!G.isImport())
+        continue;
+      std::optional<Provider> P;
+      if (Batch) {
+        if (const ExportIndex::Entry *E = Index.findGlobal(*G.Import)) {
+          if (E->Ty == G.P.get()) {
+            R.GlobalImports.push_back(E->P);
+            continue;
+          }
+          P = E->P;
+        }
+      } else {
+        P = scanGlobal(Mods, Idx, *G.Import);
+      }
+      if (!P)
+        return Error("unresolved global import " + G.Import->Module + "." +
+                     G.Import->Name + " in module '" + M.Name + "'");
+      const ir::Module &PM = *Mods[P->first];
+      const ir::Global &PG = PM.Globals[P->second];
+      if (Status S = checkSameArena(*G.P, *PG.P, M, PM); !S)
+        return S.error();
+      if (!ir::pretypeEquals(*G.P, *PG.P))
+        return Error("global import type mismatch for " + G.Import->Module +
+                     "." + G.Import->Name);
+      R.GlobalImports.push_back(*P);
+    }
+
+    if (Batch)
+      Index.add(Idx, M);
+    Out.push_back(std::move(R));
+  }
+  return Out;
+}
 
 Expected<std::unique_ptr<Machine>>
 rw::link::instantiate(const std::vector<const ir::Module *> &Mods,
@@ -75,67 +291,40 @@ rw::link::instantiate(const std::vector<const ir::Module *> &Mods,
       if (Status S = typing::checkModule(*M); !S)
         return Error("module '" + M->Name + "': " + S.error().message());
 
+  // Phase 2a: the batch resolution phase — every import of every module
+  // mapped to its provider (with the canonical-type equality check) before
+  // any instance state exists.
+  Expected<std::vector<ResolvedModule>> Resolved =
+      resolveImports(Mods, Opts.Resolution);
+  if (!Resolved)
+    return Resolved.error();
+
   auto Mach = std::make_unique<Machine>(Store{});
   Store &S = Mach->store();
-  ExportIndex Exports;
 
-  // Phase 2: resolve imports and build instances.
+  // Phase 2b: build instances from the resolution.
   for (uint32_t Idx = 0; Idx < Mods.size(); ++Idx) {
     const ir::Module &M = *Mods[Idx];
+    const ResolvedModule &R = (*Resolved)[Idx];
     Instance Inst;
     Inst.Mod = &M;
 
-    for (uint32_t FI = 0; FI < M.Funcs.size(); ++FI) {
-      const ir::Function &F = M.Funcs[FI];
-      if (!F.isImport()) {
+    size_t NextF = 0, NextG = 0;
+    for (uint32_t FI = 0; FI < M.Funcs.size(); ++FI)
+      if (M.Funcs[FI].isImport()) {
+        const auto &[PMod, PIdx] = R.FuncImports[NextF++];
+        Inst.Funcs.push_back({PMod, PIdx});
+      } else {
         Inst.Funcs.push_back({Idx, FI});
-        continue;
       }
-      std::optional<Closure> Provider = Exports.findFunc(*F.Import);
-      if (!Provider)
-        return Error("unresolved import " + F.Import->Module + "." +
-                     F.Import->Name + " in module '" + M.Name + "'");
-      // The cross-module safety check: declared import type must equal the
-      // provider's declared export type. Types are hash-consed, so this is
-      // a pointer comparison — valid because all linked modules intern
-      // into one shared arena (ir::Module::Arena defaults to the
-      // process-wide one).
-      const ir::Module &PM = *Mods[Provider->InstIdx];
-      const ir::FunTypeRef &ProvTy = PM.Funcs[Provider->FuncIdx].Ty;
-      if (F.Ty->arena() && ProvTy->arena() &&
-          F.Ty->arena() != ProvTy->arena())
-        return Error("modules '" + M.Name + "' and '" + PM.Name +
-                     "' use different type arenas; linked modules must "
-                     "intern their types into one shared arena");
-      if (!ir::funTypeEquals(*F.Ty, *ProvTy))
-        return Error("import type mismatch for " + F.Import->Module + "." +
-                     F.Import->Name + ": importer expects " +
-                     ir::printFunType(*F.Ty) + " but provider exports " +
-                     ir::printFunType(*ProvTy));
-      Inst.Funcs.push_back(*Provider);
-    }
 
-    for (uint32_t GI = 0; GI < M.Globals.size(); ++GI) {
-      const ir::Global &G = M.Globals[GI];
-      if (!G.isImport()) {
+    for (uint32_t GI = 0; GI < M.Globals.size(); ++GI)
+      if (M.Globals[GI].isImport()) {
+        const auto &[PMod, PIdx] = R.GlobalImports[NextG++];
+        Inst.Globals.push_back(S.Insts[PMod].Globals[PIdx]);
+      } else {
         Inst.Globals.push_back(sem::Value::unit());
-        continue;
       }
-      auto Provider = Exports.findGlobal(*G.Import);
-      if (!Provider)
-        return Error("unresolved global import " + G.Import->Module + "." +
-                     G.Import->Name + " in module '" + M.Name + "'");
-      const ir::Module &PM = *Mods[Provider->first];
-      const ir::Global &PG = PM.Globals[Provider->second];
-      if (G.P->arena() && PG.P->arena() && G.P->arena() != PG.P->arena())
-        return Error("modules '" + M.Name + "' and '" + PM.Name +
-                     "' use different type arenas; linked modules must "
-                     "intern their types into one shared arena");
-      if (!ir::pretypeEquals(*G.P, *PG.P))
-        return Error("global import type mismatch for " + G.Import->Module +
-                     "." + G.Import->Name);
-      Inst.Globals.push_back(S.Insts[Provider->first].Globals[Provider->second]);
-    }
 
     for (uint32_t TE : M.Tab.Entries) {
       if (TE >= Inst.Funcs.size())
@@ -144,7 +333,6 @@ rw::link::instantiate(const std::vector<const ir::Module *> &Mods,
     }
 
     S.Insts.push_back(std::move(Inst));
-    Exports.add(Idx, M);
   }
 
   if (!Opts.RunStart)

@@ -33,6 +33,23 @@
 
 namespace rw::link {
 
+/// How instantiate resolves imports against providers.
+enum class ResolveMode : uint8_t {
+  /// Reference path: each import linearly scans the earlier modules'
+  /// export lists (latest provider wins). O(modules x exports) per
+  /// import — kept as the baseline the batch index is benchmarked
+  /// against (bench/fig3, BENCH_link.json).
+  Sequential,
+  /// Batch path: one cross-module export index, hashed on
+  /// (module, name) and carrying the export's canonical type pointer in
+  /// the entry, built incrementally in link order. Resolving N modules'
+  /// imports is O(total imports + total exports) hash operations, and
+  /// one probe both resolves an import and decides the import/export
+  /// type check — a pointer comparison of the stored canonical type
+  /// against the importer's declared type (DESIGN.md §7).
+  Batch,
+};
+
 struct LinkOptions {
   /// Type-check every module before instantiation (the RichWasm
   /// guarantee); disable only for measuring raw instantiation cost.
@@ -44,7 +61,31 @@ struct LinkOptions {
   wasm::EngineKind Engine = wasm::EngineKind::Tree;
   /// Validate the lowered Wasm module before instantiation.
   bool ValidateWasm = true;
+  /// Import resolution strategy (see ResolveMode).
+  ResolveMode Resolution = ResolveMode::Batch;
 };
+
+/// Import resolution for one module: the providing (module index,
+/// function/global index) of every *imported* function (resp. global),
+/// in declaration order. Defined entries are omitted — they trivially
+/// resolve to themselves, and materializing them would make resolution
+/// cost proportional to module size instead of import count.
+struct ResolvedModule {
+  std::vector<std::pair<uint32_t, uint32_t>> FuncImports;
+  std::vector<std::pair<uint32_t, uint32_t>> GlobalImports;
+};
+
+/// The batch resolution phase of linking, engine-independent: resolves
+/// every import of every module against the exports of *earlier* modules
+/// (Wasm instantiation order; latest provider wins for a duplicated
+/// export name), checking import/export type equality on canonical
+/// pointers. Does not type-check module bodies, run initializers, or
+/// build instances — instantiate() layers those on top. Fails on the
+/// first unresolved or type-mismatched import, in (module, import) order
+/// regardless of mode.
+Expected<std::vector<ResolvedModule>>
+resolveImports(const std::vector<const ir::Module *> &Mods,
+               ResolveMode Mode = ResolveMode::Batch);
 
 /// Links and instantiates \p Mods in order. The returned machine owns the
 /// store; instance i corresponds to Mods[i]. Module pointers must outlive

@@ -1,0 +1,113 @@
+//===- support/FlatMap.h - Open-addressed insert-only hash map --*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal open-addressed hash map for hot insert/lookup paths where
+/// std::unordered_map's node-per-entry allocation dominates (measured in
+/// the linker's export index: one heap allocation per export add). Linear
+/// probing over one contiguous slot array, power-of-two capacity, no
+/// erase (the users never remove entries), insert-or-assign semantics.
+///
+/// Requirements: K and V are cheap to move; Hash is stateless. Iteration
+/// order is unspecified and changes on rehash — callers needing
+/// determinism must not depend on it (the linker orders results by module
+/// index, never by map order).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_SUPPORT_FLATMAP_H
+#define RICHWASM_SUPPORT_FLATMAP_H
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace rw::support {
+
+template <class K, class V, class Hash> class FlatMap {
+public:
+  FlatMap() = default;
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  /// Pre-sizes for \p N entries without exceeding the load factor.
+  void reserve(size_t N) {
+    size_t Want = 16;
+    while (Want * MaxLoadNum < N * MaxLoadDen)
+      Want *= 2;
+    if (Want > Slots.size())
+      rehash(Want);
+  }
+
+  /// Inserts or overwrites.
+  void insert_or_assign(const K &Key, V Val) {
+    if ((Count + 1) * MaxLoadDen > Slots.size() * MaxLoadNum)
+      rehash(Slots.empty() ? 16 : Slots.size() * 2);
+    Slot &S = probe(Key);
+    if (!S.Used) {
+      S.Key = Key;
+      S.Used = true;
+      ++Count;
+    }
+    S.Val = std::move(Val);
+  }
+
+  /// Returns the value for \p Key, or null.
+  const V *find(const K &Key) const {
+    if (Slots.empty())
+      return nullptr;
+    size_t Mask = Slots.size() - 1;
+    for (size_t I = Hash()(Key) & Mask;; I = (I + 1) & Mask) {
+      const Slot &S = Slots[I];
+      if (!S.Used)
+        return nullptr;
+      if (S.Key == Key)
+        return &S.Val;
+    }
+  }
+
+private:
+  struct Slot {
+    K Key{};
+    V Val{};
+    bool Used = false;
+  };
+  // Max load factor 7/8: linear probing stays short and the table is
+  // still reserve()-friendly.
+  static constexpr size_t MaxLoadNum = 7, MaxLoadDen = 8;
+
+  Slot &probe(const K &Key) {
+    size_t Mask = Slots.size() - 1;
+    for (size_t I = Hash()(Key) & Mask;; I = (I + 1) & Mask) {
+      Slot &S = Slots[I];
+      if (!S.Used || S.Key == Key)
+        return S;
+    }
+  }
+
+  void rehash(size_t NewCap) {
+    assert((NewCap & (NewCap - 1)) == 0 && "capacity must be a power of 2");
+    std::vector<Slot> Old = std::move(Slots);
+    Slots.clear();
+    Slots.resize(NewCap);
+    for (Slot &S : Old)
+      if (S.Used) {
+        Slot &D = probe(S.Key);
+        D.Key = std::move(S.Key);
+        D.Val = std::move(S.Val);
+        D.Used = true;
+      }
+  }
+
+  std::vector<Slot> Slots;
+  size_t Count = 0;
+};
+
+} // namespace rw::support
+
+#endif // RICHWASM_SUPPORT_FLATMAP_H

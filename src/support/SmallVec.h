@@ -1,0 +1,208 @@
+//===- support/SmallVec.h - Small-size-optimized vector ---------*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal small-size-optimized vector: the first N elements live inline
+/// in the object, so containers that rarely exceed N never touch the heap.
+/// The checker's operand stack and binder lists are the motivating users —
+/// they are created once per function check and cycle through a few dozen
+/// elements, so inline storage removes every steady-state allocation from
+/// the admission hot loop (DESIGN.md §7).
+///
+/// Deliberately not a drop-in std::vector: no copy construction (the
+/// checker never copies its stacks — block bodies borrow a segment of the
+/// parent stack instead), no insert/erase in the middle, and truncate()
+/// instead of resize() (the only shrink operation the stack discipline
+/// needs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_SUPPORT_SMALLVEC_H
+#define RICHWASM_SUPPORT_SMALLVEC_H
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace rw::support {
+
+template <class T, unsigned N> class SmallVec {
+public:
+  SmallVec() : Data(inlineData()), Size(0), Cap(N) {}
+  ~SmallVec() {
+    destroyRange(Data, Data + Size);
+    if (!isInline())
+      ::operator delete(Data);
+  }
+  SmallVec(const SmallVec &) = delete;
+  SmallVec &operator=(const SmallVec &) = delete;
+
+  /// Moves steal the heap buffer when there is one; inline elements are
+  /// moved element-wise (their pointers cannot be stolen).
+  SmallVec(SmallVec &&O) noexcept : Data(inlineData()), Size(0), Cap(N) {
+    takeFrom(O);
+  }
+  SmallVec &operator=(SmallVec &&O) noexcept {
+    if (this == &O)
+      return *this;
+    destroyRange(Data, Data + Size);
+    if (!isInline()) {
+      ::operator delete(Data);
+      Data = inlineData();
+      Cap = N;
+    }
+    Size = 0;
+    takeFrom(O);
+    return *this;
+  }
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+  size_t capacity() const { return Cap; }
+
+  T *begin() { return Data; }
+  T *end() { return Data + Size; }
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + Size; }
+
+  T &operator[](size_t I) {
+    assert(I < Size && "index out of range");
+    return Data[I];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Size && "index out of range");
+    return Data[I];
+  }
+  T &back() {
+    assert(Size && "back of empty SmallVec");
+    return Data[Size - 1];
+  }
+  const T &back() const {
+    assert(Size && "back of empty SmallVec");
+    return Data[Size - 1];
+  }
+
+  // push_back is self-alias safe (push_back(v[0]) works even when it
+  // grows): the grow path copies the element out before the old buffer
+  // is destroyed. The grow path is deliberately out-of-line so the
+  // common no-grow push stays small enough to inline everywhere.
+  void push_back(const T &V) {
+    if (Size == Cap) {
+      pushSlow(V);
+      return;
+    }
+    unsafeEmplace(V);
+  }
+  void push_back(T &&V) {
+    if (Size == Cap) {
+      pushSlow(std::move(V));
+      return;
+    }
+    unsafeEmplace(std::move(V));
+  }
+
+  /// NOT self-alias safe (unlike std::vector): arguments must not
+  /// reference elements of this container — grow() would invalidate them
+  /// before construction. Use push_back to re-push an element.
+  template <class... Args> T &emplace_back(Args &&...A) {
+    if (Size == Cap)
+      grow(Cap * 2);
+    return unsafeEmplace(std::forward<Args>(A)...);
+  }
+
+  void pop_back() {
+    assert(Size && "pop of empty SmallVec");
+    --Size;
+    Data[Size].~T();
+  }
+
+  /// Destroys every element at index >= NewSize. The only shrink operation:
+  /// the checker unwinds block segments by truncating to the block's base.
+  void truncate(size_t NewSize) {
+    assert(NewSize <= Size && "truncate cannot grow");
+    destroyRange(Data + NewSize, Data + Size);
+    Size = NewSize;
+  }
+
+  void clear() { truncate(0); }
+
+  void reserve(size_t Want) {
+    if (Want > Cap)
+      grow(Want);
+  }
+
+private:
+  template <class... Args> T &unsafeEmplace(Args &&...A) {
+    T *Slot = Data + Size;
+    ::new (static_cast<void *>(Slot)) T(std::forward<Args>(A)...);
+    ++Size;
+    return *Slot;
+  }
+
+  template <class U>
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((noinline))
+#endif
+  void pushSlow(U &&V) {
+    T Tmp(std::forward<U>(V)); // Copy out first: V may alias an element.
+    grow(Cap * 2);
+    unsafeEmplace(std::move(Tmp));
+  }
+
+  void takeFrom(SmallVec &O) {
+    if (!O.isInline()) {
+      Data = O.Data;
+      Size = O.Size;
+      Cap = O.Cap;
+      O.Data = O.inlineData();
+      O.Size = 0;
+      O.Cap = N;
+      return;
+    }
+    for (T *Src = O.Data, *E = O.Data + O.Size; Src != E; ++Src) {
+      ::new (static_cast<void *>(Data + Size)) T(std::move(*Src));
+      ++Size;
+      Src->~T();
+    }
+    O.Size = 0;
+  }
+
+  T *inlineData() { return reinterpret_cast<T *>(Inline); }
+  bool isInline() const {
+    return Data == reinterpret_cast<const T *>(Inline);
+  }
+
+  static void destroyRange(T *B, T *E) {
+    for (; B != E; ++B)
+      B->~T();
+  }
+
+  void grow(size_t NewCap) {
+    if (NewCap < Cap * 2)
+      NewCap = Cap * 2;
+    T *NewData = static_cast<T *>(::operator new(NewCap * sizeof(T)));
+    T *Dst = NewData;
+    for (T *Src = Data, *E = Data + Size; Src != E; ++Src, ++Dst) {
+      ::new (static_cast<void *>(Dst)) T(std::move(*Src));
+      Src->~T();
+    }
+    if (!isInline())
+      ::operator delete(Data);
+    Data = NewData;
+    Cap = NewCap;
+  }
+
+  T *Data;
+  size_t Size;
+  size_t Cap;
+  alignas(T) unsigned char Inline[N * sizeof(T)];
+};
+
+} // namespace rw::support
+
+#endif // RICHWASM_SUPPORT_SMALLVEC_H

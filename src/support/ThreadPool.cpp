@@ -1,0 +1,118 @@
+//===- support/ThreadPool.cpp - Work-stealing parallel-for pool ----------===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace rw::support;
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0) {
+    Threads = std::thread::hardware_concurrency();
+    if (Threads == 0)
+      Threads = 1;
+  }
+  Workers.reserve(Threads - 1);
+  for (unsigned I = 1; I < Threads; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> G(M);
+    Stop = true;
+  }
+  CV.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void ThreadPool::runJob(Job &J, unsigned Self, std::mutex &M,
+                        std::condition_variable &DoneCV) {
+  size_t Done = 0;
+  // Own range first; once it drains, sweep the other ranges and steal
+  // whatever iterations remain there.
+  for (unsigned Off = 0; Off < J.NumRanges; ++Off) {
+    Range &R = J.Ranges[(Self + Off) % J.NumRanges];
+    for (;;) {
+      size_t I = R.Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= R.End)
+        break;
+      (*J.Fn)(I);
+      ++Done;
+    }
+  }
+  if (Done &&
+      J.Remaining.fetch_sub(Done, std::memory_order_acq_rel) == Done) {
+    // Last iterations of the job: wake the caller. Taking the mutex
+    // orders this notify against the caller's predicate check.
+    std::lock_guard<std::mutex> G(M);
+    DoneCV.notify_all();
+  }
+}
+
+void ThreadPool::workerLoop(unsigned Id) {
+  uint64_t Seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> J;
+    {
+      std::unique_lock<std::mutex> L(M);
+      CV.wait(L, [&] { return Stop || Gen != Seen; });
+      if (Stop)
+        return;
+      Seen = Gen;
+      J = Cur;
+    }
+    if (J)
+      runJob(*J, Id % std::max(1u, J->NumRanges), M, DoneCV);
+  }
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  unsigned P = size();
+  if (Workers.empty() || N == 1) {
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+
+  auto J = std::make_shared<Job>();
+  J->Fn = &Fn;
+  J->NumRanges = static_cast<unsigned>(std::min<size_t>(P, N));
+  J->Ranges = std::make_unique<Range[]>(J->NumRanges);
+  J->Remaining.store(N, std::memory_order_relaxed);
+  size_t Chunk = N / J->NumRanges, Extra = N % J->NumRanges, Begin = 0;
+  for (unsigned I = 0; I < J->NumRanges; ++I) {
+    size_t Len = Chunk + (I < Extra ? 1 : 0);
+    J->Ranges[I].Next.store(Begin, std::memory_order_relaxed);
+    J->Ranges[I].End = Begin + Len;
+    Begin += Len;
+  }
+
+  {
+    std::lock_guard<std::mutex> G(M);
+    Cur = J;
+    ++Gen;
+  }
+  CV.notify_all();
+
+  runJob(*J, 0, M, DoneCV);
+
+  {
+    std::unique_lock<std::mutex> L(M);
+    DoneCV.wait(L, [&] {
+      return J->Remaining.load(std::memory_order_acquire) == 0;
+    });
+    // Drop the published job so late-waking workers see an empty one at
+    // the next generation bump (they re-read Cur under the lock).
+    if (Cur == J)
+      Cur.reset();
+  }
+}

@@ -1,0 +1,89 @@
+//===- support/ThreadPool.h - Work-stealing parallel-for pool ---*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small persistent thread pool built around one primitive:
+/// parallelFor(N, Fn) runs Fn(0..N-1) across the workers plus the calling
+/// thread and returns when every index has completed.
+///
+/// Scheduling is range-stealing self-scheduling: the index space is split
+/// into one contiguous range per participant, each participant drains its
+/// own range from the front, and a participant whose range is exhausted
+/// steals iterations from the other ranges. Stealing keeps the pool
+/// balanced under skewed per-index costs (one huge function among many
+/// small ones) while the contiguous ranges keep the common case — balanced
+/// work — almost contention-free: each participant's atomic cursor stays
+/// in its own cache line's neighborhood until the tail of the job.
+///
+/// The pool makes no fairness or ordering guarantees; callers needing
+/// deterministic output (the parallel checker's diagnostics) must collect
+/// results per index and order them afterwards. Fn must not throw.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_SUPPORT_THREADPOOL_H
+#define RICHWASM_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rw::support {
+
+class ThreadPool {
+public:
+  /// Spawns \p Threads - 1 workers (the calling thread is the remaining
+  /// participant of every parallelFor). Threads == 0 picks the hardware
+  /// concurrency. A pool of one thread runs everything inline — useful for
+  /// the determinism tests.
+  explicit ThreadPool(unsigned Threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of participants (workers + the calling thread).
+  unsigned size() const { return static_cast<unsigned>(Workers.size()) + 1; }
+
+  /// Runs Fn(I) for every I in [0, N), distributing across all
+  /// participants; returns when all N calls have completed. Not
+  /// re-entrant: do not call parallelFor from inside Fn.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+private:
+  struct Range {
+    std::atomic<size_t> Next{0};
+    size_t End = 0;
+  };
+  struct Job {
+    const std::function<void(size_t)> *Fn = nullptr;
+    std::unique_ptr<Range[]> Ranges;
+    unsigned NumRanges = 0;
+    /// Iterations not yet completed; the job is done when it hits zero.
+    std::atomic<size_t> Remaining{0};
+  };
+
+  void workerLoop(unsigned Id);
+  /// Drains the job: own range first (by participant id), then steals.
+  static void runJob(Job &J, unsigned Self, std::mutex &M,
+                     std::condition_variable &DoneCV);
+
+  std::mutex M;
+  std::condition_variable CV;     ///< Wakes workers for a new job.
+  std::condition_variable DoneCV; ///< Wakes the caller on completion.
+  std::shared_ptr<Job> Cur;
+  uint64_t Gen = 0;
+  bool Stop = false;
+  std::vector<std::thread> Workers;
+};
+
+} // namespace rw::support
+
+#endif // RICHWASM_SUPPORT_THREADPOOL_H

@@ -10,6 +10,7 @@
 #include "ir/Rewrite.h"
 #include "ir/TypeArena.h"
 #include "ir/TypeOps.h"
+#include "support/SmallVec.h"
 #include "typing/Entail.h"
 #include "typing/WellFormed.h"
 
@@ -160,15 +161,21 @@ bool typeHasLocSkolem(const Type &T, uint64_t Id) {
 class CheckerImpl {
 public:
   CheckerImpl(const ModuleEnv &Env, KindCtx Kinds,
-              std::optional<std::vector<Type>> Ret, InfoMap *IM)
+              const std::vector<Type> *Ret, InfoMap *IM)
       : Env(Env), IM(IM) {
     F.Kinds = std::move(Kinds);
-    F.Return = std::move(Ret);
+    F.Return = Ret;
   }
 
+  /// Per-block checker state. The operand stack is *shared* across nested
+  /// blocks (the CheckerImpl member below): a block sees only the segment
+  /// at index >= Base, and underflow checks compare against that floor, so
+  /// entering a block pushes its params in place instead of copying the
+  /// stack. Locals are a COW handle — straight-line blocks share their
+  /// parent's buffer and fork on first write.
   struct State {
-    std::vector<Type> Stack;
-    LocalCtx Locals;
+    size_t Base = 0;
+    LocalEnv Locals;
     bool Unreachable = false;
   };
 
@@ -183,15 +190,45 @@ public:
   }
 
   FunCtx F;
+  /// The one operand stack of this function check, shared by all blocks
+  /// (see State::Base). Inline capacity covers every realistic operand
+  /// depth, so steady-state checking performs no stack allocation.
+  support::SmallVec<Type, 24> Stack;
 
 private:
+  /// Per-check cache of the numeric pretypes (and i32/unit, the two the
+  /// dispatch consults constantly). The arena is fixed for the lifetime of
+  /// one CheckerImpl (ArenaScope), so caching canonical nodes here turns
+  /// every numT/i32T site from an arena round-trip (thread-local read +
+  /// atomic leaf-slot load + shared_from_this) into a member read.
+  Type numCached(NumType NT) {
+    Type &Slot = NumCache[static_cast<size_t>(NT)];
+    if (!Slot.valid())
+      Slot = numT(NT);
+    return Slot;
+  }
+  Type i32Cached() {
+    if (!I32Cache.valid())
+      I32Cache = i32T();
+    return I32Cache;
+  }
+  Type unitCached() {
+    if (!UnitCache.valid())
+      UnitCache = unitT();
+    return UnitCache;
+  }
+  Type NumCache[6];
+  Type I32Cache, UnitCache;
+
   const ModuleEnv &Env;
   InfoMap *IM;
   uint64_t NextSkolem = 1;
   /// Skolem locations of the mem.unpack binders currently open, innermost
   /// last. Location-variable annotations on mem.pack count these binders
   /// first, then the function's quantified locations.
-  std::vector<Loc> LocBinders;
+  support::SmallVec<Loc, 8> LocBinders;
+  /// Reused scratch for struct.malloc's field list (span-probe interning).
+  support::SmallVec<StructField, 8> ScratchFields;
 
   /// Resolves a location annotation against the open unpack binders.
   Loc resolveLoc(const Loc &L) const {
@@ -209,22 +246,25 @@ private:
   // Stack helpers
   //===--------------------------------------------------------------------===//
 
+  /// Number of operands visible to the current block.
+  size_t depth(const State &St) const { return Stack.size() - St.Base; }
+
   Expected<Type> popAny(State &St, const char *What) {
-    if (St.Stack.empty())
+    if (Stack.size() <= St.Base)
       return err(std::string("stack underflow at ") + What);
-    Type T = St.Stack.back();
-    St.Stack.pop_back();
+    Type T = std::move(Stack.back());
+    Stack.pop_back();
     return T;
   }
 
   Status popExpect(State &St, const Type &Want, const char *What) {
-    if (St.Stack.empty())
+    if (Stack.size() <= St.Base)
       return err(std::string("stack underflow at ") + What);
     // Pointer equality on interned types; no Type copy on the hot path.
-    if (!typeEquals(St.Stack.back(), Want))
+    if (!typeEquals(Stack.back(), Want))
       return err(std::string("type mismatch at ") + What + ": expected " +
-                 printType(Want) + ", found " + printType(St.Stack.back()));
-    St.Stack.pop_back();
+                 printType(Want) + ", found " + printType(Stack.back()));
+    Stack.pop_back();
     return Status::success();
   }
 
@@ -236,10 +276,10 @@ private:
     return Status::success();
   }
 
-  void push(State &St, Type T) { St.Stack.push_back(std::move(T)); }
-  void pushAll(State &St, const std::vector<Type> &Ts) {
+  void push(State &, Type T) { Stack.push_back(std::move(T)); }
+  void pushAll(State &, const std::vector<Type> &Ts) {
     for (const Type &T : Ts)
-      St.Stack.push_back(T);
+      Stack.push_back(T);
   }
 
   bool isUnr(Qual Q) const { return qualIsUnr(Q, F.Kinds); }
@@ -257,7 +297,11 @@ private:
   // Locals
   //===--------------------------------------------------------------------===//
 
-  static bool localsEqual(const LocalCtx &A, const LocalCtx &B) {
+  static bool localsEqual(const LocalEnv &A, const LocalEnv &B) {
+    // Shared buffers are immutable while shared (the COW invariant), so
+    // handle identity decides almost every comparison in O(1).
+    if (A.sameBuffer(B))
+      return true;
     if (A.size() != B.size())
       return false;
     for (size_t I = 0; I < A.size(); ++I)
@@ -266,9 +310,9 @@ private:
     return true;
   }
 
-  Expected<LocalCtx> applyEffects(const LocalCtx &L,
+  Expected<LocalEnv> applyEffects(const LocalEnv &L,
                                   const std::vector<LocalEffect> &Fx) {
-    LocalCtx Out = L;
+    LocalEnv Out = L; // Shared until an effect actually changes a slot.
     for (const LocalEffect &E : Fx) {
       if (E.LocalIdx >= Out.size())
         return err("local effect names out-of-range slot " +
@@ -278,7 +322,8 @@ private:
       if (!leqSize(sizeOfType(E.T, F.Kinds), Out[E.LocalIdx].Slot, F.Kinds))
         return err("local effect type does not fit slot " +
                    std::to_string(E.LocalIdx));
-      Out[E.LocalIdx].T = E.T;
+      if (!typeEquals(Out[E.LocalIdx].T, E.T))
+        Out.mut(E.LocalIdx).T = E.T;
     }
     return Out;
   }
@@ -287,30 +332,36 @@ private:
   // Blocks and branching
   //===--------------------------------------------------------------------===//
 
-  /// Checks one block body under a fresh label. ExtraStack values (e.g.
-  /// the payload of a case arm) are pushed above the params.
+  /// Checks one block body under a fresh label. The body runs on the
+  /// shared operand stack: its params (plus ExtraStack values, e.g. the
+  /// payload of a case arm) are pushed in place and its floor is the
+  /// current height, so no stack is copied. On return the stack is
+  /// truncated back to the outer height — the caller pushes the results.
   Status checkBlockBody(State &Outer, const ArrowType &TF,
-                        const LocalCtx &LPrime, const InstVec &Body,
-                        bool IsLoop, const std::vector<Type> &ExtraStack) {
+                        const LocalEnv &LPrime, const InstVec &Body,
+                        bool IsLoop, const Type *ExtraStack = nullptr) {
     // All values remaining below this block must keep their qualifiers in
     // mind when someone branches past the block: record whether they are
-    // all unrestricted (the paper's F.linear head "lock-in").
+    // all unrestricted (the paper's F.linear head "lock-in"). Values below
+    // the *outer* block's floor are covered by that block's own label flag.
     bool BelowUnr = true;
-    for (const Type &T : Outer.Stack)
-      if (!isUnr(T.Q))
+    for (size_t I = Outer.Base, N = Stack.size(); I < N; ++I)
+      if (!isUnr(Stack[I].Q))
         BelowUnr = false;
 
     LabelEntry E;
     E.Results = IsLoop ? &TF.Params : &TF.Results;
-    E.Locals = IsLoop ? &Outer.Locals : &LPrime;
+    E.Locals = IsLoop ? Outer.Locals : LPrime;
     E.Height = BelowUnr ? 1 : 0; // Reused as the all-unr flag; see brCheck.
-    F.Labels.push_back(E);
+    F.Labels.push_back(std::move(E));
 
     State Inner;
-    Inner.Stack = TF.Params;
-    for (const Type &T : ExtraStack)
-      Inner.Stack.push_back(T);
-    Inner.Locals = Outer.Locals;
+    Inner.Base = Stack.size();
+    for (const Type &T : TF.Params)
+      Stack.push_back(T);
+    if (ExtraStack)
+      Stack.push_back(*ExtraStack);
+    Inner.Locals = Outer.Locals; // Shared; body forks on first write.
 
     Status S = checkSeq(Body, Inner);
     F.Labels.pop_back();
@@ -319,18 +370,20 @@ private:
 
     if (!Inner.Unreachable) {
       // The body must leave exactly the results and the prescribed locals.
-      if (Inner.Stack.size() != TF.Results.size())
-        return err("block body leaves " + std::to_string(Inner.Stack.size()) +
+      size_t Left = Stack.size() - Inner.Base;
+      if (Left != TF.Results.size())
+        return err("block body leaves " + std::to_string(Left) +
                    " values, expected " + std::to_string(TF.Results.size()));
       for (size_t I = 0; I < TF.Results.size(); ++I)
-        if (!typeEquals(Inner.Stack[I], TF.Results[I]))
+        if (!typeEquals(Stack[Inner.Base + I], TF.Results[I]))
           return err("block body result " + std::to_string(I) +
-                     " has type " + printType(Inner.Stack[I]) +
+                     " has type " + printType(Stack[Inner.Base + I]) +
                      ", expected " + printType(TF.Results[I]));
       if (!localsEqual(Inner.Locals, LPrime))
         return err("block body's final locals disagree with its local "
                    "effects annotation");
     }
+    Stack.truncate(Inner.Base);
     return Status::success();
   }
 
@@ -345,16 +398,16 @@ private:
                  " labels are in scope");
     const LabelEntry &Target = F.Labels[F.Labels.size() - 1 - D];
     const std::vector<Type> &Results = *Target.Results;
-    if (St.Stack.size() < Results.size())
+    if (depth(St) < Results.size())
       return err(std::string(What) + ": stack underflow for label results");
-    size_t Base = St.Stack.size() - Results.size();
+    size_t Base = Stack.size() - Results.size();
     for (size_t I = 0; I < Results.size(); ++I)
-      if (!typeEquals(St.Stack[Base + I], Results[I]))
+      if (!typeEquals(Stack[Base + I], Results[I]))
         return err(std::string(What) + ": stack does not match label " +
                    std::to_string(D) + " result types");
     // Everything below the results in this sequence is dropped.
-    for (size_t I = 0; I < Base; ++I)
-      if (!isUnr(St.Stack[I].Q))
+    for (size_t I = St.Base; I < Base; ++I)
+      if (!isUnr(Stack[I].Q))
         return err(std::string(What) +
                    " would drop a linear value on the stack");
     // Segments locked under the labels we unwind through must be all-unr.
@@ -363,7 +416,7 @@ private:
         return err(std::string(What) +
                    " would drop a linear value locked under label " +
                    std::to_string(I));
-    if (!localsEqual(St.Locals, *Target.Locals))
+    if (!localsEqual(St.Locals, Target.Locals))
       return err(std::string(What) + ": locals disagree with label " +
                  std::to_string(D) + "'s view of the local environment");
     if (Destructive)
@@ -379,13 +432,6 @@ private:
   Status checkNumeric(const Inst &I, State &St);
   Status checkCallLike(const Inst &I, State &St);
   Status checkHeap(const Inst &I, State &St);
-
-  friend Expected<typing::SeqResult> typing::checkSeq(
-      const ModuleEnv &, const KindCtx &,
-      const std::optional<std::vector<Type>> &, LocalCtx, std::vector<Type>,
-      const InstVec &, InfoMap *);
-  friend Status typing::checkFunction(const ModuleEnv &, const Function &,
-                                      InfoMap *);
 };
 
 //===----------------------------------------------------------------------===//
@@ -396,7 +442,7 @@ Status CheckerImpl::checkNumeric(const Inst &I, State &St) {
   switch (I.kind()) {
   case InstKind::NumConst: {
     const auto *C = cast<NumConstInst>(&I);
-    Type T = numT(C->numType());
+    Type T = numCached(C->numType());
     if (IM)
       note(I, {}, {T});
     push(St, T);
@@ -406,7 +452,7 @@ Status CheckerImpl::checkNumeric(const Inst &I, State &St) {
     const auto *U = cast<NumUnopInst>(&I);
     if (isIntType(U->numType()) != isIntUnop(U->op()))
       return err("unary operator does not match numeric type");
-    Type T = numT(U->numType());
+    Type T = numCached(U->numType());
     if (Status S = popExpect(St, T, "unop"); !S)
       return S;
     if (IM)
@@ -420,7 +466,7 @@ Status CheckerImpl::checkNumeric(const Inst &I, State &St) {
       return err("float operator applied at integer type");
     if (isFloatType(B->numType()) && isIntOnlyBinop(B->op()))
       return err("integer operator applied at float type");
-    Type T = numT(B->numType());
+    Type T = numCached(B->numType());
     if (Status S = popExpect(St, T, "binop"); !S)
       return S;
     if (Status S = popExpect(St, T, "binop"); !S)
@@ -434,24 +480,24 @@ Status CheckerImpl::checkNumeric(const Inst &I, State &St) {
     const auto *T = cast<NumTestopInst>(&I);
     if (!isIntType(T->numType()))
       return err("testop requires an integer type");
-    Type In = numT(T->numType());
+    Type In = numCached(T->numType());
     if (Status S = popExpect(St, In, "testop"); !S)
       return S;
     if (IM)
-      note(I, {In}, {i32T()});
-    push(St, i32T());
+      note(I, {In}, {i32Cached()});
+    push(St, i32Cached());
     return Status::success();
   }
   case InstKind::NumRelop: {
     const auto *R = cast<NumRelopInst>(&I);
-    Type In = numT(R->numType());
+    Type In = numCached(R->numType());
     if (Status S = popExpect(St, In, "relop"); !S)
       return S;
     if (Status S = popExpect(St, In, "relop"); !S)
       return S;
     if (IM)
-      note(I, {In, In}, {i32T()});
-    push(St, i32T());
+      note(I, {In, In}, {i32Cached()});
+    push(St, i32Cached());
     return Status::success();
   }
   case InstKind::NumCvt: {
@@ -459,8 +505,8 @@ Status CheckerImpl::checkNumeric(const Inst &I, State &St) {
     if (C->op() == CvtopKind::Reinterpret &&
         numTypeBits(C->from()) != numTypeBits(C->to()))
       return err("reinterpret requires same-width types");
-    Type In = numT(C->from());
-    Type Out = numT(C->to());
+    Type In = numCached(C->from());
+    Type Out = numCached(C->to());
     if (Status S = popExpect(St, In, "cvtop"); !S)
       return S;
     if (IM)
@@ -528,10 +574,11 @@ Status CheckerImpl::checkCallLike(const Inst &I, State &St) {
       return err("call_indirect requires a fully instantiated coderef");
     if (Status S = popParams(St, FT.arrow().Params, "call_indirect"); !S)
       return S;
-    std::vector<Type> Ops = FT.arrow().Params;
-    Ops.push_back(*T);
-    if (IM)
+    if (IM) {
+      std::vector<Type> Ops = FT.arrow().Params;
+      Ops.push_back(*T);
       note(I, std::move(Ops), FT.arrow().Results);
+    }
     pushAll(St, FT.arrow().Results);
     return Status::success();
   }
@@ -546,7 +593,12 @@ Status CheckerImpl::checkCallLike(const Inst &I, State &St) {
     if (Status S = checkInstantiation(F.Kinds, FT, C->args(), C->args().size());
         !S)
       return S;
-    ArrowType Arrow = instantiateFunType(FT, C->args());
+    // Monomorphic calls (the common case) use the declared arrow in place;
+    // only an actual instantiation materializes a substituted copy.
+    ArrowType Subbed;
+    const ArrowType &Arrow =
+        C->args().empty() ? FT.arrow()
+                          : (Subbed = instantiateFunType(FT, C->args()));
     if (Status S = popParams(St, Arrow.Params, "call"); !S)
       return S;
     if (IM)
@@ -589,7 +641,7 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     return Status::success();
   }
   case InstKind::Select: {
-    if (Status S = popExpect(St, i32T(), "select"); !S)
+    if (Status S = popExpect(St, i32Cached(), "select"); !S)
       return S;
     Expected<Type> T2 = popAny(St, "select");
     if (!T2)
@@ -603,7 +655,7 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     if (!isUnr(T1->Q))
       return err("select would drop a linear value");
     if (IM)
-      note(I, {*T1, *T2, i32T()}, {*T1});
+      note(I, {*T1, *T2, i32Cached()}, {*T1});
     push(St, *T1);
     return Status::success();
   }
@@ -612,11 +664,11 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     const auto *B = cast<BlockInst>(&I);
     if (Status S = popParams(St, B->arrow().Params, "block"); !S)
       return S;
-    Expected<LocalCtx> LP = applyEffects(St.Locals, B->effects());
+    Expected<LocalEnv> LP = applyEffects(St.Locals, B->effects());
     if (!LP)
       return LP.error();
     if (Status S = checkBlockBody(St, B->arrow(), *LP, B->body(),
-                                  /*IsLoop=*/false, {});
+                                  /*IsLoop=*/false);
         !S)
       return S;
     St.Locals = *LP;
@@ -631,7 +683,7 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
       return S;
     // A loop body must restore the local environment it entered with.
     if (Status S = checkBlockBody(St, L->arrow(), St.Locals, L->body(),
-                                  /*IsLoop=*/true, {});
+                                  /*IsLoop=*/true);
         !S)
       return S;
     if (IM)
@@ -641,19 +693,19 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
   }
   case InstKind::If: {
     const auto *FI = cast<IfInst>(&I);
-    if (Status S = popExpect(St, i32T(), "if"); !S)
+    if (Status S = popExpect(St, i32Cached(), "if"); !S)
       return S;
     if (Status S = popParams(St, FI->arrow().Params, "if"); !S)
       return S;
-    Expected<LocalCtx> LP = applyEffects(St.Locals, FI->effects());
+    Expected<LocalEnv> LP = applyEffects(St.Locals, FI->effects());
     if (!LP)
       return LP.error();
     if (Status S = checkBlockBody(St, FI->arrow(), *LP, FI->thenBody(),
-                                  /*IsLoop=*/false, {});
+                                  /*IsLoop=*/false);
         !S)
       return S;
     if (Status S = checkBlockBody(St, FI->arrow(), *LP, FI->elseBody(),
-                                  /*IsLoop=*/false, {});
+                                  /*IsLoop=*/false);
         !S)
       return S;
     St.Locals = *LP;
@@ -665,14 +717,14 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
   case InstKind::Br:
     return brCheck(St, cast<BrInst>(&I)->depth(), /*Destructive=*/true, "br");
   case InstKind::BrIf: {
-    if (Status S = popExpect(St, i32T(), "br_if"); !S)
+    if (Status S = popExpect(St, i32Cached(), "br_if"); !S)
       return S;
     return brCheck(St, cast<BrInst>(&I)->depth(), /*Destructive=*/false,
                    "br_if");
   }
   case InstKind::BrTable: {
     const auto *B = cast<BrTableInst>(&I);
-    if (Status S = popExpect(St, i32T(), "br_table"); !S)
+    if (Status S = popExpect(St, i32Cached(), "br_table"); !S)
       return S;
     for (uint32_t D : B->depths())
       if (Status S = brCheck(St, D, /*Destructive=*/false, "br_table"); !S)
@@ -686,14 +738,14 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
   case InstKind::Return: {
     if (!F.Return)
       return err("return outside of a function");
-    if (St.Stack.size() < F.Return->size())
+    if (depth(St) < F.Return->size())
       return err("return: stack underflow");
-    size_t Base = St.Stack.size() - F.Return->size();
+    size_t Base = Stack.size() - F.Return->size();
     for (size_t J = 0; J < F.Return->size(); ++J)
-      if (!typeEquals(St.Stack[Base + J], (*F.Return)[J]))
+      if (!typeEquals(Stack[Base + J], (*F.Return)[J]))
         return err("return value type mismatch");
-    for (size_t J = 0; J < Base; ++J)
-      if (!isUnr(St.Stack[J].Q))
+    for (size_t J = St.Base; J < Base; ++J)
+      if (!isUnr(Stack[J].Q))
         return err("return would drop a linear value on the stack");
     for (const LabelEntry &E : F.Labels)
       if (E.Height == 0)
@@ -709,16 +761,17 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     const auto *G = cast<GetLocalInst>(&I);
     if (G->index() >= St.Locals.size())
       return err("get_local " + std::to_string(G->index()) + " out of range");
-    LocalSlot &Slot = St.Locals[G->index()];
+    const LocalSlot &Slot = St.Locals[G->index()];
     if (Slot.T.Q != G->qual())
       return err("get_local qualifier annotation " + G->qual().str() +
                  " disagrees with slot qualifier " + Slot.T.Q.str());
     Type Out = Slot.T;
     if (isUnr(Slot.T.Q)) {
-      // Copy; slot keeps its type.
+      // Copy; slot keeps its type — the environment is untouched, so a
+      // shared buffer stays shared.
     } else {
       // Move; the slot reverts to unrestricted unit.
-      Slot.T = unitT();
+      St.Locals.mut(G->index()).T = unitCached();
     }
     if (IM)
       note(I, {}, {Out});
@@ -732,14 +785,17 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     Expected<Type> T = popAny(St, "set_local");
     if (!T)
       return T.error();
-    LocalSlot &Slot = St.Locals[SI->index()];
+    const LocalSlot &Slot = St.Locals[SI->index()];
     if (!isUnr(Slot.T.Q))
       return err("set_local would drop the linear value in slot " +
                  std::to_string(SI->index()));
     if (!leqSize(sizeOfType(*T, F.Kinds), Slot.Slot, F.Kinds))
       return err("set_local: value of type " + printType(*T) +
                  " does not fit slot of size " + Slot.Slot->str());
-    Slot.T = *T;
+    // Writing the type the slot already holds is a no-op on the abstract
+    // environment — skip the COW fork entirely.
+    if (!typeEquals(Slot.T, *T))
+      St.Locals.mut(SI->index()).T = *T;
     if (IM)
       note(I, {*T}, {});
     return Status::success();
@@ -753,13 +809,14 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
       return T.error();
     if (!isUnr(T->Q))
       return err("tee_local duplicates a linear value");
-    LocalSlot &Slot = St.Locals[TI->index()];
+    const LocalSlot &Slot = St.Locals[TI->index()];
     if (!isUnr(Slot.T.Q))
       return err("tee_local would drop the linear value in slot " +
                  std::to_string(TI->index()));
     if (!leqSize(sizeOfType(*T, F.Kinds), Slot.Slot, F.Kinds))
       return err("tee_local: value does not fit the slot");
-    Slot.T = *T;
+    if (!typeEquals(Slot.T, *T))
+      St.Locals.mut(TI->index()).T = *T;
     if (IM)
       note(I, {*T}, {*T});
     push(St, *T);
@@ -875,7 +932,7 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
       return err("mem.unpack expects an existential-location package");
     if (Status S = popParams(St, MU->arrow().Params, "mem.unpack"); !S)
       return S;
-    Expected<LocalCtx> LP = applyEffects(St.Locals, MU->effects());
+    Expected<LocalEnv> LP = applyEffects(St.Locals, MU->effects());
     if (!LP)
       return LP.error();
     uint64_t SkId = NextSkolem++;
@@ -883,7 +940,7 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     Type Opened = Sub.rewrite(Ex->body());
     LocBinders.push_back(Loc::skolem(SkId));
     Status BodySt = checkBlockBody(St, MU->arrow(), *LP, MU->body(),
-                                   /*IsLoop=*/false, {Opened});
+                                   /*IsLoop=*/false, &Opened);
     LocBinders.pop_back();
     if (!BodySt)
       return BodySt;
@@ -894,10 +951,11 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
       if (typeHasLocSkolem(L.T, SkId))
         return err("mem.unpack: abstract location escapes in a local");
     St.Locals = *LP;
-    std::vector<Type> Ops = MU->arrow().Params;
-    Ops.push_back(*T);
-    if (IM)
+    if (IM) {
+      std::vector<Type> Ops = MU->arrow().Params;
+      Ops.push_back(*T);
       note(I, std::move(Ops), MU->arrow().Results);
+    }
     pushAll(St, MU->arrow().Results);
     return Status::success();
   }
@@ -906,16 +964,16 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     const auto *G = cast<GroupInst>(&I);
     if (Status S = wfQual(G->qual(), F.Kinds); !S)
       return S;
-    if (St.Stack.size() < G->count())
+    if (depth(St) < G->count())
       return err("seq.group: stack underflow");
-    std::vector<Type> Elems(St.Stack.end() - G->count(), St.Stack.end());
-    St.Stack.resize(St.Stack.size() - G->count());
-    for (const Type &E : Elems)
-      if (!leqQual(E.Q, G->qual(), F.Kinds))
+    const Type *Elems = Stack.end() - G->count();
+    for (size_t J = 0; J < G->count(); ++J)
+      if (!leqQual(Elems[J].Q, G->qual(), F.Kinds))
         return err("seq.group: component qualifier exceeds tuple qualifier");
-    Type Out(prodPT(Elems), G->qual());
+    Type Out(TypeArena::current().prodSpan(Elems, G->count()), G->qual());
     if (IM)
-      note(I, Elems, {Out});
+      note(I, std::vector<Type>(Elems, Elems + G->count()), {Out});
+    Stack.truncate(Stack.size() - G->count());
     push(St, Out);
     return Status::success();
   }
@@ -1031,11 +1089,10 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
     if (Status S = wfQual(SM->qual(), F.Kinds); !S)
       return S;
     size_t N = SM->sizes().size();
-    if (St.Stack.size() < N)
+    if (depth(St) < N)
       return err("struct.malloc: stack underflow");
-    std::vector<Type> Fields(St.Stack.end() - N, St.Stack.end());
-    St.Stack.resize(St.Stack.size() - N);
-    std::vector<StructField> FieldTys;
+    const Type *Fields = Stack.end() - N;
+    ScratchFields.clear();
     for (size_t J = 0; J < N; ++J) {
       if (Status S = wfSize(SM->sizes()[J], F.Kinds); !S)
         return S;
@@ -1044,13 +1101,16 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
                    " does not fit its declared slot");
       if (!noCaps(Fields[J], F.Kinds))
         return err("struct.malloc: capabilities cannot be stored on the heap");
-      FieldTys.push_back({Fields[J], SM->sizes()[J]});
+      ScratchFields.push_back({Fields[J], SM->sizes()[J]});
     }
-    Type Ref(refPT(Privilege::RW, Loc::var(0), structHT(FieldTys)),
+    Type Ref(refPT(Privilege::RW, Loc::var(0),
+                   TypeArena::current().structureSpan(ScratchFields.begin(),
+                                                     ScratchFields.size())),
              SM->qual());
     Type Out(exLocPT(Ref), SM->qual());
     if (IM)
-      note(I, Fields, {Out});
+      note(I, std::vector<Type>(Stack.end() - N, Stack.end()), {Out});
+    Stack.truncate(Stack.size() - N);
     push(St, Out);
     return Status::success();
   }
@@ -1074,9 +1134,9 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
 
   case InstKind::StructGet: {
     const auto *SG = cast<StructIdxInst>(&I);
-    if (St.Stack.empty())
+    if (depth(St) == 0)
       return err("struct.get: stack underflow");
-    const Type &RefT = St.Stack.back();
+    const Type &RefT = Stack.back();
     const auto *R = dyn_cast<RefPT>(RefT.P);
     const StructHT *H = R ? dyn_cast<StructHT>(R->heapType()) : nullptr;
     if (!H)
@@ -1100,9 +1160,9 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
     Expected<Type> NewT = popAny(St, Name);
     if (!NewT)
       return NewT.error();
-    if (St.Stack.empty())
+    if (depth(St) == 0)
       return err(std::string(Name) + ": stack underflow");
-    Type RefT = St.Stack.back();
+    Type RefT = Stack.back();
     const auto *R = dyn_cast<RefPT>(RefT.P);
     const StructHT *H = R ? dyn_cast<StructHT>(R->heapType()) : nullptr;
     if (!H)
@@ -1134,7 +1194,7 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
       NewRef =
           Type(refPT(Privilege::RW, R->loc(), structHT(NewFields)), RefT.Q);
     }
-    St.Stack.back() = NewRef;
+    Stack.back() = NewRef;
     if (IsSwap) {
       if (IM)
         note(I, {RefT, *NewT}, {NewRef, Field.T});
@@ -1162,7 +1222,9 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
     if (Status S = popExpect(St, VM->cases()[VM->tag()], "variant.malloc");
         !S)
       return S;
-    Type Ref(refPT(Privilege::RW, Loc::var(0), variantHT(VM->cases())),
+    Type Ref(refPT(Privilege::RW, Loc::var(0),
+                   TypeArena::current().variantSpan(VM->cases().data(),
+                                                   VM->cases().size())),
              VM->qual());
     Type Out(exLocPT(Ref), VM->qual());
     if (IM)
@@ -1187,7 +1249,7 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
     if (!R || !heapTypeEquals(*R->heapType(), *H))
       return err("variant.case: reference does not match the annotated "
                  "variant type");
-    Expected<LocalCtx> LP = applyEffects(St.Locals, VC->effects());
+    Expected<LocalEnv> LP = applyEffects(St.Locals, VC->effects());
     if (!LP)
       return LP.error();
 
@@ -1213,24 +1275,27 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
       push(St, *RefT);
     for (size_t A = 0; A < VC->arms().size(); ++A)
       if (Status S = checkBlockBody(St, VC->arrow(), *LP, VC->arms()[A],
-                                    /*IsLoop=*/false, {H->cases()[A]});
+                                    /*IsLoop=*/false, &H->cases()[A]);
           !S)
         return Error("in arm " + std::to_string(A) + ": " +
                      S.error().message());
     if (!LinMode)
-      St.Stack.pop_back();
+      Stack.pop_back();
 
     St.Locals = *LP;
-    std::vector<Type> Ops = VC->arrow().Params;
-    Ops.push_back(*RefT);
-    std::vector<Type> Res;
     if (!LinMode)
-      Res.push_back(*RefT);
-    for (const Type &T : VC->arrow().Results)
-      Res.push_back(T);
-    if (IM)
-      note(I, std::move(Ops), Res);
-    pushAll(St, Res);
+      push(St, *RefT);
+    pushAll(St, VC->arrow().Results);
+    if (IM) {
+      std::vector<Type> Ops = VC->arrow().Params;
+      Ops.push_back(*RefT);
+      std::vector<Type> Res;
+      if (!LinMode)
+        Res.push_back(*RefT);
+      for (const Type &T : VC->arrow().Results)
+        Res.push_back(T);
+      note(I, std::move(Ops), std::move(Res));
+    }
     return Status::success();
   }
 
@@ -1265,9 +1330,9 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
       return Idx.error();
     if (!isa<NumPT>(Idx->P))
       return err("array.get expects an integer index");
-    if (St.Stack.empty())
+    if (depth(St) == 0)
       return err("array.get: stack underflow");
-    const Type &RefT = St.Stack.back();
+    const Type &RefT = Stack.back();
     const auto *R = dyn_cast<RefPT>(RefT.P);
     const ArrayHT *H = R ? dyn_cast<ArrayHT>(R->heapType()) : nullptr;
     if (!H)
@@ -1288,9 +1353,9 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
       return Idx.error();
     if (!isa<NumPT>(Idx->P))
       return err("array.set expects an integer index");
-    if (St.Stack.empty())
+    if (depth(St) == 0)
       return err("array.set: stack underflow");
-    const Type &RefT = St.Stack.back();
+    const Type &RefT = Stack.back();
     const auto *R = dyn_cast<RefPT>(RefT.P);
     const ArrayHT *H = R ? dyn_cast<ArrayHT>(R->heapType()) : nullptr;
     if (!H)
@@ -1348,7 +1413,7 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
     if (!R || !heapTypeEquals(*R->heapType(), *H))
       return err("exist.unpack: reference does not match the annotated "
                  "package type");
-    Expected<LocalCtx> LP = applyEffects(St.Locals, EU->effects());
+    Expected<LocalEnv> LP = applyEffects(St.Locals, EU->effects());
     if (!LP)
       return LP.error();
 
@@ -1371,11 +1436,11 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
     if (!LinMode)
       push(St, *RefT);
     if (Status S = checkBlockBody(St, EU->arrow(), *LP, EU->body(),
-                                  /*IsLoop=*/false, {Opened});
+                                  /*IsLoop=*/false, &Opened);
         !S)
       return S;
     if (!LinMode)
-      St.Stack.pop_back();
+      Stack.pop_back();
 
     for (const Type &T : EU->arrow().Results)
       if (typeHasTypeSkolem(T, SkId))
@@ -1385,16 +1450,19 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
         return err("exist.unpack: abstract pretype escapes in a local");
 
     St.Locals = *LP;
-    std::vector<Type> Ops = EU->arrow().Params;
-    Ops.push_back(*RefT);
-    std::vector<Type> Res;
     if (!LinMode)
-      Res.push_back(*RefT);
-    for (const Type &T : EU->arrow().Results)
-      Res.push_back(T);
-    if (IM)
-      note(I, std::move(Ops), Res);
-    pushAll(St, Res);
+      push(St, *RefT);
+    pushAll(St, EU->arrow().Results);
+    if (IM) {
+      std::vector<Type> Ops = EU->arrow().Params;
+      Ops.push_back(*RefT);
+      std::vector<Type> Res;
+      if (!LinMode)
+        Res.push_back(*RefT);
+      for (const Type &T : EU->arrow().Results)
+        Res.push_back(T);
+      note(I, std::move(Ops), std::move(Res));
+    }
     return Status::success();
   }
 
@@ -1485,13 +1553,15 @@ Expected<typing::SeqResult> rw::typing::checkSeq(
     const ModuleEnv &Env, const KindCtx &Kinds,
     const std::optional<std::vector<Type>> &Ret, LocalCtx Locals,
     std::vector<Type> StackIn, const InstVec &Insts, InfoMap *IM) {
-  CheckerImpl C(Env, Kinds, Ret, IM);
+  CheckerImpl C(Env, Kinds, Ret ? &*Ret : nullptr, IM);
+  for (Type &T : StackIn)
+    C.Stack.push_back(std::move(T));
   CheckerImpl::State St;
-  St.Stack = std::move(StackIn);
-  St.Locals = std::move(Locals);
+  St.Locals = LocalEnv(Locals);
   if (Status S = C.checkSeq(Insts, St); !S)
     return S.error();
-  return typing::SeqResult{std::move(St.Stack), std::move(St.Locals)};
+  return typing::SeqResult{std::vector<Type>(C.Stack.begin(), C.Stack.end()),
+                           St.Locals.materialize()};
 }
 
 Status rw::typing::checkFunction(const ModuleEnv &Env, const Function &Fn,
@@ -1504,29 +1574,32 @@ Status rw::typing::checkFunction(const ModuleEnv &Env, const Function &Fn,
     return Status::success();
 
   KindCtx Kinds = buildKindCtx(Fn.Ty->quants());
-  CheckerImpl C(Env, Kinds, Fn.Ty->arrow().Results, IM);
+  CheckerImpl C(Env, Kinds, &Fn.Ty->arrow().Results, IM);
 
-  CheckerImpl::State St;
+  LocalCtx Locals;
+  Locals.reserve(Fn.Ty->arrow().Params.size() + Fn.Locals.size());
   for (const Type &P : Fn.Ty->arrow().Params)
-    St.Locals.push_back({P, typing::sizeOfType(P, Kinds)});
+    Locals.push_back({P, typing::sizeOfType(P, Kinds)});
   for (const SizeRef &Sz : Fn.Locals) {
     if (Status S = wfSize(Sz, Kinds); !S)
       return S;
-    St.Locals.push_back({unitT(), Sz});
+    Locals.push_back({unitT(), Sz});
   }
+  CheckerImpl::State St;
+  St.Locals = LocalEnv(Locals);
 
   if (Status S = C.checkSeq(Fn.Body, St); !S)
     return S;
 
   if (!St.Unreachable) {
     const std::vector<Type> &Want = Fn.Ty->arrow().Results;
-    if (St.Stack.size() != Want.size())
-      return Error("function body leaves " + std::to_string(St.Stack.size()) +
+    if (C.Stack.size() != Want.size())
+      return Error("function body leaves " + std::to_string(C.Stack.size()) +
                    " values, expected " + std::to_string(Want.size()));
     for (size_t I = 0; I < Want.size(); ++I)
-      if (!typeEquals(St.Stack[I], Want[I]))
+      if (!typeEquals(C.Stack[I], Want[I]))
         return Error("function result " + std::to_string(I) +
-                     " has type " + printType(St.Stack[I]) + ", expected " +
+                     " has type " + printType(C.Stack[I]) + ", expected " +
                      printType(Want[I]));
     for (const LocalSlot &L : St.Locals)
       if (!qualIsUnr(L.T.Q, Kinds))
@@ -1535,20 +1608,16 @@ Status rw::typing::checkFunction(const ModuleEnv &Env, const Function &Fn,
   return Status::success();
 }
 
-Status rw::typing::checkModule(const Module &M, InfoMap *IM) {
-  // Intern every type the judgments build into the module's arena, so the
-  // canonical-pointer equality guarantee spans the whole check.
-  ArenaScope Scope(M.Arena ? *M.Arena : TypeArena::global());
+Status rw::typing::detail::checkTableEntries(const Module &M) {
   for (uint32_t Idx : M.Tab.Entries)
     if (Idx >= M.Funcs.size())
       return Error("table entry " + std::to_string(Idx) + " out of range");
-  ModuleEnv Env = buildModuleEnv(M);
+  return Status::success();
+}
 
-  for (size_t I = 0; I < M.Funcs.size(); ++I)
-    if (Status S = checkFunction(Env, M.Funcs[I], IM); !S)
-      return Error("in function " + std::to_string(I) + ": " +
-                   S.error().message());
-
+Status rw::typing::detail::checkGlobalsAndStart(const Module &M,
+                                                const ModuleEnv &Env,
+                                                InfoMap *IM) {
   for (size_t I = 0; I < M.Globals.size(); ++I) {
     const Global &G = M.Globals[I];
     if (!G.P)
@@ -1577,4 +1646,20 @@ Status rw::typing::checkModule(const Module &M, InfoMap *IM) {
       return Error("start function must have type [] -> []");
   }
   return Status::success();
+}
+
+Status rw::typing::checkModule(const Module &M, InfoMap *IM) {
+  // Intern every type the judgments build into the module's arena, so the
+  // canonical-pointer equality guarantee spans the whole check.
+  ArenaScope Scope(M.Arena ? *M.Arena : TypeArena::global());
+  if (Status S = detail::checkTableEntries(M); !S)
+    return S;
+  ModuleEnv Env = buildModuleEnv(M);
+
+  for (size_t I = 0; I < M.Funcs.size(); ++I)
+    if (Status S = checkFunction(Env, M.Funcs[I], IM); !S)
+      return Error("in function " + std::to_string(I) + ": " +
+                   S.error().message());
+
+  return detail::checkGlobalsAndStart(M, Env, IM);
 }

@@ -27,6 +27,12 @@
 #include "typing/Context.h"
 
 #include <map>
+#include <span>
+#include <vector>
+
+namespace rw::support {
+class ThreadPool;
+} // namespace rw::support
 
 namespace rw::typing {
 
@@ -42,6 +48,22 @@ using InfoMap = std::map<const ir::Inst *, InstInfo>;
 /// Checks a whole module: every function body, global initializer, table
 /// entry, and the start function's signature.
 Status checkModule(const ir::Module &M, InfoMap *IM = nullptr);
+
+/// Batch admission (DESIGN.md §7): checks every module in \p Mods with the
+/// function checks distributed over \p Pool (plus the calling thread),
+/// work-stealing balanced. Returns one Status per module, in input order.
+///
+/// Deterministic diagnostics: per-function results are collected and
+/// assembled in (module, function) index order, so the returned statuses —
+/// including every error message — are byte-identical to running
+/// checkModule(*Mods[i]) sequentially, for any pool size.
+///
+/// Thread-safety: modules may share a TypeArena (the default, the
+/// process-wide one) — the arena is thread-safe and checks intern
+/// concurrently into it. The same module must not appear twice in one
+/// batch.
+std::vector<Status> checkModules(std::span<const ir::Module *const> Mods,
+                                 support::ThreadPool &Pool);
 
 /// Checks one function against its declared type (module environment
 /// required for calls/globals).
@@ -64,6 +86,15 @@ Expected<SeqResult> checkSeq(const ModuleEnv &Env, const KindCtx &Kinds,
 /// quantifier list (used by call, inst, and the linker).
 Status checkInstantiation(const KindCtx &Kinds, const ir::FunType &FT,
                           const std::vector<ir::Index> &Args, size_t Count);
+
+namespace detail {
+/// The non-function module judgments, shared between checkModule and the
+/// parallel checkModules so both assemble identical diagnostics. Callers
+/// must have the module's arena installed (ArenaScope).
+Status checkTableEntries(const ir::Module &M);
+Status checkGlobalsAndStart(const ir::Module &M, const ModuleEnv &Env,
+                            InfoMap *IM);
+} // namespace detail
 
 } // namespace rw::typing
 

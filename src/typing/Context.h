@@ -27,7 +27,9 @@
 
 #include "ir/Module.h"
 #include "ir/Types.h"
+#include "support/SmallVec.h"
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -57,15 +59,124 @@ struct LocalSlot {
 };
 using LocalCtx = std::vector<LocalSlot>;
 
+/// A copy-on-write handle to a local environment. Straight-line code
+/// shares its parent block's environment (an assignment is one refcount
+/// bump); the buffer is forked the first time a block writes a local while
+/// the environment is shared (first local.set/tee, a linear get_local's
+/// move, or a non-trivial local-effects annotation). Since local
+/// environments agree far more often than they differ — every block whose
+/// body performs no local writes, every label entry, every effects-free
+/// annotation — almost all block structure touches no heap at all, and a
+/// fork is a single allocation (header and slots in one block).
+///
+/// Invariants:
+///  * A fork happens strictly before the first mutation through a handle,
+///    so a shared buffer is immutable while shared — localsEqual's
+///    same-buffer fast path relies on exactly this.
+///  * The refcount is deliberately non-atomic: every handle derived from
+///    one function check stays on that check's thread (the parallel
+///    checker parallelizes across functions, never within one), so the
+///    count is never contended.
+///  * Slot count is fixed at creation; the checker never grows a local
+///    environment mid-body.
+class LocalEnv {
+public:
+  LocalEnv() = default;
+  explicit LocalEnv(const LocalCtx &L)
+      : B(L.empty() ? nullptr : Buf::create(L.data(), L.size())) {}
+  LocalEnv(const LocalEnv &O) : B(O.B) {
+    if (B)
+      ++B->Refs;
+  }
+  LocalEnv(LocalEnv &&O) noexcept : B(O.B) { O.B = nullptr; }
+  LocalEnv &operator=(const LocalEnv &O) {
+    if (O.B)
+      ++O.B->Refs;
+    release();
+    B = O.B;
+    return *this;
+  }
+  LocalEnv &operator=(LocalEnv &&O) noexcept {
+    if (this != &O) {
+      release();
+      B = O.B;
+      O.B = nullptr;
+    }
+    return *this;
+  }
+  ~LocalEnv() { release(); }
+
+  size_t size() const { return B ? B->Size : 0; }
+  bool empty() const { return size() == 0; }
+  const LocalSlot &operator[](size_t I) const { return B->slots()[I]; }
+  const LocalSlot *begin() const { return B ? B->slots() : nullptr; }
+  const LocalSlot *end() const {
+    return B ? B->slots() + B->Size : nullptr;
+  }
+
+  /// Mutable access to one slot; forks the buffer first if it is shared.
+  LocalSlot &mut(size_t I) {
+    if (B->Refs > 1) {
+      Buf *N = Buf::create(B->slots(), B->Size);
+      --B->Refs;
+      B = N;
+    }
+    return B->slots()[I];
+  }
+
+  /// The full context, copied out (public checkSeq results).
+  LocalCtx materialize() const { return LocalCtx(begin(), end()); }
+
+  /// Two handles over the same buffer denote equal environments (shared
+  /// buffers are immutable while shared).
+  bool sameBuffer(const LocalEnv &O) const { return B == O.B; }
+
+private:
+  /// Header and slots in one allocation; slots start right after the
+  /// header (LocalSlot's alignment divides the header size).
+  struct Buf {
+    uint32_t Refs;
+    uint32_t Size;
+
+    LocalSlot *slots() { return reinterpret_cast<LocalSlot *>(this + 1); }
+    const LocalSlot *slots() const {
+      return reinterpret_cast<const LocalSlot *>(this + 1);
+    }
+
+    static Buf *create(const LocalSlot *D, size_t N) {
+      static_assert(sizeof(Buf) % alignof(LocalSlot) == 0);
+      void *Mem = ::operator new(sizeof(Buf) + N * sizeof(LocalSlot));
+      Buf *B = ::new (Mem) Buf{1, static_cast<uint32_t>(N)};
+      LocalSlot *S = B->slots();
+      for (size_t I = 0; I < N; ++I)
+        ::new (static_cast<void *>(S + I)) LocalSlot(D[I]);
+      return B;
+    }
+  };
+
+  void release() {
+    if (B && --B->Refs == 0) {
+      LocalSlot *S = B->slots();
+      for (uint32_t I = B->Size; I > 0; --I)
+        S[I - 1].~LocalSlot();
+      B->~Buf();
+      ::operator delete(B);
+    }
+    B = nullptr;
+  }
+
+  Buf *B = nullptr;
+};
+
 /// One entry of the label stack: jump target result types, the local
-/// environment every jump must agree on, and the operand-stack height at
-/// label entry (used for the linearity-of-dropped-values check). The
-/// vectors are borrowed from the enclosing block's instruction and checker
-/// state (both outlive the label's scope), so pushing a label allocates
-/// nothing.
+/// environment every jump must agree on, and an all-unrestricted flag for
+/// the values locked beneath the label (used for the linearity-of-dropped-
+/// values check). Results are borrowed from the enclosing block's
+/// instruction (which outlives the label's scope) and Locals is a shared
+/// COW handle, so pushing a label allocates nothing.
 struct LabelEntry {
   const std::vector<ir::Type> *Results = nullptr;
-  const LocalCtx *Locals = nullptr;
+  LocalEnv Locals;
   size_t Height = 0;
 };
 
@@ -78,10 +189,12 @@ struct KindCtx {
   uint32_t NumLocVars = 0;
 };
 
-/// The function environment F.
+/// The function environment F. Return is borrowed from the function's
+/// declared type (or the caller's frame) — the checker never owns it, and
+/// the label stack lives inline for realistic nesting depths.
 struct FunCtx {
-  std::vector<LabelEntry> Labels; ///< Back = innermost (depth 0).
-  std::optional<std::vector<ir::Type>> Return;
+  support::SmallVec<LabelEntry, 8> Labels; ///< Back = innermost (depth 0).
+  const std::vector<ir::Type> *Return = nullptr;
   KindCtx Kinds;
 };
 

@@ -27,12 +27,18 @@ namespace rw::typing {
 /// qualifier variables are de Bruijn indices into \p Ctx.
 bool leqQual(ir::Qual Q1, ir::Qual Q2, const KindCtx &Ctx);
 
-/// q ⪯ unr (value may be duplicated/dropped).
+/// q ⪯ unr (value may be duplicated/dropped). Concrete qualifiers — the
+/// overwhelmingly common case on the checker's per-value scans — decide
+/// inline; only variables consult the constraint context.
 inline bool qualIsUnr(ir::Qual Q, const KindCtx &Ctx) {
+  if (Q.isConst())
+    return Q.constValue() == ir::QualConst::Unr;
   return leqQual(Q, ir::Qual::unr(), Ctx);
 }
 /// lin ⪯ q (value must be treated linearly).
 inline bool qualIsLin(ir::Qual Q, const KindCtx &Ctx) {
+  if (Q.isConst())
+    return Q.constValue() == ir::QualConst::Lin;
   return leqQual(ir::Qual::lin(), Q, Ctx);
 }
 

@@ -939,3 +939,63 @@ TEST(ExecFlat, EngineKindReporting) {
   EXPECT_EQ(createInstance(M, EngineKind::Flat)->engine(), EngineKind::Flat);
   EXPECT_STREQ(engineKindName(EngineKind::Flat), "flat");
 }
+
+TEST(ExecFlat, HostReentryIntoRunningInstanceTraps) {
+  // A host function that invokes back into the instance that called it
+  // would scribble over the flat engine's operand stack, register file,
+  // and frame stack mid-run. The engine must detect the re-entry and
+  // surface a proper trap (this was undefined behavior before the guard).
+  WModule M;
+  uint32_t TI = M.addType({{}, {ValType::I32}});
+  M.ImportFuncs.push_back({"env", "reenter", TI});
+  M.Funcs.push_back({TI, {}, {WInst::idx(Op::Call, 0)}});
+  M.Funcs.push_back({TI, {}, {WInst::i32c(7)}});
+  M.Exports.push_back({"f", ExportKind::Func, 1});
+  M.Exports.push_back({"leaf", ExportKind::Func, 2});
+
+  exec::FlatInstance Inst(M);
+  Inst.registerHost("env", "reenter",
+                    [](Instance &I, const std::vector<WValue> &)
+                        -> Expected<std::vector<WValue>> {
+                      // Re-enter the *running* caller: must trap, not
+                      // corrupt its execution state.
+                      auto R = I.invoke(2, {});
+                      if (!R)
+                        return R.error();
+                      return std::vector<WValue>{(*R)[0]};
+                    });
+  ASSERT_TRUE(Inst.initialize().ok());
+  auto R = Inst.invokeByName("f", {});
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.error().message().find("re-entrant invoke"),
+            std::string::npos)
+      << R.error().message();
+}
+
+TEST(ExecFlat, InvokeAfterReentryTrapStillWorks) {
+  // The guard must reset after the trap unwinds: the instance stays
+  // usable for subsequent (non-re-entrant) invokes.
+  WModule M;
+  uint32_t TI = M.addType({{}, {ValType::I32}});
+  M.ImportFuncs.push_back({"env", "reenter", TI});
+  M.Funcs.push_back({TI, {}, {WInst::idx(Op::Call, 0)}});
+  M.Funcs.push_back({TI, {}, {WInst::i32c(9)}});
+  M.Exports.push_back({"f", ExportKind::Func, 1});
+  M.Exports.push_back({"leaf", ExportKind::Func, 2});
+
+  exec::FlatInstance Inst(M);
+  Inst.registerHost("env", "reenter",
+                    [](Instance &I, const std::vector<WValue> &)
+                        -> Expected<std::vector<WValue>> {
+                      auto R = I.invoke(2, {});
+                      if (!R)
+                        return R.error();
+                      return std::vector<WValue>{(*R)[0]};
+                    });
+  ASSERT_TRUE(Inst.initialize().ok());
+  ASSERT_FALSE(bool(Inst.invokeByName("f", {})));
+  // Direct invoke of the leaf (no host in the path) succeeds afterwards.
+  auto R2 = Inst.invokeByName("leaf", {});
+  ASSERT_TRUE(bool(R2)) << R2.error().message();
+  EXPECT_EQ((*R2)[0].asU32(), 9u);
+}

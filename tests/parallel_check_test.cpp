@@ -1,0 +1,335 @@
+//===- tests/parallel_check_test.cpp - Batch admission pipeline -----------===//
+//
+// The parallel checker's two contracts (DESIGN.md §7):
+//
+//   1. DETERMINISM — checkModules over any ThreadPool size returns
+//      statuses (including every diagnostic string) byte-identical to
+//      running checkModule sequentially, because per-function results are
+//      collected and assembled in (module, function) index order.
+//
+//   2. DIFFERENTIAL — the allocation-free checker core (shared operand
+//      stack with per-block floors, copy-on-write local environments)
+//      behaves exactly like the per-block-copy checker it replaced: the
+//      seeded well-typed generator still passes, linearity mutants are
+//      still rejected, and checkSeq's observable results (final stack and
+//      locals) are unchanged. The block-floor edge cases that the shared
+//      stack introduces (a block must not see values below its params)
+//      are pinned explicitly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Common.h"
+#include "ir/Builder.h"
+#include "support/ThreadPool.h"
+#include "typing/Checker.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace rw;
+using namespace rw::ir;
+using namespace rw::ir::build;
+using namespace rw::typing;
+
+namespace {
+
+/// The seeded well-typed generator of tests/soundness_test.cpp (the F7
+/// workload family), trimmed to the checker-relevant families: numerics,
+/// nested control flow, local round-trips, and linear heap use.
+struct Gen {
+  std::mt19937_64 Rng;
+  std::vector<SizeRef> Locals;
+
+  explicit Gen(uint64_t Seed) : Rng(Seed) {}
+
+  uint32_t pick(uint32_t Lo, uint32_t Hi) {
+    return Lo + static_cast<uint32_t>(Rng() % (Hi - Lo + 1));
+  }
+  uint32_t nextLocal() {
+    Locals.push_back(Size::constant(32));
+    return static_cast<uint32_t>(Locals.size() - 1);
+  }
+
+  void gen(unsigned Depth, InstVec &O) {
+    switch (Depth == 0 ? 0u : pick(0, 6)) {
+    case 0:
+      O.push_back(iconst(static_cast<int32_t>(pick(0, 99))));
+      return;
+    case 1:
+      gen(Depth - 1, O);
+      gen(Depth - 1, O);
+      O.push_back(addI32());
+      return;
+    case 2: {
+      gen(Depth - 1, O);
+      InstVec T, F;
+      gen(Depth - 1, T);
+      gen(Depth - 1, F);
+      O.push_back(ifElse(arrow({}, {i32T()}), {}, std::move(T), std::move(F)));
+      return;
+    }
+    case 3: {
+      uint32_t L = nextLocal();
+      gen(Depth - 1, O);
+      O.push_back(setLocal(L));
+      O.push_back(getLocal(L, Qual::unr()));
+      return;
+    }
+    case 4: {
+      InstVec B;
+      gen(Depth - 1, B);
+      if (pick(0, 1))
+        B.push_back(br(0));
+      O.push_back(block(arrow({}, {i32T()}), {}, std::move(B)));
+      return;
+    }
+    default: {
+      gen(Depth - 1, O);
+      O.push_back(structMalloc({Size::constant(32)}, Qual::lin()));
+      uint32_t L = nextLocal();
+      O.push_back(memUnpack(arrow({}, {i32T()}), {{L, i32T()}},
+                            {iconst(1), structSwap(0), setLocal(L),
+                             structFree(), getLocal(L, Qual::unr())}));
+      return;
+    }
+    }
+  }
+
+  ir::Module module(unsigned Funcs) {
+    ir::Module M;
+    M.Name = "gen";
+    for (unsigned F = 0; F < Funcs; ++F) {
+      Locals.clear();
+      InstVec Body;
+      gen(3, Body);
+      InstVec Pre;
+      for (size_t I = 0; I < Locals.size(); ++I) {
+        Pre.push_back(iconst(0));
+        Pre.push_back(setLocal(static_cast<uint32_t>(I)));
+      }
+      Body.insert(Body.begin(), std::make_move_iterator(Pre.begin()),
+                  std::make_move_iterator(Pre.end()));
+      M.Funcs.push_back(function({}, FunType::get({}, arrow({}, {i32T()})),
+                                 Locals, std::move(Body)));
+    }
+    return M;
+  }
+};
+
+/// Injects a linearity violation (alloc-and-drop) into function \p Idx.
+void breakFunction(ir::Module &M, size_t Idx) {
+  M.Funcs[Idx].Body.insert(
+      M.Funcs[Idx].Body.begin(),
+      {iconst(1), structMalloc({Size::constant(32)}, Qual::lin()), drop()});
+}
+
+std::vector<const ir::Module *> ptrs(const std::vector<ir::Module> &Mods) {
+  std::vector<const ir::Module *> P;
+  for (const ir::Module &M : Mods)
+    P.push_back(&M);
+  return P;
+}
+
+std::string statusText(const Status &S) {
+  return S.ok() ? std::string("<ok>") : S.error().message();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Determinism
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelCheck, MatchesSequentialOnValidModules) {
+  std::vector<ir::Module> Mods;
+  for (unsigned I = 1; I <= 6; ++I)
+    Mods.push_back(rwbench::wideModule(4 * I));
+  auto P = ptrs(Mods);
+
+  support::ThreadPool Pool4(4);
+  std::vector<Status> Par = checkModules(P, Pool4);
+  ASSERT_EQ(Par.size(), Mods.size());
+  for (size_t I = 0; I < Mods.size(); ++I) {
+    Status Seq = checkModule(Mods[I]);
+    EXPECT_EQ(Seq.ok(), Par[I].ok()) << "module " << I;
+    EXPECT_EQ(statusText(Seq), statusText(Par[I])) << "module " << I;
+  }
+}
+
+TEST(ParallelCheck, DiagnosticsAreByteIdenticalAcrossPoolSizes) {
+  // Several modules with errors injected at different function indices —
+  // the reported error must always be the lowest-indexed failure, with
+  // the same message, for every pool size.
+  std::vector<ir::Module> Mods;
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    Gen G(Seed);
+    Mods.push_back(G.module(6));
+  }
+  breakFunction(Mods[1], 4);
+  breakFunction(Mods[3], 2);
+  breakFunction(Mods[3], 5); // Two failures; index 2 must win.
+  breakFunction(Mods[6], 0);
+  auto P = ptrs(Mods);
+
+  support::ThreadPool Pool1(1);
+  support::ThreadPool Pool3(3);
+  support::ThreadPool Pool8(8);
+  std::vector<Status> R1 = checkModules(P, Pool1);
+  std::vector<Status> R3 = checkModules(P, Pool3);
+  std::vector<Status> R8 = checkModules(P, Pool8);
+
+  for (size_t I = 0; I < Mods.size(); ++I) {
+    Status Seq = checkModule(Mods[I]);
+    EXPECT_EQ(statusText(Seq), statusText(R1[I])) << "module " << I;
+    EXPECT_EQ(statusText(R1[I]), statusText(R3[I])) << "module " << I;
+    EXPECT_EQ(statusText(R1[I]), statusText(R8[I])) << "module " << I;
+  }
+  EXPECT_FALSE(R3[1].ok());
+  EXPECT_NE(statusText(R3[3]).find("in function 2:"), std::string::npos);
+  EXPECT_NE(statusText(R3[6]).find("in function 0:"), std::string::npos);
+}
+
+TEST(ParallelCheck, BadTableEntrySkipsFunctionWorkWithSameDiagnostic) {
+  // A module rejected by the up-front table check gets no function work
+  // scheduled, and its diagnostic is still byte-identical to sequential
+  // checkModule (where the table error also outranks everything).
+  std::vector<ir::Module> Mods;
+  Mods.push_back(rwbench::wideModule(4));
+  Mods.push_back(rwbench::wideModule(4));
+  Mods[0].Tab.Entries.push_back(99); // Out of range.
+  auto P = ptrs(Mods);
+
+  support::ThreadPool Pool(3);
+  std::vector<Status> R = checkModules(P, Pool);
+  Status Seq0 = checkModule(Mods[0]);
+  ASSERT_FALSE(R[0].ok());
+  EXPECT_EQ(statusText(Seq0), statusText(R[0]));
+  EXPECT_NE(statusText(R[0]).find("table entry 99"), std::string::npos);
+  EXPECT_TRUE(R[1].ok());
+}
+
+TEST(ParallelCheck, RepeatedRunsAreStable) {
+  // Work-stealing schedules differ run to run; results must not.
+  Gen G(42);
+  std::vector<ir::Module> Mods;
+  Mods.push_back(G.module(8));
+  Mods.push_back(rwbench::wideModule(16));
+  breakFunction(Mods[0], 7);
+  auto P = ptrs(Mods);
+
+  support::ThreadPool Pool(4);
+  std::vector<Status> First = checkModules(P, Pool);
+  for (int Round = 0; Round < 10; ++Round) {
+    std::vector<Status> Again = checkModules(P, Pool);
+    ASSERT_EQ(Again.size(), First.size());
+    for (size_t I = 0; I < First.size(); ++I)
+      EXPECT_EQ(statusText(First[I]), statusText(Again[I]))
+          << "round " << Round << " module " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Differential: new checker core vs the committed behavior
+//===----------------------------------------------------------------------===//
+
+TEST(CheckerDiff, SeededGeneratorStillPassesAndMutantsStillFail) {
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    Gen G(Seed);
+    ir::Module M = G.module(3);
+    Status S = checkModule(M);
+    EXPECT_TRUE(S.ok()) << "seed " << Seed << ": " << statusText(S);
+
+    ir::Module Broken = M;
+    breakFunction(Broken, Seed % Broken.Funcs.size());
+    EXPECT_FALSE(checkModule(Broken).ok()) << "seed " << Seed;
+  }
+}
+
+TEST(CheckerDiff, WideModuleWorkloadUnchanged) {
+  // The F7 benchmark workload itself (and an InfoMap pass over it, which
+  // exercises the note() paths the fast path skips).
+  ir::Module M = rwbench::wideModule(32);
+  EXPECT_TRUE(checkModule(M).ok());
+  InfoMap IM;
+  EXPECT_TRUE(checkModule(M, &IM).ok());
+  EXPECT_GT(IM.size(), 0u);
+}
+
+TEST(CheckerDiff, CheckSeqResultsUnchanged) {
+  // checkSeq's observable outputs — final stack and final locals — are
+  // part of the public contract the refactor must preserve.
+  ModuleEnv Env;
+  auto R = checkSeq(Env, KindCtx(), std::nullopt,
+                    {{i32T(), Size::constant(32)}}, {},
+                    {iconst(2), iconst(3), addI32(), setLocal(0),
+                     getLocal(0, Qual::unr()), iconst(1), addI32()});
+  ASSERT_TRUE(bool(R));
+  ASSERT_EQ(R->Stack.size(), 1u);
+  EXPECT_TRUE(typeEquals(R->Stack[0], i32T()));
+  ASSERT_EQ(R->Locals.size(), 1u);
+  EXPECT_TRUE(typeEquals(R->Locals[0].T, i32T()));
+
+  // A linear move through a local must revert the slot to unit in the
+  // *returned* environment (the COW buffer the caller observes).
+  Type Lin(exLocPT(Type(refPT(Privilege::RW, Loc::var(0),
+                              structHT({{i32T(), Size::constant(32)}})),
+                        Qual::lin())),
+           Qual::lin());
+  auto R2 = checkSeq(Env, KindCtx(), std::nullopt,
+                     {{Lin, Size::constant(64)}}, {},
+                     {getLocal(0, Qual::lin())});
+  ASSERT_TRUE(bool(R2));
+  ASSERT_EQ(R2->Stack.size(), 1u);
+  EXPECT_TRUE(typeEquals(R2->Stack[0], Lin));
+  ASSERT_EQ(R2->Locals.size(), 1u);
+  EXPECT_TRUE(typeEquals(R2->Locals[0].T, unitT()));
+}
+
+TEST(CheckerDiff, BlockCannotReachBelowItsFloor) {
+  // The shared operand stack gives every block a floor; popping past it
+  // must report underflow even though the *physical* stack holds the
+  // outer value right below. (The per-block-copy checker got this by
+  // construction; the floors must preserve it.)
+  ModuleEnv Env;
+  auto R = checkSeq(Env, KindCtx(), std::nullopt, {}, {i32T()},
+                    {block(arrow({}, {i32T()}), {},
+                           {drop(), iconst(5)})}); // drop() sees an empty
+                                                   // block-local stack.
+  ASSERT_FALSE(bool(R));
+  EXPECT_NE(R.error().message().find("underflow"), std::string::npos);
+}
+
+TEST(CheckerDiff, UnreachableBlockBodyLeavesOuterStackIntact) {
+  // A body ending unreachable may leave arbitrary junk above its floor;
+  // the checker must truncate it and still produce the annotated results.
+  ModuleEnv Env;
+  auto R = checkSeq(Env, KindCtx(), std::nullopt, {}, {i32T()},
+                    {block(arrow({}, {i32T()}), {},
+                           {iconst(1), iconst(2), iconst(3), br(0)}),
+                     addI32()});
+  ASSERT_TRUE(bool(R)) << R.error().message();
+  ASSERT_EQ(R->Stack.size(), 1u);
+  EXPECT_TRUE(typeEquals(R->Stack[0], i32T()));
+}
+
+TEST(CheckerDiff, SharedLocalsForkOnFirstWriteOnly) {
+  // Nested blocks share the outer local environment until a write; a
+  // branch out of the inner block must still see the *outer* view when
+  // the inner body has not diverged, and must fail when it has.
+  ModuleEnv Env;
+  // Branch with agreeing locals: fine.
+  auto Ok = checkSeq(Env, KindCtx(), std::nullopt,
+                     {{i32T(), Size::constant(32)}}, {},
+                     {block(arrow({}, {}), {},
+                            {br(0)})});
+  EXPECT_TRUE(bool(Ok)) << Ok.error().message();
+  // Branch after the body strongly updated a local (i32 -> i64, a slot
+  // change the label's view does not include): rejected.
+  auto Bad = checkSeq(Env, KindCtx(), std::nullopt,
+                      {{i32T(), Size::constant(64)}}, {},
+                      {block(arrow({}, {}), {},
+                             {i64const(1), setLocal(0), br(0)})});
+  ASSERT_FALSE(bool(Bad));
+  EXPECT_NE(Bad.error().message().find("locals"), std::string::npos);
+}
