@@ -1,0 +1,226 @@
+//===- bench/c6_admission_cache.cpp - C6: content-addressed admission -----===//
+// The admission-server repetition experiment (DESIGN.md §8): real traffic
+// resubmits the same library modules over and over, so admission results
+// are memoized content-addressed. Measures the full admission pipeline —
+// batch check (cached verdicts) plus lowered instantiation (cached
+// lowering + flat translation) — cold (empty cache, every stage runs)
+// versus warm (resident cache, the pipeline skips to instantiation), plus
+// the serialization layer underneath the cache. run_bench.sh emits the
+// cold/warm pairs into BENCH_cache.json; the 64-module warm speedup is
+// the headline number (≥10x gates cache PRs).
+#include "Common.h"
+
+#include "cache/AdmissionCache.h"
+#include "serial/Serial.h"
+#include "support/ThreadPool.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rw;
+using namespace rwbench;
+
+namespace {
+
+/// An N-module admission set in the fig3 link shape (everyone imports the
+/// foundational modules) with checker-relevant bodies: each exported
+/// function allocates, strongly updates, and frees a linear struct, so a
+/// check costs what real library code costs.
+struct AdmissionSet {
+  std::vector<rw::ir::Module> Mods;
+  std::vector<const rw::ir::Module *> Ptrs;
+
+  explicit AdmissionSet(unsigned N, unsigned Funcs = 4) {
+    using namespace rw::ir;
+    using namespace rw::ir::build;
+    FunTypeRef Fn = FunType::get({}, arrow({i32T()}, {i32T()}));
+    auto modName = [](unsigned I) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "user_pkg_%06u", I);
+      return std::string(Buf);
+    };
+    Mods.reserve(N);
+    for (unsigned I = 0; I < N; ++I) {
+      ir::Module M;
+      M.Name = modName(I);
+      for (unsigned J = 0; J < Funcs; ++J) {
+        InstVec Body = {
+            getLocal(0, Qual::unr()),
+            iconst(static_cast<int32_t>(I * Funcs + J)),
+            addI32(),
+            structMalloc({Size::constant(32)}, Qual::lin()),
+            memUnpack(arrow({}, {i32T()}), {{1, i32T()}},
+                      {iconst(9), structSwap(0), setLocal(1), structFree(),
+                       getLocal(1, Qual::unr())}),
+            iconst(3),
+            mulI32(),
+        };
+        M.Funcs.push_back(
+            function({"f" + std::to_string(I) + "_" + std::to_string(J)}, Fn,
+                     {Size::constant(32)}, std::move(Body)));
+      }
+      if (I > 0)
+        for (unsigned J = 0; J < 2; ++J) {
+          unsigned P = (I * 7 + J * 13) % std::min(I, 4u);
+          unsigned E = (I + J) % Funcs;
+          M.Funcs.push_back(importFunc(
+              {modName(P), "f" + std::to_string(P) + "_" + std::to_string(E)},
+              Fn));
+        }
+      Mods.push_back(std::move(M));
+    }
+    for (const ir::Module &M : Mods)
+      Ptrs.push_back(&M);
+  }
+};
+
+/// One admission: batch-check every module (memoized verdicts), then ship
+/// the accepted set through the lowered pipeline (memoized artifact).
+bool admit(const AdmissionSet &Set, support::ThreadPool &Pool,
+           cache::AdmissionCache &C) {
+  std::vector<Status> Verdicts = typing::checkModules(Set.Ptrs, Pool, &C);
+  for (const Status &S : Verdicts)
+    if (!S.ok())
+      return false;
+  link::LinkOptions Opts;
+  Opts.Cache = &C;
+  Opts.Engine = wasm::EngineKind::Flat;
+  Opts.RunStart = false;
+  auto LI = link::instantiateLowered(Set.Ptrs, Opts);
+  return bool(LI);
+}
+
+void reportCache(benchmark::State &St, const cache::AdmissionCache &C) {
+  cache::CacheStats S = C.stats();
+  St.counters["cache_hits"] = static_cast<double>(S.hits());
+  St.counters["cache_misses"] = static_cast<double>(S.misses());
+  St.counters["cache_evictions"] = static_cast<double>(S.Evictions);
+  St.counters["cache_bytes"] = static_cast<double>(S.Bytes);
+  St.counters["arena_serialized_bytes"] = static_cast<double>(
+      ir::TypeArena::global().stats().SerializedBytes);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Full admission pipeline, cold vs warm
+//===----------------------------------------------------------------------===//
+
+static void C6_AdmissionCold(benchmark::State &St) {
+  AdmissionSet Set(static_cast<unsigned>(St.range(0)));
+  support::ThreadPool Pool;
+  for (auto _ : St) {
+    cache::AdmissionCache C; // Empty every submission: all misses.
+    if (!admit(Set, Pool, C)) {
+      St.SkipWithError("admission failed");
+      return;
+    }
+  }
+  St.counters["modules/s"] = benchmark::Counter(
+      static_cast<double>(Set.Mods.size()) * St.iterations(),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(C6_AdmissionCold)->Arg(8)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+static void C6_AdmissionWarm(benchmark::State &St) {
+  AdmissionSet Set(static_cast<unsigned>(St.range(0)));
+  support::ThreadPool Pool;
+  cache::AdmissionCache C;
+  if (!admit(Set, Pool, C)) { // Prime.
+    St.SkipWithError("admission failed");
+    return;
+  }
+  for (auto _ : St)
+    if (!admit(Set, Pool, C)) {
+      St.SkipWithError("admission failed");
+      return;
+    }
+  St.counters["modules/s"] = benchmark::Counter(
+      static_cast<double>(Set.Mods.size()) * St.iterations(),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+  reportCache(St, C);
+}
+BENCHMARK(C6_AdmissionWarm)->Arg(8)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+//===----------------------------------------------------------------------===//
+// Batch check alone, cold vs warm (the per-module verdict cache)
+//===----------------------------------------------------------------------===//
+
+static void C6_CheckBatchCold(benchmark::State &St) {
+  AdmissionSet Set(static_cast<unsigned>(St.range(0)));
+  support::ThreadPool Pool;
+  for (auto _ : St) {
+    cache::AdmissionCache C;
+    auto Out = typing::checkModules(Set.Ptrs, Pool, &C);
+    benchmark::DoNotOptimize(Out.size());
+  }
+}
+BENCHMARK(C6_CheckBatchCold)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+static void C6_CheckBatchWarm(benchmark::State &St) {
+  AdmissionSet Set(static_cast<unsigned>(St.range(0)));
+  support::ThreadPool Pool;
+  cache::AdmissionCache C;
+  (void)typing::checkModules(Set.Ptrs, Pool, &C);
+  for (auto _ : St) {
+    auto Out = typing::checkModules(Set.Ptrs, Pool, &C);
+    benchmark::DoNotOptimize(Out.size());
+  }
+  reportCache(St, C);
+}
+BENCHMARK(C6_CheckBatchWarm)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+//===----------------------------------------------------------------------===//
+// The serialization layer
+//===----------------------------------------------------------------------===//
+
+static void C6_SerializeModule(benchmark::State &St) {
+  AdmissionSet Set(static_cast<unsigned>(St.range(0)));
+  uint64_t Bytes = 0;
+  for (auto _ : St) {
+    Bytes = 0;
+    for (const rw::ir::Module *M : Set.Ptrs)
+      Bytes += serial::write(*M).size();
+    benchmark::DoNotOptimize(Bytes);
+  }
+  St.counters["bytes_per_module"] =
+      static_cast<double>(Bytes) / static_cast<double>(Set.Mods.size());
+}
+BENCHMARK(C6_SerializeModule)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+static void C6_DeserializeModule(benchmark::State &St) {
+  AdmissionSet Set(static_cast<unsigned>(St.range(0)));
+  std::vector<std::vector<uint8_t>> Blobs;
+  for (const rw::ir::Module *M : Set.Ptrs)
+    Blobs.push_back(serial::write(*M));
+  for (auto _ : St)
+    for (const std::vector<uint8_t> &B : Blobs) {
+      auto R = serial::read(B);
+      if (!R) {
+        St.SkipWithError("read failed");
+        return;
+      }
+      benchmark::DoNotOptimize(R->Funcs.size());
+    }
+}
+BENCHMARK(C6_DeserializeModule)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+static void C6_ModuleHash(benchmark::State &St) {
+  AdmissionSet Set(static_cast<unsigned>(St.range(0)));
+  for (auto _ : St) {
+    uint64_t Acc = 0;
+    for (const rw::ir::Module *M : Set.Ptrs)
+      Acc ^= serial::moduleHash(*M).Hi;
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+BENCHMARK(C6_ModuleHash)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -10,22 +10,29 @@
 #                         the admission-control hot path at link
 #                         boundaries;
 #  * BENCH_link.json    — batch vs sequential import resolution (fig3
-#                         F3_Resolve*) at 8/64/256 modules.
+#                         F3_Resolve*) at 8/64/256 modules;
+#  * BENCH_cache.json   — content-addressed admission cache (c6): cold vs
+#                         warm full-pipeline admission and batch checking,
+#                         plus the serialization layer; the 64-module warm
+#                         admission speedup is the headline (≥10x gates
+#                         cache PRs).
 #
 # Usage: bench/run_bench.sh [build-dir] [interp-out.json] [typing-out.json]
-#                           [link-out.json]
+#                           [link-out.json] [cache-out.json]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_interp.json}"
 TYPING_OUT="${3:-BENCH_typing.json}"
 LINK_OUT="${4:-BENCH_link.json}"
+CACHE_OUT="${5:-BENCH_cache.json}"
 BIN="$BUILD_DIR/fig4_interp_throughput"
 TYPING_BIN="$BUILD_DIR/fig7_typecheck_throughput"
 T1_BIN="$BUILD_DIR/t1_soundness_throughput"
 LINK_BIN="$BUILD_DIR/fig3_linking_types"
+CACHE_BIN="$BUILD_DIR/c6_admission_cache"
 
-for B in "$BIN" "$TYPING_BIN" "$T1_BIN" "$LINK_BIN"; do
+for B in "$BIN" "$TYPING_BIN" "$T1_BIN" "$LINK_BIN" "$CACHE_BIN"; do
   if [[ ! -x "$B" ]]; then
     echo "error: $B not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
     exit 1
@@ -36,7 +43,8 @@ RAW="$(mktemp)"
 TYPING_RAW="$(mktemp)"
 T1_RAW="$(mktemp)"
 LINK_RAW="$(mktemp)"
-trap 'rm -f "$RAW" "$TYPING_RAW" "$T1_RAW" "$LINK_RAW"' EXIT
+CACHE_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$TYPING_RAW" "$T1_RAW" "$LINK_RAW" "$CACHE_RAW"' EXIT
 
 "$BIN" --benchmark_filter='F4_Wasm' --benchmark_format=json \
        --benchmark_repetitions="${BENCH_REPS:-1}" >"$RAW"
@@ -186,4 +194,56 @@ json.dump(out, open(sys.argv[2], "w"), indent=2)
 line = ", ".join(f"{n}={s:.2f}x" for n, s in sorted(speedups.items(),
                                                    key=lambda kv: int(kv[0])))
 print(f"wrote {sys.argv[2]}: batch-over-sequential {line}")
+EOF
+
+"$CACHE_BIN" --benchmark_filter='C6_' --benchmark_format=json \
+             --benchmark_repetitions="${BENCH_REPS:-1}" >"$CACHE_RAW"
+
+# Warm admission must beat cold by >=10x at 64 modules (the cache PR gate):
+# a warm resubmission skips check + lower + translate and goes straight to
+# instantiation.
+python3 - "$CACHE_RAW" "$CACHE_OUT" <<'EOF'
+import json, sys, datetime
+
+raw = json.load(open(sys.argv[1]))
+results = {}
+for b in raw["benchmarks"]:
+    if b.get("run_type") == "aggregate":
+        continue
+    if b.get("error_occurred") or b.get("skipped"):
+        continue
+    cur = results.get(b["name"])
+    if cur is None or b["real_time"] < cur["ns"]:
+        entry = {"ns": b["real_time"]}
+        for key in ("modules/s", "cache_hits", "cache_misses",
+                    "cache_evictions", "cache_bytes", "bytes_per_module",
+                    "arena_serialized_bytes"):
+            if key in b:
+                entry[key] = b[key]
+        results[b["name"]] = entry
+
+speedups = {}
+for pair in ("Admission", "CheckBatch"):
+    for name, r in results.items():
+        if not name.startswith(f"C6_{pair}Warm/"):
+            continue
+        arg = name.split("/")[1]
+        cold = results.get(f"C6_{pair}Cold/{arg}")
+        if cold and r["ns"] > 0:
+            speedups[f"{pair}/{arg}"] = cold["ns"] / r["ns"]
+
+out = {
+    "benchmark": "admission_cache",
+    "date": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+    "results": results,
+    "speedup_warm_over_cold": speedups,
+    "admission_warm_speedup_64": speedups.get("Admission/64"),
+    "target_admission_warm_speedup_64": 10.0,
+}
+json.dump(out, open(sys.argv[2], "w"), indent=2)
+line = ", ".join(f"{n}={s:.2f}x" for n, s in sorted(speedups.items()))
+print(f"wrote {sys.argv[2]}: warm-over-cold {line}")
+head = speedups.get("Admission/64")
+if head is not None:
+    print(f"warm admission speedup @64 modules = {head:.2f}x (target >=10x)")
 EOF

@@ -1,0 +1,299 @@
+//===- cache/AdmissionCache.cpp - Content-addressed admission cache -------===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// One mutex-guarded LRU over both entry kinds (check verdicts and lowered
+// artifacts) with a shared byte budget: a recency list whose nodes own the
+// values, plus one hash index per kind pointing into it. Every operation
+// is a couple of hash probes and a list splice, so the lock is held for
+// nanoseconds — adequate even with every ThreadPool worker probing, and
+// far simpler to reason about than sharding. Also defines the cached
+// typing::checkModules overload, which lives here (not in typing/) so the
+// typing layer keeps no cache dependency beyond a forward declaration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/AdmissionCache.h"
+
+#include "support/Hashing.h"
+#include "support/ThreadPool.h"
+#include "typing/Checker.h"
+
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+using namespace rw;
+using namespace rw::cache;
+
+serial::ModuleHash
+rw::cache::programKey(const std::vector<const ir::Module *> &Mods) {
+  // Fold per-module hashes in link order (order decides shadowing). The
+  // multiplier keeps [A, B] distinct from [B, A].
+  using support::mix64;
+  serial::ModuleHash K{0x9e3779b97f4a7c15ull, 0x2545f4914f6cdd1dull};
+  for (const ir::Module *M : Mods) {
+    serial::ModuleHash H = serial::moduleHash(*M);
+    K.Hi = mix64(K.Hi * 0x100000001b3ull ^ H.Hi);
+    K.Lo = mix64(K.Lo * 0x100000001b3ull ^ H.Lo);
+  }
+  return K;
+}
+
+namespace {
+
+struct KeyHash {
+  size_t operator()(const serial::ModuleHash &K) const {
+    return static_cast<size_t>(K.Hi ^ (K.Lo * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Byte accounting
+//===----------------------------------------------------------------------===//
+
+uint64_t instBytes(const wasm::WInst &I) {
+  uint64_t B = sizeof(wasm::WInst) + I.Table.size() * sizeof(uint32_t) +
+               (I.BT.Params.size() + I.BT.Results.size());
+  for (const wasm::WInst &C : I.Body)
+    B += instBytes(C);
+  for (const wasm::WInst &C : I.Else)
+    B += instBytes(C);
+  return B;
+}
+
+uint64_t artifactBytes(const LoweredArtifact &A) {
+  uint64_t B = sizeof(LoweredArtifact);
+  const wasm::WModule &M = A.Program.Module;
+  for (const wasm::FuncType &T : M.Types)
+    B += sizeof(wasm::FuncType) + T.Params.size() + T.Results.size();
+  for (const wasm::WFunc &F : M.Funcs) {
+    B += sizeof(wasm::WFunc) + F.Locals.size();
+    for (const wasm::WInst &I : F.Body)
+      B += instBytes(I);
+  }
+  for (const wasm::WGlobal &G : M.Globals) {
+    B += sizeof(wasm::WGlobal);
+    for (const wasm::WInst &I : G.Init)
+      B += instBytes(I);
+  }
+  B += M.TableElems.size() * sizeof(uint32_t);
+  for (const wasm::WExport &E : M.Exports)
+    B += sizeof(wasm::WExport) + E.Name.size();
+  for (const wasm::WImportFunc &F : M.ImportFuncs)
+    B += sizeof(wasm::WImportFunc) + F.Mod.size() + F.Name.size();
+  for (const wasm::WData &D : M.Data)
+    B += sizeof(wasm::WData) + D.Bytes.size();
+  for (const auto &[Name, Idx] : A.Program.Exports)
+    B += Name.size() + 64;
+  B += (A.Program.FuncMap.size() + A.Program.TableBase.size()) * 64;
+  B += A.Program.RefGlobals.size() * sizeof(uint32_t);
+  for (const exec::FlatFunc &F : A.Flat.Funcs)
+    B += sizeof(exec::FlatFunc) + F.Code.size() * sizeof(uint32_t);
+  B += A.Flat.CanonType.size() * sizeof(uint32_t);
+  return B;
+}
+
+uint64_t checkBytes(const CheckResult &R) {
+  return 64 + R.Diagnostics.size();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// LRU store
+//===----------------------------------------------------------------------===//
+
+struct AdmissionCache::Impl {
+  enum class Kind : uint8_t { Check, Program };
+
+  struct Entry {
+    Kind K;
+    serial::ModuleHash Key;
+    CheckResult Check;
+    std::shared_ptr<const LoweredArtifact> Art;
+    uint64_t Bytes = 0;
+  };
+
+  using Lru = std::list<Entry>;
+  using Map = std::unordered_map<serial::ModuleHash, Lru::iterator, KeyHash>;
+
+  mutable std::mutex M;
+  Lru Recency; ///< Front = most recently used.
+  Map Checks, Programs;
+  CacheStats St;
+
+  Map &mapFor(Kind K) { return K == Kind::Check ? Checks : Programs; }
+
+  void touch(Lru::iterator It) { Recency.splice(Recency.begin(), Recency, It); }
+
+  /// Evicts from the LRU tail until the resident bytes fit the budget.
+  /// (Entries larger than the whole budget never get in — see insert.)
+  void evict(uint64_t Budget) {
+    while (St.Bytes > Budget && !Recency.empty()) {
+      Entry &E = Recency.back();
+      mapFor(E.K).erase(E.Key);
+      St.Bytes -= E.Bytes;
+      --St.Entries;
+      ++St.Evictions;
+      Recency.pop_back();
+    }
+  }
+
+  void insert(Kind K, const serial::ModuleHash &Key, Entry E,
+              uint64_t Budget) {
+    // An entry the whole budget cannot hold is rejected up front: pushing
+    // it through the LRU would evict every resident entry before the
+    // oversized one itself went, flushing the warm set for nothing.
+    if (E.Bytes > Budget)
+      return;
+    Map &M = mapFor(K);
+    auto It = M.find(Key);
+    if (It != M.end()) {
+      // Content-addressed: a re-store carries the same value; refresh
+      // recency and keep the resident entry.
+      touch(It->second);
+      return;
+    }
+    St.Bytes += E.Bytes;
+    ++St.Entries;
+    Recency.push_front(std::move(E));
+    M.emplace(Key, Recency.begin());
+    evict(Budget);
+  }
+};
+
+AdmissionCache::AdmissionCache(uint64_t ByteBudget)
+    : Budget(ByteBudget), I(std::make_unique<Impl>()) {}
+
+AdmissionCache::~AdmissionCache() = default;
+
+std::optional<CheckResult>
+AdmissionCache::lookupCheck(const serial::ModuleHash &Key) {
+  std::lock_guard<std::mutex> G(I->M);
+  auto It = I->Checks.find(Key);
+  if (It == I->Checks.end()) {
+    ++I->St.CheckMisses;
+    return std::nullopt;
+  }
+  ++I->St.CheckHits;
+  I->touch(It->second);
+  return It->second->Check;
+}
+
+void AdmissionCache::storeCheck(const serial::ModuleHash &Key, CheckResult R) {
+  Impl::Entry E;
+  E.K = Impl::Kind::Check;
+  E.Key = Key;
+  E.Bytes = checkBytes(R);
+  E.Check = std::move(R);
+  std::lock_guard<std::mutex> G(I->M);
+  I->insert(Impl::Kind::Check, Key, std::move(E), Budget);
+}
+
+std::shared_ptr<const LoweredArtifact>
+AdmissionCache::lookupProgram(const serial::ModuleHash &Key) {
+  std::lock_guard<std::mutex> G(I->M);
+  auto It = I->Programs.find(Key);
+  if (It == I->Programs.end()) {
+    ++I->St.ProgramMisses;
+    return nullptr;
+  }
+  ++I->St.ProgramHits;
+  I->touch(It->second);
+  return It->second->Art;
+}
+
+void AdmissionCache::storeProgram(const serial::ModuleHash &Key,
+                                  std::shared_ptr<const LoweredArtifact> Art) {
+  if (!Art)
+    return;
+  Impl::Entry E;
+  E.K = Impl::Kind::Program;
+  E.Key = Key;
+  E.Bytes = artifactBytes(*Art);
+  E.Art = std::move(Art);
+  std::lock_guard<std::mutex> G(I->M);
+  I->insert(Impl::Kind::Program, Key, std::move(E), Budget);
+}
+
+CacheStats AdmissionCache::stats() const {
+  std::lock_guard<std::mutex> G(I->M);
+  return I->St;
+}
+
+void AdmissionCache::clear() {
+  std::lock_guard<std::mutex> G(I->M);
+  I->Recency.clear();
+  I->Checks.clear();
+  I->Programs.clear();
+  I->St.Bytes = 0;
+  I->St.Entries = 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Cached batch admission (the typing::checkModules overload)
+//===----------------------------------------------------------------------===//
+
+std::vector<Status>
+rw::typing::checkModules(std::span<const ir::Module *const> Mods,
+                         support::ThreadPool &Pool,
+                         cache::AdmissionCache *Cache) {
+  if (!Cache)
+    return checkModules(Mods, Pool);
+
+  size_t N = Mods.size();
+  std::vector<serial::ModuleHash> Keys(N);
+  for (size_t I = 0; I < N; ++I)
+    Keys[I] = serial::moduleHash(*Mods[I]);
+
+  // Probe in input order (so stats are deterministic), deduplicating
+  // identical content *within* the batch: a module submitted twice is
+  // checked once and both submissions report the same diagnostics.
+  std::vector<std::optional<CheckResult>> Hits(N);
+  std::unordered_map<serial::ModuleHash, size_t, KeyHash> FirstMiss;
+  std::vector<const ir::Module *> MissMods;
+  std::vector<serial::ModuleHash> MissKeys;
+  std::vector<size_t> MissSlot(N, SIZE_MAX); ///< Index into MissMods.
+  for (size_t I = 0; I < N; ++I) {
+    auto Dup = FirstMiss.find(Keys[I]);
+    if (Dup != FirstMiss.end()) {
+      MissSlot[I] = Dup->second;
+      continue;
+    }
+    Hits[I] = Cache->lookupCheck(Keys[I]);
+    if (!Hits[I]) {
+      FirstMiss.emplace(Keys[I], MissMods.size());
+      MissSlot[I] = MissMods.size();
+      MissMods.push_back(Mods[I]);
+      MissKeys.push_back(Keys[I]);
+    }
+  }
+
+  std::vector<Status> MissOut;
+  if (!MissMods.empty()) {
+    MissOut = checkModules(MissMods, Pool);
+    for (size_t J = 0; J < MissMods.size(); ++J) {
+      CheckResult R;
+      R.Ok = MissOut[J].ok();
+      if (!R.Ok)
+        R.Diagnostics = MissOut[J].error().message();
+      Cache->storeCheck(MissKeys[J], std::move(R));
+    }
+  }
+
+  std::vector<Status> Out;
+  Out.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    if (Hits[I]) {
+      Out.push_back(Hits[I]->Ok ? Status::success()
+                                : Status(Error(Hits[I]->Diagnostics)));
+      continue;
+    }
+    const Status &S = MissOut[MissSlot[I]];
+    Out.push_back(S.ok() ? Status::success() : Status(Error(S.error().message())));
+  }
+  return Out;
+}

@@ -18,18 +18,27 @@ using namespace rw::exec;
 using namespace rw::wasm;
 
 Status FlatInstance::prepare() {
+  if (PreFM) {
+    if (PreFM->Source != M)
+      return Error("flat engine: adopted translation describes a different "
+                   "module");
+    Active = PreFM.get();
+    return Status::success();
+  }
   Expected<FlatModule> R = translate(*M);
   if (!R)
     return R.error();
   FM = R.take();
+  Active = &FM;
   return Status::success();
 }
 
 Expected<std::vector<WValue>> FlatInstance::invoke(uint32_t FuncIdx,
                                                    std::vector<WValue> Args,
                                                    uint64_t MaxFuel) {
-  if (!FM.Source)
+  if (!Active || !Active->Source)
     return Error("flat engine: instance not initialized");
+  const FlatModule &FM = *Active;
   const FuncType &FT = M->funcType(FuncIdx);
 
   // Invoking an import dispatches straight to the host, like the tree
@@ -135,6 +144,7 @@ Expected<std::vector<WValue>> FlatInstance::invoke(uint32_t FuncIdx,
 bool FlatInstance::run(uint64_t MaxFuel, std::string &TrapMsg) {
   using namespace rw::num;
 
+  const FlatModule &FM = *Active;
   uint64_t Fuel = MaxFuel;
 
   CallFrame *Fr = &Frames.back();

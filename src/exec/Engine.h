@@ -51,7 +51,19 @@ public:
   }
 
   /// The translated module (valid after initialize()).
-  const FlatModule &flat() const { return FM; }
+  const FlatModule &flat() const { return Active ? *Active : FM; }
+
+  /// Installs a shared pre-translated module (e.g. the memoized
+  /// translation from the admission cache) so prepare() skips
+  /// exec::translate. Borrowed, not copied — the shared handle keeps the
+  /// translation alive for the instance's lifetime; many instances may
+  /// execute one translation concurrently (it is immutable; all mutable
+  /// state lives in the instance). \p Pre must describe exactly this
+  /// instance's module (Pre->Source == &module()); call before
+  /// initialize().
+  void adoptPretranslated(std::shared_ptr<const FlatModule> Pre) {
+    PreFM = std::move(Pre);
+  }
 
 protected:
   Status prepare() override;
@@ -68,7 +80,11 @@ private:
   /// returns false.
   bool run(uint64_t MaxFuel, std::string &TrapMsg);
 
-  FlatModule FM;
+  FlatModule FM; ///< Owned translation (self-translated instances).
+  /// Adopted pre-translation (shared, immutable) — see adoptPretranslated.
+  std::shared_ptr<const FlatModule> PreFM;
+  /// The translation executed: &FM or PreFM.get(); set by prepare().
+  const FlatModule *Active = nullptr;
   std::vector<uint64_t> OpStack; ///< Raw 64-bit operand slots.
   std::vector<uint64_t> Regs;    ///< All frames' locals, contiguous.
   std::vector<CallFrame> Frames;

@@ -237,7 +237,8 @@ enum class JTab : uint8_t { P, H, F, S };
 /// replays. Only ever appended under the arena lock.
 struct JEntry {
   JTab Tab;
-  bool Skolem; ///< Subtree mentions a checker skolem (loc or pretype).
+  bool Skolem;     ///< Subtree mentions a checker skolem (loc or pretype).
+  uint32_t SBytes; ///< serializedNodeBytes at intern time.
   uint64_t Hash;
   uint64_t Bytes; ///< approxNodeBytes at intern time.
   const void *Node;
@@ -342,6 +343,63 @@ static uint64_t approxNodeBytes(const Size &S) {
   return sizeof(Size) + S.norm().Vars.size() * sizeof(uint32_t);
 }
 
+/// Wire-size estimates for Stats::SerializedBytes: what one node record of
+/// the serial/ type table costs — a tag byte plus varint scalars and
+/// child-index references (~2 bytes each at realistic table sizes). Kept
+/// as estimates (true varint widths depend on final indices), mirroring
+/// the spirit of ApproxBytes.
+static uint64_t serializedNodeBytes(const Pretype &P) {
+  switch (P.kind()) {
+  case PretypeKind::Unit:
+    return 1;
+  case PretypeKind::Num:
+  case PretypeKind::Var:
+    return 2;
+  case PretypeKind::Skolem:
+    return 8;
+  case PretypeKind::Prod:
+    return 2 + cast<ProdPT>(&P)->elems().size() * 3;
+  case PretypeKind::Ref:
+  case PretypeKind::Cap:
+    return 7;
+  case PretypeKind::Ptr:
+  case PretypeKind::Own:
+    return 4;
+  case PretypeKind::Rec:
+    return 5;
+  case PretypeKind::ExLoc:
+    return 4;
+  case PretypeKind::Coderef:
+    return 3;
+  }
+  return 1;
+}
+static uint64_t serializedNodeBytes(const HeapType &H) {
+  switch (H.kind()) {
+  case HeapTypeKind::Variant:
+    return 2 + cast<VariantHT>(&H)->cases().size() * 3;
+  case HeapTypeKind::Struct:
+    return 2 + cast<StructHT>(&H)->fields().size() * 5;
+  case HeapTypeKind::Array:
+    return 4;
+  case HeapTypeKind::Ex:
+    return 7;
+  }
+  return 1;
+}
+static uint64_t serializedNodeBytes(const FunType &F) {
+  uint64_t B = 3 + F.quants().size() * 4 +
+               (F.arrow().Params.size() + F.arrow().Results.size()) * 3;
+  for (const Quant &Q : F.quants())
+    B += (Q.SizeLower.size() + Q.SizeUpper.size()) * 2 +
+         Q.QualLower.size() + Q.QualUpper.size();
+  return B;
+}
+static uint64_t serializedNodeBytes(const Size &S) {
+  // Tag + constant + count + sorted variable indices.
+  return 3 + (S.norm().Const > 127 ? 2 : 0) + S.norm().Vars.size() * 2;
+}
+
 template <class Ref, class EqFn, class MakeFn>
 static Ref internNode(SpinLock &M, std::vector<JEntry> &Journal,
                       TypeArena::Stats &St,
@@ -374,10 +432,12 @@ static Ref internNode(SpinLock &M, std::vector<JEntry> &Journal,
   ++NodeCount;
   bool Sk = nodeHasSkolem(*N);
   uint64_t Bytes = approxNodeBytes(*N);
+  uint32_t SBytes = static_cast<uint32_t>(serializedNodeBytes(*N));
   St.ApproxBytes += Bytes;
+  St.SerializedBytes += SBytes;
   if (Sk)
     ++St.SkolemNodes;
-  Journal.push_back({Tag, Sk, H, Bytes, N.get()});
+  Journal.push_back({Tag, Sk, SBytes, H, Bytes, N.get()});
   Bucket.push_back(N);
   return N;
 }
@@ -1233,6 +1293,7 @@ uint64_t TypeArena::rollbackImpl(uint64_t Mark, bool SkolemOnly) {
     if (Erased) {
       ++Removed;
       I->St.ApproxBytes -= E.Bytes;
+      I->St.SerializedBytes -= E.SBytes;
       if (E.Skolem)
         --I->St.SkolemNodes;
     }

@@ -6,12 +6,15 @@
 
 #include "link/Link.h"
 
+#include "cache/AdmissionCache.h"
+#include "exec/Engine.h"
 #include "ir/Print.h"
 #include "ir/TypeOps.h"
 #include "typing/Checker.h"
 #include "wasm/Validate.h"
 
 #include "support/FlatMap.h"
+#include "support/Hashing.h"
 
 #include <cstring>
 #include <unordered_map>
@@ -54,17 +57,11 @@ struct ExportKey {
 /// O(1)-ish in name length. Colliding names (same length, same ends) are
 /// disambiguated by the full equality compare — a pathological bucket
 /// degrades toward the sequential scan, never to a wrong resolution.
-/// murmur3's 64-bit finalizer: full avalanche, so sampled inputs whose
-/// entropy sits in a few bytes (shared prefixes, trailing digits) still
-/// spread over the low bits a power-of-two table masks with.
-static uint64_t mix64(uint64_t X) {
-  X ^= X >> 33;
-  X *= 0xff51afd7ed558ccdull;
-  X ^= X >> 33;
-  X *= 0xc4ceb9fe1a85ec53ull;
-  X ^= X >> 33;
-  return X;
-}
+/// support::mix64 (murmur3's finalizer): full avalanche, so sampled
+/// inputs whose entropy sits in a few bytes (shared prefixes, trailing
+/// digits) still spread over the low bits a power-of-two table masks
+/// with.
+using support::mix64;
 
 static uint64_t sampledHash(const std::string &S) {
   size_t N = S.size();
@@ -186,11 +183,11 @@ Status checkSameArena(const Node &ImpTy, const Node &ProvTy,
 
 Expected<std::vector<ResolvedModule>>
 rw::link::resolveImports(const std::vector<const ir::Module *> &Mods,
-                         ResolveMode Mode) {
+                         const ResolveOptions &Opts) {
   std::vector<ResolvedModule> Out;
   Out.reserve(Mods.size());
   ExportIndex Index;
-  bool Batch = Mode == ResolveMode::Batch;
+  bool Batch = Opts.Mode == ResolveMode::Batch;
   if (Batch) {
     size_t FuncExports = 0, GlobalExports = 0;
     for (const ir::Module *M : Mods) {
@@ -224,9 +221,17 @@ rw::link::resolveImports(const std::vector<const ir::Module *> &Mods,
       } else {
         P = scanFunc(Mods, Idx, *F.Import);
       }
-      if (!P)
+      if (!P) {
+        if (Opts.AllowUnresolvedFuncs) {
+          // Shipping-path semantics: no in-set provider means the import
+          // stays open, to be satisfied by the host after lowering.
+          R.FuncImports.push_back(
+              {ResolvedModule::Unresolved, ResolvedModule::Unresolved});
+          continue;
+        }
         return Error("unresolved import " + F.Import->Module + "." +
                      F.Import->Name + " in module '" + M.Name + "'");
+      }
       // The cross-module safety check: declared import type must equal the
       // provider's declared export type. Types are hash-consed, so this is
       // a pointer comparison — valid because all linked modules intern
@@ -371,21 +376,71 @@ rw::link::instantiate(const std::vector<const ir::Module *> &Mods,
 Expected<LoweredInstance>
 rw::link::instantiateLowered(const std::vector<const ir::Module *> &Mods,
                              const LinkOptions &Opts) {
-  // lowerProgram performs the per-module type check and the import
-  // signature checks as part of lowering (the same guarantees as
-  // instantiate, on the shipping path).
-  Expected<lower::LoweredProgram> LP = lower::lowerProgram(Mods);
-  if (!LP)
-    return LP.error();
-  auto Program = std::make_unique<lower::LoweredProgram>(LP.take());
-  if (Opts.ValidateWasm)
-    if (Status S = wasm::validate(Program->Module); !S)
-      return S.error().addContext("lowered module validation");
-  std::unique_ptr<wasm::Instance> Inst =
-      wasm::createInstance(Program->Module, Opts.Engine);
+  // Warm path: the whole link set is content-addressed; a hit skips
+  // checking, resolution, lowering, validation, and flat translation.
+  std::shared_ptr<const cache::LoweredArtifact> Art;
+  serial::ModuleHash Key;
+  if (Opts.Cache) {
+    Key = cache::programKey(Mods);
+    Art = Opts.Cache->lookupProgram(Key);
+  }
+
+  if (!Art) {
+    // Cold path. The import-resolution phase is shared with instantiate()
+    // (link/Resolve.h): the batch index decides providers, shadowing, and
+    // the canonical-pointer import type checks; lowerProgram consumes the
+    // Resolution instead of re-resolving. lowerProgram still performs the
+    // per-module type check (it needs the checker's InfoMap to compile).
+    Expected<std::vector<ResolvedModule>> Resolved = resolveImports(
+        Mods, ResolveOptions{Opts.Resolution, /*AllowUnresolvedFuncs=*/true});
+    if (!Resolved)
+      return Resolved.error();
+    Expected<lower::LoweredProgram> LP = lower::lowerProgram(Mods, &*Resolved);
+    if (!LP)
+      return LP.error();
+    auto A = std::make_shared<cache::LoweredArtifact>();
+    A->Program = LP.take();
+    // A memoized artifact is served to *every* later caller, including
+    // ones that ask for validation — so with a cache in play, validation
+    // always runs before the store (ValidateWasm=false only skips it for
+    // uncached one-shot instantiation). Warm hits are therefore always
+    // validated artifacts.
+    if (Opts.ValidateWasm || Opts.Cache)
+      if (Status S = wasm::validate(A->Program.Module); !S)
+        return S.error().addContext("lowered module validation");
+    // Translate once here (not lazily in the engine) so the memoized
+    // artifact serves both engines on every later hit; validated lowered
+    // modules always translate. Without a cache, only the flat engine
+    // needs it.
+    if (Opts.Cache || Opts.Engine == wasm::EngineKind::Flat) {
+      Expected<exec::FlatModule> FM = exec::translate(A->Program.Module);
+      if (!FM)
+        return FM.error().addContext("flat translation");
+      A->Flat = FM.take();
+    }
+    Art = A;
+    if (Opts.Cache)
+      Opts.Cache->storeProgram(Key, Art);
+  }
+
+  std::unique_ptr<wasm::Instance> Inst;
+  if (Opts.Engine == wasm::EngineKind::Flat) {
+    auto FI = std::make_unique<exec::FlatInstance>(Art->Program.Module);
+    // Borrow the artifact's translation (zero-copy): the aliasing handle
+    // keeps the artifact alive, and the translation is immutable — all
+    // mutable execution state is per-instance.
+    FI->adoptPretranslated(
+        std::shared_ptr<const exec::FlatModule>(Art, &Art->Flat));
+    Inst = std::move(FI);
+  } else {
+    Inst = wasm::createInstance(Art->Program.Module, Opts.Engine);
+  }
   // RunStart only gates the start function; instance state (memory,
   // globals, data, host/flat preparation) always exists.
   if (Status S = Inst->initialize(Opts.RunStart); !S)
     return S.error();
-  return LoweredInstance{std::move(Program), std::move(Inst)};
+  // Alias the artifact's program so eviction cannot free it under us.
+  return LoweredInstance{
+      std::shared_ptr<const lower::LoweredProgram>(Art, &Art->Program),
+      std::move(Inst)};
 }

@@ -23,6 +23,7 @@
 #define RICHWASM_LINK_LINK_H
 
 #include "ir/Module.h"
+#include "link/Resolve.h"
 #include "lower/Lower.h"
 #include "sem/Machine.h"
 #include "support/Error.h"
@@ -31,24 +32,11 @@
 #include <memory>
 #include <vector>
 
-namespace rw::link {
+namespace rw::cache {
+class AdmissionCache;
+} // namespace rw::cache
 
-/// How instantiate resolves imports against providers.
-enum class ResolveMode : uint8_t {
-  /// Reference path: each import linearly scans the earlier modules'
-  /// export lists (latest provider wins). O(modules x exports) per
-  /// import — kept as the baseline the batch index is benchmarked
-  /// against (bench/fig3, BENCH_link.json).
-  Sequential,
-  /// Batch path: one cross-module export index, hashed on
-  /// (module, name) and carrying the export's canonical type pointer in
-  /// the entry, built incrementally in link order. Resolving N modules'
-  /// imports is O(total imports + total exports) hash operations, and
-  /// one probe both resolves an import and decides the import/export
-  /// type check — a pointer comparison of the stored canonical type
-  /// against the importer's declared type (DESIGN.md §7).
-  Batch,
-};
+namespace rw::link {
 
 struct LinkOptions {
   /// Type-check every module before instantiation (the RichWasm
@@ -59,33 +47,20 @@ struct LinkOptions {
   /// Execution engine for the lowered path (instantiateLowered): the
   /// tree-walking reference interpreter or the flat-bytecode engine.
   wasm::EngineKind Engine = wasm::EngineKind::Tree;
-  /// Validate the lowered Wasm module before instantiation.
+  /// Validate the lowered Wasm module before instantiation. With a Cache
+  /// set this is effectively always on: an artifact is validated before
+  /// it is stored (it will be served to every later caller), so warm
+  /// hits are always validated artifacts.
   bool ValidateWasm = true;
-  /// Import resolution strategy (see ResolveMode).
+  /// Import resolution strategy (see link/Resolve.h).
   ResolveMode Resolution = ResolveMode::Batch;
+  /// Optional content-addressed admission cache (src/cache/). When set,
+  /// instantiateLowered keys the whole link set by module content hashes:
+  /// a warm resubmission skips type checking, lowering, validation, and
+  /// flat translation entirely and goes straight to instantiation of the
+  /// cached artifact. Not owned; must outlive the call.
+  cache::AdmissionCache *Cache = nullptr;
 };
-
-/// Import resolution for one module: the providing (module index,
-/// function/global index) of every *imported* function (resp. global),
-/// in declaration order. Defined entries are omitted — they trivially
-/// resolve to themselves, and materializing them would make resolution
-/// cost proportional to module size instead of import count.
-struct ResolvedModule {
-  std::vector<std::pair<uint32_t, uint32_t>> FuncImports;
-  std::vector<std::pair<uint32_t, uint32_t>> GlobalImports;
-};
-
-/// The batch resolution phase of linking, engine-independent: resolves
-/// every import of every module against the exports of *earlier* modules
-/// (Wasm instantiation order; latest provider wins for a duplicated
-/// export name), checking import/export type equality on canonical
-/// pointers. Does not type-check module bodies, run initializers, or
-/// build instances — instantiate() layers those on top. Fails on the
-/// first unresolved or type-mismatched import, in (module, import) order
-/// regardless of mode.
-Expected<std::vector<ResolvedModule>>
-resolveImports(const std::vector<const ir::Module *> &Mods,
-               ResolveMode Mode = ResolveMode::Batch);
 
 /// Links and instantiates \p Mods in order. The returned machine owns the
 /// store; instance i corresponds to Mods[i]. Module pointers must outlive
@@ -100,10 +75,12 @@ std::optional<uint32_t> findExport(const ir::Module &M,
 
 /// The shipping path: a whole program linked, lowered to one Wasm
 /// module, and instantiated on the engine selected by
-/// LinkOptions::Engine. Owns the lowered module (the instance borrows
+/// LinkOptions::Engine. Holds the lowered module (the instance borrows
 /// it) and the GC metadata the embedder needs to run collections.
+/// Ownership is shared so an admission cache can hand the same lowered
+/// artifact to many instances (and evict it while instances still run).
 struct LoweredInstance {
-  std::unique_ptr<lower::LoweredProgram> Program;
+  std::shared_ptr<const lower::LoweredProgram> Program;
   std::unique_ptr<wasm::Instance> Instance;
 
   /// Invokes "module.export" (the lowered export naming scheme).

@@ -200,13 +200,17 @@ Expected<std::optional<Op>> mapCvt(NumType From, NumType To, CvtopKind K) {
 
 class ProgramLowering {
 public:
-  explicit ProgramLowering(const std::vector<const Module *> &Mods)
-      : Mods(Mods) {}
+  ProgramLowering(const std::vector<const Module *> &Mods,
+                  const std::vector<link::ResolvedModule> *Resolved)
+      : Mods(Mods), Resolved(Resolved) {}
 
   Expected<LoweredProgram> run();
 
   LoweredProgram Out;
   std::vector<const Module *> Mods;
+  /// Caller-provided import resolution (link/Resolve.h), or null; run()
+  /// resolves itself when null. Not owned.
+  const std::vector<link::ResolvedModule> *Resolved;
   std::vector<typing::InfoMap> Infos;
   /// (module, RichWasm global idx) → (base Wasm global, component reps).
   std::map<std::pair<uint32_t, uint32_t>,
@@ -1616,14 +1620,24 @@ Expected<LoweredProgram> ProgramLowering::run() {
     if (Status S = typing::checkModule(*Mods[I], &Infos[I]); !S)
       return Error("module '" + Mods[I]->Name + "': " + S.error().message());
 
-  // Export name index over earlier modules.
-  std::map<std::pair<std::string, std::string>, std::pair<uint32_t, uint32_t>>
-      FuncExports;
-  std::map<std::pair<std::string, std::string>, std::pair<uint32_t, uint32_t>>
-      GlobExports;
+  // Pass 1: run imports through the shared batch resolution phase
+  // (link/Resolve.h) — the same provider selection, shadowing, and
+  // canonical-pointer type checks as link::instantiate. Function imports
+  // without an in-set provider become Wasm imports (host-satisfiable);
+  // unresolved global imports are resolution errors.
+  std::optional<std::vector<link::ResolvedModule>> OwnResolved;
+  if (!Resolved) {
+    Expected<std::vector<link::ResolvedModule>> R = link::resolveImports(
+        Mods, link::ResolveOptions{link::ResolveMode::Batch,
+                                   /*AllowUnresolvedFuncs=*/true});
+    if (!R)
+      return R.error();
+    OwnResolved = R.take();
+    Resolved = &*OwnResolved;
+  }
+  if (Resolved->size() != Mods.size())
+    return Error("import resolution does not match the module list");
 
-  // Pass 1: find unresolved imports (these become Wasm imports) and count
-  // everything so function indices can be assigned up front.
   struct PendingImport {
     uint32_t Mod, Func;
     ImportName Name;
@@ -1633,21 +1647,21 @@ Expected<LoweredProgram> ProgramLowering::run() {
       ResolvedTo;
   for (uint32_t MI = 0; MI < Mods.size(); ++MI) {
     const Module &M = *Mods[MI];
+    const link::ResolvedModule &R = (*Resolved)[MI];
+    size_t NextImp = 0;
     for (uint32_t FI = 0; FI < M.Funcs.size(); ++FI) {
       const Function &F = M.Funcs[FI];
-      if (F.isImport()) {
-        auto It = FuncExports.find({F.Import->Module, F.Import->Name});
-        if (It != FuncExports.end())
-          ResolvedTo[{MI, FI}] = It->second;
-        else
-          WasmImports.push_back({MI, FI, *F.Import});
-      }
-      for (const std::string &E : F.Exports)
-        FuncExports[{M.Name, E}] = {MI, FI};
+      if (!F.isImport())
+        continue;
+      if (NextImp >= R.FuncImports.size())
+        return Error("import resolution does not match module '" + M.Name +
+                     "'");
+      const auto &P = R.FuncImports[NextImp++];
+      if (P.first == link::ResolvedModule::Unresolved)
+        WasmImports.push_back({MI, FI, *F.Import});
+      else
+        ResolvedTo[{MI, FI}] = P;
     }
-    for (uint32_t GI = 0; GI < M.Globals.size(); ++GI)
-      for (const std::string &E : M.Globals[GI].Exports)
-        GlobExports[{M.Name, E}] = {MI, GI};
   }
 
   // Emit Wasm imports first (they occupy the low function indices).
@@ -1715,14 +1729,17 @@ Expected<LoweredProgram> ProgramLowering::run() {
   // Globals.
   for (uint32_t MI = 0; MI < Mods.size(); ++MI) {
     const Module &M = *Mods[MI];
+    size_t NextImp = 0;
     for (uint32_t GI = 0; GI < M.Globals.size(); ++GI) {
       const Global &G = M.Globals[GI];
       if (G.isImport()) {
-        auto It = GlobExports.find({G.Import->Module, G.Import->Name});
-        if (It == GlobExports.end())
-          return Error("unresolved global import " + G.Import->Module + "." +
-                       G.Import->Name);
-        GlobalMap[{MI, GI}] = GlobalMap.at(It->second);
+        // Providers are earlier modules (resolution invariant), so their
+        // GlobalMap entries already exist.
+        if (NextImp >= (*Resolved)[MI].GlobalImports.size())
+          return Error("import resolution does not match module '" + M.Name +
+                       "'");
+        GlobalMap[{MI, GI}] =
+            GlobalMap.at((*Resolved)[MI].GlobalImports[NextImp++]);
         continue;
       }
       Expected<std::vector<ValType>> R =
@@ -1905,7 +1922,8 @@ Expected<LoweredProgram> ProgramLowering::run() {
 } // namespace
 
 Expected<LoweredProgram>
-rw::lower::lowerProgram(const std::vector<const Module *> &Mods) {
+rw::lower::lowerProgram(const std::vector<const Module *> &Mods,
+                        const std::vector<link::ResolvedModule> *Resolved) {
   // Lowering re-checks modules (typing::checkModule, whose typeEquals is
   // a pointer comparison) and rewrites their types, so all modules of one
   // program must share one arena — enforce it, then intern everything the
@@ -1920,6 +1938,6 @@ rw::lower::lowerProgram(const std::vector<const Module *> &Mods) {
                      "intern their types into one shared arena");
     Scope.emplace(*Shared);
   }
-  ProgramLowering PL(Mods);
+  ProgramLowering PL(Mods, Resolved);
   return PL.run();
 }

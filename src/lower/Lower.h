@@ -30,6 +30,7 @@
 #define RICHWASM_LOWER_LOWER_H
 
 #include "ir/Module.h"
+#include "link/Resolve.h"
 #include "lower/Runtime.h"
 #include "support/Error.h"
 #include "wasm/WasmAst.h"
@@ -53,8 +54,17 @@ struct LoweredProgram {
 
 /// Type-checks and lowers a whole program (modules in link order; imports
 /// resolve against earlier modules, like link::instantiate).
+///
+/// Import matching is the batch resolution phase of link/Resolve.h —
+/// provider selection, shadowing, and the canonical-pointer import type
+/// check are shared with link::instantiate, with
+/// ResolveOptions::AllowUnresolvedFuncs semantics: a function import no
+/// module provides becomes a Wasm import satisfiable by the host. Pass
+/// \p Resolved to reuse a resolution the caller (link::instantiateLowered)
+/// already computed; null resolves here.
 Expected<LoweredProgram>
-lowerProgram(const std::vector<const ir::Module *> &Mods);
+lowerProgram(const std::vector<const ir::Module *> &Mods,
+             const std::vector<link::ResolvedModule> *Resolved = nullptr);
 
 } // namespace rw::lower
 

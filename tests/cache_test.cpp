@@ -1,0 +1,331 @@
+//===- tests/cache_test.cpp - Admission cache tests -----------------------===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+// Pins the content-addressed admission cache contract (DESIGN.md §8):
+//
+//  * check memoization — warm hits replay verdicts with *byte-identical*
+//    diagnostics to a fresh sequential check, for any ThreadPool size
+//    (1/3/8), and identical content inside one batch is checked once;
+//  * program memoization — a warm link::instantiateLowered resubmission
+//    skips straight to instantiation (stats prove the hit) and produces
+//    identical results on both engines, which share one artifact;
+//  * LRU byte budget — recency decides eviction, stats account bytes and
+//    evictions exactly, and evicting an artifact never invalidates a
+//    running instance;
+//  * thread safety — concurrent probes/stores from the PR 3 pool (the
+//    TSan job runs this binary).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/AdmissionCache.h"
+
+#include "bench/Common.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+using namespace rw;
+using namespace rw::ir;
+
+namespace {
+
+/// A small valid module with content parameterized by \p Tag.
+ir::Module okModule(uint32_t Tag) {
+  using namespace rw::ir::build;
+  ir::Module M;
+  M.Name = "ok" + std::to_string(Tag);
+  InstVec Body = {getLocal(0, Qual::unr()),
+                  iconst(static_cast<int32_t>(Tag)), addI32()};
+  M.Funcs.push_back(function({"f"},
+                             FunType::get({}, arrow({i32T()}, {i32T()})), {},
+                             std::move(Body)));
+  return M;
+}
+
+/// A module the checker rejects (drops a linear value).
+ir::Module badModule(uint32_t Tag) {
+  using namespace rw::ir::build;
+  ir::Module M;
+  M.Name = "bad" + std::to_string(Tag);
+  InstVec Body = {iconst(static_cast<int32_t>(Tag)),
+                  structMalloc({Size::constant(32)}, Qual::lin()),
+                  drop(), // Leaks the linear reference.
+                  iconst(0)};
+  M.Funcs.push_back(function({"f"},
+                             FunType::get({}, arrow({}, {i32T()})), {},
+                             std::move(Body)));
+  return M;
+}
+
+/// lib exports `double`, client imports it and exports `main`.
+std::pair<ir::Module, ir::Module> linkedPair() {
+  using namespace rw::ir::build;
+  FunTypeRef Fn = FunType::get({}, arrow({i32T()}, {i32T()}));
+  ir::Module Lib;
+  Lib.Name = "lib";
+  Lib.Funcs.push_back(function({"double"}, Fn, {},
+                               {getLocal(0, Qual::unr()),
+                                getLocal(0, Qual::unr()), addI32()}));
+  ir::Module Client;
+  Client.Name = "client";
+  Client.Funcs.push_back(importFunc({"lib", "double"}, Fn));
+  Client.Funcs.push_back(function(
+      {"main"}, FunType::get({}, arrow({}, {i32T()})), {},
+      {iconst(21), call(0)}));
+  return {std::move(Lib), std::move(Client)};
+}
+
+//===----------------------------------------------------------------------===//
+// Check memoization
+//===----------------------------------------------------------------------===//
+
+TEST(Cache, WarmCheckHitsReplayByteIdenticalDiagnostics) {
+  ir::Module Ok = okModule(1), Bad = badModule(1);
+  std::vector<const ir::Module *> Mods = {&Ok, &Bad};
+
+  // Reference verdicts from the sequential checker.
+  Status RefOk = typing::checkModule(Ok);
+  Status RefBad = typing::checkModule(Bad);
+  ASSERT_TRUE(RefOk.ok());
+  ASSERT_FALSE(RefBad.ok());
+
+  cache::AdmissionCache C;
+  support::ThreadPool Pool(3);
+
+  std::vector<Status> Cold = typing::checkModules(Mods, Pool, &C);
+  ASSERT_EQ(Cold.size(), 2u);
+  EXPECT_TRUE(Cold[0].ok());
+  ASSERT_FALSE(Cold[1].ok());
+  EXPECT_EQ(Cold[1].error().message(), RefBad.error().message());
+  EXPECT_EQ(C.stats().CheckMisses, 2u);
+  EXPECT_EQ(C.stats().CheckHits, 0u);
+
+  std::vector<Status> Warm = typing::checkModules(Mods, Pool, &C);
+  EXPECT_TRUE(Warm[0].ok());
+  ASSERT_FALSE(Warm[1].ok());
+  EXPECT_EQ(Warm[1].error().message(), RefBad.error().message());
+  EXPECT_EQ(C.stats().CheckHits, 2u);
+  EXPECT_EQ(C.stats().CheckMisses, 2u);
+
+  // A null cache degrades to the uncached overload.
+  std::vector<Status> Plain = typing::checkModules(Mods, Pool, nullptr);
+  ASSERT_FALSE(Plain[1].ok());
+  EXPECT_EQ(Plain[1].error().message(), RefBad.error().message());
+}
+
+TEST(Cache, IdenticalContentInOneBatchIsCheckedOnce) {
+  // Two distinct Module objects, same content: one miss, one dedup.
+  ir::Module A = okModule(7), B = okModule(7), Other = okModule(9);
+  std::vector<const ir::Module *> Mods = {&A, &B, &Other};
+  cache::AdmissionCache C;
+  support::ThreadPool Pool(3);
+  std::vector<Status> Out = typing::checkModules(Mods, Pool, &C);
+  ASSERT_EQ(Out.size(), 3u);
+  EXPECT_TRUE(Out[0].ok());
+  EXPECT_TRUE(Out[1].ok());
+  EXPECT_TRUE(Out[2].ok());
+  // Only two unique contents were ever probed or checked.
+  EXPECT_EQ(C.stats().CheckMisses, 2u);
+  EXPECT_EQ(C.stats().Entries, 2u);
+}
+
+TEST(Cache, WarmHitDeterminismAcrossPoolSizes) {
+  // Batch with successes and failures; every (pool size, warm/cold)
+  // combination must produce byte-identical statuses.
+  std::vector<ir::Module> Store;
+  for (uint32_t I = 0; I < 4; ++I)
+    Store.push_back(okModule(I));
+  for (uint32_t I = 0; I < 3; ++I)
+    Store.push_back(badModule(I));
+  Store.push_back(rwbench::wideModule(6));
+  std::vector<const ir::Module *> Mods;
+  for (ir::Module &M : Store)
+    Mods.push_back(&M);
+
+  auto render = [](const std::vector<Status> &Ss) {
+    std::string Out;
+    for (const Status &S : Ss)
+      Out += S.ok() ? "<ok>;" : S.error().message() + ";";
+    return Out;
+  };
+
+  std::string Reference;
+  for (unsigned Threads : {1u, 3u, 8u}) {
+    support::ThreadPool Pool(Threads);
+    cache::AdmissionCache C;
+    std::string Cold = render(typing::checkModules(Mods, Pool, &C));
+    std::string Warm = render(typing::checkModules(Mods, Pool, &C));
+    EXPECT_EQ(Cold, Warm) << "pool size " << Threads;
+    if (Reference.empty())
+      Reference = Cold;
+    EXPECT_EQ(Cold, Reference) << "pool size " << Threads;
+    EXPECT_GE(C.stats().CheckHits, Mods.size());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Program memoization (instantiateLowered warm path)
+//===----------------------------------------------------------------------===//
+
+TEST(Cache, WarmInstantiateLoweredSkipsToInstantiation) {
+  auto [Lib, Client] = linkedPair();
+  std::vector<const ir::Module *> Mods = {&Lib, &Client};
+
+  cache::AdmissionCache C;
+  link::LinkOptions Opts;
+  Opts.Cache = &C;
+
+  auto Cold = link::instantiateLowered(Mods, Opts);
+  ASSERT_TRUE(bool(Cold)) << Cold.error().message();
+  auto R1 = Cold->invokeExport("client.main", {});
+  ASSERT_TRUE(bool(R1)) << R1.error().message();
+  EXPECT_EQ((*R1)[0].Bits, 42u);
+  EXPECT_EQ(C.stats().ProgramMisses, 1u);
+  EXPECT_EQ(C.stats().ProgramHits, 0u);
+
+  auto Warm = link::instantiateLowered(Mods, Opts);
+  ASSERT_TRUE(bool(Warm)) << Warm.error().message();
+  EXPECT_EQ(C.stats().ProgramHits, 1u);
+  EXPECT_EQ(C.stats().ProgramMisses, 1u);
+  // Both instances share one lowered artifact.
+  EXPECT_EQ(Warm->Program.get(), Cold->Program.get());
+  auto R2 = Warm->invokeExport("client.main", {});
+  ASSERT_TRUE(bool(R2)) << R2.error().message();
+  EXPECT_EQ((*R2)[0].Bits, 42u);
+
+  // The flat engine hits the same artifact (the key is engine-
+  // independent) and adopts the memoized translation.
+  link::LinkOptions FlatOpts = Opts;
+  FlatOpts.Engine = wasm::EngineKind::Flat;
+  auto Flat = link::instantiateLowered(Mods, FlatOpts);
+  ASSERT_TRUE(bool(Flat)) << Flat.error().message();
+  EXPECT_EQ(C.stats().ProgramHits, 2u);
+  EXPECT_EQ(Flat->Instance->engine(), wasm::EngineKind::Flat);
+  auto R3 = Flat->invokeExport("client.main", {});
+  ASSERT_TRUE(bool(R3)) << R3.error().message();
+  EXPECT_EQ((*R3)[0].Bits, 42u);
+
+  // Different link order = different program = different key.
+  std::vector<const ir::Module *> Reordered = {&Client, &Lib};
+  auto Miss = link::instantiateLowered(Reordered, Opts);
+  EXPECT_EQ(C.stats().ProgramMisses, 2u);
+  (void)Miss; // Client-before-lib leaves the import host-unbound; the
+              // cold path may fail or succeed, the key just must differ.
+}
+
+TEST(Cache, ProgramOrderAndContentDecideTheKey) {
+  auto [Lib, Client] = linkedPair();
+  ir::Module Lib2 = Lib; // Same content, different object.
+  std::vector<const ir::Module *> A = {&Lib, &Client};
+  std::vector<const ir::Module *> B = {&Lib2, &Client};
+  EXPECT_EQ(cache::programKey(A), cache::programKey(B));
+  std::vector<const ir::Module *> Rev = {&Client, &Lib};
+  EXPECT_NE(cache::programKey(A), cache::programKey(Rev));
+}
+
+//===----------------------------------------------------------------------===//
+// LRU byte budget
+//===----------------------------------------------------------------------===//
+
+TEST(Cache, LruEvictsByRecencyWithinByteBudget) {
+  // Check entries cost 64 + diagnostics bytes; a 200-byte budget fits
+  // three empty-diagnostic entries.
+  cache::AdmissionCache C(200);
+  serial::ModuleHash KA{1, 1}, KB{2, 2}, KC{3, 3}, KD{4, 4};
+  C.storeCheck(KA, {true, ""});
+  C.storeCheck(KB, {true, ""});
+  EXPECT_TRUE(C.lookupCheck(KA).has_value()); // A is now more recent than B.
+  C.storeCheck(KC, {true, ""});
+  EXPECT_EQ(C.stats().Entries, 3u);
+  EXPECT_EQ(C.stats().Evictions, 0u);
+
+  C.storeCheck(KD, {true, ""}); // 256 bytes > 200: evict LRU = B.
+  EXPECT_EQ(C.stats().Evictions, 1u);
+  EXPECT_EQ(C.stats().Entries, 3u);
+  EXPECT_LE(C.stats().Bytes, C.byteBudget());
+  EXPECT_FALSE(C.lookupCheck(KB).has_value());
+  EXPECT_TRUE(C.lookupCheck(KA).has_value());
+  EXPECT_TRUE(C.lookupCheck(KC).has_value());
+  EXPECT_TRUE(C.lookupCheck(KD).has_value());
+
+  C.clear();
+  EXPECT_EQ(C.stats().Entries, 0u);
+  EXPECT_EQ(C.stats().Bytes, 0u);
+  EXPECT_FALSE(C.lookupCheck(KA).has_value());
+}
+
+TEST(Cache, OversizedArtifactIsRejectedWithoutFlushingResidents) {
+  // A budget smaller than any artifact: the store is rejected up front —
+  // admitting it would evict the whole warm set before the oversized
+  // entry itself went. Resident entries survive and the returned
+  // instance still works (it owns the artifact through its shared_ptr).
+  auto [Lib, Client] = linkedPair();
+  std::vector<const ir::Module *> Mods = {&Lib, &Client};
+  cache::AdmissionCache C(200); // Fits check verdicts, never an artifact.
+  serial::ModuleHash KA{1, 1}, KB{2, 2};
+  C.storeCheck(KA, {true, ""});
+  C.storeCheck(KB, {true, ""});
+
+  link::LinkOptions Opts;
+  Opts.Cache = &C;
+  auto LI = link::instantiateLowered(Mods, Opts);
+  ASSERT_TRUE(bool(LI)) << LI.error().message();
+  // The warm resident set was not collateral damage.
+  EXPECT_EQ(C.stats().Evictions, 0u);
+  EXPECT_EQ(C.stats().Entries, 2u);
+  EXPECT_TRUE(C.lookupCheck(KA).has_value());
+  EXPECT_TRUE(C.lookupCheck(KB).has_value());
+
+  auto R = LI->invokeExport("client.main", {});
+  ASSERT_TRUE(bool(R)) << R.error().message();
+  EXPECT_EQ((*R)[0].Bits, 42u);
+  // And the next submission is a miss again (the artifact never cached).
+  auto LI2 = link::instantiateLowered(Mods, Opts);
+  ASSERT_TRUE(bool(LI2));
+  EXPECT_EQ(C.stats().ProgramHits, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency (TSan)
+//===----------------------------------------------------------------------===//
+
+TEST(Cache, ConcurrentProbesAndStoresAreSafe) {
+  cache::AdmissionCache C(1 << 16);
+  support::ThreadPool Pool(8);
+  std::vector<ir::Module> Mods;
+  for (uint32_t I = 0; I < 8; ++I)
+    Mods.push_back(okModule(I % 4));
+  std::vector<serial::ModuleHash> Keys;
+  for (const ir::Module &M : Mods)
+    Keys.push_back(serial::moduleHash(M));
+
+  Pool.parallelFor(256, [&](size_t I) {
+    const serial::ModuleHash &K = Keys[I % Keys.size()];
+    if (I % 3 == 0)
+      C.storeCheck(K, {true, ""});
+    else
+      (void)C.lookupCheck(K);
+    if (I % 7 == 0)
+      (void)C.stats();
+  });
+  EXPECT_LE(C.stats().Entries, 4u); // 4 unique contents.
+
+  // Concurrent warm admissions through the full cached pipeline.
+  std::vector<const ir::Module *> Ptrs;
+  for (ir::Module &M : Mods)
+    Ptrs.push_back(&M);
+  std::vector<std::string> Outs(4);
+  Pool.parallelFor(4, [&](size_t I) {
+    support::ThreadPool Inner(1);
+    std::vector<Status> S = typing::checkModules(Ptrs, Inner, &C);
+    std::string R;
+    for (const Status &St : S)
+      R += St.ok() ? "<ok>;" : St.error().message() + ";";
+    Outs[I] = R;
+  });
+  for (size_t I = 1; I < Outs.size(); ++I)
+    EXPECT_EQ(Outs[I], Outs[0]);
+}
+
+} // namespace

@@ -567,3 +567,69 @@ TEST(Lower, HostGcTracesThroughHeap) {
   EXPECT_EQ(St.Swept, 1u);  // the garbage cell dies
   EXPECT_EQ(Inst.global(LP->Runtime.GLive).asU32(), 2u);
 }
+
+//===----------------------------------------------------------------------===//
+// Unified import matching (link/Resolve.h semantics on the lowering path)
+//===----------------------------------------------------------------------===//
+
+TEST(Lower, SelfImportLowersToHostImportLikeInstantiate) {
+  // Imports resolve against *earlier modules only* (Wasm instantiation
+  // order) — the same rule link::instantiate applies. A module importing
+  // its own export is therefore not bound in-set: it lowers to a
+  // host-satisfiable Wasm import (and link::instantiate reports it
+  // unresolved), instead of the pre-unification behavior of silently
+  // binding to the module's own earlier function.
+  ir::Module M;
+  M.Name = "m";
+  FunTypeRef Fn = FunType::get({}, arrow({i32T()}, {i32T()}));
+  M.Funcs.push_back(function({"f"}, Fn, {}, {getLocal(0, Qual::unr())}));
+  M.Funcs.push_back(importFunc({"m", "f"}, Fn));
+  M.Funcs.push_back(function({"main"},
+                             FunType::get({}, arrow({}, {i32T()})), {},
+                             {iconst(21), call(1)}));
+
+  auto LP = lower::lowerProgram({&M});
+  ASSERT_TRUE(bool(LP)) << LP.error().message();
+  ASSERT_EQ(LP->Module.ImportFuncs.size(), 1u);
+  EXPECT_EQ(LP->Module.ImportFuncs[0].Mod, "m");
+  EXPECT_EQ(LP->Module.ImportFuncs[0].Name, "f");
+  ASSERT_TRUE(wasm::validate(LP->Module).ok());
+
+  // The host satisfies the open import; the program runs.
+  wasm::WasmInstance Inst(LP->Module);
+  Inst.registerHost("m", "f",
+                    [](wasm::Instance &, const std::vector<wasm::WValue> &A)
+                        -> Expected<std::vector<wasm::WValue>> {
+                      return std::vector<wasm::WValue>{
+                          wasm::WValue::i32(A[0].asU32() * 2)};
+                    });
+  ASSERT_TRUE(Inst.initialize().ok());
+  auto R = Inst.invokeByName("m.main", {});
+  ASSERT_TRUE(bool(R)) << R.error().message();
+  EXPECT_EQ((*R)[0].Bits, 42u);
+
+  // instantiate agrees that the import has no in-set provider.
+  auto Mach = link::instantiate({&M});
+  ASSERT_FALSE(bool(Mach));
+  EXPECT_NE(Mach.error().message().find("unresolved import"),
+            std::string::npos)
+      << Mach.error().message();
+}
+
+TEST(Lower, ImportTypeMismatchRejectedOnLoweringPath) {
+  // A *named* provider with the wrong type is an error (previously the
+  // lowering matched by name only).
+  ir::Module Lib;
+  Lib.Name = "lib";
+  Lib.Funcs.push_back(function({"f"},
+                               FunType::get({}, arrow({i32T()}, {i32T()})),
+                               {}, {getLocal(0, Qual::unr())}));
+  ir::Module Client;
+  Client.Name = "client";
+  Client.Funcs.push_back(
+      importFunc({"lib", "f"}, FunType::get({}, arrow({i64T()}, {i64T()}))));
+  auto LP = lower::lowerProgram({&Lib, &Client});
+  ASSERT_FALSE(bool(LP));
+  EXPECT_NE(LP.error().message().find("type mismatch"), std::string::npos)
+      << LP.error().message();
+}
