@@ -21,57 +21,9 @@ using namespace rwbench;
 
 namespace {
 
-/// An N-module admission set in the fig3 link shape (everyone imports the
-/// foundational modules) with checker-relevant bodies: each exported
-/// function allocates, strongly updates, and frees a linear struct, so a
-/// check costs what real library code costs.
-struct AdmissionSet {
-  std::vector<rw::ir::Module> Mods;
-  std::vector<const rw::ir::Module *> Ptrs;
-
-  explicit AdmissionSet(unsigned N, unsigned Funcs = 4) {
-    using namespace rw::ir;
-    using namespace rw::ir::build;
-    FunTypeRef Fn = FunType::get({}, arrow({i32T()}, {i32T()}));
-    auto modName = [](unsigned I) {
-      char Buf[32];
-      std::snprintf(Buf, sizeof(Buf), "user_pkg_%06u", I);
-      return std::string(Buf);
-    };
-    Mods.reserve(N);
-    for (unsigned I = 0; I < N; ++I) {
-      ir::Module M;
-      M.Name = modName(I);
-      for (unsigned J = 0; J < Funcs; ++J) {
-        InstVec Body = {
-            getLocal(0, Qual::unr()),
-            iconst(static_cast<int32_t>(I * Funcs + J)),
-            addI32(),
-            structMalloc({Size::constant(32)}, Qual::lin()),
-            memUnpack(arrow({}, {i32T()}), {{1, i32T()}},
-                      {iconst(9), structSwap(0), setLocal(1), structFree(),
-                       getLocal(1, Qual::unr())}),
-            iconst(3),
-            mulI32(),
-        };
-        M.Funcs.push_back(
-            function({"f" + std::to_string(I) + "_" + std::to_string(J)}, Fn,
-                     {Size::constant(32)}, std::move(Body)));
-      }
-      if (I > 0)
-        for (unsigned J = 0; J < 2; ++J) {
-          unsigned P = (I * 7 + J * 13) % std::min(I, 4u);
-          unsigned E = (I + J) % Funcs;
-          M.Funcs.push_back(importFunc(
-              {modName(P), "f" + std::to_string(P) + "_" + std::to_string(E)},
-              Fn));
-        }
-      Mods.push_back(std::move(M));
-    }
-    for (const ir::Module &M : Mods)
-      Ptrs.push_back(&M);
-  }
-};
+// AdmissionSet (the N-module link-shaped workload with checker-relevant
+// bodies) lives in bench/Common.h, shared with fig3's cold-instantiate
+// bench.
 
 /// One admission: batch-check every module (memoized verdicts), then ship
 /// the accepted set through the lowered pipeline (memoized artifact).

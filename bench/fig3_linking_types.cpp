@@ -3,6 +3,7 @@
 // the unsafe pair is rejected at link time (statically), the safe pair
 // links and runs. Measures the full pipeline for both outcomes.
 #include "Common.h"
+#include "support/ThreadPool.h"
 #include <algorithm>
 #include <cstdio>
 #include <benchmark/benchmark.h>
@@ -124,5 +125,61 @@ static void F3_ResolveBatch(benchmark::State &St) {
   runResolve(St, link::ResolveMode::Batch);
 }
 BENCHMARK(F3_ResolveBatch)->Arg(8)->Arg(64)->Arg(256);
+
+//===----------------------------------------------------------------------===//
+// Cold admission: the full uncached shipping path (check → resolve →
+// lower → validate → flat-translate → instantiate) on an N-module
+// admission set with checker-relevant bodies. This is what a server pays
+// on every first-seen link set — the cost the admission cache (c6) only
+// hides on *re*-submission — so it gates the cold-pipeline refactors.
+// run_bench.sh emits it into BENCH_link.json; the committed
+// bench/BASELINE_cold_pr4.json snapshot is the pre-refactor reference.
+//===----------------------------------------------------------------------===//
+
+static void F3_ColdInstantiate(benchmark::State &St) {
+  AdmissionSet Set(static_cast<unsigned>(St.range(0)));
+  for (auto _ : St) {
+    link::LinkOptions Opts;
+    Opts.Engine = wasm::EngineKind::Flat;
+    Opts.RunStart = false;
+    auto LI = link::instantiateLowered(Set.Ptrs, Opts);
+    if (!LI) { St.SkipWithError("cold instantiation failed"); return; }
+    benchmark::DoNotOptimize(LI->Program.get());
+  }
+  St.counters["modules/s"] = benchmark::Counter(
+      static_cast<double>(Set.Mods.size()) * St.iterations(),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(F3_ColdInstantiate)->Arg(8)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+// The full cold *admission* shape: a server batch-checks for per-module
+// verdicts first (typing::checkModules), then ships the accepted set
+// through instantiateLowered. Post-refactor these are one pipeline: the
+// verdict check records the InfoMaps and hands them over
+// (LinkOptions::Infos), so lowering performs zero further checkModule
+// calls — pre-refactor the lowered path re-checked every module. The
+// committed bench/BASELINE_cold_pr4.json holds this workload measured on
+// the pre-refactor code (same modules, that version's canonical API).
+static void F3_ColdAdmission(benchmark::State &St) {
+  AdmissionSet Set(static_cast<unsigned>(St.range(0)));
+  support::ThreadPool Pool;
+  for (auto _ : St) {
+    std::vector<typing::InfoMap> Infos;
+    std::vector<Status> Verdicts = typing::checkModules(Set.Ptrs, Pool, &Infos);
+    for (const Status &S : Verdicts)
+      if (!S.ok()) { St.SkipWithError("check failed"); return; }
+    link::LinkOptions Opts;
+    Opts.Engine = wasm::EngineKind::Flat;
+    Opts.RunStart = false;
+    Opts.Infos = &Infos;
+    auto LI = link::instantiateLowered(Set.Ptrs, Opts);
+    if (!LI) { St.SkipWithError("cold admission failed"); return; }
+    benchmark::DoNotOptimize(LI->Program.get());
+  }
+  St.counters["modules/s"] = benchmark::Counter(
+      static_cast<double>(Set.Mods.size()) * St.iterations(),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(F3_ColdAdmission)->Arg(8)->Arg(64)->Unit(benchmark::kMicrosecond);
 
 BENCHMARK_MAIN();

@@ -23,6 +23,8 @@
 namespace rw::ir {
 
 std::string printType(const Type &T);
+/// Borrowed view (error paths only — re-owns for the owning printer).
+inline std::string printType(const TypeRef &T) { return printType(T.own()); }
 std::string printPretype(const PretypeRef &P);
 std::string printHeapType(const HeapTypeRef &H);
 std::string printFunType(const FunType &F);

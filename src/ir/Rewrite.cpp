@@ -380,6 +380,70 @@ static std::vector<Index> rewriteArgs(const std::vector<Index> &Args,
   return Out;
 }
 
+//===----------------------------------------------------------------------===//
+// Intern-aware subtree sharing
+//===----------------------------------------------------------------------===//
+//
+// Instruction trees are rewritten bottom-up, and every embedded type-level
+// component is hash-consed: a component untouched by the rewrite comes
+// back as the *same* node (the rewriter's FreeBounds short-circuit proves
+// closedness without walking, and interning canonicalizes everything
+// else), so "this subtree is closed under the rewrite" is decidable by
+// O(1) pointer comparisons on the rewritten pieces. When every piece (and
+// every child instruction) is unchanged, the original shared_ptr node is
+// returned instead of an allocated clone — call-time instantiation
+// (sem::Machine's e*[z*/κ*]) then shares all untouched subtrees with the
+// original body and only materializes the spine that actually changes.
+
+static bool fxIdentical(const std::vector<LocalEffect> &A,
+                        const std::vector<LocalEffect> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (A[I].LocalIdx != B[I].LocalIdx || !typeEquals(A[I].T, B[I].T))
+      return false;
+  return true;
+}
+
+static bool argsIdentical(const std::vector<Index> &A,
+                          const std::vector<Index> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I) {
+    const Index &X = A[I], &Y = B[I];
+    if (X.K != Y.K)
+      return false;
+    switch (X.K) {
+    case QuantKind::Loc:
+      if (!(X.L == Y.L))
+        return false;
+      break;
+    case QuantKind::Size:
+      if (X.Sz.get() != Y.Sz.get())
+        return false;
+      break;
+    case QuantKind::Qual:
+      if (!(X.Q == Y.Q))
+        return false;
+      break;
+    case QuantKind::Type:
+      if (X.P.get() != Y.P.get())
+        return false;
+      break;
+    }
+  }
+  return true;
+}
+
+static bool instsIdentical(const InstVec &A, const InstVec &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (A[I].get() != B[I].get())
+      return false;
+  return true;
+}
+
 InstVec rw::ir::rewriteInsts(const InstVec &Insts, TypeRewriter &RW) {
   InstVec Out;
   Out.reserve(Insts.size());
@@ -415,42 +479,78 @@ InstRef rw::ir::rewriteInst(const InstRef &I, TypeRewriter &RW) {
   switch (I->kind()) {
   case InstKind::Block: {
     const auto *B = cast<BlockInst>(I.get());
-    return std::make_shared<BlockInst>(RW.rewrite(B->arrow()),
-                                       rewriteFx(B->effects(), RW),
-                                       rewriteInsts(B->body(), RW));
+    ArrowType TF = RW.rewrite(B->arrow());
+    std::vector<LocalEffect> Fx = rewriteFx(B->effects(), RW);
+    InstVec Body = rewriteInsts(B->body(), RW);
+    if (arrowEquals(TF, B->arrow()) && fxIdentical(Fx, B->effects()) &&
+        instsIdentical(Body, B->body()))
+      return I;
+    return std::make_shared<BlockInst>(std::move(TF), std::move(Fx),
+                                       std::move(Body));
   }
   case InstKind::Loop: {
     const auto *L = cast<LoopInst>(I.get());
-    return std::make_shared<LoopInst>(RW.rewrite(L->arrow()),
-                                      rewriteInsts(L->body(), RW));
+    ArrowType TF = RW.rewrite(L->arrow());
+    InstVec Body = rewriteInsts(L->body(), RW);
+    if (arrowEquals(TF, L->arrow()) && instsIdentical(Body, L->body()))
+      return I;
+    return std::make_shared<LoopInst>(std::move(TF), std::move(Body));
   }
   case InstKind::If: {
     const auto *F = cast<IfInst>(I.get());
-    return std::make_shared<IfInst>(
-        RW.rewrite(F->arrow()), rewriteFx(F->effects(), RW),
-        rewriteInsts(F->thenBody(), RW), rewriteInsts(F->elseBody(), RW));
+    ArrowType TF = RW.rewrite(F->arrow());
+    std::vector<LocalEffect> Fx = rewriteFx(F->effects(), RW);
+    InstVec Then = rewriteInsts(F->thenBody(), RW);
+    InstVec Else = rewriteInsts(F->elseBody(), RW);
+    if (arrowEquals(TF, F->arrow()) && fxIdentical(Fx, F->effects()) &&
+        instsIdentical(Then, F->thenBody()) &&
+        instsIdentical(Else, F->elseBody()))
+      return I;
+    return std::make_shared<IfInst>(std::move(TF), std::move(Fx),
+                                    std::move(Then), std::move(Else));
   }
   case InstKind::GetLocal: {
     const auto *G = cast<GetLocalInst>(I.get());
-    return std::make_shared<GetLocalInst>(G->index(), RW.rewrite(G->qual()));
+    Qual Q = RW.rewrite(G->qual());
+    if (Q == G->qual())
+      return I;
+    return std::make_shared<GetLocalInst>(G->index(), Q);
   }
-  case InstKind::Qualify:
-    return std::make_shared<QualifyInst>(
-        RW.rewrite(cast<QualifyInst>(I.get())->qual()));
-  case InstKind::InstIdx:
-    return std::make_shared<InstIdxInst>(
-        rewriteArgs(cast<InstIdxInst>(I.get())->args(), RW));
+  case InstKind::Qualify: {
+    const auto *Q = cast<QualifyInst>(I.get());
+    Qual NQ = RW.rewrite(Q->qual());
+    if (NQ == Q->qual())
+      return I;
+    return std::make_shared<QualifyInst>(NQ);
+  }
+  case InstKind::InstIdx: {
+    const auto *II = cast<InstIdxInst>(I.get());
+    std::vector<Index> Args = rewriteArgs(II->args(), RW);
+    if (argsIdentical(Args, II->args()))
+      return I;
+    return std::make_shared<InstIdxInst>(std::move(Args));
+  }
   case InstKind::Call: {
     const auto *C = cast<CallInst>(I.get());
-    return std::make_shared<CallInst>(C->funcIndex(),
-                                      rewriteArgs(C->args(), RW));
+    std::vector<Index> Args = rewriteArgs(C->args(), RW);
+    if (argsIdentical(Args, C->args()))
+      return I;
+    return std::make_shared<CallInst>(C->funcIndex(), std::move(Args));
   }
-  case InstKind::RecFold:
-    return std::make_shared<RecFoldInst>(
-        RW.rewrite(cast<RecFoldInst>(I.get())->pretype()));
-  case InstKind::MemPack:
-    return std::make_shared<MemPackInst>(
-        RW.rewrite(cast<MemPackInst>(I.get())->loc()));
+  case InstKind::RecFold: {
+    const auto *R = cast<RecFoldInst>(I.get());
+    PretypeRef P = RW.rewrite(R->pretype());
+    if (P.get() == R->pretype().get())
+      return I;
+    return std::make_shared<RecFoldInst>(std::move(P));
+  }
+  case InstKind::MemPack: {
+    const auto *M = cast<MemPackInst>(I.get());
+    Loc L = RW.rewrite(M->loc());
+    if (L == M->loc())
+      return I;
+    return std::make_shared<MemPackInst>(L);
+  }
   case InstKind::MemUnpack: {
     const auto *M = cast<MemUnpackInst>(I.get());
     ArrowType TF = RW.rewrite(M->arrow());
@@ -458,21 +558,32 @@ InstRef rw::ir::rewriteInst(const InstRef &I, TypeRewriter &RW) {
     RW.enterLoc();
     InstVec Body = rewriteInsts(M->body(), RW);
     RW.exitLoc();
+    if (arrowEquals(TF, M->arrow()) && fxIdentical(Fx, M->effects()) &&
+        instsIdentical(Body, M->body()))
+      return I;
     return std::make_shared<MemUnpackInst>(std::move(TF), std::move(Fx),
                                            std::move(Body));
   }
   case InstKind::Group: {
     const auto *G = cast<GroupInst>(I.get());
-    return std::make_shared<GroupInst>(G->count(), RW.rewrite(G->qual()));
+    Qual Q = RW.rewrite(G->qual());
+    if (Q == G->qual())
+      return I;
+    return std::make_shared<GroupInst>(G->count(), Q);
   }
   case InstKind::StructMalloc: {
     const auto *S = cast<StructMallocInst>(I.get());
     std::vector<SizeRef> Sizes;
     Sizes.reserve(S->sizes().size());
-    for (const SizeRef &Sz : S->sizes())
+    bool Same = true;
+    for (const SizeRef &Sz : S->sizes()) {
       Sizes.push_back(RW.rewrite(Sz));
-    return std::make_shared<StructMallocInst>(std::move(Sizes),
-                                              RW.rewrite(S->qual()));
+      Same = Same && Sizes.back().get() == Sz.get();
+    }
+    Qual Q = RW.rewrite(S->qual());
+    if (Same && Q == S->qual())
+      return I;
+    return std::make_shared<StructMallocInst>(std::move(Sizes), Q);
   }
   case InstKind::StructGet:
   case InstKind::StructSet:
@@ -482,29 +593,51 @@ InstRef rw::ir::rewriteInst(const InstRef &I, TypeRewriter &RW) {
     const auto *V = cast<VariantMallocInst>(I.get());
     std::vector<Type> Cases;
     Cases.reserve(V->cases().size());
-    for (const Type &T : V->cases())
+    bool Same = true;
+    for (const Type &T : V->cases()) {
       Cases.push_back(RW.rewrite(T));
-    return std::make_shared<VariantMallocInst>(V->tag(), std::move(Cases),
-                                               RW.rewrite(V->qual()));
+      Same = Same && typeEquals(Cases.back(), T);
+    }
+    Qual Q = RW.rewrite(V->qual());
+    if (Same && Q == V->qual())
+      return I;
+    return std::make_shared<VariantMallocInst>(V->tag(), std::move(Cases), Q);
   }
   case InstKind::VariantCase: {
     const auto *V = cast<VariantCaseInst>(I.get());
+    Qual Q = RW.rewrite(V->qual());
+    HeapTypeRef HT = RW.rewrite(V->heapType());
+    ArrowType TF = RW.rewrite(V->arrow());
+    std::vector<LocalEffect> Fx = rewriteFx(V->effects(), RW);
     std::vector<InstVec> Arms;
     Arms.reserve(V->arms().size());
-    for (const InstVec &Arm : V->arms())
+    bool Same = Q == V->qual() && HT.get() == V->heapType().get() &&
+                arrowEquals(TF, V->arrow()) && fxIdentical(Fx, V->effects());
+    for (const InstVec &Arm : V->arms()) {
       Arms.push_back(rewriteInsts(Arm, RW));
-    return std::make_shared<VariantCaseInst>(
-        RW.rewrite(V->qual()), RW.rewrite(V->heapType()),
-        RW.rewrite(V->arrow()), rewriteFx(V->effects(), RW), std::move(Arms));
+      Same = Same && instsIdentical(Arms.back(), Arm);
+    }
+    if (Same)
+      return I;
+    return std::make_shared<VariantCaseInst>(Q, std::move(HT), std::move(TF),
+                                             std::move(Fx), std::move(Arms));
   }
-  case InstKind::ArrayMalloc:
-    return std::make_shared<ArrayMallocInst>(
-        RW.rewrite(cast<ArrayMallocInst>(I.get())->qual()));
+  case InstKind::ArrayMalloc: {
+    const auto *A = cast<ArrayMallocInst>(I.get());
+    Qual Q = RW.rewrite(A->qual());
+    if (Q == A->qual())
+      return I;
+    return std::make_shared<ArrayMallocInst>(Q);
+  }
   case InstKind::ExistPack: {
     const auto *E = cast<ExistPackInst>(I.get());
-    return std::make_shared<ExistPackInst>(RW.rewrite(E->witness()),
-                                           RW.rewrite(E->heapType()),
-                                           RW.rewrite(E->qual()));
+    PretypeRef W = RW.rewrite(E->witness());
+    HeapTypeRef HT = RW.rewrite(E->heapType());
+    Qual Q = RW.rewrite(E->qual());
+    if (W.get() == E->witness().get() && HT.get() == E->heapType().get() &&
+        Q == E->qual())
+      return I;
+    return std::make_shared<ExistPackInst>(std::move(W), std::move(HT), Q);
   }
   case InstKind::ExistUnpack: {
     const auto *E = cast<ExistUnpackInst>(I.get());
@@ -515,6 +648,10 @@ InstRef rw::ir::rewriteInst(const InstRef &I, TypeRewriter &RW) {
     RW.enterType();
     InstVec Body = rewriteInsts(E->body(), RW);
     RW.exitType();
+    if (Q == E->qual() && HT.get() == E->heapType().get() &&
+        arrowEquals(TF, E->arrow()) && fxIdentical(Fx, E->effects()) &&
+        instsIdentical(Body, E->body()))
+      return I;
     return std::make_shared<ExistUnpackInst>(Q, std::move(HT), std::move(TF),
                                              std::move(Fx), std::move(Body));
   }

@@ -25,9 +25,14 @@
 /// subclasses may via enableStructuralMemo once their replacement state is
 /// final.
 ///
-/// rewriteInsts clones an instruction tree through a TypeRewriter, entering
-/// binder scopes for mem.unpack (location) and exist.unpack (pretype)
-/// bodies — this is what call-time substitution e*[z*/κ*] in Fig 4 uses.
+/// rewriteInsts rewrites an instruction tree through a TypeRewriter,
+/// entering binder scopes for mem.unpack (location) and exist.unpack
+/// (pretype) bodies — this is what call-time substitution e*[z*/κ*] in
+/// Fig 4 uses. It is intern-aware: rewritten components are hash-consed,
+/// so a subtree the rewrite cannot touch is detected by O(1) pointer
+/// comparisons bottom-up and returned as the *original* shared node
+/// instead of a clone — instantiation shares everything but the changed
+/// spine.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -63,6 +63,10 @@ static uint64_t typePtrHash(const Type &T) {
   return mix(T.P->hashValue(), qualHash(T.Q));
 }
 
+static uint64_t typePtrHash(const TypeRef &T) {
+  return mix(T.P->hashValue(), qualHash(T.Q));
+}
+
 static uint64_t normalSizeHash(const NormalSize &N) {
   uint64_t H = mix(0xD1, N.Const);
   for (uint32_t V : N.Vars)
@@ -700,7 +704,18 @@ PretypeRef TypeArena::prodSpan(const Type *Elems, size_t N) {
   return prodImpl(Elems, N, nullptr);
 }
 
-PretypeRef TypeArena::prodImpl(const Type *Elems, size_t NumElems,
+PretypeRef TypeArena::prodSpan(const TypeRef *Elems, size_t N) {
+  return prodImpl(Elems, N, nullptr);
+}
+
+/// Re-owns one element for a freshly interned node: owning elements copy,
+/// borrowed ones bump the node's refcount (cold path only — a table hit
+/// never materializes anything).
+static Type ownElem(const Type &T) { return T; }
+static Type ownElem(const TypeRef &T) { return T.own(); }
+
+template <class E>
+PretypeRef TypeArena::prodImpl(const E *Elems, size_t NumElems,
                                std::vector<Type> *Own) {
   uint64_t H = mix(0xF0, static_cast<uint64_t>(PretypeKind::Prod));
   for (size_t J = 0; J < NumElems; ++J)
@@ -719,8 +734,15 @@ PretypeRef TypeArena::prodImpl(const Type *Elems, size_t NumElems,
         return true;
       },
       [&] {
-        auto N = std::shared_ptr<ProdPT>(new ProdPT(
-            Own ? std::move(*Own) : std::vector<Type>(Elems, Elems + NumElems)));
+        std::vector<Type> OwnV;
+        if (Own) {
+          OwnV = std::move(*Own);
+        } else {
+          OwnV.reserve(NumElems);
+          for (size_t J = 0; J < NumElems; ++J)
+            OwnV.push_back(ownElem(Elems[J]));
+        }
+        auto N = std::shared_ptr<ProdPT>(new ProdPT(std::move(OwnV)));
         Meta M;
         NoCapsBits NC;
         for (const Type &T : N->elems()) {
@@ -909,7 +931,12 @@ HeapTypeRef TypeArena::variantSpan(const Type *Cases, size_t N) {
   return variantImpl(Cases, N, nullptr);
 }
 
-HeapTypeRef TypeArena::variantImpl(const Type *Cases, size_t NumCases,
+HeapTypeRef TypeArena::variantSpan(const TypeRef *Cases, size_t N) {
+  return variantImpl(Cases, N, nullptr);
+}
+
+template <class E>
+HeapTypeRef TypeArena::variantImpl(const E *Cases, size_t NumCases,
                                    std::vector<Type> *Own) {
   uint64_t H = mix(0xF1, static_cast<uint64_t>(HeapTypeKind::Variant));
   for (size_t J = 0; J < NumCases; ++J)
@@ -928,8 +955,15 @@ HeapTypeRef TypeArena::variantImpl(const Type *Cases, size_t NumCases,
         return true;
       },
       [&] {
-        auto N = std::shared_ptr<VariantHT>(new VariantHT(
-            Own ? std::move(*Own) : std::vector<Type>(Cases, Cases + NumCases)));
+        std::vector<Type> OwnV;
+        if (Own) {
+          OwnV = std::move(*Own);
+        } else {
+          OwnV.reserve(NumCases);
+          for (size_t J = 0; J < NumCases; ++J)
+            OwnV.push_back(ownElem(Cases[J]));
+        }
+        auto N = std::shared_ptr<VariantHT>(new VariantHT(std::move(OwnV)));
         Meta M;
         NoCapsBits NC;
         for (const Type &T : N->cases()) {
@@ -951,13 +985,28 @@ HeapTypeRef TypeArena::structureSpan(const StructField *Fields, size_t N) {
   return structureImpl(Fields, N, nullptr);
 }
 
-HeapTypeRef TypeArena::structureImpl(const StructField *Fields,
-                                     size_t NumFields,
+/// Uniform raw-slot access over owning and borrowed struct fields, so
+/// the struct recipe below exists exactly once.
+static const Size *slotPtr(const StructField &F) { return F.Slot.get(); }
+static const Size *slotPtr(const StructFieldRef &F) { return F.Slot; }
+static StructField ownField(const StructField &F) { return F; }
+static StructField ownField(const StructFieldRef &F) {
+  return {F.T.own(), F.Slot->shared_from_this()};
+}
+
+HeapTypeRef TypeArena::structureSpan(const StructFieldRef *Fields,
+                                     size_t N) {
+  return structureImpl(Fields, N, nullptr);
+}
+
+template <class F>
+HeapTypeRef TypeArena::structureImpl(const F *Fields, size_t NumFields,
                                      std::vector<StructField> *Own) {
   uint64_t H = mix(0xF1, static_cast<uint64_t>(HeapTypeKind::Struct));
   for (size_t J = 0; J < NumFields; ++J) {
     H = mix(H, typePtrHash(Fields[J].T));
-    H = mix(H, sizePtrHash(Fields[J].Slot));
+    const Size *S = slotPtr(Fields[J]);
+    H = mix(H, S ? S->hashValue() : 0xC0FFEE);
   }
   return internNode(
       I->M, I->Journal, I->St, I->HTab, JTab::H, H, I->St.HeapTypeNodes,
@@ -969,20 +1018,26 @@ HeapTypeRef TypeArena::structureImpl(const StructField *Fields,
           return false;
         for (size_t J = 0; J < NumFields; ++J)
           if (!typeEquals(Have[J].T, Fields[J].T) ||
-              Have[J].Slot.get() != Fields[J].Slot.get())
+              Have[J].Slot.get() != slotPtr(Fields[J]))
             return false;
         return true;
       },
       [&] {
-        auto N = std::shared_ptr<StructHT>(new StructHT(
-            Own ? std::move(*Own)
-                : std::vector<StructField>(Fields, Fields + NumFields)));
+        std::vector<StructField> OwnV;
+        if (Own) {
+          OwnV = std::move(*Own);
+        } else {
+          OwnV.reserve(NumFields);
+          for (size_t J = 0; J < NumFields; ++J)
+            OwnV.push_back(ownField(Fields[J]));
+        }
+        auto N = std::shared_ptr<StructHT>(new StructHT(std::move(OwnV)));
         Meta M;
         NoCapsBits NC;
-        for (const StructField &F : N->fields()) {
-          accType(F.T, M);
-          accSize(F.Slot, M);
-          NC.andWithType(F.T);
+        for (const StructField &Fld : N->fields()) {
+          accType(Fld.T, M);
+          accSize(Fld.Slot, M);
+          NC.andWithType(Fld.T);
         }
         NC.clampTo(M.FB);
         finalize(*N, this, H, M);
@@ -1167,6 +1222,17 @@ SizeRef TypeArena::closedSizeOf(const PretypeRef &P) {
   // Publish the first writer's node; later writers store the same pointer.
   P->ClosedSizeMemo.store(It->second.get(), std::memory_order_release);
   return It->second;
+}
+
+const Size *TypeArena::closedSizePtr(const Pretype *P) {
+  assert(P && P->freeBounds().Type == 0 &&
+         "closedSizePtr on an open pretype");
+  // Same memo as closedSizeOf, but the answer stays a raw pointer: the
+  // memo table owns the node for the arena's lifetime, so the borrowed
+  // checker path never touches a refcount here.
+  if (const Size *S = P->ClosedSizeMemo.load(std::memory_order_acquire))
+    return S;
+  return closedSizeOf(P->shared_from_this()).get();
 }
 
 // The wf memos live as lock-free per-node success bits; the arena methods
@@ -1368,6 +1434,21 @@ ArenaScope::ArenaScope(TypeArena &A) : Prev(CurrentArena) {
 }
 
 ArenaScope::~ArenaScope() { CurrentArena = Prev; }
+
+#ifndef NDEBUG
+// Debug arena-lifetime assertion behind ir::TypeRef (ir/Types.h): every
+// borrow must name a node of the arena active on this thread — the one
+// whose table keeps the node alive for the duration of the check/lower.
+// A mismatch means the borrow could outlive its owner (or that a worker
+// thread forgot to install the module's ArenaScope), so fail loudly here
+// rather than dangle later. The owner tag is the node's existing
+// intern-time Arena back-pointer, so this costs nothing in release builds.
+void rw::ir::detail::assertBorrowedFromCurrentArena(const Pretype *P) {
+  assert((!P || !P->arena() || P->arena() == &TypeArena::current()) &&
+         "borrowed TypeRef node does not belong to the active ArenaScope "
+         "arena");
+}
+#endif
 
 //===----------------------------------------------------------------------===//
 // Free factory helpers (ir/Types.h, ir/Size.h) — intern into current()

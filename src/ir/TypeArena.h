@@ -94,6 +94,12 @@ public:
   PretypeRef prodSpan(const Type *Elems, size_t N);
   HeapTypeRef variantSpan(const Type *Cases, size_t N);
   HeapTypeRef structureSpan(const StructField *Fields, size_t N);
+  /// Borrowed-range span probes (TypeRef / StructFieldRef elements): the
+  /// checker's operand stack holds borrowed views, and these probe the
+  /// table against them directly; elements are re-owned only on a miss.
+  PretypeRef prodSpan(const TypeRef *Elems, size_t N);
+  HeapTypeRef variantSpan(const TypeRef *Cases, size_t N);
+  HeapTypeRef structureSpan(const StructFieldRef *Fields, size_t N);
 
   // Function types.
   FunTypeRef fun(std::vector<Quant> Quants, ArrowType Arrow);
@@ -108,6 +114,9 @@ public:
   /// size of such a pretype is independent of the type-variable context, so
   /// it is computed once per node and cached here, interned in this arena.
   SizeRef closedSizeOf(const PretypeRef &P);
+  /// Borrowed variant: the same memoized size as a raw arena-owned pointer
+  /// (no shared_from_this) — the checker's TypeRef-based fast path.
+  const Size *closedSizePtr(const Pretype *P);
 
   /// Judgment memos for type well-formedness: a closed pretype checked at a
   /// concrete qualifier, and a closed function type checked under an empty
@@ -185,10 +194,18 @@ public:
 
 private:
   uint64_t rollbackImpl(uint64_t Mark, bool SkolemOnly);
-  PretypeRef prodImpl(const Type *Elems, size_t N, std::vector<Type> *Own);
-  HeapTypeRef variantImpl(const Type *Cases, size_t N,
-                          std::vector<Type> *Own);
-  HeapTypeRef structureImpl(const StructField *Fields, size_t N,
+  /// One interning recipe each for prod/variant/struct, shared between the
+  /// owning (Type/StructField) and borrowed (TypeRef/StructFieldRef) span
+  /// probes — the hash seed, probe predicate, and metadata finalization
+  /// must stay identical or one structural identity interns twice, so
+  /// there is exactly one copy. Defined (and only instantiated) in
+  /// TypeArena.cpp.
+  template <class E>
+  PretypeRef prodImpl(const E *Elems, size_t N, std::vector<Type> *Own);
+  template <class E>
+  HeapTypeRef variantImpl(const E *Cases, size_t N, std::vector<Type> *Own);
+  template <class F>
+  HeapTypeRef structureImpl(const F *Fields, size_t N,
                             std::vector<StructField> *Own);
 
   struct Impl;

@@ -273,33 +273,47 @@ SizeRef rw::ir::sizeOfPretype(const PretypeRef &P, const TypeVarSizes &Bounds) {
   return detail::sizeOfPretypeRaw(P, Bounds);
 }
 
+const Size *rw::ir::sizeOfPretypePtr(const Pretype *P,
+                                     const TypeVarSizes &Bounds) {
+  assert(P && "sizing a null pretype");
+  // Borrowed fast path of the checker: the closed-pretype answer comes
+  // straight from the per-node memo slot as a raw arena-owned pointer —
+  // no shared_from_this, no refcount. Open pretypes (rare: bodies under
+  // pretype quantifiers) fall back to the owning recursion; the result is
+  // interned, so returning the raw pointer is safe under the TypeRef
+  // lifetime contract.
+  if (P->freeBounds().Type == 0 && P->arena())
+    return P->arena()->closedSizePtr(P);
+  return detail::sizeOfPretypeRaw(P->shared_from_this(), Bounds).get();
+}
+
 //===----------------------------------------------------------------------===//
 // no_caps (answered from intern-time bits when context-independent)
 //===----------------------------------------------------------------------===//
 
-bool rw::ir::typeNoCaps(const Type &T, const std::vector<bool> &VarNoCaps) {
+bool rw::ir::typeNoCaps(TypeRef T, const std::vector<bool> &VarNoCaps) {
   return pretypeNoCaps(T.P, VarNoCaps);
 }
 
-bool rw::ir::heapTypeNoCaps(const HeapTypeRef &H,
+bool rw::ir::heapTypeNoCaps(const HeapType *H,
                             const std::vector<bool> &VarNoCaps) {
   if (!H->noCapsDependsOnVars())
     return H->noCapsIfAllVarsFree();
   switch (H->kind()) {
   case HeapTypeKind::Variant:
-    for (const Type &T : cast<VariantHT>(H.get())->cases())
+    for (const Type &T : cast<VariantHT>(H)->cases())
       if (!typeNoCaps(T, VarNoCaps))
         return false;
     return true;
   case HeapTypeKind::Struct:
-    for (const StructField &F : cast<StructHT>(H.get())->fields())
+    for (const StructField &F : cast<StructHT>(H)->fields())
       if (!typeNoCaps(F.T, VarNoCaps))
         return false;
     return true;
   case HeapTypeKind::Array:
-    return typeNoCaps(cast<ArrayHT>(H.get())->elem(), VarNoCaps);
+    return typeNoCaps(cast<ArrayHT>(H)->elem(), VarNoCaps);
   case HeapTypeKind::Ex: {
-    const auto *E = cast<ExHT>(H.get());
+    const auto *E = cast<ExHT>(H);
     std::vector<bool> Inner;
     Inner.push_back(true); // The witness must itself be capability-free.
     Inner.insert(Inner.end(), VarNoCaps.begin(), VarNoCaps.end());
@@ -309,7 +323,7 @@ bool rw::ir::heapTypeNoCaps(const HeapTypeRef &H,
   return true;
 }
 
-bool rw::ir::pretypeNoCaps(const PretypeRef &P,
+bool rw::ir::pretypeNoCaps(const Pretype *P,
                            const std::vector<bool> &VarNoCaps) {
   if (!P->noCapsDependsOnVars())
     return P->noCapsIfAllVarsFree();
@@ -323,14 +337,14 @@ bool rw::ir::pretypeNoCaps(const PretypeRef &P,
   case PretypeKind::Own:
     return false;
   case PretypeKind::Var: {
-    uint32_t Idx = cast<VarPT>(P.get())->index();
+    uint32_t Idx = cast<VarPT>(P)->index();
     assert(Idx < VarNoCaps.size() && "type variable out of scope in no_caps");
     return VarNoCaps[Idx];
   }
   case PretypeKind::Skolem:
-    return cast<SkolemPT>(P.get())->noCaps();
+    return cast<SkolemPT>(P)->noCaps();
   case PretypeKind::Prod:
-    for (const Type &T : cast<ProdPT>(P.get())->elems())
+    for (const Type &T : cast<ProdPT>(P)->elems())
       if (!typeNoCaps(T, VarNoCaps))
         return false;
     return true;
@@ -342,10 +356,10 @@ bool rw::ir::pretypeNoCaps(const PretypeRef &P,
     std::vector<bool> Inner;
     Inner.push_back(true);
     Inner.insert(Inner.end(), VarNoCaps.begin(), VarNoCaps.end());
-    return typeNoCaps(cast<RecPT>(P.get())->body(), Inner);
+    return typeNoCaps(cast<RecPT>(P)->body(), Inner);
   }
   case PretypeKind::ExLoc:
-    return typeNoCaps(cast<ExLocPT>(P.get())->body(), VarNoCaps);
+    return typeNoCaps(cast<ExLocPT>(P)->body(), VarNoCaps);
   }
   return true;
 }

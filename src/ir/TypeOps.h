@@ -40,6 +40,12 @@ using TypeVarSizes = std::vector<SizeRef>;
 /// Computes ||τ|| under \p Bounds. A rec-bound variable is assigned 64 bits
 /// (well-formedness guarantees it only occurs behind a reference, so the
 /// value is never consulted for layout). Memoized for closed pretypes.
+///
+/// The borrowed (`const Pretype *`) entry point returns a borrowed size
+/// node — owned by the node's arena like every interned size, valid under
+/// the TypeRef lifetime contract. The owning overloads are shims for
+/// ownership-boundary callers.
+const Size *sizeOfPretypePtr(const Pretype *P, const TypeVarSizes &Bounds);
 SizeRef sizeOfPretype(const PretypeRef &P, const TypeVarSizes &Bounds);
 inline SizeRef sizeOfType(const Type &T, const TypeVarSizes &Bounds) {
   return sizeOfPretype(T.P, Bounds);
@@ -56,9 +62,18 @@ SizeRef sizeOfPretypeRaw(const PretypeRef &P, const TypeVarSizes &Bounds);
 /// capability-free iff their quantifier says so, which \p VarNoCaps
 /// records per index (innermost first). O(1) whenever the answer does not
 /// depend on the variable flags (precomputed no_caps bits on each node).
-bool pretypeNoCaps(const PretypeRef &P, const std::vector<bool> &VarNoCaps);
-bool typeNoCaps(const Type &T, const std::vector<bool> &VarNoCaps);
-bool heapTypeNoCaps(const HeapTypeRef &H, const std::vector<bool> &VarNoCaps);
+/// Core implementations take borrowed nodes; owning shims below.
+bool pretypeNoCaps(const Pretype *P, const std::vector<bool> &VarNoCaps);
+bool typeNoCaps(TypeRef T, const std::vector<bool> &VarNoCaps);
+bool heapTypeNoCaps(const HeapType *H, const std::vector<bool> &VarNoCaps);
+inline bool pretypeNoCaps(const PretypeRef &P,
+                          const std::vector<bool> &VarNoCaps) {
+  return pretypeNoCaps(P.get(), VarNoCaps);
+}
+inline bool heapTypeNoCaps(const HeapTypeRef &H,
+                           const std::vector<bool> &VarNoCaps) {
+  return heapTypeNoCaps(H.get(), VarNoCaps);
+}
 
 //===----------------------------------------------------------------------===//
 // Deep-structural equality — reference implementations (tests only)

@@ -77,7 +77,10 @@ enum TypeNodeFlags : uint8_t {
   TF_HasSkolemType = 1u << 2,
 };
 
-/// A value type τ = p^q: a pretype annotated with a qualifier.
+/// A value type τ = p^q: a pretype annotated with a qualifier. This is the
+/// *owning* handle: it keeps the pretype node alive via shared_ptr and is
+/// what module structure (instruction annotations, ir::Module fields,
+/// serialized records, cache artifacts) stores.
 struct Type {
   PretypeRef P;
   Qual Q = Qual::unr();
@@ -86,6 +89,53 @@ struct Type {
   Type(PretypeRef P, Qual Q) : P(std::move(P)), Q(Q) {}
 
   bool valid() const { return P != nullptr; }
+};
+
+namespace detail {
+/// Debug-build arena-lifetime check behind TypeRef: asserts that a node
+/// being borrowed belongs to the arena installed on this thread
+/// (ArenaScope / TypeArena::current()), so a borrow whose arena is not the
+/// active one — the precursor of a dangling borrow — is a loud assert
+/// instead of silent UB. Compiled out under NDEBUG. Defined in
+/// TypeArena.cpp.
+#ifndef NDEBUG
+void assertBorrowedFromCurrentArena(const Pretype *P);
+#else
+inline void assertBorrowedFromCurrentArena(const Pretype *) {}
+#endif
+} // namespace detail
+
+/// A *borrowed* (non-owning) view of a value type: a raw pointer to an
+/// arena-interned pretype plus the qualifier. The admission hot path — the
+/// checker's operand stack, local environments, InstInfo annotations, and
+/// the lowering's type traffic — runs on these views instead of refcounted
+/// Types: every pretype the pipeline touches is interned in a TypeArena
+/// whose lifetime strictly outlives any check/lower of its module (the
+/// arena's intern table owns the node), so the shared_ptr bumps that
+/// dominated the F7 profile are pure overhead there.
+///
+/// Lifetime contract (DESIGN.md §9): a TypeRef (and anything holding one,
+/// e.g. an InfoMap) is valid while (a) the owning arena is alive and (b)
+/// no TypeArena::rollback* past the node's intern point has run. Ownership
+/// boundaries — module structure, serialization, cache artifacts — keep
+/// owning Types; cross the boundary with own().
+struct TypeRef {
+  const Pretype *P = nullptr;
+  Qual Q = Qual::unr();
+
+  TypeRef() = default;
+  TypeRef(const Pretype *P, Qual Q) : P(P), Q(Q) {
+#ifndef NDEBUG
+    detail::assertBorrowedFromCurrentArena(P);
+#endif
+  }
+  /*implicit*/ TypeRef(const Type &T) : TypeRef(T.P.get(), T.Q) {}
+
+  bool valid() const { return P != nullptr; }
+
+  /// Re-owns the node for an ownership boundary (one refcount bump via the
+  /// node's enable_shared_from_this). Defined below Pretype.
+  inline Type own() const;
 };
 
 /// Read / read-write memory privilege (π in the paper).
@@ -159,6 +209,8 @@ private:
   /// TypeArena::isKnownWfPretype): bit0 = wf at unr, bit1 = wf at lin.
   mutable std::atomic<uint8_t> WfMemo{0};
 };
+
+inline Type TypeRef::own() const { return Type(P->shared_from_this(), Q); }
 
 /// The unit pretype; its only value is `()` and its size is 0.
 class UnitPT : public Pretype {
@@ -455,6 +507,13 @@ struct StructField {
   SizeRef Slot;
 };
 
+/// Borrowed view of one struct field (checker scratch for the arena's
+/// span-probe interning; same lifetime contract as TypeRef).
+struct StructFieldRef {
+  TypeRef T;
+  const Size *Slot = nullptr;
+};
+
 /// `(struct (τ,sz)*)`.
 class StructHT : public HeapType {
 private:
@@ -692,6 +751,11 @@ inline bool pretypeEquals(const Pretype &A, const Pretype &B) {
 }
 inline bool typeEquals(const Type &A, const Type &B) {
   return A.P.get() == B.P.get() && A.Q == B.Q;
+}
+/// Borrowed-view equality; Type converts implicitly, so mixed Type/TypeRef
+/// comparisons resolve here too.
+inline bool typeEquals(const TypeRef &A, const TypeRef &B) {
+  return A.P == B.P && A.Q == B.Q;
 }
 inline bool heapTypeEquals(const HeapType &A, const HeapType &B) {
   return &A == &B;

@@ -10,6 +10,7 @@
 #include "exec/Engine.h"
 #include "ir/Print.h"
 #include "ir/TypeOps.h"
+#include "support/ThreadPool.h"
 #include "typing/Checker.h"
 #include "wasm/Validate.h"
 
@@ -389,13 +390,37 @@ rw::link::instantiateLowered(const std::vector<const ir::Module *> &Mods,
     // Cold path. The import-resolution phase is shared with instantiate()
     // (link/Resolve.h): the batch index decides providers, shadowing, and
     // the canonical-pointer import type checks; lowerProgram consumes the
-    // Resolution instead of re-resolving. lowerProgram still performs the
-    // per-module type check (it needs the checker's InfoMap to compile).
+    // Resolution instead of re-resolving. The type check runs exactly
+    // once: checkModules records the per-module InfoMaps (the type
+    // information §6's compiler consumes) and hands them to lowerProgram,
+    // which then performs zero checkModule calls. With a pool, checking
+    // is function-parallel and body lowering (module, function)-parallel
+    // — both deterministic for any pool size.
     Expected<std::vector<ResolvedModule>> Resolved = resolveImports(
         Mods, ResolveOptions{Opts.Resolution, /*AllowUnresolvedFuncs=*/true});
     if (!Resolved)
       return Resolved.error();
-    Expected<lower::LoweredProgram> LP = lower::lowerProgram(Mods, &*Resolved);
+    std::vector<typing::InfoMap> OwnInfos;
+    const std::vector<typing::InfoMap> *Infos = Opts.Infos;
+    if (Infos) {
+      if (Infos->size() != Mods.size())
+        return Error("InfoMap hand-off does not match the module list");
+    } else if (Opts.Pool) {
+      std::vector<Status> Checks =
+          typing::checkModules(Mods, *Opts.Pool, &OwnInfos);
+      for (size_t I = 0; I < Checks.size(); ++I)
+        if (!Checks[I])
+          return Error("module '" + Mods[I]->Name + "': " +
+                       Checks[I].error().message());
+      Infos = &OwnInfos;
+    }
+    // With neither hand-off nor pool, Infos stays null and lowerProgram's
+    // own sequential checkModule fallback runs — one check either way.
+    lower::LowerOptions LO;
+    LO.Resolved = &*Resolved;
+    LO.Infos = Infos;
+    LO.Pool = Opts.Pool;
+    Expected<lower::LoweredProgram> LP = lower::lowerProgram(Mods, LO);
     if (!LP)
       return LP.error();
     auto A = std::make_shared<cache::LoweredArtifact>();

@@ -27,6 +27,7 @@
 #include "lower/Lower.h"
 #include "sem/Machine.h"
 #include "support/Error.h"
+#include "typing/Checker.h"
 #include "wasm/Instance.h"
 
 #include <memory>
@@ -35,6 +36,10 @@
 namespace rw::cache {
 class AdmissionCache;
 } // namespace rw::cache
+
+namespace rw::support {
+class ThreadPool;
+} // namespace rw::support
 
 namespace rw::link {
 
@@ -60,6 +65,18 @@ struct LinkOptions {
   /// flat translation entirely and goes straight to instantiation of the
   /// cached artifact. Not owned; must outlive the call.
   cache::AdmissionCache *Cache = nullptr;
+  /// Optional thread pool for the *cold* lowered path: batch checking
+  /// runs function-parallel (typing::checkModules) and body lowering
+  /// (module, function)-parallel (lower::LowerOptions::Pool), both with
+  /// deterministic, pool-size-independent output. Not owned.
+  support::ThreadPool *Pool = nullptr;
+  /// Per-module InfoMaps from a typing::checkModules(…, &Infos) the caller
+  /// already ran (an admission server checks for verdicts first): the cold
+  /// lowered path then performs *zero* further checkModule calls. Size
+  /// must match the module list; the modules' arena must stay alive and
+  /// un-rolled-back for the call (see Checker.h's InfoMap contract). Not
+  /// owned.
+  const std::vector<typing::InfoMap> *Infos = nullptr;
 };
 
 /// Links and instantiates \p Mods in order. The returned machine owns the

@@ -7,9 +7,11 @@
 #include "lower/Lower.h"
 
 #include "ir/Rewrite.h"
+#include "ir/TypeArena.h"
 #include "lower/Rep.h"
 #include "typing/Checker.h"
 #include "typing/Entail.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 #include <functional>
@@ -201,8 +203,9 @@ Expected<std::optional<Op>> mapCvt(NumType From, NumType To, CvtopKind K) {
 class ProgramLowering {
 public:
   ProgramLowering(const std::vector<const Module *> &Mods,
-                  const std::vector<link::ResolvedModule> *Resolved)
-      : Mods(Mods), Resolved(Resolved) {}
+                  const LowerOptions &Opts)
+      : Mods(Mods), Resolved(Opts.Resolved), Infos(Opts.Infos),
+        Pool(Opts.Pool) {}
 
   Expected<LoweredProgram> run();
 
@@ -211,7 +214,13 @@ public:
   /// Caller-provided import resolution (link/Resolve.h), or null; run()
   /// resolves itself when null. Not owned.
   const std::vector<link::ResolvedModule> *Resolved;
-  std::vector<typing::InfoMap> Infos;
+  /// Per-module checker annotations: either handed over by the caller
+  /// (typing::checkModules — the single-check cold path) or produced by
+  /// run()'s own checkModule loop into OwnInfos. Not owned when external.
+  const std::vector<typing::InfoMap> *Infos;
+  std::vector<typing::InfoMap> OwnInfos;
+  /// Optional pool for (module, function)-parallel body lowering.
+  support::ThreadPool *Pool;
   /// (module, RichWasm global idx) → (base Wasm global, component reps).
   std::map<std::pair<uint32_t, uint32_t>,
            std::pair<uint32_t, std::vector<ValType>>>
@@ -227,33 +236,41 @@ public:
   std::vector<SlotShape> TableShapes;
 
   const typing::InstInfo *info(uint32_t ModIdx, const Inst *I) const {
-    auto It = Infos[ModIdx].find(I);
-    return It == Infos[ModIdx].end() ? nullptr : &It->second;
+    // The checker records annotations only for kinds on this allowlist; a
+    // consult for any other kind means the two lists drifted apart —
+    // fail loudly here rather than with a puzzling missing-annotation
+    // error on well-typed input.
+    assert(typing::infoConsumedByLowering(I->kind()) &&
+           "lowering consults an instruction kind the checker does not "
+           "annotate (update typing::infoConsumedByLowering)");
+    const typing::InfoMap &IM = (*Infos)[ModIdx];
+    auto It = IM.find(I);
+    return It == IM.end() ? nullptr : &It->second;
   }
 };
 
 /// True if a type mentions an abstract pretype (variable or skolem)
 /// anywhere that affects its flat representation.
-bool containsAbstract(const Type &T);
-bool containsAbstractP(const PretypeRef &P) {
+bool containsAbstract(TypeRef T);
+bool containsAbstractP(const Pretype *P) {
   switch (P->kind()) {
   case PretypeKind::Var:
   case PretypeKind::Skolem:
     return true;
   case PretypeKind::Prod:
-    for (const Type &E : cast<ProdPT>(P.get())->elems())
+    for (const Type &E : cast<ProdPT>(P)->elems())
       if (containsAbstract(E))
         return true;
     return false;
   case PretypeKind::Rec:
-    return containsAbstract(cast<RecPT>(P.get())->body());
+    return containsAbstract(cast<RecPT>(P)->body());
   case PretypeKind::ExLoc:
-    return containsAbstract(cast<ExLocPT>(P.get())->body());
+    return containsAbstract(cast<ExLocPT>(P)->body());
   default:
     return false;
   }
 }
-bool containsAbstract(const Type &T) { return containsAbstractP(T.P); }
+bool containsAbstract(TypeRef T) { return containsAbstractP(T.P); }
 
 /// Lowers one instruction sequence (a function body or a global
 /// initializer) into Wasm instructions, managing locals and scratches.
@@ -272,16 +289,29 @@ public:
   std::vector<ValType> ParamTypes;
   std::vector<ValType> ExtraLocals; ///< Beyond the Wasm params.
   std::vector<uint32_t> RwLocalBase, RwLocalWords;
-  std::map<ValType, std::vector<uint32_t>> FreePool;
+  /// Scratch-local indices, one stack of every-so-far-released local per
+  /// value type. Indexed flat (I32=0x7f..F64=0x7c mapped to 0..3): the
+  /// old std::map paid a node allocation per (function, type), which is
+  /// pure churn at 10⁵ functions/s of cold admission.
+  support::SmallVec<uint32_t, 8> FreePool[4];
   uint32_t Depth = 0;
   std::vector<uint32_t> RichLabels; ///< D_L per label, innermost at back.
+  /// Set when this body emitted a call_indirect: only such bodies need the
+  /// post-assembly type-index patch walk.
+  bool HasCallIndirect = false;
 
+  /// Reused stash scratch (see stash()): indices of spilled components.
+  using Scratch = support::SmallVec<uint32_t, 8>;
+
+  static unsigned poolIdx(ValType T) {
+    return 0x7fu - static_cast<unsigned>(T);
+  }
   uint32_t newLocal(ValType T) {
     ExtraLocals.push_back(T);
     return NumParams + static_cast<uint32_t>(ExtraLocals.size() - 1);
   }
   uint32_t acquire(ValType T) {
-    auto &Pool = FreePool[T];
+    auto &Pool = FreePool[poolIdx(T)];
     if (!Pool.empty()) {
       uint32_t L = Pool.back();
       Pool.pop_back();
@@ -289,9 +319,11 @@ public:
     }
     return newLocal(T);
   }
-  void release(ValType T, uint32_t L) { FreePool[T].push_back(L); }
+  void release(ValType T, uint32_t L) {
+    FreePool[poolIdx(T)].push_back(L);
+  }
 
-  Expected<std::vector<ValType>> rep(const Type &T) {
+  Expected<std::vector<ValType>> rep(TypeRef T) {
     return repOfType(T, Bounds);
   }
 
@@ -307,10 +339,13 @@ public:
   //===--------------------------------------------------------------------===//
 
   /// Pops rep components (top of stack = last component) into scratch
-  /// locals; returns them first-component-first.
-  std::vector<uint32_t> stash(const std::vector<ValType> &R,
-                              std::vector<WInst> &O) {
-    std::vector<uint32_t> Ls(R.size());
+  /// locals; returns them first-component-first. The index list lives in
+  /// a SmallVec — realistic representations are a handful of components,
+  /// so stashing allocates nothing.
+  Scratch stash(const std::vector<ValType> &R, std::vector<WInst> &O) {
+    Scratch Ls;
+    for (size_t I = 0; I < R.size(); ++I)
+      Ls.push_back(0);
     for (size_t I = R.size(); I > 0; --I) {
       Ls[I - 1] = acquire(R[I - 1]);
       O.push_back(WInst::idx(Op::LocalSet, Ls[I - 1]));
@@ -318,7 +353,7 @@ public:
     return Ls;
   }
 
-  void unstash(const std::vector<ValType> &R, const std::vector<uint32_t> &Ls,
+  void unstash(const std::vector<ValType> &R, const Scratch &Ls,
                std::vector<WInst> &O, bool Release = true) {
     for (size_t I = 0; I < Ls.size(); ++I) {
       O.push_back(WInst::idx(Op::LocalGet, Ls[I]));
@@ -327,8 +362,7 @@ public:
     }
   }
 
-  void releaseAll(const std::vector<ValType> &R,
-                  const std::vector<uint32_t> &Ls) {
+  void releaseAll(const std::vector<ValType> &R, const Scratch &Ls) {
     for (size_t I = 0; I < Ls.size(); ++I)
       release(R[I], Ls[I]);
   }
@@ -337,7 +371,7 @@ public:
   /// WordBase (splitting 64-bit components).
   void spillToWords(uint32_t WordBase, const std::vector<ValType> &R,
                     std::vector<WInst> &O) {
-    std::vector<uint32_t> Ls = stash(R, O);
+    Scratch Ls = stash(R, O);
     uint32_t W = 0;
     for (size_t I = 0; I < R.size(); ++I) {
       switch (R[I]) {
@@ -411,8 +445,8 @@ public:
   /// Stores a value whose components sit in scratch locals Ls to memory at
   /// [BaseLocal] + ByteOff.
   void storeComps(uint32_t BaseLocal, uint32_t ByteOff,
-                  const std::vector<ValType> &R,
-                  const std::vector<uint32_t> &Ls, std::vector<WInst> &O) {
+                  const std::vector<ValType> &R, const Scratch &Ls,
+                  std::vector<WInst> &O) {
     uint32_t Off = ByteOff;
     for (size_t I = 0; I < R.size(); ++I) {
       O.push_back(WInst::idx(Op::LocalGet, BaseLocal));
@@ -439,7 +473,7 @@ public:
   /// [BaseLocal] + ByteOff.
   void popStoreToMem(uint32_t BaseLocal, uint32_t ByteOff,
                      const std::vector<ValType> &R, std::vector<WInst> &O) {
-    std::vector<uint32_t> Ls = stash(R, O);
+    Scratch Ls = stash(R, O);
     storeComps(BaseLocal, ByteOff, R, Ls, O);
     releaseAll(R, Ls);
   }
@@ -474,12 +508,12 @@ public:
   void compsToWords(const std::vector<ValType> &RF, uint32_t TargetWords,
                     std::vector<WInst> &O) {
     // Spill through fresh word scratches.
-    std::vector<uint32_t> Words;
+    Scratch Words;
     for (uint32_t I = 0; I < wordsOf(RF); ++I)
       Words.push_back(acquire(ValType::I32));
     // spillToWords needs a contiguous range; emulate with a per-component
     // loop instead.
-    std::vector<uint32_t> Ls = stash(RF, O);
+    Scratch Ls = stash(RF, O);
     uint32_t W = 0;
     for (size_t I = 0; I < RF.size(); ++I) {
       switch (RF[I]) {
@@ -528,7 +562,7 @@ public:
   void wordsToComps(const std::vector<ValType> &RT, uint32_t SourceWords,
                     std::vector<WInst> &O) {
     std::vector<ValType> Words(SourceWords, ValType::I32);
-    std::vector<uint32_t> Ls = stash(Words, O);
+    Scratch Ls = stash(Words, O);
     uint32_t W = 0;
     for (ValType V : RT) {
       switch (V) {
@@ -560,7 +594,7 @@ public:
   /// Coerces the top-of-stack value from type From (under this function's
   /// bounds) to type To (under ToBounds — the callee's). No-op when the
   /// representations already agree.
-  Status coerce(const Type &From, const Type &To, const TypeVarSizes &ToBounds,
+  Status coerce(TypeRef From, TypeRef To, const TypeVarSizes &ToBounds,
                 std::vector<WInst> &O) {
     Expected<std::vector<ValType>> RF = repOfType(From, Bounds);
     Expected<std::vector<ValType>> RT = repOfType(To, ToBounds);
@@ -580,7 +614,7 @@ public:
       // Drop the padding words beyond the concrete value's width first:
       // pop all source words, push back only the low ones as the value.
       std::vector<ValType> Words(RF->size(), ValType::I32);
-      std::vector<uint32_t> Ls = stash(Words, O);
+      FuncLowering::Scratch Ls = stash(Words, O);
       uint32_t Need = wordsOf(*RT);
       for (uint32_t I = 0; I < Need; ++I)
         O.push_back(WInst::idx(Op::LocalGet, Ls[I]));
@@ -594,13 +628,13 @@ public:
     if (const auto *ET = dyn_cast<ExLocPT>(To.P))
       return coerce(From, ET->body(), ToBounds, O);
     if (isa<ProdPT>(From.P) && isa<ProdPT>(To.P)) {
-      const auto &EFs = cast<ProdPT>(From.P.get())->elems();
-      const auto &ETs = cast<ProdPT>(To.P.get())->elems();
+      const auto &EFs = cast<ProdPT>(From.P)->elems();
+      const auto &ETs = cast<ProdPT>(To.P)->elems();
       if (EFs.size() != ETs.size())
         return Error("tuple arity mismatch in stack coercion");
       // Stash everything, then re-push element by element with coercion.
       std::vector<std::vector<ValType>> ERs;
-      std::vector<std::vector<uint32_t>> ELs(EFs.size());
+      std::vector<FuncLowering::Scratch> ELs(EFs.size());
       for (const Type &E : EFs) {
         Expected<std::vector<ValType>> R = repOfType(E, Bounds);
         if (!R)
@@ -637,6 +671,7 @@ public:
 
 Expected<std::vector<WInst>> FuncLowering::lowerSeq(const InstVec &Insts) {
   std::vector<WInst> O;
+  O.reserve(Insts.size() * 2);
   bool Terminated = false;
   for (const InstRef &I : Insts) {
     if (Terminated)
@@ -649,7 +684,9 @@ Expected<std::vector<WInst>> FuncLowering::lowerSeq(const InstVec &Insts) {
 
 Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
                                bool &Terminated) {
-  const typing::InstInfo *Inf = info(&I);
+  // The checker annotation is consulted lazily: most instructions (all
+  // numerics and control flow) never need it, and the map probe per
+  // instruction showed up in the cold-admission profile.
   switch (I.kind()) {
   //===---------------------------------------------------- numeric -------===//
   case InstKind::NumConst: {
@@ -726,6 +763,7 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
   case InstKind::Nop:
     return Status::success();
   case InstKind::Drop: {
+    const typing::InstInfo *Inf = info(&I);
     if (!Inf)
       return Error("missing checker annotation at drop");
     Expected<std::vector<ValType>> R = rep(Inf->Operands[0]);
@@ -736,6 +774,7 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
     return Status::success();
   }
   case InstKind::Select: {
+    const typing::InstInfo *Inf = info(&I);
     if (!Inf)
       return Error("missing checker annotation at select");
     Expected<std::vector<ValType>> R = rep(Inf->Operands[0]);
@@ -749,8 +788,8 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
     // the chosen one through an if.
     uint32_t Cond = acquire(ValType::I32);
     O.push_back(WInst::idx(Op::LocalSet, Cond));
-    std::vector<uint32_t> V2 = stash(*R, O);
-    std::vector<uint32_t> V1 = stash(*R, O);
+    FuncLowering::Scratch V2 = stash(*R, O);
+    FuncLowering::Scratch V1 = stash(*R, O);
     std::vector<WInst> Then, Else;
     unstash(*R, V1, Then, /*Release=*/false);
     unstash(*R, V2, Else, /*Release=*/false);
@@ -845,6 +884,7 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
   //===---------------------------------------------------- locals --------===//
   case InstKind::GetLocal: {
     const auto *G = cast<GetLocalInst>(&I);
+    const typing::InstInfo *Inf = info(&I);
     if (!Inf)
       return Error("missing checker annotation at get_local");
     Expected<std::vector<ValType>> R = rep(Inf->Results[0]);
@@ -856,6 +896,7 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
   case InstKind::SetLocal:
   case InstKind::TeeLocal: {
     const auto *S = cast<VarIdxInst>(&I);
+    const typing::InstInfo *Inf = info(&I);
     if (!Inf)
       return Error("missing checker annotation at set/tee_local");
     Expected<std::vector<ValType>> R = rep(Inf->Operands[0]);
@@ -908,6 +949,7 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
   }
   case InstKind::Call: {
     const auto *C = cast<CallInst>(&I);
+    const typing::InstInfo *Inf = info(&I);
     if (!Inf)
       return Error("missing checker annotation at call");
     const Module &M = *P.Mods[ModIdx];
@@ -926,11 +968,11 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
 
     TypeVarSizes CalleeBounds =
         typing::typeVarSizes(typing::buildKindCtx(CalleeTy->quants()));
-    const std::vector<Type> &ConcP = Inf->Operands;
+    const std::vector<TypeRef> &ConcP = Inf->Operands;
     const std::vector<Type> &PolyP = CalleeTy->arrow().Params;
     // Stash all arguments (top of stack = last parameter).
     std::vector<std::vector<ValType>> Reps(ConcP.size());
-    std::vector<std::vector<uint32_t>> Ls(ConcP.size());
+    std::vector<FuncLowering::Scratch> Ls(ConcP.size());
     for (size_t J = ConcP.size(); J > 0; --J) {
       Expected<std::vector<ValType>> R = rep(ConcP[J - 1]);
       if (!R)
@@ -945,10 +987,10 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
     }
     O.push_back(WInst::idx(Op::Call, Target));
     // Coerce results back: stash by the *callee's* reps, re-push coerced.
-    const std::vector<Type> &ConcR = Inf->Results;
+    const std::vector<TypeRef> &ConcR = Inf->Results;
     const std::vector<Type> &PolyR = CalleeTy->arrow().Results;
     std::vector<std::vector<ValType>> RReps(PolyR.size());
-    std::vector<std::vector<uint32_t>> RLs(PolyR.size());
+    std::vector<FuncLowering::Scratch> RLs(PolyR.size());
     for (size_t J = PolyR.size(); J > 0; --J) {
       Expected<std::vector<ValType>> R = repOfType(PolyR[J - 1], CalleeBounds);
       if (!R)
@@ -967,7 +1009,7 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
       if (*RF != *RT) {
         if (isa<VarPT>(PolyR[J].P) || isa<SkolemPT>(PolyR[J].P)) {
           std::vector<ValType> Words(RF->size(), ValType::I32);
-          std::vector<uint32_t> WLs = stash(Words, O);
+          FuncLowering::Scratch WLs = stash(Words, O);
           uint32_t Need = wordsOf(*RT);
           for (uint32_t K = 0; K < Need; ++K)
             O.push_back(WInst::idx(Op::LocalGet, WLs[K]));
@@ -981,10 +1023,11 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
     return Status::success();
   }
   case InstKind::CallIndirect: {
+    const typing::InstInfo *Inf = info(&I);
     if (!Inf)
       return Error("missing checker annotation at call_indirect");
     // Operands = params + coderef; the coderef type is fully instantiated.
-    const Type &CT = Inf->Operands.back();
+    const TypeRef &CT = Inf->Operands.back();
     const auto *CR = dyn_cast<CoderefPT>(CT.P);
     if (!CR)
       return Error("call_indirect without a coderef operand");
@@ -996,6 +1039,7 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
     for (const Type &T : Arrow.Results)
       Abstract |= containsAbstract(T);
 
+    HasCallIndirect = true;
     if (!Abstract) {
       // Concrete signature: the table entry was compiled with exactly this
       // shape, so a plain call_indirect suffices.
@@ -1036,7 +1080,7 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
     // The coderef (table index) is on top; then the args.
     uint32_t IdxL = acquire(ValType::I32);
     O.push_back(WInst::idx(Op::LocalSet, IdxL));
-    std::vector<std::vector<uint32_t>> ALs(APar.size());
+    std::vector<FuncLowering::Scratch> ALs(APar.size());
     for (size_t J = APar.size(); J > 0; --J)
       ALs[J - 1] = stash(APar[J - 1], O);
 
@@ -1098,7 +1142,7 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
           if (APar[J] != Sh.ParamReps[J]) {
             // Abstract words → the entry's concrete shape.
             std::vector<ValType> Words(APar[J].size(), ValType::I32);
-            std::vector<uint32_t> WLs = stash(Words, Next);
+            FuncLowering::Scratch WLs = stash(Words, Next);
             uint32_t Need = wordsOf(Sh.ParamReps[J]);
             for (uint32_t K2 = 0; K2 < Need; ++K2)
               Next.push_back(WInst::idx(Op::LocalGet, WLs[K2]));
@@ -1112,7 +1156,7 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
         CI.BT = Sh.Sig;
         Next.push_back(CI);
         // Coerce results back to the abstract representation.
-        std::vector<std::vector<uint32_t>> RLs(ARes.size());
+        std::vector<FuncLowering::Scratch> RLs(ARes.size());
         for (size_t J = ARes.size(); J > 0; --J)
           RLs[J - 1] = stash(Sh.ResultReps[J - 1], Next);
         for (size_t J = 0; J < ARes.size(); ++J) {
@@ -1136,9 +1180,10 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
   //===------------------------------------------------ mem.unpack --------===//
   case InstKind::MemUnpack: {
     const auto *MU = cast<MemUnpackInst>(&I);
+    const typing::InstInfo *Inf = info(&I);
     if (!Inf)
       return Error("missing checker annotation at mem.unpack");
-    const Type &PackT = Inf->Operands.back();
+    const TypeRef &PackT = Inf->Operands.back();
     const auto *Ex = dyn_cast<ExLocPT>(PackT.P);
     if (!Ex)
       return Error("mem.unpack operand is not an existential package");
@@ -1165,9 +1210,10 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
   //===---------------------------------------------------- structs -------===//
   case InstKind::StructMalloc: {
     const auto *SM = cast<StructMallocInst>(&I);
+    const typing::InstInfo *Inf = info(&I);
     if (!Inf)
       return Error("missing checker annotation at struct.malloc");
-    const std::vector<Type> &Fields = Inf->Operands;
+    const std::vector<TypeRef> &Fields = Inf->Operands;
     std::vector<uint32_t> Offs;
     uint32_t Off = 0;
     std::vector<bool> Map;
@@ -1190,7 +1236,7 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
     bool Lin = SM->qual().isLinConst();
     // Stash fields (last on top).
     std::vector<std::vector<ValType>> Reps(Fields.size());
-    std::vector<std::vector<uint32_t>> Ls(Fields.size());
+    std::vector<FuncLowering::Scratch> Ls(Fields.size());
     for (size_t J = Fields.size(); J > 0; --J) {
       Expected<std::vector<ValType>> R = rep(Fields[J - 1]);
       if (!R)
@@ -1220,9 +1266,10 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
   case InstKind::StructSet:
   case InstKind::StructSwap: {
     const auto *SG = cast<StructIdxInst>(&I);
+    const typing::InstInfo *Inf = info(&I);
     if (!Inf)
       return Error("missing checker annotation at struct access");
-    const Type &RefT = Inf->Operands[0];
+    const TypeRef &RefT = Inf->Operands[0];
     const auto *R = dyn_cast<RefPT>(RefT.P);
     const StructHT *H = R ? dyn_cast<StructHT>(R->heapType()) : nullptr;
     if (!H)
@@ -1248,11 +1295,11 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
     }
 
     // set / swap: stack is [ref, new-value].
-    const Type &NewT = Inf->Operands[1];
+    const TypeRef &NewT = Inf->Operands[1];
     Expected<std::vector<ValType>> NR = rep(NewT);
     if (!NR)
       return NR.error();
-    std::vector<uint32_t> NLs = stash(*NR, O);
+    FuncLowering::Scratch NLs = stash(*NR, O);
     uint32_t Base = acquire(ValType::I32);
     O.push_back(WInst::idx(Op::LocalTee, Base)); // ref stays
     if (I.kind() == InstKind::StructSwap)
@@ -1315,7 +1362,7 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
       return Error("bad variant payload type");
     std::vector<bool> Map = {false}; // Tag word.
     Map.insert(Map.end(), PM->begin(), PM->end());
-    std::vector<uint32_t> Ls = stash(*PRp, O);
+    FuncLowering::Scratch Ls = stash(*PRp, O);
     O.push_back(WInst::i32c(static_cast<int32_t>(4 + *PB)));
     O.push_back(WInst::i32c(VM->qual().isLinConst() ? static_cast<int32_t>(RtLinear) : 0));
     O.push_back(WInst::i32c(static_cast<int32_t>(packPtrMap(Map))));
@@ -1345,7 +1392,7 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
       return Error("bad variant.case types");
 
     // Stack: [ref, params...]. Stash params, then the ref.
-    std::vector<uint32_t> PLs = stash(*PR, O);
+    FuncLowering::Scratch PLs = stash(*PR, O);
     uint32_t Base = acquire(ValType::I32);
     O.push_back(WInst::idx(Op::LocalSet, Base));
 
@@ -1394,7 +1441,7 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
 
     if (!Lin) {
       // The reference goes back *under* the results.
-      std::vector<uint32_t> RLs = stash(*RR, O);
+      FuncLowering::Scratch RLs = stash(*RR, O);
       O.push_back(WInst::idx(Op::LocalGet, Base));
       unstash(*RR, RLs, O);
     }
@@ -1404,9 +1451,10 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
 
   //===---------------------------------------------------- arrays --------===//
   case InstKind::ArrayMalloc: {
+    const typing::InstInfo *Inf = info(&I);
     if (!Inf)
       return Error("missing checker annotation at array.malloc");
-    const Type &InitT = Inf->Operands[0];
+    const TypeRef &InitT = Inf->Operands[0];
     Expected<std::vector<ValType>> IR = rep(InitT);
     Expected<uint32_t> EB = byteSizeOfType(InitT, Bounds);
     Expected<std::vector<bool>> EM = refMaskOfType(InitT, Bounds);
@@ -1415,7 +1463,7 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
     bool Lin = cast<ArrayMallocInst>(&I)->qual().isLinConst();
     uint32_t Len = acquire(ValType::I32);
     O.push_back(WInst::idx(Op::LocalSet, Len));
-    std::vector<uint32_t> ILs = stash(*IR, O);
+    FuncLowering::Scratch ILs = stash(*IR, O);
     // payload = 4 + len * elemBytes
     O.push_back(WInst::idx(Op::LocalGet, Len));
     O.push_back(WInst::i32c(static_cast<int32_t>(*EB)));
@@ -1470,10 +1518,11 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
   }
   case InstKind::ArrayGet:
   case InstKind::ArraySet: {
+    const typing::InstInfo *Inf = info(&I);
     if (!Inf)
       return Error("missing checker annotation at array access");
     bool IsSet = I.kind() == InstKind::ArraySet;
-    const Type &RefT = Inf->Operands[0];
+    const TypeRef &RefT = Inf->Operands[0];
     const auto *R = dyn_cast<RefPT>(RefT.P);
     const ArrayHT *H = R ? dyn_cast<ArrayHT>(R->heapType()) : nullptr;
     if (!H)
@@ -1482,7 +1531,7 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
     Expected<uint32_t> EB = byteSizeOfType(H->elem(), Bounds);
     if (!ER || !EB)
       return Error("bad array element type");
-    std::vector<uint32_t> VLs;
+    FuncLowering::Scratch VLs;
     if (IsSet)
       VLs = stash(*ER, O);
     uint32_t Idx = acquire(ValType::I32);
@@ -1517,6 +1566,7 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
 
   //===------------------------------------------------ existentials ------===//
   case InstKind::ExistPack: {
+    const typing::InstInfo *Inf = info(&I);
     const auto *EP = cast<ExistPackInst>(&I);
     const auto *H = dyn_cast<ExHT>(EP->heapType());
     if (!H || !Inf)
@@ -1533,7 +1583,7 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
     Expected<std::vector<bool>> AM = refMaskOfType(H->body(), BodyBounds);
     if (!AR || !AB || !AM)
       return Error("bad existential body shape");
-    const Type &PayloadT = Inf->Operands[0];
+    const TypeRef &PayloadT = Inf->Operands[0];
     // Coerce concrete payload → abstract shape on the stack.
     FuncLowering *Self = this;
     {
@@ -1545,7 +1595,7 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
       if (Status S = Self->coerce(PayloadT, AbstractBody, Bounds, O); !S)
         return S;
     }
-    std::vector<uint32_t> Ls = stash(*AR, O);
+    FuncLowering::Scratch Ls = stash(*AR, O);
     O.push_back(WInst::i32c(static_cast<int32_t>(*AB)));
     O.push_back(WInst::i32c(EP->qual().isLinConst() ? static_cast<int32_t>(RtLinear) : 0));
     O.push_back(WInst::i32c(static_cast<int32_t>(packPtrMap(*AM))));
@@ -1576,7 +1626,7 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
     if (!AR)
       return Error("bad existential body shape");
 
-    std::vector<uint32_t> PLs = stash(*PR, O);
+    FuncLowering::Scratch PLs = stash(*PR, O);
     uint32_t Base = acquire(ValType::I32);
     O.push_back(WInst::idx(Op::LocalSet, Base));
 
@@ -1599,7 +1649,7 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
     O.push_back(WInst::block({{}, *RR}, std::move(BodyPre)));
     releaseAll(*PR, PLs);
     if (!Lin) {
-      std::vector<uint32_t> RLs = stash(*RR, O);
+      FuncLowering::Scratch RLs = stash(*RR, O);
       O.push_back(WInst::idx(Op::LocalGet, Base));
       unstash(*RR, RLs, O);
     }
@@ -1615,10 +1665,20 @@ Status FuncLowering::lowerInst(const Inst &I, std::vector<WInst> &O,
 //===----------------------------------------------------------------------===//
 
 Expected<LoweredProgram> ProgramLowering::run() {
-  Infos.resize(Mods.size());
-  for (size_t I = 0; I < Mods.size(); ++I)
-    if (Status S = typing::checkModule(*Mods[I], &Infos[I]); !S)
-      return Error("module '" + Mods[I]->Name + "': " + S.error().message());
+  if (Infos) {
+    // Single-check cold path: the caller already ran typing::checkModules
+    // with InfoMap recording (same process, same instruction pointers), so
+    // lowering performs zero checkModule calls.
+    if (Infos->size() != Mods.size())
+      return Error("InfoMap hand-off does not match the module list");
+  } else {
+    OwnInfos.resize(Mods.size());
+    for (size_t I = 0; I < Mods.size(); ++I)
+      if (Status S = typing::checkModule(*Mods[I], &OwnInfos[I]); !S)
+        return Error("module '" + Mods[I]->Name + "': " +
+                     S.error().message());
+    Infos = &OwnInfos;
+  }
 
   // Pass 1: run imports through the shared batch resolution phase
   // (link/Resolve.h) — the same provider selection, shadowing, and
@@ -1782,91 +1842,158 @@ Expected<LoweredProgram> ProgramLowering::run() {
     }
   }
 
-  // Lower every defined function body.
-  for (uint32_t MI = 0; MI < Mods.size(); ++MI) {
+  // Lower every defined function body. Given the frozen program maps
+  // built above (FuncMap, TableBase, GlobalMap, TableShapes, Runtime) and
+  // the read-only InfoMaps, bodies are independent of each other — they
+  // never touch the module type table (call_indirect type indices are
+  // patched in a later pass precisely so body lowering stays pure) — so
+  // they lower (module, function)-parallel over the pool when one is
+  // provided. Per-function results are then assembled strictly in
+  // (module, function) index order: the lowered module is byte-identical
+  // for any pool size, and the reported error is the lowest-indexed
+  // failure — exactly what the sequential loop would have reported.
+  struct FnWork {
+    uint32_t Mod, Func;
+  };
+  struct FnResult {
+    std::vector<ValType> PR, RR;
+    std::vector<ValType> Locals;
+    std::vector<WInst> Code;
+    bool HasCallIndirect = false;
+    Status S = Status::success();
+  };
+  std::vector<FnWork> Work;
+  for (uint32_t MI = 0; MI < Mods.size(); ++MI)
+    for (uint32_t FI = 0; FI < Mods[MI]->Funcs.size(); ++FI)
+      if (!Mods[MI]->Funcs[FI].isImport())
+        Work.push_back({MI, FI});
+  std::vector<FnResult> Results(Work.size());
+  // Lowest-index failure seen so far: tasks *above* it skip (their result
+  // can never be reported), tasks at or below always run, so the error
+  // the assembly loop reports is exactly the sequential one regardless of
+  // pool scheduling — cancellation without losing determinism.
+  std::atomic<size_t> FirstFail{SIZE_MAX};
+
+  auto lowerOne = [&](size_t W) {
+    if (W > FirstFail.load(std::memory_order_relaxed))
+      return; // A lower-indexed body already failed; this one is dead.
+    const uint32_t MI = Work[W].Mod, FI = Work[W].Func;
     const Module &M = *Mods[MI];
-    for (uint32_t FI = 0; FI < M.Funcs.size(); ++FI) {
-      const Function &F = M.Funcs[FI];
-      if (F.isImport())
-        continue;
-      TypeVarSizes Bounds =
-          typing::typeVarSizes(typing::buildKindCtx(F.Ty->quants()));
-      Expected<std::vector<ValType>> PR =
-          repOfTypes(F.Ty->arrow().Params, Bounds);
-      Expected<std::vector<ValType>> RR =
-          repOfTypes(F.Ty->arrow().Results, Bounds);
-      if (!PR || !RR)
-        return Error("cannot lower signature of function " +
-                     std::to_string(FI) + " in '" + M.Name + "'");
+    const Function &F = M.Funcs[FI];
+    FnResult &R = Results[W];
+    typing::KindCtx Kinds = typing::buildKindCtx(F.Ty->quants());
+    TypeVarSizes Bounds = typing::typeVarSizes(Kinds);
+    Expected<std::vector<ValType>> PR =
+        repOfTypes(F.Ty->arrow().Params, Bounds);
+    Expected<std::vector<ValType>> RR =
+        repOfTypes(F.Ty->arrow().Results, Bounds);
+    if (!PR || !RR) {
+      R.S = Error("cannot lower signature of function " +
+                  std::to_string(FI) + " in '" + M.Name + "'");
+      return;
+    }
 
-      FuncLowering FL(*this, MI, Bounds, *PR);
-      // Word locals for every RichWasm local (params first).
-      std::vector<WInst> Prologue;
-      uint32_t ParamComp = 0;
-      for (const Type &PT : F.Ty->arrow().Params) {
-        Expected<std::vector<ValType>> R = FL.rep(PT);
-        if (!R)
-          return R.error();
-        ir::SizeRef Slot = typing::sizeOfType(
-            PT, typing::buildKindCtx(F.Ty->quants()));
-        NormalSize NS = normalizeSize(Slot);
-        if (!NS.isConst())
-          return Error("size-polymorphic parameter slots are unsupported");
-        uint32_t Words = static_cast<uint32_t>((NS.Const + 31) / 32);
-        uint32_t Base = FL.NumParams +
-                        static_cast<uint32_t>(FL.ExtraLocals.size());
-        for (uint32_t WJ = 0; WJ < Words; ++WJ)
-          FL.ExtraLocals.push_back(ValType::I32);
-        FL.RwLocalBase.push_back(Base);
-        FL.RwLocalWords.push_back(Words);
-        // Prologue: copy the natural parameter components into the words.
-        for (uint32_t CJ = 0; CJ < R->size(); ++CJ)
-          Prologue.push_back(WInst::idx(Op::LocalGet, ParamComp + CJ));
-        FL.spillToWords(Base, *R, Prologue);
-        ParamComp += static_cast<uint32_t>(R->size());
+    FuncLowering FL(*this, MI, Bounds, *PR);
+    // Word locals for every RichWasm local (params first).
+    std::vector<WInst> Prologue;
+    uint32_t ParamComp = 0;
+    for (const Type &PT : F.Ty->arrow().Params) {
+      Expected<std::vector<ValType>> Rep = FL.rep(PT);
+      if (!Rep) {
+        R.S = Rep.error();
+        return;
       }
-      for (const ir::SizeRef &Sz : F.Locals) {
-        NormalSize NS = normalizeSize(Sz);
-        if (!NS.isConst())
-          return Error("size-polymorphic local slots are unsupported");
-        uint32_t Words = static_cast<uint32_t>((NS.Const + 31) / 32);
-        uint32_t Base = FL.NumParams +
-                        static_cast<uint32_t>(FL.ExtraLocals.size());
-        for (uint32_t WJ = 0; WJ < Words; ++WJ)
-          FL.ExtraLocals.push_back(ValType::I32);
-        FL.RwLocalBase.push_back(Base);
-        FL.RwLocalWords.push_back(Words);
+      const ir::Size *Slot = typing::sizeOfType(PT, Kinds);
+      NormalSize NS = Slot->norm();
+      if (!NS.isConst()) {
+        R.S = Error("size-polymorphic parameter slots are unsupported");
+        return;
       }
+      uint32_t Words = static_cast<uint32_t>((NS.Const + 31) / 32);
+      uint32_t Base =
+          FL.NumParams + static_cast<uint32_t>(FL.ExtraLocals.size());
+      for (uint32_t WJ = 0; WJ < Words; ++WJ)
+        FL.ExtraLocals.push_back(ValType::I32);
+      FL.RwLocalBase.push_back(Base);
+      FL.RwLocalWords.push_back(Words);
+      // Prologue: copy the natural parameter components into the words.
+      for (uint32_t CJ = 0; CJ < Rep->size(); ++CJ)
+        Prologue.push_back(WInst::idx(Op::LocalGet, ParamComp + CJ));
+      FL.spillToWords(Base, *Rep, Prologue);
+      ParamComp += static_cast<uint32_t>(Rep->size());
+    }
+    for (const ir::SizeRef &Sz : F.Locals) {
+      NormalSize NS = normalizeSize(Sz);
+      if (!NS.isConst()) {
+        R.S = Error("size-polymorphic local slots are unsupported");
+        return;
+      }
+      uint32_t Words = static_cast<uint32_t>((NS.Const + 31) / 32);
+      uint32_t Base =
+          FL.NumParams + static_cast<uint32_t>(FL.ExtraLocals.size());
+      for (uint32_t WJ = 0; WJ < Words; ++WJ)
+        FL.ExtraLocals.push_back(ValType::I32);
+      FL.RwLocalBase.push_back(Base);
+      FL.RwLocalWords.push_back(Words);
+    }
 
-      Expected<std::vector<WInst>> Body = FL.lowerSeq(F.Body);
-      if (!Body)
-        return Error("in function " + std::to_string(FI) + " of '" + M.Name +
-                     "': " + Body.error().message());
-      std::vector<WInst> Full = std::move(Prologue);
-      Full.insert(Full.end(), std::make_move_iterator(Body->begin()),
-                  std::make_move_iterator(Body->end()));
+    Expected<std::vector<WInst>> Body = FL.lowerSeq(F.Body);
+    if (!Body) {
+      R.S = Error("in function " + std::to_string(FI) + " of '" + M.Name +
+                  "': " + Body.error().message());
+      return;
+    }
+    std::vector<WInst> Full = std::move(Prologue);
+    Full.insert(Full.end(), std::make_move_iterator(Body->begin()),
+                std::make_move_iterator(Body->end()));
+    R.PR = std::move(*PR);
+    R.RR = std::move(*RR);
+    R.Locals = std::move(FL.ExtraLocals);
+    R.Code = std::move(Full);
+    R.HasCallIndirect = FL.HasCallIndirect;
+  };
 
-      uint32_t TI = Out.Module.addType({*PR, *RR});
-      Out.Module.Funcs.push_back({TI, FL.ExtraLocals, std::move(Full)});
-      assert(Out.Module.numFuncs() - 1 == Out.FuncMap.at({MI, FI}) &&
-             "function index assignment drifted");
+  auto recordFailure = [&](size_t W) {
+    if (Results[W].S)
+      return;
+    size_t Cur = FirstFail.load(std::memory_order_relaxed);
+    while (W < Cur && !FirstFail.compare_exchange_weak(
+                          Cur, W, std::memory_order_relaxed)) {
+    }
+  };
+
+  if (Pool && Work.size() > 1) {
+    // Workers replicate the calling thread's ambient arena: body lowering
+    // interns (sizes, substituted types) and every borrowed view must
+    // name the active arena (the debug assertion behind ir::TypeRef).
+    TypeArena &Ambient = TypeArena::current();
+    Pool->parallelFor(Work.size(), [&](size_t W) {
+      ArenaScope Scope(Ambient);
+      lowerOne(W);
+      recordFailure(W);
+    });
+  } else {
+    for (size_t W = 0; W < Work.size(); ++W) {
+      lowerOne(W);
+      if (!Results[W].S)
+        break; // Sequential early-exit; later slots report unlowered.
     }
   }
 
-  // Patch call_indirect type indices (they need interned types).
-  {
-    // Walk all function bodies and fill in CallIndirect U32 type indices.
-    std::function<void(std::vector<WInst> &)> Fix =
-        [&](std::vector<WInst> &Body) {
-          for (WInst &W : Body) {
-            if (W.K == Op::CallIndirect)
-              W.U32 = Out.Module.addType(W.BT);
-            Fix(W.Body);
-            Fix(W.Else);
-          }
-        };
-    for (wasm::WFunc &F : Out.Module.Funcs)
-      Fix(F.Body);
+  std::vector<uint32_t> NeedsIndirectPatch;
+  for (size_t W = 0; W < Work.size(); ++W) {
+    FnResult &R = Results[W];
+    if (!R.S)
+      return R.S.error();
+    uint32_t TI = Out.Module.addType({R.PR, R.RR});
+    if (R.HasCallIndirect)
+      NeedsIndirectPatch.push_back(
+          static_cast<uint32_t>(Out.Module.Funcs.size()));
+    Out.Module.Funcs.push_back(
+        {TI, std::move(R.Locals), std::move(R.Code)});
+    assert(Out.Module.numFuncs() - 1 ==
+               Out.FuncMap.at({Work[W].Mod, Work[W].Func}) &&
+           "function index assignment drifted");
   }
 
   // Global initializers and start functions run from __rw_init.
@@ -1890,6 +2017,9 @@ Expected<LoweredProgram> ProgramLowering::run() {
             WInst::idx(Op::GlobalSet, Base + static_cast<uint32_t>(J - 1)));
       uint32_t TI = Out.Module.addType({{}, {}});
       uint32_t Idx = Out.Module.numFuncs();
+      if (FL.HasCallIndirect)
+        NeedsIndirectPatch.push_back(
+            static_cast<uint32_t>(Out.Module.Funcs.size()));
       Out.Module.Funcs.push_back({TI, FL.ExtraLocals, std::move(Body)});
       InitBody.push_back(WInst::idx(Op::Call, Idx));
     }
@@ -1898,6 +2028,27 @@ Expected<LoweredProgram> ProgramLowering::run() {
     if (Mods[MI]->Start)
       InitBody.push_back(
           WInst::idx(Op::Call, Out.FuncMap.at({MI, *Mods[MI]->Start})));
+
+  // Patch call_indirect type indices (they need module-level type
+  // interning, which body lowering must not touch — that is what keeps
+  // bodies pure for the parallel loop). Runs after *all* bodies exist —
+  // function bodies and global initializers alike (previously the pass
+  // ran before the initializers were lowered, so a call_indirect inside
+  // one kept its placeholder type index) — and walks only the bodies
+  // that actually emitted a call_indirect (flagged during lowering).
+  {
+    std::function<void(std::vector<WInst> &)> Fix =
+        [&](std::vector<WInst> &Body) {
+          for (WInst &W : Body) {
+            if (W.K == Op::CallIndirect)
+              W.U32 = Out.Module.addType(W.BT);
+            Fix(W.Body);
+            Fix(W.Else);
+          }
+        };
+    for (uint32_t FIdx : NeedsIndirectPatch)
+      Fix(Out.Module.Funcs[FIdx].Body);
+  }
   if (!InitBody.empty()) {
     uint32_t TI = Out.Module.addType({{}, {}});
     uint32_t Idx = Out.Module.numFuncs();
@@ -1911,9 +2062,14 @@ Expected<LoweredProgram> ProgramLowering::run() {
     for (uint32_t FI = 0; FI < M.Funcs.size(); ++FI)
       for (const std::string &E : M.Funcs[FI].Exports) {
         uint32_t Idx = Out.FuncMap.at({MI, FI});
-        Out.Exports[M.Name + "." + E] = Idx;
+        std::string Full;
+        Full.reserve(M.Name.size() + 1 + E.size());
+        Full += M.Name;
+        Full += '.';
+        Full += E;
+        Out.Exports[Full] = Idx;
         Out.Module.Exports.push_back(
-            {M.Name + "." + E, wasm::ExportKind::Func, Idx});
+            {std::move(Full), wasm::ExportKind::Func, Idx});
       }
   }
   return std::move(Out);
@@ -1923,11 +2079,12 @@ Expected<LoweredProgram> ProgramLowering::run() {
 
 Expected<LoweredProgram>
 rw::lower::lowerProgram(const std::vector<const Module *> &Mods,
-                        const std::vector<link::ResolvedModule> *Resolved) {
-  // Lowering re-checks modules (typing::checkModule, whose typeEquals is
-  // a pointer comparison) and rewrites their types, so all modules of one
-  // program must share one arena — enforce it, then intern everything the
-  // lowering builds into that shared arena.
+                        const LowerOptions &Opts) {
+  // Lowering checks modules (typing::checkModule, whose typeEquals is a
+  // pointer comparison — or consumes InfoMaps recorded over canonical
+  // nodes) and rewrites their types, so all modules of one program must
+  // share one arena — enforce it, then intern everything the lowering
+  // builds into that shared arena.
   std::optional<ir::ArenaScope> Scope;
   if (!Mods.empty() && Mods.front()->Arena) {
     const std::shared_ptr<ir::TypeArena> &Shared = Mods.front()->Arena;
@@ -1938,6 +2095,6 @@ rw::lower::lowerProgram(const std::vector<const Module *> &Mods,
                      "intern their types into one shared arena");
     Scope.emplace(*Shared);
   }
-  ProgramLowering PL(Mods, Resolved);
+  ProgramLowering PL(Mods, Opts);
   return PL.run();
 }

@@ -33,9 +33,14 @@
 #include "link/Resolve.h"
 #include "lower/Runtime.h"
 #include "support/Error.h"
+#include "typing/Checker.h"
 #include "wasm/WasmAst.h"
 
 #include <map>
+
+namespace rw::support {
+class ThreadPool;
+} // namespace rw::support
 
 namespace rw::lower {
 
@@ -52,19 +57,47 @@ struct LoweredProgram {
   std::map<uint32_t, uint32_t> TableBase;
 };
 
-/// Type-checks and lowers a whole program (modules in link order; imports
-/// resolve against earlier modules, like link::instantiate).
+/// Inputs a caller may thread into lowerProgram so the cold admission
+/// pipeline does each phase exactly once.
+struct LowerOptions {
+  /// Import resolution (link/Resolve.h) computed by the caller
+  /// (link::instantiateLowered resolves once and passes it down); null
+  /// resolves inside lowerProgram.
+  const std::vector<link::ResolvedModule> *Resolved = nullptr;
+  /// Per-module checker InfoMaps from typing::checkModules(…, &Infos) —
+  /// same process, same instruction pointers (the map key is node
+  /// identity). When set (size must match Mods), lowerProgram performs
+  /// *zero* checkModule calls; when null it checks each module itself.
+  /// The maps hold borrowed TypeRefs: the modules' arena must stay alive
+  /// and un-rolled-back for the duration of the call.
+  const std::vector<typing::InfoMap> *Infos = nullptr;
+  /// When set, function bodies are lowered (module, function)-parallel
+  /// over this pool with deterministic index-ordered assembly: the lowered
+  /// module is byte-identical for any pool size, and a failure reports the
+  /// lowest-indexed failing function — exactly the sequential error.
+  support::ThreadPool *Pool = nullptr;
+};
+
+/// Type-checks (unless LowerOptions::Infos hands the checker's work over)
+/// and lowers a whole program (modules in link order; imports resolve
+/// against earlier modules, like link::instantiate).
 ///
 /// Import matching is the batch resolution phase of link/Resolve.h —
 /// provider selection, shadowing, and the canonical-pointer import type
 /// check are shared with link::instantiate, with
 /// ResolveOptions::AllowUnresolvedFuncs semantics: a function import no
-/// module provides becomes a Wasm import satisfiable by the host. Pass
-/// \p Resolved to reuse a resolution the caller (link::instantiateLowered)
-/// already computed; null resolves here.
+/// module provides becomes a Wasm import satisfiable by the host.
 Expected<LoweredProgram>
 lowerProgram(const std::vector<const ir::Module *> &Mods,
-             const std::vector<link::ResolvedModule> *Resolved = nullptr);
+             const LowerOptions &Opts);
+
+inline Expected<LoweredProgram>
+lowerProgram(const std::vector<const ir::Module *> &Mods,
+             const std::vector<link::ResolvedModule> *Resolved = nullptr) {
+  LowerOptions Opts;
+  Opts.Resolved = Resolved;
+  return lowerProgram(Mods, Opts);
+}
 
 } // namespace rw::lower
 

@@ -22,14 +22,14 @@ static Expected<uint32_t> boundWords(const SizeRef &Bound) {
 }
 
 Expected<std::vector<ValType>>
-rw::lower::repOfPretype(const PretypeRef &P, const TypeVarSizes &Bounds) {
+rw::lower::repOfPretype(const Pretype *P, const TypeVarSizes &Bounds) {
   switch (P->kind()) {
   case PretypeKind::Unit:
   case PretypeKind::Cap:
   case PretypeKind::Own:
     return std::vector<ValType>{};
   case PretypeKind::Num:
-    switch (cast<NumPT>(P.get())->numType()) {
+    switch (cast<NumPT>(P)->numType()) {
     case NumType::I32:
     case NumType::U32:
       return std::vector<ValType>{ValType::I32};
@@ -48,7 +48,7 @@ rw::lower::repOfPretype(const PretypeRef &P, const TypeVarSizes &Bounds) {
     return std::vector<ValType>{ValType::I32};
   case PretypeKind::Prod: {
     std::vector<ValType> Out;
-    for (const Type &E : cast<ProdPT>(P.get())->elems()) {
+    for (const Type &E : cast<ProdPT>(P)->elems()) {
       Expected<std::vector<ValType>> R = repOfType(E, Bounds);
       if (!R)
         return R;
@@ -57,7 +57,7 @@ rw::lower::repOfPretype(const PretypeRef &P, const TypeVarSizes &Bounds) {
     return Out;
   }
   case PretypeKind::Var: {
-    uint32_t Idx = cast<VarPT>(P.get())->index();
+    uint32_t Idx = cast<VarPT>(P)->index();
     if (Idx >= Bounds.size())
       return Error("unbound pretype variable survived to lowering");
     Expected<uint32_t> W = boundWords(Bounds[Idx]);
@@ -66,7 +66,7 @@ rw::lower::repOfPretype(const PretypeRef &P, const TypeVarSizes &Bounds) {
     return std::vector<ValType>(*W, ValType::I32);
   }
   case PretypeKind::Skolem: {
-    Expected<uint32_t> W = boundWords(cast<SkolemPT>(P.get())->sizeUpper());
+    Expected<uint32_t> W = boundWords(cast<SkolemPT>(P)->sizeUpper());
     if (!W)
       return W.error();
     return std::vector<ValType>(*W, ValType::I32);
@@ -76,16 +76,16 @@ rw::lower::repOfPretype(const PretypeRef &P, const TypeVarSizes &Bounds) {
     // with the variable mapped to a single pointer word, which is exactly
     // what any occurrence (necessarily under ref) lowers to anyway.
     Subst S = Subst::onePretype(ptrPT(Loc::concrete(MemKind::Unr, 0)));
-    return repOfType(S.rewrite(cast<RecPT>(P.get())->body()), Bounds);
+    return repOfType(S.rewrite(cast<RecPT>(P)->body()), Bounds);
   }
   case PretypeKind::ExLoc:
-    return repOfType(cast<ExLocPT>(P.get())->body(), Bounds);
+    return repOfType(cast<ExLocPT>(P)->body(), Bounds);
   }
   return Error("unhandled pretype in lowering");
 }
 
 Expected<std::vector<ValType>>
-rw::lower::repOfType(const Type &T, const TypeVarSizes &Bounds) {
+rw::lower::repOfType(TypeRef T, const TypeVarSizes &Bounds) {
   return repOfPretype(T.P, Bounds);
 }
 
@@ -102,7 +102,7 @@ rw::lower::repOfTypes(const std::vector<Type> &Ts,
   return Out;
 }
 
-Expected<uint32_t> rw::lower::byteSizeOfType(const Type &T,
+Expected<uint32_t> rw::lower::byteSizeOfType(TypeRef T,
                                              const TypeVarSizes &Bounds) {
   Expected<std::vector<ValType>> R = repOfType(T, Bounds);
   if (!R)
@@ -121,23 +121,23 @@ Expected<uint32_t> rw::lower::slotBytes(const SizeRef &Sz) {
 }
 
 Expected<std::vector<bool>>
-rw::lower::refMaskOfType(const Type &T, const TypeVarSizes &Bounds) {
+rw::lower::refMaskOfType(TypeRef T, const TypeVarSizes &Bounds) {
   std::vector<bool> Mask;
   // Pointer-ness per component, expanded to 4-byte words.
   // Recompute structurally: walk the type the same way repOfPretype does.
   struct Walker {
     const TypeVarSizes &Bounds;
-    Status walk(const Type &T, std::vector<bool> &Out) {
+    Status walk(TypeRef T, std::vector<bool> &Out) {
       return walkP(T.P, Out);
     }
-    Status walkP(const PretypeRef &P, std::vector<bool> &Out) {
+    Status walkP(const Pretype *P, std::vector<bool> &Out) {
       switch (P->kind()) {
       case PretypeKind::Unit:
       case PretypeKind::Cap:
       case PretypeKind::Own:
         return Status::success();
       case PretypeKind::Num: {
-        uint64_t Bits = numTypeBits(cast<NumPT>(P.get())->numType());
+        uint64_t Bits = numTypeBits(cast<NumPT>(P)->numType());
         for (uint64_t I = 0; I < Bits / 32; ++I)
           Out.push_back(false);
         return Status::success();
@@ -150,13 +150,13 @@ rw::lower::refMaskOfType(const Type &T, const TypeVarSizes &Bounds) {
         Out.push_back(false); // Table index, not a heap pointer.
         return Status::success();
       case PretypeKind::Prod: {
-        for (const Type &E : cast<ProdPT>(P.get())->elems())
+        for (const Type &E : cast<ProdPT>(P)->elems())
           if (Status S = walk(E, Out); !S)
             return S;
         return Status::success();
       }
       case PretypeKind::Skolem: {
-        const auto *Sk = cast<SkolemPT>(P.get());
+        const auto *Sk = cast<SkolemPT>(P);
         NormalSize N = normalizeSize(Sk->sizeUpper());
         if (!N.isConst())
           return Error("pretype bound is not a constant size");
@@ -165,7 +165,7 @@ rw::lower::refMaskOfType(const Type &T, const TypeVarSizes &Bounds) {
         return Status::success();
       }
       case PretypeKind::Var: {
-        uint32_t Idx = cast<VarPT>(P.get())->index();
+        uint32_t Idx = cast<VarPT>(P)->index();
         if (Idx >= Bounds.size())
           return Error("unbound pretype variable in refMask");
         NormalSize N = normalizeSize(Bounds[Idx]);
@@ -177,10 +177,10 @@ rw::lower::refMaskOfType(const Type &T, const TypeVarSizes &Bounds) {
       }
       case PretypeKind::Rec: {
         Subst S = Subst::onePretype(ptrPT(Loc::concrete(MemKind::Unr, 0)));
-        return walk(S.rewrite(cast<RecPT>(P.get())->body()), Out);
+        return walk(S.rewrite(cast<RecPT>(P)->body()), Out);
       }
       case PretypeKind::ExLoc:
-        return walk(cast<ExLocPT>(P.get())->body(), Out);
+        return walk(cast<ExLocPT>(P)->body(), Out);
       }
       return Status::success();
     }

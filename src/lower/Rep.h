@@ -32,11 +32,17 @@ namespace rw::lower {
 
 /// The Wasm-stack representation of a RichWasm type. \p Bounds supplies
 /// the size upper bounds of the pretype variables in scope (a variable is
-/// represented as bound-many raw words, like a skolem).
-Expected<std::vector<wasm::ValType>> repOfType(const ir::Type &T,
+/// represented as bound-many raw words, like a skolem). Borrowed-first:
+/// the lowering's type traffic is InfoMap TypeRef views; owning handles
+/// convert/forward.
+Expected<std::vector<wasm::ValType>> repOfType(ir::TypeRef T,
                                                const ir::TypeVarSizes &Bounds);
 Expected<std::vector<wasm::ValType>>
-repOfPretype(const ir::PretypeRef &P, const ir::TypeVarSizes &Bounds);
+repOfPretype(const ir::Pretype *P, const ir::TypeVarSizes &Bounds);
+inline Expected<std::vector<wasm::ValType>>
+repOfPretype(const ir::PretypeRef &P, const ir::TypeVarSizes &Bounds) {
+  return repOfPretype(P.get(), Bounds);
+}
 
 /// Concatenated representation of a type list (stack order preserved).
 Expected<std::vector<wasm::ValType>>
@@ -48,7 +54,7 @@ inline uint32_t valTypeBytes(wasm::ValType T) {
 }
 
 /// Total bytes a value of type T occupies in memory (components packed).
-Expected<uint32_t> byteSizeOfType(const ir::Type &T,
+Expected<uint32_t> byteSizeOfType(ir::TypeRef T,
                                   const ir::TypeVarSizes &Bounds);
 
 /// Bytes of a memory slot declared with the given (closed) bit size.
@@ -57,7 +63,7 @@ Expected<uint32_t> slotBytes(const ir::SizeRef &Sz);
 /// Per-32-bit-word pointer mask of a value of type T as laid out in
 /// memory (for the garbage collector's header maps). Variable-typed words
 /// are conservatively marked as potential pointers.
-Expected<std::vector<bool>> refMaskOfType(const ir::Type &T,
+Expected<std::vector<bool>> refMaskOfType(ir::TypeRef T,
                                           const ir::TypeVarSizes &Bounds);
 
 /// Packs a word mask (first 29 words) into the header's map bits.

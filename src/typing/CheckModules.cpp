@@ -36,10 +36,24 @@ using namespace rw::ir;
 std::vector<Status>
 rw::typing::checkModules(std::span<const ir::Module *const> Mods,
                          support::ThreadPool &Pool) {
+  return checkModules(Mods, Pool, static_cast<std::vector<InfoMap> *>(nullptr));
+}
+
+std::vector<Status>
+rw::typing::checkModules(std::span<const ir::Module *const> Mods,
+                         support::ThreadPool &Pool,
+                         std::vector<InfoMap> *Infos) {
   size_t NumMods = Mods.size();
   std::vector<ModuleEnv> Envs(NumMods);
   std::vector<Status> TableStatus(NumMods);
   std::vector<std::vector<Status>> FnStatus(NumMods);
+  /// Per-function annotation maps when the caller asked for InfoMaps:
+  /// each function check is confined to one pool task, so it records into
+  /// its own map; the assembly phase below merges them per module in
+  /// function index order (the recorded content is identical to a
+  /// sequential checkModule(M, &IM) — skolem ids restart per function in
+  /// both, and the map key is instruction identity).
+  std::vector<std::vector<InfoMap>> FnInfos(Infos ? NumMods : 0);
   struct WorkItem {
     uint32_t Mod;
     uint32_t Func;
@@ -49,6 +63,10 @@ rw::typing::checkModules(std::span<const ir::Module *const> Mods,
   for (size_t MI = 0; MI < NumMods; ++MI)
     TotalFuncs += Mods[MI]->Funcs.size();
   Work.reserve(TotalFuncs);
+  if (Infos) {
+    Infos->clear();
+    Infos->resize(NumMods);
+  }
   for (size_t MI = 0; MI < NumMods; ++MI) {
     const Module &M = *Mods[MI];
     ArenaScope Scope(M.Arena ? *M.Arena : TypeArena::global());
@@ -61,6 +79,8 @@ rw::typing::checkModules(std::span<const ir::Module *const> Mods,
       continue;
     Envs[MI] = buildModuleEnv(M);
     FnStatus[MI].resize(M.Funcs.size());
+    if (Infos)
+      FnInfos[MI].resize(M.Funcs.size());
     for (size_t FI = 0; FI < M.Funcs.size(); ++FI)
       Work.push_back({static_cast<uint32_t>(MI), static_cast<uint32_t>(FI)});
   }
@@ -69,8 +89,9 @@ rw::typing::checkModules(std::span<const ir::Module *const> Mods,
     const WorkItem &W = Work[I];
     const Module &M = *Mods[W.Mod];
     ArenaScope Scope(M.Arena ? *M.Arena : TypeArena::global());
-    FnStatus[W.Mod][W.Func] =
-        checkFunction(Envs[W.Mod], M.Funcs[W.Func], nullptr);
+    FnStatus[W.Mod][W.Func] = checkFunction(
+        Envs[W.Mod], M.Funcs[W.Func],
+        Infos ? &FnInfos[W.Mod][W.Func] : nullptr);
   });
 
   std::vector<Status> Out;
@@ -85,8 +106,17 @@ rw::typing::checkModules(std::span<const ir::Module *const> Mods,
         if (Status &S = FnStatus[MI][FI]; !S)
           return Error("in function " + std::to_string(FI) + ": " +
                        S.error().message());
-      return detail::checkGlobalsAndStart(M, Envs[MI], nullptr);
+      InfoMap *IM = Infos ? &(*Infos)[MI] : nullptr;
+      if (IM)
+        // Merge the per-function maps in index order (node splice, no
+        // copies); globals/start annotations are recorded below.
+        for (InfoMap &FnIM : FnInfos[MI])
+          IM->merge(FnIM);
+      return detail::checkGlobalsAndStart(M, Envs[MI], IM);
     }());
+    // A rejected module hands over no annotations.
+    if (Infos && !Out.back())
+      (*Infos)[MI].clear();
   }
   return Out;
 }

@@ -83,56 +83,56 @@ private:
   bool Found = false;
 };
 
-bool pretypeHasTypeSkolem(const PretypeRef &P, uint64_t Id);
+bool pretypeHasTypeSkolem(const Pretype *P, uint64_t Id);
 
-bool typeHasTypeSkolem(const Type &T, uint64_t Id) {
+bool typeHasTypeSkolem(TypeRef T, uint64_t Id) {
   // Intern-time occurrence flags make the common no-skolem case O(1).
   if (!(T.P->flags() & TF_HasSkolemType))
     return false;
   return pretypeHasTypeSkolem(T.P, Id);
 }
 
-bool heapHasTypeSkolem(const HeapTypeRef &H, uint64_t Id) {
+bool heapHasTypeSkolem(const HeapType *H, uint64_t Id) {
   if (!(H->flags() & TF_HasSkolemType))
     return false;
   switch (H->kind()) {
   case HeapTypeKind::Variant:
-    for (const Type &T : cast<VariantHT>(H.get())->cases())
+    for (const Type &T : cast<VariantHT>(H)->cases())
       if (typeHasTypeSkolem(T, Id))
         return true;
     return false;
   case HeapTypeKind::Struct:
-    for (const StructField &F : cast<StructHT>(H.get())->fields())
+    for (const StructField &F : cast<StructHT>(H)->fields())
       if (typeHasTypeSkolem(F.T, Id))
         return true;
     return false;
   case HeapTypeKind::Array:
-    return typeHasTypeSkolem(cast<ArrayHT>(H.get())->elem(), Id);
+    return typeHasTypeSkolem(cast<ArrayHT>(H)->elem(), Id);
   case HeapTypeKind::Ex:
-    return typeHasTypeSkolem(cast<ExHT>(H.get())->body(), Id);
+    return typeHasTypeSkolem(cast<ExHT>(H)->body(), Id);
   }
   return false;
 }
 
-bool pretypeHasTypeSkolem(const PretypeRef &P, uint64_t Id) {
+bool pretypeHasTypeSkolem(const Pretype *P, uint64_t Id) {
   switch (P->kind()) {
   case PretypeKind::Skolem:
-    return cast<SkolemPT>(P.get())->id() == Id;
+    return cast<SkolemPT>(P)->id() == Id;
   case PretypeKind::Prod:
-    for (const Type &T : cast<ProdPT>(P.get())->elems())
+    for (const Type &T : cast<ProdPT>(P)->elems())
       if (typeHasTypeSkolem(T, Id))
         return true;
     return false;
   case PretypeKind::Ref:
-    return heapHasTypeSkolem(cast<RefPT>(P.get())->heapType(), Id);
+    return heapHasTypeSkolem(cast<RefPT>(P)->heapType().get(), Id);
   case PretypeKind::Cap:
-    return heapHasTypeSkolem(cast<CapPT>(P.get())->heapType(), Id);
+    return heapHasTypeSkolem(cast<CapPT>(P)->heapType().get(), Id);
   case PretypeKind::Rec:
-    return typeHasTypeSkolem(cast<RecPT>(P.get())->body(), Id);
+    return typeHasTypeSkolem(cast<RecPT>(P)->body(), Id);
   case PretypeKind::ExLoc:
-    return typeHasTypeSkolem(cast<ExLocPT>(P.get())->body(), Id);
+    return typeHasTypeSkolem(cast<ExLocPT>(P)->body(), Id);
   case PretypeKind::Coderef: {
-    const FunType &FT = *cast<CoderefPT>(P.get())->funType();
+    const FunType &FT = *cast<CoderefPT>(P)->funType();
     for (const Type &T : FT.arrow().Params)
       if (typeHasTypeSkolem(T, Id))
         return true;
@@ -146,12 +146,12 @@ bool pretypeHasTypeSkolem(const PretypeRef &P, uint64_t Id) {
   }
 }
 
-bool typeHasLocSkolem(const Type &T, uint64_t Id) {
+bool typeHasLocSkolem(TypeRef T, uint64_t Id) {
   // Intern-time occurrence flags make the common no-skolem case O(1).
   if (!(T.P->flags() & TF_HasSkolemLoc))
     return false;
   SkolemScan S(Id, 0, true, false);
-  return S.found(T);
+  return S.found(T.own());
 }
 
 //===----------------------------------------------------------------------===//
@@ -192,8 +192,12 @@ public:
   FunCtx F;
   /// The one operand stack of this function check, shared by all blocks
   /// (see State::Base). Inline capacity covers every realistic operand
-  /// depth, so steady-state checking performs no stack allocation.
-  support::SmallVec<Type, 24> Stack;
+  /// depth, so steady-state checking performs no stack allocation. Entries
+  /// are borrowed TypeRef views (every node is arena-interned), so pushes,
+  /// pops, copies, and truncation are refcount-free flat moves — the ~24
+  /// atomic release ops per function the F7 profile charged to the old
+  /// shared_ptr stack are gone.
+  support::SmallVec<TypeRef, 24> Stack;
 
 private:
   /// Per-check cache of the numeric pretypes (and i32/unit, the two the
@@ -201,24 +205,24 @@ private:
   /// one CheckerImpl (ArenaScope), so caching canonical nodes here turns
   /// every numT/i32T site from an arena round-trip (thread-local read +
   /// atomic leaf-slot load + shared_from_this) into a member read.
-  Type numCached(NumType NT) {
-    Type &Slot = NumCache[static_cast<size_t>(NT)];
+  TypeRef numCached(NumType NT) {
+    TypeRef &Slot = NumCache[static_cast<size_t>(NT)];
     if (!Slot.valid())
       Slot = numT(NT);
     return Slot;
   }
-  Type i32Cached() {
+  TypeRef i32Cached() {
     if (!I32Cache.valid())
       I32Cache = i32T();
     return I32Cache;
   }
-  Type unitCached() {
+  TypeRef unitCached() {
     if (!UnitCache.valid())
       UnitCache = unitT();
     return UnitCache;
   }
-  Type NumCache[6];
-  Type I32Cache, UnitCache;
+  TypeRef NumCache[6];
+  TypeRef I32Cache, UnitCache;
 
   const ModuleEnv &Env;
   InfoMap *IM;
@@ -228,7 +232,7 @@ private:
   /// first, then the function's quantified locations.
   support::SmallVec<Loc, 8> LocBinders;
   /// Reused scratch for struct.malloc's field list (span-probe interning).
-  support::SmallVec<StructField, 8> ScratchFields;
+  support::SmallVec<StructFieldRef, 8> ScratchFields;
 
   /// Resolves a location annotation against the open unpack binders.
   Loc resolveLoc(const Loc &L) const {
@@ -249,15 +253,15 @@ private:
   /// Number of operands visible to the current block.
   size_t depth(const State &St) const { return Stack.size() - St.Base; }
 
-  Expected<Type> popAny(State &St, const char *What) {
+  Expected<TypeRef> popAny(State &St, const char *What) {
     if (Stack.size() <= St.Base)
       return err(std::string("stack underflow at ") + What);
-    Type T = std::move(Stack.back());
+    TypeRef T = Stack.back();
     Stack.pop_back();
     return T;
   }
 
-  Status popExpect(State &St, const Type &Want, const char *What) {
+  Status popExpect(State &St, TypeRef Want, const char *What) {
     if (Stack.size() <= St.Base)
       return err(std::string("stack underflow at ") + What);
     // Pointer equality on interned types; no Type copy on the hot path.
@@ -276,20 +280,31 @@ private:
     return Status::success();
   }
 
-  void push(State &, Type T) { Stack.push_back(std::move(T)); }
+  void push(State &, TypeRef T) { Stack.push_back(T); }
   void pushAll(State &, const std::vector<Type> &Ts) {
     for (const Type &T : Ts)
       Stack.push_back(T);
   }
 
+  /// Borrows an owning type list (instruction arrows) for InfoMap notes.
+  static std::vector<TypeRef> refs(const std::vector<Type> &Ts) {
+    return std::vector<TypeRef>(Ts.begin(), Ts.end());
+  }
+
   bool isUnr(Qual Q) const { return qualIsUnr(Q, F.Kinds); }
   bool isLin(Qual Q) const { return qualIsLin(Q, F.Kinds); }
 
-  /// Records operand/result annotations for the lowering.
-  void note(const Inst &I, std::vector<Type> Operands,
-            std::vector<Type> Results) {
-    if (!IM)
-      return;
+  /// Whether an annotation for \p I should be recorded at all: an InfoMap
+  /// was requested and the lowering consults this instruction kind. Call
+  /// sites gate on this *before* materializing the operand/result vectors.
+  bool noteNeeded(const Inst &I) const {
+    return IM && infoConsumedByLowering(I.kind());
+  }
+
+  /// Records operand/result annotations for the lowering (borrowed views;
+  /// see the InfoMap lifetime contract in Checker.h).
+  void note(const Inst &I, std::vector<TypeRef> Operands,
+            std::vector<TypeRef> Results) {
     (*IM)[&I] = InstInfo{std::move(Operands), std::move(Results)};
   }
 
@@ -305,7 +320,7 @@ private:
     if (A.size() != B.size())
       return false;
     for (size_t I = 0; I < A.size(); ++I)
-      if (!typeEquals(A[I].T, B[I].T) || !sizeEquals(A[I].Slot, B[I].Slot))
+      if (!typeEquals(A[I].T, B[I].T) || A[I].Slot != B[I].Slot)
         return false;
     return true;
   }
@@ -339,7 +354,7 @@ private:
   /// truncated back to the outer height — the caller pushes the results.
   Status checkBlockBody(State &Outer, const ArrowType &TF,
                         const LocalEnv &LPrime, const InstVec &Body,
-                        bool IsLoop, const Type *ExtraStack = nullptr) {
+                        bool IsLoop, const TypeRef *ExtraStack = nullptr) {
     // All values remaining below this block must keep their qualifiers in
     // mind when someone branches past the block: record whether they are
     // all unrestricted (the paper's F.linear head "lock-in"). Values below
@@ -442,8 +457,8 @@ Status CheckerImpl::checkNumeric(const Inst &I, State &St) {
   switch (I.kind()) {
   case InstKind::NumConst: {
     const auto *C = cast<NumConstInst>(&I);
-    Type T = numCached(C->numType());
-    if (IM)
+    TypeRef T = numCached(C->numType());
+    if (noteNeeded(I))
       note(I, {}, {T});
     push(St, T);
     return Status::success();
@@ -452,10 +467,10 @@ Status CheckerImpl::checkNumeric(const Inst &I, State &St) {
     const auto *U = cast<NumUnopInst>(&I);
     if (isIntType(U->numType()) != isIntUnop(U->op()))
       return err("unary operator does not match numeric type");
-    Type T = numCached(U->numType());
+    TypeRef T = numCached(U->numType());
     if (Status S = popExpect(St, T, "unop"); !S)
       return S;
-    if (IM)
+    if (noteNeeded(I))
       note(I, {T}, {T});
     push(St, T);
     return Status::success();
@@ -466,12 +481,12 @@ Status CheckerImpl::checkNumeric(const Inst &I, State &St) {
       return err("float operator applied at integer type");
     if (isFloatType(B->numType()) && isIntOnlyBinop(B->op()))
       return err("integer operator applied at float type");
-    Type T = numCached(B->numType());
+    TypeRef T = numCached(B->numType());
     if (Status S = popExpect(St, T, "binop"); !S)
       return S;
     if (Status S = popExpect(St, T, "binop"); !S)
       return S;
-    if (IM)
+    if (noteNeeded(I))
       note(I, {T, T}, {T});
     push(St, T);
     return Status::success();
@@ -480,22 +495,22 @@ Status CheckerImpl::checkNumeric(const Inst &I, State &St) {
     const auto *T = cast<NumTestopInst>(&I);
     if (!isIntType(T->numType()))
       return err("testop requires an integer type");
-    Type In = numCached(T->numType());
+    TypeRef In = numCached(T->numType());
     if (Status S = popExpect(St, In, "testop"); !S)
       return S;
-    if (IM)
+    if (noteNeeded(I))
       note(I, {In}, {i32Cached()});
     push(St, i32Cached());
     return Status::success();
   }
   case InstKind::NumRelop: {
     const auto *R = cast<NumRelopInst>(&I);
-    Type In = numCached(R->numType());
+    TypeRef In = numCached(R->numType());
     if (Status S = popExpect(St, In, "relop"); !S)
       return S;
     if (Status S = popExpect(St, In, "relop"); !S)
       return S;
-    if (IM)
+    if (noteNeeded(I))
       note(I, {In, In}, {i32Cached()});
     push(St, i32Cached());
     return Status::success();
@@ -505,11 +520,11 @@ Status CheckerImpl::checkNumeric(const Inst &I, State &St) {
     if (C->op() == CvtopKind::Reinterpret &&
         numTypeBits(C->from()) != numTypeBits(C->to()))
       return err("reinterpret requires same-width types");
-    Type In = numCached(C->from());
-    Type Out = numCached(C->to());
+    TypeRef In = numCached(C->from());
+    TypeRef Out = numCached(C->to());
     if (Status S = popExpect(St, In, "cvtop"); !S)
       return S;
-    if (IM)
+    if (noteNeeded(I))
       note(I, {In}, {Out});
     push(St, Out);
     return Status::success();
@@ -530,15 +545,15 @@ Status CheckerImpl::checkCallLike(const Inst &I, State &St) {
     if (C->funcIndex() >= Env.Table.size())
       return err("coderef index " + std::to_string(C->funcIndex()) +
                  " out of table range");
-    Type T(coderefPT(Env.Table[C->funcIndex()]), Qual::unr());
-    if (IM)
+    TypeRef T(coderefPT(Env.Table[C->funcIndex()]).get(), Qual::unr());
+    if (noteNeeded(I))
       note(I, {}, {T});
     push(St, T);
     return Status::success();
   }
   case InstKind::InstIdx: {
     const auto *II = cast<InstIdxInst>(&I);
-    Expected<Type> T = popAny(St, "inst");
+    Expected<TypeRef> T = popAny(St, "inst");
     if (!T)
       return T.error();
     const auto *CR = dyn_cast<CoderefPT>(T->P);
@@ -556,14 +571,14 @@ Status CheckerImpl::checkCallLike(const Inst &I, State &St) {
     FunTypeRef Trunc = FunType::get(std::move(Rest), FT.arrow());
     Subst Sub = Subst::fromIndices(II->args());
     FunTypeRef NewFT = Sub.rewrite(Trunc);
-    Type Out(coderefPT(NewFT), T->Q);
-    if (IM)
+    TypeRef Out(coderefPT(NewFT).get(), T->Q);
+    if (noteNeeded(I))
       note(I, {*T}, {Out});
     push(St, Out);
     return Status::success();
   }
   case InstKind::CallIndirect: {
-    Expected<Type> T = popAny(St, "call_indirect");
+    Expected<TypeRef> T = popAny(St, "call_indirect");
     if (!T)
       return T.error();
     const auto *CR = dyn_cast<CoderefPT>(T->P);
@@ -574,10 +589,10 @@ Status CheckerImpl::checkCallLike(const Inst &I, State &St) {
       return err("call_indirect requires a fully instantiated coderef");
     if (Status S = popParams(St, FT.arrow().Params, "call_indirect"); !S)
       return S;
-    if (IM) {
-      std::vector<Type> Ops = FT.arrow().Params;
+    if (noteNeeded(I)) {
+      std::vector<TypeRef> Ops = refs(FT.arrow().Params);
       Ops.push_back(*T);
-      note(I, std::move(Ops), FT.arrow().Results);
+      note(I, std::move(Ops), refs(FT.arrow().Results));
     }
     pushAll(St, FT.arrow().Results);
     return Status::success();
@@ -601,8 +616,8 @@ Status CheckerImpl::checkCallLike(const Inst &I, State &St) {
                           : (Subbed = instantiateFunType(FT, C->args()));
     if (Status S = popParams(St, Arrow.Params, "call"); !S)
       return S;
-    if (IM)
-      note(I, Arrow.Params, Arrow.Results);
+    if (noteNeeded(I))
+      note(I, refs(Arrow.Params), refs(Arrow.Results));
     pushAll(St, Arrow.Results);
     return Status::success();
   }
@@ -631,22 +646,22 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
   case InstKind::Nop:
     return Status::success();
   case InstKind::Drop: {
-    Expected<Type> T = popAny(St, "drop");
+    Expected<TypeRef> T = popAny(St, "drop");
     if (!T)
       return T.error();
     if (!isUnr(T->Q))
       return err("drop of a linear value of type " + printType(*T));
-    if (IM)
+    if (noteNeeded(I))
       note(I, {*T}, {});
     return Status::success();
   }
   case InstKind::Select: {
     if (Status S = popExpect(St, i32Cached(), "select"); !S)
       return S;
-    Expected<Type> T2 = popAny(St, "select");
+    Expected<TypeRef> T2 = popAny(St, "select");
     if (!T2)
       return T2.error();
-    Expected<Type> T1 = popAny(St, "select");
+    Expected<TypeRef> T1 = popAny(St, "select");
     if (!T1)
       return T1.error();
     if (!typeEquals(*T1, *T2))
@@ -654,7 +669,7 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
                  printType(*T2));
     if (!isUnr(T1->Q))
       return err("select would drop a linear value");
-    if (IM)
+    if (noteNeeded(I))
       note(I, {*T1, *T2, i32Cached()}, {*T1});
     push(St, *T1);
     return Status::success();
@@ -672,8 +687,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
         !S)
       return S;
     St.Locals = *LP;
-    if (IM)
-      note(I, B->arrow().Params, B->arrow().Results);
+    if (noteNeeded(I))
+      note(I, refs(B->arrow().Params), refs(B->arrow().Results));
     pushAll(St, B->arrow().Results);
     return Status::success();
   }
@@ -686,8 +701,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
                                   /*IsLoop=*/true);
         !S)
       return S;
-    if (IM)
-      note(I, L->arrow().Params, L->arrow().Results);
+    if (noteNeeded(I))
+      note(I, refs(L->arrow().Params), refs(L->arrow().Results));
     pushAll(St, L->arrow().Results);
     return Status::success();
   }
@@ -709,8 +724,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
         !S)
       return S;
     St.Locals = *LP;
-    if (IM)
-      note(I, FI->arrow().Params, FI->arrow().Results);
+    if (noteNeeded(I))
+      note(I, refs(FI->arrow().Params), refs(FI->arrow().Results));
     pushAll(St, FI->arrow().Results);
     return Status::success();
   }
@@ -750,7 +765,7 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     for (const LabelEntry &E : F.Labels)
       if (E.Height == 0)
         return err("return would drop a linear value locked under a label");
-    for (const LocalSlot &L : St.Locals)
+    for (const LocalSlotRef &L : St.Locals)
       if (!isUnr(L.T.Q))
         return err("return with a linear value still in a local");
     St.Unreachable = true;
@@ -761,11 +776,11 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     const auto *G = cast<GetLocalInst>(&I);
     if (G->index() >= St.Locals.size())
       return err("get_local " + std::to_string(G->index()) + " out of range");
-    const LocalSlot &Slot = St.Locals[G->index()];
+    const LocalSlotRef &Slot = St.Locals[G->index()];
     if (Slot.T.Q != G->qual())
       return err("get_local qualifier annotation " + G->qual().str() +
                  " disagrees with slot qualifier " + Slot.T.Q.str());
-    Type Out = Slot.T;
+    TypeRef Out = Slot.T;
     if (isUnr(Slot.T.Q)) {
       // Copy; slot keeps its type — the environment is untouched, so a
       // shared buffer stays shared.
@@ -773,7 +788,7 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
       // Move; the slot reverts to unrestricted unit.
       St.Locals.mut(G->index()).T = unitCached();
     }
-    if (IM)
+    if (noteNeeded(I))
       note(I, {}, {Out});
     push(St, Out);
     return Status::success();
@@ -782,10 +797,10 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     const auto *SI = cast<VarIdxInst>(&I);
     if (SI->index() >= St.Locals.size())
       return err("set_local " + std::to_string(SI->index()) + " out of range");
-    Expected<Type> T = popAny(St, "set_local");
+    Expected<TypeRef> T = popAny(St, "set_local");
     if (!T)
       return T.error();
-    const LocalSlot &Slot = St.Locals[SI->index()];
+    const LocalSlotRef &Slot = St.Locals[SI->index()];
     if (!isUnr(Slot.T.Q))
       return err("set_local would drop the linear value in slot " +
                  std::to_string(SI->index()));
@@ -796,7 +811,7 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     // environment — skip the COW fork entirely.
     if (!typeEquals(Slot.T, *T))
       St.Locals.mut(SI->index()).T = *T;
-    if (IM)
+    if (noteNeeded(I))
       note(I, {*T}, {});
     return Status::success();
   }
@@ -804,12 +819,12 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     const auto *TI = cast<VarIdxInst>(&I);
     if (TI->index() >= St.Locals.size())
       return err("tee_local " + std::to_string(TI->index()) + " out of range");
-    Expected<Type> T = popAny(St, "tee_local");
+    Expected<TypeRef> T = popAny(St, "tee_local");
     if (!T)
       return T.error();
     if (!isUnr(T->Q))
       return err("tee_local duplicates a linear value");
-    const LocalSlot &Slot = St.Locals[TI->index()];
+    const LocalSlotRef &Slot = St.Locals[TI->index()];
     if (!isUnr(Slot.T.Q))
       return err("tee_local would drop the linear value in slot " +
                  std::to_string(TI->index()));
@@ -817,7 +832,7 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
       return err("tee_local: value does not fit the slot");
     if (!typeEquals(Slot.T, *T))
       St.Locals.mut(TI->index()).T = *T;
-    if (IM)
+    if (noteNeeded(I))
       note(I, {*T}, {*T});
     push(St, *T);
     return Status::success();
@@ -826,8 +841,8 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     const auto *G = cast<VarIdxInst>(&I);
     if (G->index() >= Env.Globals.size())
       return err("get_global " + std::to_string(G->index()) + " out of range");
-    Type T(Env.Globals[G->index()].P, Qual::unr());
-    if (IM)
+    TypeRef T(Env.Globals[G->index()].P.get(), Qual::unr());
+    if (noteNeeded(I))
       note(I, {}, {T});
     push(St, T);
     return Status::success();
@@ -840,14 +855,14 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     if (!GT.Mut)
       return err("set_global of immutable global " +
                  std::to_string(G->index()));
-    Expected<Type> T = popAny(St, "set_global");
+    Expected<TypeRef> T = popAny(St, "set_global");
     if (!T)
       return T.error();
-    if (!pretypeEquals(*T->P, *GT.P))
+    if (T->P != GT.P.get())
       return err("set_global type mismatch");
     if (!isUnr(T->Q))
       return err("globals hold unrestricted values only");
-    if (IM)
+    if (noteNeeded(I))
       note(I, {*T}, {});
     return Status::success();
   }
@@ -855,15 +870,15 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     const auto *Q = cast<QualifyInst>(&I);
     if (Status S = wfQual(Q->qual(), F.Kinds); !S)
       return S;
-    Expected<Type> T = popAny(St, "qualify");
+    Expected<TypeRef> T = popAny(St, "qualify");
     if (!T)
       return T.error();
     if (!leqQual(T->Q, Q->qual(), F.Kinds))
       return err("qualify can only strengthen the qualifier upward");
-    Type Out(T->P, Q->qual());
+    TypeRef Out(T->P, Q->qual());
     if (Status S = wfType(Out, F.Kinds); !S)
       return S;
-    if (IM)
+    if (noteNeeded(I))
       note(I, {*T}, {Out});
     push(St, Out);
     return Status::success();
@@ -886,22 +901,22 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     Type Unfolded = Sub.rewrite(Rec->body());
     if (Status S = popExpect(St, Unfolded, "rec.fold"); !S)
       return S;
-    Type Out(RF->pretype(), Rec->body().Q);
-    if (IM)
+    TypeRef Out(RF->pretype().get(), Rec->body().Q);
+    if (noteNeeded(I))
       note(I, {Unfolded}, {Out});
     push(St, Out);
     return Status::success();
   }
   case InstKind::RecUnfold: {
-    Expected<Type> T = popAny(St, "rec.unfold");
+    Expected<TypeRef> T = popAny(St, "rec.unfold");
     if (!T)
       return T.error();
     const auto *Rec = dyn_cast<RecPT>(T->P);
     if (!Rec)
       return err("rec.unfold expects a recursive type");
-    Subst Sub = Subst::onePretype(T->P);
+    Subst Sub = Subst::onePretype(T->P->shared_from_this());
     Type Out = Sub.rewrite(Rec->body());
-    if (IM)
+    if (noteNeeded(I))
       note(I, {*T}, {Out});
     push(St, Out);
     return Status::success();
@@ -911,20 +926,20 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     Loc Target = resolveLoc(MP->loc());
     if (Status S = wfLoc(Target, F.Kinds); !S)
       return S;
-    Expected<Type> T = popAny(St, "mem.pack");
+    Expected<TypeRef> T = popAny(St, "mem.pack");
     if (!T)
       return T.error();
     AbstractLoc Abs(Target);
-    PretypeRef Body = Abs.TypeRewriter::rewrite(T->P);
-    Type Out(exLocPT(Type(Body, T->Q)), T->Q);
-    if (IM)
+    PretypeRef Body = Abs.TypeRewriter::rewrite(T->P->shared_from_this());
+    TypeRef Out(exLocPT(Type(Body, T->Q)).get(), T->Q);
+    if (noteNeeded(I))
       note(I, {*T}, {Out});
     push(St, Out);
     return Status::success();
   }
   case InstKind::MemUnpack: {
     const auto *MU = cast<MemUnpackInst>(&I);
-    Expected<Type> T = popAny(St, "mem.unpack");
+    Expected<TypeRef> T = popAny(St, "mem.unpack");
     if (!T)
       return T.error();
     const auto *Ex = dyn_cast<ExLocPT>(T->P);
@@ -938,23 +953,24 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     uint64_t SkId = NextSkolem++;
     Subst Sub = Subst::oneLoc(Loc::skolem(SkId));
     Type Opened = Sub.rewrite(Ex->body());
+    TypeRef OpenedRef = Opened;
     LocBinders.push_back(Loc::skolem(SkId));
     Status BodySt = checkBlockBody(St, MU->arrow(), *LP, MU->body(),
-                                   /*IsLoop=*/false, &Opened);
+                                   /*IsLoop=*/false, &OpenedRef);
     LocBinders.pop_back();
     if (!BodySt)
       return BodySt;
     for (const Type &R : MU->arrow().Results)
       if (typeHasLocSkolem(R, SkId))
         return err("mem.unpack: abstract location escapes in a result type");
-    for (const LocalSlot &L : *LP)
+    for (const LocalSlotRef &L : *LP)
       if (typeHasLocSkolem(L.T, SkId))
         return err("mem.unpack: abstract location escapes in a local");
     St.Locals = *LP;
-    if (IM) {
-      std::vector<Type> Ops = MU->arrow().Params;
+    if (noteNeeded(I)) {
+      std::vector<TypeRef> Ops = refs(MU->arrow().Params);
       Ops.push_back(*T);
-      note(I, std::move(Ops), MU->arrow().Results);
+      note(I, std::move(Ops), refs(MU->arrow().Results));
     }
     pushAll(St, MU->arrow().Results);
     return Status::success();
@@ -966,50 +982,51 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
       return S;
     if (depth(St) < G->count())
       return err("seq.group: stack underflow");
-    const Type *Elems = Stack.end() - G->count();
+    const TypeRef *Elems = Stack.end() - G->count();
     for (size_t J = 0; J < G->count(); ++J)
       if (!leqQual(Elems[J].Q, G->qual(), F.Kinds))
         return err("seq.group: component qualifier exceeds tuple qualifier");
-    Type Out(TypeArena::current().prodSpan(Elems, G->count()), G->qual());
-    if (IM)
-      note(I, std::vector<Type>(Elems, Elems + G->count()), {Out});
+    TypeRef Out(TypeArena::current().prodSpan(Elems, G->count()).get(),
+                G->qual());
+    if (noteNeeded(I))
+      note(I, std::vector<TypeRef>(Elems, Elems + G->count()), {Out});
     Stack.truncate(Stack.size() - G->count());
     push(St, Out);
     return Status::success();
   }
   case InstKind::Ungroup: {
-    Expected<Type> T = popAny(St, "seq.ungroup");
+    Expected<TypeRef> T = popAny(St, "seq.ungroup");
     if (!T)
       return T.error();
     const auto *P = dyn_cast<ProdPT>(T->P);
     if (!P)
       return err("seq.ungroup expects a tuple");
-    if (IM)
-      note(I, {*T}, P->elems());
+    if (noteNeeded(I))
+      note(I, {*T}, refs(P->elems()));
     pushAll(St, P->elems());
     return Status::success();
   }
 
   case InstKind::CapSplit: {
-    Expected<Type> T = popAny(St, "cap.split");
+    Expected<TypeRef> T = popAny(St, "cap.split");
     if (!T)
       return T.error();
     const auto *C = dyn_cast<CapPT>(T->P);
     if (!C || C->privilege() != Privilege::RW)
       return err("cap.split expects a read-write capability");
-    Type RCap(capPT(Privilege::R, C->loc(), C->heapType()), T->Q);
-    Type Own(ownPT(C->loc()), T->Q);
-    if (IM)
+    TypeRef RCap(capPT(Privilege::R, C->loc(), C->heapType()).get(), T->Q);
+    TypeRef Own(ownPT(C->loc()).get(), T->Q);
+    if (noteNeeded(I))
       note(I, {*T}, {RCap, Own});
     push(St, RCap);
     push(St, Own);
     return Status::success();
   }
   case InstKind::CapJoin: {
-    Expected<Type> TOwn = popAny(St, "cap.join");
+    Expected<TypeRef> TOwn = popAny(St, "cap.join");
     if (!TOwn)
       return TOwn.error();
-    Expected<Type> TCap = popAny(St, "cap.join");
+    Expected<TypeRef> TCap = popAny(St, "cap.join");
     if (!TCap)
       return TCap.error();
     const auto *O = dyn_cast<OwnPT>(TOwn->P);
@@ -1019,45 +1036,46 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
     if (C->loc() != O->loc())
       return err("cap.join: capability and ownership token disagree on the "
                  "location");
-    Type Out(capPT(Privilege::RW, C->loc(), C->heapType()), TCap->Q);
-    if (IM)
+    TypeRef Out(capPT(Privilege::RW, C->loc(), C->heapType()).get(),
+                TCap->Q);
+    if (noteNeeded(I))
       note(I, {*TCap, *TOwn}, {Out});
     push(St, Out);
     return Status::success();
   }
   case InstKind::RefDemote: {
-    Expected<Type> T = popAny(St, "ref.demote");
+    Expected<TypeRef> T = popAny(St, "ref.demote");
     if (!T)
       return T.error();
     const auto *R = dyn_cast<RefPT>(T->P);
     if (!R || R->privilege() != Privilege::RW)
       return err("ref.demote expects a read-write reference");
-    Type Out(refPT(Privilege::R, R->loc(), R->heapType()), T->Q);
-    if (IM)
+    TypeRef Out(refPT(Privilege::R, R->loc(), R->heapType()).get(), T->Q);
+    if (noteNeeded(I))
       note(I, {*T}, {Out});
     push(St, Out);
     return Status::success();
   }
   case InstKind::RefSplit: {
-    Expected<Type> T = popAny(St, "ref.split");
+    Expected<TypeRef> T = popAny(St, "ref.split");
     if (!T)
       return T.error();
     const auto *R = dyn_cast<RefPT>(T->P);
     if (!R)
       return err("ref.split expects a reference");
-    Type Cap(capPT(R->privilege(), R->loc(), R->heapType()), T->Q);
-    Type Ptr(ptrPT(R->loc()), Qual::unr());
-    if (IM)
+    TypeRef Cap(capPT(R->privilege(), R->loc(), R->heapType()).get(), T->Q);
+    TypeRef Ptr(ptrPT(R->loc()).get(), Qual::unr());
+    if (noteNeeded(I))
       note(I, {*T}, {Cap, Ptr});
     push(St, Cap);
     push(St, Ptr);
     return Status::success();
   }
   case InstKind::RefJoin: {
-    Expected<Type> TPtr = popAny(St, "ref.join");
+    Expected<TypeRef> TPtr = popAny(St, "ref.join");
     if (!TPtr)
       return TPtr.error();
-    Expected<Type> TCap = popAny(St, "ref.join");
+    Expected<TypeRef> TCap = popAny(St, "ref.join");
     if (!TCap)
       return TCap.error();
     const auto *P = dyn_cast<PtrPT>(TPtr->P);
@@ -1066,8 +1084,9 @@ Status CheckerImpl::checkInst(const Inst &I, State &St) {
       return err("ref.join expects a capability and a pointer");
     if (P->loc() != C->loc())
       return err("ref.join: capability and pointer disagree on the location");
-    Type Out(refPT(C->privilege(), C->loc(), C->heapType()), TCap->Q);
-    if (IM)
+    TypeRef Out(refPT(C->privilege(), C->loc(), C->heapType()).get(),
+                TCap->Q);
+    if (noteNeeded(I))
       note(I, {*TCap, *TPtr}, {Out});
     push(St, Out);
     return Status::success();
@@ -1091,7 +1110,7 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
     size_t N = SM->sizes().size();
     if (depth(St) < N)
       return err("struct.malloc: stack underflow");
-    const Type *Fields = Stack.end() - N;
+    const TypeRef *Fields = Stack.end() - N;
     ScratchFields.clear();
     for (size_t J = 0; J < N; ++J) {
       if (Status S = wfSize(SM->sizes()[J], F.Kinds); !S)
@@ -1101,15 +1120,16 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
                    " does not fit its declared slot");
       if (!noCaps(Fields[J], F.Kinds))
         return err("struct.malloc: capabilities cannot be stored on the heap");
-      ScratchFields.push_back({Fields[J], SM->sizes()[J]});
+      ScratchFields.push_back({Fields[J], SM->sizes()[J].get()});
     }
-    Type Ref(refPT(Privilege::RW, Loc::var(0),
-                   TypeArena::current().structureSpan(ScratchFields.begin(),
-                                                     ScratchFields.size())),
-             SM->qual());
-    Type Out(exLocPT(Ref), SM->qual());
-    if (IM)
-      note(I, std::vector<Type>(Stack.end() - N, Stack.end()), {Out});
+    TypeRef Ref(refPT(Privilege::RW, Loc::var(0),
+                      TypeArena::current().structureSpan(
+                          ScratchFields.begin(), ScratchFields.size()))
+                    .get(),
+                SM->qual());
+    TypeRef Out(exLocPT(Ref.own()).get(), SM->qual());
+    if (noteNeeded(I))
+      note(I, std::vector<TypeRef>(Stack.end() - N, Stack.end()), {Out});
     Stack.truncate(Stack.size() - N);
     push(St, Out);
     return Status::success();
@@ -1117,7 +1137,7 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
 
   case InstKind::StructFree:
   case InstKind::ArrayFree: {
-    Expected<Type> T = popAny(St, "free");
+    Expected<TypeRef> T = popAny(St, "free");
     if (!T)
       return T.error();
     const auto *R = dyn_cast<RefPT>(T->P);
@@ -1127,7 +1147,7 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
       return err("free of a non-linear reference");
     if (R->loc().isConcrete() && R->loc().mem() != MemKind::Lin)
       return err("free of an unrestricted-memory reference");
-    if (IM)
+    if (noteNeeded(I))
       note(I, {*T}, {});
     return Status::success();
   }
@@ -1136,7 +1156,7 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
     const auto *SG = cast<StructIdxInst>(&I);
     if (depth(St) == 0)
       return err("struct.get: stack underflow");
-    const Type &RefT = Stack.back();
+    const TypeRef &RefT = Stack.back();
     const auto *R = dyn_cast<RefPT>(RefT.P);
     const StructHT *H = R ? dyn_cast<StructHT>(R->heapType()) : nullptr;
     if (!H)
@@ -1146,7 +1166,7 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
     const Type &FieldT = H->fields()[SG->fieldIndex()].T;
     if (!isUnr(FieldT.Q))
       return err("struct.get of a linear field (use struct.swap)");
-    if (IM)
+    if (noteNeeded(I))
       note(I, {RefT}, {RefT, FieldT});
     push(St, FieldT);
     return Status::success();
@@ -1157,12 +1177,12 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
     const auto *SS = cast<StructIdxInst>(&I);
     bool IsSwap = I.kind() == InstKind::StructSwap;
     const char *Name = IsSwap ? "struct.swap" : "struct.set";
-    Expected<Type> NewT = popAny(St, Name);
+    Expected<TypeRef> NewT = popAny(St, Name);
     if (!NewT)
       return NewT.error();
     if (depth(St) == 0)
       return err(std::string(Name) + ": stack underflow");
-    Type RefT = Stack.back();
+    TypeRef RefT = Stack.back();
     const auto *R = dyn_cast<RefPT>(RefT.P);
     const StructHT *H = R ? dyn_cast<StructHT>(R->heapType()) : nullptr;
     if (!H)
@@ -1185,22 +1205,22 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
     if (!isLin(RefT.Q) && !SameFieldType)
       return err(std::string(Name) +
                  ": strong update through a non-linear reference");
-    Type NewRef = RefT;
+    TypeRef NewRef = RefT;
     if (!SameFieldType) {
       // Only a genuinely strong update changes the reference type; a
       // type-preserving write reuses the canonical node outright.
       std::vector<StructField> NewFields = H->fields();
-      NewFields[SS->fieldIndex()].T = *NewT;
-      NewRef =
-          Type(refPT(Privilege::RW, R->loc(), structHT(NewFields)), RefT.Q);
+      NewFields[SS->fieldIndex()].T = NewT->own();
+      NewRef = TypeRef(
+          refPT(Privilege::RW, R->loc(), structHT(NewFields)).get(), RefT.Q);
     }
     Stack.back() = NewRef;
     if (IsSwap) {
-      if (IM)
+      if (noteNeeded(I))
         note(I, {RefT, *NewT}, {NewRef, Field.T});
       push(St, Field.T);
     } else {
-      if (IM)
+      if (noteNeeded(I))
         note(I, {RefT, *NewT}, {NewRef});
     }
     return Status::success();
@@ -1222,12 +1242,13 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
     if (Status S = popExpect(St, VM->cases()[VM->tag()], "variant.malloc");
         !S)
       return S;
-    Type Ref(refPT(Privilege::RW, Loc::var(0),
-                   TypeArena::current().variantSpan(VM->cases().data(),
-                                                   VM->cases().size())),
-             VM->qual());
-    Type Out(exLocPT(Ref), VM->qual());
-    if (IM)
+    TypeRef Ref(refPT(Privilege::RW, Loc::var(0),
+                      TypeArena::current().variantSpan(VM->cases().data(),
+                                                       VM->cases().size()))
+                    .get(),
+                VM->qual());
+    TypeRef Out(exLocPT(Ref.own()).get(), VM->qual());
+    if (noteNeeded(I))
       note(I, {VM->cases()[VM->tag()]}, {Out});
     push(St, Out);
     return Status::success();
@@ -1242,7 +1263,7 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
       return err("variant.case: arm count disagrees with the variant");
     if (Status S = popParams(St, VC->arrow().Params, "variant.case"); !S)
       return S;
-    Expected<Type> RefT = popAny(St, "variant.case");
+    Expected<TypeRef> RefT = popAny(St, "variant.case");
     if (!RefT)
       return RefT.error();
     const auto *R = dyn_cast<RefPT>(RefT->P);
@@ -1273,12 +1294,14 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
     // locked beneath the block, so account for it in the drop discipline.
     if (!LinMode)
       push(St, *RefT);
-    for (size_t A = 0; A < VC->arms().size(); ++A)
+    for (size_t A = 0; A < VC->arms().size(); ++A) {
+      TypeRef CaseT = H->cases()[A];
       if (Status S = checkBlockBody(St, VC->arrow(), *LP, VC->arms()[A],
-                                    /*IsLoop=*/false, &H->cases()[A]);
+                                    /*IsLoop=*/false, &CaseT);
           !S)
         return Error("in arm " + std::to_string(A) + ": " +
                      S.error().message());
+    }
     if (!LinMode)
       Stack.pop_back();
 
@@ -1286,10 +1309,10 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
     if (!LinMode)
       push(St, *RefT);
     pushAll(St, VC->arrow().Results);
-    if (IM) {
-      std::vector<Type> Ops = VC->arrow().Params;
+    if (noteNeeded(I)) {
+      std::vector<TypeRef> Ops = refs(VC->arrow().Params);
       Ops.push_back(*RefT);
-      std::vector<Type> Res;
+      std::vector<TypeRef> Res;
       if (!LinMode)
         Res.push_back(*RefT);
       for (const Type &T : VC->arrow().Results)
@@ -1303,13 +1326,13 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
     const auto *AM = cast<ArrayMallocInst>(&I);
     if (Status S = wfQual(AM->qual(), F.Kinds); !S)
       return S;
-    Expected<Type> Len = popAny(St, "array.malloc");
+    Expected<TypeRef> Len = popAny(St, "array.malloc");
     if (!Len)
       return Len.error();
     const auto *N = dyn_cast<NumPT>(Len->P);
     if (!N || numTypeBits(N->numType()) != 32 || !isIntType(N->numType()))
       return err("array.malloc expects a 32-bit integer length");
-    Expected<Type> Init = popAny(St, "array.malloc");
+    Expected<TypeRef> Init = popAny(St, "array.malloc");
     if (!Init)
       return Init.error();
     if (!isUnr(Init->Q))
@@ -1317,45 +1340,47 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
                  "unrestricted");
     if (!noCaps(*Init, F.Kinds))
       return err("array.malloc: capabilities cannot be stored on the heap");
-    Type Ref(refPT(Privilege::RW, Loc::var(0), arrayHT(*Init)), AM->qual());
-    Type Out(exLocPT(Ref), AM->qual());
-    if (IM)
+    TypeRef Ref(
+        refPT(Privilege::RW, Loc::var(0), arrayHT(Init->own())).get(),
+        AM->qual());
+    TypeRef Out(exLocPT(Ref.own()).get(), AM->qual());
+    if (noteNeeded(I))
       note(I, {*Init, *Len}, {Out});
     push(St, Out);
     return Status::success();
   }
   case InstKind::ArrayGet: {
-    Expected<Type> Idx = popAny(St, "array.get");
+    Expected<TypeRef> Idx = popAny(St, "array.get");
     if (!Idx)
       return Idx.error();
     if (!isa<NumPT>(Idx->P))
       return err("array.get expects an integer index");
     if (depth(St) == 0)
       return err("array.get: stack underflow");
-    const Type &RefT = Stack.back();
+    const TypeRef &RefT = Stack.back();
     const auto *R = dyn_cast<RefPT>(RefT.P);
     const ArrayHT *H = R ? dyn_cast<ArrayHT>(R->heapType()) : nullptr;
     if (!H)
       return err("array.get expects an array reference");
     if (!isUnr(H->elem().Q))
       return err("array.get of linear elements");
-    if (IM)
+    if (noteNeeded(I))
       note(I, {RefT, *Idx}, {RefT, H->elem()});
     push(St, H->elem());
     return Status::success();
   }
   case InstKind::ArraySet: {
-    Expected<Type> NewT = popAny(St, "array.set");
+    Expected<TypeRef> NewT = popAny(St, "array.set");
     if (!NewT)
       return NewT.error();
-    Expected<Type> Idx = popAny(St, "array.set");
+    Expected<TypeRef> Idx = popAny(St, "array.set");
     if (!Idx)
       return Idx.error();
     if (!isa<NumPT>(Idx->P))
       return err("array.set expects an integer index");
     if (depth(St) == 0)
       return err("array.set: stack underflow");
-    const Type &RefT = Stack.back();
+    const TypeRef &RefT = Stack.back();
     const auto *R = dyn_cast<RefPT>(RefT.P);
     const ArrayHT *H = R ? dyn_cast<ArrayHT>(R->heapType()) : nullptr;
     if (!H)
@@ -1366,7 +1391,7 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
       return err("array.set: arrays support type-preserving updates only");
     if (!isUnr(NewT->Q))
       return err("array.set would drop the previous (linear) element");
-    if (IM)
+    if (noteNeeded(I))
       note(I, {RefT, *Idx, *NewT}, {RefT});
     return Status::success();
   }
@@ -1391,9 +1416,10 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
     Type Expected = Sub.rewrite(H->body());
     if (Status S = popExpect(St, Expected, "exist.pack"); !S)
       return S;
-    Type Ref(refPT(Privilege::RW, Loc::var(0), EP->heapType()), EP->qual());
-    Type Out(exLocPT(Ref), EP->qual());
-    if (IM)
+    TypeRef Ref(refPT(Privilege::RW, Loc::var(0), EP->heapType()).get(),
+                EP->qual());
+    TypeRef Out(exLocPT(Ref.own()).get(), EP->qual());
+    if (noteNeeded(I))
       note(I, {Expected}, {Out});
     push(St, Out);
     return Status::success();
@@ -1406,7 +1432,7 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
       return err("exist.unpack annotation is not an existential heap type");
     if (Status S = popParams(St, EU->arrow().Params, "exist.unpack"); !S)
       return S;
-    Expected<Type> RefT = popAny(St, "exist.unpack");
+    Expected<TypeRef> RefT = popAny(St, "exist.unpack");
     if (!RefT)
       return RefT.error();
     const auto *R = dyn_cast<RefPT>(RefT->P);
@@ -1432,11 +1458,12 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
         skolemPT(SkId, H->qualLower(), H->sizeUpper(), /*NoCaps=*/true);
     Subst Sub = Subst::onePretype(Sk);
     Type Opened = Sub.rewrite(H->body());
+    TypeRef OpenedRef = Opened;
 
     if (!LinMode)
       push(St, *RefT);
     if (Status S = checkBlockBody(St, EU->arrow(), *LP, EU->body(),
-                                  /*IsLoop=*/false, &Opened);
+                                  /*IsLoop=*/false, &OpenedRef);
         !S)
       return S;
     if (!LinMode)
@@ -1445,7 +1472,7 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
     for (const Type &T : EU->arrow().Results)
       if (typeHasTypeSkolem(T, SkId))
         return err("exist.unpack: abstract pretype escapes in a result type");
-    for (const LocalSlot &L : *LP)
+    for (const LocalSlotRef &L : *LP)
       if (typeHasTypeSkolem(L.T, SkId))
         return err("exist.unpack: abstract pretype escapes in a local");
 
@@ -1453,10 +1480,10 @@ Status CheckerImpl::checkHeap(const Inst &I, State &St) {
     if (!LinMode)
       push(St, *RefT);
     pushAll(St, EU->arrow().Results);
-    if (IM) {
-      std::vector<Type> Ops = EU->arrow().Params;
+    if (noteNeeded(I)) {
+      std::vector<TypeRef> Ops = refs(EU->arrow().Params);
       Ops.push_back(*RefT);
-      std::vector<Type> Res;
+      std::vector<TypeRef> Res;
       if (!LinMode)
         Res.push_back(*RefT);
       for (const Type &T : EU->arrow().Results)
@@ -1554,14 +1581,20 @@ Expected<typing::SeqResult> rw::typing::checkSeq(
     const std::optional<std::vector<Type>> &Ret, LocalCtx Locals,
     std::vector<Type> StackIn, const InstVec &Insts, InfoMap *IM) {
   CheckerImpl C(Env, Kinds, Ret ? &*Ret : nullptr, IM);
-  for (Type &T : StackIn)
-    C.Stack.push_back(std::move(T));
+  // StackIn stays alive (and owning) for the whole check; the checker
+  // stack borrows from it.
+  for (const Type &T : StackIn)
+    C.Stack.push_back(T);
   CheckerImpl::State St;
   St.Locals = LocalEnv(Locals);
   if (Status S = C.checkSeq(Insts, St); !S)
     return S.error();
-  return typing::SeqResult{std::vector<Type>(C.Stack.begin(), C.Stack.end()),
-                           St.Locals.materialize()};
+  // Results cross the public ownership boundary: re-own them.
+  std::vector<Type> OutStack;
+  OutStack.reserve(C.Stack.size());
+  for (const TypeRef &T : C.Stack)
+    OutStack.push_back(T.own());
+  return typing::SeqResult{std::move(OutStack), St.Locals.materialize()};
 }
 
 Status rw::typing::checkFunction(const ModuleEnv &Env, const Function &Fn,
@@ -1576,17 +1609,18 @@ Status rw::typing::checkFunction(const ModuleEnv &Env, const Function &Fn,
   KindCtx Kinds = buildKindCtx(Fn.Ty->quants());
   CheckerImpl C(Env, Kinds, &Fn.Ty->arrow().Results, IM);
 
-  LocalCtx Locals;
-  Locals.reserve(Fn.Ty->arrow().Params.size() + Fn.Locals.size());
+  // Build the borrowed local environment directly: parameter types are
+  // owned by the function's declared type, slot sizes by the arena.
+  support::SmallVec<LocalSlotRef, 16> Locals;
   for (const Type &P : Fn.Ty->arrow().Params)
     Locals.push_back({P, typing::sizeOfType(P, Kinds)});
   for (const SizeRef &Sz : Fn.Locals) {
     if (Status S = wfSize(Sz, Kinds); !S)
       return S;
-    Locals.push_back({unitT(), Sz});
+    Locals.push_back({unitT(), Sz.get()});
   }
   CheckerImpl::State St;
-  St.Locals = LocalEnv(Locals);
+  St.Locals = LocalEnv(Locals.begin(), Locals.size());
 
   if (Status S = C.checkSeq(Fn.Body, St); !S)
     return S;
@@ -1601,7 +1635,7 @@ Status rw::typing::checkFunction(const ModuleEnv &Env, const Function &Fn,
         return Error("function result " + std::to_string(I) +
                      " has type " + printType(C.Stack[I]) + ", expected " +
                      printType(Want[I]));
-    for (const LocalSlot &L : St.Locals)
+    for (const LocalSlotRef &L : St.Locals)
       if (!qualIsUnr(L.T.Q, Kinds))
         return Error("function ends with a linear value in a local");
   }

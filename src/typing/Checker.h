@@ -26,8 +26,8 @@
 #include "support/Error.h"
 #include "typing/Context.h"
 
-#include <map>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 namespace rw::support {
@@ -41,13 +41,49 @@ class AdmissionCache;
 namespace rw::typing {
 
 /// Operand/result types the checker observed at one instruction, consumed
-/// by the RichWasm→Wasm lowering.
+/// by the RichWasm→Wasm lowering. Recorded only for the instruction kinds
+/// the lowering actually consults (see infoConsumedByLowering below) —
+/// numerics, control flow, and the erased type-level forms lower without
+/// annotations, and recording them was a third of the annotated-check
+/// cost. Types are *borrowed* views
+/// (ir::TypeRef): every node is interned in the module's TypeArena, whose
+/// lifetime spans the check→lower hand-off, so the map never refcounts.
+/// Lifetime contract (DESIGN.md §9): an InfoMap is valid while the
+/// module's arena is alive and no TypeArena::rollback* past the check has
+/// run; it must not be serialized or cached (ownership boundaries re-own
+/// via TypeRef::own()).
 struct InstInfo {
-  std::vector<ir::Type> Operands; ///< Consumed, bottom of stack first.
-  std::vector<ir::Type> Results;  ///< Produced, bottom of stack first.
+  std::vector<ir::TypeRef> Operands; ///< Consumed, bottom of stack first.
+  std::vector<ir::TypeRef> Results;  ///< Produced, bottom of stack first.
 };
 
-using InfoMap = std::map<const ir::Inst *, InstInfo>;
+using InfoMap = std::unordered_map<const ir::Inst *, InstInfo>;
+
+/// The instruction kinds whose lowering consults the InfoMap; note() skips
+/// every other kind (their annotations were write-only).
+constexpr bool infoConsumedByLowering(ir::InstKind K) {
+  switch (K) {
+  case ir::InstKind::Drop:
+  case ir::InstKind::Select:
+  case ir::InstKind::GetLocal:
+  case ir::InstKind::SetLocal:
+  case ir::InstKind::TeeLocal:
+  case ir::InstKind::Call:
+  case ir::InstKind::CallIndirect:
+  case ir::InstKind::MemUnpack:
+  case ir::InstKind::StructMalloc:
+  case ir::InstKind::StructGet:
+  case ir::InstKind::StructSet:
+  case ir::InstKind::StructSwap:
+  case ir::InstKind::ArrayMalloc:
+  case ir::InstKind::ArrayGet:
+  case ir::InstKind::ArraySet:
+  case ir::InstKind::ExistPack:
+    return true;
+  default:
+    return false;
+  }
+}
 
 /// Checks a whole module: every function body, global initializer, table
 /// entry, and the start function's signature.
@@ -68,6 +104,18 @@ Status checkModule(const ir::Module &M, InfoMap *IM = nullptr);
 /// batch.
 std::vector<Status> checkModules(std::span<const ir::Module *const> Mods,
                                  support::ThreadPool &Pool);
+
+/// Like the overload above, but additionally returns the per-module
+/// InfoMaps (\p Infos resized to one map per module; maps of rejected
+/// modules are left empty) so a cold admission pipeline checks exactly
+/// once: lower::lowerProgram accepts these maps and skips its internal
+/// re-check (same process, same instruction pointers — the map key is
+/// node identity). Function InfoMaps are recorded per function on the
+/// pool and merged in (module, function) index order, so the recorded
+/// types are identical to a sequential checkModule(M, &IM).
+std::vector<Status> checkModules(std::span<const ir::Module *const> Mods,
+                                 support::ThreadPool &Pool,
+                                 std::vector<InfoMap> *Infos);
 
 /// Content-addressed batch admission: like checkModules, but each module
 /// is keyed by serial::moduleHash in \p Cache — cache hits (including a

@@ -31,6 +31,7 @@
 
 #include <memory>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 namespace rw::typing {
@@ -52,12 +53,22 @@ struct TypeBound {
   bool NoCaps = true;
 };
 
-/// The local environment L: the type and slot size of each local.
+/// The local environment L: the type and slot size of each local. This is
+/// the owning form used at API boundaries (checkSeq inputs/results).
 struct LocalSlot {
   ir::Type T;
   ir::SizeRef Slot;
 };
 using LocalCtx = std::vector<LocalSlot>;
+
+/// Borrowed form of one local slot — what the checker's COW environments
+/// actually store. Both fields point at arena-interned nodes (TypeRef
+/// lifetime contract), so the buffer is trivially copyable and forking an
+/// environment is a flat memcpy with no refcount traffic.
+struct LocalSlotRef {
+  ir::TypeRef T;
+  const ir::Size *Slot = nullptr;
+};
 
 /// A copy-on-write handle to a local environment. Straight-line code
 /// shares its parent block's environment (an assignment is one refcount
@@ -82,8 +93,19 @@ using LocalCtx = std::vector<LocalSlot>;
 class LocalEnv {
 public:
   LocalEnv() = default;
-  explicit LocalEnv(const LocalCtx &L)
-      : B(L.empty() ? nullptr : Buf::create(L.data(), L.size())) {}
+  /// Builds directly from a borrowed slot range (checkFunction's path).
+  LocalEnv(const LocalSlotRef *D, size_t N)
+      : B(N == 0 ? nullptr : Buf::create(D, N)) {}
+  /// Borrows from an owning context; \p L (or rather, the arena owning its
+  /// nodes) must outlive every handle derived from this environment.
+  explicit LocalEnv(const LocalCtx &L) {
+    if (L.empty())
+      return;
+    B = Buf::create(nullptr, L.size());
+    LocalSlotRef *S = B->slots();
+    for (size_t I = 0; I < L.size(); ++I)
+      S[I] = LocalSlotRef{L[I].T, L[I].Slot.get()};
+  }
   LocalEnv(const LocalEnv &O) : B(O.B) {
     if (B)
       ++B->Refs;
@@ -108,14 +130,14 @@ public:
 
   size_t size() const { return B ? B->Size : 0; }
   bool empty() const { return size() == 0; }
-  const LocalSlot &operator[](size_t I) const { return B->slots()[I]; }
-  const LocalSlot *begin() const { return B ? B->slots() : nullptr; }
-  const LocalSlot *end() const {
+  const LocalSlotRef &operator[](size_t I) const { return B->slots()[I]; }
+  const LocalSlotRef *begin() const { return B ? B->slots() : nullptr; }
+  const LocalSlotRef *end() const {
     return B ? B->slots() + B->Size : nullptr;
   }
 
   /// Mutable access to one slot; forks the buffer first if it is shared.
-  LocalSlot &mut(size_t I) {
+  LocalSlotRef &mut(size_t I) {
     if (B->Refs > 1) {
       Buf *N = Buf::create(B->slots(), B->Size);
       --B->Refs;
@@ -124,8 +146,15 @@ public:
     return B->slots()[I];
   }
 
-  /// The full context, copied out (public checkSeq results).
-  LocalCtx materialize() const { return LocalCtx(begin(), end()); }
+  /// The full context, re-owned (public checkSeq results cross an
+  /// ownership boundary).
+  LocalCtx materialize() const {
+    LocalCtx Out;
+    Out.reserve(size());
+    for (const LocalSlotRef &S : *this)
+      Out.push_back({S.T.own(), S.Slot->shared_from_this()});
+    return Out;
+  }
 
   /// Two handles over the same buffer denote equal environments (shared
   /// buffers are immutable while shared).
@@ -133,32 +162,37 @@ public:
 
 private:
   /// Header and slots in one allocation; slots start right after the
-  /// header (LocalSlot's alignment divides the header size).
+  /// header (LocalSlotRef's alignment divides the header size). Slots are
+  /// trivially copyable borrowed views, so a fork is one allocation plus a
+  /// flat copy — no per-slot construction or refcounting.
   struct Buf {
     uint32_t Refs;
     uint32_t Size;
 
-    LocalSlot *slots() { return reinterpret_cast<LocalSlot *>(this + 1); }
-    const LocalSlot *slots() const {
-      return reinterpret_cast<const LocalSlot *>(this + 1);
+    LocalSlotRef *slots() {
+      return reinterpret_cast<LocalSlotRef *>(this + 1);
+    }
+    const LocalSlotRef *slots() const {
+      return reinterpret_cast<const LocalSlotRef *>(this + 1);
     }
 
-    static Buf *create(const LocalSlot *D, size_t N) {
-      static_assert(sizeof(Buf) % alignof(LocalSlot) == 0);
-      void *Mem = ::operator new(sizeof(Buf) + N * sizeof(LocalSlot));
+    /// \p D may be null: slots are then default-initialized for the
+    /// caller to fill (the borrowing LocalEnv(LocalCtx) constructor).
+    static Buf *create(const LocalSlotRef *D, size_t N) {
+      static_assert(sizeof(Buf) % alignof(LocalSlotRef) == 0);
+      static_assert(std::is_trivially_copyable_v<LocalSlotRef>);
+      void *Mem = ::operator new(sizeof(Buf) + N * sizeof(LocalSlotRef));
       Buf *B = ::new (Mem) Buf{1, static_cast<uint32_t>(N)};
-      LocalSlot *S = B->slots();
+      LocalSlotRef *S = B->slots();
       for (size_t I = 0; I < N; ++I)
-        ::new (static_cast<void *>(S + I)) LocalSlot(D[I]);
+        ::new (static_cast<void *>(S + I))
+            LocalSlotRef(D ? D[I] : LocalSlotRef{});
       return B;
     }
   };
 
   void release() {
     if (B && --B->Refs == 0) {
-      LocalSlot *S = B->slots();
-      for (uint32_t I = B->Size; I > 0; --I)
-        S[I - 1].~LocalSlot();
       B->~Buf();
       ::operator delete(B);
     }

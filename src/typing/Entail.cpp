@@ -229,14 +229,13 @@ bool leqSizeRec(const ir::NormalSize &N1, const ir::NormalSize &N2,
 
 } // namespace
 
-bool rw::typing::leqSize(const SizeRef &S1, const SizeRef &S2,
+bool rw::typing::leqSize(const ir::Size *S1, const ir::Size *S2,
                          const KindCtx &Ctx) {
   assert(S1 && S2 && "entailment on null sizes");
   // Canonical pointers: identical sizes are trivially entailed.
-  if (S1.get() == S2.get())
+  if (S1 == S2)
     return true;
-  return leqSizeRec(ir::normalizeSize(S1), ir::normalizeSize(S2), Ctx,
-                    /*Depth=*/6);
+  return leqSizeRec(S1->norm(), S2->norm(), Ctx, /*Depth=*/6);
 }
 
 //===----------------------------------------------------------------------===//
@@ -259,28 +258,28 @@ std::vector<bool> rw::typing::typeVarNoCaps(const KindCtx &Ctx) {
   return Out;
 }
 
-ir::SizeRef rw::typing::sizeOfType(const ir::Type &T, const KindCtx &Ctx) {
+const ir::Size *rw::typing::sizeOfType(ir::TypeRef T, const KindCtx &Ctx) {
   // Closed pretypes (the overwhelmingly common case) never consult the
   // bounds, so skip materializing the per-variable vector entirely; the
-  // node-level memo in ir::sizeOfPretype then answers in O(1).
+  // node-level memo answers with a borrowed pointer in O(1).
   if (T.P->freeBounds().Type == 0) {
     static const ir::TypeVarSizes Empty;
-    return ir::sizeOfPretype(T.P, Empty);
+    return ir::sizeOfPretypePtr(T.P, Empty);
   }
-  return ir::sizeOfType(T, typeVarSizes(Ctx));
+  return ir::sizeOfPretypePtr(T.P, typeVarSizes(Ctx));
 }
 
-bool rw::typing::noCaps(const ir::Type &T, const KindCtx &Ctx) {
+bool rw::typing::noCaps(ir::TypeRef T, const KindCtx &Ctx) {
   if (!T.P->noCapsDependsOnVars())
     return T.P->noCapsIfAllVarsFree();
   return ir::typeNoCaps(T, typeVarNoCaps(Ctx));
 }
-bool rw::typing::noCapsHeap(const ir::HeapTypeRef &H, const KindCtx &Ctx) {
+bool rw::typing::noCapsHeap(const ir::HeapType *H, const KindCtx &Ctx) {
   if (!H->noCapsDependsOnVars())
     return H->noCapsIfAllVarsFree();
   return ir::heapTypeNoCaps(H, typeVarNoCaps(Ctx));
 }
-bool rw::typing::noCapsPre(const ir::PretypeRef &P, const KindCtx &Ctx) {
+bool rw::typing::noCapsPre(const ir::Pretype *P, const KindCtx &Ctx) {
   if (!P->noCapsDependsOnVars())
     return P->noCapsIfAllVarsFree();
   return ir::pretypeNoCaps(P, typeVarNoCaps(Ctx));

@@ -42,8 +42,22 @@ inline bool qualIsLin(ir::Qual Q, const KindCtx &Ctx) {
   return leqQual(ir::Qual::lin(), Q, Ctx);
 }
 
-/// Decides sz1 ≤ sz2 under the size constraints in \p Ctx.
-bool leqSize(const ir::SizeRef &S1, const ir::SizeRef &S2, const KindCtx &Ctx);
+/// Decides sz1 ≤ sz2 under the size constraints in \p Ctx. The borrowed
+/// (raw-pointer) overload is the primary entry point — the admission hot
+/// path holds borrowed size nodes; the owning/mixed shims forward.
+bool leqSize(const ir::Size *S1, const ir::Size *S2, const KindCtx &Ctx);
+inline bool leqSize(const ir::SizeRef &S1, const ir::SizeRef &S2,
+                    const KindCtx &Ctx) {
+  return leqSize(S1.get(), S2.get(), Ctx);
+}
+inline bool leqSize(const ir::Size *S1, const ir::SizeRef &S2,
+                    const KindCtx &Ctx) {
+  return leqSize(S1, S2.get(), Ctx);
+}
+inline bool leqSize(const ir::SizeRef &S1, const ir::Size *S2,
+                    const KindCtx &Ctx) {
+  return leqSize(S1.get(), S2, Ctx);
+}
 
 /// The size-variable upper bounds of the pretype variables in \p Ctx, in
 /// the shape sizeOfPretype expects.
@@ -52,13 +66,22 @@ ir::TypeVarSizes typeVarSizes(const KindCtx &Ctx);
 /// The per-variable no-caps flags of \p Ctx, for the no_caps predicate.
 std::vector<bool> typeVarNoCaps(const KindCtx &Ctx);
 
-/// ||τ|| under \p Ctx's type-variable bounds.
-ir::SizeRef sizeOfType(const ir::Type &T, const KindCtx &Ctx);
+/// ||τ|| under \p Ctx's type-variable bounds. Returns a borrowed size
+/// node (arena-owned; TypeRef lifetime contract) — closed pretypes answer
+/// from the per-node memo without touching a refcount.
+const ir::Size *sizeOfType(ir::TypeRef T, const KindCtx &Ctx);
 
-/// no_caps under \p Ctx's type-variable flags.
-bool noCaps(const ir::Type &T, const KindCtx &Ctx);
-bool noCapsHeap(const ir::HeapTypeRef &H, const KindCtx &Ctx);
-bool noCapsPre(const ir::PretypeRef &P, const KindCtx &Ctx);
+/// no_caps under \p Ctx's type-variable flags. Borrowed-first, with
+/// owning shims for ownership-boundary callers.
+bool noCaps(ir::TypeRef T, const KindCtx &Ctx);
+bool noCapsHeap(const ir::HeapType *H, const KindCtx &Ctx);
+bool noCapsPre(const ir::Pretype *P, const KindCtx &Ctx);
+inline bool noCapsHeap(const ir::HeapTypeRef &H, const KindCtx &Ctx) {
+  return noCapsHeap(H.get(), Ctx);
+}
+inline bool noCapsPre(const ir::PretypeRef &P, const KindCtx &Ctx) {
+  return noCapsPre(P.get(), Ctx);
+}
 
 } // namespace rw::typing
 

@@ -65,21 +65,21 @@ namespace {
 /// True if pretype variable \p Idx occurs in \p T outside any reference,
 /// pointer, capability, or code-reference constructor (i.e. in a position
 /// that contributes to flat layout).
-bool occursUnprotected(const Type &T, uint32_t Idx);
+bool occursUnprotected(TypeRef T, uint32_t Idx);
 
-bool occursUnprotectedPre(const PretypeRef &P, uint32_t Idx) {
+bool occursUnprotectedPre(const Pretype *P, uint32_t Idx) {
   switch (P->kind()) {
   case PretypeKind::Var:
-    return cast<VarPT>(P.get())->index() == Idx;
+    return cast<VarPT>(P)->index() == Idx;
   case PretypeKind::Prod:
-    for (const Type &E : cast<ProdPT>(P.get())->elems())
+    for (const Type &E : cast<ProdPT>(P)->elems())
       if (occursUnprotected(E, Idx))
         return true;
     return false;
   case PretypeKind::Rec:
-    return occursUnprotected(cast<RecPT>(P.get())->body(), Idx + 1);
+    return occursUnprotected(cast<RecPT>(P)->body(), Idx + 1);
   case PretypeKind::ExLoc:
-    return occursUnprotected(cast<ExLocPT>(P.get())->body(), Idx);
+    return occursUnprotected(cast<ExLocPT>(P)->body(), Idx);
   default:
     // unit, num, skolem, ref, ptr, cap, own, coderef: either no type
     // subterms or all subterms are behind an indirection/erased construct.
@@ -87,7 +87,7 @@ bool occursUnprotectedPre(const PretypeRef &P, uint32_t Idx) {
   }
 }
 
-bool occursUnprotected(const Type &T, uint32_t Idx) {
+bool occursUnprotected(TypeRef T, uint32_t Idx) {
   return occursUnprotectedPre(T.P, Idx);
 }
 
@@ -106,30 +106,29 @@ Status checkRefQual(const Loc &L, Qual Q, const KindCtx &Ctx) {
 
 } // namespace
 
-Status rw::typing::wfPretypeAt(const PretypeRef &P, Qual OuterQ,
+Status rw::typing::wfPretypeAt(const Pretype *P, Qual OuterQ,
                                const KindCtx &Ctx) {
   if (!P)
     return Error("missing pretype");
   // Context-independent judgments are memoized per canonical node in the
   // owning arena (successes only).
   const bool Memoizable = P->arena() && wfIsContextFree(*P, OuterQ);
-  if (Memoizable &&
-      P->arena()->isKnownWfPretype(P.get(), OuterQ.isLinConst()))
+  if (Memoizable && P->arena()->isKnownWfPretype(P, OuterQ.isLinConst()))
     return Status::success();
   Status Result = wfPretypeAtUncached(P, OuterQ, Ctx);
   if (Memoizable && Result)
-    P->arena()->noteWfPretype(P.get(), OuterQ.isLinConst());
+    P->arena()->noteWfPretype(P, OuterQ.isLinConst());
   return Result;
 }
 
-Status rw::typing::wfPretypeAtUncached(const PretypeRef &P, Qual OuterQ,
+Status rw::typing::wfPretypeAtUncached(const Pretype *P, Qual OuterQ,
                                        const KindCtx &Ctx) {
   switch (P->kind()) {
   case PretypeKind::Unit:
   case PretypeKind::Num:
     return Status::success();
   case PretypeKind::Var: {
-    uint32_t Idx = cast<VarPT>(P.get())->index();
+    uint32_t Idx = cast<VarPT>(P)->index();
     if (Idx >= Ctx.Types.size())
       return Error("pretype variable α" + std::to_string(Idx) +
                    " out of scope");
@@ -139,13 +138,13 @@ Status rw::typing::wfPretypeAtUncached(const PretypeRef &P, Qual OuterQ,
     return Status::success();
   }
   case PretypeKind::Skolem: {
-    const auto *Sk = cast<SkolemPT>(P.get());
+    const auto *Sk = cast<SkolemPT>(P);
     if (!leqQual(Sk->qualLower(), OuterQ, Ctx))
       return Error("abstract pretype used below its qualifier lower bound");
     return Status::success();
   }
   case PretypeKind::Prod: {
-    for (const Type &E : cast<ProdPT>(P.get())->elems()) {
+    for (const Type &E : cast<ProdPT>(P)->elems()) {
       if (!leqQual(E.Q, OuterQ, Ctx))
         return Error("tuple component qualifier " + E.Q.str() +
                      " exceeds tuple qualifier " + OuterQ.str());
@@ -155,7 +154,7 @@ Status rw::typing::wfPretypeAtUncached(const PretypeRef &P, Qual OuterQ,
     return Status::success();
   }
   case PretypeKind::Ref: {
-    const auto *R = cast<RefPT>(P.get());
+    const auto *R = cast<RefPT>(P);
     if (Status St = wfLoc(R->loc(), Ctx); !St)
       return St;
     if (Status St = checkRefQual(R->loc(), OuterQ, Ctx); !St)
@@ -163,17 +162,17 @@ Status rw::typing::wfPretypeAtUncached(const PretypeRef &P, Qual OuterQ,
     return wfHeapType(R->heapType(), Ctx);
   }
   case PretypeKind::Cap: {
-    const auto *C = cast<CapPT>(P.get());
+    const auto *C = cast<CapPT>(P);
     if (Status St = wfLoc(C->loc(), Ctx); !St)
       return St;
     return wfHeapType(C->heapType(), Ctx);
   }
   case PretypeKind::Ptr:
-    return wfLoc(cast<PtrPT>(P.get())->loc(), Ctx);
+    return wfLoc(cast<PtrPT>(P)->loc(), Ctx);
   case PretypeKind::Own:
-    return wfLoc(cast<OwnPT>(P.get())->loc(), Ctx);
+    return wfLoc(cast<OwnPT>(P)->loc(), Ctx);
   case PretypeKind::Rec: {
-    const auto *R = cast<RecPT>(P.get());
+    const auto *R = cast<RecPT>(P);
     if (Status St = wfQual(R->bound(), Ctx); !St)
       return St;
     if (R->body().Q != R->bound())
@@ -188,15 +187,15 @@ Status rw::typing::wfPretypeAtUncached(const PretypeRef &P, Qual OuterQ,
   case PretypeKind::ExLoc: {
     KindCtx Inner = Ctx;
     ++Inner.NumLocVars;
-    return wfType(cast<ExLocPT>(P.get())->body(), Inner);
+    return wfType(cast<ExLocPT>(P)->body(), Inner);
   }
   case PretypeKind::Coderef:
-    return wfFunType(*cast<CoderefPT>(P.get())->funType(), Ctx);
+    return wfFunType(*cast<CoderefPT>(P)->funType(), Ctx);
   }
   return Status::success();
 }
 
-Status rw::typing::wfType(const Type &T, const KindCtx &Ctx) {
+Status rw::typing::wfType(TypeRef T, const KindCtx &Ctx) {
   if (!T.valid())
     return Error("missing type");
   if (Status St = wfQual(T.Q, Ctx); !St)
@@ -204,17 +203,17 @@ Status rw::typing::wfType(const Type &T, const KindCtx &Ctx) {
   return wfPretypeAt(T.P, T.Q, Ctx);
 }
 
-Status rw::typing::wfHeapType(const HeapTypeRef &H, const KindCtx &Ctx) {
+Status rw::typing::wfHeapType(const HeapType *H, const KindCtx &Ctx) {
   if (!H)
     return Error("missing heap type");
   switch (H->kind()) {
   case HeapTypeKind::Variant:
-    for (const Type &T : cast<VariantHT>(H.get())->cases())
+    for (const Type &T : cast<VariantHT>(H)->cases())
       if (Status St = wfType(T, Ctx); !St)
         return St;
     return Status::success();
   case HeapTypeKind::Struct:
-    for (const StructField &F : cast<StructHT>(H.get())->fields()) {
+    for (const StructField &F : cast<StructHT>(H)->fields()) {
       if (Status St = wfType(F.T, Ctx); !St)
         return St;
       if (Status St = wfSize(F.Slot, Ctx); !St)
@@ -224,9 +223,9 @@ Status rw::typing::wfHeapType(const HeapTypeRef &H, const KindCtx &Ctx) {
     }
     return Status::success();
   case HeapTypeKind::Array:
-    return wfType(cast<ArrayHT>(H.get())->elem(), Ctx);
+    return wfType(cast<ArrayHT>(H)->elem(), Ctx);
   case HeapTypeKind::Ex: {
-    const auto *E = cast<ExHT>(H.get());
+    const auto *E = cast<ExHT>(H);
     if (Status St = wfQual(E->qualLower(), Ctx); !St)
       return St;
     if (Status St = wfSize(E->sizeUpper(), Ctx); !St)

@@ -27,19 +27,26 @@ Status wfQual(ir::Qual Q, const KindCtx &Ctx);
 Status wfSize(const ir::SizeRef &S, const KindCtx &Ctx);
 Status wfLoc(const ir::Loc &L, const KindCtx &Ctx);
 
-/// F ⊢ τ type.
-Status wfType(const ir::Type &T, const KindCtx &Ctx);
+/// F ⊢ τ type. Borrowed-first: the checker hands in TypeRef views; owning
+/// Types convert implicitly.
+Status wfType(ir::TypeRef T, const KindCtx &Ctx);
 
 /// Checks that pretype \p P may legally occur at qualifier \p OuterQ.
 /// Context-independent cases (closed pretype, concrete qualifier) are
 /// memoized per canonical node in the owning TypeArena.
-Status wfPretypeAt(const ir::PretypeRef &P, ir::Qual OuterQ,
-                   const KindCtx &Ctx);
+Status wfPretypeAt(const ir::Pretype *P, ir::Qual OuterQ, const KindCtx &Ctx);
+inline Status wfPretypeAt(const ir::PretypeRef &P, ir::Qual OuterQ,
+                          const KindCtx &Ctx) {
+  return wfPretypeAt(P.get(), OuterQ, Ctx);
+}
 /// The un-memoized judgment behind wfPretypeAt.
-Status wfPretypeAtUncached(const ir::PretypeRef &P, ir::Qual OuterQ,
+Status wfPretypeAtUncached(const ir::Pretype *P, ir::Qual OuterQ,
                            const KindCtx &Ctx);
 
-Status wfHeapType(const ir::HeapTypeRef &H, const KindCtx &Ctx);
+Status wfHeapType(const ir::HeapType *H, const KindCtx &Ctx);
+inline Status wfHeapType(const ir::HeapTypeRef &H, const KindCtx &Ctx) {
+  return wfHeapType(H.get(), Ctx);
+}
 
 /// Checks a function type; its quantifier list extends \p Ambient.
 Status wfFunType(const ir::FunType &F, const KindCtx &Ambient);

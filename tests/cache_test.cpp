@@ -109,7 +109,8 @@ TEST(Cache, WarmCheckHitsReplayByteIdenticalDiagnostics) {
   EXPECT_EQ(C.stats().CheckMisses, 2u);
 
   // A null cache degrades to the uncached overload.
-  std::vector<Status> Plain = typing::checkModules(Mods, Pool, nullptr);
+  std::vector<Status> Plain = typing::checkModules(
+      Mods, Pool, static_cast<cache::AdmissionCache *>(nullptr));
   ASSERT_FALSE(Plain[1].ok());
   EXPECT_EQ(Plain[1].error().message(), RefBad.error().message());
 }

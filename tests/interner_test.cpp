@@ -347,6 +347,53 @@ TEST(Interner, LinkRejectsMixedArenasWithClearDiagnostic) {
       << R.error().message();
 }
 
+TEST(Interner, RewriteInstsSharesUntouchedSubtrees) {
+  using namespace rw::ir::build;
+  // A body whose types are all closed is untouched by any shift or
+  // outer-binder substitution: rewriteInsts must return the *original*
+  // nodes (no clone), including through nested blocks. A subtree the
+  // substitution does hit is rebuilt, but its untouched siblings are
+  // still shared.
+  InstVec Body = {
+      iconst(1),
+      block(arrow({i32T()}, {i32T()}), {},
+            {iconst(2), addI32(),
+             structMalloc({Size::constant(32)}, Qual::lin()),
+             memUnpack(arrow({}, {i32T()}), {},
+                       {iconst(9), structSwap(0), structFree()})}),
+  };
+
+  Shifter Sh(1, 1, 1, 1);
+  InstVec Shifted = rewriteInsts(Body, Sh);
+  ASSERT_EQ(Shifted.size(), Body.size());
+  for (size_t I = 0; I < Body.size(); ++I)
+    EXPECT_EQ(Shifted[I].get(), Body[I].get())
+        << "closed subtree was cloned at " << I;
+
+  // A substitution that replaces type variable 0 rewrites only the nodes
+  // that mention it; the closed instructions around it stay shared.
+  InstVec Open = {
+      iconst(3),
+      block(arrow({}, {}), {},
+            {variantMalloc(0, {Type(varPT(0), Qual::unr()), i32T()},
+                           Qual::unr()),
+             memUnpack(arrow({}, {}), {}, {drop()})}),
+      iconst(4),
+  };
+  Subst Sub = Subst::onePretype(i32T().P);
+  InstVec Subbed = rewriteInsts(Open, Sub);
+  ASSERT_EQ(Subbed.size(), Open.size());
+  EXPECT_EQ(Subbed[0].get(), Open[0].get()); // Closed: shared.
+  EXPECT_EQ(Subbed[2].get(), Open[2].get()); // Closed: shared.
+  EXPECT_NE(Subbed[1].get(), Open[1].get()); // Mentions α0: rebuilt.
+  // Inside the rebuilt block, the untouched mem.unpack child is shared.
+  const auto *OldB = cast<BlockInst>(Open[1].get());
+  const auto *NewB = cast<BlockInst>(Subbed[1].get());
+  ASSERT_EQ(OldB->body().size(), NewB->body().size());
+  EXPECT_NE(NewB->body()[0].get(), OldB->body()[0].get());
+  EXPECT_EQ(NewB->body()[1].get(), OldB->body()[1].get());
+}
+
 TEST(InternerFuzz, MemoizedJudgmentsAreDeterministic) {
   for (uint64_t Seed = 0; Seed < NumSeeds; ++Seed) {
     PretypeRef P = Gen(Seed).pretype(Depth);

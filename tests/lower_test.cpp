@@ -15,6 +15,7 @@
 #include "sem/Machine.h"
 #include "wasm/Binary.h"
 #include "wasm/Interp.h"
+#include "support/ThreadPool.h"
 #include "wasm/Validate.h"
 
 #include <gtest/gtest.h>
@@ -614,6 +615,70 @@ TEST(Lower, SelfImportLowersToHostImportLikeInstantiate) {
   EXPECT_NE(Mach.error().message().find("unresolved import"),
             std::string::npos)
       << Mach.error().message();
+}
+
+TEST(Lower, GlobalInitCallIndirectGetsTypePatched) {
+  // Regression: the call_indirect type-index patch pass used to run
+  // before global initializers were lowered, so an indirect call inside
+  // one kept its placeholder type index 0 (some unrelated signature) and
+  // failed validation or trapped. The patch now runs after all bodies
+  // exist.
+  ir::Module M;
+  M.Name = "t";
+  M.Funcs.push_back(function(
+      {}, FunType::get({}, arrow({i32T()}, {i32T()})), {},
+      {getLocal(0, Qual::unr()), iconst(2), mulI32()}));
+  M.Tab.Entries = {0};
+  ir::Global G;
+  G.Mut = true;
+  G.P = numPT(NumType::I32);
+  G.Init = {iconst(21), coderef(0), callIndirect()};
+  M.Globals.push_back(G);
+  M.Funcs.push_back(function({"main"},
+                             FunType::get({}, arrow({}, {i32T()})), {},
+                             {getGlobal(0)}));
+  expectAgree(M, 42);
+}
+
+TEST(Lower, TwoArenaInputsRejectedWithDocumentedError) {
+  // Regression for the lowerProgram preamble: modules interned in
+  // different arenas must produce the documented shared-arena error —
+  // never cross-arena interning (whose pointer-equality checks would
+  // silently misbehave).
+  ir::Module A;
+  A.Name = "arena_a";
+  A.Funcs.push_back(function({"f"},
+                             FunType::get({}, arrow({i32T()}, {i32T()})),
+                             {}, {getLocal(0, Qual::unr())}));
+
+  auto OtherArena = std::make_shared<ir::TypeArena>();
+  ir::Module B;
+  {
+    ir::ArenaScope Scope(*OtherArena);
+    B.Name = "arena_b";
+    B.Funcs.push_back(function({"g"},
+                               FunType::get({}, arrow({i32T()}, {i32T()})),
+                               {}, {getLocal(0, Qual::unr())}));
+  }
+  B.Arena = OtherArena;
+
+  auto LP = lower::lowerProgram({&A, &B});
+  ASSERT_FALSE(bool(LP));
+  EXPECT_NE(LP.error().message().find("different type arenas"),
+            std::string::npos)
+      << LP.error().message();
+  EXPECT_NE(LP.error().message().find("arena_a"), std::string::npos);
+  EXPECT_NE(LP.error().message().find("arena_b"), std::string::npos);
+
+  // Same rejection through the batch-options entry point (pool set), so
+  // the parallel path cannot reach cross-arena state either.
+  support::ThreadPool Pool(3);
+  lower::LowerOptions LO;
+  LO.Pool = &Pool;
+  auto LP2 = lower::lowerProgram({&A, &B}, LO);
+  ASSERT_FALSE(bool(LP2));
+  EXPECT_NE(LP2.error().message().find("different type arenas"),
+            std::string::npos);
 }
 
 TEST(Lower, ImportTypeMismatchRejectedOnLoweringPath) {
