@@ -19,6 +19,7 @@
 #include "link/Link.h"
 #include "lower/Lower.h"
 #include "ml/ML.h"
+#include "obs/Obs.h"
 #include "typing/Checker.h"
 #include "wasm/Interp.h"
 #include "wasm/Binary.h"
@@ -26,8 +27,37 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
 namespace rwbench {
+
+/// Copies every obs counter/gauge under one of \p Prefixes into a
+/// benchmark's user counters, mapping "cache.hits" → "cache_hits" (the
+/// key shape run_bench.sh parses). This is the one bench-side renderer
+/// for registry-backed stats: benches no longer reach into
+/// cache::CacheStats / ir::TypeArena::Stats by hand, so a counter added
+/// to a snapshot source shows up in every bench that exports its prefix.
+/// Templated on the state type only to keep benchmark.h out of this
+/// header. Under RW_OBS=OFF the snapshot is empty and nothing is
+/// exported.
+template <typename BenchmarkState>
+inline void exportObsCounters(BenchmarkState &St,
+                              std::initializer_list<const char *> Prefixes) {
+  rw::obs::Snapshot S = rw::obs::snapshot();
+  for (const rw::obs::Metric &M : S.Metrics) {
+    if (M.Kind == rw::obs::MetricKind::Histogram)
+      continue; // Phase timings live in obs::renderText/Json, not here.
+    for (const char *P : Prefixes) {
+      std::string Pref = std::string(P) + ".";
+      if (M.Name.compare(0, Pref.size(), Pref) != 0)
+        continue;
+      std::string Key = M.Name;
+      std::replace(Key.begin(), Key.end(), '.', '_');
+      St.counters[Key] = static_cast<double>(M.Value);
+      break;
+    }
+  }
+}
 
 inline const char *MLStashUnsafe =
     "global c = linref [ref int] () ;;"

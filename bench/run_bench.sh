@@ -39,6 +39,134 @@ for B in "$BIN" "$TYPING_BIN" "$T1_BIN" "$LINK_BIN" "$CACHE_BIN"; do
   fi
 done
 
+
+#===----------------------------------------------------------------------===#
+# Observability overhead gate (RW_OBS_GATE=1 runs the gate instead of
+# the trajectory suite)
+#===----------------------------------------------------------------------===#
+# The obs layer's contract is "compiled in but disabled costs nothing":
+# counters are relaxed adds into per-thread shards and spans are one
+# relaxed load when the runtime flag is off. This gate holds the suite to
+# it: build the same benches with -DRW_OBS=OFF, run the two hot paths —
+# F7_CheckModule (the admission-control loop) and F4_Wasm_Loop (tree and
+# flat dispatch; the flat engine fuses profile bumps into translation) —
+# in both builds, and fail if the instrumented-but-idle build is more than
+# BENCH_OBS_TOLERANCE_PCT (default 2%) slower.
+#
+# The tree-engine loop is the gate's *control*: both engines' TUs
+# (Interp.cpp, Engine.cpp) compile byte-identical under ON and OFF — the
+# execution paths carry no compiled-in instrumentation — so any delta the
+# tree bench shows is measurement artifact by construction (the two
+# binaries link differing TUs elsewhere, which shifts code layout and
+# alignment of the identical hot loop; plus host noise). The gate
+# measures that floor on the control and judges the instrumented benches
+# against tolerance + the floor, so a noisy or layout-shifted run doesn't
+# convict instrumentation that provably isn't in the measured code.
+if [[ "${RW_OBS_GATE:-0}" == "1" ]]; then
+  OFF_DIR="${BENCH_OBS_OFF_DIR:-$BUILD_DIR-obs-off}"
+  GATE_REPS="${BENCH_OBS_GATE_REPS:-7}"
+  echo "obs overhead gate: building RW_OBS=OFF reference in $OFF_DIR"
+  cmake -B "$OFF_DIR" -S . -DRW_OBS=OFF >/dev/null
+  cmake --build "$OFF_DIR" -j \
+        --target fig4_interp_throughput fig7_typecheck_throughput >/dev/null
+
+  # Interleave the ON/OFF runs rep by rep: on a busy or thermally drifty
+  # host, consecutive blocks confound build effects with machine drift;
+  # alternating keeps the min-of-reps comparison honest. Both runs must
+  # see the layer runtime-disabled, so the enable vars are scrubbed.
+  GATE_TMP="$(mktemp -d)"
+  run_gate_bin() { # build-dir out-file bench-bin filter
+    env -u RW_OBS -u RW_OBS_TRACE "$1/$3" --benchmark_filter="$4" \
+        --benchmark_format=json >"$2"
+  }
+  ON_F7=(); ON_F4=(); OFF_F7=(); OFF_F4=()
+  for ((REP = 1; REP <= GATE_REPS; REP++)); do
+    # Alternate which build goes first inside each pair: a fixed order
+    # would fold any systematic first-runner effect into the ratio.
+    if ((REP % 2)); then FIRST="$BUILD_DIR"; SECOND="$OFF_DIR"
+                         FPRE=on; SPRE=off
+    else                 FIRST="$OFF_DIR";   SECOND="$BUILD_DIR"
+                         FPRE=off; SPRE=on
+    fi
+    run_gate_bin "$FIRST"  "$GATE_TMP/${FPRE}_f7_$REP.json" \
+                 fig7_typecheck_throughput 'F7_CheckModule/64'
+    run_gate_bin "$SECOND" "$GATE_TMP/${SPRE}_f7_$REP.json" \
+                 fig7_typecheck_throughput 'F7_CheckModule/64'
+    run_gate_bin "$FIRST"  "$GATE_TMP/${FPRE}_f4_$REP.json" \
+                 fig4_interp_throughput 'F4_Wasm_Loop_(Tree|Flat)/1000$'
+    run_gate_bin "$SECOND" "$GATE_TMP/${SPRE}_f4_$REP.json" \
+                 fig4_interp_throughput 'F4_Wasm_Loop_(Tree|Flat)/1000$'
+    ON_F7+=("$GATE_TMP/on_f7_$REP.json"); ON_F4+=("$GATE_TMP/on_f4_$REP.json")
+    OFF_F7+=("$GATE_TMP/off_f7_$REP.json"); OFF_F4+=("$GATE_TMP/off_f4_$REP.json")
+  done
+
+  GATE_STATUS=0
+  python3 - "${BENCH_OBS_TOLERANCE_PCT:-2}" "$GATE_REPS" \
+            "${ON_F7[@]}" "${ON_F4[@]}" "${OFF_F7[@]}" "${OFF_F4[@]}" \
+            <<'EOF' || GATE_STATUS=$?
+import json, sys
+
+def series(paths):
+    """name -> [best ns at rep 1, rep 2, ...] in path order."""
+    out = {}
+    for path in paths:
+        rep = {}
+        for b in json.load(open(path))["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            if b.get("error_occurred") or b.get("skipped"):
+                continue
+            ns = b["real_time"]
+            if b["name"] not in rep or ns < rep[b["name"]]:
+                rep[b["name"]] = ns
+        for name, ns in rep.items():
+            out.setdefault(name, []).append(ns)
+    return out
+
+tol = float(sys.argv[1])
+reps = int(sys.argv[2])
+paths = sys.argv[3:]
+on, off = series(paths[: 2 * reps]), series(paths[2 * reps :])
+
+# The tree loop's hot TU is byte-identical in both builds, so its delta
+# is the run's measurement floor (layout shift + residual host noise),
+# not instrumentation cost.
+CONTROL = "F4_Wasm_Loop_Tree/1000"
+
+def delta_pct(name):
+    # Paired ratios of adjacent-in-time runs cancel host drift (frequency
+    # scaling, background load); the median is robust to outlier reps.
+    ratios = sorted(a / b for a, b in zip(on[name], off[name]))
+    return 100.0 * (ratios[len(ratios) // 2] - 1.0)
+
+names = sorted(set(on) & set(off))
+if not names:
+    print("obs overhead gate: no comparable benchmarks ran", file=sys.stderr)
+    sys.exit(1)
+floor = max(0.0, delta_pct(CONTROL)) if CONTROL in names else 0.0
+bad = []
+for name in names:
+    pct = delta_pct(name)
+    if name == CONTROL:
+        marker = "control: measurement floor"
+    else:
+        marker = "FAIL" if pct > tol + floor else "ok"
+    print(f"obs overhead {name}: median-paired delta={pct:+.2f}% over "
+          f"{len(on[name])} reps (on_min={min(on[name]):.0f}ns "
+          f"off_min={min(off[name]):.0f}ns) [{marker}]")
+    if name != CONTROL and pct > tol + floor:
+        bad.append(name)
+if bad:
+    print(f"obs overhead gate FAILED (> {tol}% + {floor:.2f}% floor): "
+          f"{', '.join(bad)}", file=sys.stderr)
+    sys.exit(1)
+print(f"obs overhead gate passed (tolerance {tol}% + {floor:.2f}% "
+      f"measurement floor)")
+EOF
+  rm -rf "$GATE_TMP"
+  exit "$GATE_STATUS"
+fi
+
 RAW="$(mktemp)"
 TYPING_RAW="$(mktemp)"
 T1_RAW="$(mktemp)"

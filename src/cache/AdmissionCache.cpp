@@ -17,6 +17,7 @@
 
 #include "cache/AdmissionCache.h"
 
+#include "obs/Obs.h"
 #include "support/Hashing.h"
 #include "support/ThreadPool.h"
 #include "typing/Checker.h"
@@ -166,12 +167,29 @@ struct AdmissionCache::Impl {
 };
 
 AdmissionCache::AdmissionCache(uint64_t ByteBudget)
-    : Budget(ByteBudget), I(std::make_unique<Impl>()) {}
+    : Budget(ByteBudget), I(std::make_unique<Impl>()) {
+  // Every cache joins obs::snapshot() for its lifetime (a second live
+  // cache shows up as "cache#2.*"). stats() takes the cache mutex, which
+  // is why snapshot() samples sources outside the registry lock.
+  ObsSourceId = obs::registerSource("cache", [this](const obs::EmitFn &E) {
+    CacheStats S = stats();
+    E("hits", S.hits());
+    E("misses", S.misses());
+    E("check_hits", S.CheckHits);
+    E("check_misses", S.CheckMisses);
+    E("program_hits", S.ProgramHits);
+    E("program_misses", S.ProgramMisses);
+    E("evictions", S.Evictions);
+    E("bytes", S.Bytes);
+    E("entries", S.Entries);
+  });
+}
 
-AdmissionCache::~AdmissionCache() = default;
+AdmissionCache::~AdmissionCache() { obs::unregisterSource(ObsSourceId); }
 
 std::optional<CheckResult>
 AdmissionCache::lookupCheck(const serial::ModuleHash &Key) {
+  OBS_SPAN("cache_probe");
   std::lock_guard<std::mutex> G(I->M);
   auto It = I->Checks.find(Key);
   if (It == I->Checks.end()) {
@@ -184,6 +202,7 @@ AdmissionCache::lookupCheck(const serial::ModuleHash &Key) {
 }
 
 void AdmissionCache::storeCheck(const serial::ModuleHash &Key, CheckResult R) {
+  OBS_SPAN("cache_store");
   Impl::Entry E;
   E.K = Impl::Kind::Check;
   E.Key = Key;
@@ -195,6 +214,7 @@ void AdmissionCache::storeCheck(const serial::ModuleHash &Key, CheckResult R) {
 
 std::shared_ptr<const LoweredArtifact>
 AdmissionCache::lookupProgram(const serial::ModuleHash &Key) {
+  OBS_SPAN("cache_probe");
   std::lock_guard<std::mutex> G(I->M);
   auto It = I->Programs.find(Key);
   if (It == I->Programs.end()) {
@@ -208,6 +228,7 @@ AdmissionCache::lookupProgram(const serial::ModuleHash &Key) {
 
 void AdmissionCache::storeProgram(const serial::ModuleHash &Key,
                                   std::shared_ptr<const LoweredArtifact> Art) {
+  OBS_SPAN("cache_store");
   if (!Art)
     return;
   Impl::Entry E;
@@ -244,6 +265,10 @@ rw::typing::checkModules(std::span<const ir::Module *const> Mods,
   if (!Cache)
     return checkModules(Mods, Pool);
 
+  // Umbrella over the whole memoized batch — keying, probes, the actual
+  // check of the misses, and verdict assembly — so a trace attributes
+  // admission time that is cache bookkeeping rather than checking.
+  OBS_SPAN("check_batch_cached", Mods.size());
   size_t N = Mods.size();
   std::vector<serial::ModuleHash> Keys(N);
   for (size_t I = 0; I < N; ++I)

@@ -111,6 +111,8 @@ private:
   struct Impl;
   const uint64_t Budget;
   std::unique_ptr<Impl> I;
+  /// obs registry handle ("cache.*" snapshot source); 0 when compiled out.
+  uint64_t ObsSourceId = 0;
 };
 
 } // namespace rw::cache

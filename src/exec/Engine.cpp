@@ -18,18 +18,27 @@ using namespace rw::exec;
 using namespace rw::wasm;
 
 Status FlatInstance::prepare() {
-  if (PreFM) {
-    if (PreFM->Source != M)
-      return Error("flat engine: adopted translation describes a different "
-                   "module");
+  if (PreFM && PreFM->Source != M)
+    return Error("flat engine: adopted translation describes a different "
+                 "module");
+  // A profiling instance needs FProfEnter/FProfLoop in the code; an
+  // adopted unprofiled translation (the cache keeps the canonical,
+  // unprofiled artifact) cannot serve it, so re-translate locally.
+  if (PreFM && (!ProfileOn || PreFM->Profiled)) {
     Active = PreFM.get();
-    return Status::success();
+  } else {
+    Expected<FlatModule> R = translate(*M, TranslateOptions{ProfileOn});
+    if (!R)
+      return R.error();
+    FM = R.take();
+    Active = &FM;
   }
-  Expected<FlatModule> R = translate(*M);
-  if (!R)
-    return R.error();
-  FM = R.take();
-  Active = &FM;
+  if (Active->Profiled) {
+    // Profiled code bumps through the profile table unconditionally;
+    // make sure it exists even if profiling was turned on via adoption.
+    ProfileOn = true;
+    ensureProfileTable();
+  }
   return Status::success();
 }
 
@@ -47,10 +56,12 @@ Expected<std::vector<WValue>> FlatInstance::invoke(uint32_t FuncIdx,
   if (FuncIdx < FM.NumImports) {
     const HostFn *H = hostFor(FuncIdx);
     if (!H)
-      return Error("trap: unsatisfied import");
+      return Error("trap: unsatisfied import" + trapNote(FuncIdx));
+    if (ProfileOn)
+      ++Prof[FuncIdx].Invocations;
     Expected<std::vector<WValue>> R = (*H)(*this, Args);
     if (!R)
-      return Error("trap: " + R.error().message());
+      return Error("trap: " + R.error().message() + trapNote(FuncIdx));
     if (R->size() < FT.Results.size())
       return Error("function left too few results");
     return std::vector<WValue>(R->end() - FT.Results.size(), R->end());
@@ -62,11 +73,12 @@ Expected<std::vector<WValue>> FlatInstance::invoke(uint32_t FuncIdx,
   // execution. Detect the re-entry and trap instead.
   if (Running)
     return Error("trap: re-entrant invoke on a running instance (a host "
-                 "function called back into its caller)");
+                 "function called back into its caller)" +
+                 trapNote(FuncIdx));
 
   const FlatFunc &F = FM.Funcs[FuncIdx - FM.NumImports];
   if (Args.size() < F.NumParams)
-    return Error("trap: call stack underflow");
+    return Error("trap: call stack underflow" + trapNote(FuncIdx));
 
   Frames.clear();
   if (Regs.size() < F.NumRegs)
@@ -82,7 +94,7 @@ Expected<std::vector<WValue>> FlatInstance::invoke(uint32_t FuncIdx,
   bool Ok = run(MaxFuel, TrapMsg);
   Running = false;
   if (!Ok)
-    return Error("trap: " + TrapMsg);
+    return Error("trap: " + TrapMsg + trapNote(LastTrapFunc));
 
   std::vector<WValue> Out;
   Out.reserve(FT.Results.size());
@@ -162,11 +174,24 @@ bool FlatInstance::run(uint64_t MaxFuel, std::string &TrapMsg) {
   uint32_t CalleeIdx = 0;
   uint32_t HostIdx = 0;
 
-  auto trapOut = [&](std::string Msg) {
+  // Profile table base; non-null whenever Active->Profiled (prepare()
+  // guarantees the table), which is the only way FProf ops get executed.
+  FunctionProfile *PT = Prof.empty() ? nullptr : Prof.data();
+
+  auto trapOutAt = [&](std::string Msg, uint32_t Func) {
     TrapMsg = std::move(Msg);
+    LastTrapFunc = Func;
     Executed += MaxFuel - Fuel;
     Frames.clear();
     return false;
+  };
+  // Default attribution: the function executing when the trap fired
+  // (matches the tree engine's innermost-frame rule; call_indirect
+  // table/signature traps land on the caller in both).
+  auto trapOut = [&](std::string Msg) {
+    return trapOutAt(std::move(Msg),
+                     static_cast<uint32_t>(Fr->F - FM.Funcs.data()) +
+                         FM.NumImports);
   };
 
 #if RW_THREADED
@@ -191,6 +216,7 @@ bool FlatInstance::run(uint64_t MaxFuel, std::string &TrapMsg) {
     RW_REGF(FGetConstAdd) RW_REGF(FGetGetAddSet) RW_REGF(FGetConstAddSet)
     RW_REGF(FMove) RW_REGF(FConstSet) RW_REGF(FGetLoadI32)
     RW_REGF(FGetGetStoreI32) RW_REGF(FGetConstStoreI32)
+    RW_REGF(FProfEnter) RW_REGF(FProfLoop)
     RW_REGW(Drop) RW_REGW(Select)
     RW_REGW(LocalGet) RW_REGW(LocalSet) RW_REGW(LocalTee)
     RW_REGW(GlobalGet) RW_REGW(GlobalSet)
@@ -335,7 +361,9 @@ bool FlatInstance::run(uint64_t MaxFuel, std::string &TrapMsg) {
 
 direct_call: {
   if (Frames.size() >= MaxCallDepth)
-    return trapOut("call stack exhausted");
+    // Attributed to the callee that failed to get a frame (the tree
+    // engine's innermost attempted call claims this trap too).
+    return trapOutAt("call stack exhausted", CalleeIdx + FM.NumImports);
   const FlatFunc *Callee = &FM.Funcs[CalleeIdx];
   uint32_t NewRegBase = Fr->RegBase + Fr->F->NumRegs;
   if (Regs.size() < NewRegBase + Callee->NumRegs)
@@ -364,16 +392,18 @@ direct_call: {
 host_call: {
   const HostFn *H = hostFor(HostIdx);
   if (!H)
-    return trapOut("unsatisfied import");
+    return trapOutAt("unsatisfied import", HostIdx);
   const FuncType &HT = M->Types[M->ImportFuncs[HostIdx].TypeIdx];
   uint32_t NP = static_cast<uint32_t>(HT.Params.size());
   std::vector<WValue> HArgs(NP);
   Sp -= NP;
   for (uint32_t I = 0; I < NP; ++I)
     HArgs[I] = {HT.Params[I], Ops[Sp + I]};
+  if (PT)
+    ++PT[HostIdx].Invocations;
   Expected<std::vector<WValue>> HR = (*H)(*this, HArgs);
   if (!HR)
-    return trapOut(HR.error().message());
+    return trapOutAt(HR.error().message(), HostIdx);
   if (OpStack.size() < Sp + HR->size())
     OpStack.resize(Sp + HR->size());
   Ops = OpStack.data();
@@ -471,6 +501,23 @@ host_call: {
     if (Addr + 4 > MemSz)
       return trapOut("out-of-bounds memory access");
     std::memcpy(MemP + Addr, &V, 4);
+    RW_NEXT();
+  }
+
+  //===--------------------------------------------------------------===//
+  // Execution profiling (present only in profiled translations). The
+  // ++Fuel refunds the dispatch decrement: profiled and unprofiled runs
+  // agree on fuel, trap points, and Executed exactly.
+  //===--------------------------------------------------------------===//
+  RW_OPF(FProfEnter) {
+    ++Fuel;
+    ++PT[*Pc++].Invocations;
+    RW_NEXT();
+  }
+
+  RW_OPF(FProfLoop) {
+    ++Fuel;
+    ++PT[*Pc++].LoopHeads;
     RW_NEXT();
   }
 

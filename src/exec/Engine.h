@@ -92,6 +92,9 @@ private:
   /// from this instance re-entering invoke() would clobber OpStack/Regs/
   /// Frames mid-run (undefined behavior before this guard); now it traps.
   bool Running = false;
+  /// Function-space index the last run() trap was attributed to, for the
+  /// " [func N]" suffix invoke() appends (see Instance::trapNote).
+  uint32_t LastTrapFunc = 0;
 };
 
 } // namespace rw::exec

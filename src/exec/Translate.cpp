@@ -6,6 +6,8 @@
 
 #include "exec/Translate.h"
 
+#include "obs/Obs.h"
+
 using namespace rw;
 using namespace rw::exec;
 using namespace rw::wasm;
@@ -63,8 +65,11 @@ Arity simpleArity(Op K) {
 /// absolute target plus its stack fix-up.
 class FuncTranslator {
 public:
-  FuncTranslator(const WModule &M, const FlatModule &FM, FlatFunc &Out)
-      : M(M), FM(FM), Out(Out), Code(Out.Code) {}
+  /// \p ProfileIdx: function-space index to bump from the emitted
+  /// FProfEnter/FProfLoop ops, or UINT32_MAX for no profiling.
+  FuncTranslator(const WModule &M, const FlatModule &FM, FlatFunc &Out,
+                 uint32_t ProfileIdx = UINT32_MAX)
+      : M(M), FM(FM), Out(Out), Code(Out.Code), ProfileIdx(ProfileIdx) {}
 
   Status run(const WFunc &F) {
     const FuncType &FT = M.Types[F.TypeIdx];
@@ -72,6 +77,10 @@ public:
     // function results and whose branches land on the final FReturn.
     Ctrl.push_back({CtrlKind::Block, 0, 0,
                     static_cast<uint32_t>(FT.Results.size()), 0, {}, false});
+    if (ProfileIdx != UINT32_MAX) {
+      emit(FProfEnter);
+      emit(ProfileIdx);
+    }
     if (Status S = seq(F.Body); !S)
       return S;
     patchTo(Ctrl.back(), static_cast<uint32_t>(Code.size()));
@@ -100,6 +109,7 @@ private:
   std::vector<uint32_t> &Code;
   std::vector<CtrlFrame> Ctrl;
   uint32_t Height = 0, MaxHeight = 0;
+  uint32_t ProfileIdx = UINT32_MAX;
   bool Dead = false;
 
   /// Peephole state: what the previously emitted instruction was, for
@@ -248,6 +258,13 @@ Status FuncTranslator::inst(const WInst &I) {
       return S;
     Ctrl.push_back({CtrlKind::Loop, Height, P, R,
                     static_cast<uint32_t>(Code.size()), {}, false});
+    // The loop target recorded above points AT this bump, so it runs on
+    // fall-in entry and on every back-branch — exactly the tree engine's
+    // loop-header count.
+    if (ProfileIdx != UINT32_MAX) {
+      emit(FProfLoop);
+      emit(ProfileIdx);
+    }
     push(P);
     if (Status S = seq(I.Body); !S)
       return S;
@@ -511,9 +528,18 @@ Status FuncTranslator::inst(const WInst &I) {
 } // namespace
 
 Expected<FlatModule> rw::exec::translate(const WModule &M) {
+  return translate(M, TranslateOptions{});
+}
+
+Expected<FlatModule> rw::exec::translate(const WModule &M,
+                                         const TranslateOptions &Opts) {
+  OBS_SPAN("translate", M.Funcs.size());
+  static obs::Counter FuncsTranslated("exec.funcs_translated");
+
   FlatModule FM;
   FM.Source = &M;
   FM.NumImports = static_cast<uint32_t>(M.ImportFuncs.size());
+  FM.Profiled = Opts.Profile;
 
   // Canonical type id for every function-space index.
   for (const WImportFunc &Imp : M.ImportFuncs)
@@ -533,10 +559,12 @@ Expected<FlatModule> rw::exec::translate(const WModule &M) {
     Out.NumRegs =
         Out.NumParams + static_cast<uint32_t>(F.Locals.size());
     Out.NumResults = static_cast<uint32_t>(FT.Results.size());
-    FuncTranslator T(M, FM, Out);
+    FuncTranslator T(M, FM, Out,
+                     Opts.Profile ? FM.NumImports + FI : UINT32_MAX);
     if (Status S = T.run(F); !S)
       return S.error().addContext("function " + std::to_string(FI));
     FM.Funcs.push_back(std::move(Out));
   }
+  FuncsTranslated.add(M.Funcs.size());
   return FM;
 }

@@ -83,6 +83,14 @@ enum FOp : uint32_t {
   FGetGetStoreI32,   ///< a b off: memory[R[a] + off] = u32(R[b]).
   FGetConstStoreI32, ///< a k off: memory[R[a] + off] = k.
 
+  // Execution-profile bumps, emitted only by profiled translations
+  // (TranslateOptions::Profile): the steady-state dispatch loop of an
+  // unprofiled module never sees them. Both are fuel-neutral so a
+  // profiled run traps/halts at exactly the same instruction count as an
+  // unprofiled one. Operand: function-space index.
+  FProfEnter, ///< f: first body instruction; count one invocation.
+  FProfLoop,  ///< f: loop header (branch target); count one execution.
+
   FOpCount, ///< Table size for threaded dispatch.
 };
 
@@ -105,10 +113,21 @@ struct FlatModule {
   /// structurally equal entry in Source->Types); call_indirect compares
   /// these instead of re-comparing FuncTypes at run time.
   std::vector<uint32_t> CanonType;
+  /// Whether the code streams contain FProfEnter/FProfLoop bumps. An
+  /// instance with profiling on cannot adopt an unprofiled translation
+  /// (it re-translates locally); one adopting a profiled translation
+  /// allocates its profile table so the bumps always have a target.
+  bool Profiled = false;
+};
+
+struct TranslateOptions {
+  bool Profile = false; ///< Fuse FProfEnter/FProfLoop into the code.
 };
 
 /// Translates every function of \p M. The module must outlive the result.
 Expected<FlatModule> translate(const wasm::WModule &M);
+Expected<FlatModule> translate(const wasm::WModule &M,
+                               const TranslateOptions &Opts);
 
 } // namespace rw::exec
 

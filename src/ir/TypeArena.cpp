@@ -17,6 +17,7 @@
 #include "ir/TypeArena.h"
 
 #include "ir/TypeOps.h"
+#include "obs/Obs.h"
 
 #include <algorithm>
 #include <cassert>
@@ -1417,7 +1418,32 @@ uint64_t TypeArena::rollback(const Checkpoint &C) {
 }
 
 const std::shared_ptr<TypeArena> &TypeArena::globalPtr() {
-  static std::shared_ptr<TypeArena> G = std::make_shared<TypeArena>();
+  static std::shared_ptr<TypeArena> G = [] {
+    auto A = std::make_shared<TypeArena>();
+    // The process-wide arena reports through obs::snapshot() for the
+    // whole process lifetime (the weak_ptr breaks the cycle and guards
+    // static-destruction order; short-lived scratch arenas stay out of
+    // the registry). Never unregistered — the arena lives as long as any
+    // code that could snapshot.
+    obs::registerSource(
+        "arena", [W = std::weak_ptr<TypeArena>(A)](const obs::EmitFn &E) {
+          std::shared_ptr<TypeArena> A = W.lock();
+          if (!A)
+            return;
+          TypeArena::Stats S = A->stats();
+          E("hits", S.Hits);
+          E("misses", S.Misses);
+          E("pretype_nodes", S.PretypeNodes);
+          E("heap_type_nodes", S.HeapTypeNodes);
+          E("fun_type_nodes", S.FunTypeNodes);
+          E("size_nodes", S.SizeNodes);
+          E("skolem_nodes", S.SkolemNodes);
+          E("total_nodes", S.totalNodes());
+          E("approx_bytes", S.ApproxBytes);
+          E("serialized_bytes", S.SerializedBytes);
+        });
+    return A;
+  }();
   return G;
 }
 

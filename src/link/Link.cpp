@@ -9,6 +9,7 @@
 #include "cache/AdmissionCache.h"
 #include "exec/Engine.h"
 #include "ir/Print.h"
+#include "obs/Obs.h"
 #include "ir/TypeOps.h"
 #include "support/ThreadPool.h"
 #include "typing/Checker.h"
@@ -185,6 +186,7 @@ Status checkSameArena(const Node &ImpTy, const Node &ProvTy,
 Expected<std::vector<ResolvedModule>>
 rw::link::resolveImports(const std::vector<const ir::Module *> &Mods,
                          const ResolveOptions &Opts) {
+  OBS_SPAN("resolve", Mods.size());
   std::vector<ResolvedModule> Out;
   Out.reserve(Mods.size());
   ExportIndex Index;
@@ -377,6 +379,9 @@ rw::link::instantiate(const std::vector<const ir::Module *> &Mods,
 Expected<LoweredInstance>
 rw::link::instantiateLowered(const std::vector<const ir::Module *> &Mods,
                              const LinkOptions &Opts) {
+  // Umbrella span for the whole admission (the per-phase spans nest
+  // inside it in the trace).
+  OBS_SPAN("admission", Mods.size());
   // Warm path: the whole link set is content-addressed; a hit skips
   // checking, resolution, lowering, validation, and flat translation.
   std::shared_ptr<const cache::LoweredArtifact> Art;
@@ -448,6 +453,7 @@ rw::link::instantiateLowered(const std::vector<const ir::Module *> &Mods,
       Opts.Cache->storeProgram(Key, Art);
   }
 
+  OBS_SPAN("instantiate", Mods.size());
   std::unique_ptr<wasm::Instance> Inst;
   if (Opts.Engine == wasm::EngineKind::Flat) {
     auto FI = std::make_unique<exec::FlatInstance>(Art->Program.Module);
@@ -460,6 +466,8 @@ rw::link::instantiateLowered(const std::vector<const ir::Module *> &Mods,
   } else {
     Inst = wasm::createInstance(Art->Program.Module, Opts.Engine);
   }
+  if (Opts.Profile)
+    Inst->enableProfiling();
   // RunStart only gates the start function; instance state (memory,
   // globals, data, host/flat preparation) always exists.
   if (Status S = Inst->initialize(Opts.RunStart); !S)

@@ -77,6 +77,12 @@ struct LinkOptions {
   /// un-rolled-back for the call (see Checker.h's InfoMap contract). Not
   /// owned.
   const std::vector<typing::InfoMap> *Infos = nullptr;
+  /// Enable per-function execution profiling (invocation + loop-head
+  /// counters, wasm::Instance::functionProfiles) on the instance the
+  /// lowered path creates. The flat engine re-translates locally with
+  /// profile bumps fused in — the cached artifact stays unprofiled — so
+  /// a warm cache hit still skips check/lower/validate.
+  bool Profile = false;
 };
 
 /// Links and instantiates \p Mods in order. The returned machine owns the

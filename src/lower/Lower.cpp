@@ -9,6 +9,7 @@
 #include "ir/Rewrite.h"
 #include "ir/TypeArena.h"
 #include "lower/Rep.h"
+#include "obs/Obs.h"
 #include "typing/Checker.h"
 #include "typing/Entail.h"
 #include "support/ThreadPool.h"
@@ -1877,6 +1878,9 @@ Expected<LoweredProgram> ProgramLowering::run() {
   auto lowerOne = [&](size_t W) {
     if (W > FirstFail.load(std::memory_order_relaxed))
       return; // A lower-indexed body already failed; this one is dead.
+    static obs::Counter FunctionsLowered("lower.functions_lowered");
+    FunctionsLowered.inc();
+    OBS_SPAN("lower_fn", Work[W].Mod, Work[W].Func);
     const uint32_t MI = Work[W].Mod, FI = Work[W].Func;
     const Module &M = *Mods[MI];
     const Function &F = M.Funcs[FI];
@@ -2080,6 +2084,7 @@ Expected<LoweredProgram> ProgramLowering::run() {
 Expected<LoweredProgram>
 rw::lower::lowerProgram(const std::vector<const Module *> &Mods,
                         const LowerOptions &Opts) {
+  OBS_SPAN("lower", Mods.size());
   // Lowering checks modules (typing::checkModule, whose typeEquals is a
   // pointer comparison — or consumes InfoMaps recorded over canonical
   // nodes) and rewrites their types, so all modules of one program must

@@ -1,0 +1,317 @@
+//===- obs/Obs.h - Process-wide observability layer -------------*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The admission pipeline's observability layer (DESIGN.md §10), three
+/// pillars behind one header:
+///
+///   * **Metrics registry** — named counters, gauges, and log2-bucket
+///     latency histograms. Slots are statically allocated per name (the
+///     first registration wins; later registrations of the same name
+///     share the slot) and sharded across NumShards per-thread banks, so
+///     a hot-path increment is one relaxed fetch_add into a bank no other
+///     running thread touches; snapshot() folds the banks on read.
+///     External stats surfaces (TypeArena::Stats, cache::CacheStats,
+///     per-instance FunctionProfile tables) plug in as *sources*:
+///     callbacks sampled at snapshot time, so one obs::snapshot() returns
+///     everything uniformly.
+///
+///   * **Pipeline tracing** — RAII phase spans (OBS_SPAN("check", mod))
+///     recorded into per-thread ring buffers that survive thread exit,
+///     so the spans of a pooled checkModules land attributed to the
+///     worker ("pool-3") that ran them. traceJson() exports Chrome
+///     trace_event JSON for about:tracing / Perfetto. Every span also
+///     feeds its phase's latency histogram.
+///
+///   * **Runtime gating** — counters are always live (one relaxed add);
+///     spans check enabled() (one relaxed load) before touching a clock,
+///     and record trace events only when tracing() is also set. Initial
+///     state comes from RW_OBS=1 / RW_OBS_TRACE=1 in the environment.
+///
+/// Compile-time gating: building with -DRW_OBS=OFF (RW_OBS_ENABLED=0)
+/// replaces everything here with empty inline stubs — OBS_SPAN expands to
+/// nothing, Counter/Span are empty types, and Obs.cpp contributes zero
+/// code to the archive (tests/obs_test.cpp pins this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_OBS_OBS_H
+#define RICHWASM_OBS_OBS_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#ifndef RW_OBS_ENABLED
+#define RW_OBS_ENABLED 1
+#endif
+
+namespace rw::obs {
+
+/// What a registry entry measures. A histogram is 64 log2 buckets
+/// (bucket i counts samples with bit_width(v) == i, i.e. v in
+/// [2^(i-1), 2^i)) plus a count and a sum.
+enum class MetricKind : uint8_t { Counter, Gauge, Histogram };
+
+/// One aggregated registry entry (shards already folded) or one sampled
+/// source value, as returned by snapshot().
+struct Metric {
+  std::string Name;
+  MetricKind Kind = MetricKind::Counter;
+  uint64_t Value = 0; ///< Counter/gauge value; histograms: sample count.
+  uint64_t Sum = 0;   ///< Histograms only: sum of samples.
+  std::vector<uint64_t> Buckets; ///< Histograms only: 64 log2 buckets.
+};
+
+struct Snapshot {
+  std::vector<Metric> Metrics; ///< Registry entries, then source samples.
+};
+
+/// Approximate quantile of a histogram Metric (upper bound of the bucket
+/// holding the q-th sample); 0 for empty or non-histogram metrics.
+inline uint64_t histQuantile(const Metric &M, double Q) {
+  if (M.Kind != MetricKind::Histogram || M.Value == 0 || M.Buckets.empty())
+    return 0;
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(M.Value));
+  if (Rank >= M.Value)
+    Rank = M.Value - 1;
+  uint64_t Seen = 0;
+  for (size_t I = 0; I < M.Buckets.size(); ++I) {
+    Seen += M.Buckets[I];
+    if (Seen > Rank)
+      return I == 0 ? 0 : (1ull << I) - 1; // Upper bound of bucket I.
+  }
+  return ~0ull;
+}
+
+/// The callback a stats source receives: emit(name, value) one or more
+/// times; names are reported as "<prefix>.<name>".
+using EmitFn = std::function<void(const char *Name, uint64_t Value)>;
+
+#if RW_OBS_ENABLED
+
+/// True when the layer is compiled in (RW_OBS=ON).
+constexpr bool compiledIn() { return true; }
+
+namespace detail {
+/// Bit 0: enabled (span clocks + histograms). Bit 1: tracing (ring-buffer
+/// events; only meaningful with bit 0). Seeded from RW_OBS / RW_OBS_TRACE.
+extern std::atomic<uint32_t> Flags;
+unsigned allocSlots(const char *Name, MetricKind K, unsigned Words);
+void counterAdd(unsigned Slot, uint64_t N);
+void gaugeSet(unsigned Slot, uint64_t V);
+uint64_t slotValue(unsigned Slot);
+void histRecord(unsigned Slot, uint64_t Sample);
+} // namespace detail
+
+/// Master switch for span timing and histogram recording (counters stay
+/// live regardless — they are one relaxed add). Cheap to query.
+inline bool enabled() {
+  return detail::Flags.load(std::memory_order_relaxed) & 1u;
+}
+void setEnabled(bool On);
+
+/// Trace-event recording (requires enabled()).
+inline bool tracing() {
+  return (detail::Flags.load(std::memory_order_relaxed) & 3u) == 3u;
+}
+void setTracing(bool On);
+
+/// Monotonic nanoseconds (steady clock).
+uint64_t nowNs();
+
+/// Names the calling thread for trace export and snapshot attribution
+/// ("pool-3" instead of a raw thread id). Also applied to the OS thread
+/// (pthread name) so debugger/TSan reports match the trace.
+void setThreadName(const char *Name);
+
+/// A named monotonic counter. Construction registers (or re-finds) the
+/// name; add() is a relaxed fetch_add into the calling thread's shard.
+/// Intended use: one function-local `static obs::Counter` per site.
+class Counter {
+public:
+  explicit Counter(const char *Name)
+      : Slot(detail::allocSlots(Name, MetricKind::Counter, 1)) {}
+  void add(uint64_t N = 1) const { detail::counterAdd(Slot, N); }
+  void inc() const { add(1); }
+  uint64_t value() const { return detail::slotValue(Slot); }
+
+private:
+  unsigned Slot;
+};
+
+/// A named last-value gauge (single slot, relaxed store).
+class Gauge {
+public:
+  explicit Gauge(const char *Name)
+      : Slot(detail::allocSlots(Name, MetricKind::Gauge, 1)) {}
+  void set(uint64_t V) const { detail::gaugeSet(Slot, V); }
+  uint64_t value() const { return detail::slotValue(Slot); }
+
+private:
+  unsigned Slot;
+};
+
+/// A named log2-bucket histogram (64 buckets + count + sum, sharded like
+/// counters). record() is gated on enabled() by callers that care (Span
+/// does); calling it directly always records.
+class Histogram {
+public:
+  explicit Histogram(const char *Name)
+      : Slot(detail::allocSlots(Name, MetricKind::Histogram, 66)) {}
+  void record(uint64_t Sample) const { detail::histRecord(Slot, Sample); }
+
+private:
+  unsigned Slot;
+};
+
+/// An interned pipeline phase: the span name plus its latency histogram
+/// ("phase.<name>.ns"). phase() deduplicates by name, so the usual
+/// pattern is a function-local `static Phase &P = obs::phase("check")`.
+struct Phase {
+  const char *Name;
+  Histogram Hist;
+  explicit Phase(const char *Name, const char *HistName)
+      : Name(Name), Hist(HistName) {}
+};
+
+Phase &phase(const char *Name);
+
+namespace detail {
+void spanEnd(const Phase &P, uint64_t StartNs, uint64_t A, uint64_t B);
+} // namespace detail
+
+/// An RAII phase span. When the layer is runtime-disabled the constructor
+/// is one relaxed load and the destructor a predictable no-op branch.
+/// When enabled, the destructor records the duration into the phase
+/// histogram and — if tracing() — appends a trace event (with the two
+/// free-form args, e.g. module and function index) to the calling
+/// thread's ring buffer.
+class Span {
+public:
+  explicit Span(Phase &P, uint64_t A = 0, uint64_t B = 0)
+      : P(&P), A(A), B(B), StartNs(enabled() ? nowNs() : 0) {}
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+  ~Span() {
+    if (StartNs)
+      detail::spanEnd(*P, StartNs, A, B);
+  }
+
+private:
+  Phase *P;
+  uint64_t A, B;
+  uint64_t StartNs;
+};
+
+#define RW_OBS_CAT2(a, b) a##b
+#define RW_OBS_CAT(a, b) RW_OBS_CAT2(a, b)
+/// OBS_SPAN("check", Mod, Func): scoped span for the rest of the block.
+/// The phase lookup is a function-local static, so steady-state cost is
+/// one static-init guard check plus the Span constructor's relaxed load.
+#define OBS_SPAN(NAME, ...)                                                    \
+  static ::rw::obs::Phase &RW_OBS_CAT(ObsPhase_, __LINE__) =                   \
+      ::rw::obs::phase(NAME);                                                  \
+  ::rw::obs::Span RW_OBS_CAT(ObsSpan_, __LINE__)(                              \
+      RW_OBS_CAT(ObsPhase_, __LINE__) __VA_OPT__(, ) __VA_ARGS__)
+
+/// Registers a stats source sampled by snapshot(). \p Prefix is
+/// uniquified ("cache", "cache#2", ...) when already taken. Returns an id
+/// for unregisterSource; sources must unregister before the state their
+/// callback reads dies.
+uint64_t registerSource(const char *Prefix, std::function<void(const EmitFn &)> Fn);
+void unregisterSource(uint64_t Id);
+
+/// Folds every shard of every registry entry and samples every source.
+Snapshot snapshot();
+
+/// Human-readable one-line-per-metric rendering (histograms get count,
+/// mean, and approximate p50/p99).
+std::string renderText(const Snapshot &S);
+
+/// Machine-readable rendering: {"metrics": {name: value | {histogram}}}.
+std::string renderJson(const Snapshot &S);
+
+/// Chrome trace_event JSON ("traceEvents" array, duration events plus
+/// thread_name metadata) of everything currently in the ring buffers.
+/// Collect while span-recording threads are quiescent.
+std::string traceJson();
+
+/// Drops all recorded trace events (buffers stay registered). Call while
+/// span-recording threads are quiescent.
+void clearTrace();
+
+/// Events currently held across all ring buffers (after drops).
+size_t traceEventCount();
+
+#else // !RW_OBS_ENABLED — every entry point collapses to nothing.
+
+constexpr bool compiledIn() { return false; }
+inline bool enabled() { return false; }
+inline void setEnabled(bool) {}
+inline bool tracing() { return false; }
+inline void setTracing(bool) {}
+inline uint64_t nowNs() { return 0; }
+inline void setThreadName(const char *) {}
+
+class Counter {
+public:
+  constexpr explicit Counter(const char *) {}
+  void add(uint64_t = 1) const {}
+  void inc() const {}
+  uint64_t value() const { return 0; }
+};
+
+class Gauge {
+public:
+  constexpr explicit Gauge(const char *) {}
+  void set(uint64_t) const {}
+  uint64_t value() const { return 0; }
+};
+
+class Histogram {
+public:
+  constexpr explicit Histogram(const char *) {}
+  void record(uint64_t) const {}
+};
+
+struct Phase {};
+
+inline Phase &phase(const char *) {
+  static Phase P;
+  return P;
+}
+
+class Span {
+public:
+  constexpr explicit Span(Phase &, uint64_t = 0, uint64_t = 0) {}
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+};
+
+#define OBS_SPAN(...) ((void)0)
+
+inline uint64_t registerSource(const char *,
+                               std::function<void(const EmitFn &)>) {
+  return 0;
+}
+inline void unregisterSource(uint64_t) {}
+inline Snapshot snapshot() { return {}; }
+inline std::string renderText(const Snapshot &) {
+  return "(observability compiled out)\n";
+}
+inline std::string renderJson(const Snapshot &) { return "{\"metrics\":{}}"; }
+inline std::string traceJson() { return "{\"traceEvents\":[]}"; }
+inline void clearTrace() {}
+inline size_t traceEventCount() { return 0; }
+
+#endif // RW_OBS_ENABLED
+
+} // namespace rw::obs
+
+#endif // RICHWASM_OBS_OBS_H

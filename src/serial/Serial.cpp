@@ -18,6 +18,7 @@
 #include "serial/Serial.h"
 
 #include "ir/TypeArena.h"
+#include "obs/Obs.h"
 #include "support/Casting.h"
 #include "support/Hashing.h"
 #include "support/LEB128.h"
@@ -1649,6 +1650,8 @@ uint64_t getU64LE(const uint8_t *D) {
 //===----------------------------------------------------------------------===//
 
 std::vector<uint8_t> rw::serial::write(const ir::Module &M) {
+  OBS_SPAN("serial_write");
+  static obs::Counter BytesWritten("serial.bytes_written");
   WriteEmitter E;
   walkModule(E, M);
 
@@ -1668,11 +1671,15 @@ std::vector<uint8_t> rw::serial::write(const ir::Module &M) {
   std::vector<uint8_t> Out(HeaderSize + Payload.size());
   std::memcpy(Out.data(), Header.data(), HeaderSize);
   std::memcpy(Out.data() + HeaderSize, Payload.data(), Payload.size());
+  BytesWritten.add(Out.size());
   return Out;
 }
 
 Expected<ir::Module> rw::serial::read(const std::vector<uint8_t> &Bytes,
                                       std::shared_ptr<ir::TypeArena> Arena) {
+  OBS_SPAN("serial_read", Bytes.size());
+  static obs::Counter BytesRead("serial.bytes_read");
+  BytesRead.add(Bytes.size());
   if (!Arena)
     return Error("null target arena");
   if (Bytes.size() < HeaderSize)
@@ -1717,6 +1724,9 @@ Expected<ir::Module> rw::serial::read(const std::vector<uint8_t> &Bytes,
 }
 
 serial::ModuleHash rw::serial::moduleHash(const ir::Module &M) {
+  OBS_SPAN("module_hash");
+  static obs::Counter ModulesHashed("serial.modules_hashed");
+  ModulesHashed.inc();
   HashEmitter E;
   walkModule(E, M);
   // One final avalanche so prefix-equal modules with different tails

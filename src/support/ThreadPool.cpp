@@ -6,7 +6,10 @@
 
 #include "support/ThreadPool.h"
 
+#include "obs/Obs.h"
+
 #include <algorithm>
+#include <string>
 
 using namespace rw::support;
 
@@ -56,6 +59,9 @@ void ThreadPool::runJob(Job &J, unsigned Self, std::mutex &M,
 }
 
 void ThreadPool::workerLoop(unsigned Id) {
+  // Stable worker identity: traces and TSan reports say "pool-3", not a
+  // raw thread id. Id 0 is the caller participating in runJob directly.
+  obs::setThreadName(("pool-" + std::to_string(Id)).c_str());
   uint64_t Seen = 0;
   for (;;) {
     std::shared_ptr<Job> J;

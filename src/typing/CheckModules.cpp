@@ -27,6 +27,7 @@
 #include "typing/Checker.h"
 
 #include "ir/TypeArena.h"
+#include "obs/Obs.h"
 #include "support/ThreadPool.h"
 
 using namespace rw;
@@ -43,6 +44,7 @@ std::vector<Status>
 rw::typing::checkModules(std::span<const ir::Module *const> Mods,
                          support::ThreadPool &Pool,
                          std::vector<InfoMap> *Infos) {
+  OBS_SPAN("check_batch", Mods.size());
   size_t NumMods = Mods.size();
   std::vector<ModuleEnv> Envs(NumMods);
   std::vector<Status> TableStatus(NumMods);
@@ -87,6 +89,9 @@ rw::typing::checkModules(std::span<const ir::Module *const> Mods,
 
   Pool.parallelFor(Work.size(), [&](size_t I) {
     const WorkItem &W = Work[I];
+    // Span args carry the (module, function) work-item coordinates, so a
+    // trace shows which worker checked what.
+    OBS_SPAN("check_fn", W.Mod, W.Func);
     const Module &M = *Mods[W.Mod];
     ArenaScope Scope(M.Arena ? *M.Arena : TypeArena::global());
     FnStatus[W.Mod][W.Func] = checkFunction(

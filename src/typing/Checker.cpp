@@ -8,6 +8,7 @@
 
 #include "ir/Print.h"
 #include "ir/Rewrite.h"
+#include "obs/Obs.h"
 #include "ir/TypeArena.h"
 #include "ir/TypeOps.h"
 #include "support/SmallVec.h"
@@ -1599,6 +1600,8 @@ Expected<typing::SeqResult> rw::typing::checkSeq(
 
 Status rw::typing::checkFunction(const ModuleEnv &Env, const Function &Fn,
                                  InfoMap *IM) {
+  static obs::Counter FunctionsChecked("typing.functions_checked");
+  FunctionsChecked.inc();
   if (!Fn.Ty)
     return Error("function has no type");
   if (Status S = wfFunType(*Fn.Ty, KindCtx()); !S)
@@ -1683,6 +1686,9 @@ Status rw::typing::detail::checkGlobalsAndStart(const Module &M,
 }
 
 Status rw::typing::checkModule(const Module &M, InfoMap *IM) {
+  OBS_SPAN("check_module", M.Funcs.size());
+  static obs::Counter ModulesChecked("typing.modules_checked");
+  ModulesChecked.inc();
   // Intern every type the judgments build into the module's arena, so the
   // canonical-pointer equality guarantee spans the whole check.
   ArenaScope Scope(M.Arena ? *M.Arena : TypeArena::global());

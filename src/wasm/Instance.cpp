@@ -6,11 +6,48 @@
 
 #include "wasm/Instance.h"
 
+#include "obs/Obs.h"
+
 #include <cassert>
 #include <cstring>
 
 using namespace rw;
 using namespace rw::wasm;
+
+Instance::~Instance() { obs::unregisterSource(ObsSourceId); }
+
+void Instance::ensureProfileTable() {
+  size_t N = M->ImportFuncs.size() + M->Funcs.size();
+  if (Prof.size() < N)
+    Prof.resize(N);
+}
+
+void Instance::enableProfiling() {
+  if (ProfileOn)
+    return;
+  ProfileOn = true;
+  ensureProfileTable();
+  // The source reads Prof by reference; ~Instance unregisters before the
+  // table dies. Only non-zero rows are emitted to keep snapshots small.
+  ObsSourceId = obs::registerSource("exec.profile", [this](
+                                                       const obs::EmitFn &E) {
+    for (size_t I = 0; I < Prof.size(); ++I) {
+      if (!Prof[I].Invocations && !Prof[I].LoopHeads)
+        continue;
+      std::string Base = "func" + std::to_string(I);
+      E((Base + ".inv").c_str(), Prof[I].Invocations);
+      E((Base + ".loops").c_str(), Prof[I].LoopHeads);
+    }
+  });
+}
+
+std::string Instance::trapNote(uint32_t FuncIdx) const {
+  std::string S = " [func " + std::to_string(FuncIdx);
+  if (ProfileOn && FuncIdx < Prof.size())
+    S += "; inv " + std::to_string(Prof[FuncIdx].Invocations) + ", loops " +
+         std::to_string(Prof[FuncIdx].LoopHeads);
+  return S + "]";
+}
 
 uint32_t Instance::load32(uint32_t Addr) const {
   assert(Addr + 4 <= Mem.size() && "host load out of bounds");

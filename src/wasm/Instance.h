@@ -68,13 +68,24 @@ inline const char *engineKindName(EngineKind K) {
   return K == EngineKind::Tree ? "tree" : "flat";
 }
 
+/// Execution-profile row for one function in function space (imports
+/// first, then defined functions). This is the hotness signal the
+/// planned tier-3 JIT consumes: Invocations ranks call-dominated
+/// functions, LoopHeads ranks loop-dominated ones (it counts loop-header
+/// executions, i.e. loop entries plus back-edges, identically in both
+/// engines).
+struct FunctionProfile {
+  uint64_t Invocations = 0;
+  uint64_t LoopHeads = 0;
+};
+
 /// An instantiated Wasm module, independent of the engine executing it.
 /// Owns the instance state (memory, globals, table, host bindings); the
 /// derived engine owns only its execution machinery.
 class Instance {
 public:
   explicit Instance(const WModule &M) : M(&M) {}
-  virtual ~Instance() = default;
+  virtual ~Instance();
 
   /// Registers a host function for import Mod.Name. Must be called for
   /// every import before initialize().
@@ -114,6 +125,20 @@ public:
   std::optional<uint32_t> findExport(const std::string &Name,
                                      ExportKind Kind) const;
 
+  /// Turns on per-function execution profiling (invocation + loop-head
+  /// counters). Call before initialize(); the flat engine re-translates
+  /// with profile bumps fused into the bytecode, so enabling later would
+  /// miss an already-adopted translation. Registers the table as an obs
+  /// snapshot source while the instance lives.
+  void enableProfiling();
+  bool profilingEnabled() const { return ProfileOn; }
+
+  /// One row per function in function space (imports then defined);
+  /// empty unless enableProfiling() was called.
+  const std::vector<FunctionProfile> &functionProfiles() const {
+    return Prof;
+  }
+
 protected:
   /// Engine hook run by initialize() after instance state exists but
   /// before the start function: translate code, resolve host bindings.
@@ -125,6 +150,15 @@ protected:
     return I < HostTable.size() ? HostTable[I] : nullptr;
   }
 
+  /// Sizes Prof to cover function space (idempotent).
+  void ensureProfileTable();
+
+  /// Renders the trap-attribution suffix both engines append to trap
+  /// messages: " [func N]", or " [func N; inv I, loops L]" when
+  /// profiling — identical across engines so the differential suite can
+  /// compare trap strings byte-for-byte.
+  std::string trapNote(uint32_t FuncIdx) const;
+
   const WModule *M;
   std::vector<uint8_t> Mem;
   std::vector<WValue> Globals;
@@ -133,6 +167,11 @@ protected:
   /// Import index → resolved host function (avoids the map on calls).
   std::vector<const HostFn *> HostTable;
   uint64_t Executed = 0;
+  bool ProfileOn = false;
+  std::vector<FunctionProfile> Prof;
+
+private:
+  uint64_t ObsSourceId = 0;
 };
 
 /// Creates an uninitialized instance of \p M backed by engine \p K.

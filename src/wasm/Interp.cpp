@@ -20,11 +20,13 @@ Expected<std::vector<WValue>> WasmInstance::invoke(uint32_t FuncIdx,
   Fuel = MaxFuel;
   Stack.clear();
   CallDepth = 0;
+  TrapFunc.reset();
   for (const WValue &A : Args)
     Stack.push_back(A);
   Exec R = callFunction(FuncIdx);
   if (R == Exec::Trap)
-    return Error("trap: " + TrapMsg);
+    return Error("trap: " + TrapMsg +
+                 trapNote(TrapFunc ? *TrapFunc : FuncIdx));
   const FuncType &FT = M->funcType(FuncIdx);
   if (Stack.size() < FT.Results.size())
     return Error("function left too few results");
@@ -34,6 +36,16 @@ Expected<std::vector<WValue>> WasmInstance::invoke(uint32_t FuncIdx,
 }
 
 WasmInstance::Exec WasmInstance::callFunction(uint32_t FuncIdx) {
+  Exec R = callFunctionImpl(FuncIdx);
+  // Innermost frame wins: a trap that bubbled through outer frames keeps
+  // its original attribution. "call stack exhausted" lands here too, on
+  // the callee that failed to get a frame — same as the flat engine.
+  if (R == Exec::Trap && !TrapFunc)
+    TrapFunc = FuncIdx;
+  return R;
+}
+
+WasmInstance::Exec WasmInstance::callFunctionImpl(uint32_t FuncIdx) {
   if (++CallDepth > MaxCallDepth) {
     --CallDepth;
     return trap("call stack exhausted");
@@ -51,6 +63,11 @@ WasmInstance::Exec WasmInstance::callFunction(uint32_t FuncIdx) {
     }
     std::vector<WValue> Args(Stack.end() - FT.Params.size(), Stack.end());
     Stack.resize(Stack.size() - FT.Params.size());
+    // Bump only once the call will actually enter the host — after the
+    // import resolved and the arguments were available (the flat engine
+    // counts at the same point).
+    if (ProfileOn)
+      ++Prof[FuncIdx].Invocations;
     Expected<std::vector<WValue>> R = (*H)(*this, Args);
     --CallDepth;
     if (!R) {
@@ -73,6 +90,9 @@ WasmInstance::Exec WasmInstance::callFunction(uint32_t FuncIdx) {
   size_t Base = Stack.size();
   for (ValType T : F.Locals)
     Fr.Locals.push_back({T, 0});
+  Fr.FuncIdx = FuncIdx;
+  if (ProfileOn)
+    ++Prof[FuncIdx].Invocations;
 
   uint32_t BrDepth = 0;
   Exec R = execSeq(F.Body, Fr, BrDepth);
@@ -133,6 +153,11 @@ WasmInstance::Exec WasmInstance::execInst(const WInst &I, Frame &F,
   }
   case Op::Loop: {
     for (;;) {
+      // Loop-header execution: counts the fall-in entry plus every
+      // back-branch, matching the flat engine's FProfLoop at the branch
+      // target.
+      if (ProfileOn)
+        ++Prof[F.FuncIdx].LoopHeads;
       size_t Base = Stack.size() - I.BT.Params.size();
       Exec R = execSeq(I.Body, F, BrDepth);
       if (R == Exec::Branch) {

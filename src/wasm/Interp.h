@@ -26,6 +26,8 @@
 #include "wasm/Instance.h"
 #include "wasm/WasmAst.h"
 
+#include <optional>
+
 namespace rw::wasm {
 
 /// An instantiated Wasm module executed by walking the instruction tree.
@@ -44,13 +46,17 @@ private:
 
   struct Frame {
     std::vector<WValue> Locals;
+    uint32_t FuncIdx = 0; ///< Function-space index, for profile bumps.
   };
 
   Exec execSeq(const std::vector<WInst> &Body, Frame &F, uint32_t &BrDepth);
   Exec execInst(const WInst &I, Frame &F, uint32_t &BrDepth);
   Exec execNumeric(const WInst &I);
   Exec execMemory(const WInst &I);
+  /// callFunctionImpl plus trap attribution: the innermost function that
+  /// originated a trap claims it (TrapFunc is set once, on the way out).
   Exec callFunction(uint32_t FuncIdx);
+  Exec callFunctionImpl(uint32_t FuncIdx);
   Exec trap(const char *Msg) {
     TrapMsg = Msg;
     return Exec::Trap;
@@ -59,6 +65,7 @@ private:
   std::vector<WValue> Stack;
   uint64_t Fuel = 0;
   std::string TrapMsg;
+  std::optional<uint32_t> TrapFunc;
   unsigned CallDepth = 0;
 };
 

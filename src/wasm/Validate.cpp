@@ -6,6 +6,8 @@
 
 #include "wasm/Validate.h"
 
+#include "obs/Obs.h"
+
 #include <cassert>
 
 using namespace rw;
@@ -395,6 +397,7 @@ private:
 } // namespace
 
 Status rw::wasm::validate(const WModule &M) {
+  OBS_SPAN("validate", M.Funcs.size());
   for (const WImportFunc &I : M.ImportFuncs)
     if (I.TypeIdx >= M.Types.size())
       return Error("import type index out of range");

@@ -377,7 +377,7 @@ TEST(ExecDiff, HostTrapPropagates) {
   };
   auto [T, F] = expectSame(M, "f", {}, Bind);
   EXPECT_FALSE(T.Ok);
-  EXPECT_EQ(T.Err, "trap: host exploded");
+  EXPECT_EQ(T.Err, "trap: host exploded [func 0]");
 }
 
 TEST(ExecDiff, CallStackExhaustion) {
@@ -388,7 +388,64 @@ TEST(ExecDiff, CallStackExhaustion) {
   M.Exports.push_back({"f", ExportKind::Func, 0});
   auto [T, F] = expectSame(M, "f");
   EXPECT_FALSE(T.Ok);
-  EXPECT_EQ(T.Err, "trap: call stack exhausted");
+  EXPECT_EQ(T.Err, "trap: call stack exhausted [func 0]");
+}
+
+TEST(ExecDiff, TrapAttributedToInnermostFunction) {
+  // f0 (exported) calls f1, which hits unreachable: the trap note names
+  // the *faulting* function, not the entry point, on both engines.
+  WModule M;
+  uint32_t TI = M.addType({{}, {}});
+  M.Funcs.push_back({TI, {}, {WInst::idx(Op::Call, 1)}});
+  M.Funcs.push_back({TI, {}, {WInst::mk(Op::Unreachable)}});
+  M.Exports.push_back({"f", ExportKind::Func, 0});
+  auto [T, F] = expectSame(M, "f");
+  EXPECT_FALSE(T.Ok);
+  EXPECT_EQ(T.Err, "trap: unreachable executed [func 1]");
+}
+
+TEST(ExecDiff, TrapNoteCarriesProfileCounters) {
+  // With profiling enabled the trap note reports the faulting function's
+  // profile row *at trap time* — invocations and loop-header executions —
+  // byte-identically across engines. The loop runs three header
+  // executions (one entry, two back-edges) before f0 calls f1, which
+  // traps on its first and only invocation.
+  WModule M;
+  uint32_t TV = M.addType({{}, {}});
+  M.Funcs.push_back(
+      {TV,
+       {ValType::I32},
+       {WInst::block(
+            {{}, {}},
+            {WInst::loop({{}, {}},
+                         {WInst::idx(Op::LocalGet, 0), WInst::i32c(1),
+                          WInst::mk(Op::I32Add), WInst::idx(Op::LocalTee, 0),
+                          WInst::i32c(3), WInst::mk(Op::I32LtS),
+                          WInst::idx(Op::BrIf, 0)})}),
+        WInst::idx(Op::Call, 1)}});
+  M.Funcs.push_back({TV, {}, {WInst::mk(Op::Unreachable)}});
+  M.Exports.push_back({"f", ExportKind::Func, 0});
+  ASSERT_TRUE(validate(M).ok()) << validate(M).error().message();
+
+  std::string Errs[2];
+  for (EngineKind K : BothEngines) {
+    auto I = createInstance(M, K);
+    I->enableProfiling();
+    ASSERT_TRUE(I->initialize().ok());
+    auto R = I->invokeByName("f", {});
+    ASSERT_FALSE(bool(R));
+    Errs[K == EngineKind::Flat] = R.error().message();
+    // The profile table itself agrees with the note: f0 entered once with
+    // three loop-header executions, f1 entered once.
+    const std::vector<FunctionProfile> &P = I->functionProfiles();
+    ASSERT_EQ(P.size(), 2u);
+    EXPECT_EQ(P[0].Invocations, 1u);
+    EXPECT_EQ(P[0].LoopHeads, 3u);
+    EXPECT_EQ(P[1].Invocations, 1u);
+    EXPECT_EQ(P[1].LoopHeads, 0u);
+  }
+  EXPECT_EQ(Errs[0], Errs[1]);
+  EXPECT_EQ(Errs[0], "trap: unreachable executed [func 1; inv 1, loops 0]");
 }
 
 //===----------------------------------------------------------------------===//
@@ -434,7 +491,7 @@ TEST(ExecDiff, OutOfBoundsTrap) {
     M.Memory = {{1, std::nullopt}};
     auto [T, F] = expectSame(M, "f");
     EXPECT_FALSE(T.Ok);
-    EXPECT_EQ(T.Err, "trap: out-of-bounds memory access");
+    EXPECT_EQ(T.Err, "trap: out-of-bounds memory access [func 0]");
   }
 }
 
@@ -461,14 +518,14 @@ TEST(ExecDiff, ArithmeticTraps) {
     const char *Msg;
   } Cases[] = {
       {{WInst::i32c(1), WInst::i32c(0), WInst::mk(Op::I32DivS)},
-       "trap: integer divide error"},
+       "trap: integer divide error [func 0]"},
       {{WInst::i32c(static_cast<int32_t>(0x80000000)), WInst::i32c(-1),
         WInst::mk(Op::I32DivS)},
-       "trap: integer divide error"},
+       "trap: integer divide error [func 0]"},
       {{WInst::i64c(5), WInst::i64c(0), WInst::mk(Op::I64RemU),
         WInst::mk(Op::I32WrapI64)},
-       "trap: integer divide error"},
-      {{WInst::mk(Op::Unreachable)}, "trap: unreachable executed"},
+       "trap: integer divide error [func 0]"},
+      {{WInst::mk(Op::Unreachable)}, "trap: unreachable executed [func 0]"},
   };
   for (Case &C : Cases) {
     WModule M = oneFunc({{}, {ValType::I32}}, {}, C.Body);
@@ -486,7 +543,7 @@ TEST(ExecDiff, TruncationTrap) {
                        WInst::mk(Op::I32TruncF64S)});
   auto [T, F] = expectSame(M, "f");
   EXPECT_FALSE(T.Ok);
-  EXPECT_EQ(T.Err, "trap: invalid conversion to integer");
+  EXPECT_EQ(T.Err, "trap: invalid conversion to integer [func 0]");
 }
 
 TEST(ExecDiff, GlobalsAndSelect) {
@@ -884,7 +941,7 @@ TEST(ExecFlat, FuelExhaustionTraps) {
   ASSERT_TRUE(FI->initialize().ok());
   auto R = FI->invoke(0, {}, /*MaxFuel=*/1000);
   ASSERT_FALSE(bool(R));
-  EXPECT_EQ(R.error().message(), "trap: fuel exhausted");
+  EXPECT_EQ(R.error().message(), "trap: fuel exhausted [func 0]");
 }
 
 TEST(ExecFlat, ImportInvokeResultArityMatchesTree) {

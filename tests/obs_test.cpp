@@ -1,0 +1,456 @@
+//===- tests/obs_test.cpp - Observability layer correctness ---------------===//
+//
+// Pins the obs subsystem (DESIGN.md §10) along four axes:
+//
+//   * sharded counter / histogram arithmetic stays exact under 8-thread
+//     contention (the whole point of per-thread banks is that nothing is
+//     lost to races);
+//   * the span *set* a pooled checkModules emits is deterministic across
+//     pool sizes 1/3/8, every span nests inside the batch umbrella, and
+//     worker threads show up in the trace under their stable pool-N names;
+//   * per-function execution profiles agree exactly between the tree and
+//     flat engines and are visible through obs::snapshot();
+//   * under -DRW_OBS=OFF every entry point collapses to a stub (the
+//     compile-out half of this file replaces the contention suite), and
+//     CI's nm check pins that Obs.cpp contributes zero code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Common.h"
+
+#include "cache/AdmissionCache.h"
+#include "obs/Obs.h"
+#include "support/ThreadPool.h"
+#include "typing/Checker.h"
+#include "wasm/Interp.h"
+#include "wasm/Validate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+using namespace rw;
+using rwbench::AdmissionSet;
+
+namespace {
+
+/// Finds a metric by exact name in a snapshot; null when absent.
+const obs::Metric *find(const obs::Snapshot &S, const std::string &Name) {
+  for (const obs::Metric &M : S.Metrics)
+    if (M.Name == Name)
+      return &M;
+  return nullptr;
+}
+
+} // namespace
+
+#if RW_OBS_ENABLED
+
+static_assert(obs::compiledIn(), "ON build must report compiledIn()");
+
+namespace {
+
+/// One parsed duration event from traceJson() output.
+struct Ev {
+  uint64_t Tid;
+  std::string Name;
+  double Ts, Dur; ///< Microseconds.
+};
+
+/// Minimal parser for the trace_event JSON this repo emits: every
+/// duration event is written by one snprintf with a fixed field order
+/// (ph,name,cat,pid,tid,ts,dur), so scanning for the prefix is exact.
+std::vector<Ev> parseTrace(const std::string &J) {
+  std::vector<Ev> Out;
+  const std::string Prefix = "{\"ph\":\"X\",\"name\":\"";
+  size_t At = 0;
+  while ((At = J.find(Prefix, At)) != std::string::npos) {
+    At += Prefix.size();
+    size_t End = J.find('"', At);
+    Ev E;
+    E.Name = J.substr(At, End - At);
+    size_t P = J.find("\"tid\":", End);
+    E.Tid = std::strtoull(J.c_str() + P + 6, nullptr, 10);
+    P = J.find("\"ts\":", End);
+    E.Ts = std::strtod(J.c_str() + P + 5, nullptr);
+    P = J.find("\"dur\":", End);
+    E.Dur = std::strtod(J.c_str() + P + 6, nullptr);
+    Out.push_back(std::move(E));
+    At = End;
+  }
+  return Out;
+}
+
+/// RAII: turn span timing + tracing on for one test, restore off after.
+struct TracingOn {
+  TracingOn() {
+    obs::setEnabled(true);
+    obs::setTracing(true);
+    obs::clearTrace();
+  }
+  ~TracingOn() {
+    obs::setTracing(false);
+    obs::setEnabled(false);
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Sharded metric arithmetic under contention
+//===----------------------------------------------------------------------===//
+
+TEST(Obs, CounterExactUnder8ThreadContention) {
+  static obs::Counter C("test.contended_counter");
+  uint64_t Before = C.value();
+  constexpr unsigned Threads = 8, PerThread = 50000;
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([] {
+      static obs::Counter Same("test.contended_counter"); // Shares the slot.
+      for (unsigned I = 0; I < PerThread; ++I)
+        Same.add(1 + (I & 3)); // Mixed increments: 1+2+3+4 per 4 adds.
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  uint64_t Added = uint64_t(Threads) * (PerThread / 4) * 10;
+  EXPECT_EQ(C.value(), Before + Added);
+
+  obs::Snapshot S = obs::snapshot();
+  const obs::Metric *M = find(S, "test.contended_counter");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Kind, obs::MetricKind::Counter);
+  EXPECT_EQ(M->Value, Before + Added);
+}
+
+TEST(Obs, HistogramCountSumAndBucketsUnderContention) {
+  static obs::Histogram H("test.contended_hist");
+  // Samples chosen so each lands in a distinct log2 bucket:
+  // bit_width(1)=1, bit_width(2)=2, bit_width(4)=3, bit_width(1000000)=20.
+  static constexpr uint64_t Samples[] = {1, 2, 4, 1000000};
+  constexpr unsigned Threads = 8, Rounds = 10000;
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([] {
+      for (unsigned I = 0; I < Rounds; ++I)
+        for (uint64_t S : Samples)
+          H.record(S);
+    });
+  for (std::thread &T : Ts)
+    T.join();
+
+  obs::Snapshot S = obs::snapshot();
+  const obs::Metric *M = find(S, "test.contended_hist");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Kind, obs::MetricKind::Histogram);
+  uint64_t N = uint64_t(Threads) * Rounds;
+  EXPECT_EQ(M->Value, N * 4);
+  EXPECT_EQ(M->Sum, N * (1 + 2 + 4 + 1000000));
+  ASSERT_EQ(M->Buckets.size(), 64u);
+  EXPECT_EQ(M->Buckets[1], N);
+  EXPECT_EQ(M->Buckets[2], N);
+  EXPECT_EQ(M->Buckets[3], N);
+  EXPECT_EQ(M->Buckets[20], N);
+}
+
+TEST(Obs, GaugeKeepsLastValue) {
+  static obs::Gauge G("test.gauge");
+  G.set(42);
+  EXPECT_EQ(G.value(), 42u);
+  G.set(7);
+  EXPECT_EQ(G.value(), 7u);
+  obs::Snapshot S = obs::snapshot();
+  const obs::Metric *M = find(S, "test.gauge");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Kind, obs::MetricKind::Gauge);
+  EXPECT_EQ(M->Value, 7u);
+}
+
+TEST(Obs, HistQuantileBucketUpperBounds) {
+  obs::Metric M;
+  M.Kind = obs::MetricKind::Histogram;
+  M.Buckets.assign(64, 0);
+  // 90 samples in bucket 3 (values 4..7), 10 in bucket 10 (512..1023).
+  M.Buckets[3] = 90;
+  M.Buckets[10] = 10;
+  M.Value = 100;
+  EXPECT_EQ(obs::histQuantile(M, 0.5), 7u);    // (1<<3)-1
+  EXPECT_EQ(obs::histQuantile(M, 0.99), 1023u); // (1<<10)-1
+  EXPECT_EQ(obs::histQuantile(obs::Metric{}, 0.5), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline tracing: deterministic span set, nesting, worker attribution
+//===----------------------------------------------------------------------===//
+
+TEST(Obs, SpanSetDeterministicAcrossPoolSizes) {
+  AdmissionSet Set(8);
+  size_t TotalFuncs = 0;
+  for (const ir::Module *M : Set.Ptrs)
+    TotalFuncs += M->Funcs.size();
+
+  TracingOn Guard;
+  std::map<std::string, unsigned> Counts[3];
+  unsigned Sizes[3] = {1, 3, 8};
+  for (unsigned I = 0; I < 3; ++I) {
+    obs::clearTrace();
+    support::ThreadPool Pool(Sizes[I]);
+    std::vector<Status> Out = typing::checkModules(Set.Ptrs, Pool);
+    for (const Status &S : Out)
+      ASSERT_TRUE(S.ok()) << S.error().message();
+    for (const Ev &E : parseTrace(obs::traceJson()))
+      ++Counts[I][E.Name];
+  }
+  // One batch umbrella, one span per function work item — the same
+  // multiset whether one worker ran everything or eight raced.
+  EXPECT_EQ(Counts[0]["check_batch"], 1u);
+  EXPECT_EQ(Counts[0]["check_fn"], TotalFuncs);
+  EXPECT_EQ(Counts[0], Counts[1]);
+  EXPECT_EQ(Counts[0], Counts[2]);
+}
+
+TEST(Obs, SpansNestInsideBatchUmbrella) {
+  AdmissionSet Set(6);
+  TracingOn Guard;
+  support::ThreadPool Pool(3);
+  (void)typing::checkModules(Set.Ptrs, Pool);
+
+  std::vector<Ev> Evs = parseTrace(obs::traceJson());
+  const Ev *Batch = nullptr;
+  for (const Ev &E : Evs)
+    if (E.Name == "check_batch")
+      Batch = &E;
+  ASSERT_NE(Batch, nullptr);
+  // The steady clock is process-global, so containment holds across
+  // threads: every function check ran inside the batch call. 0.002us
+  // covers the %.3f rounding of the microsecond timestamps.
+  for (const Ev &E : Evs) {
+    if (E.Name != "check_fn")
+      continue;
+    EXPECT_GE(E.Ts + 0.002, Batch->Ts) << "check_fn started before batch";
+    EXPECT_LE(E.Ts + E.Dur, Batch->Ts + Batch->Dur + 0.002)
+        << "check_fn outlived batch";
+  }
+}
+
+TEST(Obs, WorkerThreadsAppearUnderPoolNames) {
+  TracingOn Guard;
+  // Workers call setThreadName("pool-N") at startup (N is 1-based), which
+  // registers their ring buffer — the names appear in the trace even
+  // before any span lands on them.
+  support::ThreadPool Pool(2);
+  std::string J = obs::traceJson();
+  EXPECT_NE(J.find("\"name\":\"pool-1\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"name\":\"pool-2\""), std::string::npos) << J;
+
+  // And an explicitly named helper thread is attributed by name.
+  std::thread T([] {
+    obs::setThreadName("obs-helper");
+    OBS_SPAN("helper_phase");
+  });
+  T.join();
+  J = obs::traceJson();
+  EXPECT_NE(J.find("\"name\":\"obs-helper\""), std::string::npos);
+  bool Found = false;
+  for (const Ev &E : parseTrace(J))
+    if (E.Name == "helper_phase")
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(Obs, ClearTraceDropsEventsKeepsBuffers) {
+  TracingOn Guard;
+  { OBS_SPAN("transient_phase"); }
+  EXPECT_GT(obs::traceEventCount(), 0u);
+  obs::clearTrace();
+  EXPECT_EQ(obs::traceEventCount(), 0u);
+  { OBS_SPAN("transient_phase"); }
+  EXPECT_EQ(obs::traceEventCount(), 1u);
+}
+
+TEST(Obs, DisabledSpansRecordNothing) {
+  obs::setEnabled(false);
+  obs::clearTrace();
+  size_t Before = obs::traceEventCount();
+  { OBS_SPAN("should_not_appear"); }
+  EXPECT_EQ(obs::traceEventCount(), Before);
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot sources: cache, arena, per-instance profiles
+//===----------------------------------------------------------------------===//
+
+TEST(Obs, SnapshotSamplesCacheAndArenaSources) {
+  AdmissionSet Set(4);
+  support::ThreadPool Pool(2);
+  cache::AdmissionCache C;
+  (void)typing::checkModules(Set.Ptrs, Pool, &C); // Cold: all misses.
+  (void)typing::checkModules(Set.Ptrs, Pool, &C); // Warm: all hits.
+
+  obs::Snapshot S = obs::snapshot();
+  const obs::Metric *Hits = find(S, "cache.hits");
+  const obs::Metric *Misses = find(S, "cache.misses");
+  ASSERT_NE(Hits, nullptr);
+  ASSERT_NE(Misses, nullptr);
+  EXPECT_EQ(Hits->Value, Set.Ptrs.size());
+  EXPECT_EQ(Misses->Value, Set.Ptrs.size());
+  // The global arena registered its source on first use.
+  bool Arena = false;
+  for (const obs::Metric &M : S.Metrics)
+    if (M.Name.rfind("arena.", 0) == 0)
+      Arena = true;
+  EXPECT_TRUE(Arena);
+
+  // The cache unregisters on destruction: no dangling source afterwards.
+  { cache::AdmissionCache Dying; }
+  obs::Snapshot After = obs::snapshot();
+  unsigned CacheSources = 0;
+  for (const obs::Metric &M : After.Metrics)
+    if (M.Name == "cache.hits" || M.Name.rfind("cache#", 0) == 0)
+      ++CacheSources;
+  EXPECT_EQ(CacheSources, 1u) << "only the live cache may be sampled";
+}
+
+TEST(Obs, RenderersCoverSnapshotMetrics) {
+  static obs::Counter C("test.rendered_counter");
+  C.add(5);
+  obs::Snapshot S = obs::snapshot();
+  std::string Text = obs::renderText(S);
+  std::string Json = obs::renderJson(S);
+  EXPECT_NE(Text.find("test.rendered_counter"), std::string::npos);
+  EXPECT_NE(Json.find("\"test.rendered_counter\""), std::string::npos);
+  EXPECT_NE(Json.find("\"metrics\""), std::string::npos);
+  EXPECT_EQ(Json.front(), '{');
+  EXPECT_EQ(Json.back(), '}');
+}
+
+//===----------------------------------------------------------------------===//
+// Execution profiles: flat/tree parity + snapshot surfacing
+//===----------------------------------------------------------------------===//
+
+TEST(Obs, FunctionProfilesIdenticalAcrossEngines) {
+  using namespace rw::wasm;
+  // f0: a 5-iteration counting loop, then two calls of f1; f1: empty.
+  WModule M;
+  uint32_t TV = M.addType({{}, {}});
+  M.Funcs.push_back(
+      {TV,
+       {ValType::I32},
+       {WInst::block({{}, {}},
+                     {WInst::loop({{}, {}},
+                                  {WInst::idx(Op::LocalGet, 0), WInst::i32c(1),
+                                   WInst::mk(Op::I32Add),
+                                   WInst::idx(Op::LocalTee, 0), WInst::i32c(5),
+                                   WInst::mk(Op::I32LtS),
+                                   WInst::idx(Op::BrIf, 0)})}),
+        WInst::idx(Op::Call, 1), WInst::idx(Op::Call, 1)}});
+  M.Funcs.push_back({TV, {}, {WInst::mk(Op::Nop)}});
+  M.Exports.push_back({"f", ExportKind::Func, 0});
+  ASSERT_TRUE(validate(M).ok()) << validate(M).error().message();
+
+  constexpr EngineKind Both[] = {EngineKind::Tree, EngineKind::Flat};
+  std::vector<FunctionProfile> Seen[2];
+  for (EngineKind K : Both) {
+    auto I = createInstance(M, K);
+    I->enableProfiling();
+    ASSERT_TRUE(I->initialize().ok());
+    ASSERT_TRUE(bool(I->invokeByName("f", {})));
+
+    const std::vector<FunctionProfile> &P = I->functionProfiles();
+    ASSERT_EQ(P.size(), 2u);
+    EXPECT_EQ(P[0].Invocations, 1u);
+    EXPECT_EQ(P[0].LoopHeads, 5u); // One fall-in + four back-edges.
+    EXPECT_EQ(P[1].Invocations, 2u);
+    EXPECT_EQ(P[1].LoopHeads, 0u);
+    Seen[K == EngineKind::Flat] = P;
+
+    // While the instance lives, its profile table is an obs source.
+    obs::Snapshot S = obs::snapshot();
+    const obs::Metric *Inv = find(S, "exec.profile.func1.inv");
+    ASSERT_NE(Inv, nullptr);
+    EXPECT_EQ(Inv->Value, 2u);
+  }
+  for (size_t F = 0; F < 2; ++F) {
+    EXPECT_EQ(Seen[0][F].Invocations, Seen[1][F].Invocations);
+    EXPECT_EQ(Seen[0][F].LoopHeads, Seen[1][F].LoopHeads);
+  }
+  // Both instances are gone: their sources must be too.
+  EXPECT_EQ(find(obs::snapshot(), "exec.profile.func1.inv"), nullptr);
+}
+
+TEST(Obs, ProfileParityOnDifferentialWorkload) {
+  using namespace rw::wasm;
+  // The lowered bench loop: check → lower → run on both engines with
+  // profiling; invocation/back-edge counts must agree function-for-
+  // function even through the full pipeline's generated control flow.
+  ir::Module Src = rwbench::loopModule(17);
+  support::ThreadPool Pool(2);
+  std::vector<const ir::Module *> Mods = {&Src};
+  for (const Status &S : typing::checkModules(Mods, Pool))
+    ASSERT_TRUE(S.ok()) << S.error().message();
+  auto LP = lower::lowerProgram(Mods, {});
+  ASSERT_TRUE(bool(LP)) << LP.error().message();
+  ASSERT_TRUE(validate(LP->Module).ok());
+
+  constexpr EngineKind Both[] = {EngineKind::Tree, EngineKind::Flat};
+  std::vector<FunctionProfile> Seen[2];
+  for (EngineKind K : Both) {
+    auto I = createInstance(LP->Module, K);
+    I->enableProfiling();
+    ASSERT_TRUE(I->initialize().ok());
+    auto R = I->invokeByName("loopmod.main", {});
+    ASSERT_TRUE(bool(R)) << R.error().message();
+    Seen[K == EngineKind::Flat] = I->functionProfiles();
+  }
+  ASSERT_EQ(Seen[0].size(), Seen[1].size());
+  uint64_t TotalInv = 0, TotalLoops = 0;
+  for (size_t F = 0; F < Seen[0].size(); ++F) {
+    EXPECT_EQ(Seen[0][F].Invocations, Seen[1][F].Invocations) << "func " << F;
+    EXPECT_EQ(Seen[0][F].LoopHeads, Seen[1][F].LoopHeads) << "func " << F;
+    TotalInv += Seen[0][F].Invocations;
+    TotalLoops += Seen[0][F].LoopHeads;
+  }
+  EXPECT_GE(TotalInv, 1u);
+  EXPECT_GE(TotalLoops, 17u); // The source loop runs 17 iterations.
+}
+
+#else // !RW_OBS_ENABLED — the compile-out contract.
+
+static_assert(!obs::compiledIn(), "OFF build must report !compiledIn()");
+
+TEST(ObsOff, EverythingCollapsesToStubs) {
+  // OBS_SPAN must compile to nothing in any statement position.
+  OBS_SPAN("gone", 1, 2);
+  static obs::Counter C("off.counter");
+  C.add(99);
+  EXPECT_EQ(C.value(), 0u);
+  static obs::Gauge G("off.gauge");
+  G.set(5);
+  EXPECT_EQ(G.value(), 0u);
+  obs::Histogram("off.hist").record(7);
+
+  obs::setEnabled(true);
+  EXPECT_FALSE(obs::enabled());
+  obs::setTracing(true);
+  EXPECT_FALSE(obs::tracing());
+
+  EXPECT_EQ(obs::registerSource("x", [](const obs::EmitFn &) {}), 0u);
+  obs::unregisterSource(0);
+  EXPECT_TRUE(obs::snapshot().Metrics.empty());
+  EXPECT_EQ(obs::traceJson(), "{\"traceEvents\":[]}");
+  EXPECT_EQ(obs::traceEventCount(), 0u);
+  obs::clearTrace();
+}
+
+TEST(ObsOff, PipelineStillRunsWithoutRecording) {
+  AdmissionSet Set(4);
+  support::ThreadPool Pool(2);
+  for (const Status &S : typing::checkModules(Set.Ptrs, Pool))
+    ASSERT_TRUE(S.ok()) << S.error().message();
+  EXPECT_TRUE(obs::snapshot().Metrics.empty());
+}
+
+#endif // RW_OBS_ENABLED
