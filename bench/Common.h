@@ -27,9 +27,50 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <thread>
 
 namespace rwbench {
+
+/// A short host fingerprint — CPU model, logical core count, cpufreq
+/// scaling governor — for stamping into benchmark context and the
+/// BENCH_*.json trajectory files. Perf numbers recorded by successive
+/// PRs are only comparable when this string matches; run_bench.sh warns
+/// when it overwrites a baseline recorded on a different host.
+inline std::string hostFingerprint() {
+  std::string Model = "unknown-cpu";
+  std::ifstream Cpu("/proc/cpuinfo");
+  for (std::string Line; std::getline(Cpu, Line);) {
+    if (Line.rfind("model name", 0) == 0) {
+      size_t Colon = Line.find(':');
+      if (Colon != std::string::npos) {
+        Model = Line.substr(Colon + 1);
+        // Trim and collapse runs of whitespace (cpuinfo pads with tabs).
+        std::string Out;
+        for (char C : Model) {
+          if (C == ' ' || C == '\t') {
+            if (!Out.empty() && Out.back() != ' ')
+              Out.push_back(' ');
+          } else {
+            Out.push_back(C);
+          }
+        }
+        while (!Out.empty() && Out.back() == ' ')
+          Out.pop_back();
+        Model = Out;
+      }
+      break;
+    }
+  }
+  std::string Gov = "unknown-governor";
+  std::ifstream G("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+  if (G && !std::getline(G, Gov))
+    Gov = "unknown-governor";
+  return Model + " | cores=" +
+         std::to_string(std::thread::hardware_concurrency()) +
+         " | governor=" + Gov;
+}
 
 /// Copies every obs counter/gauge under one of \p Prefixes into a
 /// benchmark's user counters, mapping "cache.hits" → "cache_hits" (the

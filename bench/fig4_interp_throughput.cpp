@@ -1,9 +1,10 @@
 //===- bench/fig4_interp_throughput.cpp - F4: execution throughput --------===//
 // The Fig 4 cost profile, at every execution tier: the RichWasm
 // small-step machine (the dynamic semantics), and the lowered-Wasm path
-// on both engines — the tree-walking reference interpreter and the
-// flat-bytecode engine. The per-engine counters let run_bench.sh emit a
-// geomean Tree→Flat speedup; the flat engine is the shipping tier.
+// on all three engines — the tree-walking reference interpreter, the
+// flat-bytecode engine, and the tier-3 copy-and-patch JIT (eager). The
+// per-engine counters let run_bench.sh emit geomean Tree→Flat and
+// Flat→Jit speedups; the jit is the shipping tier where compiled in.
 #include "Common.h"
 #include <benchmark/benchmark.h>
 using namespace rw;
@@ -39,8 +40,8 @@ static void F4_StepsPerSecond_HeapChurn(benchmark::State &St) {
 BENCHMARK(F4_StepsPerSecond_HeapChurn)->Arg(100)->Arg(1000);
 
 //===----------------------------------------------------------------------===//
-// Lowered Wasm, both engines. The benchmark names carry the engine so
-// tooling can compute per-engine throughput and the Tree→Flat speedup.
+// Lowered Wasm, all engines. The benchmark names carry the engine so
+// tooling can compute per-engine throughput and the tier speedups.
 //===----------------------------------------------------------------------===//
 
 static void runLowered(benchmark::State &St, ir::Module M, const char *Export,
@@ -70,8 +71,13 @@ static void F4_Wasm_Loop_Flat(benchmark::State &St) {
   runLowered(St, loopModule(static_cast<int32_t>(St.range(0))),
              "loopmod.main", wasm::EngineKind::Flat);
 }
+static void F4_Wasm_Loop_Jit(benchmark::State &St) {
+  runLowered(St, loopModule(static_cast<int32_t>(St.range(0))),
+             "loopmod.main", wasm::EngineKind::Jit);
+}
 BENCHMARK(F4_Wasm_Loop_Tree)->Arg(100)->Arg(1000);
 BENCHMARK(F4_Wasm_Loop_Flat)->Arg(100)->Arg(1000);
+BENCHMARK(F4_Wasm_Loop_Jit)->Arg(100)->Arg(1000);
 
 static void F4_Wasm_HeapChurn_Tree(benchmark::State &St) {
   runLowered(St, allocModule(static_cast<int32_t>(St.range(0)), true),
@@ -81,7 +87,22 @@ static void F4_Wasm_HeapChurn_Flat(benchmark::State &St) {
   runLowered(St, allocModule(static_cast<int32_t>(St.range(0)), true),
              "allocmod.main", wasm::EngineKind::Flat);
 }
+static void F4_Wasm_HeapChurn_Jit(benchmark::State &St) {
+  runLowered(St, allocModule(static_cast<int32_t>(St.range(0)), true),
+             "allocmod.main", wasm::EngineKind::Jit);
+}
 BENCHMARK(F4_Wasm_HeapChurn_Tree)->Arg(100)->Arg(1000);
 BENCHMARK(F4_Wasm_HeapChurn_Flat)->Arg(100)->Arg(1000);
+BENCHMARK(F4_Wasm_HeapChurn_Jit)->Arg(100)->Arg(1000);
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the host fingerprint lands
+// in the JSON context and run_bench.sh can refuse cross-host deltas.
+int main(int argc, char **argv) {
+  benchmark::AddCustomContext("host_fingerprint", rwbench::hostFingerprint());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,8 +2,11 @@
 # Runs the benchmark suite's trajectory experiments and emits machine-
 # readable JSON so successive PRs have perf trajectories:
 #
-#  * BENCH_interp.json  — interpreter throughput on both execution engines
-#                         (fig4), with the Tree→Flat geomean speedup;
+#  * BENCH_interp.json  — execution throughput on every engine tier
+#                         (fig4: tree, flat, jit), with the Tree→Flat and
+#                         Flat→Jit geomean speedups (RW_JIT_GATE=1 fails
+#                         the run when Flat→Jit < RW_JIT_MIN_SPEEDUP,
+#                         default 3x, on jit-enabled builds);
 #  * BENCH_typing.json  — type-checker throughput (fig7 F7_CheckModule,
 #                         the parallel F7_CheckModulePar batch pipeline,
 #                         and the T1 soundness generate-check-run loop),
@@ -177,8 +180,18 @@ trap 'rm -f "$RAW" "$TYPING_RAW" "$T1_RAW" "$LINK_RAW" "$CACHE_RAW"' EXIT
 "$BIN" --benchmark_filter='F4_Wasm' --benchmark_format=json \
        --benchmark_repetitions="${BENCH_REPS:-1}" >"$RAW"
 
+# The host fingerprint comes from the fig4 binary's custom context
+# (bench/Common.h hostFingerprint); every BENCH_*.json written by this
+# run is stamped with it so trajectory deltas across PRs can be
+# attributed to code, not to a host swap.
+BENCH_HOST_FP="$(python3 -c '
+import json, sys
+print(json.load(open(sys.argv[1])).get("context", {})
+      .get("host_fingerprint", "unknown"))' "$RAW")"
+export BENCH_HOST_FP
+
 python3 - "$RAW" "$OUT" <<'EOF'
-import json, sys, math, datetime
+import json, sys, math, os, datetime
 
 raw = json.load(open(sys.argv[1]))
 runs = {}
@@ -190,7 +203,7 @@ for b in raw["benchmarks"]:
     name = b["name"]  # e.g. F4_Wasm_Loop_Flat/1000
     runs.setdefault(name, []).append(b)
 
-engines = {"tree": {}, "flat": {}}
+engines = {"tree": {}, "flat": {}, "jit": {}}
 for name, bs in runs.items():
     base, _, arg = name.partition("/")
     parts = base.split("_")          # F4 Wasm <Workload> <Engine>
@@ -201,30 +214,72 @@ for name, bs in runs.items():
         "insts_per_sec": best.get("insts/s"),
     }
 
-speedups = {}
-for key, tree in engines["tree"].items():
-    flat = engines["flat"].get(key)
-    if flat:
-        speedups[key] = tree["ns_per_invoke"] / flat["ns_per_invoke"]
+def pairwise(slow, fast):
+    out = {}
+    for key, s in engines[slow].items():
+        f = engines[fast].get(key)
+        if f:
+            out[key] = s["ns_per_invoke"] / f["ns_per_invoke"]
+    return out
 
-geomean = (
-    math.exp(sum(math.log(s) for s in speedups.values()) / len(speedups))
-    if speedups else None
-)
+def geomean(d):
+    return (math.exp(sum(math.log(s) for s in d.values()) / len(d))
+            if d else None)
+
+speedups = pairwise("tree", "flat")
+jit_speedups = pairwise("flat", "jit")
+gm = geomean(speedups)
+jit_gm = geomean(jit_speedups)
+
+fp = os.environ.get("BENCH_HOST_FP", "unknown")
+# Cross-host warning: a committed baseline measured elsewhere makes the
+# trajectory meaningless; flag it loudly (the overwrite still happens —
+# the new numbers become the baseline for this host).
+if os.path.exists(sys.argv[2]):
+    try:
+        prev = json.load(open(sys.argv[2])).get("host_fingerprint")
+    except Exception:
+        prev = None
+    if prev and prev != fp:
+        print(f"WARNING: overwriting {sys.argv[2]} recorded on a different "
+              f"host:\n  old: {prev}\n  new: {fp}\n  deltas vs the previous "
+              "numbers are not comparable", file=sys.stderr)
 
 out = {
     "benchmark": "fig4_interp_throughput",
     "date": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+    "host_fingerprint": fp,
     "engines": engines,
     "speedup_flat_over_tree": speedups,
-    "speedup_geomean": geomean,
+    "speedup_geomean": gm,
+    "speedup_jit_over_flat": jit_speedups,
+    "speedup_jit_geomean": jit_gm,
+    "target_jit_geomean": 3.0,
 }
 json.dump(out, open(sys.argv[2], "w"), indent=2)
-if geomean is None:
+if gm is None:
     print(f"wrote {sys.argv[2]}: no comparable tree/flat pairs (benchmarks "
           "skipped or errored)")
     sys.exit(1)
-print(f"wrote {sys.argv[2]}: geomean Tree->Flat speedup = {geomean:.2f}x")
+print(f"wrote {sys.argv[2]}: geomean Tree->Flat speedup = {gm:.2f}x")
+if jit_gm is not None:
+    print(f"geomean Flat->Jit speedup = {jit_gm:.2f}x (target >=3x on "
+          "jit-enabled builds)")
+
+# RW_JIT_GATE=1 holds the tier-3 backend to its headline: >=3x over the
+# flat interpreter (geomean across the fig4 kernels). Only meaningful on
+# RW_JIT=ON builds — a jit-off build runs the Jit benches on the flat
+# tier and would sit at ~1x by construction.
+if os.environ.get("RW_JIT_GATE", "0") == "1":
+    floor = float(os.environ.get("RW_JIT_MIN_SPEEDUP", "3"))
+    if jit_gm is None:
+        print("jit gate FAILED: no comparable flat/jit pairs", file=sys.stderr)
+        sys.exit(1)
+    if jit_gm < floor:
+        print(f"jit gate FAILED: Flat->Jit geomean {jit_gm:.2f}x < "
+              f"{floor:.2f}x", file=sys.stderr)
+        sys.exit(1)
+    print(f"jit gate passed: {jit_gm:.2f}x >= {floor:.2f}x")
 EOF
 
 "$TYPING_BIN" --benchmark_filter='F7_' --benchmark_format=json \
@@ -255,6 +310,7 @@ for path in (sys.argv[1], sys.argv[2]):
 out = {
     "benchmark": "typing_throughput",
     "date": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+    "host_fingerprint": os.environ.get("BENCH_HOST_FP", "unknown"),
     "results": results,
 }
 
@@ -323,6 +379,7 @@ for name, r in results.items():
 out = {
     "benchmark": "link_batch_resolution",
     "date": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+    "host_fingerprint": os.environ.get("BENCH_HOST_FP", "unknown"),
     "results": results,
     "speedup_batch_over_sequential": speedups,
 }
@@ -363,7 +420,7 @@ EOF
 # a warm resubmission skips check + lower + translate and goes straight to
 # instantiation.
 python3 - "$CACHE_RAW" "$CACHE_OUT" <<'EOF'
-import json, sys, datetime
+import json, sys, datetime, os
 
 raw = json.load(open(sys.argv[1]))
 results = {}
@@ -395,6 +452,7 @@ for pair in ("Admission", "CheckBatch"):
 out = {
     "benchmark": "admission_cache",
     "date": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+    "host_fingerprint": os.environ.get("BENCH_HOST_FP", "unknown"),
     "results": results,
     "speedup_warm_over_cold": speedups,
     "admission_warm_speedup_64": speedups.get("Admission/64"),

@@ -6,10 +6,13 @@
 
 #include "exec/Engine.h"
 
+#include "jit/Jit.h"
+#include "obs/Obs.h"
 #include "support/NumericOps.h"
 #include "wasm/Interp.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 
@@ -17,10 +20,43 @@ using namespace rw;
 using namespace rw::exec;
 using namespace rw::wasm;
 
+FlatInstance::FlatInstance(const wasm::WModule &M, wasm::EngineKind K)
+    : Instance(M), Kind(K) {}
+
+FlatInstance::~FlatInstance() {
+#if RW_JIT_ENABLED
+  if (TierWorker.joinable())
+    TierWorker.join();
+#endif
+}
+
+uint32_t FlatInstance::jitCompiledCount() const {
+#if RW_JIT_ENABLED
+  return Jit ? Jit->compiledCount() : 0;
+#else
+  return 0;
+#endif
+}
+
 Status FlatInstance::prepare() {
   if (PreFM && PreFM->Source != M)
     return Error("flat engine: adopted translation describes a different "
                  "module");
+#if RW_JIT_ENABLED
+  // Resolve the tier-up policy before the translation decision: a
+  // threshold >= 1 needs the profile counters, so profiling must be on
+  // before we pick (or produce) a translation. EngineKind::Jit defaults
+  // to eager whole-module compilation; plain Flat instances honor
+  // RW_JIT_THRESHOLD so the whole test suite can be run fully jitted.
+  if (!TierPolicySet) {
+    if (Kind == wasm::EngineKind::Jit)
+      TierThreshold = 0;
+    else if (const char *E = std::getenv("RW_JIT_THRESHOLD"))
+      TierThreshold = std::strtoull(E, nullptr, 10);
+  }
+  if (TierThreshold != NeverTier && TierThreshold > 0 && !ProfileOn)
+    enableProfiling();
+#endif
   // A profiling instance needs FProfEnter/FProfLoop in the code; an
   // adopted unprofiled translation (the cache keeps the canonical,
   // unprofiled artifact) cannot serve it, so re-translate locally.
@@ -39,6 +75,13 @@ Status FlatInstance::prepare() {
     ProfileOn = true;
     ensureProfileTable();
   }
+#if RW_JIT_ENABLED
+  if (TierThreshold != NeverTier) {
+    Jit = std::make_unique<jit::ModuleJit>(*Active);
+    if (TierThreshold == 0)
+      Jit->compileAll();
+  }
+#endif
   return Status::success();
 }
 
@@ -49,6 +92,14 @@ Expected<std::vector<WValue>> FlatInstance::invoke(uint32_t FuncIdx,
     return Error("flat engine: instance not initialized");
   const FlatModule &FM = *Active;
   const FuncType &FT = M->funcType(FuncIdx);
+
+#if RW_JIT_ENABLED
+  // Threshold tiering: compile functions whose profile mass crossed the
+  // threshold before entering (counters from earlier invokes; this
+  // invoke then starts native). Never runs for eager or disabled tiers.
+  if (Jit && TierThreshold != NeverTier && TierThreshold > 0 && !Running)
+    maybeTierUp();
+#endif
 
   // Invoking an import dispatches straight to the host, like the tree
   // engine's callFunction — including its result handling: keep the
@@ -90,9 +141,34 @@ Expected<std::vector<WValue>> FlatInstance::invoke(uint32_t FuncIdx,
   Frames.push_back({&F, 0, 0, 0});
 
   std::string TrapMsg;
+  uint64_t Fuel = MaxFuel;
+  ResumeSp = 0;
   Running = true;
-  bool Ok = run(MaxFuel, TrapMsg);
+  bool Ok = false;
+#if RW_JIT_ENABLED
+  if (Jit && Jit->entry(FuncIdx - FM.NumImports)) {
+    // Root frame is compiled: run it natively; on a deopt the flat
+    // interpreter resumes from the recorded frame state below.
+    switch (jitExecuteBack(Fuel)) {
+    case JitRun::Done:
+      Ok = true;
+      break;
+    case JitRun::Trapped:
+      TrapMsg = JitTrapMsg;
+      Ok = false;
+      break;
+    case JitRun::Resume:
+      Ok = run(Fuel, TrapMsg);
+      break;
+    }
+  } else {
+    Ok = run(Fuel, TrapMsg);
+  }
+#else
+  Ok = run(Fuel, TrapMsg);
+#endif
   Running = false;
+  Executed += MaxFuel - Fuel;
   if (!Ok)
     return Error("trap: " + TrapMsg + trapNote(LastTrapFunc));
 
@@ -153,19 +229,22 @@ Expected<std::vector<WValue>> FlatInstance::invoke(uint32_t FuncIdx,
 
 #endif
 
-bool FlatInstance::run(uint64_t MaxFuel, std::string &TrapMsg) {
+bool FlatInstance::run(uint64_t &FuelRef, std::string &TrapMsg) {
   using namespace rw::num;
 
   const FlatModule &FM = *Active;
-  uint64_t Fuel = MaxFuel;
+  uint64_t Fuel = FuelRef; // Local for the hot loop; written back on exit.
 
   CallFrame *Fr = &Frames.back();
   const uint32_t *C = Fr->F->Code.data();
-  const uint32_t *Pc = C; // Within the current function's code stream.
+  // Fresh invokes enter at Pc 0 / height 0; after a native deopt this
+  // resumes mid-function at the frame's recorded pc and operand height.
+  const uint32_t *Pc = C + Fr->Pc;
   uint64_t *Ops = OpStack.data();
   uint64_t *R = Regs.data() + Fr->RegBase;
   uint32_t Base = Fr->OpBase;
-  uint32_t Sp = Base; // Absolute operand-stack index.
+  uint32_t Sp = Base + ResumeSp; // Absolute operand-stack index.
+  ResumeSp = 0;
   uint8_t *MemP = Mem.data();
   size_t MemSz = Mem.size();
   uint32_t OpC = 0;
@@ -181,7 +260,7 @@ bool FlatInstance::run(uint64_t MaxFuel, std::string &TrapMsg) {
   auto trapOutAt = [&](std::string Msg, uint32_t Func) {
     TrapMsg = std::move(Msg);
     LastTrapFunc = Func;
-    Executed += MaxFuel - Fuel;
+    FuelRef = Fuel;
     Frames.clear();
     return false;
   };
@@ -321,7 +400,7 @@ bool FlatInstance::run(uint64_t MaxFuel, std::string &TrapMsg) {
     Sp = Base + NRes;
     Frames.pop_back();
     if (Frames.empty()) {
-      Executed += MaxFuel - Fuel;
+      FuelRef = Fuel;
       return true;
     }
     Fr = &Frames.back();
@@ -380,6 +459,35 @@ direct_call: {
     OpStack.resize(std::max<size_t>(Sp + Callee->MaxDepth, OpStack.size() * 2));
   Fr->Pc = static_cast<uint32_t>(Pc - C);
   Frames.push_back({Callee, 0, NewRegBase, Sp});
+#if RW_JIT_ENABLED
+  if (Jit && Jit->entry(CalleeIdx)) {
+    // Tiered-up callee: run it natively. Done pops the frame with the
+    // results at its base; Resume re-enters this loop at the deopt point
+    // (possibly in a deeper frame); Trapped is fully recorded.
+    switch (jitExecuteBack(Fuel)) {
+    case JitRun::Done:
+      Sp += Callee->NumResults;
+      break;
+    case JitRun::Trapped:
+      TrapMsg = JitTrapMsg;
+      FuelRef = Fuel;
+      return false;
+    case JitRun::Resume:
+      Sp = Frames.back().OpBase + ResumeSp;
+      ResumeSp = 0;
+      break;
+    }
+    Fr = &Frames.back();
+    C = Fr->F->Code.data();
+    Pc = C + Fr->Pc;
+    Ops = OpStack.data();
+    R = Regs.data() + Fr->RegBase;
+    Base = Fr->OpBase;
+    MemP = Mem.data();
+    MemSz = Mem.size();
+    RW_NEXT();
+  }
+#endif
   Fr = &Frames.back();
   C = Callee->Code.data();
   Pc = C;
@@ -948,7 +1056,10 @@ host_call: {
 
 std::unique_ptr<Instance> rw::wasm::createInstance(const WModule &M,
                                                    EngineKind K) {
-  if (K == EngineKind::Flat)
-    return std::make_unique<FlatInstance>(M);
+  // EngineKind::Jit is the flat engine with eager tier-up; under
+  // -DRW_JIT=OFF it still instantiates (reporting engine() == Jit) but
+  // every function runs flat — semantics are engine-identical anyway.
+  if (K == EngineKind::Flat || K == EngineKind::Jit)
+    return std::make_unique<FlatInstance>(M, K);
   return std::make_unique<WasmInstance>(M);
 }

@@ -1,0 +1,1475 @@
+//===- jit/Jit.cpp - Tier-3 copy-and-patch native backend -------------------===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// x86-64 only. Each flat-bytecode instruction is emitted from a fixed
+// template with its immediates patched in; the operand stack height is a
+// compile-time constant per pc, so operand slots become fixed [r12+8k]
+// addresses and no register allocation is needed. Anything the templates
+// cannot express exits to the interpreter (see Jit.h for the contract).
+//
+// Register convention inside generated code:
+//   rbx = JitContext*            r12 = Ops + OpBase   (byte address)
+//   r13 = Regs + RegBase         r14 = Mem.data()     r15 = Mem.size()
+//   [rsp+0] = OpBase8, [rsp+8] = RegBase8 (for base reloads after helpers)
+//   rax/rcx/rdx/rsi/rdi/r8-r11 scratch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Jit.h"
+
+#if defined(RW_JIT_ENABLED) && RW_JIT_ENABLED
+
+#include "exec/Engine.h"
+#include "obs/Obs.h"
+#include "support/NumericOps.h"
+
+#include <cstddef>
+#include <cstring>
+#include <map>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#ifndef __has_feature
+#define __has_feature(x) 0
+#endif
+#if defined(__SANITIZE_ADDRESS__) || __has_feature(address_sanitizer)
+#include <sanitizer/asan_interface.h>
+#define RW_JIT_ASAN 1
+#else
+#define RW_JIT_ASAN 0
+#endif
+
+using namespace rw;
+using namespace rw::jit;
+using namespace rw::exec;
+using namespace rw::wasm;
+
+// Generated code addresses JitContext, WValue, and FunctionProfile fields
+// by the fixed byte offsets below; fail the build if the layouts drift.
+static_assert(offsetof(JitContext, Ops) == 8 &&
+                  offsetof(JitContext, Regs) == 16 &&
+                  offsetof(JitContext, MemP) == 24 &&
+                  offsetof(JitContext, MemSz) == 32 &&
+                  offsetof(JitContext, Fuel) == 40 &&
+                  offsetof(JitContext, GlobalsP) == 48 &&
+                  offsetof(JitContext, ProfP) == 56 &&
+                  offsetof(JitContext, DeoptPc) == 64 &&
+                  offsetof(JitContext, DeoptSp) == 68 &&
+                  offsetof(JitContext, GenTrap) == 72,
+              "JitContext layout is baked into generated code");
+static_assert(sizeof(WValue) == 16 && offsetof(WValue, Bits) == 8,
+              "global templates assume WValue {tag, bits} stride 16");
+
+namespace {
+
+constexpr int32_t OffOps = 8, OffRegs = 16, OffMemP = 24, OffMemSz = 32,
+                  OffFuel = 40, OffGlobals = 48, OffProf = 56, OffDeoptPc = 64,
+                  OffDeoptSp = 68, OffGenTrap = 72;
+
+enum R : uint8_t {
+  RAX = 0, RCX = 1, RDX = 2, RBX = 3, RSP = 4, RBP = 5, RSI = 6, RDI = 7,
+  R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+};
+
+// Condition-code nibbles (jcc 0F 8x / setcc 0F 9x).
+enum CC : uint8_t {
+  CB = 2, CAE = 3, CE = 4, CNE = 5, CBE = 6, CA = 7,
+  CL_ = 0xc, CGE = 0xd, CLE = 0xe, CG = 0xf,
+};
+
+/// Minimal x86-64 emitter: only the fixed addressing shapes the templates
+/// need (reg-reg, [base+disp32], [base+index]), REX computed per call.
+struct Asm {
+  std::vector<uint8_t> B;
+
+  size_t size() const { return B.size(); }
+  void u8(uint8_t V) { B.push_back(V); }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      B.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      B.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void patch32(size_t At, uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      B[At + I] = static_cast<uint8_t>(V >> (8 * I));
+  }
+
+  void rex(bool W, uint8_t Reg, uint8_t Idx, uint8_t Base) {
+    uint8_t V = 0x40 | (W ? 8 : 0) | ((Reg >> 3) << 2) | ((Idx >> 3) << 1) |
+                (Base >> 3);
+    if (V != 0x40 || W)
+      u8(V);
+  }
+
+  /// ModRM+SIB+disp32 for [Base + Disp] (always mod=2; SIB when rm=100b).
+  void mem(uint8_t Reg, uint8_t Base, int32_t Disp) {
+    if ((Base & 7) == 4) { // rsp/r12 need a SIB byte.
+      u8(0x84 | ((Reg & 7) << 3));
+      u8(0x20 | (Base & 7)); // scale=0, index=none(100b), base.
+    } else {
+      u8(0x80 | ((Reg & 7) << 3) | (Base & 7));
+    }
+    u32(static_cast<uint32_t>(Disp));
+  }
+
+  /// ModRM+SIB for [Base + Index] (mod=0; Base must not be rbp/r13).
+  void memBI(uint8_t Reg, uint8_t Base, uint8_t Idx) {
+    u8(0x04 | ((Reg & 7) << 3));
+    u8(((Idx & 7) << 3) | (Base & 7));
+  }
+
+  // mov loads/stores with [base+disp32].
+  void movRM64(uint8_t D, uint8_t Base, int32_t Disp) {
+    rex(true, D, 0, Base); u8(0x8b); mem(D, Base, Disp);
+  }
+  void movRM32(uint8_t D, uint8_t Base, int32_t Disp) {
+    rex(false, D, 0, Base); u8(0x8b); mem(D, Base, Disp);
+  }
+  void movMR64(uint8_t Base, int32_t Disp, uint8_t S) {
+    rex(true, S, 0, Base); u8(0x89); mem(S, Base, Disp);
+  }
+  void movMR32(uint8_t Base, int32_t Disp, uint8_t S) {
+    rex(false, S, 0, Base); u8(0x89); mem(S, Base, Disp);
+  }
+  /// mov dword [Base+Disp], imm32 (upper half of a qword slot untouched).
+  void movMI32(uint8_t Base, int32_t Disp, uint32_t Imm) {
+    rex(false, 0, 0, Base); u8(0xc7); mem(0, Base, Disp); u32(Imm);
+  }
+  void movRI32(uint8_t D, uint32_t Imm) { // zero-extends to 64.
+    rex(false, 0, 0, D); u8(0xb8 | (D & 7)); u32(Imm);
+  }
+  void movRI64(uint8_t D, uint64_t Imm) {
+    rex(true, 0, 0, D); u8(0xb8 | (D & 7)); u64(Imm);
+  }
+  void movRR64(uint8_t D, uint8_t S) {
+    rex(true, D, 0, S); u8(0x8b); u8(0xc0 | ((D & 7) << 3) | (S & 7));
+  }
+
+  // ALU r, r (one-byte opcodes: add 03, sub 2b, and 23, or 0b, xor 33,
+  // cmp 3b, test 85; imul is 0f af).
+  void aluRR(uint8_t Opc, bool W, uint8_t D, uint8_t S) {
+    rex(W, D, 0, S); u8(Opc); u8(0xc0 | ((D & 7) << 3) | (S & 7));
+  }
+  void imulRR(bool W, uint8_t D, uint8_t S) {
+    rex(W, D, 0, S); u8(0x0f); u8(0xaf); u8(0xc0 | ((D & 7) << 3) | (S & 7));
+  }
+  // ALU r, [base+disp32].
+  void aluRM(uint8_t Opc, bool W, uint8_t D, uint8_t Base, int32_t Disp) {
+    rex(W, D, 0, Base); u8(Opc); mem(D, Base, Disp);
+  }
+  void imulRM(bool W, uint8_t D, uint8_t Base, int32_t Disp) {
+    rex(W, D, 0, Base); u8(0x0f); u8(0xaf); mem(D, Base, Disp);
+  }
+  // ALU r, imm32 (81 /ext: add 0, or 1, and 4, sub 5, xor 6, cmp 7).
+  void aluRI(uint8_t Ext, bool W, uint8_t D, uint32_t Imm) {
+    rex(W, 0, 0, D); u8(0x81); u8(0xc0 | (Ext << 3) | (D & 7)); u32(Imm);
+  }
+  /// ALU qword [Base+Disp], imm32 (sign-extended).
+  void aluMI64(uint8_t Ext, uint8_t Base, int32_t Disp, uint32_t Imm) {
+    rex(true, 0, 0, Base); u8(0x81); mem(Ext, Base, Disp); u32(Imm);
+  }
+  /// cmp dword [Base+Disp], imm8.
+  void cmpMI8(uint8_t Base, int32_t Disp, uint8_t Imm) {
+    rex(false, 0, 0, Base); u8(0x83); mem(7, Base, Disp); u8(Imm);
+  }
+  /// cmp r64, imm8 (sign-extended; -1 compares against UINT64_MAX).
+  void cmpRI8_64(uint8_t D, uint8_t Imm) {
+    rex(true, 0, 0, D); u8(0x83); u8(0xf8 | (D & 7)); u8(Imm);
+  }
+  // Shift by cl (d3 /ext: shl 4, shr 5, sar 7).
+  void shiftCL(uint8_t Ext, bool W, uint8_t D) {
+    rex(W, 0, 0, D); u8(0xd3); u8(0xc0 | (Ext << 3) | (D & 7));
+  }
+  void shrRI64(uint8_t D, uint8_t Imm) {
+    rex(true, 0, 0, D); u8(0xc1); u8(0xe8 | (D & 7)); u8(Imm);
+  }
+  void setccAL(uint8_t Cc) { u8(0x0f); u8(0x90 | Cc); u8(0xc0); }
+  void movzxEaxAl() { u8(0x0f); u8(0xb6); u8(0xc0); }
+  void cmovRR64(uint8_t Cc, uint8_t D, uint8_t S) {
+    rex(true, D, 0, S); u8(0x0f); u8(0x40 | Cc);
+    u8(0xc0 | ((D & 7) << 3) | (S & 7));
+  }
+  void lea64(uint8_t D, uint8_t Base, int32_t Disp) {
+    rex(true, D, 0, Base); u8(0x8d); mem(D, Base, Disp);
+  }
+
+  // Sized loads from [Base+Index] into D.
+  void loadBI(uint8_t D, uint8_t Base, uint8_t Idx, unsigned Kind) {
+    // Kind: 0=u8,1=s8->32,2=s8->64,3=u16,4=s16->32,5=s16->64,
+    //       6=u32,7=s32->64,8=u64.
+    switch (Kind) {
+    case 0: rex(false, D, Idx, Base); u8(0x0f); u8(0xb6); break;
+    case 1: rex(false, D, Idx, Base); u8(0x0f); u8(0xbe); break;
+    case 2: rex(true, D, Idx, Base); u8(0x0f); u8(0xbe); break;
+    case 3: rex(false, D, Idx, Base); u8(0x0f); u8(0xb7); break;
+    case 4: rex(false, D, Idx, Base); u8(0x0f); u8(0xbf); break;
+    case 5: rex(true, D, Idx, Base); u8(0x0f); u8(0xbf); break;
+    case 6: rex(false, D, Idx, Base); u8(0x8b); break;
+    case 7: rex(true, D, Idx, Base); u8(0x63); break; // movsxd
+    case 8: rex(true, D, Idx, Base); u8(0x8b); break;
+    }
+    memBI(D, Base, Idx);
+  }
+  // Sized stores of S (8/16/32/64 bits) to [Base+Index].
+  void storeBI(uint8_t Base, uint8_t Idx, uint8_t S, unsigned Bytes) {
+    if (Bytes == 2)
+      u8(0x66);
+    rex(Bytes == 8, S, Idx, Base);
+    u8(Bytes == 1 ? 0x88 : 0x89);
+    memBI(S, Base, Idx);
+  }
+
+  /// jcc rel32; returns the patch position of the rel32.
+  size_t jcc(uint8_t Cc) { u8(0x0f); u8(0x80 | Cc); size_t P = size(); u32(0); return P; }
+  /// jmp rel32; returns the patch position.
+  size_t jmp() { u8(0xe9); size_t P = size(); u32(0); return P; }
+  void bind(size_t PatchPos) { patch32(PatchPos, static_cast<uint32_t>(size() - (PatchPos + 4))); }
+
+  void callRax() { u8(0xff); u8(0xd0); }
+  void push(uint8_t Rg) { if (Rg >= 8) u8(0x41); u8(0x50 | (Rg & 7)); }
+  void pop(uint8_t Rg) { if (Rg >= 8) u8(0x41); u8(0x58 | (Rg & 7)); }
+  void ret() { u8(0xc3); }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Helper entry points generated code calls (System V: args in
+// rdi/rsi/rdx/rcx, result in eax/rax). The call/host/indirect/grow
+// helpers trampoline into FlatInstance members; the generic-op helpers
+// replicate the interpreter's generic tail bit-exactly.
+//===----------------------------------------------------------------------===//
+
+extern "C" {
+uint32_t rwJitCall(JitContext *Ctx, uint32_t CalleeIdx, uint32_t SpRel,
+                   uint32_t RetPc);
+uint32_t rwJitHost(JitContext *Ctx, uint32_t HostIdx, uint32_t SpRel,
+                   uint32_t RetPc);
+uint32_t rwJitIndirect(JitContext *Ctx, uint32_t Expect, uint32_t SpRel,
+                       uint32_t RetPc);
+uint32_t rwJitGrow(JitContext *Ctx, uint32_t SpRel);
+uint64_t rwJitGenBin(uint32_t OpC, uint64_t A, uint64_t B, uint32_t *Trap);
+uint64_t rwJitGenUn(uint32_t OpC, uint64_t A, uint32_t *Trap);
+}
+
+namespace {
+
+/// Operand words following an opcode (mirrors the interpreter's decode);
+/// -1 for opcodes that cannot appear in flat code.
+int operandWords(uint32_t Op, const uint32_t *Rest, uint32_t WordsLeft) {
+  switch (Op) {
+  case FGoto: case FGotoIf: case FGotoIfZ:
+  case FCall: case FCallHost: case FCallIndirect:
+  case FProfEnter: case FProfLoop:
+    return 1;
+  case FBr: case FBrIf:
+    return 3;
+  case FBrTable:
+    return WordsLeft < 1 ? -1 : static_cast<int>(1 + 3 * (Rest[0] + 1));
+  case FReturn:
+    return 0;
+  case FGetGet: case FGetConst: case FGetGetAdd: case FGetConstAdd:
+  case FMove: case FConstSet: case FGetLoadI32:
+    return 2;
+  case FGetGetAddSet: case FGetConstAddSet: case FGetGetStoreI32:
+  case FGetConstStoreI32:
+    return 3;
+  default:
+    break;
+  }
+  if (Op > 0xbf)
+    return -1;
+  if ((Op >= 0x20 && Op <= 0x24) || (Op >= 0x28 && Op <= 0x3e) ||
+      Op == 0x41 || Op == 0x43)
+    return 1;
+  if (Op == 0x42 || Op == 0x44)
+    return 2;
+  return 0;
+}
+
+/// Operand-stack delta of a non-control byte opcode; false when the
+/// opcode is not one the translator emits (compile is refused).
+bool stackDelta(uint32_t Op, int &D) {
+  if (Op == 0x1a || Op == 0x21 || Op == 0x24) { D = -1; return true; } // drop/set
+  if (Op == 0x1b) { D = -2; return true; }                             // select
+  if (Op == 0x20 || Op == 0x23 || Op == 0x3f ||
+      (Op >= 0x41 && Op <= 0x44)) { D = 1; return true; } // get/size/const
+  if (Op == 0x22 || Op == 0x40) { D = 0; return true; }   // tee/grow
+  if (Op >= 0x28 && Op <= 0x35) { D = 0; return true; }   // loads
+  if (Op >= 0x36 && Op <= 0x3e) { D = -2; return true; }  // stores
+  if (Op == 0x45 || Op == 0x50 || (Op >= 0x67 && Op <= 0x69) ||
+      (Op >= 0x79 && Op <= 0x7b) || (Op >= 0x8b && Op <= 0x91) ||
+      (Op >= 0x99 && Op <= 0x9f) || (Op >= 0xa7 && Op <= 0xbf)) {
+    D = 0; // eqz / unary / conversions
+    return true;
+  }
+  if ((Op >= 0x46 && Op <= 0x4f) || (Op >= 0x51 && Op <= 0x66) ||
+      (Op >= 0x6a && Op <= 0x78) || (Op >= 0x7c && Op <= 0x8a) ||
+      (Op >= 0x92 && Op <= 0x98) || (Op >= 0xa0 && Op <= 0xa6)) {
+    D = -1; // binops / relops
+    return true;
+  }
+  return false;
+}
+
+bool isControlOrCall(uint32_t Op) {
+  return Op == 0x00 /*Unreachable*/ ||
+         (Op >= FGoto && Op <= FCallIndirect);
+}
+
+/// Compiles one FlatFunc to position-independent machine code. All
+/// operand heights are static; any analysis surprise refuses the
+/// compile (the function then stays on the flat tier forever).
+struct FuncCompiler {
+  const exec::FlatModule &FM;
+  const exec::FlatFunc &F;
+  const uint32_t *C;
+  uint32_t Len;
+  Asm A;
+
+  std::vector<int32_t> H;        ///< Operand height before each pc; -1 unknown.
+  std::vector<uint8_t> IsStart;  ///< pc is an instruction start.
+  std::vector<uint8_t> ChargePt; ///< pc starts a fuel segment.
+  std::vector<size_t> NativeOfs; ///< pc word → native code offset.
+
+  struct Jump {
+    size_t Pos;      ///< rel32 patch position.
+    uint32_t Target; ///< Target pc word.
+  };
+  std::vector<Jump> Jumps;
+  struct DeoptSite {
+    size_t Pos; ///< rel32 patch position of the jump into the stub.
+    uint32_t Refund, Pc, Sp;
+    bool CheckOne; ///< Call slow path: JDeoptHere(1) deopts, else propagate.
+  };
+  std::vector<DeoptSite> Deopts;
+  std::vector<size_t> OkPatches;       ///< Jumps to "return JOk".
+  std::vector<size_t> EpiloguePatches; ///< Jumps to the propagate epilogue.
+  size_t EpilogueOfs = 0;
+
+  FuncCompiler(const exec::FlatModule &FM, const exec::FlatFunc &F)
+      : FM(FM), F(F), C(F.Code.data()),
+        Len(static_cast<uint32_t>(F.Code.size())) {}
+
+  bool analyze() {
+    H.assign(Len + 1, -1);
+    IsStart.assign(Len + 1, 0);
+    ChargePt.assign(Len + 1, 0);
+    if (Len == 0)
+      return false;
+
+    // Pass 1: instruction starts, branch targets, charge points.
+    std::vector<uint32_t> Targets;
+    bool PrevBreak = true;
+    for (uint32_t Pc = 0; Pc < Len;) {
+      IsStart[Pc] = 1;
+      if (PrevBreak)
+        ChargePt[Pc] = 1;
+      uint32_t Op = C[Pc];
+      int W = operandWords(Op, C + Pc + 1, Len - Pc - 1);
+      if (W < 0 || Pc + 1 + static_cast<uint32_t>(W) > Len)
+        return false;
+      switch (Op) {
+      case FGoto: case FGotoIf: case FGotoIfZ: case FBr: case FBrIf:
+        Targets.push_back(C[Pc + 1]);
+        break;
+      case FBrTable:
+        for (uint32_t I = 0; I <= C[Pc + 1]; ++I)
+          Targets.push_back(C[Pc + 2 + 3 * I]);
+        break;
+      default:
+        break;
+      }
+      PrevBreak = isControlOrCall(Op);
+      Pc += 1 + W;
+    }
+    for (uint32_t T : Targets) {
+      if (T >= Len || !IsStart[T])
+        return false;
+      ChargePt[T] = 1;
+    }
+
+    // Pass 2: static operand heights (forward scan; branch targets get
+    // their height from the branch's fix-up immediates).
+    auto SetT = [&](uint32_t T, int32_t Ht) {
+      if (H[T] >= 0)
+        return H[T] == Ht;
+      H[T] = Ht;
+      return true;
+    };
+    int32_t Cur = 0;
+    bool Reach = true;
+    for (uint32_t Pc = 0; Pc < Len;) {
+      uint32_t Op = C[Pc];
+      int W = operandWords(Op, C + Pc + 1, Len - Pc - 1);
+      if (H[Pc] >= 0) {
+        if (Reach && H[Pc] != Cur)
+          return false;
+        Cur = H[Pc];
+      } else {
+        if (!Reach)
+          return false; // Dead code: the translator elides it; refuse.
+        H[Pc] = Cur;
+      }
+      Reach = true;
+      switch (Op) {
+      case FGoto:
+        if (!SetT(C[Pc + 1], Cur))
+          return false;
+        Reach = false;
+        break;
+      case FGotoIf: case FGotoIfZ:
+        Cur -= 1;
+        if (Cur < 0 || !SetT(C[Pc + 1], Cur))
+          return false;
+        break;
+      case FBr:
+        if (!SetT(C[Pc + 1],
+                  static_cast<int32_t>(C[Pc + 3] + C[Pc + 2])))
+          return false;
+        Reach = false;
+        break;
+      case FBrIf:
+        Cur -= 1;
+        if (Cur < 0 ||
+            !SetT(C[Pc + 1], static_cast<int32_t>(C[Pc + 3] + C[Pc + 2])))
+          return false;
+        break;
+      case FBrTable: {
+        Cur -= 1;
+        if (Cur < 0)
+          return false;
+        for (uint32_t I = 0; I <= C[Pc + 1]; ++I) {
+          const uint32_t *E = C + Pc + 2 + 3 * I;
+          if (!SetT(E[0], static_cast<int32_t>(E[2] + E[1])))
+            return false;
+        }
+        Reach = false;
+        break;
+      }
+      case FReturn:
+        if (Cur < static_cast<int32_t>(F.NumResults))
+          return false;
+        Reach = false;
+        break;
+      case FCall: {
+        if (C[Pc + 1] >= FM.Funcs.size())
+          return false;
+        const exec::FlatFunc &Cal = FM.Funcs[C[Pc + 1]];
+        Cur += static_cast<int32_t>(Cal.NumResults) -
+               static_cast<int32_t>(Cal.NumParams);
+        break;
+      }
+      case FCallHost: {
+        if (C[Pc + 1] >= FM.Source->ImportFuncs.size())
+          return false;
+        const FuncType &HT =
+            FM.Source->Types[FM.Source->ImportFuncs[C[Pc + 1]].TypeIdx];
+        Cur += static_cast<int32_t>(HT.Results.size()) -
+               static_cast<int32_t>(HT.Params.size());
+        break;
+      }
+      case FCallIndirect: {
+        if (C[Pc + 1] >= FM.Source->Types.size())
+          return false;
+        const FuncType &T = FM.Source->Types[C[Pc + 1]];
+        Cur += -1 + static_cast<int32_t>(T.Results.size()) -
+               static_cast<int32_t>(T.Params.size());
+        break;
+      }
+      case 0x00: // Unreachable
+        Reach = false;
+        break;
+      case FGetGet: case FGetConst:
+        Cur += 2;
+        break;
+      case FGetGetAdd: case FGetConstAdd: case FGetLoadI32:
+        Cur += 1;
+        break;
+      case FGetGetAddSet: case FGetConstAddSet: case FMove: case FConstSet:
+      case FGetGetStoreI32: case FGetConstStoreI32:
+      case FProfEnter: case FProfLoop:
+        break;
+      default: {
+        int D;
+        if (!stackDelta(Op, D))
+          return false;
+        Cur += D;
+        break;
+      }
+      }
+      if (Cur < 0 || Cur > static_cast<int32_t>(F.MaxDepth))
+        return false;
+      Pc += 1 + W;
+    }
+    return !Reach; // The body must end in a terminal instruction.
+  }
+
+  /// Fuel instructions from segment start \p Pc to the end of its
+  /// segment (the next charge point). FProf ops are fuel-neutral.
+  uint32_t fuelCount(uint32_t Pc) const {
+    uint32_t K = 0;
+    for (uint32_t Q = Pc; Q < Len;) {
+      uint32_t Op = C[Q];
+      if (Op != FProfEnter && Op != FProfLoop)
+        ++K;
+      Q += 1 + operandWords(Op, C + Q + 1, Len - Q - 1);
+      if (Q >= Len || ChargePt[Q])
+        break;
+    }
+    return K;
+  }
+
+  static constexpr int32_t slot(int32_t K) { return 8 * K; }
+
+  void deoptJcc(uint8_t Cc, uint32_t Refund, uint32_t Pc, uint32_t Sp) {
+    Deopts.push_back({A.jcc(Cc), Refund, Pc, Sp, false});
+  }
+
+  /// Reloads the pointer registers from the context after a helper that
+  /// may have resized instance vectors or grown memory.
+  void reloadBases(bool OpsRegs, bool Memory) {
+    if (OpsRegs) {
+      A.movRM64(R12, RBX, OffOps);
+      A.aluRM(0x03, true, R12, RSP, 0);
+      A.movRM64(R13, RBX, OffRegs);
+      A.aluRM(0x03, true, R13, RSP, 8);
+    }
+    if (Memory) {
+      A.movRM64(R14, RBX, OffMemP);
+      A.movRM64(R15, RBX, OffMemSz);
+    }
+  }
+
+  void callHelper(const void *Fn) {
+    A.movRI64(RAX, reinterpret_cast<uint64_t>(Fn));
+    A.callRax();
+  }
+
+  /// addr = u32(rax) + Off; bounds-check Nbytes against Mem.size().
+  /// Leaves the checked address in rcx; deopts (refund \p SegLeft) on an
+  /// out-of-bounds access so the interpreter re-executes and traps.
+  void emitMemCheck(uint32_t Off, uint32_t Nbytes, uint32_t SegLeft,
+                    uint32_t Pc, int32_t Hh) {
+    A.movRI32(RCX, Off);
+    A.aluRR(0x03, true, RCX, RAX); // add rcx, rax (u32 addr + u32 off)
+    A.lea64(RDX, RCX, static_cast<int32_t>(Nbytes));
+    A.aluRR(0x3b, true, RDX, R15); // cmp rdx, r15
+    deoptJcc(CA, SegLeft, Pc, static_cast<uint32_t>(Hh));
+  }
+
+  /// Copies Keep slots from \p SrcSlot to \p DstSlot (ascending; the
+  /// branch fix-up always has Dst <= Src, same as the interpreter loop).
+  void emitStackCopy(int32_t DstSlot, int32_t SrcSlot, uint32_t Keep) {
+    if (DstSlot == SrcSlot)
+      return;
+    for (uint32_t K = 0; K < Keep; ++K) {
+      A.movRM64(RAX, R12, slot(SrcSlot + K));
+      A.movMR64(R12, slot(DstSlot + K), RAX);
+    }
+  }
+
+  bool emit();
+  bool emitInst(uint32_t Pc, uint32_t Op, int32_t Hh, uint32_t SegLeft);
+  void finish();
+};
+
+bool FuncCompiler::emit() {
+  NativeOfs.assign(Len + 1, 0);
+
+  // Prologue: save callee-saved registers, spill the byte bases for
+  // post-helper reloads, derive the pointer registers.
+  A.push(RBP); A.push(RBX); A.push(R12); A.push(R13); A.push(R14); A.push(R15);
+  A.aluRI(5, true, RSP, 24); // sub rsp, 24 (16-align + 2 spill slots)
+  A.movMR64(RSP, 0, RSI);    // [rsp+0]  = OpBase8
+  A.movMR64(RSP, 8, RDX);    // [rsp+8]  = RegBase8
+  A.movRR64(RBX, RDI);
+  A.movRM64(R12, RBX, OffOps);
+  A.aluRR(0x03, true, R12, RSI);
+  A.movRM64(R13, RBX, OffRegs);
+  A.aluRR(0x03, true, R13, RDX);
+  A.movRM64(R14, RBX, OffMemP);
+  A.movRM64(R15, RBX, OffMemSz);
+
+  uint32_t SegLeft = 0;
+  for (uint32_t Pc = 0; Pc < Len;) {
+    uint32_t Op = C[Pc];
+    int W = operandWords(Op, C + Pc + 1, Len - Pc - 1);
+    NativeOfs[Pc] = A.size(); // Jumps land on the segment's fuel charge.
+    if (ChargePt[Pc]) {
+      SegLeft = fuelCount(Pc);
+      if (SegLeft) {
+        A.aluMI64(5, RBX, OffFuel, SegLeft); // sub qword [ctx.Fuel], K
+        deoptJcc(CB, SegLeft, Pc, static_cast<uint32_t>(H[Pc]));
+      }
+    }
+    if (!emitInst(Pc, Op, H[Pc], SegLeft))
+      return false;
+    if (Op != FProfEnter && Op != FProfLoop)
+      --SegLeft;
+    Pc += 1 + W;
+  }
+  finish();
+  return true;
+}
+
+bool FuncCompiler::emitInst(uint32_t Pc, uint32_t Op, int32_t Hh,
+                            uint32_t SegLeft) {
+  const uint32_t *Im = C + Pc + 1;
+  switch (Op) {
+  case 0x00: // Unreachable: deopt; the interpreter re-executes and traps.
+    A.u8(0xe9); // Unconditional jmp into the stub (patched like a jcc).
+    Deopts.push_back(
+        {(A.u32(0), A.size() - 4), SegLeft, Pc, static_cast<uint32_t>(Hh),
+         false});
+    return true;
+
+  case FGoto:
+    Jumps.push_back({A.jmp(), Im[0]});
+    return true;
+
+  case FGotoIf: case FGotoIfZ:
+    A.movRM32(RAX, R12, slot(Hh - 1));
+    A.aluRR(0x85, false, RAX, RAX); // test eax, eax
+    Jumps.push_back({A.jcc(Op == FGotoIf ? CNE : CE), Im[0]});
+    return true;
+
+  case FBr:
+    emitStackCopy(static_cast<int32_t>(Im[2]),
+                  Hh - static_cast<int32_t>(Im[1]), Im[1]);
+    Jumps.push_back({A.jmp(), Im[0]});
+    return true;
+
+  case FBrIf: {
+    A.movRM32(RAX, R12, slot(Hh - 1));
+    A.aluRR(0x85, false, RAX, RAX);
+    size_t Skip = A.jcc(CE);
+    emitStackCopy(static_cast<int32_t>(Im[2]),
+                  (Hh - 1) - static_cast<int32_t>(Im[1]), Im[1]);
+    Jumps.push_back({A.jmp(), Im[0]});
+    A.bind(Skip);
+    return true;
+  }
+
+  case FBrTable: {
+    uint32_t N = Im[0];
+    A.movRM32(RAX, R12, slot(Hh - 1));
+    std::vector<size_t> Cases(N);
+    for (uint32_t I = 0; I < N; ++I) {
+      A.aluRI(7, false, RAX, I); // cmp eax, I
+      Cases[I] = A.jcc(CE);
+    }
+    size_t Dflt = A.jmp();
+    for (uint32_t I = 0; I <= N; ++I) {
+      if (I < N)
+        A.bind(Cases[I]);
+      else
+        A.bind(Dflt);
+      const uint32_t *E = Im + 1 + 3 * I;
+      emitStackCopy(static_cast<int32_t>(E[2]),
+                    (Hh - 1) - static_cast<int32_t>(E[1]), E[1]);
+      Jumps.push_back({A.jmp(), E[0]});
+    }
+    return true;
+  }
+
+  case FReturn: {
+    uint32_t NRes = F.NumResults;
+    emitStackCopy(0, Hh - static_cast<int32_t>(NRes), NRes);
+    OkPatches.push_back(A.jmp());
+    return true;
+  }
+
+  case FCall: case FCallIndirect: {
+    A.movRR64(RDI, RBX);
+    A.movRI32(RSI, Im[0]);
+    A.movRI32(RDX, static_cast<uint32_t>(Hh));
+    A.movRI32(RCX, Pc + 2);
+    callHelper(Op == FCall ? reinterpret_cast<const void *>(&rwJitCall)
+                           : reinterpret_cast<const void *>(&rwJitIndirect));
+    A.aluRR(0x85, false, RAX, RAX); // test eax, eax
+    // Calls end their fuel segment, so a re-execute deopt refunds 1.
+    Deopts.push_back({A.jcc(CNE), 1, Pc, static_cast<uint32_t>(Hh), true});
+    reloadBases(true, true);
+    return true;
+  }
+
+  case FCallHost:
+    A.movRR64(RDI, RBX);
+    A.movRI32(RSI, Im[0]);
+    A.movRI32(RDX, static_cast<uint32_t>(Hh));
+    A.movRI32(RCX, Pc + 2);
+    callHelper(reinterpret_cast<const void *>(&rwJitHost));
+    A.aluRR(0x85, false, RAX, RAX);
+    EpiloguePatches.push_back(A.jcc(CNE)); // JTrapFinal/JUnwind: propagate.
+    reloadBases(true, true);
+    return true;
+
+  case FGetGet:
+    A.movRM64(RAX, R13, slot(Im[0]));
+    A.movMR64(R12, slot(Hh), RAX);
+    A.movRM64(RAX, R13, slot(Im[1]));
+    A.movMR64(R12, slot(Hh + 1), RAX);
+    return true;
+
+  case FGetConst:
+    A.movRM64(RAX, R13, slot(Im[0]));
+    A.movMR64(R12, slot(Hh), RAX);
+    A.movRI32(RAX, Im[1]);
+    A.movMR64(R12, slot(Hh + 1), RAX);
+    return true;
+
+  case FGetGetAdd:
+    A.movRM32(RAX, R13, slot(Im[0]));
+    A.aluRM(0x03, false, RAX, R13, slot(Im[1]));
+    A.movMR64(R12, slot(Hh), RAX);
+    return true;
+
+  case FGetConstAdd:
+    A.movRM32(RAX, R13, slot(Im[0]));
+    A.aluRI(0, false, RAX, Im[1]);
+    A.movMR64(R12, slot(Hh), RAX);
+    return true;
+
+  case FGetGetAddSet:
+    A.movRM32(RAX, R13, slot(Im[0]));
+    A.aluRM(0x03, false, RAX, R13, slot(Im[1]));
+    A.movMR64(R13, slot(Im[2]), RAX);
+    return true;
+
+  case FGetConstAddSet:
+    A.movRM32(RAX, R13, slot(Im[0]));
+    A.aluRI(0, false, RAX, Im[1]);
+    A.movMR64(R13, slot(Im[2]), RAX);
+    return true;
+
+  case FMove:
+    A.movRM64(RAX, R13, slot(Im[0]));
+    A.movMR64(R13, slot(Im[1]), RAX);
+    return true;
+
+  case FConstSet:
+    A.movRI32(RAX, Im[0]);
+    A.movMR64(R13, slot(Im[1]), RAX);
+    return true;
+
+  case FGetLoadI32:
+    A.movRM32(RAX, R13, slot(Im[0]));
+    emitMemCheck(Im[1], 4, SegLeft, Pc, Hh);
+    A.loadBI(RAX, R14, RCX, 6);
+    A.movMR64(R12, slot(Hh), RAX);
+    return true;
+
+  case FGetGetStoreI32:
+    A.movRM32(RAX, R13, slot(Im[0]));
+    emitMemCheck(Im[2], 4, SegLeft, Pc, Hh);
+    A.movRM32(RAX, R13, slot(Im[1]));
+    A.storeBI(R14, RCX, RAX, 4);
+    return true;
+
+  case FGetConstStoreI32:
+    A.movRM32(RAX, R13, slot(Im[0]));
+    emitMemCheck(Im[2], 4, SegLeft, Pc, Hh);
+    A.movRI32(RAX, Im[1]);
+    A.storeBI(R14, RCX, RAX, 4);
+    return true;
+
+  case FProfEnter: case FProfLoop: {
+    int32_t Off = static_cast<int32_t>(16 * Im[0]) +
+                  (Op == FProfLoop ? 8 : 0);
+    A.movRM64(RAX, RBX, OffProf);
+    A.movRM64(RCX, RAX, Off);
+    A.cmpRI8_64(RCX, 0xff); // cmp rcx, -1: saturated?
+    size_t Skip = A.jcc(CE);
+    A.aluRI(0, true, RCX, 1);
+    A.movMR64(RAX, Off, RCX);
+    A.bind(Skip);
+    return true;
+  }
+
+  case 0x1a: // Drop
+    return true;
+
+  case 0x1b: // Select
+    A.movRM32(RAX, R12, slot(Hh - 1));
+    A.movRM64(RCX, R12, slot(Hh - 3));
+    A.movRM64(RDX, R12, slot(Hh - 2));
+    A.aluRR(0x85, false, RAX, RAX);
+    A.cmovRR64(CE, RCX, RDX); // cond == 0 picks the second value.
+    A.movMR64(R12, slot(Hh - 3), RCX);
+    return true;
+
+  case 0x20: // LocalGet
+    A.movRM64(RAX, R13, slot(Im[0]));
+    A.movMR64(R12, slot(Hh), RAX);
+    return true;
+
+  case 0x21: case 0x22: // LocalSet / LocalTee
+    A.movRM64(RAX, R12, slot(Hh - 1));
+    A.movMR64(R13, slot(Im[0]), RAX);
+    return true;
+
+  case 0x23: // GlobalGet
+    A.movRM64(RAX, RBX, OffGlobals);
+    A.movRM64(RCX, RAX, static_cast<int32_t>(16 * Im[0] + 8));
+    A.movMR64(R12, slot(Hh), RCX);
+    return true;
+
+  case 0x24: // GlobalSet
+    A.movRM64(RAX, RBX, OffGlobals);
+    A.movRM64(RCX, R12, slot(Hh - 1));
+    A.movMR64(RAX, static_cast<int32_t>(16 * Im[0] + 8), RCX);
+    return true;
+
+  case 0x3f: // MemorySize
+    A.movRR64(RAX, R15);
+    A.shrRI64(RAX, 16);
+    A.movMR64(R12, slot(Hh), RAX);
+    return true;
+
+  case 0x40: // MemoryGrow
+    A.movRR64(RDI, RBX);
+    A.movRI32(RSI, static_cast<uint32_t>(Hh));
+    callHelper(reinterpret_cast<const void *>(&rwJitGrow));
+    reloadBases(false, true);
+    return true;
+
+  case 0x41: case 0x43: // I32Const / F32Const
+    A.movRI32(RAX, Im[0]);
+    A.movMR64(R12, slot(Hh), RAX);
+    return true;
+
+  case 0x42: case 0x44: { // I64Const / F64Const
+    uint64_t V = Im[0] | (static_cast<uint64_t>(Im[1]) << 32);
+    A.movRI64(RAX, V);
+    A.movMR64(R12, slot(Hh), RAX);
+    return true;
+  }
+
+  case 0x45: case 0x50: // I32Eqz / I64Eqz
+    if (Op == 0x45)
+      A.movRM32(RAX, R12, slot(Hh - 1));
+    else
+      A.movRM64(RAX, R12, slot(Hh - 1));
+    A.aluRR(0x85, Op == 0x50, RAX, RAX);
+    A.setccAL(CE);
+    A.movzxEaxAl();
+    A.movMR64(R12, slot(Hh - 1), RAX);
+    return true;
+  }
+
+  // Loads 0x28..0x35: kind = loadBI encoding (see Asm::loadBI).
+  if (Op >= 0x28 && Op <= 0x35) {
+    static const struct { uint8_t Bytes, Kind; } LK[] = {
+        {4, 6}, {8, 8}, {4, 6}, {8, 8}, // i32/i64/f32/f64
+        {1, 1}, {1, 0}, {2, 4}, {2, 3}, // i32 8s/8u/16s/16u
+        {1, 2}, {1, 0}, {2, 5}, {2, 3}, // i64 8s/8u/16s/16u
+        {4, 7}, {4, 6},                 // i64 32s/32u
+    };
+    const auto &L = LK[Op - 0x28];
+    A.movRM32(RAX, R12, slot(Hh - 1));
+    emitMemCheck(Im[0], L.Bytes, SegLeft, Pc, Hh);
+    A.loadBI(RAX, R14, RCX, L.Kind);
+    A.movMR64(R12, slot(Hh - 1), RAX);
+    return true;
+  }
+
+  // Stores 0x36..0x3e: value at Hh-1, address at Hh-2.
+  if (Op >= 0x36 && Op <= 0x3e) {
+    static const uint8_t SB[] = {4, 8, 4, 8, 1, 2, 1, 2, 4};
+    uint8_t Bytes = SB[Op - 0x36];
+    A.movRM32(RAX, R12, slot(Hh - 2));
+    emitMemCheck(Im[0], Bytes, SegLeft, Pc, Hh);
+    A.movRM64(RAX, R12, slot(Hh - 1));
+    A.storeBI(R14, RCX, RAX, Bytes);
+    return true;
+  }
+
+  // Inline i32/i64 ALU and relops (same set the interpreter fast-paths,
+  // plus the sar variants). Everything else goes through the generic
+  // helpers below.
+  {
+    bool W64 = false;
+    uint8_t Alu = 0;
+    switch (Op) {
+    case 0x6a: Alu = 0x03; break; case 0x6b: Alu = 0x2b; break; // add/sub
+    case 0x71: Alu = 0x23; break; case 0x72: Alu = 0x0b; break; // and/or
+    case 0x73: Alu = 0x33; break;                               // xor
+    case 0x7c: Alu = 0x03; W64 = true; break;
+    case 0x7d: Alu = 0x2b; W64 = true; break;
+    case 0x83: Alu = 0x23; W64 = true; break;
+    case 0x84: Alu = 0x0b; W64 = true; break;
+    case 0x85: Alu = 0x33; W64 = true; break;
+    default: break;
+    }
+    if (Alu) {
+      if (W64)
+        A.movRM64(RAX, R12, slot(Hh - 2));
+      else
+        A.movRM32(RAX, R12, slot(Hh - 2));
+      A.aluRM(Alu, W64, RAX, R12, slot(Hh - 1));
+      A.movMR64(R12, slot(Hh - 2), RAX);
+      return true;
+    }
+    if (Op == 0x6c || Op == 0x7e) { // I32Mul / I64Mul
+      W64 = Op == 0x7e;
+      if (W64)
+        A.movRM64(RAX, R12, slot(Hh - 2));
+      else
+        A.movRM32(RAX, R12, slot(Hh - 2));
+      A.imulRM(W64, RAX, R12, slot(Hh - 1));
+      A.movMR64(R12, slot(Hh - 2), RAX);
+      return true;
+    }
+    uint8_t Sh = 0;
+    switch (Op) {
+    case 0x74: Sh = 4; break; case 0x75: Sh = 7; break; // i32 shl/sar
+    case 0x76: Sh = 5; break;                           // i32 shr
+    case 0x86: Sh = 4; W64 = true; break;
+    case 0x87: Sh = 7; W64 = true; break;
+    case 0x88: Sh = 5; W64 = true; break;
+    default: break;
+    }
+    if (Sh) {
+      A.movRM32(RCX, R12, slot(Hh - 1)); // cl; hardware masks the count.
+      if (W64)
+        A.movRM64(RAX, R12, slot(Hh - 2));
+      else
+        A.movRM32(RAX, R12, slot(Hh - 2));
+      A.shiftCL(Sh, W64, RAX);
+      A.movMR64(R12, slot(Hh - 2), RAX);
+      return true;
+    }
+    if ((Op >= 0x46 && Op <= 0x4f) || (Op >= 0x51 && Op <= 0x5a)) {
+      // eq ne lt_s lt_u gt_s gt_u le_s le_u ge_s ge_u
+      static const uint8_t CCs[] = {CE, CNE, CL_, CB, CG, CA, CLE, CBE,
+                                    CGE, CAE};
+      W64 = Op >= 0x51;
+      uint8_t Cc = CCs[Op - (W64 ? 0x51 : 0x46)];
+      if (W64)
+        A.movRM64(RAX, R12, slot(Hh - 2));
+      else
+        A.movRM32(RAX, R12, slot(Hh - 2));
+      A.aluRM(0x3b, W64, RAX, R12, slot(Hh - 1));
+      A.setccAL(Cc);
+      A.movzxEaxAl();
+      A.movMR64(R12, slot(Hh - 2), RAX);
+      return true;
+    }
+  }
+
+  // Generic tail: dispatch by arity through the C++ helpers that share
+  // the interpreter's num:: evaluators (bit-exact, including div/trunc
+  // traps, which deopt so the interpreter re-executes and traps).
+  int D;
+  if (Op <= 0xbf && stackDelta(Op, D) && (D == 0 || D == -1)) {
+    A.movRI32(RDI, Op);
+    A.movRM64(RSI, R12, slot(D == -1 ? Hh - 2 : Hh - 1));
+    if (D == -1) {
+      A.movRM64(RDX, R12, slot(Hh - 1));
+      A.lea64(RCX, RBX, OffGenTrap);
+      callHelper(reinterpret_cast<const void *>(&rwJitGenBin));
+    } else {
+      A.lea64(RDX, RBX, OffGenTrap);
+      callHelper(reinterpret_cast<const void *>(&rwJitGenUn));
+    }
+    A.cmpMI8(RBX, OffGenTrap, 0);
+    deoptJcc(CNE, SegLeft, Pc, static_cast<uint32_t>(Hh));
+    A.movMR64(R12, slot(D == -1 ? Hh - 2 : Hh - 1), RAX);
+    return true;
+  }
+  return false;
+}
+
+void FuncCompiler::finish() {
+  // Shared exits: JOk falls through into the epilogue; everything else
+  // jumps into the epilogue with its status already in eax.
+  size_t OkOfs = A.size();
+  A.aluRR(0x33, false, RAX, RAX); // xor eax, eax == JOk
+  EpilogueOfs = A.size();
+  A.aluRI(0, true, RSP, 24);
+  A.pop(R15); A.pop(R14); A.pop(R13); A.pop(R12); A.pop(RBX); A.pop(RBP);
+  A.ret();
+
+  // Deopt stubs: refund the unexecuted remainder of the fuel segment,
+  // record the resume point, and return JDeoptHere. Call slow paths
+  // first split JDeoptHere (re-execute the call) from propagation.
+  for (const DeoptSite &S : Deopts) {
+    A.bind(S.Pos);
+    if (S.CheckOne) {
+      A.aluRI(7, false, RAX, 1); // cmp eax, JDeoptHere
+      size_t P = A.jcc(CNE);
+      A.patch32(P, static_cast<uint32_t>(EpilogueOfs - (P + 4)));
+    }
+    if (S.Refund)
+      A.aluMI64(0, RBX, OffFuel, S.Refund);
+    A.movMI32(RBX, OffDeoptPc, S.Pc);
+    A.movMI32(RBX, OffDeoptSp, S.Sp);
+    A.movRI32(RAX, JDeoptHere);
+    size_t P = A.jmp();
+    A.patch32(P, static_cast<uint32_t>(EpilogueOfs - (P + 4)));
+  }
+
+  for (size_t P : OkPatches)
+    A.patch32(P, static_cast<uint32_t>(OkOfs - (P + 4)));
+  for (size_t P : EpiloguePatches)
+    A.patch32(P, static_cast<uint32_t>(EpilogueOfs - (P + 4)));
+  for (const Jump &J : Jumps)
+    A.patch32(J.Pos, static_cast<uint32_t>(NativeOfs[J.Target] - (J.Pos + 4)));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ModuleJit: thread-safe compile/publish with W^X page lifecycle.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Maps a fresh RW page set, copies the code in, then flips to RX before
+/// the entry is published (W^X: pages are never writable and executable
+/// at the same time).
+uint8_t *allocExec(const std::vector<uint8_t> &Buf, size_t &SzOut) {
+  size_t PageSz = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  size_t Sz = (Buf.size() + PageSz - 1) & ~(PageSz - 1);
+  void *P = mmap(nullptr, Sz, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED)
+    return nullptr;
+#if RW_JIT_ASAN
+  ASAN_UNPOISON_MEMORY_REGION(P, Sz);
+#endif
+  std::memcpy(P, Buf.data(), Buf.size());
+  if (mprotect(P, Sz, PROT_READ | PROT_EXEC) != 0) {
+    munmap(P, Sz);
+    return nullptr;
+  }
+  SzOut = Sz;
+  return static_cast<uint8_t *>(P);
+}
+
+} // namespace
+
+ModuleJit::ModuleJit(const exec::FlatModule &FM)
+    : FM(FM), Entries(FM.Funcs.size()), State(FM.Funcs.size()) {}
+
+ModuleJit::~ModuleJit() {
+  for (const Page &P : Pages)
+    munmap(P.P, P.Sz);
+}
+
+bool ModuleJit::compile(uint32_t DefIdx) {
+  uint8_t Untried = 0;
+  if (!State[DefIdx].compare_exchange_strong(Untried, 1,
+                                             std::memory_order_acq_rel))
+    return State[DefIdx].load(std::memory_order_acquire) == 2;
+
+  static obs::Counter CompiledC("exec.tier.compiled");
+  static obs::Counter UnsupportedC("exec.tier.unsupported");
+  OBS_SPAN("translate_jit", DefIdx);
+
+  FuncCompiler FC(FM, FM.Funcs[DefIdx]);
+  uint8_t *Code = nullptr;
+  size_t Sz = 0;
+  if (FC.analyze() && FC.emit())
+    Code = allocExec(FC.A.B, Sz);
+  if (!Code) {
+    UnsupportedC.inc();
+    State[DefIdx].store(3, std::memory_order_release);
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(PagesMu);
+    Pages.push_back({Code, Sz});
+  }
+  Entries[DefIdx].store(reinterpret_cast<NativeFn>(Code),
+                        std::memory_order_release);
+  Compiled.fetch_add(1, std::memory_order_relaxed);
+  State[DefIdx].store(2, std::memory_order_release);
+  CompiledC.inc();
+  return true;
+}
+
+void ModuleJit::compileAll() {
+  for (uint32_t I = 0; I < FM.Funcs.size(); ++I)
+    compile(I);
+}
+
+//===----------------------------------------------------------------------===//
+// Generic-op helpers: the interpreter's generic tail, factored for a
+// C call from generated code. Bit-exact by construction (same num::
+// evaluators); a trap sets *Trap and the template deopts, letting the
+// interpreter re-execute the instruction and produce the exact trap.
+//===----------------------------------------------------------------------===//
+
+extern "C" uint64_t rwJitGenBin(uint32_t OpC, uint64_t A, uint64_t B,
+                                uint32_t *Trap) {
+  using namespace rw::num;
+  *Trap = 0;
+  if ((OpC >= 0x46 && OpC <= 0x4f) || (OpC >= 0x51 && OpC <= 0x5a)) {
+    static const IntRelop Map[] = {IntRelop::Eq, IntRelop::Ne, IntRelop::Lt,
+                                   IntRelop::Lt, IntRelop::Gt, IntRelop::Gt,
+                                   IntRelop::Le, IntRelop::Le, IntRelop::Ge,
+                                   IntRelop::Ge};
+    static const bool Signed[] = {false, false, true, false, true,
+                                  false, true,  false, true, false};
+    bool Is64 = OpC >= 0x51;
+    unsigned Idx = Is64 ? OpC - 0x51 : OpC - 0x46;
+    return evalIntRelop(Map[Idx], A, B, Is64, Signed[Idx]);
+  }
+  if (OpC >= 0x5b && OpC <= 0x66) {
+    static const FloatRelop Map[] = {FloatRelop::Eq, FloatRelop::Ne,
+                                     FloatRelop::Lt, FloatRelop::Gt,
+                                     FloatRelop::Le, FloatRelop::Ge};
+    bool Is64 = OpC >= 0x61;
+    return evalFloatRelop(Map[Is64 ? OpC - 0x61 : OpC - 0x5b], A, B, Is64);
+  }
+  if ((OpC >= 0x6a && OpC <= 0x78) || (OpC >= 0x7c && OpC <= 0x8a)) {
+    static const IntBinop Map[] = {
+        IntBinop::Add, IntBinop::Sub,  IntBinop::Mul, IntBinop::Div,
+        IntBinop::Div, IntBinop::Rem,  IntBinop::Rem, IntBinop::And,
+        IntBinop::Or,  IntBinop::Xor,  IntBinop::Shl, IntBinop::Shr,
+        IntBinop::Shr, IntBinop::Rotl, IntBinop::Rotr};
+    static const bool Signed[] = {false, false, false, true,  false,
+                                  true,  false, false, false, false,
+                                  false, true,  false, false, false};
+    bool Is64 = OpC >= 0x7c;
+    unsigned Idx = Is64 ? OpC - 0x7c : OpC - 0x6a;
+    std::optional<uint64_t> V = evalIntBinop(Map[Idx], A, B, Is64, Signed[Idx]);
+    if (!V) {
+      *Trap = 1; // "integer divide error": deopt and re-execute.
+      return 0;
+    }
+    return *V;
+  }
+  if ((OpC >= 0x92 && OpC <= 0x98) || (OpC >= 0xa0 && OpC <= 0xa6)) {
+    static const FloatBinop Map[] = {
+        FloatBinop::Add, FloatBinop::Sub, FloatBinop::Mul, FloatBinop::Div,
+        FloatBinop::Min, FloatBinop::Max, FloatBinop::Copysign};
+    bool Is64 = OpC >= 0xa0;
+    return evalFloatBinop(Map[Is64 ? OpC - 0xa0 : OpC - 0x92], A, B, Is64);
+  }
+  *Trap = 1;
+  return 0;
+}
+
+extern "C" uint64_t rwJitGenUn(uint32_t OpC, uint64_t A, uint32_t *Trap) {
+  using namespace rw::num;
+  *Trap = 0;
+  if (OpC >= 0x67 && OpC <= 0x69)
+    return OpC == 0x67   ? intClz(A, false)
+           : OpC == 0x68 ? intCtz(A, false)
+                         : intPopcnt(A, false);
+  if (OpC >= 0x79 && OpC <= 0x7b)
+    return OpC == 0x79   ? intClz(A, true)
+           : OpC == 0x7a ? intCtz(A, true)
+                         : intPopcnt(A, true);
+  if ((OpC >= 0x8b && OpC <= 0x91) || (OpC >= 0x99 && OpC <= 0x9f)) {
+    static const FloatUnop Map[] = {FloatUnop::Abs,   FloatUnop::Neg,
+                                    FloatUnop::Ceil,  FloatUnop::Floor,
+                                    FloatUnop::Trunc, FloatUnop::Nearest,
+                                    FloatUnop::Sqrt};
+    bool Is64 = OpC >= 0x99;
+    return evalFloatUnop(Map[Is64 ? OpC - 0x99 : OpC - 0x8b], A, Is64);
+  }
+  switch (static_cast<wasm::Op>(OpC)) {
+  case wasm::Op::I32WrapI64:
+    return A & 0xffffffffu;
+  case wasm::Op::I64ExtendI32S:
+    return static_cast<uint64_t>(static_cast<int64_t>(
+        static_cast<int32_t>(static_cast<uint32_t>(A))));
+  case wasm::Op::I64ExtendI32U:
+    return static_cast<uint32_t>(A);
+  case wasm::Op::I32TruncF32S:
+  case wasm::Op::I32TruncF32U:
+  case wasm::Op::I64TruncF32S:
+  case wasm::Op::I64TruncF32U: {
+    bool Dst64 = OpC == 0xae || OpC == 0xaf;
+    bool Sgn = OpC == 0xa8 || OpC == 0xae;
+    std::optional<uint64_t> V = truncToInt(bitsToF32(A), Dst64, Sgn);
+    if (!V) {
+      *Trap = 1; // "invalid conversion to integer": re-execute.
+      return 0;
+    }
+    return *V;
+  }
+  case wasm::Op::I32TruncF64S:
+  case wasm::Op::I32TruncF64U:
+  case wasm::Op::I64TruncF64S:
+  case wasm::Op::I64TruncF64U: {
+    bool Dst64 = OpC == 0xb0 || OpC == 0xb1;
+    bool Sgn = OpC == 0xaa || OpC == 0xb0;
+    std::optional<uint64_t> V = truncToInt(bitsToF64(A), Dst64, Sgn);
+    if (!V) {
+      *Trap = 1;
+      return 0;
+    }
+    return *V;
+  }
+  case wasm::Op::F32ConvertI32S:
+    return f32ToBits(static_cast<float>(
+        static_cast<int32_t>(static_cast<uint32_t>(A))));
+  case wasm::Op::F32ConvertI32U:
+    return f32ToBits(static_cast<float>(static_cast<uint32_t>(A)));
+  case wasm::Op::F32ConvertI64S:
+    return f32ToBits(static_cast<float>(static_cast<int64_t>(A)));
+  case wasm::Op::F32ConvertI64U:
+    return f32ToBits(static_cast<float>(A));
+  case wasm::Op::F64ConvertI32S:
+    return f64ToBits(static_cast<double>(
+        static_cast<int32_t>(static_cast<uint32_t>(A))));
+  case wasm::Op::F64ConvertI32U:
+    return f64ToBits(static_cast<double>(static_cast<uint32_t>(A)));
+  case wasm::Op::F64ConvertI64S:
+    return f64ToBits(static_cast<double>(static_cast<int64_t>(A)));
+  case wasm::Op::F64ConvertI64U:
+    return f64ToBits(static_cast<double>(A));
+  case wasm::Op::F32DemoteF64:
+    return f32ToBits(static_cast<float>(bitsToF64(A)));
+  case wasm::Op::F64PromoteF32:
+    return f64ToBits(static_cast<double>(bitsToF32(A)));
+  case wasm::Op::I32ReinterpretF32:
+  case wasm::Op::I64ReinterpretF64:
+  case wasm::Op::F32ReinterpretI32:
+  case wasm::Op::F64ReinterpretI64:
+    return A; // Bit patterns are already untyped slots.
+  default:
+    *Trap = 1; // Unknown: deopt; the interpreter traps "unhandled opcode".
+    return 0;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// FlatInstance glue: the native-call helpers mirror the interpreter's
+// direct_call / host_call / MemoryGrow blocks statement for statement,
+// and jitExecuteBack normalizes one native activation's exit for the
+// interpreter (see Engine.h JitRun).
+//===----------------------------------------------------------------------===//
+
+extern "C" uint32_t rwJitCall(JitContext *Ctx, uint32_t CalleeIdx,
+                              uint32_t SpRel, uint32_t RetPc) {
+  return static_cast<FlatInstance *>(Ctx->Inst)
+      ->jitDirectCall(*Ctx, CalleeIdx, SpRel, RetPc);
+}
+extern "C" uint32_t rwJitHost(JitContext *Ctx, uint32_t HostIdx,
+                              uint32_t SpRel, uint32_t RetPc) {
+  return static_cast<FlatInstance *>(Ctx->Inst)
+      ->jitHostCall(*Ctx, HostIdx, SpRel, RetPc);
+}
+extern "C" uint32_t rwJitIndirect(JitContext *Ctx, uint32_t Expect,
+                                  uint32_t SpRel, uint32_t RetPc) {
+  return static_cast<FlatInstance *>(Ctx->Inst)
+      ->jitIndirectCall(*Ctx, Expect, SpRel, RetPc);
+}
+extern "C" uint32_t rwJitGrow(JitContext *Ctx, uint32_t SpRel) {
+  return static_cast<FlatInstance *>(Ctx->Inst)->jitMemoryGrow(*Ctx, SpRel);
+}
+
+uint32_t FlatInstance::jitDirectCall(JitContext &Ctx, uint32_t CalleeIdx,
+                                     uint32_t SpRel, uint32_t RetPc) {
+  const FlatModule &FMod = *Active;
+  if (Frames.size() >= MaxCallDepth)
+    // Deopt before any state change: the interpreter re-executes the
+    // call instruction and traps "call stack exhausted" itself, with
+    // the same callee attribution as a flat-only run.
+    return JDeoptHere;
+  const FlatFunc *Callee = &FMod.Funcs[CalleeIdx];
+  uint32_t NewRegBase = Frames.back().RegBase + Frames.back().F->NumRegs;
+  uint32_t Sp = Frames.back().OpBase + SpRel;
+  if (Regs.size() < NewRegBase + Callee->NumRegs)
+    Regs.resize(
+        std::max<size_t>(NewRegBase + Callee->NumRegs, Regs.size() * 2));
+  uint32_t NP = Callee->NumParams;
+  Sp -= NP;
+  uint64_t *NR = Regs.data() + NewRegBase;
+  const uint64_t *Ops = OpStack.data();
+  for (uint32_t I = 0; I < NP; ++I)
+    NR[I] = Ops[Sp + I];
+  for (uint32_t I = NP; I < Callee->NumRegs; ++I)
+    NR[I] = 0;
+  if (OpStack.size() < Sp + Callee->MaxDepth)
+    OpStack.resize(std::max<size_t>(Sp + Callee->MaxDepth, OpStack.size() * 2));
+  Frames.back().Pc = RetPc;
+  Frames.push_back({Callee, 0, NewRegBase, Sp});
+  Ctx.Ops = OpStack.data();
+  Ctx.Regs = Regs.data();
+
+  NativeFn Fn = Jit->entry(CalleeIdx);
+  if (!Fn) {
+    // Callee only runs flat: hand the pushed frame to the interpreter.
+    Ctx.DeoptSp = 0;
+    return JUnwind;
+  }
+  uint32_t St = Fn(&Ctx, static_cast<uint64_t>(Sp) * 8,
+                   static_cast<uint64_t>(NewRegBase) * 8);
+  switch (St) {
+  case JOk:
+    Frames.pop_back(); // Results sit at the callee's operand base == Sp.
+    return JOk;
+  case JDeoptHere:
+    // The callee (still Frames.back()) resumes at its recorded pc;
+    // outward this is an unwind, not a re-execute of the call.
+    Frames.back().Pc = Ctx.DeoptPc;
+    return JUnwind;
+  default:
+    return St; // JUnwind / JTrapFinal propagate unchanged.
+  }
+}
+
+uint32_t FlatInstance::jitHostCall(JitContext &Ctx, uint32_t HostIdx,
+                                   uint32_t SpRel, uint32_t RetPc) {
+  auto TrapFinal = [&](std::string Msg) {
+    JitTrapMsg = std::move(Msg);
+    LastTrapFunc = HostIdx;
+    Frames.clear();
+    return static_cast<uint32_t>(JTrapFinal);
+  };
+  const HostFn *H = hostFor(HostIdx);
+  if (!H)
+    return TrapFinal("unsatisfied import");
+  const FuncType &HT = M->Types[M->ImportFuncs[HostIdx].TypeIdx];
+  uint32_t NP = static_cast<uint32_t>(HT.Params.size());
+  uint32_t Sp = Frames.back().OpBase + SpRel - NP;
+  std::vector<WValue> HArgs(NP);
+  for (uint32_t I = 0; I < NP; ++I)
+    HArgs[I] = {HT.Params[I], OpStack[Sp + I]};
+  if (!Prof.empty())
+    ++Prof[HostIdx].Invocations;
+  Expected<std::vector<WValue>> HR = (*H)(*this, HArgs);
+  if (!HR)
+    return TrapFinal(HR.error().message());
+  if (OpStack.size() < Sp + HR->size())
+    OpStack.resize(Sp + HR->size());
+  uint64_t *Ops = OpStack.data();
+  for (const WValue &V : *HR)
+    Ops[Sp++] = V.Bits;
+  Ctx.Ops = OpStack.data();
+  Ctx.Regs = Regs.data();
+  Ctx.MemP = Mem.data(); // The host may have touched or grown memory.
+  Ctx.MemSz = Mem.size();
+  if (HR->size() != HT.Results.size()) {
+    // The interpreter tolerates a host returning the wrong result
+    // count (the operand height just drifts); static heights cannot,
+    // so resume interpretation right after the call instruction.
+    Frames.back().Pc = RetPc;
+    Ctx.DeoptSp = Sp - Frames.back().OpBase;
+    return JUnwind;
+  }
+  return JOk;
+}
+
+uint32_t FlatInstance::jitIndirectCall(JitContext &Ctx, uint32_t Expect,
+                                       uint32_t SpRel, uint32_t RetPc) {
+  const FlatModule &FMod = *Active;
+  uint32_t TblIdx = static_cast<uint32_t>(
+      OpStack[Frames.back().OpBase + SpRel - 1]);
+  if (TblIdx >= Table.size())
+    return JDeoptHere; // Re-execute: "call_indirect: table index ..."
+  uint32_t Func = Table[TblIdx];
+  if (FMod.CanonType[Func] != Expect)
+    return JDeoptHere; // Re-execute: "call_indirect: signature mismatch"
+  if (Func < FMod.NumImports)
+    return jitHostCall(Ctx, Func, SpRel - 1, RetPc);
+  return jitDirectCall(Ctx, Func - FMod.NumImports, SpRel - 1, RetPc);
+}
+
+uint32_t FlatInstance::jitMemoryGrow(JitContext &Ctx, uint32_t SpRel) {
+  uint32_t Sp = Frames.back().OpBase + SpRel;
+  uint64_t *Ops = OpStack.data();
+  uint32_t Delta = static_cast<uint32_t>(Ops[Sp - 1]);
+  uint64_t OldPages = Mem.size() / PageSize;
+  uint64_t NewPages = OldPages + Delta;
+  uint64_t MaxPages =
+      M->Memory && M->Memory->second ? *M->Memory->second : 65536;
+  if (NewPages > MaxPages) {
+    Ops[Sp - 1] = 0xffffffffu;
+  } else {
+    Mem.resize(NewPages * PageSize, 0);
+    Ops[Sp - 1] = OldPages;
+  }
+  Ctx.MemP = Mem.data();
+  Ctx.MemSz = Mem.size();
+  return JOk;
+}
+
+FlatInstance::JitRun FlatInstance::jitExecuteBack(uint64_t &Fuel) {
+  static obs::Counter DeoptC("exec.tier.deopts");
+  JitContext Ctx;
+  Ctx.Inst = this;
+  Ctx.Ops = OpStack.data();
+  Ctx.Regs = Regs.data();
+  Ctx.MemP = Mem.data();
+  Ctx.MemSz = Mem.size();
+  Ctx.Fuel = Fuel;
+  Ctx.GlobalsP = Globals.data();
+  Ctx.ProfP = Prof.empty() ? nullptr : Prof.data();
+
+  const CallFrame &Fr = Frames.back();
+  uint32_t DefIdx = static_cast<uint32_t>(Fr.F - Active->Funcs.data());
+  NativeFn Fn = Jit->entry(DefIdx);
+  uint32_t St = Fn(&Ctx, static_cast<uint64_t>(Fr.OpBase) * 8,
+                   static_cast<uint64_t>(Fr.RegBase) * 8);
+  Fuel = Ctx.Fuel;
+  switch (St) {
+  case JOk:
+    Frames.pop_back();
+    return JitRun::Done;
+  case JDeoptHere:
+    Frames.back().Pc = Ctx.DeoptPc;
+    ResumeSp = Ctx.DeoptSp;
+    DeoptC.inc();
+    return JitRun::Resume;
+  case JUnwind:
+    ResumeSp = Ctx.DeoptSp;
+    DeoptC.inc();
+    return JitRun::Resume;
+  default:
+    return JitRun::Trapped;
+  }
+}
+
+void FlatInstance::maybeTierUp() {
+  if (Prof.empty())
+    return;
+  const FlatModule &FMod = *Active;
+  uint32_t ND = static_cast<uint32_t>(FMod.Funcs.size());
+  for (uint32_t D = 0; D < ND; ++D) {
+    if (Jit->attempted(D))
+      continue;
+    const FunctionProfile &P = Prof[D + FMod.NumImports];
+    uint64_t Inv = P.Invocations.load(), Lp = P.LoopHeads.load();
+    uint64_t Mass = Inv + Lp < Inv ? UINT64_MAX : Inv + Lp;
+    if (Mass < TierThreshold)
+      continue;
+    if (!TierBackground) {
+      OBS_SPAN("tier_up", D);
+      Jit->compile(D);
+      continue;
+    }
+    // One background compile in flight at a time; the rest of the scan
+    // reruns at the next invoke. Entries publish with release order, so
+    // running invokes pick the native code up at their next call.
+    if (TierBusy.load(std::memory_order_acquire))
+      return;
+    if (TierWorker.joinable())
+      TierWorker.join();
+    TierBusy.store(true, std::memory_order_release);
+    TierWorker = std::thread([this, D] {
+      obs::setThreadName("tier-worker");
+      {
+        OBS_SPAN("tier_up", D);
+        Jit->compile(D);
+      }
+      TierBusy.store(false, std::memory_order_release);
+    });
+    return;
+  }
+}
+
+#endif // RW_JIT_ENABLED

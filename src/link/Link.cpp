@@ -440,9 +440,9 @@ rw::link::instantiateLowered(const std::vector<const ir::Module *> &Mods,
         return S.error().addContext("lowered module validation");
     // Translate once here (not lazily in the engine) so the memoized
     // artifact serves both engines on every later hit; validated lowered
-    // modules always translate. Without a cache, only the flat engine
-    // needs it.
-    if (Opts.Cache || Opts.Engine == wasm::EngineKind::Flat) {
+    // modules always translate. Without a cache, only the flat-bytecode
+    // tiers (Flat and the Jit that compiles from it) need it.
+    if (Opts.Cache || Opts.Engine != wasm::EngineKind::Tree) {
       Expected<exec::FlatModule> FM = exec::translate(A->Program.Module);
       if (!FM)
         return FM.error().addContext("flat translation");
@@ -455,13 +455,17 @@ rw::link::instantiateLowered(const std::vector<const ir::Module *> &Mods,
 
   OBS_SPAN("instantiate", Mods.size());
   std::unique_ptr<wasm::Instance> Inst;
-  if (Opts.Engine == wasm::EngineKind::Flat) {
-    auto FI = std::make_unique<exec::FlatInstance>(Art->Program.Module);
+  if (Opts.Engine != wasm::EngineKind::Tree) {
+    auto FI = std::make_unique<exec::FlatInstance>(Art->Program.Module,
+                                                   Opts.Engine);
     // Borrow the artifact's translation (zero-copy): the aliasing handle
     // keeps the artifact alive, and the translation is immutable — all
-    // mutable execution state is per-instance.
+    // mutable execution state is per-instance (the tier-3 compiler only
+    // reads it).
     FI->adoptPretranslated(
         std::shared_ptr<const exec::FlatModule>(Art, &Art->Flat));
+    if (Opts.JitThreshold)
+      FI->setTierPolicy(*Opts.JitThreshold, Opts.JitBackground);
     Inst = std::move(FI);
   } else {
     Inst = wasm::createInstance(Art->Program.Module, Opts.Engine);

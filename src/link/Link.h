@@ -50,8 +50,17 @@ struct LinkOptions {
   /// Run global initializers and start functions.
   bool RunStart = true;
   /// Execution engine for the lowered path (instantiateLowered): the
-  /// tree-walking reference interpreter or the flat-bytecode engine.
+  /// tree-walking reference interpreter, the flat-bytecode engine, or
+  /// the flat engine with eager tier-3 native compilation (Jit).
   wasm::EngineKind Engine = wasm::EngineKind::Tree;
+  /// Tier-up threshold override for Flat/Jit instances (see
+  /// exec::FlatInstance::setTierPolicy): 0 compiles every function at
+  /// prepare(), N >= 1 tiers a function once its profile mass reaches N,
+  /// FlatInstance::NeverTier disables tiering. Unset keeps the engine
+  /// default (Jit tiers eagerly; Flat honors RW_JIT_THRESHOLD).
+  std::optional<uint64_t> JitThreshold;
+  /// Run threshold-triggered tier-up compiles on a background thread.
+  bool JitBackground = false;
   /// Validate the lowered Wasm module before instantiation. With a Cache
   /// set this is effectively always on: an artifact is validated before
   /// it is stored (it will be served to every later caller), so warm

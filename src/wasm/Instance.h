@@ -29,6 +29,7 @@
 #include "support/Error.h"
 #include "wasm/WasmAst.h"
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -62,22 +63,70 @@ using HostFn = std::function<Expected<std::vector<WValue>>(
 enum class EngineKind : uint8_t {
   Tree, ///< Tree-walking interpreter over the structured AST.
   Flat, ///< Flat-bytecode engine with pre-resolved control flow.
+  Jit,  ///< Flat engine with the tier-3 native backend (eager tiering).
 };
 
 inline const char *engineKindName(EngineKind K) {
-  return K == EngineKind::Tree ? "tree" : "flat";
+  return K == EngineKind::Tree   ? "tree"
+         : K == EngineKind::Flat ? "flat"
+                                 : "jit";
 }
+
+/// One saturating execution-profile counter. Only the executing thread
+/// writes (the engines bump from their single run loop); the tier-up
+/// controller may read concurrently from a background compile thread, so
+/// reads and writes are relaxed atomics — a reader sees some recent
+/// value, which is all a hotness heuristic needs. Bumps saturate at
+/// UINT64_MAX instead of wrapping, so a long-lived server instance can
+/// never wrap a counter back under a tier-up threshold.
+class ProfileCounter {
+public:
+  ProfileCounter() = default;
+  ProfileCounter(const ProfileCounter &O)
+      : V(O.V.load(std::memory_order_relaxed)) {}
+  ProfileCounter &operator=(const ProfileCounter &O) {
+    V.store(O.V.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+  ProfileCounter &operator=(uint64_t N) {
+    V.store(N, std::memory_order_relaxed);
+    return *this;
+  }
+
+  uint64_t load() const { return V.load(std::memory_order_relaxed); }
+  operator uint64_t() const { return load(); }
+
+  /// Saturating bump: a plain load/add/store pair (no RMW) — the single
+  /// writer makes it race-free, and the hot interpreter path stays one
+  /// unlocked add.
+  void operator++() {
+    uint64_t C = V.load(std::memory_order_relaxed);
+    if (C != UINT64_MAX)
+      V.store(C + 1, std::memory_order_relaxed);
+  }
+
+private:
+  friend class Instance;
+  std::atomic<uint64_t> V{0};
+};
 
 /// Execution-profile row for one function in function space (imports
 /// first, then defined functions). This is the hotness signal the
-/// planned tier-3 JIT consumes: Invocations ranks call-dominated
-/// functions, LoopHeads ranks loop-dominated ones (it counts loop-header
-/// executions, i.e. loop entries plus back-edges, identically in both
+/// tier-3 JIT consumes: Invocations ranks call-dominated functions,
+/// LoopHeads ranks loop-dominated ones (it counts loop-header
+/// executions, i.e. loop entries plus back-edges, identically in all
 /// engines).
 struct FunctionProfile {
-  uint64_t Invocations = 0;
-  uint64_t LoopHeads = 0;
+  ProfileCounter Invocations;
+  ProfileCounter LoopHeads;
 };
+
+// The JIT emits counter bumps as raw 8-byte loads/stores against this
+// layout; keep it two plain words.
+static_assert(sizeof(FunctionProfile) == 16 &&
+                  sizeof(ProfileCounter) == 8 &&
+                  std::atomic<uint64_t>::is_always_lock_free,
+              "FunctionProfile must stay two lock-free 64-bit words");
 
 /// An instantiated Wasm module, independent of the engine executing it.
 /// Owns the instance state (memory, globals, table, host bindings); the
@@ -137,6 +186,17 @@ public:
   /// empty unless enableProfiling() was called.
   const std::vector<FunctionProfile> &functionProfiles() const {
     return Prof;
+  }
+
+  /// Zeroes every profile counter (relaxed stores; call when no invoke
+  /// is running). Long-lived server instances reset periodically so the
+  /// counters describe recent behavior and can re-trigger tiering after
+  /// a workload shift. Already-compiled functions stay compiled.
+  void resetProfiles() {
+    for (FunctionProfile &P : Prof) {
+      P.Invocations = 0;
+      P.LoopHeads = 0;
+    }
   }
 
 protected:

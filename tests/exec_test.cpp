@@ -27,6 +27,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 using namespace rw;
 using namespace rw::wasm;
 
@@ -1055,4 +1057,563 @@ TEST(ExecFlat, InvokeAfterReentryTrapStillWorks) {
   auto R2 = Inst.invokeByName("leaf", {});
   ASSERT_TRUE(bool(R2)) << R2.error().message();
   EXPECT_EQ((*R2)[0].asU32(), 9u);
+}
+
+//===----------------------------------------------------------------------===//
+// Tier-3 native backend: jit = flat = tree (DESIGN.md paragraph 11)
+//
+// EngineKind::Jit is the flat engine with eager whole-module native
+// compilation; with -DRW_JIT=OFF it degrades to plain flat execution, so
+// every test here must pass under both configurations. Where a test
+// asserts that native code actually ran (jitCompiledCount > 0) the
+// assertion is gated on RW_JIT_ENABLED.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr EngineKind AllEngines[] = {EngineKind::Tree, EngineKind::Flat,
+                                     EngineKind::Jit};
+
+uint32_t compiledCountOf(const RunResult &R) {
+  return static_cast<exec::FlatInstance &>(*R.Inst).jitCompiledCount();
+}
+
+/// Runs \p Export on all three engine tiers and asserts observational
+/// equality — results, trap messages, final memory and globals — plus
+/// the stronger flat-vs-jit invariant that the *fuel accounting* is
+/// byte-identical (segment batching must charge exactly what the
+/// interpreter charges). Returns the three runs, tree first.
+std::array<RunResult, 3> expectSameAll(
+    const WModule &M, const std::string &Export,
+    std::vector<WValue> Args = {},
+    const std::function<void(Instance &)> &Bind = {}) {
+  EXPECT_TRUE(validate(M).ok()) << validate(M).error().message();
+  std::array<RunResult, 3> R;
+  for (int I = 0; I < 3; ++I)
+    R[I] = runOn(M, AllEngines[I], Export, Args, Bind);
+  for (int I = 1; I < 3; ++I) {
+    const char *Who = I == 1 ? "flat" : "jit";
+    EXPECT_EQ(R[0].Ok, R[I].Ok)
+        << Who << " — tree: " << R[0].Err << " / " << R[I].Err;
+    EXPECT_EQ(R[0].Err, R[I].Err) << Who;
+    EXPECT_EQ(R[0].Results.size(), R[I].Results.size()) << Who;
+    if (R[0].Results.size() == R[I].Results.size())
+      for (size_t J = 0; J < R[0].Results.size(); ++J) {
+        EXPECT_EQ(R[0].Results[J].T, R[I].Results[J].T)
+            << Who << " result " << J;
+        EXPECT_EQ(R[0].Results[J].Bits, R[I].Results[J].Bits)
+            << Who << " result " << J;
+      }
+    EXPECT_EQ(R[0].FinalMem, R[I].FinalMem) << Who;
+    EXPECT_EQ(R[0].FinalGlobals.size(), R[I].FinalGlobals.size()) << Who;
+    if (R[0].FinalGlobals.size() == R[I].FinalGlobals.size())
+      for (size_t J = 0; J < R[0].FinalGlobals.size(); ++J)
+        EXPECT_EQ(R[0].FinalGlobals[J].Bits, R[I].FinalGlobals[J].Bits)
+            << Who << " global " << J;
+  }
+  EXPECT_EQ(R[1].Inst->instrCount(), R[2].Inst->instrCount())
+      << "flat and jit disagree on fuel consumed";
+  return R;
+}
+
+} // namespace
+
+TEST(JitDiff, ControlFlowBattery) {
+  // Loop with accumulator locals (sum 1..100).
+  WModule Sum = oneFunc(
+      {{ValType::I32}, {ValType::I32}}, {ValType::I32, ValType::I32},
+      {WInst::block(
+           {{}, {}},
+           {WInst::loop(
+               {{}, {}},
+               {WInst::idx(Op::LocalGet, 1), WInst::i32c(1),
+                WInst::mk(Op::I32Add), WInst::idx(Op::LocalTee, 1),
+                WInst::idx(Op::LocalGet, 2), WInst::mk(Op::I32Add),
+                WInst::idx(Op::LocalSet, 2), WInst::idx(Op::LocalGet, 1),
+                WInst::idx(Op::LocalGet, 0), WInst::mk(Op::I32LtS),
+                WInst::idx(Op::BrIf, 0)})}),
+       WInst::idx(Op::LocalGet, 2)});
+  auto R = expectSameAll(Sum, "f", {WValue::i32(100)});
+  EXPECT_TRUE(R[2].Ok);
+  EXPECT_EQ(R[2].Results[0].asU32(), 5050u);
+#if RW_JIT_ENABLED
+  EXPECT_EQ(compiledCountOf(R[2]), 1u);
+#else
+  EXPECT_EQ(compiledCountOf(R[2]), 0u);
+#endif
+
+  // Value-carrying br with stack fix-up below the kept slot.
+  WModule Fixup = oneFunc(
+      {{}, {ValType::I32}}, {},
+      {WInst::block({{}, {ValType::I32}},
+                    {WInst::i32c(100), WInst::i32c(200), WInst::i32c(42),
+                     WInst::idx(Op::Br, 0)})});
+  expectSameAll(Fixup, "f");
+
+  // Multi-value if/else.
+  for (uint32_t Cond : {0u, 1u}) {
+    WModule If = oneFunc(
+        {{ValType::I32}, {ValType::I32}}, {},
+        {WInst::idx(Op::LocalGet, 0),
+         WInst::ifElse({{}, {ValType::I32, ValType::I32}},
+                       {WInst::i32c(10), WInst::i32c(20)},
+                       {WInst::i32c(1), WInst::i32c(2)}),
+         WInst::mk(Op::I32Add)});
+    expectSameAll(If, "f", {WValue::i32(Cond)});
+  }
+
+  // br_table dispatch across four arms, including the clamped default.
+  for (uint32_t Sel : {0u, 1u, 2u, 3u, 200u}) {
+    WModule Bt = oneFunc(
+        {{ValType::I32}, {ValType::I32}}, {ValType::I32},
+        {WInst::block(
+             {{}, {}},
+             {WInst::block(
+                  {{}, {}},
+                  {WInst::block(
+                       {{}, {}},
+                       {WInst::block({{}, {}},
+                                     {WInst::idx(Op::LocalGet, 0),
+                                      WInst::brTable({0, 1, 2}, 3)}),
+                        WInst::i32c(10), WInst::idx(Op::LocalSet, 1),
+                        WInst::idx(Op::Br, 2)}),
+                   WInst::i32c(20), WInst::idx(Op::LocalSet, 1),
+                   WInst::idx(Op::Br, 1)}),
+              WInst::i32c(30), WInst::idx(Op::LocalSet, 1)}),
+         WInst::idx(Op::LocalGet, 1)});
+    expectSameAll(Bt, "f", {WValue::i32(Sel)});
+  }
+
+  // Value-carrying br_table with operands below the kept slot.
+  for (uint32_t Sel : {0u, 5u}) {
+    WModule Btv = oneFunc(
+        {{ValType::I32}, {ValType::I32}}, {},
+        {WInst::block({{}, {ValType::I32}},
+                      {WInst::i32c(7), WInst::i32c(42),
+                       WInst::idx(Op::LocalGet, 0),
+                       WInst::brTable({0}, 0)})});
+    expectSameAll(Btv, "f", {WValue::i32(Sel)});
+  }
+}
+
+TEST(JitDiff, CallsRecursionAndIndirect) {
+  // fib by double recursion: nested native frames through jitDirectCall.
+  WModule Fib;
+  uint32_t TI = Fib.addType({{ValType::I32}, {ValType::I32}});
+  Fib.Funcs.push_back(
+      {TI,
+       {},
+       {WInst::idx(Op::LocalGet, 0), WInst::i32c(2), WInst::mk(Op::I32LtS),
+        WInst::ifElse({{}, {ValType::I32}}, {WInst::idx(Op::LocalGet, 0)},
+                      {WInst::idx(Op::LocalGet, 0), WInst::i32c(1),
+                       WInst::mk(Op::I32Sub), WInst::idx(Op::Call, 0),
+                       WInst::idx(Op::LocalGet, 0), WInst::i32c(2),
+                       WInst::mk(Op::I32Sub), WInst::idx(Op::Call, 0),
+                       WInst::mk(Op::I32Add)})}});
+  Fib.Exports.push_back({"f", ExportKind::Func, 0});
+  auto R = expectSameAll(Fib, "f", {WValue::i32(15)});
+  EXPECT_TRUE(R[2].Ok);
+  EXPECT_EQ(R[2].Results[0].asU32(), 610u);
+
+  // call_indirect: both success arms and both trap modes.
+  WModule M;
+  uint32_t Bin = M.addType({{ValType::I32, ValType::I32}, {ValType::I32}});
+  uint32_t Un = M.addType({{ValType::I32}, {ValType::I32}});
+  M.Funcs.push_back({Bin,
+                     {},
+                     {WInst::idx(Op::LocalGet, 0), WInst::idx(Op::LocalGet, 1),
+                      WInst::mk(Op::I32Add)}});
+  M.Funcs.push_back({Bin,
+                     {},
+                     {WInst::idx(Op::LocalGet, 0), WInst::idx(Op::LocalGet, 1),
+                      WInst::mk(Op::I32Mul)}});
+  M.Funcs.push_back(
+      {Un, {}, {WInst::idx(Op::LocalGet, 0), WInst::i32c(1),
+                WInst::mk(Op::I32Add)}});
+  uint32_t Tri =
+      M.addType({{ValType::I32, ValType::I32, ValType::I32}, {ValType::I32}});
+  M.Funcs.push_back({Tri,
+                     {},
+                     {WInst::idx(Op::LocalGet, 1), WInst::idx(Op::LocalGet, 2),
+                      WInst::idx(Op::LocalGet, 0),
+                      WInst::idx(Op::CallIndirect, Bin)}});
+  M.TableElems = {0, 1, 2};
+  M.Exports.push_back({"f", ExportKind::Func, 3});
+  for (uint32_t Sel : {0u, 1u, 2u, 9u})
+    expectSameAll(M, "f", {WValue::i32(Sel), WValue::i32(3), WValue::i32(6)});
+
+  // Unbounded recursion: "call stack exhausted" from a native frame.
+  WModule Rec;
+  uint32_t TV = Rec.addType({{}, {}});
+  Rec.Funcs.push_back({TV, {}, {WInst::idx(Op::Call, 0)}});
+  Rec.Exports.push_back({"f", ExportKind::Func, 0});
+  auto RR = expectSameAll(Rec, "f");
+  EXPECT_EQ(RR[2].Err, "trap: call stack exhausted [func 0]");
+}
+
+TEST(JitDiff, HostCallbacksAndHostTraps) {
+  // Host call in the middle of jitted arithmetic; the host pokes memory
+  // (visible identically) and its results flow back into native code.
+  WModule M;
+  uint32_t TI = M.addType({{ValType::I32}, {ValType::I32}});
+  M.ImportFuncs.push_back({"env", "scale", TI});
+  M.Memory = {{1, std::nullopt}};
+  M.Funcs.push_back({TI,
+                     {},
+                     {WInst::idx(Op::LocalGet, 0), WInst::idx(Op::Call, 0),
+                      WInst::i32c(1), WInst::mk(Op::I32Add)}});
+  M.Exports.push_back({"f", ExportKind::Func, 1});
+  auto Bind = [](Instance &I) {
+    I.registerHost("env", "scale",
+                   [](Instance &Inst, const std::vector<WValue> &Args)
+                       -> Expected<std::vector<WValue>> {
+                     Inst.store32(64, Args[0].asU32());
+                     return std::vector<WValue>{
+                         WValue::i32(Args[0].asU32() * 3)};
+                   });
+  };
+  auto R = expectSameAll(M, "f", {WValue::i32(5)}, Bind);
+  EXPECT_TRUE(R[2].Ok);
+  EXPECT_EQ(R[2].Results[0].asU32(), 16u);
+  EXPECT_EQ(R[2].Inst->load32(64), 5u);
+
+  // A trapping host: the one JTrapFinal path (cannot re-execute).
+  WModule B;
+  uint32_t TV = B.addType({{}, {}});
+  B.ImportFuncs.push_back({"env", "boom", TV});
+  B.Funcs.push_back({TV, {}, {WInst::idx(Op::Call, 0)}});
+  B.Exports.push_back({"f", ExportKind::Func, 1});
+  auto BindBoom = [](Instance &I) {
+    I.registerHost("env", "boom",
+                   [](Instance &, const std::vector<WValue> &)
+                       -> Expected<std::vector<WValue>> {
+                     return Error("host exploded");
+                   });
+  };
+  auto RB = expectSameAll(B, "f", {}, BindBoom);
+  EXPECT_EQ(RB[2].Err, "trap: host exploded [func 0]");
+
+  // An unbound import: all three engines refuse identically (initialize
+  // rejects it before anything runs; equality asserted by expectSameAll).
+  auto RU = expectSameAll(B, "f", {});
+  EXPECT_FALSE(RU[2].Ok);
+  EXPECT_NE(RU[2].Err.find("unsatisfied import"), std::string::npos)
+      << RU[2].Err;
+}
+
+TEST(JitDiff, MemoryAndTrapMessagesExact) {
+  // Every store width + every load flavor, checksummed.
+  WModule W = oneFunc(
+      {{}, {ValType::I64}}, {ValType::I64},
+      {WInst::i32c(0), WInst::i64c(0x1122334455667788ll),
+       WInst::mem(Op::I64Store, 3, 0),
+       WInst::i32c(16), WInst::i32c(0xbeef), WInst::mem(Op::I32Store16, 1, 0),
+       WInst::i32c(18), WInst::i32c(0x7f), WInst::mem(Op::I32Store8, 0, 0),
+       WInst::i32c(24), WInst::i64c(0x3ff0000000000000ll),
+       WInst::mem(Op::I64Store, 3, 0),
+       WInst::i32c(0), WInst::mem(Op::I64Load, 3, 0),
+       WInst::i32c(0), WInst::mem(Op::I64Load8S, 0, 3),
+       WInst::mk(Op::I64Add),
+       WInst::i32c(0), WInst::mem(Op::I64Load16U, 1, 4),
+       WInst::mk(Op::I64Xor),
+       WInst::i32c(16), WInst::mem(Op::I64Load32S, 2, 0),
+       WInst::mk(Op::I64Add),
+       WInst::i32c(14), WInst::mem(Op::I64Load16S, 1, 0),
+       WInst::mk(Op::I64Xor),
+       WInst::i32c(24), WInst::mem(Op::I64Load, 3, 0),
+       WInst::mk(Op::I64Add)});
+  W.Memory = {{1, std::nullopt}};
+  expectSameAll(W, "f");
+
+  // Out-of-bounds addresses, including the wraparound corner.
+  for (uint32_t Addr : {65533u, 65536u, 0xfffffffcu}) {
+    WModule M = oneFunc({{}, {ValType::I32}}, {},
+                        {WInst::i32c(static_cast<int32_t>(Addr)),
+                         WInst::mem(Op::I32Load, 2, 0)});
+    M.Memory = {{1, std::nullopt}};
+    auto R = expectSameAll(M, "f");
+    EXPECT_EQ(R[2].Err, "trap: out-of-bounds memory access [func 0]");
+  }
+
+  // memory.grow with a max, observed sizes, and the -1 failure.
+  WModule G = oneFunc(
+      {{}, {ValType::I32}}, {ValType::I32},
+      {WInst::i32c(2), WInst::mk(Op::MemoryGrow), WInst::idx(Op::LocalSet, 0),
+       WInst::i32c(65536 + 8), WInst::i32c(77), WInst::mem(Op::I32Store, 2, 0),
+       WInst::i32c(100), WInst::mk(Op::MemoryGrow),
+       WInst::idx(Op::LocalGet, 0), WInst::mk(Op::I32Add),
+       WInst::mk(Op::MemorySize), WInst::mk(Op::I32Add)});
+  G.Memory = {{1, {4}}};
+  auto RG = expectSameAll(G, "f");
+  EXPECT_TRUE(RG[2].Ok);
+  EXPECT_EQ(RG[2].Results[0].asU32(), 3u);
+
+  // Arithmetic and conversion traps from inlined and helper-dispatched
+  // templates alike.
+  struct Case {
+    std::vector<WInst> Body;
+    const char *Msg;
+  } Cases[] = {
+      {{WInst::i32c(1), WInst::i32c(0), WInst::mk(Op::I32DivS)},
+       "trap: integer divide error [func 0]"},
+      {{WInst::i32c(static_cast<int32_t>(0x80000000)), WInst::i32c(-1),
+        WInst::mk(Op::I32DivS)},
+       "trap: integer divide error [func 0]"},
+      {{WInst::i64c(5), WInst::i64c(0), WInst::mk(Op::I64RemU),
+        WInst::mk(Op::I32WrapI64)},
+       "trap: integer divide error [func 0]"},
+      {{WInst::mk(Op::Unreachable)}, "trap: unreachable executed [func 0]"},
+      {{WInst::i64c(0x4270000000000000ll), WInst::mk(Op::F64ReinterpretI64),
+        WInst::mk(Op::I32TruncF64S)},
+       "trap: invalid conversion to integer [func 0]"},
+  };
+  for (Case &C : Cases) {
+    WModule M = oneFunc({{}, {ValType::I32}}, {}, C.Body);
+    auto R = expectSameAll(M, "f");
+    EXPECT_EQ(R[2].Err, C.Msg);
+  }
+}
+
+TEST(JitDiff, FuelExhaustionParity) {
+  // An infinite loop under a tight fuel budget must trap "fuel
+  // exhausted" after consuming *exactly* as much fuel as the
+  // interpreter would — segment batching refunds the unexecuted rest.
+  WModule M = oneFunc({{}, {}}, {},
+                      {WInst::block({{}, {}},
+                                    {WInst::loop({{}, {}},
+                                                 {WInst::idx(Op::Br, 0)})})});
+  auto FI = createInstance(M, EngineKind::Flat);
+  auto JI = createInstance(M, EngineKind::Jit);
+  ASSERT_TRUE(FI->initialize().ok());
+  ASSERT_TRUE(JI->initialize().ok());
+  auto RF = FI->invoke(0, {}, /*MaxFuel=*/1000);
+  auto RJ = JI->invoke(0, {}, /*MaxFuel=*/1000);
+  ASSERT_FALSE(bool(RF));
+  ASSERT_FALSE(bool(RJ));
+  EXPECT_EQ(RF.error().message(), "trap: fuel exhausted [func 0]");
+  EXPECT_EQ(RJ.error().message(), RF.error().message());
+  EXPECT_EQ(FI->instrCount(), JI->instrCount());
+  EXPECT_EQ(JI->instrCount(), 1000u);
+}
+
+TEST(JitDiff, TierUpMidLoopThenTrap) {
+  // Threshold tiering: f(d) divides by d inside a loop. Two clean
+  // invokes push the profile mass over threshold 1 so the third invoke
+  // runs native — and traps mid-loop with the interpreter's exact
+  // message (the deopt re-executes the faulting division flat).
+  WModule M = oneFunc(
+      {{ValType::I32}, {ValType::I32}}, {ValType::I32, ValType::I32},
+      {WInst::block(
+           {{}, {}},
+           {WInst::loop(
+               {{}, {}},
+               {WInst::idx(Op::LocalGet, 1), WInst::i32c(1),
+                WInst::mk(Op::I32Add), WInst::idx(Op::LocalTee, 1),
+                WInst::idx(Op::LocalGet, 0), WInst::mk(Op::I32DivU),
+                WInst::idx(Op::LocalGet, 2), WInst::mk(Op::I32Add),
+                WInst::idx(Op::LocalSet, 2), WInst::idx(Op::LocalGet, 1),
+                WInst::i32c(10), WInst::mk(Op::I32LtS),
+                WInst::idx(Op::BrIf, 0)})}),
+       WInst::idx(Op::LocalGet, 2)});
+  ASSERT_TRUE(validate(M).ok());
+
+  exec::FlatInstance Jit(M);
+  Jit.setTierPolicy(/*Threshold=*/1);
+  // Threshold tiering turns profiling on by itself, but only when the
+  // backend is compiled in; enable it explicitly so the trap notes below
+  // match in the -DRW_JIT=OFF build too (where the policy is inert).
+  Jit.enableProfiling();
+  ASSERT_TRUE(Jit.initialize().ok());
+  EXPECT_EQ(Jit.jitCompiledCount(), 0u) << "nothing tiers before profiles";
+
+  // Threshold tiering turns profiling on, and profiled instances render
+  // richer trap notes — profile the tree reference identically.
+  auto TreeI = createInstance(M, EngineKind::Tree);
+  TreeI->enableProfiling();
+  ASSERT_TRUE(TreeI->initialize().ok());
+
+  for (uint32_t D : {1u, 2u}) {
+    auto RJ = Jit.invoke(0, {WValue::i32(D)});
+    auto RT = TreeI->invoke(0, {WValue::i32(D)});
+    ASSERT_TRUE(bool(RJ)) << RJ.error().message();
+    ASSERT_TRUE(bool(RT));
+    EXPECT_EQ((*RJ)[0].Bits, (*RT)[0].Bits);
+  }
+#if RW_JIT_ENABLED
+  EXPECT_EQ(Jit.jitCompiledCount(), 1u) << "threshold crossing missed";
+#endif
+  auto RJ = Jit.invoke(0, {WValue::i32(0)});
+  auto RT = TreeI->invoke(0, {WValue::i32(0)});
+  ASSERT_FALSE(bool(RJ));
+  ASSERT_FALSE(bool(RT));
+  EXPECT_EQ(RJ.error().message(), RT.error().message());
+  EXPECT_EQ(RJ.error().message(),
+            "trap: integer divide error [func 0; inv 3, loops 21]");
+  // And the instance keeps working natively after the trap unwound.
+  auto RAgain = Jit.invoke(0, {WValue::i32(3)});
+  ASSERT_TRUE(bool(RAgain)) << RAgain.error().message();
+}
+
+TEST(JitDiff, ThresholdNeverStaysFlat) {
+  WModule M = oneFunc({{ValType::I32}, {ValType::I32}}, {},
+                      {WInst::idx(Op::LocalGet, 0), WInst::i32c(2),
+                       WInst::mk(Op::I32Mul)});
+  exec::FlatInstance I(M);
+  I.setTierPolicy(exec::FlatInstance::NeverTier);
+  ASSERT_TRUE(I.initialize().ok());
+  for (int K = 0; K < 50; ++K) {
+    auto R = I.invoke(0, {WValue::i32(21)});
+    ASSERT_TRUE(bool(R));
+    EXPECT_EQ((*R)[0].asU32(), 42u);
+  }
+  EXPECT_EQ(I.jitCompiledCount(), 0u);
+}
+
+TEST(JitDiff, ProfileTrapNoteParity) {
+  // Profiled execution: the native profile templates must leave the
+  // same counters — and the same "[func N; inv I, loops L]" note — as
+  // both interpreters.
+  WModule M;
+  uint32_t TV = M.addType({{}, {}});
+  M.Funcs.push_back(
+      {TV,
+       {ValType::I32},
+       {WInst::block(
+            {{}, {}},
+            {WInst::loop({{}, {}},
+                         {WInst::idx(Op::LocalGet, 0), WInst::i32c(1),
+                          WInst::mk(Op::I32Add), WInst::idx(Op::LocalTee, 0),
+                          WInst::i32c(3), WInst::mk(Op::I32LtS),
+                          WInst::idx(Op::BrIf, 0)})}),
+        WInst::idx(Op::Call, 1)}});
+  M.Funcs.push_back({TV, {}, {WInst::mk(Op::Unreachable)}});
+  M.Exports.push_back({"f", ExportKind::Func, 0});
+  ASSERT_TRUE(validate(M).ok());
+
+  std::vector<std::string> Errs;
+  for (EngineKind K : AllEngines) {
+    auto I = createInstance(M, K);
+    I->enableProfiling();
+    ASSERT_TRUE(I->initialize().ok());
+    auto R = I->invokeByName("f", {});
+    ASSERT_FALSE(bool(R));
+    Errs.push_back(R.error().message());
+    const std::vector<FunctionProfile> &P = I->functionProfiles();
+    ASSERT_EQ(P.size(), 2u) << engineKindName(K);
+    EXPECT_EQ(P[0].Invocations, 1u) << engineKindName(K);
+    EXPECT_EQ(P[0].LoopHeads, 3u) << engineKindName(K);
+    EXPECT_EQ(P[1].Invocations, 1u) << engineKindName(K);
+  }
+  EXPECT_EQ(Errs[0], Errs[1]);
+  EXPECT_EQ(Errs[0], Errs[2]);
+  EXPECT_EQ(Errs[0], "trap: unreachable executed [func 1; inv 1, loops 0]");
+}
+
+TEST(JitDiff, ResetProfilesRetiers) {
+  // exec::resetProfiles zeroes the counters: a threshold instance whose
+  // profile was reset must re-accumulate before tiering new functions.
+  WModule M = oneFunc({{ValType::I32}, {ValType::I32}}, {},
+                      {WInst::idx(Op::LocalGet, 0), WInst::i32c(1),
+                       WInst::mk(Op::I32Add)});
+  exec::FlatInstance I(M);
+  I.setTierPolicy(/*Threshold=*/5);
+  I.enableProfiling(); // Keeps functionProfiles() populated under JIT=OFF.
+  ASSERT_TRUE(I.initialize().ok());
+  for (int K = 0; K < 3; ++K)
+    ASSERT_TRUE(bool(I.invoke(0, {WValue::i32(K)})));
+  exec::resetProfiles(I);
+  EXPECT_EQ(I.functionProfiles()[0].Invocations, 0u);
+  for (int K = 0; K < 2; ++K)
+    ASSERT_TRUE(bool(I.invoke(0, {WValue::i32(K)})));
+  // 3 + 2 invokes but never 5 *consecutive* since the reset: still flat.
+  EXPECT_EQ(I.jitCompiledCount(), 0u);
+  for (int K = 0; K < 4; ++K)
+    ASSERT_TRUE(bool(I.invoke(0, {WValue::i32(K)})));
+#if RW_JIT_ENABLED
+  EXPECT_EQ(I.jitCompiledCount(), 1u);
+#endif
+}
+
+TEST(JitFuzz, StraightLineNumericSweepEager) {
+  // The fuzz alphabet against the native templates: every inlined ALU
+  // template, every helper-dispatched conversion, every trap edge.
+  unsigned Agree = 0, Trapped = 0;
+  for (uint64_t Seed = 1; Seed <= 100; ++Seed) {
+    WModule M = fuzzModule(Seed, 60);
+    ASSERT_TRUE(validate(M).ok());
+    for (uint32_t Arg : {0u, 0xdeadbeefu}) {
+      RunResult T = runOn(M, EngineKind::Tree, "f", {WValue::i32(Arg)});
+      RunResult J = runOn(M, EngineKind::Jit, "f", {WValue::i32(Arg)});
+      ASSERT_EQ(T.Ok, J.Ok) << "seed " << Seed << " arg " << Arg
+                            << " tree: " << T.Err << " jit: " << J.Err;
+      ASSERT_EQ(T.Err, J.Err) << "seed " << Seed;
+      if (T.Ok) {
+        ASSERT_EQ(T.Results[0].Bits, J.Results[0].Bits)
+            << "seed " << Seed << " arg " << Arg;
+        ++Agree;
+      } else {
+        ++Trapped;
+      }
+    }
+  }
+  EXPECT_GT(Agree, 30u);
+  EXPECT_GT(Trapped, 5u);
+}
+
+TEST(JitLowered, WorkloadsAndHostGcThreeWay) {
+  // The lowered pipeline end to end on EngineKind::Jit — including the
+  // shared pretranslated artifact hand-off and the host-assisted GC
+  // whose mark/sweep exports run as native code.
+  for (bool Linear : {true, false}) {
+    ir::Module M = rwbench::allocModule(Linear ? 300 : 200, Linear);
+    link::LoweredInstance LI[3];
+    for (int K = 0; K < 3; ++K) {
+      link::LinkOptions Opts;
+      Opts.Engine = AllEngines[K];
+      auto R = link::instantiateLowered({&M}, Opts);
+      ASSERT_TRUE(bool(R)) << R.error().message();
+      LI[K] = std::move(*R);
+    }
+    std::array<Expected<std::vector<WValue>>, 3> Out = {
+        LI[0].invokeExport("allocmod.main", {}),
+        LI[1].invokeExport("allocmod.main", {}),
+        LI[2].invokeExport("allocmod.main", {})};
+    for (int K = 1; K < 3; ++K) {
+      ASSERT_EQ(bool(Out[0]), bool(Out[K]));
+      if (Out[0])
+        EXPECT_EQ((*Out[0])[0].Bits, (*Out[K])[0].Bits);
+      EXPECT_EQ(LI[0].Instance->memory(), LI[K].Instance->memory());
+    }
+#if RW_JIT_ENABLED
+    EXPECT_GT(static_cast<exec::FlatInstance &>(*LI[2].Instance)
+                  .jitCompiledCount(),
+              0u);
+#endif
+    if (!Linear) {
+      lower::HostGc GcT(*LI[0].Instance, LI[0].Program->Runtime,
+                        LI[0].Program->RefGlobals);
+      lower::HostGc GcJ(*LI[2].Instance, LI[2].Program->Runtime,
+                        LI[2].Program->RefGlobals);
+      lower::HostGc::Stats ST = GcT.collect();
+      lower::HostGc::Stats SJ = GcJ.collect();
+      EXPECT_EQ(ST.Marked, SJ.Marked);
+      EXPECT_EQ(ST.Swept, SJ.Swept);
+      EXPECT_EQ(ST.BytesReclaimed, SJ.BytesReclaimed);
+      EXPECT_EQ(LI[0].Instance->memory(), LI[2].Instance->memory());
+    }
+  }
+
+  // LinkOptions::JitThreshold drives the same policy from the link layer.
+  ir::Module Loop = rwbench::loopModule(50);
+  link::LinkOptions Opts;
+  Opts.Engine = EngineKind::Flat;
+  Opts.JitThreshold = 1;
+  auto R = link::instantiateLowered({&Loop}, Opts);
+  ASSERT_TRUE(bool(R)) << R.error().message();
+  for (int K = 0; K < 3; ++K)
+    ASSERT_TRUE(bool(R->invokeExport("loopmod.main", {})));
+#if RW_JIT_ENABLED
+  EXPECT_GT(
+      static_cast<exec::FlatInstance &>(*R->Instance).jitCompiledCount(), 0u);
+#endif
 }

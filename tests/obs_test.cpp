@@ -47,6 +47,71 @@ const obs::Metric *find(const obs::Snapshot &S, const std::string &Name) {
 
 } // namespace
 
+//===----------------------------------------------------------------------===//
+// Profile counters: saturation + reset. These pin the tier-up substrate
+// regardless of RW_OBS — the JIT's hotness heuristic reads these words.
+//===----------------------------------------------------------------------===//
+
+TEST(ObsProfile, CounterSaturatesAtMaxInsteadOfWrapping) {
+  wasm::ProfileCounter C;
+  EXPECT_EQ(C.load(), 0u);
+  ++C;
+  EXPECT_EQ(C.load(), 1u);
+
+  // One tick below the ceiling: a bump reaches exactly UINT64_MAX.
+  C = UINT64_MAX - 1;
+  ++C;
+  EXPECT_EQ(C.load(), UINT64_MAX);
+
+  // At the ceiling: further bumps pin, never wrap to 0. A wrapped
+  // counter would drop a hot function back under the tier-up threshold.
+  ++C;
+  ++C;
+  EXPECT_EQ(C.load(), UINT64_MAX);
+
+  // Copy preserves the pinned value; assignment can bring it back down.
+  wasm::ProfileCounter D(C);
+  EXPECT_EQ(static_cast<uint64_t>(D), UINT64_MAX);
+  D = 7;
+  EXPECT_EQ(D.load(), 7u);
+}
+
+TEST(ObsProfile, ResetProfilesZeroesEveryRow) {
+  using namespace rw::wasm;
+  WModule M;
+  uint32_t TV = M.addType({{}, {}});
+  M.Funcs.push_back(
+      {TV,
+       {ValType::I32},
+       {WInst::block({{}, {}},
+                     {WInst::loop({{}, {}},
+                                  {WInst::idx(Op::LocalGet, 0), WInst::i32c(1),
+                                   WInst::mk(Op::I32Add),
+                                   WInst::idx(Op::LocalTee, 0), WInst::i32c(3),
+                                   WInst::mk(Op::I32LtS),
+                                   WInst::idx(Op::BrIf, 0)})})}});
+  M.Exports.push_back({"f", ExportKind::Func, 0});
+  ASSERT_TRUE(validate(M).ok());
+
+  auto I = createInstance(M, EngineKind::Flat);
+  I->enableProfiling();
+  ASSERT_TRUE(I->initialize().ok());
+  ASSERT_TRUE(bool(I->invokeByName("f", {})));
+  ASSERT_EQ(I->functionProfiles().size(), 1u);
+  EXPECT_EQ(I->functionProfiles()[0].Invocations, 1u);
+  EXPECT_EQ(I->functionProfiles()[0].LoopHeads, 3u);
+
+  I->resetProfiles();
+  EXPECT_EQ(I->functionProfiles()[0].Invocations, 0u);
+  EXPECT_EQ(I->functionProfiles()[0].LoopHeads, 0u);
+
+  // Counters keep working after a reset — the table is reused, not torn
+  // down, so a workload shift can re-trigger tiering.
+  ASSERT_TRUE(bool(I->invokeByName("f", {})));
+  EXPECT_EQ(I->functionProfiles()[0].Invocations, 1u);
+  EXPECT_EQ(I->functionProfiles()[0].LoopHeads, 3u);
+}
+
 #if RW_OBS_ENABLED
 
 static_assert(obs::compiledIn(), "ON build must report compiledIn()");
