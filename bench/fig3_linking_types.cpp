@@ -3,6 +3,8 @@
 // the unsafe pair is rejected at link time (statically), the safe pair
 // links and runs. Measures the full pipeline for both outcomes.
 #include "Common.h"
+#include "ingest/Ingest.h"
+#include "serial/Serial.h"
 #include "support/ThreadPool.h"
 #include <algorithm>
 #include <cstdio>
@@ -181,5 +183,67 @@ static void F3_ColdAdmission(benchmark::State &St) {
       benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
 }
 BENCHMARK(F3_ColdAdmission)->Arg(8)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+//===----------------------------------------------------------------------===//
+// Ingest front-door smoke (DESIGN.md §12): cold admission of N standalone
+// serialized modules through ingest::admit versus hand-running the same
+// pipeline (serial::read → checkModule → instantiateLowered). The front
+// door adds magic sniffing, limit pre-checks, structured error plumbing,
+// and obs counters — run_bench.sh computes the overhead percentage into
+// BENCH_link.json and RW_INGEST_GATE=1 fails the run above 5%.
+//===----------------------------------------------------------------------===//
+
+static std::vector<std::vector<uint8_t>> ingestBlobs(unsigned N) {
+  std::vector<std::vector<uint8_t>> Blobs;
+  Blobs.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Blobs.push_back(serial::write(wideModule(2 + I % 5)));
+  return Blobs;
+}
+
+static void F3_IngestAdmit(benchmark::State &St) {
+  auto Blobs = ingestBlobs(static_cast<unsigned>(St.range(0)));
+  for (auto _ : St) {
+    for (const auto &B : Blobs) {
+      link::LinkOptions Opts;
+      Opts.Engine = wasm::EngineKind::Flat;
+      Opts.RunStart = false;
+      auto A = ingest::admit(B, ingest::Limits(), Opts);
+      if (!A) { St.SkipWithError("ingest admission failed"); return; }
+      benchmark::DoNotOptimize(A->instance());
+    }
+  }
+  St.counters["modules/s"] = benchmark::Counter(
+      static_cast<double>(Blobs.size()) * St.iterations(),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(F3_IngestAdmit)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+static void F3_IngestPipeline(benchmark::State &St) {
+  auto Blobs = ingestBlobs(static_cast<unsigned>(St.range(0)));
+  for (auto _ : St) {
+    for (const auto &B : Blobs) {
+      auto Arena = std::make_shared<ir::TypeArena>();
+      auto M = serial::read(B, Arena);
+      if (!M) { St.SkipWithError("serial read failed"); return; }
+      std::vector<typing::InfoMap> Infos(1);
+      if (!typing::checkModule(*M, &Infos[0]).ok()) {
+        St.SkipWithError("check failed");
+        return;
+      }
+      link::LinkOptions Opts;
+      Opts.Engine = wasm::EngineKind::Flat;
+      Opts.RunStart = false;
+      Opts.Infos = &Infos;
+      auto LI = link::instantiateLowered({&*M}, Opts);
+      if (!LI) { St.SkipWithError("instantiation failed"); return; }
+      benchmark::DoNotOptimize(LI->Instance.get());
+    }
+  }
+  St.counters["modules/s"] = benchmark::Counter(
+      static_cast<double>(Blobs.size()) * St.iterations(),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(F3_IngestPipeline)->Arg(64)->Unit(benchmark::kMicrosecond);
 
 BENCHMARK_MAIN();

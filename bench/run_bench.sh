@@ -337,7 +337,7 @@ if "checkmodule_geomean_speedup" in out:
           f"{out['checkmodule_geomean_speedup']:.2f}x")
 EOF
 
-"$LINK_BIN" --benchmark_filter='F3_Resolve|F3_Cold' \
+"$LINK_BIN" --benchmark_filter='F3_Resolve|F3_Cold|F3_Ingest' \
             --benchmark_format=json \
             --benchmark_repetitions="${BENCH_REPS:-1}" >"$LINK_RAW"
 
@@ -384,6 +384,15 @@ out = {
     "speedup_batch_over_sequential": speedups,
 }
 
+# Ingest front-door smoke: ingest::admit must stay within a few percent
+# of hand-running the same pipeline — the front door adds sniffing,
+# limit checks, and error plumbing, not real work.
+admit = results.get("F3_IngestAdmit/64")
+rawpipe = results.get("F3_IngestPipeline/64")
+if admit and rawpipe and rawpipe["ns"] > 0:
+    out["ingest_overhead_pct"] = 100.0 * (admit["ns"] / rawpipe["ns"] - 1.0)
+    out["target_ingest_overhead_pct"] = 5.0
+
 baseline_path = os.environ.get("BENCH_BASELINE_LINK", "")
 if baseline_path and os.path.exists(baseline_path):
     base = json.load(open(baseline_path))["results"]
@@ -411,6 +420,13 @@ coldi64 = out.get("cold_instantiate_speedup_64")
 if coldi64 is not None:
     print(f"cold instantiateLowered speedup @64 modules = {coldi64:.2f}x "
           "vs pre-refactor baseline")
+ing = out.get("ingest_overhead_pct")
+if ing is not None:
+    print(f"ingest front-door overhead @64 modules = {ing:+.2f}% vs raw "
+          "pipeline (target <=5%)")
+    if os.environ.get("RW_INGEST_GATE", "0") == "1" and ing > 5.0:
+        print(f"ingest gate FAILED: {ing:+.2f}% > 5%", file=sys.stderr)
+        sys.exit(1)
 EOF
 
 "$CACHE_BIN" --benchmark_filter='C6_' --benchmark_format=json \

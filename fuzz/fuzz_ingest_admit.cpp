@@ -1,0 +1,31 @@
+//===- fuzz/fuzz_ingest_admit.cpp - libFuzzer target for ingest::admit ----===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end totality harness for the whole front door: decode → validate
+// → check → link → lower → translate → instantiate on arbitrary bytes,
+// both container routes. RunStart is off so hostile start functions cost
+// no fuel; everything up to and including instance initialization runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ingest/Ingest.h"
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  std::vector<uint8_t> Bytes(Data, Data + Size);
+  rw::ingest::Limits L;
+  L.MaxModuleBytes = 1 << 20;
+  L.MaxTotalAlloc = 16u << 20;
+  rw::link::LinkOptions Opts;
+  Opts.RunStart = false;
+  rw::ingest::IngestError E;
+  rw::Expected<rw::ingest::AdmittedModule> A =
+      rw::ingest::admit(Bytes, L, Opts, &E);
+  (void)A;
+  return 0;
+}

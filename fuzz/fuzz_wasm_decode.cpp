@@ -1,0 +1,37 @@
+//===- fuzz/fuzz_wasm_decode.cpp - libFuzzer target for wasm::decode ------===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Totality harness for the hardened binary decoder: any byte string must
+// either decode (in which case it must also re-encode and validate without
+// UB) or produce a structured rejection — never crash, never allocate past
+// the Limits budget. Build with -DRW_FUZZ=ON under Clang; seed with
+// `make_corpus <dir>` plus fuzz/corpus/regression/.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wasm/Binary.h"
+#include "wasm/Validate.h"
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  std::vector<uint8_t> Bytes(Data, Data + Size);
+  rw::ingest::Limits L;
+  // Keep single-input cost small so the fuzzer explores structure instead
+  // of grinding big allocations.
+  L.MaxModuleBytes = 1 << 20;
+  L.MaxTotalAlloc = 16u << 20;
+  rw::ingest::IngestError E;
+  rw::Expected<rw::wasm::WModule> M = rw::wasm::decode(Bytes, L, &E);
+  if (M) {
+    // Anything that decodes must survive the rest of the trusted-side
+    // contract: re-encoding and validation are total on decoder output.
+    (void)rw::wasm::encode(*M);
+    (void)rw::wasm::validate(*M, L.MaxOperandDepth);
+  }
+  return 0;
+}

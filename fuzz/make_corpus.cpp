@@ -1,0 +1,105 @@
+//===- fuzz/make_corpus.cpp - Seed-corpus generator for the fuzz targets --===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Writes the seed corpus into the directory given as argv[1]: real
+// admissible inputs for both container routes — wasm::encode of lowered
+// bench/example workloads and serial::write of the RichWasm modules —
+// plus a handful of small adversarial shapes (truncations, overlong LEBs,
+// hostile counts) mirroring fuzz/corpus/regression/. Seeding with valid
+// modules is what lets the fuzzer mutate *deep* structure instead of
+// spending its budget rediscovering the header.
+//
+// Usage: make_corpus <output-dir>
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Common.h"
+#include "lower/Lower.h"
+#include "serial/Serial.h"
+#include "wasm/Binary.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace rw;
+
+namespace {
+
+bool writeFile(const std::string &Path, const std::vector<uint8_t> &Bytes) {
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  if (!Bytes.empty())
+    std::fwrite(Bytes.data(), 1, Bytes.size(), F);
+  std::fclose(F);
+  return true;
+}
+
+std::vector<uint8_t> lowerAndEncode(const ir::Module &M) {
+  Expected<lower::LoweredProgram> LP = lower::lowerProgram({&M}, {});
+  if (!LP) {
+    std::fprintf(stderr, "lowering failed: %s\n",
+                 LP.error().message().c_str());
+    return {};
+  }
+  return wasm::encode(LP->Module);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 2;
+  }
+  std::string Dir = argv[1];
+  int Failures = 0;
+  auto Emit = [&](const char *Name, const std::vector<uint8_t> &Bytes) {
+    if (Bytes.empty() || !writeFile(Dir + "/" + Name, Bytes)) {
+      std::fprintf(stderr, "failed to write %s\n", Name);
+      ++Failures;
+    }
+  };
+
+  // Wasm-route seeds: lowered bench workloads (loops, linear allocation,
+  // wide multi-function modules) cover blocks, calls, memory, globals,
+  // exports, and data in real proportions.
+  Emit("wasm_loop.bin", lowerAndEncode(rwbench::loopModule(10)));
+  Emit("wasm_alloc_lin.bin", lowerAndEncode(rwbench::allocModule(4, true)));
+  Emit("wasm_alloc_unr.bin", lowerAndEncode(rwbench::allocModule(4, false)));
+  Emit("wasm_wide.bin", lowerAndEncode(rwbench::wideModule(6)));
+
+  // RichWasm-route seeds: the same modules on the wire format.
+  Emit("serial_loop.bin", serial::write(rwbench::loopModule(10)));
+  Emit("serial_alloc.bin", serial::write(rwbench::allocModule(4, true)));
+  Emit("serial_wide.bin", serial::write(rwbench::wideModule(6)));
+
+  // Adversarial shapes (kept in sync with fuzz/corpus/regression/).
+  Emit("adv_empty_wasm.bin",
+       {0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00});
+  // Truncated header.
+  Emit("adv_truncated_magic.bin", {0x00, 0x61, 0x73});
+  // Type section claiming 2^32-1 entries in 5 bytes.
+  Emit("adv_hostile_count.bin",
+       {0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00, 0x01, 0x05, 0xff,
+        0xff, 0xff, 0xff, 0x0f});
+  // Overlong (zero-padded) LEB section size.
+  Emit("adv_overlong_leb.bin",
+       {0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00, 0x01, 0x80, 0x00});
+  // Serial header with a corrupt checksum.
+  Emit("adv_serial_badsum.bin",
+       {'R', 'W', 'B', 'M', 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        0x00, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x00, 0x00, 0x00,
+        0x00});
+
+  if (Failures) {
+    std::fprintf(stderr, "%d corpus seeds failed\n", Failures);
+    return 1;
+  }
+  std::printf("seed corpus written to %s\n", Dir.c_str());
+  return 0;
+}

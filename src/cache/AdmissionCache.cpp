@@ -18,6 +18,7 @@
 #include "cache/AdmissionCache.h"
 
 #include "obs/Obs.h"
+#include "support/FaultInject.h"
 #include "support/Hashing.h"
 #include "support/ThreadPool.h"
 #include "typing/Checker.h"
@@ -203,6 +204,10 @@ AdmissionCache::lookupCheck(const serial::ModuleHash &Key) {
 
 void AdmissionCache::storeCheck(const serial::ModuleHash &Key, CheckResult R) {
   OBS_SPAN("cache_store");
+  // Store-failure seam: a dropped store degrades to uncached admission —
+  // the verdict is simply recomputed on the next submission.
+  if (RW_FAULT_POINT(support::fault::Seam::CacheStore))
+    return;
   Impl::Entry E;
   E.K = Impl::Kind::Check;
   E.Key = Key;
@@ -229,6 +234,8 @@ AdmissionCache::lookupProgram(const serial::ModuleHash &Key) {
 void AdmissionCache::storeProgram(const serial::ModuleHash &Key,
                                   std::shared_ptr<const LoweredArtifact> Art) {
   OBS_SPAN("cache_store");
+  if (RW_FAULT_POINT(support::fault::Seam::CacheStore))
+    return;
   if (!Art)
     return;
   Impl::Entry E;

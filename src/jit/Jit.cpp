@@ -23,6 +23,7 @@
 #if defined(RW_JIT_ENABLED) && RW_JIT_ENABLED
 
 #include "exec/Engine.h"
+#include "support/FaultInject.h"
 #include "obs/Obs.h"
 #include "support/NumericOps.h"
 
@@ -1036,6 +1037,10 @@ namespace {
 /// the entry is published (W^X: pages are never writable and executable
 /// at the same time).
 uint8_t *allocExec(const std::vector<uint8_t> &Buf, size_t &SzOut) {
+  // Page-map seam: a failed mmap/mprotect refuses the function, which
+  // then stays on the flat interpreter forever (state 3 below).
+  if (RW_FAULT_POINT(support::fault::Seam::JitMap))
+    return nullptr;
   size_t PageSz = static_cast<size_t>(sysconf(_SC_PAGESIZE));
   size_t Sz = (Buf.size() + PageSz - 1) & ~(PageSz - 1);
   void *P = mmap(nullptr, Sz, PROT_READ | PROT_WRITE,
@@ -1077,7 +1082,8 @@ bool ModuleJit::compile(uint32_t DefIdx) {
   FuncCompiler FC(FM, FM.Funcs[DefIdx]);
   uint8_t *Code = nullptr;
   size_t Sz = 0;
-  if (FC.analyze() && FC.emit())
+  if (!RW_FAULT_POINT(support::fault::Seam::JitCompile) && FC.analyze() &&
+      FC.emit())
     Code = allocExec(FC.A.B, Sz);
   if (!Code) {
     UnsupportedC.inc();

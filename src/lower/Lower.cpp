@@ -10,6 +10,7 @@
 #include "ir/TypeArena.h"
 #include "lower/Rep.h"
 #include "obs/Obs.h"
+#include "support/FaultInject.h"
 #include "typing/Checker.h"
 #include "typing/Entail.h"
 #include "support/ThreadPool.h"
@@ -2084,6 +2085,10 @@ Expected<LoweredProgram> ProgramLowering::run() {
 Expected<LoweredProgram>
 rw::lower::lowerProgram(const std::vector<const Module *> &Mods,
                         const LowerOptions &Opts) {
+  // Lowering working-state allocation seam: surfaces as a clean Lower-stage
+  // rejection of the admission.
+  if (RW_FAULT_POINT(rw::support::fault::Seam::LowerAlloc))
+    return Error("injected allocation failure in lowerProgram");
   OBS_SPAN("lower", Mods.size());
   // Lowering checks modules (typing::checkModule, whose typeEquals is a
   // pointer comparison — or consumes InfoMaps recorded over canonical

@@ -1,0 +1,115 @@
+//===- support/FaultInject.cpp - Compile-time-gated fault injection -------===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Entirely preprocessed away in the default build (RW_FAULT_ENABLED=0): CI
+// asserts this TU contributes zero defined symbols to the archive, the same
+// compile-out contract obs/Obs.cpp and jit/Jit.cpp honor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FaultInject.h"
+
+#if RW_FAULT_ENABLED
+
+#include <atomic>
+
+namespace rw::support::fault {
+namespace {
+
+enum class Mode : uint8_t { Off, Nth, Every, Probability };
+
+// Per-seam state. Arm/disarm happen on a quiescent test thread; only
+// shouldFail() runs concurrently, so relaxed atomics suffice — the tests
+// assert on counts after joining all workers.
+struct SeamState {
+  std::atomic<Mode> M{Mode::Off};
+  std::atomic<uint64_t> Param{0};    // Nth target or Every period.
+  std::atomic<uint64_t> Count{0};    // Occurrences since last arm.
+  std::atomic<uint64_t> Fired{0};    // Failures injected since last arm.
+  std::atomic<uint64_t> Rng{0};      // xorshift64* state (Probability).
+  std::atomic<uint32_t> PerMille{0}; // Probability in 1/1000ths.
+};
+
+SeamState States[NumSeams];
+
+SeamState &state(Seam S) { return States[static_cast<uint8_t>(S)]; }
+
+void rearm(Seam S, Mode M, uint64_t Param, uint32_t PerMille, uint64_t Seed) {
+  SeamState &St = state(S);
+  St.Count.store(0, std::memory_order_relaxed);
+  St.Fired.store(0, std::memory_order_relaxed);
+  St.Param.store(Param, std::memory_order_relaxed);
+  St.PerMille.store(PerMille, std::memory_order_relaxed);
+  St.Rng.store(Seed ? Seed : 0x9e3779b97f4a7c15ull, std::memory_order_relaxed);
+  St.M.store(M, std::memory_order_relaxed);
+}
+
+} // namespace
+
+bool shouldFail(Seam S) {
+  SeamState &St = state(S);
+  uint64_t N = St.Count.fetch_add(1, std::memory_order_relaxed) + 1;
+  switch (St.M.load(std::memory_order_relaxed)) {
+  case Mode::Off:
+    return false;
+  case Mode::Nth:
+    if (N != St.Param.load(std::memory_order_relaxed))
+      return false;
+    St.M.store(Mode::Off, std::memory_order_relaxed); // single-shot
+    St.Fired.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  case Mode::Every: {
+    uint64_t P = St.Param.load(std::memory_order_relaxed);
+    if (P == 0 || N % P != 0)
+      return false;
+    St.Fired.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  case Mode::Probability: {
+    // xorshift64* advanced with a CAS-free relaxed RMW: exact reproduction
+    // of the sequence only matters single-threaded, which is how the
+    // deterministic tests use it.
+    uint64_t X = St.Rng.load(std::memory_order_relaxed);
+    X ^= X >> 12;
+    X ^= X << 25;
+    X ^= X >> 27;
+    St.Rng.store(X, std::memory_order_relaxed);
+    uint64_t Draw = (X * 0x2545f4914f6cdd1dull) >> 32;
+    if (Draw % 1000 >= St.PerMille.load(std::memory_order_relaxed))
+      return false;
+    St.Fired.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  }
+  return false;
+}
+
+void armNth(Seam S, uint64_t Nth) { rearm(S, Mode::Nth, Nth, 0, 0); }
+
+void armEvery(Seam S, uint64_t Period) { rearm(S, Mode::Every, Period, 0, 0); }
+
+void armProbability(Seam S, uint32_t PerMille, uint64_t Seed) {
+  rearm(S, Mode::Probability, 0, PerMille > 1000 ? 1000 : PerMille, Seed);
+}
+
+void disarm(Seam S) { state(S).M.store(Mode::Off, std::memory_order_relaxed); }
+
+void disarmAll() {
+  for (unsigned I = 0; I < NumSeams; ++I)
+    disarm(static_cast<Seam>(I));
+}
+
+uint64_t occurrences(Seam S) {
+  return state(S).Count.load(std::memory_order_relaxed);
+}
+
+uint64_t injected(Seam S) {
+  return state(S).Fired.load(std::memory_order_relaxed);
+}
+
+} // namespace rw::support::fault
+
+#endif // RW_FAULT_ENABLED

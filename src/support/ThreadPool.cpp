@@ -7,6 +7,7 @@
 #include "support/ThreadPool.h"
 
 #include "obs/Obs.h"
+#include "support/FaultInject.h"
 
 #include <algorithm>
 #include <string>
@@ -20,8 +21,14 @@ ThreadPool::ThreadPool(unsigned Threads) {
       Threads = 1;
   }
   Workers.reserve(Threads - 1);
-  for (unsigned I = 1; I < Threads; ++I)
+  for (unsigned I = 1; I < Threads; ++I) {
+    // Spawn-failure seam: a skipped worker just shrinks the pool — size()
+    // derives from Workers.size(), ranges are computed from actual size,
+    // and stealing covers the rest, so parallelFor output is unchanged.
+    if (RW_FAULT_POINT(rw::support::fault::Seam::PoolSpawn))
+      continue;
     Workers.emplace_back([this, I] { workerLoop(I); });
+  }
 }
 
 ThreadPool::~ThreadPool() {

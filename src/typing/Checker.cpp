@@ -9,6 +9,7 @@
 #include "ir/Print.h"
 #include "ir/Rewrite.h"
 #include "obs/Obs.h"
+#include "support/FaultInject.h"
 #include "ir/TypeArena.h"
 #include "ir/TypeOps.h"
 #include "support/SmallVec.h"
@@ -1689,6 +1690,10 @@ Status rw::typing::checkModule(const Module &M, InfoMap *IM) {
   OBS_SPAN("check_module", M.Funcs.size());
   static obs::Counter ModulesChecked("typing.modules_checked");
   ModulesChecked.inc();
+  // Checker working-state allocation seam: the failure is reported like
+  // any judgment failure and the admission is cleanly rejected.
+  if (RW_FAULT_POINT(rw::support::fault::Seam::CheckAlloc))
+    return Error("injected allocation failure in checkModule");
   // Intern every type the judgments build into the module's arena, so the
   // canonical-pointer equality guarantee spans the whole check.
   ArenaScope Scope(M.Arena ? *M.Arena : TypeArena::global());

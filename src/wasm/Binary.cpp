@@ -6,6 +6,9 @@
 
 #include "wasm/Binary.h"
 
+#include "ingest/Limits.h"
+#include "obs/Obs.h"
+#include "support/FaultInject.h"
 #include "support/LEB128.h"
 
 #include <cassert>
@@ -362,28 +365,82 @@ std::vector<uint8_t> rw::wasm::encode(WModule M) {
 //===----------------------------------------------------------------------===//
 // Decoder
 //===----------------------------------------------------------------------===//
+//
+// Hardened against untrusted bytes to the serial::read standard (DESIGN.md
+// §12): every read is bounds-checked against the enclosing section fence,
+// every wire count is checked against both its ingest::Limits cap and the
+// bytes remaining (an N-element vector needs at least N wire bytes), every
+// vector reservation is charged to a total allocation budget before it
+// happens, structured-control recursion is depth-capped, and every
+// rejection is reported as a structured ingest::IngestError carrying the
+// exact byte offset.
 
 namespace {
 
+using ingest::Category;
+using ingest::IngestError;
+using ingest::Limits;
+namespace fault = rw::support::fault;
+
+/// Opcode bytes the Op enum defines. 0x05 (else) and 0x0b (end) are block
+/// terminators, not instructions, and are handled before this predicate.
+bool validOpcode(uint8_t C) {
+  return C <= 0x04 || (C >= 0x0c && C <= 0x11) || C == 0x1a || C == 0x1b ||
+         (C >= 0x20 && C <= 0x24) || C >= 0x28; // Op tops out at 0xbf.
+}
+
 class Decoder {
 public:
-  explicit Decoder(const std::vector<uint8_t> &Bytes) : B(Bytes) {}
+  Decoder(const std::vector<uint8_t> &Bytes, const Limits &L,
+          IngestError *ErrOut)
+      : B(Bytes), L(L), ErrOut(ErrOut) {}
 
   Expected<WModule> run() {
+    if (B.size() > L.MaxModuleBytes)
+      return fail(Category::TooLarge, 0,
+                  "module of " + std::to_string(B.size()) +
+                      " bytes exceeds limit of " +
+                      std::to_string(L.MaxModuleBytes));
     if (B.size() < 8 || B[0] != 0 || B[1] != 'a' || B[2] != 's' ||
         B[3] != 'm')
-      return Error("bad wasm magic");
+      return fail(Category::BadMagic, 0, "bad wasm magic");
+    if (B[4] != 1 || B[5] != 0 || B[6] != 0 || B[7] != 0)
+      return fail(Category::Unsupported, 4, "unsupported wasm version");
     Pos = 8;
+    uint32_t NSections = 0;
+    unsigned LastId = 0;
     while (Pos < B.size()) {
+      size_t SecOff = Pos;
       uint8_t Id = B[Pos++];
-      auto Size = u32();
+      if (Id > 11)
+        return fail(Category::Malformed, SecOff,
+                    "unknown section id " + std::to_string(Id));
+      if (++NSections > L.MaxSections)
+        return fail(Category::LimitExceeded, SecOff,
+                    "section count exceeds limit of " +
+                        std::to_string(L.MaxSections));
+      // Non-custom sections must appear at most once, in id order.
+      if (Id != 0) {
+        if (Id <= LastId)
+          return fail(Category::Malformed, SecOff,
+                      "section id " + std::to_string(Id) +
+                          " out of order");
+        LastId = Id;
+      }
+      Fence = B.size();
+      Expected<uint32_t> Size = u32("section size");
       if (!Size)
-        return Error("truncated section header");
+        return Size.error();
       size_t End = Pos + *Size;
       if (End > B.size())
-        return Error("section extends past end of module");
+        return fail(Category::Truncated, SecOff,
+                    "section extends past end of module");
+      Fence = End;
       Status S = Status::success();
       switch (Id) {
+      case 0:
+        Pos = End; // Custom sections are opaque; skip their payload.
+        break;
       case 1:
         S = typeSection();
         break;
@@ -406,10 +463,10 @@ public:
         S = exportSection();
         break;
       case 8: {
-        auto V = u32();
+        Expected<uint32_t> V = u32("start function index");
         if (!V)
-          return Error("bad start section");
-        M.Start = static_cast<uint32_t>(*V);
+          return V.error();
+        M.Start = *V;
         break;
       }
       case 9:
@@ -421,36 +478,108 @@ public:
       case 11:
         S = dataSection();
         break;
-      default:
-        Pos = End; // Skip custom/unknown sections.
-        break;
       }
       if (!S)
         return S.error();
       if (Pos != End)
-        return Error("section size mismatch (id " + std::to_string(Id) + ")");
+        return fail(Category::Malformed, Pos,
+                    "section size mismatch (id " + std::to_string(Id) + ")");
     }
+    Fence = B.size();
     if (M.Funcs.size() != TypeIdxs.size())
-      return Error("function and code section counts disagree");
+      return fail(Category::Malformed, Pos,
+                  "function and code section counts disagree");
     for (size_t I = 0; I < M.Funcs.size(); ++I)
       M.Funcs[I].TypeIdx = TypeIdxs[I];
-    M.TableElems = Elems;
+    M.TableElems = std::move(Elems);
     return std::move(M);
   }
 
 private:
-  std::optional<uint64_t> u32() { return decodeULEB128(B, Pos); }
-  std::optional<int64_t> s64() { return decodeSLEB128(B, Pos); }
-  std::optional<uint8_t> u8() {
-    if (Pos >= B.size())
-      return std::nullopt;
+  /// Records the structured error (for the ingest front door) and renders
+  /// the string Error the Expected plumbing carries.
+  Error fail(Category C, size_t Off, std::string Ctx) {
+    IngestError E;
+    E.Cat = C;
+    E.Offset = Off;
+    E.Context = std::move(Ctx);
+    if (ErrOut)
+      *ErrOut = E;
+    return Error("wasm decode: " + E.render());
+  }
+
+  /// Charges \p Bytes against the total allocation budget. Call before the
+  /// corresponding reservation so a hostile count is rejected, not served.
+  Status charge(uint64_t Bytes, const char *What) {
+    if (RW_FAULT_POINT(fault::Seam::DecodeAlloc))
+      return fail(Category::Resource, Pos,
+                  std::string("injected allocation failure (") + What + ")");
+    Charged += Bytes;
+    if (Charged > L.MaxTotalAlloc)
+      return fail(Category::LimitExceeded, Pos,
+                  std::string(What) + ": allocation budget of " +
+                      std::to_string(L.MaxTotalAlloc) + " bytes exceeded");
+    return Status::success();
+  }
+
+  Expected<uint64_t> uleb(unsigned Bits, const char *What) {
+    uint64_t V;
+    LEBError E = decodeULEB128Strict(B.data(), Fence, Pos, V, Bits);
+    if (E == LEBError::Ok)
+      return V;
+    return fail(E == LEBError::Truncated ? Category::Truncated
+                                         : Category::Malformed,
+                Pos, std::string(What) + ": " + lebErrorName(E) + " varint");
+  }
+
+  Expected<uint32_t> u32(const char *What) {
+    Expected<uint64_t> V = uleb(32, What);
+    if (!V)
+      return V.error();
+    return static_cast<uint32_t>(*V);
+  }
+
+  Expected<int64_t> sleb(unsigned Bits, const char *What) {
+    int64_t V;
+    LEBError E = decodeSLEB128Strict(B.data(), Fence, Pos, V, Bits);
+    if (E == LEBError::Ok)
+      return V;
+    return fail(E == LEBError::Truncated ? Category::Truncated
+                                         : Category::Malformed,
+                Pos, std::string(What) + ": " + lebErrorName(E) + " varint");
+  }
+
+  Expected<uint8_t> u8(const char *What) {
+    if (Pos >= Fence)
+      return fail(Category::Truncated, Pos,
+                  std::string(What) + ": unexpected end of input");
     return B[Pos++];
   }
 
+  /// Reads an element count: capped by policy at \p Cap and by the bytes
+  /// remaining in the section (each element occupies at least \p MinBytes
+  /// wire bytes), so counts are honest before anything is allocated.
+  Expected<uint32_t> count(uint64_t Cap, uint64_t MinBytes, const char *What) {
+    size_t Off = Pos;
+    Expected<uint32_t> N = u32(What);
+    if (!N)
+      return N;
+    if (*N > Cap)
+      return fail(Category::LimitExceeded, Off,
+                  std::string(What) + " count " + std::to_string(*N) +
+                      " exceeds limit of " + std::to_string(Cap));
+    if (uint64_t(*N) * MinBytes > Fence - Pos)
+      return fail(Category::Malformed, Off,
+                  std::string(What) + " count " + std::to_string(*N) +
+                      " exceeds remaining section bytes");
+    return N;
+  }
+
   Expected<ValType> valType() {
-    auto V = u8();
+    size_t Off = Pos;
+    Expected<uint8_t> V = u8("value type");
     if (!V)
-      return Error("truncated value type");
+      return V.error();
     switch (*V) {
     case 0x7f:
       return ValType::I32;
@@ -461,41 +590,62 @@ private:
     case 0x7c:
       return ValType::F64;
     default:
-      return Error("unknown value type");
+      return fail(Category::Malformed, Off,
+                  "unknown value type " + std::to_string(*V));
     }
   }
 
-  Expected<std::string> name() {
-    auto N = u32();
-    if (!N || Pos + *N > B.size())
-      return Error("truncated name");
+  Expected<std::string> name(const char *What) {
+    size_t Off = Pos;
+    Expected<uint32_t> N = u32(What);
+    if (!N)
+      return N.error();
+    if (*N > Fence - Pos)
+      return fail(Category::Truncated, Off,
+                  std::string(What) + " of " + std::to_string(*N) +
+                      " bytes overruns section");
+    if (Status S = charge(*N, What); !S)
+      return S.error();
     std::string S(B.begin() + Pos, B.begin() + Pos + *N);
     Pos += *N;
     return S;
   }
 
   Status typeSection() {
-    auto N = u32();
+    Expected<uint32_t> N = count(L.MaxTypes, 3, "type");
     if (!N)
-      return Error("bad type count");
-    for (uint64_t I = 0; I < *N; ++I) {
-      auto Tag = u8();
-      if (!Tag || *Tag != 0x60)
-        return Error("expected functype tag");
+      return N.error();
+    if (Status S = charge(uint64_t(*N) * sizeof(FuncType), "type section");
+        !S)
+      return S;
+    M.Types.reserve(*N);
+    for (uint32_t I = 0; I < *N; ++I) {
+      size_t Off = Pos;
+      Expected<uint8_t> Tag = u8("functype tag");
+      if (!Tag)
+        return Tag.error();
+      if (*Tag != 0x60)
+        return fail(Category::Malformed, Off, "expected functype tag 0x60");
       FuncType FT;
-      auto NP = u32();
+      Expected<uint32_t> NP = count(L.MaxOperandDepth, 1, "param");
       if (!NP)
-        return Error("bad param count");
-      for (uint64_t J = 0; J < *NP; ++J) {
+        return NP.error();
+      if (Status S = charge(*NP, "param types"); !S)
+        return S;
+      FT.Params.reserve(*NP);
+      for (uint32_t J = 0; J < *NP; ++J) {
         Expected<ValType> V = valType();
         if (!V)
           return V.error();
         FT.Params.push_back(*V);
       }
-      auto NR = u32();
+      Expected<uint32_t> NR = count(L.MaxOperandDepth, 1, "result");
       if (!NR)
-        return Error("bad result count");
-      for (uint64_t J = 0; J < *NR; ++J) {
+        return NR.error();
+      if (Status S = charge(*NR, "result types"); !S)
+        return S;
+      FT.Results.reserve(*NR);
+      for (uint32_t J = 0; J < *NR; ++J) {
         Expected<ValType> V = valType();
         if (!V)
           return V.error();
@@ -507,89 +657,149 @@ private:
   }
 
   Status importSection() {
-    auto N = u32();
+    Expected<uint32_t> N = count(L.MaxImports, 4, "import");
     if (!N)
-      return Error("bad import count");
-    for (uint64_t I = 0; I < *N; ++I) {
-      Expected<std::string> Mod = name();
+      return N.error();
+    if (Status S = charge(uint64_t(*N) * sizeof(WImportFunc), "import section");
+        !S)
+      return S;
+    M.ImportFuncs.reserve(*N);
+    for (uint32_t I = 0; I < *N; ++I) {
+      Expected<std::string> Mod = name("import module name");
       if (!Mod)
         return Mod.error();
-      Expected<std::string> Nm = name();
+      Expected<std::string> Nm = name("import name");
       if (!Nm)
         return Nm.error();
-      auto Kind = u8();
-      if (!Kind || *Kind != 0x00)
-        return Error("only function imports are supported");
-      auto TI = u32();
+      size_t Off = Pos;
+      Expected<uint8_t> Kind = u8("import kind");
+      if (!Kind)
+        return Kind.error();
+      if (*Kind > 0x03)
+        return fail(Category::Malformed, Off,
+                    "bad import kind " + std::to_string(*Kind));
+      if (*Kind != 0x00)
+        return fail(Category::Unsupported, Off,
+                    "only function imports are supported");
+      Expected<uint32_t> TI = u32("import type index");
       if (!TI)
-        return Error("bad import type index");
-      M.ImportFuncs.push_back(
-          {std::move(*Mod), std::move(*Nm), static_cast<uint32_t>(*TI)});
+        return TI.error();
+      M.ImportFuncs.push_back({std::move(*Mod), std::move(*Nm), *TI});
     }
     return Status::success();
   }
 
   Status functionSection() {
-    auto N = u32();
+    Expected<uint32_t> N = count(L.MaxFuncs, 1, "function");
     if (!N)
-      return Error("bad function count");
-    for (uint64_t I = 0; I < *N; ++I) {
-      auto TI = u32();
+      return N.error();
+    if (Status S = charge(uint64_t(*N) * sizeof(uint32_t), "function section");
+        !S)
+      return S;
+    TypeIdxs.reserve(*N);
+    for (uint32_t I = 0; I < *N; ++I) {
+      Expected<uint32_t> TI = u32("function type index");
       if (!TI)
-        return Error("bad function type index");
-      TypeIdxs.push_back(static_cast<uint32_t>(*TI));
+        return TI.error();
+      TypeIdxs.push_back(*TI);
     }
     return Status::success();
   }
 
   Status tableSection() {
-    auto N = u32();
-    if (!N || *N != 1)
-      return Error("expected one table");
-    auto ET = u8();
-    if (!ET || *ET != 0x70)
-      return Error("expected funcref table");
-    auto HasMax = u8();
+    size_t Off = Pos;
+    Expected<uint32_t> N = u32("table count");
+    if (!N)
+      return N.error();
+    if (*N != 1)
+      return fail(Category::Unsupported, Off, "expected exactly one table");
+    Off = Pos;
+    Expected<uint8_t> ET = u8("table element type");
+    if (!ET)
+      return ET.error();
+    if (*ET != 0x70)
+      return fail(Category::Unsupported, Off, "expected funcref table");
+    Off = Pos;
+    Expected<uint8_t> HasMax = u8("table limits flag");
     if (!HasMax)
-      return Error("bad table limits");
-    auto Min = u32();
+      return HasMax.error();
+    if (*HasMax > 1)
+      return fail(Category::Malformed, Off,
+                  "bad table limits flag " + std::to_string(*HasMax));
+    Expected<uint32_t> Min = u32("table min");
     if (!Min)
-      return Error("bad table min");
-    if (*HasMax == 1)
-      (void)u32();
+      return Min.error();
+    if (*HasMax == 1) {
+      Expected<uint32_t> Max = u32("table max");
+      if (!Max)
+        return Max.error();
+      if (*Max < *Min)
+        return fail(Category::Malformed, Off, "table min exceeds max");
+    }
     return Status::success();
   }
 
   Status memorySection() {
-    auto N = u32();
-    if (!N || *N != 1)
-      return Error("expected one memory");
-    auto HasMax = u8();
-    auto Min = u32();
-    if (!HasMax || !Min)
-      return Error("bad memory limits");
+    size_t Off = Pos;
+    Expected<uint32_t> N = u32("memory count");
+    if (!N)
+      return N.error();
+    if (*N != 1)
+      return fail(Category::Unsupported, Off, "expected exactly one memory");
+    Off = Pos;
+    Expected<uint8_t> HasMax = u8("memory limits flag");
+    if (!HasMax)
+      return HasMax.error();
+    if (*HasMax > 1)
+      return fail(Category::Malformed, Off,
+                  "bad memory limits flag " + std::to_string(*HasMax));
+    Off = Pos;
+    Expected<uint32_t> Min = u32("memory min pages");
+    if (!Min)
+      return Min.error();
+    if (*Min > L.MaxMemoryPages)
+      return fail(Category::LimitExceeded, Off,
+                  "memory of " + std::to_string(*Min) +
+                      " pages exceeds limit of " +
+                      std::to_string(L.MaxMemoryPages));
     std::optional<uint32_t> Max;
     if (*HasMax == 1) {
-      auto Mx = u32();
+      Off = Pos;
+      Expected<uint32_t> Mx = u32("memory max pages");
       if (!Mx)
-        return Error("bad memory max");
-      Max = static_cast<uint32_t>(*Mx);
+        return Mx.error();
+      if (*Mx > L.MaxMemoryPages)
+        return fail(Category::LimitExceeded, Off,
+                    "memory max of " + std::to_string(*Mx) +
+                        " pages exceeds limit of " +
+                        std::to_string(L.MaxMemoryPages));
+      if (*Mx < *Min)
+        return fail(Category::Malformed, Off, "memory min exceeds max");
+      Max = *Mx;
     }
-    M.Memory = {static_cast<uint32_t>(*Min), Max};
+    M.Memory = {*Min, Max};
     return Status::success();
   }
 
   Status globalSection() {
-    auto N = u32();
+    Expected<uint32_t> N = count(L.MaxGlobals, 4, "global");
     if (!N)
-      return Error("bad global count");
-    for (uint64_t I = 0; I < *N; ++I) {
+      return N.error();
+    if (Status S = charge(uint64_t(*N) * sizeof(WGlobal), "global section");
+        !S)
+      return S;
+    M.Globals.reserve(*N);
+    for (uint32_t I = 0; I < *N; ++I) {
       Expected<ValType> T = valType();
       if (!T)
         return T.error();
-      auto Mut = u8();
+      size_t Off = Pos;
+      Expected<uint8_t> Mut = u8("global mutability");
       if (!Mut)
-        return Error("bad global mutability");
+        return Mut.error();
+      if (*Mut > 1)
+        return fail(Category::Malformed, Off,
+                    "bad global mutability " + std::to_string(*Mut));
       WGlobal G;
       G.T = *T;
       G.Mut = *Mut == 1;
@@ -603,98 +813,167 @@ private:
   }
 
   Status exportSection() {
-    auto N = u32();
+    Expected<uint32_t> N = count(L.MaxExports, 4, "export");
     if (!N)
-      return Error("bad export count");
-    for (uint64_t I = 0; I < *N; ++I) {
-      Expected<std::string> Nm = name();
+      return N.error();
+    if (Status S = charge(uint64_t(*N) * sizeof(WExport), "export section");
+        !S)
+      return S;
+    M.Exports.reserve(*N);
+    for (uint32_t I = 0; I < *N; ++I) {
+      Expected<std::string> Nm = name("export name");
       if (!Nm)
         return Nm.error();
-      auto Kind = u8();
-      auto Idx = u32();
-      if (!Kind || !Idx)
-        return Error("bad export entry");
-      M.Exports.push_back({std::move(*Nm), static_cast<ExportKind>(*Kind),
-                           static_cast<uint32_t>(*Idx)});
+      size_t Off = Pos;
+      Expected<uint8_t> Kind = u8("export kind");
+      if (!Kind)
+        return Kind.error();
+      if (*Kind > 0x03)
+        return fail(Category::Malformed, Off,
+                    "bad export kind " + std::to_string(*Kind));
+      Expected<uint32_t> Idx = u32("export index");
+      if (!Idx)
+        return Idx.error();
+      M.Exports.push_back(
+          {std::move(*Nm), static_cast<ExportKind>(*Kind), *Idx});
     }
     return Status::success();
   }
 
   Status elemSection() {
-    auto N = u32();
+    Expected<uint32_t> N = count(L.MaxElems, 5, "elem segment");
     if (!N)
-      return Error("bad elem count");
-    for (uint64_t I = 0; I < *N; ++I) {
-      auto Flag = u8();
-      if (!Flag || *Flag != 0x00)
-        return Error("unsupported elem segment");
-      Expected<std::vector<WInst>> Off = expr();
-      if (!Off)
-        return Off.error();
-      auto Cnt = u32();
+      return N.error();
+    for (uint32_t I = 0; I < *N; ++I) {
+      size_t Off = Pos;
+      Expected<uint8_t> Flag = u8("elem segment flag");
+      if (!Flag)
+        return Flag.error();
+      if (*Flag != 0x00)
+        return fail(Category::Unsupported, Off,
+                    "unsupported elem segment flag " + std::to_string(*Flag));
+      Off = Pos;
+      Expected<std::vector<WInst>> OffExpr = expr();
+      if (!OffExpr)
+        return OffExpr.error();
+      if (OffExpr->size() != 1 || (*OffExpr)[0].K != Op::I32Const)
+        return fail(Category::Unsupported, Off,
+                    "elem offset must be a single i32.const");
+      // The module model keeps one flat function table, so segments must
+      // tile it contiguously from zero (our encoder's shape).
+      if ((*OffExpr)[0].U64 != Elems.size())
+        return fail(Category::Unsupported, Off,
+                    "non-contiguous elem segment offset");
+      Expected<uint32_t> Cnt = count(L.MaxElems, 1, "elem entry");
       if (!Cnt)
-        return Error("bad elem entry count");
-      for (uint64_t J = 0; J < *Cnt; ++J) {
-        auto FI = u32();
+        return Cnt.error();
+      if (Elems.size() + *Cnt > L.MaxElems)
+        return fail(Category::LimitExceeded, Pos,
+                    "total elem entries exceed limit of " +
+                        std::to_string(L.MaxElems));
+      if (Status S = charge(uint64_t(*Cnt) * sizeof(uint32_t), "elem entries");
+          !S)
+        return S;
+      Elems.reserve(Elems.size() + *Cnt);
+      for (uint32_t J = 0; J < *Cnt; ++J) {
+        Expected<uint32_t> FI = u32("elem function index");
         if (!FI)
-          return Error("bad elem function index");
-        Elems.push_back(static_cast<uint32_t>(*FI));
+          return FI.error();
+        Elems.push_back(*FI);
       }
     }
     return Status::success();
   }
 
   Status codeSection() {
-    auto N = u32();
+    Expected<uint32_t> N = count(L.MaxFuncs, 2, "code body");
     if (!N)
-      return Error("bad code count");
-    for (uint64_t I = 0; I < *N; ++I) {
-      auto Size = u32();
+      return N.error();
+    if (*N != TypeIdxs.size())
+      return fail(Category::Malformed, Pos,
+                  "function and code section counts disagree");
+    M.Funcs.reserve(*N);
+    for (uint32_t I = 0; I < *N; ++I) {
+      size_t Off = Pos;
+      Expected<uint32_t> Size = u32("code body size");
       if (!Size)
-        return Error("bad code body size");
+        return Size.error();
+      if (*Size > L.MaxBodyBytes)
+        return fail(Category::LimitExceeded, Off,
+                    "code body of " + std::to_string(*Size) +
+                        " bytes exceeds limit of " +
+                        std::to_string(L.MaxBodyBytes));
       size_t End = Pos + *Size;
+      if (End > Fence)
+        return fail(Category::Truncated, Off, "code body overruns section");
+      // Sub-fence: the body may not read past its declared size.
+      size_t SectionFence = Fence;
+      Fence = End;
       WFunc F;
-      auto NRuns = u32();
+      Expected<uint32_t> NRuns = count(L.MaxLocals, 2, "local run");
       if (!NRuns)
-        return Error("bad local runs");
-      for (uint64_t J = 0; J < *NRuns; ++J) {
-        auto Cnt = u32();
+        return NRuns.error();
+      uint64_t TotalLocals = 0;
+      for (uint32_t J = 0; J < *NRuns; ++J) {
+        size_t RunOff = Pos;
+        Expected<uint32_t> Cnt = u32("local run count");
+        if (!Cnt)
+          return Cnt.error();
         Expected<ValType> T = valType();
-        if (!Cnt || !T)
-          return Error("bad local run");
-        for (uint64_t K = 0; K < *Cnt; ++K)
-          F.Locals.push_back(*T);
+        if (!T)
+          return T.error();
+        TotalLocals += *Cnt;
+        if (TotalLocals > L.MaxLocals)
+          return fail(Category::LimitExceeded, RunOff,
+                      "local count exceeds limit of " +
+                          std::to_string(L.MaxLocals));
+        if (Status S = charge(*Cnt, "locals"); !S)
+          return S;
+        F.Locals.insert(F.Locals.end(), *Cnt, *T);
       }
       Expected<std::vector<WInst>> Body = expr();
       if (!Body)
         return Body.error();
       F.Body = std::move(*Body);
       if (Pos != End)
-        return Error("code body size mismatch");
+        return fail(Category::Malformed, Pos, "code body size mismatch");
+      Fence = SectionFence;
       M.Funcs.push_back(std::move(F));
     }
     return Status::success();
   }
 
   Status dataSection() {
-    auto N = u32();
+    Expected<uint32_t> N = count(L.MaxElems, 5, "data segment");
     if (!N)
-      return Error("bad data count");
-    for (uint64_t I = 0; I < *N; ++I) {
-      auto Flag = u8();
-      if (!Flag || *Flag != 0x00)
-        return Error("unsupported data segment");
-      Expected<std::vector<WInst>> Off = expr();
-      if (!Off)
-        return Off.error();
-      uint32_t Offset = 0;
-      if (!Off->empty() && (*Off)[0].K == Op::I32Const)
-        Offset = static_cast<uint32_t>((*Off)[0].U64);
-      auto Len = u32();
-      if (!Len || Pos + *Len > B.size())
-        return Error("bad data bytes");
+      return N.error();
+    for (uint32_t I = 0; I < *N; ++I) {
+      size_t Off = Pos;
+      Expected<uint8_t> Flag = u8("data segment flag");
+      if (!Flag)
+        return Flag.error();
+      if (*Flag != 0x00)
+        return fail(Category::Unsupported, Off,
+                    "unsupported data segment flag " + std::to_string(*Flag));
+      Off = Pos;
+      Expected<std::vector<WInst>> OffExpr = expr();
+      if (!OffExpr)
+        return OffExpr.error();
+      if (OffExpr->size() != 1 || (*OffExpr)[0].K != Op::I32Const)
+        return fail(Category::Unsupported, Off,
+                    "data offset must be a single i32.const");
+      Off = Pos;
+      Expected<uint32_t> Len = u32("data length");
+      if (!Len)
+        return Len.error();
+      if (*Len > Fence - Pos)
+        return fail(Category::Truncated, Off,
+                    "data segment of " + std::to_string(*Len) +
+                        " bytes overruns section");
+      if (Status S = charge(*Len, "data bytes"); !S)
+        return S;
       WData D;
-      D.Offset = Offset;
+      D.Offset = static_cast<uint32_t>((*OffExpr)[0].U64);
       D.Bytes.assign(B.begin() + Pos, B.begin() + Pos + *Len);
       Pos += *Len;
       M.Data.push_back(std::move(D));
@@ -703,9 +982,9 @@ private:
   }
 
   Expected<FuncType> blockType() {
-    // Peek: 0x40, a valtype byte, or an s33 index.
-    if (Pos >= B.size())
-      return Error("truncated block type");
+    size_t Off = Pos;
+    if (Pos >= Fence)
+      return fail(Category::Truncated, Pos, "truncated block type");
     uint8_t Peek = B[Pos];
     if (Peek == 0x40) {
       ++Pos;
@@ -717,24 +996,40 @@ private:
       FT.Results.push_back(static_cast<ValType>(Peek));
       return FT;
     }
-    auto Idx = s64();
-    if (!Idx || *Idx < 0 || static_cast<size_t>(*Idx) >= M.Types.size())
-      return Error("bad block type index");
+    Expected<int64_t> Idx = sleb(33, "block type index");
+    if (!Idx)
+      return Idx.error();
+    if (*Idx < 0 || static_cast<uint64_t>(*Idx) >= M.Types.size())
+      return fail(Category::Malformed, Off,
+                  "bad block type index " + std::to_string(*Idx));
     return M.Types[static_cast<size_t>(*Idx)];
   }
 
   /// Parses instructions until the matching `end` (consumed). The `else`
   /// marker terminates a then-branch without being consumed by it.
-  Expected<std::vector<WInst>> parseUntil(uint8_t &Terminator) {
+  /// \p Depth counts enclosing structured instructions; it bounds both
+  /// this recursion and the validator's.
+  Expected<std::vector<WInst>> parseUntil(uint8_t &Terminator,
+                                          uint32_t Depth) {
+    if (Depth > L.MaxNestingDepth)
+      return fail(Category::LimitExceeded, Pos,
+                  "block nesting exceeds depth limit of " +
+                      std::to_string(L.MaxNestingDepth));
     std::vector<WInst> Out;
     for (;;) {
-      auto Bc = u8();
+      size_t Off = Pos;
+      Expected<uint8_t> Bc = u8("opcode");
       if (!Bc)
-        return Error("truncated expression");
+        return Bc.error();
       if (*Bc == 0x0b || *Bc == 0x05) {
         Terminator = *Bc;
         return Out;
       }
+      if (!validOpcode(*Bc))
+        return fail(Category::Malformed, Off,
+                    "invalid opcode " + std::to_string(*Bc));
+      if (Status S = charge(sizeof(WInst), "instruction"); !S)
+        return S.error();
       Op K = static_cast<Op>(*Bc);
       WInst I(K);
       switch (K) {
@@ -745,11 +1040,11 @@ private:
           return BT.error();
         I.BT = std::move(*BT);
         uint8_t T = 0;
-        Expected<std::vector<WInst>> Body = parseUntil(T);
+        Expected<std::vector<WInst>> Body = parseUntil(T, Depth + 1);
         if (!Body)
           return Body.error();
         if (T != 0x0b)
-          return Error("unexpected else in block");
+          return fail(Category::Malformed, Pos, "unexpected else in block");
         I.Body = std::move(*Body);
         break;
       }
@@ -759,16 +1054,16 @@ private:
           return BT.error();
         I.BT = std::move(*BT);
         uint8_t T = 0;
-        Expected<std::vector<WInst>> Then = parseUntil(T);
+        Expected<std::vector<WInst>> Then = parseUntil(T, Depth + 1);
         if (!Then)
           return Then.error();
         I.Body = std::move(*Then);
         if (T == 0x05) {
-          Expected<std::vector<WInst>> Else = parseUntil(T);
+          Expected<std::vector<WInst>> Else = parseUntil(T, Depth + 1);
           if (!Else)
             return Else.error();
           if (T != 0x0b)
-            return Error("unterminated else");
+            return fail(Category::Malformed, Pos, "unterminated else");
           I.Else = std::move(*Else);
         }
         break;
@@ -781,53 +1076,63 @@ private:
       case Op::LocalTee:
       case Op::GlobalGet:
       case Op::GlobalSet: {
-        auto V = u32();
+        Expected<uint32_t> V = u32("index immediate");
         if (!V)
-          return Error("truncated index immediate");
-        I.U32 = static_cast<uint32_t>(*V);
+          return V.error();
+        I.U32 = *V;
         break;
       }
       case Op::CallIndirect: {
-        auto V = u32();
-        auto Tbl = u8();
-        if (!V || !Tbl)
-          return Error("truncated call_indirect");
-        I.U32 = static_cast<uint32_t>(*V);
+        Expected<uint32_t> V = u32("call_indirect type index");
+        if (!V)
+          return V.error();
+        size_t TblOff = Pos;
+        Expected<uint8_t> Tbl = u8("call_indirect table index");
+        if (!Tbl)
+          return Tbl.error();
+        if (*Tbl != 0x00)
+          return fail(Category::Malformed, TblOff,
+                      "nonzero call_indirect table index");
+        I.U32 = *V;
         break;
       }
       case Op::BrTable: {
-        auto N = u32();
+        Expected<uint32_t> N = count(L.MaxOperandDepth, 1, "br_table target");
         if (!N)
-          return Error("truncated br_table");
-        for (uint64_t J = 0; J < *N; ++J) {
-          auto T = u32();
+          return N.error();
+        if (Status S = charge(uint64_t(*N) * sizeof(uint32_t), "br_table");
+            !S)
+          return S.error();
+        I.Table.reserve(*N);
+        for (uint32_t J = 0; J < *N; ++J) {
+          Expected<uint32_t> T = u32("br_table target");
           if (!T)
-            return Error("truncated br_table target");
-          I.Table.push_back(static_cast<uint32_t>(*T));
+            return T.error();
+          I.Table.push_back(*T);
         }
-        auto D = u32();
+        Expected<uint32_t> D = u32("br_table default");
         if (!D)
-          return Error("truncated br_table default");
-        I.U32 = static_cast<uint32_t>(*D);
+          return D.error();
+        I.U32 = *D;
         break;
       }
       case Op::I32Const: {
-        auto V = s64();
+        Expected<int64_t> V = sleb(32, "i32.const");
         if (!V)
-          return Error("truncated i32.const");
+          return V.error();
         I.U64 = static_cast<uint32_t>(static_cast<int32_t>(*V));
         break;
       }
       case Op::I64Const: {
-        auto V = s64();
+        Expected<int64_t> V = sleb(64, "i64.const");
         if (!V)
-          return Error("truncated i64.const");
+          return V.error();
         I.U64 = static_cast<uint64_t>(*V);
         break;
       }
       case Op::F32Const: {
-        if (Pos + 4 > B.size())
-          return Error("truncated f32.const");
+        if (Pos + 4 > Fence)
+          return fail(Category::Truncated, Pos, "truncated f32.const");
         uint32_t V;
         std::memcpy(&V, B.data() + Pos, 4);
         Pos += 4;
@@ -835,8 +1140,8 @@ private:
         break;
       }
       case Op::F64Const: {
-        if (Pos + 8 > B.size())
-          return Error("truncated f64.const");
+        if (Pos + 8 > Fence)
+          return fail(Category::Truncated, Pos, "truncated f64.const");
         uint64_t V;
         std::memcpy(&V, B.data() + Pos, 8);
         Pos += 8;
@@ -845,18 +1150,31 @@ private:
       }
       case Op::MemorySize:
       case Op::MemoryGrow: {
-        (void)u8();
+        size_t ROff = Pos;
+        Expected<uint8_t> R = u8("memory reserved byte");
+        if (!R)
+          return R.error();
+        if (*R != 0x00)
+          return fail(Category::Malformed, ROff,
+                      "nonzero memory instruction reserved byte");
         break;
       }
       default: {
         uint8_t C = static_cast<uint8_t>(K);
-        if (C >= 0x28 && C <= 0x3e) {
-          auto A = u32();
-          auto O = u32();
-          if (!A || !O)
-            return Error("truncated memarg");
-          I.Align = static_cast<uint32_t>(*A);
-          I.Offset = static_cast<uint32_t>(*O);
+        if (C >= 0x28 && C <= 0x3e) { // memarg
+          size_t AOff = Pos;
+          Expected<uint32_t> A = u32("memarg alignment");
+          if (!A)
+            return A.error();
+          if (*A > 31)
+            return fail(Category::Malformed, AOff,
+                        "memarg alignment exponent " + std::to_string(*A) +
+                            " out of range");
+          Expected<uint32_t> O = u32("memarg offset");
+          if (!O)
+            return O.error();
+          I.Align = *A;
+          I.Offset = *O;
         }
         break;
       }
@@ -867,16 +1185,24 @@ private:
 
   Expected<std::vector<WInst>> expr() {
     uint8_t T = 0;
-    Expected<std::vector<WInst>> Body = parseUntil(T);
+    Expected<std::vector<WInst>> Body = parseUntil(T, 0);
     if (!Body)
       return Body;
     if (T != 0x0b)
-      return Error("expression not terminated by end");
+      return fail(Category::Malformed, Pos,
+                  "expression not terminated by end");
     return Body;
   }
 
   const std::vector<uint8_t> &B;
+  const Limits &L;
+  IngestError *ErrOut;
   size_t Pos = 0;
+  /// Upper bound for every read: the end of the current section (or code
+  /// body), so no structure can consume its neighbor's bytes.
+  size_t Fence = 0;
+  /// Bytes charged against Limits::MaxTotalAlloc so far.
+  uint64_t Charged = 0;
   WModule M;
   std::vector<uint32_t> TypeIdxs;
   std::vector<uint32_t> Elems;
@@ -885,7 +1211,16 @@ private:
 } // namespace
 
 Expected<WModule> rw::wasm::decode(const std::vector<uint8_t> &Bytes) {
-  Decoder D(Bytes);
+  return decode(Bytes, ingest::Limits(), nullptr);
+}
+
+Expected<WModule> rw::wasm::decode(const std::vector<uint8_t> &Bytes,
+                                   const ingest::Limits &L,
+                                   ingest::IngestError *ErrOut) {
+  OBS_SPAN("decode", Bytes.size());
+  if (ErrOut)
+    *ErrOut = ingest::IngestError();
+  Decoder D(Bytes, L, ErrOut);
   return D.run();
 }
 

@@ -14,6 +14,7 @@
 #ifndef RICHWASM_WASM_BINARY_H
 #define RICHWASM_WASM_BINARY_H
 
+#include "ingest/Limits.h"
 #include "support/Error.h"
 #include "wasm/WasmAst.h"
 
@@ -24,8 +25,18 @@ namespace rw::wasm {
 /// type section may be extended internally.
 std::vector<uint8_t> encode(WModule M);
 
-/// Parses a binary module.
+/// Parses a binary module under the default ingest::Limits policy. Total
+/// on arbitrary bytes: every read is bounds-checked, counts are validated
+/// against remaining input before allocation, and recursion is
+/// depth-capped (DESIGN.md §12).
 Expected<WModule> decode(const std::vector<uint8_t> &Bytes);
+
+/// Parses a binary module under an explicit resource-limit policy. On
+/// rejection, \p ErrOut (when non-null) receives the structured error —
+/// category, byte offset, context — that the returned Error renders.
+Expected<WModule> decode(const std::vector<uint8_t> &Bytes,
+                         const ingest::Limits &L,
+                         ingest::IngestError *ErrOut = nullptr);
 
 /// Renders the module in a WAT-like text form (for debugging and docs).
 std::string printWat(const WModule &M);

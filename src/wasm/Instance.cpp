@@ -94,6 +94,11 @@ Status Instance::initialize(bool RunStart) {
         V.Bits = I.U64;
         break;
       case Op::GlobalGet:
+        // Validation guarantees the reference is to an earlier global;
+        // re-check here so a hostile module that skipped validation still
+        // cannot read out of bounds.
+        if (I.U32 >= Globals.size())
+          return Error("global initializer references undefined global");
         V = Globals[I.U32];
         break;
       default:

@@ -152,8 +152,9 @@ namespace {
 class FuncValidator {
 public:
   FuncValidator(const WModule &M, std::vector<ValType> Locals,
-                std::vector<ValType> Results)
-      : M(M), Locals(std::move(Locals)), Results(std::move(Results)) {}
+                std::vector<ValType> Results, uint32_t MaxOperandDepth)
+      : M(M), Locals(std::move(Locals)), Results(std::move(Results)),
+        MaxOperandDepth(MaxOperandDepth) {}
 
   Status run(const std::vector<WInst> &Body) {
     Labels.push_back(Results); // The implicit function label.
@@ -204,6 +205,9 @@ private:
         continue;
       if (Status S = inst(I, St); !S)
         return S;
+      if (St.Vals.size() > MaxOperandDepth)
+        return Error("operand stack depth exceeds limit of " +
+                     std::to_string(MaxOperandDepth));
     }
     if (St.Unreachable)
       return Status::success();
@@ -392,11 +396,62 @@ private:
   std::vector<ValType> Locals;
   std::vector<ValType> Results;
   std::vector<std::vector<ValType>> Labels;
+  uint32_t MaxOperandDepth;
 };
+
+/// Validates one global initializer: exactly one constant instruction —
+/// a const of the global's type, or global.get of an earlier immutable
+/// global of the same type. This is what Instance::initialize evaluates,
+/// so anything else would be silently misinitialized.
+Status validateGlobalInit(const WModule &M, size_t GI) {
+  const WGlobal &G = M.Globals[GI];
+  if (G.Init.size() != 1)
+    return Error("global " + std::to_string(GI) +
+                 ": initializer must be a single constant instruction");
+  const WInst &I = G.Init[0];
+  ValType T;
+  switch (I.K) {
+  case Op::I32Const:
+    T = ValType::I32;
+    break;
+  case Op::I64Const:
+    T = ValType::I64;
+    break;
+  case Op::F32Const:
+    T = ValType::F32;
+    break;
+  case Op::F64Const:
+    T = ValType::F64;
+    break;
+  case Op::GlobalGet:
+    if (I.U32 >= GI)
+      return Error("global " + std::to_string(GI) +
+                   ": initializer references global " +
+                   std::to_string(I.U32) + " not defined before it");
+    if (M.Globals[I.U32].Mut)
+      return Error("global " + std::to_string(GI) +
+                   ": initializer references mutable global");
+    T = M.Globals[I.U32].T;
+    break;
+  default:
+    return Error("global " + std::to_string(GI) +
+                 ": non-constant initializer");
+  }
+  if (T != G.T)
+    return Error("global " + std::to_string(GI) +
+                 ": initializer type mismatch");
+  return Status::success();
+}
 
 } // namespace
 
 Status rw::wasm::validate(const WModule &M) {
+  // Effectively uncapped: any depth a real module reaches is fine; the
+  // ingest front door passes its policy's cap explicitly.
+  return validate(M, ~uint32_t(0));
+}
+
+Status rw::wasm::validate(const WModule &M, uint32_t MaxOperandDepth) {
   OBS_SPAN("validate", M.Funcs.size());
   for (const WImportFunc &I : M.ImportFuncs)
     if (I.TypeIdx >= M.Types.size())
@@ -410,8 +465,21 @@ Status rw::wasm::validate(const WModule &M) {
     if (E.Kind == ExportKind::Global && E.Idx >= M.Globals.size())
       return Error("exported global index out of range");
   }
-  if (M.Start && *M.Start >= M.numFuncs())
-    return Error("start function index out of range");
+  if (M.Memory) {
+    constexpr uint32_t SpecMaxPages = 1u << 16; // 4 GiB of 64 KiB pages.
+    uint32_t Min = M.Memory->first;
+    if (Min > SpecMaxPages)
+      return Error("memory min exceeds 65536 pages");
+    if (M.Memory->second) {
+      if (*M.Memory->second > SpecMaxPages)
+        return Error("memory max exceeds 65536 pages");
+      if (*M.Memory->second < Min)
+        return Error("memory min exceeds max");
+    }
+  }
+  for (size_t GI = 0; GI < M.Globals.size(); ++GI)
+    if (Status S = validateGlobalInit(M, GI); !S)
+      return S;
 
   for (size_t FI = 0; FI < M.Funcs.size(); ++FI) {
     const WFunc &F = M.Funcs[FI];
@@ -420,11 +488,19 @@ Status rw::wasm::validate(const WModule &M) {
     const FuncType &FT = M.Types[F.TypeIdx];
     std::vector<ValType> Locals = FT.Params;
     Locals.insert(Locals.end(), F.Locals.begin(), F.Locals.end());
-    FuncValidator V(M, std::move(Locals), FT.Results);
+    FuncValidator V(M, std::move(Locals), FT.Results, MaxOperandDepth);
     if (Status S = V.run(F.Body); !S)
       return Error("in function " +
                    std::to_string(FI + M.ImportFuncs.size()) + ": " +
                    S.error().message());
+  }
+  // Checked after function types so funcType() below indexes safely.
+  if (M.Start) {
+    if (*M.Start >= M.numFuncs())
+      return Error("start function index out of range");
+    const FuncType &FT = M.funcType(*M.Start);
+    if (!FT.Params.empty() || !FT.Results.empty())
+      return Error("start function must have type [] -> []");
   }
   return Status::success();
 }

@@ -23,6 +23,11 @@ namespace rw::wasm {
 /// Validates a whole module. Returns the first error found.
 Status validate(const WModule &M);
 
+/// Validates a whole module with an operand-stack depth cap per function
+/// (ingest::Limits::MaxOperandDepth). The uncapped overload delegates here
+/// with an effectively unlimited depth.
+Status validate(const WModule &M, uint32_t MaxOperandDepth);
+
 /// The stack signature of a non-structured opcode: operand types (bottom
 /// first) and result types. Used by the validator and tests.
 struct OpSig {
