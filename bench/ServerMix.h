@@ -1,0 +1,184 @@
+//===- bench/ServerMix.h - c7 admission-server workload generator -*-C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The request mix of the c7 admission-server simulation (DESIGN.md §13)
+/// and the seed generator for the fuzz corpus: a pre-serialized universe
+/// of standalone RichWasm modules sampled zipf (hot re-admissions), a
+/// pool of cold novel modules (admitted once each), and deterministic
+/// adversarial mutations of hot payloads (mostly rejected by
+/// ingest::admit's taxonomy, occasionally still admissible — both are
+/// legitimate server traffic).
+///
+/// Everything is deterministic from explicit seeds (splitmix64 streams),
+/// so the same request schedule replays across thread counts and the
+/// mutation battery doubles as a corpus seeder (fuzz/make_corpus.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_BENCH_SERVERMIX_H
+#define RICHWASM_BENCH_SERVERMIX_H
+
+#include "ir/Builder.h"
+#include "serial/Serial.h"
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rwbench {
+
+/// splitmix64: one multiply-xor-shift step per draw; distinct seeds give
+/// independent streams (each worker thread owns one).
+inline uint64_t splitmix64(uint64_t &State) {
+  uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+/// A standalone (import-free) module with checker-relevant content —
+/// allocates, strongly updates, and frees a linear struct — parameterized
+/// by \p Tag so every tag is distinct content with a distinct hash.
+inline rw::ir::Module serverModule(uint64_t Tag, unsigned Funcs = 3) {
+  using namespace rw::ir;
+  using namespace rw::ir::build;
+  rw::ir::Module M;
+  M.Name = "srv_" + std::to_string(Tag);
+  FunTypeRef Fn = FunType::get({}, arrow({i32T()}, {i32T()}));
+  for (unsigned J = 0; J < Funcs; ++J) {
+    InstVec Body = {
+        getLocal(0, Qual::unr()),
+        iconst(static_cast<int32_t>((Tag * Funcs + J) & 0x7fffffff)),
+        addI32(),
+        structMalloc({Size::constant(32)}, Qual::lin()),
+        memUnpack(arrow({}, {i32T()}), {{1, i32T()}},
+                  {iconst(9), structSwap(0), setLocal(1), structFree(),
+                   getLocal(1, Qual::unr())}),
+        iconst(3),
+        mulI32(),
+    };
+    M.Funcs.push_back(function({"f" + std::to_string(J)}, Fn,
+                               {Size::constant(32)}, std::move(Body)));
+  }
+  return M;
+}
+
+/// One deterministic adversarial mutation of \p Bytes, chosen by \p Seed:
+/// truncation, bit flips, magic corruption, a zeroed run, or a duplicated
+/// slice — the classes the ingest taxonomy must categorize without
+/// crashing or leaking arena nodes. Never returns the input unchanged
+/// (empty input mutates to a one-byte garbage blob).
+inline std::vector<uint8_t> serverMutate(std::vector<uint8_t> Bytes,
+                                         uint64_t Seed) {
+  uint64_t S = Seed;
+  if (Bytes.empty())
+    return {static_cast<uint8_t>(splitmix64(S))};
+  switch (splitmix64(S) % 5) {
+  case 0: { // Truncate to a strict prefix.
+    Bytes.resize(splitmix64(S) % Bytes.size());
+    break;
+  }
+  case 1: { // 1-4 bit flips.
+    unsigned N = 1 + splitmix64(S) % 4;
+    for (unsigned I = 0; I < N; ++I) {
+      uint64_t R = splitmix64(S);
+      Bytes[R % Bytes.size()] ^= static_cast<uint8_t>(1u << (R >> 32) % 8);
+    }
+    break;
+  }
+  case 2: { // Corrupt the container magic/version head.
+    size_t N = Bytes.size() < 8 ? Bytes.size() : 8;
+    Bytes[splitmix64(S) % N] ^= 0xff;
+    break;
+  }
+  case 3: { // Zero a run in the middle.
+    size_t At = splitmix64(S) % Bytes.size();
+    size_t Len = 1 + splitmix64(S) % 16;
+    for (size_t I = At; I < Bytes.size() && I < At + Len; ++I)
+      Bytes[I] = 0;
+    break;
+  }
+  default: { // Duplicate a slice onto the tail (section splice-ish).
+    size_t At = splitmix64(S) % Bytes.size();
+    size_t Len = 1 + splitmix64(S) % 32;
+    if (At + Len > Bytes.size())
+      Len = Bytes.size() - At;
+    Bytes.insert(Bytes.end(), Bytes.begin() + static_cast<ptrdiff_t>(At),
+                 Bytes.begin() + static_cast<ptrdiff_t>(At + Len));
+    break;
+  }
+  }
+  return Bytes;
+}
+
+/// The c7 request mix: a zipf-weighted hot universe plus pre-generated
+/// cold and adversarial payloads. All payloads are serialized up front on
+/// the constructing thread (module *construction* stays off the worker
+/// threads; admission is what the bench measures).
+struct ServerMix {
+  /// Request classes and their mix weights (percent).
+  enum Kind : uint8_t { Hot = 0, Cold = 1, Adversarial = 2 };
+  static constexpr unsigned HotPct = 80;
+  static constexpr unsigned ColdPct = 10; // Remainder is adversarial.
+
+  std::vector<std::vector<uint8_t>> HotBytes;
+  std::vector<double> ZipfCdf; ///< Over HotBytes, exponent ~1.1.
+  std::vector<std::vector<uint8_t>> ColdBytes; ///< Each admitted once.
+  std::vector<std::vector<uint8_t>> AdvBytes;  ///< Mutated hot payloads.
+
+  /// \p HotN distinct hot modules; \p ColdN + \p AdvN pre-generated
+  /// one-shot payloads (size them to the request count and mix).
+  explicit ServerMix(unsigned HotN = 64, unsigned ColdN = 4096,
+                     unsigned AdvN = 4096, double ZipfS = 1.1) {
+    HotBytes.reserve(HotN);
+    for (unsigned I = 0; I < HotN; ++I)
+      HotBytes.push_back(rw::serial::write(serverModule(I)));
+    double Acc = 0;
+    ZipfCdf.reserve(HotN);
+    for (unsigned I = 0; I < HotN; ++I) {
+      Acc += 1.0 / std::pow(static_cast<double>(I + 1), ZipfS);
+      ZipfCdf.push_back(Acc);
+    }
+    for (double &C : ZipfCdf)
+      C /= Acc;
+    ColdBytes.reserve(ColdN);
+    for (unsigned I = 0; I < ColdN; ++I)
+      ColdBytes.push_back(
+          rw::serial::write(serverModule(0x10000000ull + I, /*Funcs=*/2)));
+    AdvBytes.reserve(AdvN);
+    for (unsigned I = 0; I < AdvN; ++I)
+      AdvBytes.push_back(
+          serverMutate(HotBytes[I % HotN], 0xadee5eedull + I));
+  }
+
+  /// The request class for one rng draw.
+  Kind kind(uint64_t &Rng) const {
+    uint64_t R = splitmix64(Rng) % 100;
+    if (R < HotPct)
+      return Hot;
+    return R < HotPct + ColdPct ? Cold : Adversarial;
+  }
+
+  /// A zipf-ranked hot payload index.
+  size_t zipfIndex(uint64_t &Rng) const {
+    double U = static_cast<double>(splitmix64(Rng) >> 11) * 0x1.0p-53;
+    size_t Lo = 0, Hi = ZipfCdf.size() - 1;
+    while (Lo < Hi) {
+      size_t Mid = (Lo + Hi) / 2;
+      if (ZipfCdf[Mid] < U)
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    return Lo;
+  }
+};
+
+} // namespace rwbench
+
+#endif // RICHWASM_BENCH_SERVERMIX_H

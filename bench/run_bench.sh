@@ -18,10 +18,18 @@
 #                         warm full-pipeline admission and batch checking,
 #                         plus the serialization layer; the 64-module warm
 #                         admission speedup is the headline (≥10x gates
-#                         cache PRs).
+#                         cache PRs);
+#  * BENCH_server.json  — the c7 admission-server simulation: N client
+#                         threads, zipf hot/cold/adversarial mix through
+#                         ingest::admit with tracing + timeline live;
+#                         p50/p99/p999 admission latency, cache pressure,
+#                         and the obs-vs-ground-truth reconciliation
+#                         gates (the binary exits nonzero on divergence).
+#                         RW_C7_THREADS / RW_C7_REQUESTS tune the load
+#                         (defaults 8 / 100000; CI smoke uses 4 / 20000).
 #
 # Usage: bench/run_bench.sh [build-dir] [interp-out.json] [typing-out.json]
-#                           [link-out.json] [cache-out.json]
+#                           [link-out.json] [cache-out.json] [server-out.json]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -29,13 +37,16 @@ OUT="${2:-BENCH_interp.json}"
 TYPING_OUT="${3:-BENCH_typing.json}"
 LINK_OUT="${4:-BENCH_link.json}"
 CACHE_OUT="${5:-BENCH_cache.json}"
+SERVER_OUT="${6:-BENCH_server.json}"
 BIN="$BUILD_DIR/fig4_interp_throughput"
 TYPING_BIN="$BUILD_DIR/fig7_typecheck_throughput"
 T1_BIN="$BUILD_DIR/t1_soundness_throughput"
 LINK_BIN="$BUILD_DIR/fig3_linking_types"
 CACHE_BIN="$BUILD_DIR/c6_admission_cache"
+SERVER_BIN="$BUILD_DIR/c7_admission_server"
 
-for B in "$BIN" "$TYPING_BIN" "$T1_BIN" "$LINK_BIN" "$CACHE_BIN"; do
+for B in "$BIN" "$TYPING_BIN" "$T1_BIN" "$LINK_BIN" "$CACHE_BIN" \
+         "$SERVER_BIN"; do
   if [[ ! -x "$B" ]]; then
     echo "error: $B not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
     exit 1
@@ -481,3 +492,13 @@ head = speedups.get("Admission/64")
 if head is not None:
     print(f"warm admission speedup @64 modules = {head:.2f}x (target >=10x)")
 EOF
+
+#===----------------------------------------------------------------------===#
+# c7 admission-server simulation
+#===----------------------------------------------------------------------===#
+# Unlike the google-benchmark binaries above, c7 is its own harness: it
+# self-checks the observability reconciliation invariants (histogram
+# count == request count, hist p99 within 10% of exact, timeline
+# base+deltas == latest) and writes its JSON directly, stamped with the
+# shared bench/Common.h host fingerprint.
+"$SERVER_BIN" "${RW_C7_THREADS:-8}" "${RW_C7_REQUESTS:-100000}" "$SERVER_OUT"

@@ -7,7 +7,9 @@
 //   * a Chrome trace_event JSON (open in Perfetto / chrome://tracing)
 //     showing every pipeline phase attributed to the worker that ran it;
 //   * the obs::snapshot() JSON: phase latency histograms, cache/arena
-//     counters, and the per-function execution profiles of a short run.
+//     counters, and the per-function execution profiles of a short run;
+//   * the same snapshot as Prometheus text exposition (metrics.prom) —
+//     what a scraper would pull from a long-running admission server.
 //
 // Also computes what fraction of the admission's wall time is covered by
 // the union of recorded spans (the acceptance bar is >= 95%: the trace
@@ -15,6 +17,7 @@
 // non-zero below that, so CI can run this as a smoke test.
 //
 // Usage: example_observe_admission [num_modules] [trace.json] [stats.json]
+//                                  [metrics.prom]
 //
 //===----------------------------------------------------------------------===//
 
@@ -92,6 +95,7 @@ int main(int argc, char **argv) {
   unsigned N = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 64;
   const char *TracePath = argc > 2 ? argv[2] : "admission_trace.json";
   const char *StatsPath = argc > 3 ? argv[3] : "admission_snapshot.json";
+  const char *PromPath = argc > 4 ? argv[4] : "metrics.prom";
 
   if (!obs::compiledIn()) {
     std::fprintf(stderr, "built with -DRW_OBS=OFF: nothing to observe\n");
@@ -136,7 +140,9 @@ int main(int argc, char **argv) {
   std::string Trace = obs::traceJson();
   obs::Snapshot Snap = obs::snapshot();
   std::string Stats = obs::renderJson(Snap);
-  if (!writeFile(TracePath, Trace) || !writeFile(StatsPath, Stats)) {
+  std::string Prom = obs::renderPrometheus(Snap);
+  if (!writeFile(TracePath, Trace) || !writeFile(StatsPath, Stats) ||
+      !writeFile(PromPath, Prom)) {
     std::fprintf(stderr, "cannot write output files\n");
     return 1;
   }
@@ -151,6 +157,7 @@ int main(int argc, char **argv) {
   std::printf("trace:    %s (%zu events)\n", TracePath,
               obs::traceEventCount());
   std::printf("snapshot: %s\n", StatsPath);
+  std::printf("prom:     %s (scrape target format)\n", PromPath);
   std::printf("span coverage of admission wall time: %.1f%%\n", Pct);
   std::printf("\n%s", obs::renderText(Snap).c_str());
 

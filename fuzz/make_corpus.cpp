@@ -17,6 +17,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/Common.h"
+#include "bench/ServerMix.h"
 #include "lower/Lower.h"
 #include "serial/Serial.h"
 #include "wasm/Binary.h"
@@ -95,6 +96,28 @@ int main(int argc, char **argv) {
        {'R', 'W', 'B', 'M', 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
         0x00, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x00, 0x00, 0x00,
         0x00});
+
+  // c7 server-mix seeds: the admission-server simulation's hot universe
+  // and its deterministic adversarial mutator (bench/ServerMix.h) feed
+  // the same front door the fuzzer attacks, so its payloads are ideal
+  // deep-structure seeds. Two hot payloads plus one mutant per mutation
+  // class (truncate / bitflip / magic / zero-run / splice).
+  std::vector<uint8_t> Hot0 = serial::write(rwbench::serverModule(0));
+  Emit("serial_server_hot0.bin", Hot0);
+  Emit("serial_server_hot1.bin", serial::write(rwbench::serverModule(1)));
+  for (uint64_t Class = 0; Class < 5; ++Class) {
+    // Scan seeds until the mutator's class draw lands on each class, so
+    // the emitted set covers the whole battery deterministically.
+    for (uint64_t Seed = 0;; ++Seed) {
+      uint64_t S = 0xadee5eedull + Seed;
+      uint64_t Probe = S;
+      if (rwbench::splitmix64(Probe) % 5 != Class)
+        continue;
+      Emit(("adv_servermix_" + std::to_string(Class) + ".bin").c_str(),
+           rwbench::serverMutate(Hot0, S));
+      break;
+    }
+  }
 
   if (Failures) {
     std::fprintf(stderr, "%d corpus seeds failed\n", Failures);

@@ -4,14 +4,17 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// One mutex-guarded LRU over both entry kinds (check verdicts and lowered
-// artifacts) with a shared byte budget: a recency list whose nodes own the
-// values, plus one hash index per kind pointing into it. Every operation
-// is a couple of hash probes and a list splice, so the lock is held for
-// nanoseconds — adequate even with every ThreadPool worker probing, and
-// far simpler to reason about than sharding. Also defines the cached
-// typing::checkModules overload, which lives here (not in typing/) so the
-// typing layer keeps no cache dependency beyond a forward declaration.
+// Each shard is one mutex-guarded LRU over both entry kinds (check
+// verdicts and lowered artifacts) with its slice of the byte budget: a
+// recency list whose nodes own the values, plus one hash index per kind
+// pointing into it. Every operation is a couple of hash probes and a
+// list splice, so a lock is held for nanoseconds; the default single
+// shard gives exact global recency, and a server constructs with more
+// shards to spread client threads across independent locks (the shard
+// is picked from the content key, so a given key always lands on the
+// same shard). Also defines the cached typing::checkModules overload,
+// which lives here (not in typing/) so the typing layer keeps no cache
+// dependency beyond a forward declaration.
 //
 //===----------------------------------------------------------------------===//
 
@@ -167,11 +170,18 @@ struct AdmissionCache::Impl {
   }
 };
 
-AdmissionCache::AdmissionCache(uint64_t ByteBudget)
-    : Budget(ByteBudget), I(std::make_unique<Impl>()) {
+AdmissionCache::AdmissionCache(uint64_t ByteBudget, unsigned Shards)
+    : Budget(ByteBudget), NumShards(Shards == 0 ? 1 : Shards),
+      ShardBudget(ByteBudget / (Shards == 0 ? 1 : Shards)) {
+  Sh.reserve(NumShards);
+  for (unsigned S = 0; S < NumShards; ++S)
+    Sh.push_back(std::make_unique<Impl>());
   // Every cache joins obs::snapshot() for its lifetime (a second live
-  // cache shows up as "cache#2.*"). stats() takes the cache mutex, which
-  // is why snapshot() samples sources outside the registry lock.
+  // cache shows up as "cache#2.*"). stats() takes the shard mutexes,
+  // which is why snapshot() samples sources outside the registry lock.
+  // A sharded cache also emits per-shard keys ("shard0.hits", ...) so
+  // partition skew and per-shard pressure are visible; renderPrometheus
+  // lifts the "shard<i>" segment into a shard="<i>" label.
   ObsSourceId = obs::registerSource("cache", [this](const obs::EmitFn &E) {
     CacheStats S = stats();
     E("hits", S.hits());
@@ -183,22 +193,46 @@ AdmissionCache::AdmissionCache(uint64_t ByteBudget)
     E("evictions", S.Evictions);
     E("bytes", S.Bytes);
     E("entries", S.Entries);
+    E("shards", NumShards);
+    if (NumShards > 1) {
+      for (unsigned I = 0; I < NumShards; ++I) {
+        CacheStats P = shardStats(I);
+        std::string Prefix = "shard" + std::to_string(I) + ".";
+        E((Prefix + "hits").c_str(), P.hits());
+        E((Prefix + "misses").c_str(), P.misses());
+        E((Prefix + "evictions").c_str(), P.Evictions);
+        E((Prefix + "bytes").c_str(), P.Bytes);
+        E((Prefix + "entries").c_str(), P.Entries);
+      }
+    }
   });
 }
 
 AdmissionCache::~AdmissionCache() { obs::unregisterSource(ObsSourceId); }
 
+AdmissionCache::Impl &AdmissionCache::shardFor(const serial::ModuleHash &Key) {
+  if (NumShards == 1)
+    return *Sh[0];
+  // Mix the words through two rounds so the shard choice neither shares
+  // bits with the per-shard map's KeyHash (which folds Lo into Hi) nor
+  // collapses for correlated Hi/Lo pairs (Lo ^ (Hi << 1) is constant
+  // along the line Lo = 2*Hi + c — cache_test pins this with synthetic
+  // keys; real keys are Merkle hashes but cost here is two multiplies).
+  return *Sh[support::mix64(Key.Lo ^ support::mix64(Key.Hi)) % NumShards];
+}
+
 std::optional<CheckResult>
 AdmissionCache::lookupCheck(const serial::ModuleHash &Key) {
   OBS_SPAN("cache_probe");
-  std::lock_guard<std::mutex> G(I->M);
-  auto It = I->Checks.find(Key);
-  if (It == I->Checks.end()) {
-    ++I->St.CheckMisses;
+  Impl &I = shardFor(Key);
+  std::lock_guard<std::mutex> G(I.M);
+  auto It = I.Checks.find(Key);
+  if (It == I.Checks.end()) {
+    ++I.St.CheckMisses;
     return std::nullopt;
   }
-  ++I->St.CheckHits;
-  I->touch(It->second);
+  ++I.St.CheckHits;
+  I.touch(It->second);
   return It->second->Check;
 }
 
@@ -213,21 +247,23 @@ void AdmissionCache::storeCheck(const serial::ModuleHash &Key, CheckResult R) {
   E.Key = Key;
   E.Bytes = checkBytes(R);
   E.Check = std::move(R);
-  std::lock_guard<std::mutex> G(I->M);
-  I->insert(Impl::Kind::Check, Key, std::move(E), Budget);
+  Impl &I = shardFor(Key);
+  std::lock_guard<std::mutex> G(I.M);
+  I.insert(Impl::Kind::Check, Key, std::move(E), ShardBudget);
 }
 
 std::shared_ptr<const LoweredArtifact>
 AdmissionCache::lookupProgram(const serial::ModuleHash &Key) {
   OBS_SPAN("cache_probe");
-  std::lock_guard<std::mutex> G(I->M);
-  auto It = I->Programs.find(Key);
-  if (It == I->Programs.end()) {
-    ++I->St.ProgramMisses;
+  Impl &I = shardFor(Key);
+  std::lock_guard<std::mutex> G(I.M);
+  auto It = I.Programs.find(Key);
+  if (It == I.Programs.end()) {
+    ++I.St.ProgramMisses;
     return nullptr;
   }
-  ++I->St.ProgramHits;
-  I->touch(It->second);
+  ++I.St.ProgramHits;
+  I.touch(It->second);
   return It->second->Art;
 }
 
@@ -243,22 +279,42 @@ void AdmissionCache::storeProgram(const serial::ModuleHash &Key,
   E.Key = Key;
   E.Bytes = artifactBytes(*Art);
   E.Art = std::move(Art);
-  std::lock_guard<std::mutex> G(I->M);
-  I->insert(Impl::Kind::Program, Key, std::move(E), Budget);
+  Impl &I = shardFor(Key);
+  std::lock_guard<std::mutex> G(I.M);
+  I.insert(Impl::Kind::Program, Key, std::move(E), ShardBudget);
 }
 
 CacheStats AdmissionCache::stats() const {
-  std::lock_guard<std::mutex> G(I->M);
-  return I->St;
+  CacheStats Out;
+  for (const std::unique_ptr<Impl> &I : Sh) {
+    std::lock_guard<std::mutex> G(I->M);
+    Out.CheckHits += I->St.CheckHits;
+    Out.CheckMisses += I->St.CheckMisses;
+    Out.ProgramHits += I->St.ProgramHits;
+    Out.ProgramMisses += I->St.ProgramMisses;
+    Out.Evictions += I->St.Evictions;
+    Out.Bytes += I->St.Bytes;
+    Out.Entries += I->St.Entries;
+  }
+  return Out;
+}
+
+CacheStats AdmissionCache::shardStats(unsigned Shard) const {
+  if (Shard >= NumShards)
+    return {};
+  std::lock_guard<std::mutex> G(Sh[Shard]->M);
+  return Sh[Shard]->St;
 }
 
 void AdmissionCache::clear() {
-  std::lock_guard<std::mutex> G(I->M);
-  I->Recency.clear();
-  I->Checks.clear();
-  I->Programs.clear();
-  I->St.Bytes = 0;
-  I->St.Entries = 0;
+  for (const std::unique_ptr<Impl> &I : Sh) {
+    std::lock_guard<std::mutex> G(I->M);
+    I->Recency.clear();
+    I->Checks.clear();
+    I->Programs.clear();
+    I->St.Bytes = 0;
+    I->St.Entries = 0;
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -24,10 +24,19 @@
 ///
 /// Entries hold no arena nodes (verdicts are strings, artifacts are pure
 /// Wasm), so cached results survive TypeArena rollback and need no
-/// invalidation: the key *is* the content. Thread-safe (one mutex; probes
-/// copy shared handles out); artifacts are handed out as
+/// invalidation: the key *is* the content. Thread-safe (mutex per shard;
+/// probes copy shared handles out); artifacts are handed out as
 /// shared_ptr<const ...>, so eviction never invalidates a running
 /// instance. Capacity is a byte budget with LRU eviction.
+///
+/// Sharding: the default single shard is one mutex + one global LRU —
+/// exact global recency, the right trade for benches and small pools. A
+/// server hammering one cache from many client threads constructs with
+/// Shards > 1: keys hash-partition across independent shards (budget
+/// split evenly), contention drops by the shard count, and recency
+/// becomes per-shard (a hot key only competes with its shard's
+/// residents). stats() aggregates; shardStats() exposes the partition,
+/// and the obs source emits per-shard "shard<i>.*" keys when sharded.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -85,7 +94,12 @@ class AdmissionCache {
 public:
   static constexpr uint64_t DefaultByteBudget = 64ull << 20;
 
-  explicit AdmissionCache(uint64_t ByteBudget = DefaultByteBudget);
+  /// Shards = 1 (the default) is a single global LRU; Shards > 1
+  /// hash-partitions keys across independent per-shard LRUs, each with
+  /// ByteBudget / Shards of the budget (entries larger than a shard's
+  /// budget are rejected, matching the single-shard oversize rule).
+  explicit AdmissionCache(uint64_t ByteBudget = DefaultByteBudget,
+                          unsigned Shards = 1);
   ~AdmissionCache();
   AdmissionCache(const AdmissionCache &) = delete;
   AdmissionCache &operator=(const AdmissionCache &) = delete;
@@ -103,14 +117,21 @@ public:
                     std::shared_ptr<const LoweredArtifact> Art);
 
   uint64_t byteBudget() const { return Budget; }
+  unsigned shardCount() const { return NumShards; }
+  /// Aggregate across all shards.
   CacheStats stats() const;
+  /// One shard's counters (Shard < shardCount()).
+  CacheStats shardStats(unsigned Shard) const;
   /// Drops every entry (stats counters are kept; Bytes/Entries reset).
   void clear();
 
 private:
   struct Impl;
+  Impl &shardFor(const serial::ModuleHash &Key);
   const uint64_t Budget;
-  std::unique_ptr<Impl> I;
+  const unsigned NumShards;
+  const uint64_t ShardBudget;
+  std::vector<std::unique_ptr<Impl>> Sh;
   /// obs registry handle ("cache.*" snapshot source); 0 when compiled out.
   uint64_t ObsSourceId = 0;
 };

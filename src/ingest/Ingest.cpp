@@ -223,6 +223,12 @@ Expected<AdmittedModule> rw::ingest::admit(const std::vector<uint8_t> &Bytes,
                                            const Limits &L,
                                            const link::LinkOptions &Opts,
                                            IngestError *ErrOut) {
+  // The content hash doubles as the head-sampling key: the same input
+  // bytes trace (or not) identically regardless of thread, pool size, or
+  // arrival order, so an always-on server traces a stable deterministic
+  // 1-in-N slice of its admissions (RW_OBS_TRACE_SAMPLE=N).
+  uint64_t InputHash = fnv1a(Bytes);
+  obs::TraceSampleScope SampleScope(obs::traceSampleSelect(InputHash));
   OBS_SPAN("ingest_admit", Bytes.size());
   static obs::Counter Accepted("ingest.accepted");
   static obs::Counter BytesIn("ingest.bytes");
@@ -252,7 +258,7 @@ Expected<AdmittedModule> rw::ingest::admit(const std::vector<uint8_t> &Bytes,
 
   if (!A)
     return A;
-  A->InputHash = fnv1a(Bytes);
+  A->InputHash = InputHash;
   Accepted.inc();
   return A;
 }

@@ -59,7 +59,8 @@ static_assert(offsetof(JitContext, Ops) == 8 &&
                   offsetof(JitContext, ProfP) == 56 &&
                   offsetof(JitContext, DeoptPc) == 64 &&
                   offsetof(JitContext, DeoptSp) == 68 &&
-                  offsetof(JitContext, GenTrap) == 72,
+                  offsetof(JitContext, GenTrap) == 72 &&
+                  offsetof(JitContext, FuelRefunded) == 80,
               "JitContext layout is baked into generated code");
 static_assert(sizeof(WValue) == 16 && offsetof(WValue, Bits) == 8,
               "global templates assume WValue {tag, bits} stride 16");
@@ -68,7 +69,7 @@ namespace {
 
 constexpr int32_t OffOps = 8, OffRegs = 16, OffMemP = 24, OffMemSz = 32,
                   OffFuel = 40, OffGlobals = 48, OffProf = 56, OffDeoptPc = 64,
-                  OffDeoptSp = 68, OffGenTrap = 72;
+                  OffDeoptSp = 68, OffGenTrap = 72, OffFuelRefund = 80;
 
 enum R : uint8_t {
   RAX = 0, RCX = 1, RDX = 2, RBX = 3, RSP = 4, RBP = 5, RSI = 6, RDI = 7,
@@ -1008,8 +1009,12 @@ void FuncCompiler::finish() {
       size_t P = A.jcc(CNE);
       A.patch32(P, static_cast<uint32_t>(EpilogueOfs - (P + 4)));
     }
-    if (S.Refund)
+    if (S.Refund) {
       A.aluMI64(0, RBX, OffFuel, S.Refund);
+      // Mirror the refund into the observability accumulator so the
+      // engine can count refunded fuel without diffing fuel itself.
+      A.aluMI64(0, RBX, OffFuelRefund, S.Refund);
+    }
     A.movMI32(RBX, OffDeoptPc, S.Pc);
     A.movMI32(RBX, OffDeoptSp, S.Sp);
     A.movRI32(RAX, JDeoptHere);
@@ -1062,9 +1067,26 @@ uint8_t *allocExec(const std::vector<uint8_t> &Buf, size_t &SzOut) {
 } // namespace
 
 ModuleJit::ModuleJit(const exec::FlatModule &FM)
-    : FM(FM), Entries(FM.Funcs.size()), State(FM.Funcs.size()) {}
+    : FM(FM), Entries(FM.Funcs.size()), State(FM.Funcs.size()) {
+  // Tier/code-cache observability: every live ModuleJit is an obs source
+  // ("jit.*"; a second live module shows up as "jit#2.*") emitting its
+  // aggregate tier counts, resident code bytes, and the per-function
+  // tier state (funcN.tier: 0 untried, 1 compiling, 2 native, 3 refused).
+  ObsSourceId = obs::registerSource("jit", [this](const obs::EmitFn &E) {
+    uint32_t Done = compiledCount(), Refused = unsupportedCount();
+    uint32_t Total = static_cast<uint32_t>(this->FM.Funcs.size());
+    E("funcs", Total);
+    E("compiled", Done);
+    E("unsupported", Refused);
+    E("pending", Total - Done - Refused);
+    E("code_bytes", codeBytes());
+    for (uint32_t I = 0; I < Total; ++I)
+      E(("func" + std::to_string(I) + ".tier").c_str(), tierState(I));
+  });
+}
 
 ModuleJit::~ModuleJit() {
+  obs::unregisterSource(ObsSourceId);
   for (const Page &P : Pages)
     munmap(P.P, P.Sz);
 }
@@ -1077,7 +1099,9 @@ bool ModuleJit::compile(uint32_t DefIdx) {
 
   static obs::Counter CompiledC("exec.tier.compiled");
   static obs::Counter UnsupportedC("exec.tier.unsupported");
+  static obs::Histogram CompileNs("jit.compile.ns");
   OBS_SPAN("translate_jit", DefIdx);
+  uint64_t T0 = obs::enabled() ? obs::nowNs() : 0;
 
   FuncCompiler FC(FM, FM.Funcs[DefIdx]);
   uint8_t *Code = nullptr;
@@ -1085,8 +1109,11 @@ bool ModuleJit::compile(uint32_t DefIdx) {
   if (!RW_FAULT_POINT(support::fault::Seam::JitCompile) && FC.analyze() &&
       FC.emit())
     Code = allocExec(FC.A.B, Sz);
+  if (T0)
+    CompileNs.record(obs::nowNs() - T0);
   if (!Code) {
     UnsupportedC.inc();
+    Unsupported.fetch_add(1, std::memory_order_relaxed);
     State[DefIdx].store(3, std::memory_order_release);
     return false;
   }
@@ -1094,6 +1121,7 @@ bool ModuleJit::compile(uint32_t DefIdx) {
     std::lock_guard<std::mutex> Lock(PagesMu);
     Pages.push_back({Code, Sz});
   }
+  CodeBytes.fetch_add(Sz, std::memory_order_relaxed);
   Entries[DefIdx].store(reinterpret_cast<NativeFn>(Code),
                         std::memory_order_release);
   Compiled.fetch_add(1, std::memory_order_relaxed);
@@ -1405,7 +1433,13 @@ uint32_t FlatInstance::jitMemoryGrow(JitContext &Ctx, uint32_t SpRel) {
 }
 
 FlatInstance::JitRun FlatInstance::jitExecuteBack(uint64_t &Fuel) {
+  // Deopts (this frame re-executes one instruction in the interpreter)
+  // and side exits (a deeper frame unwound through this one) are counted
+  // separately: a server tuning tier-up policy needs to know whether
+  // native code is bailing itself or propagating callees' bails.
   static obs::Counter DeoptC("exec.tier.deopts");
+  static obs::Counter SideExitC("exec.tier.side_exits");
+  static obs::Counter RefundC("exec.tier.fuel_refunded");
   JitContext Ctx;
   Ctx.Inst = this;
   Ctx.Ops = OpStack.data();
@@ -1422,6 +1456,8 @@ FlatInstance::JitRun FlatInstance::jitExecuteBack(uint64_t &Fuel) {
   uint32_t St = Fn(&Ctx, static_cast<uint64_t>(Fr.OpBase) * 8,
                    static_cast<uint64_t>(Fr.RegBase) * 8);
   Fuel = Ctx.Fuel;
+  if (Ctx.FuelRefunded)
+    RefundC.add(Ctx.FuelRefunded);
   switch (St) {
   case JOk:
     Frames.pop_back();
@@ -1433,7 +1469,7 @@ FlatInstance::JitRun FlatInstance::jitExecuteBack(uint64_t &Fuel) {
     return JitRun::Resume;
   case JUnwind:
     ResumeSp = Ctx.DeoptSp;
-    DeoptC.inc();
+    SideExitC.inc();
     return JitRun::Resume;
   default:
     return JitRun::Trapped;

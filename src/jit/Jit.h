@@ -78,6 +78,10 @@ struct JitContext {
   uint32_t DeoptSp = 0;        ///< Operand height (frame-relative) there.
   uint32_t GenTrap = 0;        ///< Out-flag of the generic-op helpers.
   uint32_t Pad = 0;
+  /// Fuel returned by exact-refund deopt stubs during this activation
+  /// (generated code accumulates; the engine drains it into the
+  /// "exec.tier.fuel_refunded" counter after each native exit).
+  uint64_t FuelRefunded = 0;
 };
 
 /// Entry point of one compiled function. Bases are *byte* offsets into
@@ -117,6 +121,22 @@ public:
     return Compiled.load(std::memory_order_relaxed);
   }
 
+  /// Functions refused by the template compiler (or failed page maps).
+  uint32_t unsupportedCount() const {
+    return Unsupported.load(std::memory_order_relaxed);
+  }
+
+  /// Resident executable-page bytes (the module's code-cache footprint).
+  uint64_t codeBytes() const {
+    return CodeBytes.load(std::memory_order_relaxed);
+  }
+
+  /// Tier state of one defined function: 0 = untried (runs flat),
+  /// 1 = compiling, 2 = native, 3 = unsupported/failed (flat forever).
+  uint8_t tierState(uint32_t DefIdx) const {
+    return State[DefIdx].load(std::memory_order_acquire);
+  }
+
   /// Whether a compile of \p DefIdx was ever started (done, in flight,
   /// or failed) — the tier-up controller skips attempted functions.
   bool attempted(uint32_t DefIdx) const {
@@ -134,8 +154,13 @@ private:
   /// 0 = untried, 1 = compiling, 2 = done, 3 = unsupported/failed.
   std::vector<std::atomic<uint8_t>> State;
   std::atomic<uint32_t> Compiled{0};
+  std::atomic<uint32_t> Unsupported{0};
+  std::atomic<uint64_t> CodeBytes{0};
   std::mutex PagesMu;
   std::vector<Page> Pages; ///< W^X code pages, RX once published.
+  /// obs registry handle ("jit.*" snapshot source: tier counts, code
+  /// bytes, per-function tier state); 0 when obs is compiled out.
+  uint64_t ObsSourceId = 0;
 };
 
 } // namespace rw::jit

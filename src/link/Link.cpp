@@ -19,6 +19,7 @@
 #include "support/Hashing.h"
 
 #include <cstring>
+#include <optional>
 #include <unordered_map>
 
 using namespace rw;
@@ -379,17 +380,26 @@ rw::link::instantiate(const std::vector<const ir::Module *> &Mods,
 Expected<LoweredInstance>
 rw::link::instantiateLowered(const std::vector<const ir::Module *> &Mods,
                              const LinkOptions &Opts) {
+  // Warm path: the whole link set is content-addressed; a hit skips
+  // checking, resolution, lowering, validation, and flat translation.
+  serial::ModuleHash Key;
+  if (Opts.Cache)
+    Key = cache::programKey(Mods);
+  // Head sampling for direct callers: inside ingest::admit the thread
+  // already carries the admission's sampling decision; a bare
+  // instantiateLowered with a cache gets its own deterministic decision
+  // from the program content key (same modules → same decision, any
+  // thread or pool size). Must precede OBS_SPAN so the scope outlives
+  // the span's destructor-time recording check.
+  std::optional<obs::TraceSampleScope> SampleScope;
+  if (Opts.Cache && !obs::traceSampleActive())
+    SampleScope.emplace(obs::traceSampleSelect(Key.Hi ^ Key.Lo));
   // Umbrella span for the whole admission (the per-phase spans nest
   // inside it in the trace).
   OBS_SPAN("admission", Mods.size());
-  // Warm path: the whole link set is content-addressed; a hit skips
-  // checking, resolution, lowering, validation, and flat translation.
   std::shared_ptr<const cache::LoweredArtifact> Art;
-  serial::ModuleHash Key;
-  if (Opts.Cache) {
-    Key = cache::programKey(Mods);
+  if (Opts.Cache)
     Art = Opts.Cache->lookupProgram(Key);
-  }
 
   if (!Art) {
     // Cold path. The import-resolution phase is shared with instantiate()

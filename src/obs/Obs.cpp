@@ -9,9 +9,12 @@
 // bank (thread id modulo NumShards), so concurrent hot-path increments
 // from different pool workers land on different cache lines; snapshot()
 // folds the banks. Counters and gauges take one slot; a histogram takes
-// 66 consecutive slots (count, sum, 64 log2 buckets). Slot allocation is
-// name-deduplicated under the registry mutex, so function-local static
-// Counter/Phase objects in different TUs share storage by name.
+// HistBucketCount + 2 consecutive slots (count, sum, sub-buckets — see
+// Obs.h for the HDR layout). Slot allocation is name-deduplicated under
+// the registry mutex, so function-local static Counter/Phase objects in
+// different TUs share storage by name. The banks are BSS (zero pages
+// until touched), so raising MaxSlots for the wider histograms costs
+// address space, not resident memory, until a slot is written.
 //
 // Trace events go to a per-thread ring buffer owned by a thread_local
 // handle and co-owned by the global registry, so a pool worker's spans
@@ -47,8 +50,9 @@ using namespace rw::obs;
 namespace {
 
 constexpr unsigned NumShards = 16;
-constexpr unsigned MaxSlots = 4096;
-constexpr unsigned HistWords = 66; ///< count, sum, 64 buckets.
+constexpr unsigned MaxSlots = 64 * 1024; ///< ~64 histograms + counters.
+constexpr unsigned HistWords = HistBucketCount + 2; ///< count, sum, buckets.
+static_assert(HistWords < MaxSlots, "bank must fit at least one histogram");
 constexpr size_t TraceCapacity = 1 << 14; ///< Events per thread buffer.
 
 struct alignas(64) ShardBank {
@@ -67,6 +71,7 @@ struct TraceEvent {
 struct TraceBuf {
   std::vector<TraceEvent> Ev; ///< Ring of capacity TraceCapacity.
   size_t N = 0;               ///< Events pushed since the last clear.
+  size_t Dropped = 0;         ///< Overwritten by wraparound since clear.
   uint64_t Tid = 0;           ///< Stable small id (registration order).
   std::string Name;           ///< "main", "pool-3", ... ("t<id>" default).
 };
@@ -110,6 +115,23 @@ uint32_t flagsFromEnv() {
     F |= 3u; // Tracing implies enabled.
   return F;
 }
+
+uint64_t sampleFromEnv() {
+  const char *V = std::getenv("RW_OBS_TRACE_SAMPLE");
+  if (!V || !V[0])
+    return 1;
+  char *End = nullptr;
+  unsigned long long N = std::strtoull(V, &End, 10);
+  return (End && *End == '\0' && N > 1) ? N : 1;
+}
+
+/// 1-in-N head-sampling rate; N <= 1 disables suppression.
+std::atomic<uint64_t> SampleN{sampleFromEnv()};
+
+/// Per-thread sampling state: 0 = no enclosing TraceSampleScope (spans
+/// record whenever tracing() — the pre-sampling behavior), 1 = selected,
+/// 2 = suppressed.
+thread_local uint8_t SampleState = 0;
 
 /// The calling thread's trace buffer, registering it (and a default name)
 /// on first use. The thread_local shared_ptr keeps the buffer alive for
@@ -199,7 +221,7 @@ uint64_t slotValue(unsigned Slot) {
 }
 
 void histRecord(unsigned Slot, uint64_t Sample) {
-  unsigned Bucket = std::min<unsigned>(std::bit_width(Sample), 63);
+  unsigned Bucket = histBucketIndex(Sample);
   ShardBank &B = Banks[myShard()];
   B.V[Slot].fetch_add(1, std::memory_order_relaxed);
   B.V[Slot + 1].fetch_add(Sample, std::memory_order_relaxed);
@@ -211,9 +233,19 @@ void spanEnd(const Phase &P, uint64_t StartNs, uint64_t A, uint64_t B) {
   P.Hist.record(Dur);
   if (!tracing())
     return;
+  // Head sampling: when a rate is set and this thread is inside a
+  // suppressed TraceSampleScope, keep the histogram record above but
+  // skip the ring event. Threads with no scope record as before.
+  if (SampleState == 2 && SampleN.load(std::memory_order_relaxed) > 1)
+    return;
   TraceBuf &T = myBuf();
   if (T.Ev.empty())
     T.Ev.resize(TraceCapacity);
+  if (T.N >= TraceCapacity) {
+    ++T.Dropped;
+    static Counter DroppedC("obs.trace.dropped");
+    DroppedC.inc();
+  }
   T.Ev[T.N % TraceCapacity] = {P.Name, StartNs, Dur, A, B};
   ++T.N;
 }
@@ -228,6 +260,46 @@ void rw::obs::setEnabled(bool On) {
 void rw::obs::setTracing(bool On) {
   uint32_t F = detail::Flags.load(std::memory_order_relaxed);
   detail::Flags.store(On ? (F | 3u) : (F & ~2u), std::memory_order_relaxed);
+}
+
+void rw::obs::setTraceSampling(uint64_t N) {
+  SampleN.store(N > 1 ? N : 1, std::memory_order_relaxed);
+}
+
+uint64_t rw::obs::traceSampling() {
+  return SampleN.load(std::memory_order_relaxed);
+}
+
+bool rw::obs::traceSampleSelect(uint64_t ContentHash) {
+  uint64_t N = SampleN.load(std::memory_order_relaxed);
+  if (N <= 1)
+    return true;
+  // Finalizer-style mix so low-entropy hash bits still spread across the
+  // modulus; pure function of (hash, N) — thread- and order-independent.
+  uint64_t H = ContentHash;
+  H ^= H >> 33;
+  H *= 0xff51afd7ed558ccdull;
+  H ^= H >> 33;
+  H *= 0xc4ceb9fe1a85ec53ull;
+  H ^= H >> 33;
+  return H % N == 0;
+}
+
+rw::obs::TraceSampleScope::TraceSampleScope(bool Selected) : Prev(SampleState) {
+  SampleState = Selected ? 1 : 2;
+}
+
+rw::obs::TraceSampleScope::~TraceSampleScope() { SampleState = Prev; }
+
+bool rw::obs::traceSampleActive() { return SampleState != 0; }
+
+uint64_t rw::obs::traceDroppedCount() {
+  Registry &R = reg();
+  std::lock_guard<std::mutex> G(R.M);
+  uint64_t N = 0;
+  for (const std::shared_ptr<TraceBuf> &T : R.Threads)
+    N += T->Dropped;
+  return N;
 }
 
 uint64_t rw::obs::nowNs() {
@@ -315,8 +387,8 @@ Snapshot rw::obs::snapshot() {
       if (S.Kind == MetricKind::Histogram) {
         M.Value = detail::slotValue(S.Slot);
         M.Sum = detail::slotValue(S.Slot + 1);
-        M.Buckets.resize(64);
-        for (unsigned B = 0; B < 64; ++B)
+        M.Buckets.resize(HistBucketCount);
+        for (unsigned B = 0; B < HistBucketCount; ++B)
           M.Buckets[B] = detail::slotValue(S.Slot + 2 + B);
       } else {
         M.Value = detail::slotValue(S.Slot);
@@ -347,12 +419,13 @@ std::string rw::obs::renderText(const Snapshot &S) {
       double Mean =
           M.Value ? static_cast<double>(M.Sum) / static_cast<double>(M.Value)
                   : 0.0;
-      std::snprintf(Buf, sizeof(Buf),
-                    "%-32s count=%llu mean=%.0f p50<=%llu p99<=%llu\n",
-                    M.Name.c_str(), static_cast<unsigned long long>(M.Value),
-                    Mean,
-                    static_cast<unsigned long long>(histQuantile(M, 0.50)),
-                    static_cast<unsigned long long>(histQuantile(M, 0.99)));
+      std::snprintf(
+          Buf, sizeof(Buf),
+          "%-32s count=%llu mean=%.0f p50~%llu p99~%llu p999~%llu\n",
+          M.Name.c_str(), static_cast<unsigned long long>(M.Value), Mean,
+          static_cast<unsigned long long>(histQuantile(M, 0.50)),
+          static_cast<unsigned long long>(histQuantile(M, 0.99)),
+          static_cast<unsigned long long>(histQuantile(M, 0.999)));
     } else {
       std::snprintf(Buf, sizeof(Buf), "%-32s %llu\n", M.Name.c_str(),
                     static_cast<unsigned long long>(M.Value));
@@ -365,7 +438,7 @@ std::string rw::obs::renderText(const Snapshot &S) {
 std::string rw::obs::renderJson(const Snapshot &S) {
   std::string Out = "{\"metrics\":{";
   bool First = true;
-  char Buf[64];
+  char Buf[256];
   for (const Metric &M : S.Metrics) {
     if (!First)
       Out += ",";
@@ -376,11 +449,12 @@ std::string rw::obs::renderJson(const Snapshot &S) {
     if (M.Kind == MetricKind::Histogram) {
       std::snprintf(Buf, sizeof(Buf),
                     "{\"count\":%llu,\"sum\":%llu,\"p50\":%llu,\"p99\":%llu,"
-                    "\"buckets\":{",
+                    "\"p999\":%llu,\"buckets\":{",
                     static_cast<unsigned long long>(M.Value),
                     static_cast<unsigned long long>(M.Sum),
                     static_cast<unsigned long long>(histQuantile(M, 0.50)),
-                    static_cast<unsigned long long>(histQuantile(M, 0.99)));
+                    static_cast<unsigned long long>(histQuantile(M, 0.99)),
+                    static_cast<unsigned long long>(histQuantile(M, 0.999)));
       Out += Buf;
       bool FirstB = true;
       for (size_t B = 0; B < M.Buckets.size(); ++B) {
@@ -401,6 +475,116 @@ std::string rw::obs::renderJson(const Snapshot &S) {
     }
   }
   Out += "}}";
+  return Out;
+}
+
+namespace {
+
+/// Splits a registry metric name into a Prometheus base name + labels.
+/// "cache#2.hits" → base "cache_hits", instance="cache#2";
+/// "cache.shard3.evictions" → base "cache_evictions", shard="3".
+struct PromName {
+  std::string Base;   ///< Sanitized, "rw_"-prefixed.
+  std::string Labels; ///< Rendered {k="v",...} block, or empty.
+};
+
+PromName promSplit(const std::string &Name) {
+  std::string Instance, Shard, Stripped;
+  size_t Pos = 0;
+  bool FirstSeg = true;
+  while (Pos <= Name.size()) {
+    size_t Dot = Name.find('.', Pos);
+    if (Dot == std::string::npos)
+      Dot = Name.size();
+    std::string Seg = Name.substr(Pos, Dot - Pos);
+    size_t Hash = Seg.find('#');
+    if (FirstSeg && Hash != std::string::npos) {
+      Instance = Seg;               // Uniquified source prefix.
+      Seg = Seg.substr(0, Hash);    // Base name keeps the stem.
+    } else if (Seg.size() > 5 && Seg.compare(0, 5, "shard") == 0 &&
+               Seg.find_first_not_of("0123456789", 5) == std::string::npos) {
+      Shard = Seg.substr(5);
+      Seg.clear(); // Lifted into a label; drop from the name.
+    }
+    if (!Seg.empty()) {
+      if (!Stripped.empty())
+        Stripped += '.';
+      Stripped += Seg;
+    }
+    FirstSeg = false;
+    if (Dot == Name.size())
+      break;
+    Pos = Dot + 1;
+  }
+  PromName Out;
+  Out.Base = "rw_" + promSanitizeName(Stripped);
+  std::string L;
+  if (!Instance.empty())
+    L += "instance=\"" + promEscapeLabel(Instance) + "\"";
+  if (!Shard.empty()) {
+    if (!L.empty())
+      L += ",";
+    L += "shard=\"" + Shard + "\"";
+  }
+  if (!L.empty())
+    Out.Labels = "{" + L + "}";
+  return Out;
+}
+
+} // namespace
+
+std::string rw::obs::renderPrometheus(const Snapshot &S) {
+  std::string Out;
+  char Buf[128];
+  // One # TYPE line per base name, on first sight (labeled series of the
+  // same base — shards, instances — share one TYPE declaration).
+  std::map<std::string, MetricKind> Typed;
+  for (const Metric &M : S.Metrics) {
+    PromName P = promSplit(M.Name);
+    auto It = Typed.find(P.Base);
+    if (It == Typed.end()) {
+      Out += "# TYPE " + P.Base + " ";
+      Out += M.Kind == MetricKind::Histogram ? "histogram"
+             : M.Kind == MetricKind::Gauge   ? "gauge"
+                                             : "counter";
+      Out += "\n";
+      Typed.emplace(P.Base, M.Kind);
+    }
+    if (M.Kind != MetricKind::Histogram) {
+      std::snprintf(Buf, sizeof(Buf), " %llu\n",
+                    static_cast<unsigned long long>(M.Value));
+      Out += P.Base + P.Labels + Buf;
+      continue;
+    }
+    // Classic cumulative histogram: one le series per non-empty bucket
+    // upper bound (a subset of thresholds is valid exposition), +Inf,
+    // then _sum and _count. Labels merge with the le label.
+    std::string Inner =
+        P.Labels.empty() ? "" : P.Labels.substr(1, P.Labels.size() - 2) + ",";
+    uint64_t Cum = 0;
+    for (size_t B = 0; B < M.Buckets.size(); ++B) {
+      if (!M.Buckets[B])
+        continue;
+      Cum += M.Buckets[B];
+      std::snprintf(Buf, sizeof(Buf), "le=\"%llu\"} %llu\n",
+                    static_cast<unsigned long long>(
+                        histBucketHi(static_cast<unsigned>(B))),
+                    static_cast<unsigned long long>(Cum));
+      Out += P.Base + "_bucket{" + Inner + Buf;
+    }
+    // A snapshot taken while recorders run can see count ahead of the
+    // buckets (or behind); keep the +Inf series monotone regardless.
+    uint64_t Inf = Cum > M.Value ? Cum : M.Value;
+    std::snprintf(Buf, sizeof(Buf), "le=\"+Inf\"} %llu\n",
+                  static_cast<unsigned long long>(Inf));
+    Out += P.Base + "_bucket{" + Inner + Buf;
+    std::snprintf(Buf, sizeof(Buf), " %llu\n",
+                  static_cast<unsigned long long>(M.Sum));
+    Out += P.Base + "_sum" + P.Labels + Buf;
+    std::snprintf(Buf, sizeof(Buf), " %llu\n",
+                  static_cast<unsigned long long>(M.Value));
+    Out += P.Base + "_count" + P.Labels + Buf;
+  }
   return Out;
 }
 
@@ -446,8 +630,10 @@ std::string rw::obs::traceJson() {
 void rw::obs::clearTrace() {
   Registry &R = reg();
   std::lock_guard<std::mutex> G(R.M);
-  for (const std::shared_ptr<TraceBuf> &T : R.Threads)
+  for (const std::shared_ptr<TraceBuf> &T : R.Threads) {
     T->N = 0;
+    T->Dropped = 0;
+  }
 }
 
 size_t rw::obs::traceEventCount() {

@@ -1,0 +1,178 @@
+//===- obs/Timeline.cpp - Periodic snapshot-delta ring --------------------===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Sampling reduces a Snapshot to scalar views, diffs against the previous
+// views with wrapping arithmetic, and pushes only the changed keys into
+// the ring. Eviction folds the oldest delta into Base, preserving the
+// base + sum(retained) == latest invariant documented in Timeline.h.
+//
+// The sampler thread waits on a condition variable so stop() interrupts
+// a sleep immediately; sampleNow() shares the same mutex-protected state,
+// so external sampling can interleave with the background thread.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Timeline.h"
+
+#if RW_OBS_ENABLED
+
+#include <chrono>
+
+using namespace rw;
+using namespace rw::obs;
+
+namespace {
+
+/// Reduces a snapshot to the timeline's scalar views (see Timeline.h).
+std::map<std::string, uint64_t> scalarViews(const Snapshot &S) {
+  std::map<std::string, uint64_t> Out;
+  for (const Metric &M : S.Metrics) {
+    if (M.Kind == MetricKind::Histogram) {
+      Out[M.Name + ".count"] = M.Value;
+      Out[M.Name + ".sum"] = M.Sum;
+    } else {
+      Out[M.Name] = M.Value;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+Timeline::Timeline(Options O) : Opts(O) {
+  if (Opts.Capacity == 0)
+    Opts.Capacity = 1;
+  Base = scalarViews(snapshot());
+  Prev = Base;
+  LastNs = nowNs();
+}
+
+Timeline::~Timeline() { stop(); }
+
+void Timeline::start() {
+  std::lock_guard<std::mutex> G(M);
+  if (Running)
+    return;
+  StopReq = false;
+  Running = true;
+  Sampler = std::thread([this] { run(); });
+}
+
+void Timeline::stop() {
+  {
+    std::lock_guard<std::mutex> G(M);
+    if (!Running)
+      return;
+    StopReq = true;
+  }
+  Cv.notify_all();
+  Sampler.join();
+  std::lock_guard<std::mutex> G(M);
+  Running = false;
+}
+
+void Timeline::run() {
+  setThreadName("obs-timeline");
+  std::unique_lock<std::mutex> G(M);
+  while (!StopReq) {
+    // Sample outside the lock: snapshot() runs source callbacks that may
+    // take their own locks (cache mutex, arena spinlock).
+    G.unlock();
+    sampleNow();
+    G.lock();
+    Cv.wait_for(G, std::chrono::milliseconds(Opts.IntervalMs),
+                [this] { return StopReq; });
+  }
+}
+
+void Timeline::sampleNow() {
+  uint64_t Now = nowNs();
+  std::map<std::string, uint64_t> Cur = scalarViews(snapshot());
+  std::lock_guard<std::mutex> G(M);
+  TimelineDelta D;
+  D.Seq = ++Samples;
+  D.T0Ns = LastNs;
+  D.T1Ns = Now;
+  LastNs = Now;
+  for (const auto &[Name, V] : Cur) {
+    auto It = Prev.find(Name);
+    uint64_t Old = It == Prev.end() ? 0 : It->second;
+    if (V != Old)
+      D.Changes.emplace_back(Name, V - Old); // Wrapping: gauges may drop.
+  }
+  Prev = std::move(Cur);
+  Ring.push_back(std::move(D));
+  while (Ring.size() > Opts.Capacity) {
+    for (const auto &[Name, Dv] : Ring.front().Changes)
+      Base[Name] += Dv; // Fold evicted history into the floor.
+    Ring.pop_front();
+    ++Evicted;
+  }
+}
+
+uint64_t Timeline::sampleCount() const {
+  std::lock_guard<std::mutex> G(M);
+  return Samples;
+}
+
+uint64_t Timeline::dropped() const {
+  std::lock_guard<std::mutex> G(M);
+  return Evicted;
+}
+
+std::vector<TimelineDelta> Timeline::deltas() const {
+  std::lock_guard<std::mutex> G(M);
+  return {Ring.begin(), Ring.end()};
+}
+
+std::map<std::string, uint64_t> Timeline::base() const {
+  std::lock_guard<std::mutex> G(M);
+  return Base;
+}
+
+std::map<std::string, uint64_t> Timeline::latest() const {
+  std::lock_guard<std::mutex> G(M);
+  return Prev;
+}
+
+std::string Timeline::exportJson() const {
+  std::lock_guard<std::mutex> G(M);
+  std::string Out = "{\"timeline\":{\"interval_ms\":";
+  Out += std::to_string(Opts.IntervalMs);
+  Out += ",\"samples\":" + std::to_string(Samples);
+  Out += ",\"dropped\":" + std::to_string(Evicted);
+  Out += ",\"deltas\":[";
+  bool First = true;
+  for (const TimelineDelta &D : Ring) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "{\"seq\":" + std::to_string(D.Seq);
+    Out += ",\"t0_ns\":" + std::to_string(D.T0Ns);
+    Out += ",\"t1_ns\":" + std::to_string(D.T1Ns);
+    Out += ",\"d\":{";
+    bool FirstC = true;
+    for (const auto &[Name, V] : D.Changes) {
+      if (!FirstC)
+        Out += ",";
+      FirstC = false;
+      Out += "\"";
+      // Metric names are registry identifiers ([a-z0-9._#] in practice)
+      // but escape quotes/backslashes anyway.
+      for (char C : Name) {
+        if (C == '"' || C == '\\')
+          Out += '\\';
+        Out += C;
+      }
+      Out += "\":" + std::to_string(static_cast<int64_t>(V));
+    }
+    Out += "}}";
+  }
+  Out += "]}}";
+  return Out;
+}
+
+#endif // RW_OBS_ENABLED

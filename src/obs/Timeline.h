@@ -1,0 +1,159 @@
+//===- obs/Timeline.h - Periodic snapshot-delta ring ------------*- C++-*-===//
+//
+// Part of the RichWasm reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A long-running process needs rates and history, not just a final
+/// snapshot. obs::Timeline samples obs::snapshot() periodically (from a
+/// background thread, or synchronously via sampleNow()) and keeps a
+/// bounded ring of *deltas* between consecutive samples.
+///
+/// Each metric is reduced to scalar views: a counter or gauge is its
+/// value; a histogram contributes "<name>.count" and "<name>.sum" (rates
+/// are what a timeline is for; full bucket history would be ~1000 words
+/// per histogram per tick). Deltas use wrapping uint64 arithmetic, so a
+/// gauge that decreases reconciles exactly (and renders as a negative
+/// JSON delta).
+///
+/// Reconciliation contract (pinned by tests and the c7 bench): at any
+/// quiescent point,
+///
+///     base() + sum(deltas()) == latest()        (per key, mod 2^64)
+///
+/// where base() starts at the construction-time snapshot and absorbs
+/// every delta evicted by ring wraparound — so the invariant holds even
+/// after the ring has dropped history, and dropped() makes the
+/// truncation visible.
+///
+/// Lifetime: start() launches the sampler thread ("obs-timeline");
+/// stop() (or the destructor) joins it. The sampler calls
+/// obs::snapshot(), so every registered source must outlive the running
+/// timeline — same rule as any other snapshot() caller.
+///
+/// Compiled out with -DRW_OBS=OFF: the class collapses to inert inline
+/// stubs and Timeline.cpp contributes no symbols.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RICHWASM_OBS_TIMELINE_H
+#define RICHWASM_OBS_TIMELINE_H
+
+#include "obs/Obs.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#if RW_OBS_ENABLED
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#endif
+
+namespace rw::obs {
+
+/// One sampling interval's worth of change, oldest key order.
+struct TimelineDelta {
+  uint64_t Seq = 0;  ///< Sample number (1 = first delta after baseline).
+  uint64_t T0Ns = 0; ///< Interval start (previous sample's timestamp).
+  uint64_t T1Ns = 0; ///< Interval end (this sample's timestamp).
+  /// Scalar-view deltas, only keys that changed this interval.
+  std::vector<std::pair<std::string, uint64_t>> Changes;
+};
+
+/// Sampler configuration (namespace scope so it can be a default
+/// argument while Timeline is still incomplete).
+struct TimelineOptions {
+  uint64_t IntervalMs = 1000; ///< Sampler period.
+  size_t Capacity = 512;      ///< Ring size in deltas.
+};
+
+#if RW_OBS_ENABLED
+
+class Timeline {
+public:
+  using Options = TimelineOptions;
+
+  /// Takes the baseline snapshot at construction.
+  explicit Timeline(Options O = {});
+  ~Timeline(); ///< Stops the sampler if running.
+
+  Timeline(const Timeline &) = delete;
+  Timeline &operator=(const Timeline &) = delete;
+
+  /// Launches the background sampler thread. Idempotent.
+  void start();
+  /// Stops and joins the sampler. Idempotent; safe without start().
+  void stop();
+
+  /// Takes one sample synchronously (also what the sampler thread does).
+  /// Safe to mix with a running sampler.
+  void sampleNow();
+
+  /// Total samples taken since construction.
+  uint64_t sampleCount() const;
+  /// Deltas evicted by ring wraparound (their changes live on in base()).
+  uint64_t dropped() const;
+
+  /// Retained ring contents, oldest first.
+  std::vector<TimelineDelta> deltas() const;
+
+  /// Scalar views of the construction-time snapshot plus every evicted
+  /// delta: the reconciliation floor for the retained ring.
+  std::map<std::string, uint64_t> base() const;
+  /// Scalar views of the most recent sample (the baseline until the
+  /// first sampleNow()).
+  std::map<std::string, uint64_t> latest() const;
+
+  /// {"timeline":{"interval_ms":..,"samples":..,"dropped":..,
+  ///   "deltas":[{"seq":..,"t0_ns":..,"t1_ns":..,"d":{name:delta,..}},..]}}
+  /// Deltas print as signed (a shrinking gauge is a negative rate).
+  std::string exportJson() const;
+
+private:
+  void run();
+
+  Options Opts;
+  mutable std::mutex M;
+  std::condition_variable Cv;
+  std::thread Sampler;
+  bool Running = false;
+  bool StopReq = false;
+  uint64_t Samples = 0;
+  uint64_t Evicted = 0;
+  uint64_t LastNs = 0; ///< Previous sample's timestamp (interval start).
+  std::map<std::string, uint64_t> Base; ///< Baseline + evicted deltas.
+  std::map<std::string, uint64_t> Prev; ///< Latest sample's absolutes.
+  std::deque<TimelineDelta> Ring;       ///< Bounded by Opts.Capacity.
+};
+
+#else // !RW_OBS_ENABLED — inert stub, no Timeline.cpp symbols.
+
+class Timeline {
+public:
+  using Options = TimelineOptions;
+
+  explicit Timeline(Options = {}) {}
+  Timeline(const Timeline &) = delete;
+  Timeline &operator=(const Timeline &) = delete;
+
+  void start() {}
+  void stop() {}
+  void sampleNow() {}
+  uint64_t sampleCount() const { return 0; }
+  uint64_t dropped() const { return 0; }
+  std::vector<TimelineDelta> deltas() const { return {}; }
+  std::map<std::string, uint64_t> base() const { return {}; }
+  std::map<std::string, uint64_t> latest() const { return {}; }
+  std::string exportJson() const { return "{\"timeline\":{}}"; }
+};
+
+#endif // RW_OBS_ENABLED
+
+} // namespace rw::obs
+
+#endif // RICHWASM_OBS_TIMELINE_H

@@ -14,10 +14,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "exec/Engine.h"
+#include "obs/Obs.h"
 #include "wasm/Validate.h"
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <thread>
 
 using namespace rw;
@@ -210,6 +212,54 @@ TEST(JitTierUp, DestructionJoinsInFlightCompile) {
     FI.reset(); // Worker may still be compiling right here.
   }
 }
+
+#if RW_OBS_ENABLED
+
+TEST(JitTierUp, ObsSourceExportsTierStateAndCodeBytes) {
+  obs::setEnabled(true);
+  WModule M = chainModule();
+  ASSERT_TRUE(validate(M).ok());
+  exec::FlatInstance FI(M);
+  FI.setTierPolicy(0, /*Background=*/false); // Eager: compile everything.
+  ASSERT_TRUE(FI.initialize().ok());
+  auto R = FI.invokeByName("f", {WValue::i32(10)});
+  ASSERT_TRUE(bool(R));
+  ASSERT_GT(FI.jitCompiledCount(), 0u);
+
+  // The instance's "jit" source (prefix possibly uniquified "jit#N")
+  // reports tier counts, code-cache bytes, and per-function tier state.
+  std::map<std::string, uint64_t> Src;
+  uint64_t CompileSamples = 0;
+  for (const obs::Metric &Mt : obs::snapshot().Metrics) {
+    if (Mt.Name == "jit.compile.ns") {
+      CompileSamples = Mt.Value;
+      continue;
+    }
+    size_t Dot = Mt.Name.find('.');
+    if (Dot == std::string::npos)
+      continue;
+    std::string Stem = Mt.Name.substr(0, Dot);
+    if (Stem == "jit" || Stem.rfind("jit#", 0) == 0)
+      Src[Mt.Name.substr(Dot + 1)] = Mt.Value;
+  }
+  ASSERT_TRUE(Src.count("funcs"));
+  EXPECT_EQ(Src["funcs"], 3u);
+  EXPECT_EQ(Src["compiled"], FI.jitCompiledCount());
+  EXPECT_GT(Src["code_bytes"], 0u);
+  ASSERT_TRUE(Src.count("func0.tier"));
+  for (unsigned F = 0; F < 3; ++F) {
+    std::string K = "func" + std::to_string(F) + ".tier";
+    ASSERT_TRUE(Src.count(K)) << K;
+    // 0 untried, 1 compiling, 2 native, 3 refused.
+    EXPECT_TRUE(Src[K] == 2 || Src[K] == 3) << K << "=" << Src[K];
+  }
+  EXPECT_EQ(Src["compiled"] + Src["unsupported"] + Src["pending"],
+            Src["funcs"]);
+  // Every eager compile recorded its latency.
+  EXPECT_GE(CompileSamples, FI.jitCompiledCount());
+}
+
+#endif // RW_OBS_ENABLED
 
 #else // !RW_JIT_ENABLED
 

@@ -20,6 +20,7 @@
 
 #include "cache/AdmissionCache.h"
 #include "obs/Obs.h"
+#include "obs/Timeline.h"
 #include "support/ThreadPool.h"
 #include "typing/Checker.h"
 #include "wasm/Interp.h"
@@ -193,8 +194,8 @@ TEST(Obs, CounterExactUnder8ThreadContention) {
 
 TEST(Obs, HistogramCountSumAndBucketsUnderContention) {
   static obs::Histogram H("test.contended_hist");
-  // Samples chosen so each lands in a distinct log2 bucket:
-  // bit_width(1)=1, bit_width(2)=2, bit_width(4)=3, bit_width(1000000)=20.
+  // Samples chosen so each lands in a distinct sub-bucket (the first
+  // three are exact single-value buckets below 16).
   static constexpr uint64_t Samples[] = {1, 2, 4, 1000000};
   constexpr unsigned Threads = 8, Rounds = 10000;
   std::vector<std::thread> Ts;
@@ -214,11 +215,15 @@ TEST(Obs, HistogramCountSumAndBucketsUnderContention) {
   uint64_t N = uint64_t(Threads) * Rounds;
   EXPECT_EQ(M->Value, N * 4);
   EXPECT_EQ(M->Sum, N * (1 + 2 + 4 + 1000000));
-  ASSERT_EQ(M->Buckets.size(), 64u);
-  EXPECT_EQ(M->Buckets[1], N);
-  EXPECT_EQ(M->Buckets[2], N);
-  EXPECT_EQ(M->Buckets[3], N);
-  EXPECT_EQ(M->Buckets[20], N);
+  ASSERT_EQ(M->Buckets.size(), obs::HistBucketCount);
+  EXPECT_EQ(M->Buckets[obs::histBucketIndex(1)], N);
+  EXPECT_EQ(M->Buckets[obs::histBucketIndex(2)], N);
+  EXPECT_EQ(M->Buckets[obs::histBucketIndex(4)], N);
+  EXPECT_EQ(M->Buckets[obs::histBucketIndex(1000000)], N);
+  // The exact buckets really are index == value below 16.
+  EXPECT_EQ(obs::histBucketIndex(1), 1u);
+  EXPECT_EQ(obs::histBucketIndex(2), 2u);
+  EXPECT_EQ(obs::histBucketIndex(4), 4u);
 }
 
 TEST(Obs, GaugeKeepsLastValue) {
@@ -234,17 +239,64 @@ TEST(Obs, GaugeKeepsLastValue) {
   EXPECT_EQ(M->Value, 7u);
 }
 
-TEST(Obs, HistQuantileBucketUpperBounds) {
+TEST(Obs, HistBucketArithmetic) {
+  // Every bucket's [lo, hi] range round-trips through histBucketIndex,
+  // buckets tile the value space in order, and sub-bucket width is at
+  // most 1/16 of the bucket's smallest value (the ~6% error bound).
+  for (unsigned I = 0; I < obs::HistBucketCount; ++I) {
+    uint64_t Lo = obs::histBucketLo(I), Hi = obs::histBucketHi(I);
+    ASSERT_LE(Lo, Hi);
+    EXPECT_EQ(obs::histBucketIndex(Lo), I);
+    EXPECT_EQ(obs::histBucketIndex(Hi), I);
+    if (I > 0)
+      EXPECT_EQ(obs::histBucketHi(I - 1) + 1, Lo);
+    if (Lo >= 16)
+      EXPECT_LE(Hi - Lo + 1, Lo / 16);
+  }
+  EXPECT_EQ(obs::histBucketHi(obs::HistBucketCount - 1), ~0ull);
+  // Spot checks: exact below 16, 16-wide linear sub-buckets after.
+  EXPECT_EQ(obs::histBucketIndex(0), 0u);
+  EXPECT_EQ(obs::histBucketIndex(15), 15u);
+  EXPECT_EQ(obs::histBucketLo(obs::histBucketIndex(800)), 800u);
+  EXPECT_EQ(obs::histBucketHi(obs::histBucketIndex(800)), 831u);
+}
+
+TEST(Obs, HistQuantileInterpolatesWithinBucket) {
   obs::Metric M;
   M.Kind = obs::MetricKind::Histogram;
-  M.Buckets.assign(64, 0);
-  // 90 samples in bucket 3 (values 4..7), 10 in bucket 10 (512..1023).
-  M.Buckets[3] = 90;
-  M.Buckets[10] = 10;
+  M.Buckets.assign(obs::HistBucketCount, 0);
+  // 90 samples at value 5 (an exact bucket), 10 at value 800 (a 32-wide
+  // sub-bucket, [800, 831]).
+  M.Buckets[5] = 90;
+  M.Buckets[obs::histBucketIndex(800)] = 10;
   M.Value = 100;
-  EXPECT_EQ(obs::histQuantile(M, 0.5), 7u);    // (1<<3)-1
-  EXPECT_EQ(obs::histQuantile(M, 0.99), 1023u); // (1<<10)-1
+  // Exact-arithmetic pins: a quantile landing in a width-1 bucket is the
+  // value itself, not a log2 bound (the old estimator returned 7 here).
+  EXPECT_EQ(obs::histQuantile(M, 0.0), 5u);
+  EXPECT_EQ(obs::histQuantile(M, 0.5), 5u);
+  EXPECT_EQ(obs::histQuantile(M, 0.89), 5u);
+  // Interpolated: p99 stays inside the 800-bucket's range instead of
+  // snapping to the old log2 upper bound 1023 (~28% high).
+  uint64_t P99 = obs::histQuantile(M, 0.99);
+  EXPECT_GE(P99, 800u);
+  EXPECT_LE(P99, 831u);
   EXPECT_EQ(obs::histQuantile(obs::Metric{}, 0.5), 0u);
+
+  // Regression for the satellite bias case: a tight distribution near a
+  // power-of-two's lower edge. All mass at 520: the old estimator said
+  // p99 <= 1023 (+96%); sub-buckets bound it to [512, 543] (<= ~4.4%).
+  obs::Metric T;
+  T.Kind = obs::MetricKind::Histogram;
+  T.Buckets.assign(obs::HistBucketCount, 0);
+  T.Buckets[obs::histBucketIndex(520)] = 1000;
+  T.Value = 1000;
+  for (double Q : {0.5, 0.99, 0.999}) {
+    uint64_t Est = obs::histQuantile(T, Q);
+    EXPECT_GE(Est, 512u);
+    EXPECT_LE(Est, 543u);
+    // Within the documented ~6.25% relative error of the true 520.
+    EXPECT_LE(Est > 520 ? Est - 520 : 520 - Est, 520 / 16 + 1);
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -508,6 +560,41 @@ TEST(ObsOff, EverythingCollapsesToStubs) {
   EXPECT_EQ(obs::traceJson(), "{\"traceEvents\":[]}");
   EXPECT_EQ(obs::traceEventCount(), 0u);
   obs::clearTrace();
+
+  // PR 9 surface: sampling, drop counters, and the Prometheus renderer
+  // collapse too (select() says "record" so call sites stay branchless).
+  obs::setTraceSampling(8);
+  EXPECT_EQ(obs::traceSampling(), 1u);
+  EXPECT_TRUE(obs::traceSampleSelect(0x1234));
+  EXPECT_FALSE(obs::traceSampleActive());
+  {
+    obs::TraceSampleScope Scope(false);
+    EXPECT_FALSE(obs::traceSampleActive());
+  }
+  EXPECT_EQ(obs::traceDroppedCount(), 0u);
+  EXPECT_EQ(obs::renderPrometheus(obs::Snapshot{}), "");
+}
+
+TEST(ObsOff, TimelineCollapsesToStub) {
+  obs::Timeline T({/*IntervalMs=*/1, /*Capacity=*/4});
+  T.start();
+  T.sampleNow();
+  T.stop();
+  EXPECT_EQ(T.sampleCount(), 0u);
+  EXPECT_EQ(T.dropped(), 0u);
+  EXPECT_TRUE(T.deltas().empty());
+  EXPECT_TRUE(T.base().empty());
+  EXPECT_TRUE(T.latest().empty());
+  EXPECT_EQ(T.exportJson(), "{\"timeline\":{}}");
+}
+
+TEST(ObsOff, PureHistogramHelpersStillWork) {
+  // The bucket arithmetic and name/label escaping helpers are pure
+  // header inlines, usable (e.g. by offline tooling) in either config.
+  EXPECT_EQ(obs::histBucketIndex(5), 5u);
+  EXPECT_EQ(obs::histBucketLo(obs::histBucketIndex(800)), 800u);
+  EXPECT_EQ(obs::promSanitizeName("cache.shard0.hits"), "cache_shard0_hits");
+  EXPECT_EQ(obs::promEscapeLabel("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
 }
 
 TEST(ObsOff, PipelineStillRunsWithoutRecording) {
